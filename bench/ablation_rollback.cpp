@@ -1,0 +1,77 @@
+// Ablation (paper §5 application): what is the FPS model worth at runtime?
+//
+// Replays campaign CML(t) traces against a periodic detector + checkpoint
+// system under three policies — always roll back, never roll back, and the
+// paper's FPS-model-advised policy (roll back only when Eq. 3 predicts the
+// end-of-run contamination above a safe threshold). Reports re-executed
+// (wasted) work vs residual contamination per application.
+//
+//   $ ./ablation_rollback [--trials=N] [--seed=S] [--threshold=T]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/model/propagation_model.h"
+#include "fprop/model/rollback_sim.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 60);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const double threshold = static_cast<double>(args.get_u64("threshold", 25));
+
+  bench::print_header("Ablation",
+                      "rollback policies driven by the FPS model (5)");
+  std::printf("%zu traced trials per app; safe threshold %.0f CML\n\n", trials,
+              threshold);
+
+  TableWriter table({"App", "policy", "rollbacks", "mean wasted Kcycles",
+                     "mean residual CML"});
+
+  for (const auto& spec : apps::paper_apps()) {
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    cc.capture_traces = true;
+    cc.max_kept_traces = trials;
+    const harness::CampaignResult r = run_campaign(h, cc);
+
+    std::vector<std::vector<fpm::TraceSample>> traces;
+    for (const auto& t : r.trials) {
+      if (!t.trace.empty()) traces.push_back(t.trace);
+    }
+    const model::FpsModel fps = model::aggregate_fps(r.slopes);
+
+    model::DetectorConfig det;
+    det.interval = std::max<std::uint64_t>(h.golden().global_cycles / 24, 1);
+    det.fps = fps.fps;
+    det.cml_threshold = threshold;
+
+    for (const auto policy :
+         {model::RollbackPolicy::Always, model::RollbackPolicy::Never,
+          model::RollbackPolicy::FpsModel}) {
+      const model::PolicySummary s =
+          model::summarize_policy(traces, det, policy);
+      table.add_row({spec.name, model::rollback_policy_name(policy),
+                     std::to_string(s.rollbacks),
+                     format_double(s.mean_wasted() / 1000.0, 1),
+                     format_double(s.mean_residual(), 2)});
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: 'always' wastes the most work and leaves no residual;\n"
+      "'never' wastes nothing but carries the full contamination; the\n"
+      "FPS-advised policy skips rollbacks for slow propagators (low FPS,\n"
+      "e.g. LAMMPS) while still catching fast ones (MCB) — recovering most\n"
+      "of the wasted work at bounded residual contamination.\n");
+  return 0;
+}

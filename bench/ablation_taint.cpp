@@ -1,0 +1,132 @@
+// Ablation (paper §3.2): dual-chain value tracking vs naive taint
+// propagation. The paper's central implementation argument is that "the
+// output is corrupted if any input is corrupted" overestimates the number
+// of corrupted memory locations because it cannot observe masking. This
+// harness runs matched faults through both trackers on every application
+// (single-rank) and reports the overestimation.
+//
+//   $ ./ablation_taint [--trials=N] [--seed=S]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/fpm/taint.h"
+#include "fprop/inject/injector.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/passes/passes.h"
+#include "fprop/support/stats.h"
+#include "fprop/support/table.h"
+#include "fprop/vm/interp.h"
+
+using namespace fprop;
+
+namespace {
+
+struct Tracked {
+  std::uint64_t cml_peak = 0;
+  bool finished = false;
+};
+
+Tracked run_dual(const ir::Module& m, const inject::InjectionPlan& plan) {
+  inject::InjectorRuntime inj(plan);
+  fpm::FpmRuntime fpm;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_fpm(&fpm);
+  const auto rs = vm.run(1ull << 30);
+  return {fpm.shadow().peak(), rs == vm::RunState::Done};
+}
+
+Tracked run_taint(const ir::Module& m, const inject::InjectionPlan& plan) {
+  inject::InjectorRuntime inj(plan);
+  fpm::TaintRuntime taint;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_taint(&taint);
+  const auto rs = vm.run(1ull << 30);
+  return {taint.peak(), rs == vm::RunState::Done};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 80);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+
+  bench::print_header("Ablation", "dual-chain tracking vs naive taint (3.2)");
+  std::printf("%zu matched single-fault trials per app, 1 rank each\n\n",
+              trials);
+
+  TableWriter table({"App", "mean CML dual", "mean CML taint", "overest. x",
+                     "masked-but-tainted %"});
+
+  std::vector<std::string> names{"matvec", "lulesh", "minife", "lammps",
+                                 "mcb", "amg"};
+  for (const auto& name : names) {
+    const auto& spec = apps::get_app(name);
+    // Dual-chain module (inject + FPM) and taint module (inject only) share
+    // the same injection sites and dynamic ordering.
+    ir::Module m_dual = apps::compile_app(spec);
+    (void)passes::instrument_module(m_dual);
+    ir::Module m_taint = apps::compile_app(spec);
+    (void)passes::run_fault_injection_pass(m_taint);
+    ir::verify(m_taint);
+
+    // Count dynamic points once (fault-free).
+    inject::InjectorRuntime probe;
+    {
+      vm::Interp vm(m_taint, 0, vm::InterpConfig{});
+      vm.set_inject_hook(&probe);
+      if (vm.run(1ull << 32) != vm::RunState::Done) {
+        std::printf("%s: fault-free single-rank run failed; skipping\n",
+                    name.c_str());
+        continue;
+      }
+    }
+    const inject::DynCounts counts = probe.dynamic_counts(1);
+
+    RunningStat dual_stat;
+    RunningStat taint_stat;
+    RunningStat ratio;
+    std::size_t masked_but_tainted = 0;
+    std::size_t compared = 0;
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < trials; ++i) {
+      const auto plan = inject::sample_single_fault(counts, rng);
+      const Tracked d = run_dual(m_dual, plan);
+      const Tracked t = run_taint(m_taint, plan);
+      if (!d.finished || !t.finished) continue;  // crashes: nothing to compare
+      ++compared;
+      dual_stat.add(static_cast<double>(d.cml_peak));
+      taint_stat.add(static_cast<double>(t.cml_peak));
+      if (d.cml_peak == 0 && t.cml_peak > 0) ++masked_but_tainted;
+      if (d.cml_peak > 0) {
+        ratio.add(static_cast<double>(t.cml_peak) /
+                  static_cast<double>(d.cml_peak));
+      }
+    }
+
+    table.add_row(
+        {name, format_double(dual_stat.mean(), 1),
+         format_double(taint_stat.mean(), 1),
+         format_double(ratio.count() ? ratio.mean() : 0.0, 2),
+         format_double(compared ? 100.0 * static_cast<double>(
+                                              masked_but_tainted) /
+                                      static_cast<double>(compared)
+                                : 0.0,
+                       1)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "overest. x    = mean(taint CML / dual CML) over runs with real\n"
+      "                contamination — how much the naive rule inflates CML\n"
+      "masked-but-tainted = runs the dual chain proves clean (every store\n"
+      "                matched its pristine value) that taint still flags.\n"
+      "This is the measurement behind the paper's choice to replicate the\n"
+      "instruction stream instead of propagating taint bits.\n");
+  return 0;
+}

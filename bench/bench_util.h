@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction harnesses. Each harness
+// is a standalone binary that prints the series/rows of one paper artifact;
+// sizes are tuned so the full suite runs in minutes on one core, and every
+// knob can be overridden: `fig6_outcomes --trials=5000 --seed=7 --app=mcb`.
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fprop::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.rfind("--", 0) != 0) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        kv_.emplace(std::string(arg), "1");
+      } else {
+        kv_.emplace(std::string(arg.substr(0, eq)),
+                    std::string(arg.substr(eq + 1)));
+      }
+    }
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    std::uint64_t v = fallback;
+    const auto& s = it->second;
+    std::from_chars(s.data(), s.data() + s.size(), v);
+    return v;
+  }
+
+  std::string get_str(const std::string& key, std::string fallback) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+inline void print_header(const char* artifact, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s - %s\n", artifact, what);
+  std::printf("  (reproduction of 'Understanding the Propagation of Transient\n");
+  std::printf("   Errors in HPC Applications', SC'15)\n");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace fprop::bench

@@ -1,0 +1,108 @@
+// Fig. 5 — Fault injection coverage: verifies that the sampled injection
+// times are uniform over the execution of LULESH (500 bins, chi-squared
+// test), reproducing the paper's methodology check.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/inject/injector.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/support/stats.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t samples = args.get_u64("samples", 5000);
+  const std::size_t bins = args.get_u64("bins", 500);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string app_name = args.get_str("app", "lulesh");
+
+  bench::print_header("Figure 5", "fault injection coverage (uniformity)");
+
+  const auto& spec = apps::get_app(app_name);
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(spec, cfg);
+  std::printf("app=%s ranks=%u dynamic injection points=%llu\n\n",
+              app_name.c_str(), h.nranks(),
+              static_cast<unsigned long long>(h.golden().total_dyn_points));
+
+  // Draw the campaign's (rank, dyn_index) samples, then measure the cycle
+  // at which each would fire with a single instrumented fault-free run.
+  Xoshiro256 rng(seed);
+  std::map<std::uint32_t, std::vector<std::uint64_t>> probes;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto plan = inject::sample_single_fault(h.golden().dyn_counts, rng);
+    for (const auto& [rank, faults] : plan.faults_by_rank) {
+      for (const auto& f : faults) probes[rank].push_back(f.dyn_index);
+    }
+  }
+  inject::CycleProbe probe(std::move(probes));
+  mpisim::WorldConfig wc;
+  wc.nranks = h.nranks();
+  wc.enable_fpm = false;
+  wc.interp.cycle_budget = 4ull << 30;
+  mpisim::World world(h.module(), wc);
+  world.set_inject_hook(&probe);
+  const mpisim::JobResult job = world.run();
+
+  std::printf("measured injection times: %zu\n", probe.samples().size());
+
+  // Normalize each injection time by its own rank's total duration — the
+  // paper's x-axis is "execution time" and ranks run slightly different
+  // instruction counts, so a common absolute axis would bias the tail bins.
+  Histogram hist(0.0, 1.0, bins);
+  for (const auto& [rank, cycle] : probe.samples()) {
+    const double total = static_cast<double>(job.ranks[rank].cycles);
+    hist.add(total > 0.0 ? static_cast<double>(cycle) / total : 0.0);
+  }
+
+  // Render a coarse view of the histogram (paper plots 500 bins; we print a
+  // 50-bucket aggregate so the flatness is visible in a terminal).
+  const std::size_t buckets = 50;
+  std::vector<std::string> labels(buckets);
+  std::vector<double> values(buckets, 0.0);
+  for (std::size_t i = 0; i < bins; ++i) {
+    values[i * buckets / bins] += static_cast<double>(hist.bin_count(i));
+  }
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    labels[i] = "t" + std::to_string(i);
+    vmax = std::max(vmax, values[i]);
+  }
+  std::printf("\ninjections per time bucket (ideal uniform = %.1f):\n%s\n",
+              static_cast<double>(probe.samples().size()) / buckets,
+              render_bar_chart(labels, values, vmax, 50).c_str());
+
+  const ChiSquaredResult chi = chi_squared_uniform(hist);
+  std::printf("chi-squared (%zu bins): statistic=%.2f dof=%zu p=%.4f\n", bins,
+              chi.statistic, chi.dof, chi.p_value);
+
+  // The sampler is uniform over dynamic injection points by construction;
+  // the time histogram additionally reflects how the application's
+  // arithmetic density varies over its phases (the paper's own bars scatter
+  // visibly around the ideal line). The reproduction criterion is therefore
+  // bounded deviation: every bucket within +-50% of ideal and a coefficient
+  // of variation under 0.25 — the flatness Fig. 5 demonstrates.
+  const double ideal =
+      static_cast<double>(probe.samples().size()) / static_cast<double>(buckets);
+  RunningStat bucket_stat;
+  double worst = 0.0;
+  for (double v : values) {
+    bucket_stat.add(v);
+    worst = std::max(worst, std::fabs(v - ideal) / ideal);
+  }
+  const double cv = bucket_stat.stddev() / bucket_stat.mean();
+  std::printf("bucket coefficient of variation: %.3f, worst deviation: "
+              "%.0f%% of ideal\n", cv, 100.0 * worst);
+  const bool flat = cv < 0.25 && worst < 0.5;
+  std::printf("=> injection times are %s across the execution%s\n",
+              flat ? "uniformly spread" : "NOT uniformly spread",
+              flat ? " (matches paper Fig. 5)" : "");
+  return flat ? 0 : 1;
+}

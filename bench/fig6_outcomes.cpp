@@ -1,0 +1,72 @@
+// Fig. 6 — Outcome of fault injection with a single fault into a single MPI
+// process, per application: CO / WO / PEX / Crashed percentages, plus the
+// §4.3 CO breakdown into Vanished vs ONA that only the propagation framework
+// can measure (the paper reports >98% of CO runs have contaminated memory).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 200);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string only = args.get_str("app", "");
+
+  bench::print_header("Figure 6",
+                      "outcomes of single-fault injection per application");
+  std::printf("trials per application: %zu (paper: 5000; --trials=N to change)\n\n",
+              trials);
+
+  TableWriter table({"App", "CO%", "WO%", "PEX%", "Crash%", "V%", "ONA%",
+                     "CO w/ contaminated memory %"});
+  std::vector<std::string> bar_labels;
+  std::vector<double> bar_values;
+
+  for (const auto& spec : apps::paper_apps()) {
+    if (!only.empty() && spec.name != only) continue;
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    const harness::CampaignResult r = run_campaign(h, cc);
+    const auto& c = r.counts;
+
+    const double co = c.pct(c.correct_output());
+    const double co_contaminated =
+        c.correct_output() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(c.ona) /
+                  static_cast<double>(c.correct_output());
+    table.add_row({spec.name, format_double(co, 1),
+                   format_double(c.pct(c.wrong_output), 1),
+                   format_double(c.pct(c.pex), 1),
+                   format_double(c.pct(c.crashed), 1),
+                   format_double(c.pct(c.vanished), 1),
+                   format_double(c.pct(c.ona), 1),
+                   format_double(co_contaminated, 1)});
+    bar_labels.push_back(spec.name + " CO");
+    bar_values.push_back(co);
+    bar_labels.push_back(spec.name + " WO");
+    bar_values.push_back(c.pct(c.wrong_output));
+    bar_labels.push_back(spec.name + " PEX");
+    bar_values.push_back(c.pct(c.pex));
+    bar_labels.push_back(spec.name + " C");
+    bar_values.push_back(c.pct(c.crashed));
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n",
+              render_bar_chart(bar_labels, bar_values, 100.0, 50, "%").c_str());
+  std::printf(
+      "Paper shape to match: LULESH CO>90%% (looks robust) yet almost all of\n"
+      "its CO runs carry contaminated memory (last column ~>98%%); LAMMPS/MCB\n"
+      "show the largest WO shares; miniFE shows a visible PEX share.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig. 7 — Fault propagation profiles: CML(t) series for representative
+// injected runs of each application (two per outcome class where available),
+// plus the Fig. 7f summary of the maximum percentage of application memory
+// state contaminated.
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/support/stats.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+namespace {
+
+void print_profile(const harness::TrialResult& t) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(t.trace.size());
+  for (const auto& s : t.trace) {
+    xs.push_back(static_cast<double>(s.cycle));
+    ys.push_back(static_cast<double>(s.cml));
+  }
+  std::printf("outcome=%s cml_peak=%llu contaminated=%.2f%% ranks=%zu\n",
+              harness::outcome_name(t.outcome),
+              static_cast<unsigned long long>(t.total_cml_peak),
+              t.contaminated_pct, t.contaminated_ranks);
+  std::printf("%s\n", render_series(xs, ys, 72, 12).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 120);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string only = args.get_str("app", "");
+  const std::size_t per_class = args.get_u64("per_class", 2);
+
+  bench::print_header("Figure 7", "fault propagation profiles + Fig. 7f");
+  std::printf("trials per application: %zu\n\n", trials);
+
+  TableWriter summary({"App", "max contaminated %", "mean contaminated %",
+                       "trials w/ contamination %"});
+
+  for (const auto& spec : apps::paper_apps()) {
+    if (!only.empty() && spec.name != only) continue;
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    cc.capture_traces = true;
+    cc.max_kept_traces = trials;  // keep everything; we select below
+    const harness::CampaignResult r = run_campaign(h, cc);
+
+    std::printf("---- %s (%s) ----\n", spec.name.c_str(),
+                spec.description.c_str());
+    // Two representative profiles per class, as in the paper's plots
+    // (crashes terminate immediately and are not plotted, per §4.3).
+    for (const harness::Outcome cls :
+         {harness::Outcome::OutputNotAffected, harness::Outcome::WrongOutput,
+          harness::Outcome::ProlongedExecution}) {
+      std::size_t shown = 0;
+      for (const auto& t : r.trials) {
+        if (t.outcome != cls || t.trace.empty() || t.total_cml_peak == 0) {
+          continue;
+        }
+        print_profile(t);
+        if (++shown >= per_class) break;
+      }
+    }
+
+    double max_pct = 0.0;
+    RunningStat pct_stat;
+    std::size_t contaminated_trials = 0;
+    for (double p : r.max_contaminated_pct) {
+      max_pct = std::max(max_pct, p);
+      pct_stat.add(p);
+      if (p > 0.0) ++contaminated_trials;
+    }
+    summary.add_row(
+        {spec.name, format_double(max_pct, 2), format_double(pct_stat.mean(), 2),
+         format_double(100.0 * static_cast<double>(contaminated_trials) /
+                           static_cast<double>(trials),
+                       1)});
+  }
+
+  std::printf("Fig. 7f — percentage of memory state contaminated (max over "
+              "trials):\n%s\n",
+              summary.to_string().c_str());
+  std::printf(
+      "Paper shape to match: staircase/linear growth synced to time steps\n"
+      "(LULESH/LAMMPS), assembly-then-plateau (miniFE), phase-dependent\n"
+      "growth (AMG), steady growth with late faults still corrupting output\n"
+      "(MCB); plus occasional flat profiles from faults in unused static\n"
+      "data (LAMMPS).\n");
+  return 0;
+}

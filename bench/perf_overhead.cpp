@@ -1,0 +1,75 @@
+// Instrumentation-cost ablation (google-benchmark): executed-instruction
+// inflation and wall-clock cost of (a) LLFI++ injection instrumentation and
+// (b) the FPM dual chain, relative to the uninstrumented program — the
+// framework-overhead ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/ir/ir.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace {
+
+using namespace fprop;
+
+enum class Mode { Plain, InjectOnly, Full };
+
+ir::Module build_module(Mode mode) {
+  ir::Module m = apps::compile_app(apps::get_app("matvec"), {{"ITERS", "50"}});
+  switch (mode) {
+    case Mode::Plain:
+      break;
+    case Mode::InjectOnly:
+      (void)passes::run_fault_injection_pass(m);
+      break;
+    case Mode::Full:
+      (void)passes::instrument_module(m);
+      break;
+  }
+  return m;
+}
+
+void run_once(const ir::Module& m, fpm::FpmRuntime* fpm,
+              benchmark::State& state, std::uint64_t& cycles) {
+  vm::InterpConfig cfg;
+  vm::Interp interp(m, 0, cfg);
+  interp.set_fpm(fpm);
+  const vm::RunState rs = interp.run(1ull << 30);
+  if (rs != vm::RunState::Done) {
+    state.SkipWithError("program did not finish");
+  }
+  cycles = interp.cycles();
+}
+
+void BM_Uninstrumented(benchmark::State& state) {
+  const ir::Module m = build_module(Mode::Plain);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) run_once(m, nullptr, state, cycles);
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_Uninstrumented);
+
+void BM_InjectInstrumented(benchmark::State& state) {
+  const ir::Module m = build_module(Mode::InjectOnly);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) run_once(m, nullptr, state, cycles);
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_InjectInstrumented);
+
+void BM_DualChainInstrumented(benchmark::State& state) {
+  const ir::Module m = build_module(Mode::Full);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    fpm::FpmRuntime fpm(0);
+    run_once(m, &fpm, state, cycles);
+  }
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_DualChainInstrumented);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// MiniVM throughput microbenchmarks (google-benchmark): interpreter dispatch
+// rate on arithmetic/memory kernels and MiniC compilation speed.
+
+#include <benchmark/benchmark.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace {
+
+using namespace fprop;
+
+constexpr const char* kArithKernel = R"mc(
+fn main() {
+  var s: float = 0.0;
+  for (var i: int = 0; i < 20000; i = i + 1) {
+    s = s + float(i) * 1.5 - 0.25;
+  }
+  output_f(s);
+}
+)mc";
+
+constexpr const char* kMemoryKernel = R"mc(
+fn main() {
+  var n: int = 1024;
+  var a: float* = alloc_float(n);
+  for (var i: int = 0; i < n; i = i + 1) {
+    a[i] = float(i);
+  }
+  var s: float = 0.0;
+  for (var r: int = 0; r < 20; r = r + 1) {
+    for (var i: int = 0; i < n; i = i + 1) {
+      s = s + a[i];
+      a[i] = s * 0.5;
+    }
+  }
+  output_f(s);
+}
+)mc";
+
+void run_kernel(benchmark::State& state, const char* src, bool with_fpm) {
+  ir::Module m = minic::compile(src);
+  if (with_fpm) (void)passes::instrument_module(m);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    fpm::FpmRuntime fpm(0);
+    vm::Interp interp(m, 0, vm::InterpConfig{});
+    if (with_fpm) interp.set_fpm(&fpm);
+    if (interp.run(1ull << 30) != vm::RunState::Done) {
+      state.SkipWithError("kernel did not finish");
+    }
+    cycles = interp.cycles();
+  }
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+  state.counters["Minstr/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * 1e-6 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_VmArith(benchmark::State& state) {
+  run_kernel(state, kArithKernel, false);
+}
+BENCHMARK(BM_VmArith);
+
+void BM_VmArithFpm(benchmark::State& state) {
+  run_kernel(state, kArithKernel, true);
+}
+BENCHMARK(BM_VmArithFpm);
+
+void BM_VmMemory(benchmark::State& state) {
+  run_kernel(state, kMemoryKernel, false);
+}
+BENCHMARK(BM_VmMemory);
+
+void BM_VmMemoryFpm(benchmark::State& state) {
+  run_kernel(state, kMemoryKernel, true);
+}
+BENCHMARK(BM_VmMemoryFpm);
+
+void BM_MinicCompile(benchmark::State& state) {
+  const std::string src = apps::instantiate(apps::get_app("lulesh"));
+  for (auto _ : state) {
+    ir::Module m = minic::compile(src);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MinicCompile);
+
+void BM_InstrumentModule(benchmark::State& state) {
+  const std::string src = apps::instantiate(apps::get_app("lulesh"));
+  for (auto _ : state) {
+    ir::Module m = minic::compile(src);
+    auto sites = passes::instrument_module(m);
+    benchmark::DoNotOptimize(sites);
+  }
+}
+BENCHMARK(BM_InstrumentModule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

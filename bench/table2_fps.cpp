@@ -1,0 +1,87 @@
+// Table 2 — Fault propagation speed (FPS) factors: per application, the mean
+// and standard deviation of the per-run CML(t) slopes fitted by the §5
+// models, plus the model-validation error. FPS here is in corrupted memory
+// locations per mega-cycle of virtual time (the paper's CML/sec depends on
+// their testbed's wall clock; ordering and relative magnitude are the
+// comparable quantities).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/model/propagation_model.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 120);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::string only = args.get_str("app", "");
+
+  bench::print_header("Table 2", "fault propagation speed (FPS) factors");
+  std::printf("trials per application: %zu\n\n", trials);
+
+  TableWriter table({"App", "FPS (CML/Mcycle)", "SDev", "models",
+                     "xval err %"});
+  struct Row {
+    std::string app;
+    double fps;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& spec : apps::paper_apps()) {
+    if (!only.empty() && spec.name != only) continue;
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    cc.capture_traces = true;
+    cc.max_kept_traces = 8;
+    const harness::CampaignResult r = run_campaign(h, cc);
+
+    // Slopes are per-cycle; report per mega-cycle for readability.
+    std::vector<double> slopes_mc;
+    slopes_mc.reserve(r.slopes.size());
+    for (double s : r.slopes) slopes_mc.push_back(s * 1e6);
+    const model::FpsModel fps = model::aggregate_fps(slopes_mc);
+
+    // Validate the linear model on the kept traces (paper: errors within
+    // 0.5% of actual CML values).
+    RunningStat xval;
+    for (const auto& t : r.trials) {
+      if (t.trace.empty()) continue;
+      std::vector<double> xs;
+      std::vector<double> ys;
+      bool past_onset = false;
+      for (const auto& s : t.trace) {
+        past_onset = past_onset || s.cml > 0;
+        if (!past_onset) continue;
+        xs.push_back(static_cast<double>(s.cycle));
+        ys.push_back(static_cast<double>(s.cml));
+      }
+      if (xs.size() < 10) continue;
+      xval.add(100.0 * model::cross_validate_linear(xs, ys));
+    }
+
+    table.add_row({spec.name, format_double(fps.fps, 2),
+                   format_double(fps.stddev, 2),
+                   std::to_string(fps.num_models),
+                   format_double(xval.count() ? xval.mean() : 0.0, 2)});
+    rows.push_back({spec.name, fps.fps});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Paper Table 2 (CML/sec, their testbed) for shape comparison:\n");
+  std::printf("  LULESH 0.0147  LAMMPS 0.0025  MCB 0.0562  AMG2013 0.0144  "
+              "miniFE 0.0035\n");
+  std::printf(
+      "Shape to match: MCB highest; LULESH and AMG comparable mid-range and\n"
+      "well above LAMMPS and miniFE, inverting the robustness ranking a\n"
+      "black-box Fig. 6 analysis would suggest.\n");
+  return 0;
+}

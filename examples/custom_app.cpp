@@ -1,0 +1,91 @@
+// Bring your own application: write an MPI program in MiniC, hand it to the
+// framework, and get the full vulnerability analysis — no registry entry
+// needed. The example app is a 1D heat-diffusion solver with halo exchange.
+//
+//   $ ./custom_app [trials]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/model/propagation_model.h"
+
+using namespace fprop;
+
+// Jacobi heat diffusion on a distributed rod; the kind of app a framework
+// user would study. Anything expressible in MiniC works.
+constexpr const char* kHeatSource = R"mc(
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var n: int = 32;
+  var steps: int = 60;
+  var u: float* = alloc_float(n + 2);    // ghost cells at 0 and n+1
+  var un: float* = alloc_float(n + 2);
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  var acc: float* = alloc_float(1);
+  var tot: float* = alloc_float(1);
+
+  for (var i: int = 1; i <= n; i = i + 1) {
+    u[i] = sin(0.1 * float(rank * n + i)) + 1.0;
+  }
+
+  for (var s: int = 0; s < steps; s = s + 1) {
+    if (rank > 0) { sb[0] = u[1]; mpi_send_f(rank - 1, 1, sb, 1); }
+    if (rank < size - 1) { sb[0] = u[n]; mpi_send_f(rank + 1, 2, sb, 1); }
+    u[0] = u[1];
+    u[n + 1] = u[n];
+    if (rank > 0) { mpi_recv_f(rank - 1, 2, rb, 1); u[0] = rb[0]; }
+    if (rank < size - 1) { mpi_recv_f(rank + 1, 1, rb, 1); u[n + 1] = rb[0]; }
+    for (var i: int = 1; i <= n; i = i + 1) {
+      un[i] = u[i] + 0.25 * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+    }
+    for (var i: int = 1; i <= n; i = i + 1) { u[i] = un[i]; }
+  }
+
+  acc[0] = 0.0;
+  for (var i: int = 1; i <= n; i = i + 1) { acc[0] = acc[0] + u[i]; }
+  mpi_allreduce_sum_f(acc, tot, 1);
+  output_f(tot[0]);                       // total heat (conserved-ish)
+  for (var i: int = 1; i <= n; i = i + 4) { output_f(u[i]); }
+}
+)mc";
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 80;
+
+  apps::AppSpec spec;
+  spec.name = "heat";
+  spec.description = "user-provided 1D heat diffusion";
+  spec.source = kHeatSource;
+  spec.default_nranks = 4;
+
+  harness::ExperimentConfig config;
+  harness::AppHarness h(spec, config);
+  std::printf("custom app '%s': %u ranks, golden ran %llu instructions,\n"
+              "%zu injection sites instrumented\n",
+              spec.name.c_str(), h.nranks(),
+              static_cast<unsigned long long>(h.golden().global_cycles),
+              h.sites().size());
+
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.capture_traces = true;
+  cc.max_kept_traces = 2;
+  const harness::CampaignResult r = run_campaign(h, cc);
+  const auto& c = r.counts;
+  std::printf("\n%zu trials: V=%zu ONA=%zu WO=%zu PEX=%zu C=%zu\n",
+              c.total(), c.vanished, c.ona, c.wrong_output, c.pex, c.crashed);
+
+  const model::FpsModel fps = model::aggregate_fps(r.slopes);
+  std::printf("heat-diffusion FPS factor: %.3e CML/cycle (%zu models)\n",
+              fps.fps, fps.num_models);
+  std::printf(
+      "\nDiffusion smooths perturbations, so expect a large ONA share\n"
+      "(contaminated state, correct-looking output) — exactly the class of\n"
+      "silent corruption the paper's framework exists to expose.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Statistical fault-injection campaign on one proxy application (paper §4):
+// runs N single-fault trials with uniformly sampled injection points and
+// prints both the black-box outcome breakdown (Fig. 6 row) and the
+// propagation-aware V/ONA split that only the FPM framework can measure.
+//
+//   $ ./fault_campaign [app] [trials]
+//   $ ./fault_campaign lulesh 200
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const char* app = argc > 1 ? argv[1] : "lulesh";
+  const std::size_t trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+
+  harness::ExperimentConfig config;
+  harness::AppHarness h(apps::get_app(app), config);
+  std::printf("campaign: %s, %u ranks, %zu single-fault trials\n", app,
+              h.nranks(), trials);
+
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.capture_traces = false;
+  const harness::CampaignResult r = run_campaign(h, cc);
+  const auto& c = r.counts;
+
+  std::printf("\nblack-box view (output variation only):\n");
+  std::printf("  correct output (CO): %5.1f%%\n", c.pct(c.correct_output()));
+  std::printf("  wrong output   (WO): %5.1f%%\n", c.pct(c.wrong_output));
+  std::printf("  prolonged     (PEX): %5.1f%%\n", c.pct(c.pex));
+  std::printf("  crashed         (C): %5.1f%%\n", c.pct(c.crashed));
+
+  std::printf("\npropagation-aware view (the paper's contribution):\n");
+  std::printf("  vanished        (V): %5.1f%%  (masked before reaching memory)\n",
+              c.pct(c.vanished));
+  std::printf("  output-unaffected (ONA): %3.1f%%  (memory contaminated!)\n",
+              c.pct(c.ona));
+  if (c.correct_output() > 0) {
+    std::printf("  => %.1f%% of the 'correct' runs carry corrupted state\n",
+                100.0 * static_cast<double>(c.ona) /
+                    static_cast<double>(c.correct_output()));
+  }
+
+  double max_pct = 0.0;
+  for (double p : r.max_contaminated_pct) max_pct = std::max(max_pct, p);
+  std::printf("\nworst-case contamination: %.2f%% of application memory\n",
+              max_pct);
+
+  // Trace effects back to source constructs (what LLFI exists for): which
+  // instrumented instructions are the most dangerous to flip?
+  const auto sites = harness::site_breakdown(h, r);
+  std::printf("\nmost vulnerable injection sites (by WO+crash rate):\n");
+  std::size_t shown = 0;
+  for (const auto& s : sites) {
+    if (s.severity() == 0.0 || shown >= 5) break;
+    std::printf("  %5.1f%% bad (%zu trials)  @%s: %s\n", 100.0 * s.severity(),
+                s.counts.total(), s.function.c_str(), s.consumer.c_str());
+    ++shown;
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fault propagation modeling (paper §5): collects CML(t) traces from an
+// injection campaign, fits the per-run linear models CML(t) = a*t + b,
+// aggregates them into the application FPS factor, and uses it the way a
+// runtime fault-tolerance system would — to decide whether a detected fault
+// warrants rolling back to the last checkpoint (Eq. 3).
+//
+//   $ ./propagation_model [app] [trials]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/model/propagation_model.h"
+
+using namespace fprop;
+
+int main(int argc, char** argv) {
+  const char* app = argc > 1 ? argv[1] : "mcb";
+  const std::size_t trials =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+
+  harness::ExperimentConfig config;
+  harness::AppHarness h(apps::get_app(app), config);
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.capture_traces = true;
+  cc.max_kept_traces = 4;
+  const harness::CampaignResult r = run_campaign(h, cc);
+
+  // Per-run models from the kept traces.
+  std::printf("per-run propagation models (CML(t) = a*t + b):\n");
+  for (const auto& t : r.trials) {
+    if (t.trace.empty()) continue;
+    const model::TraceModel tm = model::model_trace(t.trace);
+    if (!tm.usable) continue;
+    std::printf(
+        "  outcome=%-3s  a=%.3e CML/cycle  inferred t_f=%.0f  final CML=%g\n",
+        harness::outcome_name(t.outcome), tm.rate.a, tm.inferred_tf,
+        tm.final_cml);
+  }
+
+  const model::FpsModel fps = model::aggregate_fps(r.slopes);
+  std::printf("\nFPS factor for %s: %.3e CML/cycle (sdev %.3e, %zu models)\n",
+              app, fps.fps, fps.stddev, fps.num_models);
+
+  // Runtime usage: a detector fired at t2 = golden/2; the last clean check
+  // was one detection interval earlier. Should we roll back?
+  const double t2 = static_cast<double>(h.golden().global_cycles) / 2.0;
+  const double t1 = t2 - 250'000.0;
+  const double t_end = static_cast<double>(h.golden().global_cycles);
+  const double threshold =
+      0.01 * static_cast<double>(h.golden().total_allocated_words);
+
+  std::printf("\nscenario: fault detected at t2=%.0f (clean at t1=%.0f)\n",
+              t2, t1);
+  std::printf("Eq. 3 bound: max CML in (t1,t2) = %.1f, avg = %.1f\n",
+              model::max_cml_estimate(fps.fps, t1, t2),
+              model::avg_cml_estimate(fps.fps, t1, t2));
+  const model::RollbackDecision d =
+      model::advise_rollback(fps.fps, t1, t2, t_end, threshold);
+  std::printf("predicted CML at end of run: %.1f (safe threshold %.1f)\n",
+              d.predicted_cml_at_end, threshold);
+  std::printf("advice: %s\n",
+              d.rollback ? "ROLL BACK to the last checkpoint"
+                         : "keep running (contamination stays below threshold)");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+// Proxy-application registry.
+//
+// The paper evaluates LULESH, LAMMPS, miniFE, AMG2013 and MCB. We carry
+// MiniC proxies that preserve the algorithmic trait each propagation profile
+// is attributed to (DESIGN.md §2): iterative state reuse, halo exchange,
+// sparse assembly + Krylov solve with residual checks, multigrid phase
+// structure, and Monte Carlo particle exchange. `matvec` is the Fig. 1
+// pedagogical example.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::apps {
+
+struct AppSpec {
+  std::string name;
+  std::string description;
+  std::string source;  ///< MiniC, possibly containing @KEY@ placeholders
+  std::map<std::string, std::string> defaults;  ///< placeholder values
+  std::uint32_t default_nranks = 8;
+};
+
+/// All five paper applications (not matvec), in the paper's Fig. 6 order.
+const std::vector<AppSpec>& paper_apps();
+
+/// Lookup by name ("matvec", "lulesh", "lammps", "minife", "amg", "mcb").
+/// Throws Error for unknown names.
+const AppSpec& get_app(std::string_view name);
+
+/// Substitutes @KEY@ placeholders: spec defaults first, then `overrides`.
+/// Throws Error if a placeholder remains unresolved.
+std::string instantiate(const AppSpec& spec,
+                        const std::map<std::string, std::string>& overrides = {});
+
+/// Convenience: instantiate + compile to MiniIR (uninstrumented).
+ir::Module compile_app(const AppSpec& spec,
+                       const std::map<std::string, std::string>& overrides = {});
+
+}  // namespace fprop::apps

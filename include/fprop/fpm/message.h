@@ -1,0 +1,48 @@
+#pragma once
+
+// MPI message contamination header (paper §3.2 "MPI communications", Fig. 4).
+//
+// A contaminated word at sender address α maps to a different receiver
+// address β, so addresses cannot travel in the message. Instead the sender
+// attaches, per contaminated word in the payload, its *displacement* from
+// the start of the buffer plus its pristine value; the receiver rebases the
+// displacements onto its own buffer address and installs the records into
+// its shadow table.
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/fpm/shadow_table.h"
+
+namespace fprop::fpm {
+
+struct ContaminationRecord {
+  std::uint64_t displacement_words = 0;  ///< word offset from buffer start
+  std::uint64_t pristine_bits = 0;       ///< fault-free value of that word
+};
+
+/// Header prepended (logically) to every simulated MPI message.
+struct MessageHeader {
+  std::vector<ContaminationRecord> records;
+
+  bool contaminated() const noexcept { return !records.empty(); }
+  std::size_t count() const noexcept { return records.size(); }
+};
+
+/// Sender side: scans the payload range [buf, buf + count words) in the
+/// sender's shadow table and builds the header (Fig. 4, left).
+MessageHeader build_header(const ShadowTable& sender, std::uint64_t buf_addr,
+                           std::uint64_t count_words);
+
+/// Receiver side: the payload has been copied to `buf_addr` in the receiver's
+/// memory. Heals the whole destination range (the copy overwrote whatever
+/// contamination was there), then installs each record at
+/// buf_addr + displacement (Fig. 4, right).
+void install_header(ShadowTable& receiver, std::uint64_t buf_addr,
+                    std::uint64_t count_words, const MessageHeader& header);
+
+/// Serialized wire size of the header in words (1 count word + 2 per record);
+/// used by benches that report instrumentation bandwidth overhead.
+std::uint64_t header_wire_words(const MessageHeader& header) noexcept;
+
+}  // namespace fprop::fpm

@@ -1,0 +1,94 @@
+#pragma once
+
+// Per-rank FPM runtime: shadow table + CML(t) trace sampling + store-check
+// bookkeeping. This is the "runtime checker/tracker" half of the paper's
+// fault propagation module; the compiler half is passes/DualChainPass.
+//
+// The runtime is pure bookkeeping over (address, value) pairs — the VM owns
+// all memory accesses and passes the values it read/wrote. This keeps the
+// layering acyclic (fpm does not depend on vm).
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/fpm/shadow_table.h"
+
+namespace fprop::fpm {
+
+/// One CML(t) sample: virtual time (executed instructions on this rank) and
+/// the shadow-table size at that instant.
+struct TraceSample {
+  std::uint64_t cycle = 0;
+  std::uint64_t cml = 0;
+};
+
+struct FpmStats {
+  std::uint64_t stores_checked = 0;    ///< fpm_store executions
+  std::uint64_t stores_divergent = 0;  ///< primary != pristine at store
+  std::uint64_t heals = 0;             ///< contaminated location re-pristined
+  std::uint64_t wild_stores = 0;       ///< store address != pristine address
+  std::uint64_t fetches = 0;           ///< fpm_fetch executions
+  std::uint64_t fetch_hits = 0;        ///< fetches that hit the shadow table
+};
+
+class FpmRuntime {
+ public:
+  /// `sample_period` = cycles between CML(t) trace samples (0 = no trace).
+  explicit FpmRuntime(std::uint64_t sample_period = 0)
+      : sample_period_(sample_period) {}
+
+  ShadowTable& shadow() noexcept { return shadow_; }
+  const ShadowTable& shadow() const noexcept { return shadow_; }
+  const FpmStats& stats() const noexcept { return stats_; }
+  const std::vector<TraceSample>& trace() const noexcept { return trace_; }
+
+  /// fpm_fetch: pristine value of `addr_p` whose actual memory content is
+  /// `actual` (already loaded by the VM).
+  std::uint64_t fetch(std::uint64_t addr_p, std::uint64_t actual) {
+    ++stats_.fetches;
+    auto p = shadow_.lookup(addr_p);
+    if (p) {
+      ++stats_.fetch_hits;
+      return *p;
+    }
+    return actual;
+  }
+
+  /// fpm_store bookkeeping (paper §3.2, including the "Store addresses"
+  /// duplicate-effect case). The VM has already performed the primary write
+  /// of `val` to `addr`.
+  ///
+  ///  val / val_p        primary / pristine value being stored
+  ///  addr / addr_p      primary / pristine destination address
+  ///  old_pristine_addr  pristine content `addr` held *before* the write
+  ///  mem_at_addr_p      current memory content at addr_p (valid only when
+  ///                     addr != addr_p and have_addr_p_content)
+  void on_store(std::uint64_t val, std::uint64_t val_p, std::uint64_t addr,
+                std::uint64_t addr_p, std::uint64_t old_pristine_addr,
+                std::uint64_t mem_at_addr_p, bool have_addr_p_content);
+
+  /// Advances the virtual clock; appends a trace sample when the sampling
+  /// period elapses. Called by the VM once per executed instruction.
+  void tick(std::uint64_t cycle) {
+    if (sample_period_ != 0 && cycle >= next_sample_) {
+      trace_.push_back({cycle, shadow_.size()});
+      next_sample_ = cycle + sample_period_;
+    }
+  }
+
+  /// Forces a final trace sample (end of run / at trap).
+  void flush_trace(std::uint64_t cycle) {
+    if (sample_period_ != 0) trace_.push_back({cycle, shadow_.size()});
+  }
+
+  std::uint64_t sample_period() const noexcept { return sample_period_; }
+
+ private:
+  ShadowTable shadow_;
+  FpmStats stats_;
+  std::vector<TraceSample> trace_;
+  std::uint64_t sample_period_;
+  std::uint64_t next_sample_ = 0;
+};
+
+}  // namespace fprop::fpm

@@ -1,0 +1,75 @@
+#pragma once
+
+// The FPM runtime checker's central data structure (paper §3.2): a hash table
+// mapping each *contaminated* memory location (8-byte word, byte-addressed)
+// to its pristine value — the value the location would hold in a fault-free
+// execution. The table size at any instant is the number of Corrupted Memory
+// Locations (CML), the quantity plotted in Fig. 7 and modelled in §5.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace fprop::fpm {
+
+class ShadowTable {
+ public:
+  /// Pristine value of `addr` if contaminated, otherwise nullopt.
+  std::optional<std::uint64_t> lookup(std::uint64_t addr) const {
+    auto it = table_.find(addr);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Pristine value of `addr`, falling back to the actual memory content
+  /// (a non-contaminated location's pristine value IS its content).
+  std::uint64_t pristine_or(std::uint64_t addr,
+                            std::uint64_t actual) const {
+    auto it = table_.find(addr);
+    return it == table_.end() ? actual : it->second;
+  }
+
+  /// Marks `addr` contaminated with the given pristine value.
+  void record(std::uint64_t addr, std::uint64_t pristine) {
+    table_.insert_or_assign(addr, pristine);
+    if (table_.size() > peak_) peak_ = table_.size();
+  }
+
+  /// Removes `addr` from the table: a store wrote the pristine value back
+  /// (Table 1 row 4 — an operation masked the corruption), so the location
+  /// is no longer corrupted. Without healing, CML would be overestimated,
+  /// the exact pitfall §3.2 warns about.
+  void heal(std::uint64_t addr) { table_.erase(addr); }
+
+  bool contaminated(std::uint64_t addr) const {
+    return table_.find(addr) != table_.end();
+  }
+
+  /// Current CML count.
+  std::size_t size() const noexcept { return table_.size(); }
+  bool empty() const noexcept { return table_.empty(); }
+  /// Maximum CML ever reached (Fig. 7f).
+  std::size_t peak() const noexcept { return peak_; }
+
+  /// Contaminated words with addr in [lo, hi), as (addr, pristine) pairs
+  /// sorted by address. Used to build MPI message headers (Fig. 4).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> in_range(
+      std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Heals every word in [lo, hi). Used when a buffer is overwritten
+  /// wholesale (e.g. by a received message) before re-recording.
+  void heal_range(std::uint64_t lo, std::uint64_t hi);
+
+  void clear() { table_.clear(); }
+
+  const std::unordered_map<std::uint64_t, std::uint64_t>& entries() const {
+    return table_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace fprop::fpm

@@ -1,0 +1,53 @@
+#pragma once
+
+// Naive taint propagation — the strawman the paper argues against (§3.2):
+// "the general assumption that the output of an instruction becomes
+// corrupted if at least one of the inputs is corrupted could lead to large
+// overestimation of the number of corrupted memory locations."
+//
+// This runtime implements exactly that assumption: a bit, not a value, per
+// register and per memory word. It cannot observe masking (Table 1 row 4:
+// a >> 2 discarding the flipped bit still taints the result), so its CML
+// counts upper-bound the dual-chain truth. The ablation bench
+// (`bench/ablation_taint`) quantifies the overestimation per application —
+// the measurement that justifies the dual-chain design.
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace fprop::fpm {
+
+class TaintRuntime {
+ public:
+  bool location(std::uint64_t addr) const {
+    return tainted_.find(addr) != tainted_.end();
+  }
+
+  void set_location(std::uint64_t addr, bool tainted) {
+    if (tainted) {
+      tainted_.insert(addr);
+      if (tainted_.size() > peak_) peak_ = tainted_.size();
+    } else {
+      tainted_.erase(addr);
+    }
+  }
+
+  /// Marks every word in [lo, hi) (local collective copies).
+  void set_range(std::uint64_t lo, std::uint64_t hi, bool tainted) {
+    for (std::uint64_t a = lo; a < hi; a += 8) set_location(a, tainted);
+  }
+
+  /// Current / maximum number of tainted memory words ("naive CML").
+  std::size_t size() const noexcept { return tainted_.size(); }
+  std::size_t peak() const noexcept { return peak_; }
+
+  void note_injection() noexcept { ++injections_; }
+  std::uint64_t injections() const noexcept { return injections_; }
+
+ private:
+  std::unordered_set<std::uint64_t> tainted_;
+  std::size_t peak_ = 0;
+  std::uint64_t injections_ = 0;
+};
+
+}  // namespace fprop::fpm

@@ -1,0 +1,186 @@
+#pragma once
+
+// Experiment harness: instruments an application, captures its golden
+// (fault-free) run, executes injection trials, and classifies outcomes into
+// the paper's categories (§2):
+//
+//   Vanished (V)              masked before reaching memory; correct output
+//   Output Not Affected (ONA) memory contaminated; output still correct
+//   Wrong Output (WO)         output corrupted / app reports failure
+//   Prolonged Execution (PEX) correct output after extra work
+//   Crashed (C)               trap, hang, deadlock or MPI abort
+//
+// CO (Correct Output) = V + ONA, what a black-box analysis would report.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/fpm/runtime.h"
+#include "fprop/inject/injector.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/passes/passes.h"
+
+namespace fprop::harness {
+
+enum class Outcome : std::uint8_t {
+  Vanished,
+  OutputNotAffected,
+  WrongOutput,
+  ProlongedExecution,
+  Crashed,
+};
+
+const char* outcome_name(Outcome o) noexcept;
+
+struct ClassifierConfig {
+  /// Per-element relative output tolerance (the paper uses 5 %).
+  double tolerance = 0.05;
+  /// Runs longer than golden by this factor (with correct output) are PEX.
+  double time_factor = 1.10;
+};
+
+struct ExperimentConfig {
+  std::uint32_t nranks = 0;  ///< 0 = app default
+  std::map<std::string, std::string> overrides;  ///< @KEY@ substitutions
+  passes::InjectTargets targets;  ///< instruction classes to instrument
+  std::uint64_t rank_sample_period = 2048;   ///< per-rank CML trace
+  std::uint64_t global_sample_period = 512;  ///< job CML trace (Fig. 7)
+  std::uint64_t slice = 256;                 ///< scheduler quantum
+  std::uint64_t rng_seed = 0x5eedf00d;       ///< app rand01() streams
+  double budget_factor = 8.0;  ///< trial cycle budget = golden x factor
+  ClassifierConfig classifier;
+};
+
+/// Fault-free reference execution; doubles as the LLFI++ profiling run that
+/// counts dynamic injection points per rank.
+struct GoldenRun {
+  std::vector<double> outputs;
+  std::int64_t reported_iters = -1;
+  std::uint64_t max_rank_cycles = 0;
+  std::uint64_t global_cycles = 0;
+  std::uint64_t total_allocated_words = 0;
+  inject::DynCounts dyn_counts;
+  std::uint64_t total_dyn_points = 0;
+};
+
+struct TrialResult {
+  Outcome outcome = Outcome::Vanished;
+  vm::Trap trap = vm::Trap::None;
+  bool injected = false;  ///< at least one planned flip actually fired
+  inject::InjectionEvent injection;  ///< first injection event (if any)
+  std::uint64_t total_cml_final = 0;
+  std::uint64_t total_cml_peak = 0;
+  double contaminated_pct = 0.0;  ///< peak CML / allocated words, in %
+  std::size_t contaminated_ranks = 0;
+  std::int64_t reported_iters = -1;
+  std::uint64_t global_cycles = 0;
+  /// Job-wide CML(t) (present when capture_trace was requested).
+  std::vector<fpm::TraceSample> trace;
+  /// Per-rank first-contamination times on the global clock (Fig. 8).
+  std::vector<std::optional<std::uint64_t>> rank_first_contaminated;
+};
+
+class AppHarness {
+ public:
+  AppHarness(const apps::AppSpec& spec, ExperimentConfig config);
+
+  const GoldenRun& golden() const noexcept { return golden_; }
+  const ExperimentConfig& config() const noexcept { return config_; }
+  std::uint32_t nranks() const noexcept { return nranks_; }
+  const ir::Module& module() const noexcept { return module_; }
+  const std::vector<passes::InjectionSite>& sites() const noexcept {
+    return sites_;
+  }
+  const std::string& app_name() const noexcept { return name_; }
+
+  /// Runs one injection trial and classifies it against the golden run.
+  TrialResult run_trial(const inject::InjectionPlan& plan,
+                        bool capture_trace = false) const;
+
+  /// Classifies an arbitrary job result (exposed for tests).
+  Outcome classify(const mpisim::JobResult& job, bool memory_was_touched)
+      const;
+
+ private:
+  mpisim::WorldConfig world_config(bool tracing) const;
+
+  std::string name_;
+  ExperimentConfig config_;
+  std::uint32_t nranks_;
+  ir::Module module_;  ///< instrumented (LLFI++ + FPM)
+  std::vector<passes::InjectionSite> sites_;
+  GoldenRun golden_;
+};
+
+/// Outcome counters for a campaign (Fig. 6 row).
+struct OutcomeCounts {
+  std::size_t vanished = 0;
+  std::size_t ona = 0;
+  std::size_t wrong_output = 0;
+  std::size_t pex = 0;
+  std::size_t crashed = 0;
+
+  std::size_t total() const noexcept {
+    return vanished + ona + wrong_output + pex + crashed;
+  }
+  std::size_t correct_output() const noexcept { return vanished + ona; }
+  double pct(std::size_t n) const noexcept {
+    return total() == 0 ? 0.0
+                        : 100.0 * static_cast<double>(n) /
+                              static_cast<double>(total());
+  }
+};
+
+struct CampaignConfig {
+  std::size_t trials = 300;
+  std::uint64_t seed = 42;
+  bool capture_traces = false;
+  /// Keep at most this many full traces (memory bound); slopes are still
+  /// extracted from every trace.
+  std::size_t max_kept_traces = 16;
+  /// Faults per run (1 = the paper's main campaign; >1 exercises the
+  /// LLFI++ multi-fault extension).
+  std::size_t faults_per_run = 1;
+};
+
+struct CampaignResult {
+  OutcomeCounts counts;
+  std::vector<TrialResult> trials;  ///< traces stripped beyond the kept ones
+  std::vector<double> slopes;       ///< CML/cycle fit per usable trace
+  std::vector<double> max_contaminated_pct;  ///< per trial (Fig. 7f)
+};
+
+/// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds
+/// derived from `config.seed`.
+CampaignResult run_campaign(const AppHarness& harness,
+                            const CampaignConfig& config);
+
+/// Per-static-site vulnerability aggregation: LLFI's raison d'etre is
+/// tracing fault effects back to the source construct, so campaigns can be
+/// folded per injection site to rank the most fragile instructions.
+struct SiteVulnerability {
+  std::int64_t site_id = -1;
+  std::string consumer;   ///< textual form of the instrumented instruction
+  std::string function;
+  OutcomeCounts counts;
+  double mean_contaminated_pct = 0.0;
+
+  /// Fraction of this site's trials that ended badly (WO or crash).
+  double severity() const noexcept {
+    const std::size_t n = counts.total();
+    return n == 0 ? 0.0
+                  : static_cast<double>(counts.wrong_output + counts.crashed) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Folds a campaign per site, most severe first (requires single-fault
+/// campaigns; trials whose fault never fired are skipped).
+std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
+                                              const CampaignResult& result);
+
+}  // namespace fprop::harness

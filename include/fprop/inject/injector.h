@@ -1,0 +1,123 @@
+#pragma once
+
+// LLFI++ runtime half (paper §3.1). The FaultInjectionPass plants `fim_inj`
+// sites; this runtime decides, per rank, at which *dynamic* execution of a
+// site to flip which bit of the live register value.
+//
+// Campaign methodology (Fig. 5): a fault-free *profiling* run counts the
+// dynamic injection points per rank; a plan then draws the target dynamic
+// index uniformly from [0, count), which yields the uniform-in-time coverage
+// the paper verifies with a chi-squared test. LLFI++ extends LLFI with
+// multi-process plans: zero or more faults per MPI rank per run.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fprop/support/rng.h"
+#include "fprop/vm/hooks.h"
+
+namespace fprop::inject {
+
+/// One planned bit flip: at the `dyn_index`-th executed fim_inj on the rank,
+/// flip `bit` (0..63) of the live value.
+struct FaultRecord {
+  std::uint64_t dyn_index = 0;
+  std::uint32_t bit = 0;
+};
+
+/// Faults to inject per rank in one run. Ranks not present receive no direct
+/// faults (they may still be contaminated through messages — the paper's
+/// "indirect faults").
+struct InjectionPlan {
+  std::map<std::uint32_t, std::vector<FaultRecord>> faults_by_rank;
+
+  static InjectionPlan single(std::uint32_t rank, std::uint64_t dyn_index,
+                              std::uint32_t bit);
+  std::size_t total_faults() const noexcept;
+};
+
+/// A fault that was actually injected during execution.
+struct InjectionEvent {
+  std::uint32_t rank = 0;
+  std::int64_t site_id = 0;    ///< static site (maps back to source construct)
+  std::uint64_t dyn_index = 0;
+  std::uint32_t bit = 0;
+  std::uint64_t cycle = 0;     ///< virtual time of the flip
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+};
+
+/// Per-rank dynamic injection-point counts measured by a profiling run.
+using DynCounts = std::vector<std::uint64_t>;  // index = rank
+
+class InjectorRuntime final : public vm::InjectHook {
+ public:
+  /// Counting mode: no faults, just tallies dynamic points per rank.
+  InjectorRuntime() = default;
+  explicit InjectorRuntime(InjectionPlan plan);
+
+  std::uint64_t on_fim_inj(vm::Interp& self, std::uint64_t value,
+                           std::int64_t site_id, unsigned width) override;
+
+  /// Dynamic fim_inj executions observed on `rank` so far.
+  std::uint64_t dynamic_points(std::uint32_t rank) const;
+  DynCounts dynamic_counts(std::uint32_t nranks) const;
+  const std::vector<InjectionEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  struct PerRank {
+    std::uint64_t counter = 0;
+    std::vector<FaultRecord> pending;  ///< sorted by dyn_index
+    std::size_t next = 0;
+  };
+  PerRank& rank_state(std::uint32_t rank);
+
+  std::map<std::uint32_t, PerRank> ranks_;
+  std::vector<InjectionEvent> events_;
+};
+
+/// Fig. 5 support: given a set of sampled (rank, dyn_index) injection
+/// points, one instrumented fault-free run with this hook attached records
+/// the virtual time at which each point executes — i.e. when the fault
+/// *would* be injected — without running one trial per sample.
+class CycleProbe final : public vm::InjectHook {
+ public:
+  /// `samples[rank]` = dynamic indices to probe on that rank (any order).
+  explicit CycleProbe(std::map<std::uint32_t,
+                               std::vector<std::uint64_t>> samples);
+
+  std::uint64_t on_fim_inj(vm::Interp& self, std::uint64_t value,
+                           std::int64_t site_id, unsigned width) override;
+
+  /// (rank, rank-local cycle) for every probed point, in no particular
+  /// order (duplicated indices contribute once per duplicate). The rank is
+  /// kept so injection times can be normalized by each rank's own duration.
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>>& samples()
+      const noexcept {
+    return samples_;
+  }
+
+ private:
+  struct PerRank {
+    std::uint64_t counter = 0;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> targets;  // idx,mult
+    std::size_t next = 0;
+  };
+  std::map<std::uint32_t, PerRank> ranks_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> samples_;
+};
+
+/// Draws the paper's per-run plan: pick a rank uniformly at random, then a
+/// dynamic index uniformly within that rank's count, then a bit uniformly in
+/// [0, 64). Ranks with zero points are excluded.
+InjectionPlan sample_single_fault(const DynCounts& counts, Xoshiro256& rng);
+
+/// LLFI++ multi-fault extension: `nfaults` independent single-fault draws
+/// merged into one plan (several may land on the same rank).
+InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
+                            Xoshiro256& rng);
+
+}  // namespace fprop::inject

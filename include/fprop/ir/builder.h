@@ -1,0 +1,73 @@
+#pragma once
+
+// Convenience builder for constructing MiniIR, used by the MiniC code
+// generator, the instrumentation passes, and tests.
+
+#include <initializer_list>
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::ir {
+
+class Builder {
+ public:
+  explicit Builder(Function& f) : f_(&f) {}
+
+  /// Creates a new block and returns its id (does not change insertion point).
+  BlockId new_block();
+  void set_insert_point(BlockId b) { cur_ = b; }
+  BlockId insert_point() const noexcept { return cur_; }
+  Function& function() noexcept { return *f_; }
+
+  Reg new_reg(Type t) { return f_->add_reg(t); }
+
+  // --- Constants / copies -------------------------------------------------
+  Reg const_i(std::int64_t v);
+  Reg const_f(double v);
+  Reg mov(Reg src);
+  /// Copies into an existing register (variable assignment in the frontend).
+  void mov_to(Reg dst, Reg src);
+
+  // --- Arithmetic ---------------------------------------------------------
+  /// Emits a binary op; result type inferred from the opcode.
+  Reg binop(Opcode op, Reg a, Reg b);
+  Reg unop(Opcode op, Reg a);
+  Reg i2f(Reg a);
+  Reg f2i(Reg a);
+
+  // --- Memory -------------------------------------------------------------
+  Reg load(Type t, Reg addr);
+  void store(Reg val, Reg addr);
+  Reg ptr_add(Reg base, Reg index);
+
+  // --- Control flow -------------------------------------------------------
+  void jmp(BlockId target);
+  void br(Reg cond, BlockId if_true, BlockId if_false);
+  void ret();
+  void ret(Reg value);
+
+  // --- Calls --------------------------------------------------------------
+  Reg call(FuncId callee, std::vector<Reg> args, Type result_type);
+  Reg intrinsic(IntrinsicId id, std::vector<Reg> args);
+
+  /// Appends a fully-formed instruction (used by the passes).
+  void emit(Instr in);
+
+  /// True if the current block already ends in a terminator.
+  bool block_terminated() const;
+
+ private:
+  Instr make(Opcode op, Type t, Reg dst,
+             std::initializer_list<Reg> operands) const;
+
+  Function* f_;
+  BlockId cur_ = 0;
+};
+
+/// Result type of a binary/unary opcode (I64 for integer ops and comparisons,
+/// F64 for float ops, Ptr for PtrAdd).
+Type opcode_result_type(Opcode op) noexcept;
+/// Operand type expected by a binary/unary opcode.
+Type opcode_operand_type(Opcode op) noexcept;
+
+}  // namespace fprop::ir

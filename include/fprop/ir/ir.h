@@ -1,0 +1,206 @@
+#pragma once
+
+// MiniIR: a typed, register-based compiler intermediate representation.
+//
+// This plays the role LLVM IR plays in the paper: the fault-injection pass
+// (LLFI++, Fig. 3b) and the dual-chain fault-propagation pass (FPM, Fig. 3c)
+// are implemented as transformations over this IR, and the transformed IR is
+// executed by the MiniVM interpreter.
+//
+// Design notes (see DESIGN.md §5):
+//  * Functions own a flat, typed virtual register file; instructions read and
+//    write registers directly (no SSA/phi). This matches the paper's diagrams
+//    (`r1`/`r1p`) and makes the shadow-register mapping of the dual-chain
+//    pass a simple Reg -> Reg table.
+//  * All values are 64-bit (i64 / f64 / ptr); a "memory location" in the CML
+//    metric is one 8-byte word.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fprop/support/error.h"
+
+namespace fprop::ir {
+
+using Reg = std::uint32_t;
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+
+inline constexpr Reg kNoReg = 0xffffffffu;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+inline constexpr FuncId kNoFunc = 0xffffffffu;
+
+enum class Type : std::uint8_t { Void, I64, F64, Ptr };
+
+const char* type_name(Type t) noexcept;
+
+enum class Opcode : std::uint8_t {
+  // Constants and copies.
+  ConstI,  // dst = imm (i64)
+  ConstF,  // dst = fimm (f64)
+  Mov,     // dst = a (any type)
+
+  // Integer arithmetic (i64). Div/Rem trap on zero divisor, like hardware.
+  AddI, SubI, MulI, DivI, RemI,
+  AndI, OrI, XorI, ShlI, ShrI,  // ShrI is a logical shift; counts are masked to 63
+  NegI, NotI,
+
+  // Floating-point arithmetic (f64, IEEE-754 semantics; NaN propagates).
+  AddF, SubF, MulF, DivF, NegF,
+
+  // Comparisons produce i64 0/1.
+  EqI, NeI, LtI, LeI, GtI, GeI,
+  EqF, NeF, LtF, LeF, GtF, GeF,
+  EqP, NeP,
+
+  // Conversions.
+  I2F,  // dst(f64) = (double) a(i64)
+  F2I,  // dst(i64) = trunc toward zero; saturates at i64 range, traps on NaN
+
+  // Memory. Addresses are byte addresses; accesses are 8 bytes, 8-aligned.
+  Load,    // dst = mem[a], type = instr.type
+  Store,   // mem[b] = a
+  PtrAdd,  // dst(ptr) = a(ptr) + b(i64) * 8   -- word indexing
+
+  // Control flow (block terminators).
+  Jmp,  // goto t1
+  Br,   // if a != 0 goto t1 else goto t2
+  Ret,  // return args[0] (and args[1] = pristine twin in dual-chain funcs)
+
+  // Calls. args = actual parameters; dst / dst2 receive the (primary,
+  // pristine) results for dual-chain callees.
+  Call,
+  Intrinsic,  // runtime/builtin call; id in `intr`
+
+  // Instrumentation inserted by the passes (never written by the frontend).
+  FimInj,    // dst = fim_inj(a): maybe flip one bit (LLFI++ site id in imm)
+  FpmFetch,  // dst = pristine value at address a (shadow table else memory)
+  FpmStore,  // store a to mem[c] AND update shadow table; b = pristine value,
+             // d = pristine address (handles corrupted store addresses)
+};
+
+const char* opcode_name(Opcode op) noexcept;
+
+/// Runtime builtins callable from MiniC. Pure intrinsics are replicated onto
+/// the secondary chain by the dual-chain pass (the paper's sin() example);
+/// impure ones are executed once and their results are born pristine.
+enum class IntrinsicId : std::uint8_t {
+  // Pure math (f64 -> f64 unless noted).
+  Sqrt, Fabs, Exp, Log, Sin, Cos, Pow /* 2 args */, Floor,
+  FMin, FMax,  // 2 args
+  IMin, IMax,  // 2 args, i64
+
+  // Memory management (impure; not replicated, per §3.2 "Function Calls").
+  Alloc,  // dst(ptr) = allocate args[0] (i64) words, zero-initialized
+
+  // Program output and progress reporting (impure).
+  OutputF,      // append f64 to this rank's output vector
+  OutputI,      // append i64 (stored as f64) to this rank's output vector
+  ReportIters,  // record solver iteration count (PEX detection)
+
+  // Deterministic per-rank randomness and virtual time (impure).
+  Rand01,  // dst(f64) in [0,1)
+  Clock,   // dst(i64) = executed instructions on this rank
+
+  // Message passing (impure). Buffers are f64 arrays.
+  MpiRank, MpiSize,
+  MpiSendF,   // (dest, tag, buf, count)
+  MpiRecvF,   // (src, tag, buf, count)
+  MpiIsendF,  // (dest, tag, buf, count) -> request handle (i64)
+  MpiIrecvF,  // (src, tag, buf, count) -> request handle (i64)
+  MpiWait,    // (request): blocks until the request completes
+  MpiAllreduceSumF,  // (sendbuf, recvbuf, count)
+  MpiAllreduceMaxF,  // (sendbuf, recvbuf, count)
+  MpiBcastF,  // (root, buf, count)
+  MpiBarrier,
+  MpiAbort,  // (code)
+};
+
+const char* intrinsic_name(IntrinsicId id) noexcept;
+/// True if the intrinsic has no side effects and can be re-executed on the
+/// pristine operands by the dual-chain pass.
+bool intrinsic_is_pure(IntrinsicId id) noexcept;
+/// Number of value arguments the intrinsic expects.
+unsigned intrinsic_arity(IntrinsicId id) noexcept;
+/// Result type (Type::Void if none).
+Type intrinsic_result_type(IntrinsicId id) noexcept;
+
+struct Instr {
+  Opcode op{};
+  Type type = Type::Void;  ///< result type / memory access type
+  /// FimInj only: width of the live value in bits. Registers holding
+  /// booleans (LLVM i1 analogues) are 1; everything else is 64. LLFI flips
+  /// a bit within the register's type width.
+  std::uint8_t inj_width = 64;
+  Reg dst = kNoReg;
+  Reg dst2 = kNoReg;  ///< second result (pristine) for dual-chain calls
+  std::array<Reg, 4> ops{kNoReg, kNoReg, kNoReg, kNoReg};
+  std::uint8_t nops = 0;
+  std::int64_t imm = 0;   ///< ConstI payload; FimInj static site id
+  double fimm = 0.0;      ///< ConstF payload
+  BlockId t1 = kNoBlock;  ///< Jmp/Br target
+  BlockId t2 = kNoBlock;  ///< Br else-target
+  FuncId callee = kNoFunc;
+  IntrinsicId intr{};
+  std::vector<Reg> args;  ///< Call/Intrinsic arguments; Ret values
+
+  Reg a() const noexcept { return ops[0]; }
+  Reg b() const noexcept { return ops[1]; }
+  Reg c() const noexcept { return ops[2]; }
+  Reg d() const noexcept { return ops[3]; }
+};
+
+/// True for integer/float arithmetic, comparisons and conversions — the
+/// instruction class the paper's LLFI++ configuration targets for injection
+/// and the dual-chain pass replicates.
+bool is_arith(Opcode op) noexcept;
+bool is_terminator(Opcode op) noexcept;
+bool has_result(const Instr& in) noexcept;
+
+struct BasicBlock {
+  std::vector<Instr> code;
+};
+
+struct Function {
+  std::string name;
+  FuncId id = kNoFunc;
+  Type ret_type = Type::Void;
+  std::vector<Reg> params;            ///< registers receiving the arguments
+  std::vector<Type> reg_types;        ///< virtual register file
+  std::vector<BasicBlock> blocks;     ///< block 0 is the entry
+  bool is_app_code = true;   ///< injection-eligible (paper: app code only)
+  bool dual_chain = false;   ///< FPM-transformed (2N params, pair return)
+  std::unordered_map<Reg, Reg> shadow_of;  ///< primary -> pristine (debug aid)
+
+  Reg add_reg(Type t) {
+    reg_types.push_back(t);
+    return static_cast<Reg>(reg_types.size() - 1);
+  }
+  Reg add_param(Type t) {
+    const Reg r = add_reg(t);
+    params.push_back(r);
+    return r;
+  }
+  Type reg_type(Reg r) const { return reg_types.at(r); }
+  std::size_t num_regs() const noexcept { return reg_types.size(); }
+};
+
+struct Module {
+  std::vector<Function> funcs;
+  std::unordered_map<std::string, FuncId> by_name;
+  FuncId entry = kNoFunc;
+
+  Function& add_function(std::string name, Type ret_type);
+  Function* find(std::string_view name);
+  const Function* find(std::string_view name) const;
+  Function& func(FuncId id) { return funcs.at(id); }
+  const Function& func(FuncId id) const { return funcs.at(id); }
+
+  /// Total static instruction count (for reporting).
+  std::size_t static_instr_count() const noexcept;
+};
+
+}  // namespace fprop::ir

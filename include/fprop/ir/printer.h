@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::ir {
+
+/// Renders one instruction in the paper's style, e.g.
+/// `r3 = mul.f64 r1, r2`, `r1f = fim_inj(r1) #site=4`,
+/// `fpm_store(r4, r4p, [r5], [r5p])`.
+std::string to_string(const Function& f, const Instr& in);
+
+/// Full textual dump of a function / module (stable; used by golden tests
+/// that reproduce the Fig. 3 transformation example).
+std::string to_string(const Function& f);
+std::string to_string(const Module& m);
+
+}  // namespace fprop::ir

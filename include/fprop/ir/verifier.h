@@ -1,0 +1,24 @@
+#pragma once
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::ir {
+
+/// Structural and type verification of a module. Throws VerifyError with a
+/// function/block/instruction locus on the first violation. Run after the
+/// frontend and after every pass: a mis-instrumented module would silently
+/// corrupt propagation results.
+///
+/// Checks, per function:
+///  * register indices within the register file; operand counts match opcode
+///  * operand/result types agree with the opcode (and with `type` for memory)
+///  * every block ends in exactly one terminator, placed last
+///  * branch targets exist
+///  * Call arity/types match the callee signature, including the dual-chain
+///    convention (2N params and two results when callee.dual_chain)
+///  * Ret values match the function return type (pair when dual_chain)
+///  * Intrinsic arity/result registers match the intrinsic table
+///  * entry function exists and takes no parameters
+void verify(const Module& m);
+
+}  // namespace fprop::ir

@@ -1,0 +1,96 @@
+#pragma once
+
+// MiniC abstract syntax tree.
+//
+// Types: `int` (i64), `float` (f64), `int*` / `float*` (word-indexed arrays
+// obtained from alloc_int / alloc_float). No implicit conversions; use the
+// cast expressions `int(e)` / `float(e)`.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fprop::minic {
+
+enum class TypeKind : std::uint8_t { Int, Float, IntPtr, FloatPtr };
+
+const char* type_kind_name(TypeKind t) noexcept;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  LogAnd, LogOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not, LogNot };
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    IntLit, FloatLit, Var, Binary, Unary, Call, Index, CastInt, CastFloat,
+  };
+  Kind kind{};
+  int line = 0;
+  int column = 0;
+
+  std::int64_t int_val = 0;   ///< IntLit
+  double float_val = 0.0;     ///< FloatLit
+  std::string name;           ///< Var / Call
+  BinOp bin_op{};             ///< Binary
+  UnOp un_op{};               ///< Unary
+  ExprPtr lhs;                ///< Binary lhs / Unary operand / Index base /
+                              ///< cast operand
+  ExprPtr rhs;                ///< Binary rhs / Index subscript
+  std::vector<ExprPtr> args;  ///< Call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    VarDecl,     // var name: type (= init)?
+    Assign,      // name = expr
+    IndexAssign, // base[index] = expr
+    If, While, For, Return, Break, Continue, ExprStmt, Block,
+  };
+  Kind kind{};
+  int line = 0;
+  int column = 0;
+
+  std::string name;          ///< VarDecl / Assign target
+  TypeKind var_type{};       ///< VarDecl
+  ExprPtr expr;              ///< init / value / condition / return value
+  ExprPtr index_base;        ///< IndexAssign base
+  ExprPtr index;             ///< IndexAssign subscript
+  std::vector<StmtPtr> body;       ///< If-then / While / For / Block
+  std::vector<StmtPtr> else_body;  ///< If-else
+  StmtPtr for_init;          ///< For
+  StmtPtr for_step;          ///< For
+};
+
+struct Param {
+  std::string name;
+  TypeKind type{};
+};
+
+struct FuncDecl {
+  std::string name;
+  std::vector<Param> params;
+  bool has_return = false;
+  TypeKind return_type{};
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<FuncDecl> functions;
+};
+
+/// Parses MiniC source into an AST; throws CompileError with location info.
+Program parse(std::string_view source);
+
+}  // namespace fprop::minic

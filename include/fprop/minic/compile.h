@@ -1,0 +1,20 @@
+#pragma once
+
+// MiniC -> MiniIR compilation entry point.
+
+#include <string_view>
+
+#include "fprop/ir/ir.h"
+#include "fprop/minic/ast.h"
+
+namespace fprop::minic {
+
+/// Compiles MiniC source into a verified MiniIR module. The program must
+/// define `fn main()` (no parameters, no return value); it becomes the
+/// module entry. Throws CompileError on lexical/syntactic/semantic errors.
+ir::Module compile(std::string_view source);
+
+/// Lowers an already-parsed program (used by tests that build ASTs).
+ir::Module codegen(const Program& program);
+
+}  // namespace fprop::minic

@@ -1,0 +1,47 @@
+#pragma once
+
+// MiniC lexer. MiniC is the small C-like language the proxy applications are
+// written in; it compiles to MiniIR (see minic/compile.h). Keeping a real
+// frontend (instead of hand-built IR) keeps the apps readable and makes the
+// instrumentation passes exercise realistic code shapes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fprop::minic {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident, IntLit, FloatLit,
+  // keywords
+  KwFn, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak, KwContinue,
+  KwInt, KwFloat,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, Arrow,
+  // operators
+  Assign,            // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+  AmpAmp, PipePipe, Bang,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       ///< identifier spelling
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`; throws CompileError on invalid input. Supports `//`
+/// line comments and decimal/float literals (with exponent).
+std::vector<Token> lex(std::string_view source);
+
+const char* token_name(Tok t) noexcept;
+
+}  // namespace fprop::minic

@@ -1,0 +1,101 @@
+#pragma once
+
+// Fault propagation models (paper §5).
+//
+// Each injected-run CML(t) trace is fitted with a piecewise profile that is
+// linear in its first sub-domain and constant in the second (Eq. 1:
+// CML(t) = a·t + b). The slope `a` of the linear part is the per-run
+// propagation rate; averaging over a campaign yields the application's
+// Fault Propagation Speed (FPS) factor with its standard deviation
+// (Table 2). Eq. 2 recovers the fault time from the intercept (b = -a·t_f);
+// Eq. 3 bounds the CML between two detector invocations.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fprop/fpm/runtime.h"
+#include "fprop/support/stats.h"
+
+namespace fprop::model {
+
+/// Ordinary least squares y = a·x + b.
+struct LinearFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+  std::size_t n = 0;
+};
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Piecewise fit: linear on [x0, knee], constant afterwards. The knee is
+/// chosen by exhaustive search minimizing total squared error.
+struct PiecewiseFit {
+  double a = 0.0;        ///< slope of the linear segment
+  double b = 0.0;        ///< intercept of the linear segment
+  double knee = 0.0;     ///< breakpoint (x units)
+  double plateau = 0.0;  ///< constant level after the knee
+  double sse = 0.0;
+  std::size_t n = 0;
+};
+
+PiecewiseFit fit_linear_then_constant(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// K-fold cross-validation of the linear model: mean absolute error of
+/// held-out predictions, normalized by the mean |y| (the paper reports
+/// errors within 0.5 % of actual CML values).
+double cross_validate_linear(std::span<const double> x,
+                             std::span<const double> y, std::size_t folds = 5);
+
+/// Per-run model extracted from a CML(t) trace. Only samples at/after the
+/// fault time carry signal; earlier samples are all zero.
+///
+/// `fit` is the piecewise profile (growth slope + knee + plateau) used to
+/// characterize the profile shape; `rate` is the least-squares linear fit
+/// over the entire post-onset window, whose slope is the run's average
+/// propagation rate. For predominantly-linear profiles (the common case the
+/// paper reports) the two slopes agree; for burst-then-plateau profiles the
+/// full-window slope is the meaningful CML-per-time figure, while the
+/// knee-segment slope degenerates to (jump / sample period). FPS factors
+/// aggregate `rate.a`.
+struct TraceModel {
+  PiecewiseFit fit;
+  LinearFit rate;
+  double inferred_tf = 0.0;  ///< Eq. 2: t_f = -b / a (0 when a == 0)
+  double final_cml = 0.0;
+  bool usable = false;  ///< enough nonzero samples to fit
+};
+
+TraceModel model_trace(std::span<const fpm::TraceSample> trace);
+
+/// Application-level FPS factor (Table 2 row).
+struct FpsModel {
+  double fps = 0.0;     ///< mean slope over campaign runs
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t num_models = 0;
+};
+
+FpsModel aggregate_fps(std::span<const double> slopes);
+
+/// Eq. 3: upper bound on CML accumulated in (t1, t2) when a fault is
+/// detected at t2 but was absent at t1 (worst case: t_f ~ t1).
+double max_cml_estimate(double fps, double t1, double t2);
+/// Expected CML for t_f uniform in (t1, t2): max/2.
+double avg_cml_estimate(double fps, double t1, double t2);
+
+/// Runtime rollback advisor (paper §5): keep running if the predicted CML
+/// at `t_end` stays below `cml_threshold`, otherwise roll back now.
+struct RollbackDecision {
+  bool rollback = false;
+  double predicted_cml_now = 0.0;
+  double predicted_cml_at_end = 0.0;
+};
+
+RollbackDecision advise_rollback(double fps, double t1, double t2,
+                                 double t_end, double cml_threshold);
+
+}  // namespace fprop::model

@@ -1,0 +1,78 @@
+#pragma once
+
+// Runtime rollback-policy simulation (paper §5): "The estimation provided
+// by our model can be used to decide, at runtime, if a roll-back should be
+// triggered. For application with low FPS ... the fault-tolerance system
+// could decide to keep the application running if the CML at the end of the
+// application is predicted to be below a safe threshold."
+//
+// This simulator replays a measured CML(t) trace against a periodic
+// detector + checkpoint system and evaluates three policies:
+//   Always   roll back on any detection (classic checkpoint/restart)
+//   Never    ignore detections (hope the error is benign)
+//   FpsModel roll back only when Eq. 3 predicts end-of-run contamination
+//            above the safe threshold
+// reporting the re-executed (wasted) work and the residual contamination —
+// the trade-off the FPS factor was designed to navigate.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fprop/fpm/runtime.h"
+
+namespace fprop::model {
+
+enum class RollbackPolicy : std::uint8_t { Always, Never, FpsModel };
+
+const char* rollback_policy_name(RollbackPolicy p) noexcept;
+
+struct DetectorConfig {
+  /// Virtual cycles between detector invocations (checkpoints are taken at
+  /// every clean detection).
+  std::uint64_t interval = 100'000;
+  /// Application FPS factor (CML per cycle), from Table 2.
+  double fps = 0.0;
+  /// Safe residual-contamination threshold (CML) for the FpsModel policy.
+  double cml_threshold = 10.0;
+};
+
+struct RollbackOutcome {
+  RollbackPolicy policy{};
+  bool detected = false;        ///< the detector ever saw contamination
+  bool rolled_back = false;     ///< the policy triggered a rollback
+  std::uint64_t wasted_cycles = 0;   ///< re-executed work (t_detect - t_ckpt)
+  std::uint64_t residual_cml = 0;    ///< contamination carried to the end
+  double predicted_final_cml = 0.0;  ///< Eq. 3 prediction at detection time
+};
+
+/// Replays `trace` (a job CML(t) series, e.g. TrialResult::trace) against
+/// the detector. Rollback semantics: restoring the checkpoint taken at the
+/// last clean detection removes all contamination (the fault is transient)
+/// at the cost of re-executing the cycles since that checkpoint.
+RollbackOutcome simulate_rollback(std::span<const fpm::TraceSample> trace,
+                                  const DetectorConfig& detector,
+                                  RollbackPolicy policy);
+
+/// Aggregate over a campaign's traces.
+struct PolicySummary {
+  RollbackPolicy policy{};
+  std::size_t runs = 0;
+  std::size_t detections = 0;
+  std::size_t rollbacks = 0;
+  double total_wasted_cycles = 0.0;
+  double total_residual_cml = 0.0;
+
+  double mean_wasted() const {
+    return runs == 0 ? 0.0 : total_wasted_cycles / static_cast<double>(runs);
+  }
+  double mean_residual() const {
+    return runs == 0 ? 0.0 : total_residual_cml / static_cast<double>(runs);
+  }
+};
+
+PolicySummary summarize_policy(
+    const std::vector<std::vector<fpm::TraceSample>>& traces,
+    const DetectorConfig& detector, RollbackPolicy policy);
+
+}  // namespace fprop::model

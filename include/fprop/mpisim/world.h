@@ -1,0 +1,196 @@
+#pragma once
+
+// MPISim: a deterministic, single-threaded simulator of an MPI job.
+//
+// Each rank is a MiniVM interpreter with a private address space and its own
+// FPM runtime (shadow table + CML trace). Ranks are scheduled round-robin in
+// fixed instruction quanta, so every trial replays bit-exactly from its seed.
+//
+// Message passing implements the paper's Fig. 4 mechanism: every payload
+// carries a contamination header of <displacement, pristine value> records
+// built from the sender's shadow table and installed into the receiver's.
+// Collectives (allreduce/bcast/barrier) are rendezvous operations with the
+// same pristine-value bookkeeping. A trap or mpi_abort on any rank tears
+// down the whole job, as a real MPI runtime would.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fprop/fpm/message.h"
+#include "fprop/fpm/runtime.h"
+#include "fprop/ir/ir.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::mpisim {
+
+struct WorldConfig {
+  std::uint32_t nranks = 8;
+  vm::InterpConfig interp;  ///< per-rank config (rng streams derived per rank)
+  /// Cycles between per-rank CML(t) trace samples; 0 disables tracing.
+  std::uint64_t fpm_sample_period = 4096;
+  bool enable_fpm = true;
+  std::uint64_t slice = 1024;  ///< scheduler quantum (instructions)
+  /// Global-clock period for the job-wide CML(t) trace (sum over ranks);
+  /// 0 disables. Sampled between scheduler slices, so the effective
+  /// resolution is max(slice, this).
+  std::uint64_t global_sample_period = 0;
+};
+
+/// Wildcards accepted by recv (matching MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr std::int64_t kAnySource = -1;
+inline constexpr std::int64_t kAnyTag = -1;
+
+struct RankResult {
+  vm::RunState state = vm::RunState::Ready;
+  vm::Trap trap = vm::Trap::None;
+  std::uint64_t cycles = 0;
+  std::vector<double> outputs;
+  std::int64_t reported_iters = -1;
+  std::uint64_t allocated_words = 0;
+  std::uint64_t cml_final = 0;
+  std::uint64_t cml_peak = 0;
+  /// Global virtual time the rank's state first became contaminated
+  /// (nullopt = never) — the Fig. 8 per-rank spread signal.
+  std::optional<std::uint64_t> first_contaminated_at;
+};
+
+struct JobResult {
+  bool crashed = false;
+  vm::Trap first_trap = vm::Trap::None;
+  std::uint32_t first_trap_rank = 0;
+  std::vector<RankResult> ranks;
+  std::uint64_t global_cycles = 0;  ///< total instructions across ranks
+  std::uint64_t max_rank_cycles = 0;
+
+  /// Concatenation of per-rank outputs in rank order (job "output state").
+  std::vector<double> outputs() const;
+  std::uint64_t total_cml_final() const;
+  std::uint64_t total_cml_peak() const;
+  std::uint64_t total_allocated_words() const;
+  /// Max reported solver iterations across ranks (-1 if none reported).
+  std::int64_t reported_iters() const;
+  std::size_t contaminated_ranks() const;
+};
+
+class World final : public vm::MpiHook {
+ public:
+  World(const ir::Module& module, WorldConfig config);
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Attaches the LLFI++ runtime to every rank (may be null to detach).
+  void set_inject_hook(vm::InjectHook* hook);
+
+  /// Runs the job to completion (all done, or teardown on trap/deadlock).
+  JobResult run();
+
+  std::uint32_t nranks() const noexcept;
+  vm::Interp& rank(std::uint32_t r);
+  fpm::FpmRuntime* fpm(std::uint32_t r);
+  std::uint64_t global_cycles() const noexcept { return global_clock_; }
+  /// Job-wide CML(t): (global cycle, sum of all ranks' shadow-table sizes).
+  const std::vector<fpm::TraceSample>& global_trace() const noexcept {
+    return global_trace_;
+  }
+
+  // --- vm::MpiHook ---------------------------------------------------------
+  std::int64_t rank_count() const override;
+  vm::MpiResult send_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
+                       std::uint64_t buf, std::int64_t count) override;
+  vm::MpiResult recv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
+                       std::uint64_t buf, std::int64_t count) override;
+  /// Non-blocking operations. Isend completes eagerly (buffered copy, like
+  /// MCB's boundary-particle sends); Irecv posts a request that is matched
+  /// lazily at mpi_wait. A corrupted request handle faults at wait.
+  vm::MpiResult isend_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
+                        std::uint64_t buf, std::int64_t count,
+                        std::int64_t* request) override;
+  vm::MpiResult irecv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
+                        std::uint64_t buf, std::int64_t count,
+                        std::int64_t* request) override;
+  vm::MpiResult wait(vm::Interp& self, std::int64_t request) override;
+  vm::MpiResult allreduce_f(vm::Interp& self, bool is_max,
+                            std::uint64_t sendbuf, std::uint64_t recvbuf,
+                            std::int64_t count) override;
+  vm::MpiResult bcast_f(vm::Interp& self, std::int64_t root, std::uint64_t buf,
+                        std::int64_t count) override;
+  vm::MpiResult barrier(vm::Interp& self) override;
+  void abort(vm::Interp& self, std::int64_t code) override;
+
+ private:
+  struct Message {
+    std::int64_t src = 0;
+    std::int64_t tag = 0;
+    std::vector<std::uint64_t> payload;
+    fpm::MessageHeader header;
+  };
+
+  /// Outstanding non-blocking operation (handle = index + 1 on its rank).
+  struct Request {
+    bool is_recv = false;
+    bool done = false;
+    std::int64_t src = 0;
+    std::int64_t tag = 0;
+    std::uint64_t buf = 0;
+    std::int64_t count = 0;
+  };
+
+  enum class CollKind : std::uint8_t { None, Barrier, AllreduceSum,
+                                       AllreduceMax, Bcast };
+
+  struct CollArgs {
+    std::uint64_t a = 0;  ///< sendbuf / buf
+    std::uint64_t b = 0;  ///< recvbuf
+    std::int64_t count = 0;
+    std::int64_t root = 0;
+  };
+
+  struct Collective {
+    CollKind kind = CollKind::None;
+    std::vector<bool> arrived;
+    std::vector<bool> left;
+    std::vector<CollArgs> args;
+    std::uint32_t arrived_count = 0;
+    std::uint32_t left_count = 0;
+    bool executed = false;
+    bool failed = false;  ///< mismatched participation -> MPI error
+  };
+
+  /// Registers `self` in the current collective epoch; returns Done once the
+  /// operation has executed, Block while waiting, Fault on mismatch.
+  vm::MpiResult join_collective(vm::Interp& self, CollKind kind,
+                                const CollArgs& args);
+  bool execute_collective(Collective& coll);
+  bool exec_allreduce(Collective& coll, bool is_max);
+  bool exec_bcast(Collective& coll);
+
+  bool read_payload(vm::Interp& src_rank, std::uint64_t buf,
+                    std::int64_t count, std::vector<std::uint64_t>& out);
+  bool write_payload(vm::Interp& dst_rank, std::uint64_t buf,
+                     const std::vector<std::uint64_t>& payload);
+  void teardown(std::uint32_t offender, vm::Trap cause);
+  void note_contamination();
+
+  const ir::Module* module_;
+  WorldConfig config_;
+  std::vector<std::unique_ptr<fpm::FpmRuntime>> fpms_;
+  std::vector<std::unique_ptr<vm::Interp>> ranks_;
+  std::vector<std::deque<Message>> mailboxes_;  ///< indexed by receiver
+  std::vector<std::vector<Request>> requests_;  ///< per-rank request tables
+  std::vector<std::uint64_t> coll_epoch_;       ///< per-rank completed count
+  std::deque<Collective> pending_colls_;        ///< indexed by epoch - base
+  std::uint64_t coll_base_epoch_ = 0;
+  bool aborted_ = false;
+  std::uint32_t abort_rank_ = 0;
+  std::uint64_t global_clock_ = 0;
+  std::vector<std::optional<std::uint64_t>> first_contaminated_;
+  std::vector<fpm::TraceSample> global_trace_;
+  std::uint64_t next_global_sample_ = 0;
+};
+
+}  // namespace fprop::mpisim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Compiler instrumentation passes, mirroring the paper's two-step lowering
+// (Fig. 3):
+//
+//  1. FaultInjectionPass (LLFI++, Fig. 3b): inserts `rf = fim_inj(r)` on the
+//     source registers of selected instruction classes and rewires the
+//     consumer to the potentially-corrupted register. Each site gets a
+//     unique static id; the runtime decides at which *dynamic* execution of
+//     which site to flip a bit.
+//
+//  2. DualChainPass (FPM, Fig. 3c): gives every register a pristine shadow
+//     twin, replicates arithmetic and pure library calls onto the shadow
+//     (secondary) chain, fetches pristine values at loads (`fpm_fetch`),
+//     checks and records divergence at stores (`fpm_store`), and rewrites
+//     function signatures to the dual convention (shadow parameter per
+//     input parameter, pair return) — §3.2 "Function Calls".
+//
+// Pass order is mandatory: injection first, dual-chain second, so the
+// secondary chain bypasses `fim_inj` (its input operand's shadow aliases
+// straight through, keeping the pristine chain fault-free).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::passes {
+
+/// Instruction classes eligible for operand injection. The paper's
+/// experiments (§4.2) inject into "registers utilized by arithmetic
+/// operations" — data arithmetic and conversions; the framework also
+/// supports comparisons, address computations and load/store operands
+/// ("other kinds of instructions can also be targeted by LLFI++").
+struct InjectTargets {
+  bool arith = true;           ///< data arithmetic + conversions (the default
+                               ///< campaign, §4.2)
+  bool compares = false;       ///< comparison source operands
+  bool addresses = false;      ///< ptradd (address computation) operands
+  bool load_address = false;   ///< address operand of loads
+  bool store_operands = false; ///< value + address operands of stores
+
+  bool any() const noexcept {
+    return arith || compares || addresses || load_address || store_operands;
+  }
+};
+
+/// True for data arithmetic and conversions (the §4.2 target class).
+bool is_data_arith(ir::Opcode op) noexcept;
+/// True for comparisons (icmp/fcmp analogues).
+bool is_compare(ir::Opcode op) noexcept;
+
+/// Static description of one injection site (for reporting and tracing a
+/// fault back to the source construct, as LLFI allows).
+struct InjectionSite {
+  std::int64_t site_id = 0;
+  std::string function;
+  ir::BlockId block = 0;
+  std::string consumer;  ///< textual form of the instrumented instruction
+  ir::Type type = ir::Type::I64;
+};
+
+/// Runs LLFI++ lowering over all app-code functions of `m`. Returns the
+/// static site table. Registers holding materialized constants are not
+/// instrumented (they correspond to LLVM immediates, which LLFI does not
+/// target — Fig. 3b leaves `2` uninjected).
+std::vector<InjectionSite> run_fault_injection_pass(
+    ir::Module& m, const InjectTargets& targets = {});
+
+/// Runs FPM dual-chain lowering over all app-code functions of `m`.
+/// Idempotence is checked: transforming an already-transformed module throws.
+void run_dual_chain_pass(ir::Module& m);
+
+/// Convenience: full pipeline (inject + dual-chain + verify).
+std::vector<InjectionSite> instrument_module(
+    ir::Module& m, const InjectTargets& targets = {});
+
+}  // namespace fprop::passes

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fprop {
+
+/// Base exception for all framework errors. Thrown on programming or input
+/// errors (malformed IR, bad MiniC source, invalid configuration); *not* used
+/// for simulated-application faults, which surface as vm::Trap values.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when IR fails verification.
+class VerifyError : public Error {
+ public:
+  explicit VerifyError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on MiniC lexing/parsing/semantic errors; carries a source location.
+class CompileError : public Error {
+ public:
+  CompileError(std::string_view message, int line, int column)
+      : Error(format(message, line, column)), line_(line), column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  static std::string format(std::string_view message, int line, int column) {
+    return std::to_string(line) + ":" + std::to_string(column) + ": " +
+           std::string(message);
+  }
+
+  int line_;
+  int column_;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+}  // namespace detail
+
+/// Internal invariant check. Unlike assert(), always enabled: silent invariant
+/// violations in a fault-injection framework would be indistinguishable from
+/// the faults under study.
+#define FPROP_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::fprop::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+#define FPROP_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::fprop::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+}  // namespace fprop

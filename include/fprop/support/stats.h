@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fprop {
+
+/// Single-pass mean/variance accumulator (Welford). Used for FPS factor
+/// aggregation (Table 2) and benchmark summaries.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins. Reproduces the 500-bin injection-coverage plot of Fig. 5.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Result of a chi-squared goodness-of-fit test against a uniform
+/// distribution over the histogram bins.
+struct ChiSquaredResult {
+  double statistic = 0.0;   ///< sum (obs-exp)^2 / exp
+  std::size_t dof = 0;      ///< bins - 1
+  double p_value = 0.0;     ///< upper-tail probability
+  bool uniform_at_5pct = false;  ///< p >= 0.05 => cannot reject uniformity
+};
+
+/// Chi-squared test that `h`'s samples are uniform across its bins (the
+/// verification the paper applies to Fig. 5).
+ChiSquaredResult chi_squared_uniform(const Histogram& h);
+
+/// Upper-tail probability of the chi-squared distribution with `dof` degrees
+/// of freedom: P(X >= x). Implemented via the regularized incomplete gamma
+/// function (series + continued fraction), accurate to ~1e-10.
+double chi_squared_upper_tail(double x, std::size_t dof);
+
+/// Pearson correlation of two equal-length series.
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation; input need not be
+/// sorted (a sorted copy is made).
+double quantile(std::span<const double> xs, double p);
+
+}  // namespace fprop

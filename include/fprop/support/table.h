@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fprop {
+
+/// Right-aligned ASCII table renderer used by the bench harnesses to print
+/// paper tables/figure series in a uniform, diff-friendly format.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` significant decimals.
+  void add_row_values(std::span<const double> values, int precision = 4);
+
+  /// Renders with column separators and a header rule.
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart (one bar per labelled value), used
+/// for Fig. 6-style stacked percentages and Fig. 7f summaries.
+std::string render_bar_chart(std::span<const std::string> labels,
+                             std::span<const double> values,
+                             double max_value, std::size_t width = 50,
+                             const std::string& unit = "");
+
+/// Renders an (x, y) series as a down-sampled ASCII sparkline plot with axis
+/// annotations: used to print Fig. 7 propagation profiles in the terminal.
+std::string render_series(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t plot_width = 72,
+                          std::size_t plot_height = 16);
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace fprop

@@ -1,0 +1,63 @@
+#pragma once
+
+// Runtime extension points of the interpreter. The fault injector
+// (inject::InjectorRuntime) and the MPI simulator (mpisim::World) implement
+// these, keeping the VM independent of both.
+
+#include <cstdint>
+
+namespace fprop::vm {
+
+class Interp;
+
+/// Implemented by the LLFI++ injection runtime: called for every executed
+/// `fim_inj` instrumentation instruction with the live operand value; returns
+/// the (possibly bit-flipped) value to substitute. `width` is the live
+/// value's type width in bits (1 for booleans/i1, 64 otherwise) — flips land
+/// within it.
+class InjectHook {
+ public:
+  virtual ~InjectHook() = default;
+  virtual std::uint64_t on_fim_inj(Interp& self, std::uint64_t value,
+                                   std::int64_t site_id,
+                                   unsigned width) = 0;
+};
+
+/// Outcome of an MPI runtime call.
+enum class MpiResult : std::uint8_t {
+  Done,   ///< operation completed; advance past the instruction
+  Block,  ///< cannot complete yet; re-execute later (cooperative blocking)
+  Fault,  ///< invalid arguments (e.g. corrupted buffer pointer) -> trap
+};
+
+/// Implemented by the MPI simulator. `self` identifies the calling rank and
+/// gives the hook access to its memory and shadow table. All buffer
+/// addresses/counts are the *primary* (potentially corrupted) values — a
+/// corrupted count or pointer misbehaves exactly as it would under a real
+/// MPI library.
+class MpiHook {
+ public:
+  virtual ~MpiHook() = default;
+  virtual std::int64_t rank_count() const = 0;
+  virtual MpiResult send_f(Interp& self, std::int64_t dest, std::int64_t tag,
+                           std::uint64_t buf, std::int64_t count) = 0;
+  virtual MpiResult recv_f(Interp& self, std::int64_t src, std::int64_t tag,
+                           std::uint64_t buf, std::int64_t count) = 0;
+  /// Non-blocking operations: start returns a request handle in *request
+  /// (Done) or Fault; wait blocks (Block) until the request completes.
+  virtual MpiResult isend_f(Interp& self, std::int64_t dest, std::int64_t tag,
+                            std::uint64_t buf, std::int64_t count,
+                            std::int64_t* request) = 0;
+  virtual MpiResult irecv_f(Interp& self, std::int64_t src, std::int64_t tag,
+                            std::uint64_t buf, std::int64_t count,
+                            std::int64_t* request) = 0;
+  virtual MpiResult wait(Interp& self, std::int64_t request) = 0;
+  virtual MpiResult allreduce_f(Interp& self, bool is_max, std::uint64_t sendbuf,
+                                std::uint64_t recvbuf, std::int64_t count) = 0;
+  virtual MpiResult bcast_f(Interp& self, std::int64_t root, std::uint64_t buf,
+                            std::int64_t count) = 0;
+  virtual MpiResult barrier(Interp& self) = 0;
+  virtual void abort(Interp& self, std::int64_t code) = 0;
+};
+
+}  // namespace fprop::vm

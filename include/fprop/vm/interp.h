@@ -1,0 +1,138 @@
+#pragma once
+
+// MiniVM: a deterministic, resumable interpreter for MiniIR, one instance per
+// simulated MPI rank.
+//
+//  * Virtual time = executed instruction count (cycles); all CML(t) series
+//    and FPS factors are expressed against it, making results
+//    machine-independent (DESIGN.md §5).
+//  * Hardware-style traps: invalid/unaligned access, division by zero,
+//    failed allocation, call-stack overflow, cycle-budget exhaustion (hang
+//    detection), MPI abort. A trap ends the rank; the scheduler ends the job.
+//  * Cooperative blocking: MPI receive/collectives that cannot complete
+//    leave the PC in place and report Blocked; the scheduler resumes later.
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/fpm/runtime.h"
+#include "fprop/fpm/taint.h"
+#include "fprop/ir/ir.h"
+#include "fprop/support/rng.h"
+#include "fprop/vm/hooks.h"
+#include "fprop/vm/memory.h"
+
+namespace fprop::vm {
+
+enum class Trap : std::uint8_t {
+  None,
+  BadAccess,      ///< invalid or unaligned memory address
+  DivByZero,      ///< integer division/remainder by zero
+  BadAlloc,       ///< allocation beyond capacity (corrupted size)
+  StackOverflow,  ///< call depth exceeded
+  CycleBudget,    ///< instruction budget exhausted => hang (classified C)
+  MpiAbort,       ///< application called mpi_abort()
+  MpiFault,       ///< invalid MPI arguments (corrupted buffer/peer)
+  Deadlock,       ///< all ranks blocked with no progress possible
+  Killed,         ///< another rank crashed/aborted; job torn down
+};
+
+const char* trap_name(Trap t) noexcept;
+
+enum class RunState : std::uint8_t { Ready, Blocked, Done, Trapped };
+
+struct InterpConfig {
+  std::uint64_t cycle_budget = 500'000'000;  ///< hang detection
+  std::uint64_t max_words = 1ull << 22;      ///< per-rank memory capacity
+  std::uint32_t max_call_depth = 512;
+  std::uint64_t rng_seed = 1;  ///< rand01() stream (derived per rank)
+};
+
+class Interp {
+ public:
+  Interp(const ir::Module& module, std::uint32_t rank, InterpConfig config);
+
+  // Non-copyable (owns an address space), movable.
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+  Interp(Interp&&) = default;
+
+  void set_inject_hook(InjectHook* hook) noexcept { inject_ = hook; }
+  void set_mpi_hook(MpiHook* hook) noexcept { mpi_ = hook; }
+  void set_fpm(fpm::FpmRuntime* fpm) noexcept { fpm_ = fpm; }
+  /// Enables naive taint propagation (the §3.2 strawman; see fpm/taint.h).
+  /// Use on a module WITHOUT the dual-chain pass — only the injection pass.
+  void set_taint(fpm::TaintRuntime* taint) noexcept { taint_ = taint; }
+
+  /// Executes up to `max_steps` instructions; returns the resulting state.
+  /// Resumable: call again after Blocked (or to continue a Ready rank).
+  RunState run(std::uint64_t max_steps);
+
+  RunState state() const noexcept { return state_; }
+  Trap trap() const noexcept { return trap_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint32_t rank() const noexcept { return rank_; }
+
+  AddressSpace& memory() noexcept { return mem_; }
+  const AddressSpace& memory() const noexcept { return mem_; }
+  fpm::FpmRuntime* fpm() noexcept { return fpm_; }
+
+  /// Values the application emitted via output_f/output_i, in order.
+  const std::vector<double>& outputs() const noexcept { return outputs_; }
+  /// Solver iterations reported via report_iters (PEX detection); -1 if never.
+  std::int64_t reported_iters() const noexcept { return reported_iters_; }
+  std::int64_t abort_code() const noexcept { return abort_code_; }
+
+  /// Kills the rank from outside (job teardown after another rank trapped).
+  void force_trap(Trap t);
+
+ private:
+  struct Frame {
+    const ir::Function* func = nullptr;
+    ir::BlockId block = 0;
+    std::uint32_t ip = 0;
+    ir::Reg ret_dst = ir::kNoReg;   ///< caller register for result
+    ir::Reg ret_dst2 = ir::kNoReg;  ///< caller register for pristine result
+    std::vector<std::uint64_t> regs;
+    std::vector<std::uint8_t> taint;  ///< parallel taint bits (taint mode)
+  };
+
+  /// Executes one instruction. Returns false when the rank stopped running
+  /// (blocked, finished, or trapped).
+  bool step();
+  void do_trap(Trap t);
+  /// Naive taint transfer for the instruction just executed (taint mode).
+  void update_taint(const ir::Instr& in, std::uint64_t injected_from,
+                    std::uint64_t injected_to);
+  bool exec_intrinsic(const ir::Instr& in);
+  /// Local (single-rank) semantics for MPI intrinsics when no hook is set.
+  bool exec_mpi_local(const ir::Instr& in);
+  void finish_instr();  ///< cycle accounting + fpm tick + budget check
+
+  std::uint64_t reg(ir::Reg r) const { return frames_.back().regs[r]; }
+  void set_reg(ir::Reg r, std::uint64_t v) { frames_.back().regs[r] = v; }
+
+  const ir::Module* module_;
+  std::uint32_t rank_;
+  InterpConfig config_;
+  AddressSpace mem_;
+  std::vector<Frame> frames_;
+  RunState state_ = RunState::Ready;
+  Trap trap_ = Trap::None;
+  std::uint64_t cycles_ = 0;
+  Xoshiro256 rng_;
+  std::vector<double> outputs_;
+  std::int64_t reported_iters_ = -1;
+  std::int64_t abort_code_ = 0;
+
+  InjectHook* inject_ = nullptr;
+  MpiHook* mpi_ = nullptr;
+  fpm::FpmRuntime* fpm_ = nullptr;
+  fpm::TaintRuntime* taint_ = nullptr;
+};
+
+/// Bit-level reinterpretation helpers shared by VM, injector and harness.
+std::uint64_t bits_of(double v) noexcept;
+double double_of(std::uint64_t bits) noexcept;
+
+}  // namespace fprop::vm

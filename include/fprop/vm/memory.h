@@ -1,0 +1,64 @@
+#pragma once
+
+// Byte-addressed, word-granular address space for one simulated MPI rank.
+//
+// Layout: addresses below kBase form a guard region (never mapped), so that
+// bit-flipped pointers near zero fault exactly like on real hardware — the
+// paper attributes most crashes to corrupted pointers. Words are allocated
+// by a bump allocator (the apps are one-shot; nothing is ever freed).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fprop::vm {
+
+class AddressSpace {
+ public:
+  /// First valid byte address (4 KiB null guard, word-aligned).
+  static constexpr std::uint64_t kBase = 4096;
+
+  explicit AddressSpace(std::uint64_t max_words = 1ull << 22)
+      : max_words_(max_words) {}
+
+  /// Allocates `n` zero-initialized words; returns their byte address, or 0
+  /// if the allocation would exceed the configured capacity (the VM turns
+  /// that into a BadAlloc trap — a corrupted allocation size crashes).
+  std::uint64_t alloc_words(std::uint64_t n);
+
+  /// True iff `addr` is mapped and 8-aligned.
+  bool valid(std::uint64_t addr) const noexcept {
+    return addr >= kBase && (addr & 7) == 0 &&
+           (addr - kBase) / 8 < words_.size();
+  }
+
+  bool load(std::uint64_t addr, std::uint64_t& out) const noexcept {
+    if (!valid(addr)) return false;
+    out = words_[(addr - kBase) / 8];
+    return true;
+  }
+
+  bool store(std::uint64_t addr, std::uint64_t bits) noexcept {
+    if (!valid(addr)) return false;
+    words_[(addr - kBase) / 8] = bits;
+    return true;
+  }
+
+  std::uint64_t allocated_words() const noexcept { return words_.size(); }
+  std::uint64_t max_words() const noexcept { return max_words_; }
+
+  /// Raw word storage (used by the MPI simulator for payload copies).
+  std::span<std::uint64_t> words() noexcept { return words_; }
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// Byte address of word index i.
+  static constexpr std::uint64_t addr_of(std::uint64_t word_index) noexcept {
+    return kBase + word_index * 8;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t max_words_;
+};
+
+}  // namespace fprop::vm

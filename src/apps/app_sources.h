@@ -1,0 +1,15 @@
+#pragma once
+
+// MiniC sources of the proxy applications (one symbol per app, defined in
+// the per-app .cpp files). Internal to the apps library.
+
+namespace fprop::apps {
+
+extern const char* const kMatvecSource;
+extern const char* const kLuleshSource;
+extern const char* const kLammpsSource;
+extern const char* const kMinifeSource;
+extern const char* const kAmgSource;
+extern const char* const kMcbSource;
+
+}  // namespace fprop::apps

@@ -1,0 +1,121 @@
+#include "app_sources.h"
+
+namespace fprop::apps {
+
+// LAMMPS proxy: molecular dynamics of a 1D Lennard-Jones chain with a
+// two-neighbor cutoff (the second-neighbor coupling breaks the
+// integrability of nearest-neighbor chains, so trajectories are chaotic and
+// any perturbation grows — the paper's LAMMPS is its most output-vulnerable
+// application). Domain-decomposed across ranks with two boundary atoms
+// exchanged per step. Includes a static force-field table that is
+// initialized but never read by the dynamics — the source of the paper's
+// flat LAMMPS propagation profile (a fault contaminating unused static data
+// never spreads).
+const char* const kLammpsSource = R"mc(
+// Lennard-Jones pair force on the atom at `a` from the atom at `b`
+// (epsilon = sigma = 1, distance clamped away from the singularity).
+fn ljf(a: float, b: float) -> float {
+  var dx: float = a - b;
+  var r2: float = fmax(dx * dx, 0.49);
+  var ir2: float = 1.0 / r2;
+  var ir6: float = ir2 * ir2 * ir2;
+  return 24.0 * ir6 * (2.0 * ir6 - 1.0) * ir2 * dx;
+}
+
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var np: int = @NP@;
+  var steps: int = @STEPS@;
+
+  var x: float* = alloc_float(np);      // positions
+  var v: float* = alloc_float(np);      // velocities
+  var f: float* = alloc_float(np);      // forces
+  var y: float* = alloc_float(np + 4);  // padded positions (2 ghosts/side)
+  var sb: float* = alloc_float(2);
+  var rb: float* = alloc_float(2);
+  var acc: float* = alloc_float(1);
+  var tot: float* = alloc_float(1);
+
+  // Static potential table (never used during the force computation).
+  var table: float* = alloc_float(@TABN@);
+  for (var i: int = 0; i < @TABN@; i = i + 1) {
+    table[i] = 0.01 * float(i) + 1.0;
+  }
+
+  var d0: float = 1.12;   // LJ equilibrium spacing (2^(1/6) sigma)
+  var dt: float = 0.02;
+  var base: float = float(rank * np) * d0;
+
+  for (var i: int = 0; i < np; i = i + 1) {
+    // Thermal jitter on positions as well as velocities: at the exact
+    // equilibrium spacing all pair forces are identically zero, which
+    // would mask any fault multiplied into them.
+    x[i] = base + float(i) * d0 + (rand01() - 0.5) * 0.1;
+    v[i] = (rand01() - 0.5) * 0.2;
+    f[i] = 0.0;
+  }
+
+  for (var s: int = 0; s < steps; s = s + 1) {
+    // Exchange the two boundary atoms with each neighbor (eager sends
+    // first, then receives), filling the padded ghost slots.
+    if (rank > 0) {
+      sb[0] = x[0];
+      sb[1] = x[1];
+      mpi_send_f(rank - 1, 1, sb, 2);
+    }
+    if (rank < size - 1) {
+      sb[0] = x[np - 2];
+      sb[1] = x[np - 1];
+      mpi_send_f(rank + 1, 2, sb, 2);
+    }
+    for (var i: int = 0; i < np; i = i + 1) {
+      y[i + 2] = x[i];
+    }
+    if (rank > 0) {
+      mpi_recv_f(rank - 1, 2, rb, 2);
+      y[0] = rb[0];
+      y[1] = rb[1];
+    } else {
+      y[1] = y[2] - d0;       // fixed wall atoms at lattice spacing
+      y[0] = y[2] - 2.0 * d0;
+    }
+    if (rank < size - 1) {
+      mpi_recv_f(rank + 1, 1, rb, 2);
+      y[np + 2] = rb[0];
+      y[np + 3] = rb[1];
+    } else {
+      y[np + 2] = y[np + 1] + d0;
+      y[np + 3] = y[np + 1] + 2.0 * d0;
+    }
+
+    // Pair forces over the two-neighbor cutoff (branch-free via padding).
+    for (var i: int = 0; i < np; i = i + 1) {
+      var a: float = y[i + 2];
+      f[i] = ljf(a, y[i]) + ljf(a, y[i + 1]) + ljf(a, y[i + 3]) +
+             ljf(a, y[i + 4]);
+    }
+    // Symplectic Euler integration.
+    for (var i: int = 0; i < np; i = i + 1) {
+      v[i] = v[i] + dt * f[i];
+      x[i] = x[i] + dt * v[i];
+    }
+  }
+
+  // Global kinetic energy plus sampled lattice displacements and
+  // velocities (the thermodynamically meaningful, perturbation-sensitive
+  // quantities an MD run reports).
+  acc[0] = 0.0;
+  for (var i: int = 0; i < np; i = i + 1) {
+    acc[0] = acc[0] + v[i] * v[i];
+  }
+  mpi_allreduce_sum_f(acc, tot, 1);
+  output_f(tot[0]);
+  for (var i: int = 0; i < np; i = i + 4) {
+    output_f(x[i] - (base + float(i) * d0));
+    output_f(v[i]);
+  }
+}
+)mc";
+
+}  // namespace fprop::apps

@@ -1,0 +1,151 @@
+#include "app_sources.h"
+
+namespace fprop::apps {
+
+// LULESH proxy: explicit Lagrangian shock hydrodynamics on a 1D staggered
+// grid solving a Sedov-like point-blast problem. Captures the traits the
+// paper ties to LULESH's propagation profile: a time-step loop whose output
+// state feeds the next step (staircase CML growth), halo exchange every step
+// (immediate cross-rank spread, Fig. 8), and an internal energy-bound check
+// that calls MPI_Abort — the paper's explanation for LULESH's crash-heavy,
+// WO-light outcome mix.
+const char* const kLuleshSource = R"mc(
+fn exchange(e: float*, u: float*, n: int, rank: int, size: int,
+            sl: float*, sr: float*, rl: float*, rr: float*) {
+  // Ghost cells live at 0 and n+1; interior is 1..n. Sends are eager, so
+  // everyone sends first and then receives (deadlock-free).
+  if (rank > 0) {
+    sl[0] = e[1];
+    sl[1] = u[1];
+    mpi_send_f(rank - 1, 1, sl, 2);
+  }
+  if (rank < size - 1) {
+    sr[0] = e[n];
+    sr[1] = u[n];
+    mpi_send_f(rank + 1, 2, sr, 2);
+  }
+  if (rank > 0) {
+    mpi_recv_f(rank - 1, 2, rl, 2);
+    e[0] = rl[0];
+    u[0] = rl[1];
+  } else {
+    e[0] = e[1];       // reflective wall
+    u[0] = -u[1];
+  }
+  if (rank < size - 1) {
+    mpi_recv_f(rank + 1, 1, rr, 2);
+    e[n + 1] = rr[0];
+    u[n + 1] = rr[1];
+  } else {
+    e[n + 1] = e[n];
+    u[n + 1] = -u[n];
+  }
+}
+
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var n: int = @N@;
+  var steps: int = @STEPS@;
+
+  var e: float* = alloc_float(n + 2);   // specific internal energy
+  var u: float* = alloc_float(n + 2);   // node velocity
+  var p: float* = alloc_float(n + 2);   // pressure (EOS)
+  var q: float* = alloc_float(n + 2);   // artificial viscosity
+  var sl: float* = alloc_float(2);
+  var sr: float* = alloc_float(2);
+  var rl: float* = alloc_float(2);
+  var rr: float* = alloc_float(2);
+  var acc: float* = alloc_float(1);
+  var tot: float* = alloc_float(1);
+
+  // Sedov-like: smoothly varying background (real fields are heterogeneous;
+  // a flat background would mask faults that land in zero gradients) with a
+  // point energy deposition at the origin cell of rank 0.
+  for (var i: int = 0; i <= n + 1; i = i + 1) {
+    var g: float = float(rank * n + i);
+    e[i] = 0.1 * (1.0 + 0.5 * sin(0.31 * g));
+    u[i] = 0.01 * sin(0.73 * g);
+    p[i] = 0.0;
+    q[i] = 0.0;
+  }
+  if (rank == 0) {
+    e[1] = 10.0;
+  }
+
+  var dt: float = 0.02;
+  var gamma1: float = 0.4;   // (gamma - 1), ideal-gas EOS with rho = 1
+  var csmax: float = 0.0;
+
+  acc[0] = 0.0;
+  for (var i: int = 1; i <= n; i = i + 1) {
+    acc[0] = acc[0] + e[i];
+  }
+  mpi_allreduce_sum_f(acc, tot, 1);
+  var e0: float = tot[0];
+
+  for (var s: int = 0; s < steps; s = s + 1) {
+    exchange(e, u, n, rank, size, sl, sr, rl, rr);
+    // EOS + artificial viscosity (q is quadratic+linear in the velocity
+    // jump on compression, zero in expansion — LULESH's q model).
+    csmax = 0.0001;
+    for (var i: int = 1; i <= n; i = i + 1) {
+      p[i] = gamma1 * e[i];
+      var du: float = fmin(u[i + 1] - u[i - 1], 0.0);
+      var cs: float = sqrt(1.4 * fmax(p[i], 0.0001));
+      q[i] = 2.0 * du * du - 0.5 * cs * du;
+      // dtcourant/dthydro constraint: sound speed plus compression rate.
+      csmax = fmax(csmax, cs + 2.0 * fabs(du));
+    }
+    // Courant-limited global time step (real LULESH reduces dtcourant over
+    // all domains every step — the channel through which a single corrupted
+    // cell contaminates every rank at once).
+    acc[0] = csmax;
+    mpi_allreduce_max_f(acc, tot, 1);
+    dt = fmin(0.45 / tot[0], 0.3);   // CFL ~ 0.45
+    p[0] = gamma1 * e[0];
+    p[n + 1] = gamma1 * e[n + 1];
+    q[0] = q[1];
+    q[n + 1] = q[n];
+    // Momentum: node acceleration from the total stress gradient.
+    for (var i: int = 1; i <= n; i = i + 1) {
+      u[i] = u[i] + dt * ((p[i - 1] + q[i - 1]) - (p[i + 1] + q[i + 1])) * 0.5;
+    }
+    // Energy: pdV + viscous work from the velocity divergence.
+    for (var i: int = 1; i <= n; i = i + 1) {
+      e[i] = e[i] - dt * (p[i] + q[i]) * (u[i + 1] - u[i - 1]) * 0.5;
+      if (e[i] < 0.0001) {
+        e[i] = 0.0001;
+      }
+    }
+    // Internal check on the partial result: LULESH aborts via MPI_Abort
+    // when the step energy leaves the admissible bounds (paper §4.2).
+    acc[0] = 0.0;
+    for (var i: int = 1; i <= n; i = i + 1) {
+      acc[0] = acc[0] + e[i];
+    }
+    mpi_allreduce_sum_f(acc, tot, 1);
+    if (tot[0] != tot[0]) {
+      mpi_abort(1);
+    }
+    if (tot[0] > e0 * 4.0 + 10.0) {
+      mpi_abort(1);
+    }
+    if (tot[0] < 0.0) {
+      mpi_abort(1);
+    }
+  }
+
+  output_f(tot[0]);
+  var stride: int = n / 8;
+  if (stride < 1) {
+    stride = 1;
+  }
+  for (var i: int = 1; i <= n; i = i + stride) {
+    output_f(e[i]);
+    output_f(u[i]);
+  }
+}
+)mc";
+
+}  // namespace fprop::apps

@@ -1,0 +1,44 @@
+#include "app_sources.h"
+
+namespace fprop::apps {
+
+// The paper's Fig. 1 running example: iterative dense matrix-vector product
+// b_i = A * x_i with x_{i+1} = b_i. A single bit flip in A contaminates
+// 37.5% of the memory state and 100% of the output in three iterations.
+const char* const kMatvecSource = R"mc(
+fn main() {
+  var n: int = 4;
+  var a: float* = alloc_float(n * n);
+  var x: float* = alloc_float(n);
+  var b: float* = alloc_float(n);
+
+  // A = [1 2 3 4; 4 2 3 1; 2 4 3 3; 1 1 2 6]  (Fig. 1)
+  a[0] = 1.0;  a[1] = 2.0;  a[2] = 3.0;  a[3] = 4.0;
+  a[4] = 4.0;  a[5] = 2.0;  a[6] = 3.0;  a[7] = 1.0;
+  a[8] = 2.0;  a[9] = 4.0;  a[10] = 3.0; a[11] = 3.0;
+  a[12] = 1.0; a[13] = 1.0; a[14] = 2.0; a[15] = 6.0;
+
+  // x0 = [1 2 2 3]
+  x[0] = 1.0; x[1] = 2.0; x[2] = 2.0; x[3] = 3.0;
+
+  var iters: int = @ITERS@;
+  for (var it: int = 0; it < iters; it = it + 1) {
+    for (var i: int = 0; i < n; i = i + 1) {
+      var s: float = 0.0;
+      for (var j: int = 0; j < n; j = j + 1) {
+        s = s + a[i * n + j] * x[j];
+      }
+      b[i] = s;
+    }
+    for (var i: int = 0; i < n; i = i + 1) {
+      x[i] = b[i];
+    }
+  }
+
+  for (var i: int = 0; i < n; i = i + 1) {
+    output_f(b[i]);
+  }
+}
+)mc";
+
+}  // namespace fprop::apps

@@ -1,0 +1,160 @@
+#include "app_sources.h"
+
+namespace fprop::apps {
+
+// MCB proxy: Monte Carlo particle transport over a domain-decomposed 1D
+// space. Particles are created, stream with random scattering, are tallied
+// and absorbed; those crossing a domain boundary are buffered and shipped to
+// the neighbor rank (count header + packed payload), exactly the paper's MCB
+// communication pattern. Monte Carlo control flow consumes per-rank random
+// numbers, so state corruption perturbs everything downstream — the paper's
+// most fault-propagation-prone application.
+const char* const kMcbSource = R"mc(
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var np: int = @NP@;
+  var steps: int = @STEPS@;
+  var cap: int = np * 2;
+  var tb: int = 64;   // tally bins per domain
+
+  var x: float* = alloc_float(cap);    // particle positions
+  var w: float* = alloc_float(cap);    // particle weights
+  var nx: float* = alloc_float(cap);   // staging (compaction)
+  var nw: float* = alloc_float(cap);
+  var tally: float* = alloc_float(tb);
+  var em: float* = alloc_float(tb);    // material energy (IMC-style coupling)
+  var sbl: float* = alloc_float(cap * 2 + 1);   // to-left send buffer
+  var sbr: float* = alloc_float(cap * 2 + 1);   // to-right send buffer
+  var rbuf: float* = alloc_float(cap * 2 + 1);
+  var acc: float* = alloc_float(1);
+  var tot: float* = alloc_float(1);
+
+  var lo: float = float(rank);
+  var hi: float = lo + 1.0;
+  var n: int = np;
+  for (var i: int = 0; i < np; i = i + 1) {
+    x[i] = lo + (float(i) + 0.5) / float(np);
+    // Per-particle source weights (identical weights would make particles
+    // of the same generation interchangeable and mask index faults).
+    w[i] = 1.0 + 0.5 * rand01();
+  }
+  for (var i: int = 0; i < tb; i = i + 1) {
+    tally[i] = 0.0;
+    em[i] = 0.5;
+  }
+
+  for (var s: int = 0; s < steps; s = s + 1) {
+    var kl: int = 0;   // emigrants to the left
+    var kr: int = 0;   // emigrants to the right
+    var kk: int = 0;   // survivors staying home
+    for (var i: int = 0; i < n; i = i + 1) {
+      // Stream with isotropic (here: binary) scattering.
+      var dir: float = 1.0;
+      if (rand01() < 0.5) {
+        dir = -1.0;
+      }
+      var xi: float = x[i] + dir * 0.07;
+      // Tally into the clamped bin (real tallies are unconditional; a bin
+      // index perturbed by a fault lands in a neighboring bin).
+      var bin: int = imin(imax(int((xi - lo) / (hi - lo) * float(tb)), 0),
+                          tb - 1);
+      // IMC-style matter coupling: absorption depends on the local material
+      // energy, and the absorbed energy is re-deposited into it. This is
+      // how faults propagate from one particle to every other particle that
+      // later crosses the contaminated region (the paper attributes MCB's
+      // top propagation speed to exactly this).
+      var ab: float = fmin(0.85 + 0.18 * em[bin], 0.999);
+      var wi: float = w[i] * ab;
+      tally[bin] = tally[bin] + wi;
+      em[bin] = em[bin] + 0.10 * (w[i] - wi) + 0.001 * wi;
+      if (wi < 0.02) {
+        continue;   // particle destroyed
+      }
+      if (xi < lo) {
+        if (rank > 0) {
+          sbl[1 + kl * 2] = xi;
+          sbl[2 + kl * 2] = wi;
+          kl = kl + 1;
+        } else {
+          if (kk < cap) {
+            nx[kk] = lo + (lo - xi);   // reflect at the global boundary
+            nw[kk] = wi;
+            kk = kk + 1;
+          }
+        }
+      } else if (xi >= hi) {
+        if (rank < size - 1) {
+          sbr[1 + kr * 2] = xi;
+          sbr[2 + kr * 2] = wi;
+          kr = kr + 1;
+        } else {
+          if (kk < cap) {
+            nx[kk] = hi - (xi - hi);
+            nw[kk] = wi;
+            kk = kk + 1;
+          }
+        }
+      } else {
+        if (kk < cap) {
+          nx[kk] = xi;
+          nw[kk] = wi;
+          kk = kk + 1;
+        }
+      }
+    }
+
+    // Exchange emigrants: word 0 carries the count, then (x, w) pairs.
+    if (rank > 0) {
+      sbl[0] = float(kl);
+      mpi_send_f(rank - 1, 1, sbl, 1 + kl * 2);
+    }
+    if (rank < size - 1) {
+      sbr[0] = float(kr);
+      mpi_send_f(rank + 1, 2, sbr, 1 + kr * 2);
+    }
+    if (rank > 0) {
+      mpi_recv_f(rank - 1, 2, rbuf, cap * 2 + 1);
+      var kin: int = int(rbuf[0]);
+      for (var i: int = 0; i < kin; i = i + 1) {
+        if (kk < cap) {
+          nx[kk] = rbuf[1 + i * 2];
+          nw[kk] = rbuf[2 + i * 2];
+          kk = kk + 1;
+        }
+      }
+    }
+    if (rank < size - 1) {
+      mpi_recv_f(rank + 1, 1, rbuf, cap * 2 + 1);
+      var kin: int = int(rbuf[0]);
+      for (var i: int = 0; i < kin; i = i + 1) {
+        if (kk < cap) {
+          nx[kk] = rbuf[1 + i * 2];
+          nw[kk] = rbuf[2 + i * 2];
+          kk = kk + 1;
+        }
+      }
+    }
+
+    n = kk;
+    for (var i: int = 0; i < n; i = i + 1) {
+      x[i] = nx[i];
+      w[i] = nw[i];
+    }
+  }
+
+  // Global tally and the local particle census as the result.
+  acc[0] = 0.0;
+  for (var i: int = 0; i < tb; i = i + 1) {
+    acc[0] = acc[0] + tally[i];
+  }
+  mpi_allreduce_sum_f(acc, tot, 1);
+  output_f(tot[0]);
+  for (var i: int = 0; i < tb; i = i + 2) {
+    output_f(tally[i]);
+  }
+  output_i(n);
+}
+)mc";
+
+}  // namespace fprop::apps

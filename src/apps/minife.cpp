@@ -1,0 +1,147 @@
+#include "app_sources.h"
+
+namespace fprop::apps {
+
+// miniFE proxy: finite-element assembly of a 1D steady-state conduction
+// operator followed by an unpreconditioned conjugate-gradient solve, with
+// dot products over MPI_Allreduce. Reproduces the paper's miniFE behaviors:
+// an assembly-phase sanity check that aborts before solving when the
+// operator is corrupted, prolonged executions when a corrupted state costs
+// extra CG iterations (PEX), and non-convergence at the iteration cap (WO).
+const char* const kMinifeSource = R"mc(
+fn dot_all(a: float*, b: float*, n: int, acc: float*, tot: float*) -> float {
+  acc[0] = 0.0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    acc[0] = acc[0] + a[i] * b[i];
+  }
+  mpi_allreduce_sum_f(acc, tot, 1);
+  return tot[0];
+}
+
+fn halo(p: float*, n: int, rank: int, size: int,
+        sb: float*, rb: float*, gl: float*, gr: float*) {
+  if (rank > 0) {
+    sb[0] = p[0];
+    mpi_send_f(rank - 1, 1, sb, 1);
+  }
+  if (rank < size - 1) {
+    sb[0] = p[n - 1];
+    mpi_send_f(rank + 1, 2, sb, 1);
+  }
+  gl[0] = 0.0;   // Dirichlet zero beyond the global boundary
+  gr[0] = 0.0;
+  if (rank > 0) {
+    mpi_recv_f(rank - 1, 2, rb, 1);
+    gl[0] = rb[0];
+  }
+  if (rank < size - 1) {
+    mpi_recv_f(rank + 1, 1, rb, 1);
+    gr[0] = rb[0];
+  }
+}
+
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var n: int = @NROWS@;
+  var maxit: int = @MAXIT@;
+
+  var diag: float* = alloc_float(n);
+  var rhs: float* = alloc_float(n);
+  var xs: float* = alloc_float(n);
+  var r: float* = alloc_float(n);
+  var p: float* = alloc_float(n);
+  var q: float* = alloc_float(n);
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  var gl: float* = alloc_float(1);
+  var gr: float* = alloc_float(1);
+  var acc: float* = alloc_float(1);
+  var tot: float* = alloc_float(1);
+
+  var ntot: int = n * size;
+  var h: float = 1.0 / float(ntot + 1);
+  var h2: float = h * h;
+
+  // ---- Assembly: scatter element operators into the sparse system ------
+  for (var i: int = 0; i < n; i = i + 1) {
+    diag[i] = 0.0;
+    rhs[i] = 0.0;
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    diag[i] = diag[i] + 1.0;   // left element contribution
+    diag[i] = diag[i] + 1.0;   // right element contribution
+    diag[i] = diag[i] + h2;    // SPD mass shift
+    // Spatially varying source (a uniform rhs would make the CG vectors
+    // element-wise identical and mask wrong-index faults).
+    rhs[i] = rhs[i] + h2 * (1.0 + 0.5 * sin(3.0 * float(rank * n + i) * h));
+  }
+  // Assembly sanity check: abort before the solve phase if the operator
+  // diverged (the paper's left-most miniFE WO case aborts here).
+  var chk: float = dot_all(diag, diag, n, acc, tot);
+  var want: float = float(ntot) * (2.0 + h2) * (2.0 + h2);
+  if (fabs(chk - want) > 0.0001 * want) {
+    mpi_abort(2);
+  }
+
+  // ---- Unpreconditioned CG ---------------------------------------------
+  for (var i: int = 0; i < n; i = i + 1) {
+    xs[i] = 0.0;
+    r[i] = rhs[i];
+    p[i] = rhs[i];
+  }
+  var rr: float = dot_all(r, r, n, acc, tot);
+  var rr0: float = rr;
+  var tol2: float = rr0 * 1e-10;
+  var it: int = 0;
+  while (it < maxit && rr > tol2) {
+    halo(p, n, rank, size, sb, rb, gl, gr);
+    for (var i: int = 0; i < n; i = i + 1) {
+      var left: float = gl[0];
+      if (i > 0) {
+        left = p[i - 1];
+      }
+      var right: float = gr[0];
+      if (i < n - 1) {
+        right = p[i + 1];
+      }
+      q[i] = diag[i] * p[i] - left - right;
+    }
+    var pq: float = dot_all(p, q, n, acc, tot);
+    if (pq <= 0.0) {
+      break;   // operator lost positive-definiteness: give up
+    }
+    var alpha: float = rr / pq;
+    for (var i: int = 0; i < n; i = i + 1) {
+      xs[i] = xs[i] + alpha * p[i];
+      r[i] = r[i] - alpha * q[i];
+    }
+    var rrn: float = dot_all(r, r, n, acc, tot);
+    var beta: float = rrn / rr;
+    rr = rrn;
+    for (var i: int = 0; i < n; i = i + 1) {
+      p[i] = r[i] + beta * p[i];
+    }
+    it = it + 1;
+  }
+  report_iters(it);
+
+  // The app's own acceptance flag (1 = converged within its tolerance),
+  // followed by the solution norm and sampled solution values. A run that
+  // hits the iteration cap without converging reports failure -> classified
+  // Wrong Output; a run that converges with extra iterations but the right
+  // solution is a Prolonged Execution.
+  var okflag: float = 0.0;
+  if (rr <= tol2) {
+    okflag = 1.0;
+  }
+  output_f(okflag);
+  var nrm: float = dot_all(xs, xs, n, acc, tot);
+  output_f(sqrt(nrm));
+  for (var i: int = 0; i < n; i = i + 8) {
+    output_f(xs[i]);
+  }
+}
+)mc";
+
+}  // namespace fprop::apps

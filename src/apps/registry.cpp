@@ -1,0 +1,97 @@
+#include "fprop/apps/registry.h"
+
+#include "app_sources.h"
+#include "fprop/minic/compile.h"
+#include "fprop/support/error.h"
+
+namespace fprop::apps {
+
+namespace {
+
+std::vector<AppSpec> build_all() {
+  std::vector<AppSpec> v;
+  v.push_back({"matvec",
+               "Fig. 1 iterative dense matrix-vector example",
+               kMatvecSource,
+               {{"ITERS", "3"}},
+               1});
+  v.push_back({"lulesh",
+               "1D Lagrangian shock hydrodynamics (Sedov-like), energy-bound "
+               "abort check",
+               kLuleshSource,
+               {{"N", "24"}, {"STEPS", "96"}},
+               8});
+  v.push_back({"amg",
+               "multilevel algebraic multigrid V-cycle with Init/Setup/Solve phases",
+               kAmgSource,
+               {{"N", "128"}, {"MAXCYC", "30"}},
+               8});
+  v.push_back({"minife",
+               "FE assembly + unpreconditioned CG with residual tolerance",
+               kMinifeSource,
+               {{"NROWS", "32"}, {"MAXIT", "600"}},
+               8});
+  v.push_back({"lammps",
+               "molecular dynamics of a bonded atom chain with halo atoms",
+               kLammpsSource,
+               {{"NP", "32"}, {"STEPS", "150"}, {"TABN", "64"}},
+               8});
+  v.push_back({"mcb",
+               "Monte Carlo particle transport with cross-domain particle "
+               "exchange",
+               kMcbSource,
+               {{"NP", "32"}, {"STEPS", "48"}},
+               8});
+  return v;
+}
+
+const std::vector<AppSpec>& all_apps() {
+  static const std::vector<AppSpec> apps = build_all();
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& paper_apps() {
+  // Fig. 6 order: LULESH, AMG2013, miniFE, LAMMPS, MCB.
+  static const std::vector<AppSpec> apps = {
+      get_app("lulesh"), get_app("amg"), get_app("minife"),
+      get_app("lammps"), get_app("mcb")};
+  return apps;
+}
+
+const AppSpec& get_app(std::string_view name) {
+  for (const auto& a : all_apps()) {
+    if (a.name == name) return a;
+  }
+  throw Error("unknown application: " + std::string(name));
+}
+
+std::string instantiate(const AppSpec& spec,
+                        const std::map<std::string, std::string>& overrides) {
+  std::string src = spec.source;
+  auto replace_all_occurrences = [&src](const std::string& key,
+                                        const std::string& value) {
+    const std::string token = "@" + key + "@";
+    std::size_t pos = 0;
+    while ((pos = src.find(token, pos)) != std::string::npos) {
+      src.replace(pos, token.size(), value);
+      pos += value.size();
+    }
+  };
+  for (const auto& [k, v] : overrides) replace_all_occurrences(k, v);
+  for (const auto& [k, v] : spec.defaults) replace_all_occurrences(k, v);
+  const std::size_t leftover = src.find('@');
+  if (leftover != std::string::npos) {
+    throw Error("unresolved placeholder in app '" + spec.name +
+                "' near: " + src.substr(leftover, 24));
+  }
+  return src;
+}
+
+ir::Module compile_app(const AppSpec& spec,
+                       const std::map<std::string, std::string>& overrides) {
+  return minic::compile(instantiate(spec, overrides));
+}
+
+}  // namespace fprop::apps

@@ -1,0 +1,32 @@
+#include "fprop/fpm/message.h"
+
+namespace fprop::fpm {
+
+MessageHeader build_header(const ShadowTable& sender, std::uint64_t buf_addr,
+                           std::uint64_t count_words) {
+  MessageHeader h;
+  const auto entries =
+      sender.in_range(buf_addr, buf_addr + count_words * 8);
+  h.records.reserve(entries.size());
+  for (const auto& [addr, pristine] : entries) {
+    h.records.push_back({(addr - buf_addr) / 8, pristine});
+  }
+  return h;
+}
+
+void install_header(ShadowTable& receiver, std::uint64_t buf_addr,
+                    std::uint64_t count_words, const MessageHeader& header) {
+  // The incoming copy replaced the whole destination range, so any prior
+  // contamination there is gone; contamination now comes only from the
+  // sender's records.
+  receiver.heal_range(buf_addr, buf_addr + count_words * 8);
+  for (const auto& rec : header.records) {
+    receiver.record(buf_addr + rec.displacement_words * 8, rec.pristine_bits);
+  }
+}
+
+std::uint64_t header_wire_words(const MessageHeader& header) noexcept {
+  return 1 + 2 * static_cast<std::uint64_t>(header.records.size());
+}
+
+}  // namespace fprop::fpm

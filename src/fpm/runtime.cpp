@@ -1,0 +1,50 @@
+#include "fprop/fpm/runtime.h"
+
+namespace fprop::fpm {
+
+void FpmRuntime::on_store(std::uint64_t val, std::uint64_t val_p,
+                          std::uint64_t addr, std::uint64_t addr_p,
+                          std::uint64_t old_pristine_addr,
+                          std::uint64_t mem_at_addr_p,
+                          bool have_addr_p_content) {
+  ++stats_.stores_checked;
+  if (addr == addr_p) {
+    // Common case: the destination address is uncorrupted. The location is
+    // contaminated iff the stored primary value diverges from the pristine
+    // value the secondary chain computed.
+    if (val != val_p) {
+      ++stats_.stores_divergent;
+      shadow_.record(addr, val_p);
+    } else if (shadow_.contaminated(addr)) {
+      // The store wrote the correct value over a previously contaminated
+      // word — the location healed (masking, Table 1 rows 2/4).
+      ++stats_.heals;
+      shadow_.heal(addr);
+    }
+    return;
+  }
+
+  // "Store addresses" duplicate effect (paper §3.2): the address register
+  // itself was corrupted, so the write landed at `addr` instead of `addr_p`.
+  ++stats_.wild_stores;
+
+  // (1) `addr` was overwritten with `val` but fault-free execution would
+  // leave it at `old_pristine_addr`.
+  if (val != old_pristine_addr) {
+    ++stats_.stores_divergent;
+    shadow_.record(addr, old_pristine_addr);
+  } else if (shadow_.contaminated(addr)) {
+    ++stats_.heals;
+    shadow_.heal(addr);
+  }
+
+  // (2) `addr_p` should now hold `val_p` but was never written.
+  if (!have_addr_p_content || mem_at_addr_p != val_p) {
+    shadow_.record(addr_p, val_p);
+  } else if (shadow_.contaminated(addr_p)) {
+    ++stats_.heals;
+    shadow_.heal(addr_p);
+  }
+}
+
+}  // namespace fprop::fpm

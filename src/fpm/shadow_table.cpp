@@ -1,0 +1,40 @@
+#include "fprop/fpm/shadow_table.h"
+
+#include <algorithm>
+
+namespace fprop::fpm {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> ShadowTable::in_range(
+    std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  // The table is unordered; for typical message sizes the range is small, so
+  // probing each word of the range beats scanning the whole table.
+  if (hi > lo && (hi - lo) / 8 < table_.size()) {
+    for (std::uint64_t addr = lo; addr < hi; addr += 8) {
+      auto it = table_.find(addr);
+      if (it != table_.end()) out.emplace_back(it->first, it->second);
+    }
+  } else {
+    for (const auto& [addr, pristine] : table_) {
+      if (addr >= lo && addr < hi) out.emplace_back(addr, pristine);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ShadowTable::heal_range(std::uint64_t lo, std::uint64_t hi) {
+  if (hi > lo && (hi - lo) / 8 < table_.size()) {
+    for (std::uint64_t addr = lo; addr < hi; addr += 8) table_.erase(addr);
+  } else {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->first >= lo && it->first < hi) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace fprop::fpm

@@ -1,0 +1,206 @@
+#include "fprop/harness/harness.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+#include "fprop/model/propagation_model.h"
+#include "fprop/support/error.h"
+
+namespace fprop::harness {
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Vanished: return "V";
+    case Outcome::OutputNotAffected: return "ONA";
+    case Outcome::WrongOutput: return "WO";
+    case Outcome::ProlongedExecution: return "PEX";
+    case Outcome::Crashed: return "C";
+  }
+  return "?";
+}
+
+AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
+    : name_(spec.name),
+      config_(config),
+      nranks_(config.nranks != 0 ? config.nranks : spec.default_nranks),
+      module_(apps::compile_app(spec, config.overrides)) {
+  sites_ = passes::instrument_module(module_, config_.targets);
+
+  // Golden run doubles as the LLFI++ profiling run (counts dynamic points).
+  inject::InjectorRuntime probe;  // counting mode
+  mpisim::WorldConfig wc = world_config(/*tracing=*/false);
+  wc.interp.cycle_budget = 4ull << 30;  // effectively unbounded
+  mpisim::World world(module_, wc);
+  world.set_inject_hook(&probe);
+  const mpisim::JobResult job = world.run();
+  FPROP_CHECK_MSG(!job.crashed, "golden run of '" + name_ + "' crashed: " +
+                                    vm::trap_name(job.first_trap));
+
+  golden_.outputs = job.outputs();
+  golden_.reported_iters = job.reported_iters();
+  golden_.max_rank_cycles = job.max_rank_cycles;
+  golden_.global_cycles = job.global_cycles;
+  golden_.total_allocated_words = job.total_allocated_words();
+  golden_.dyn_counts = probe.dynamic_counts(nranks_);
+  for (auto c : golden_.dyn_counts) golden_.total_dyn_points += c;
+  FPROP_CHECK_MSG(golden_.total_dyn_points > 0,
+                  "no injection points executed in '" + name_ + "'");
+}
+
+mpisim::WorldConfig AppHarness::world_config(bool tracing) const {
+  mpisim::WorldConfig wc;
+  wc.nranks = nranks_;
+  wc.slice = config_.slice;
+  wc.enable_fpm = true;
+  wc.fpm_sample_period = tracing ? config_.rank_sample_period : 0;
+  wc.global_sample_period = tracing ? config_.global_sample_period : 0;
+  wc.interp.rng_seed = config_.rng_seed;
+  wc.interp.cycle_budget = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          static_cast<double>(golden_.max_rank_cycles) *
+          config_.budget_factor),
+      1u << 20);
+  return wc;
+}
+
+Outcome AppHarness::classify(const mpisim::JobResult& job,
+                             bool memory_was_touched) const {
+  if (job.crashed) return Outcome::Crashed;
+
+  const std::vector<double> outputs = job.outputs();
+  bool output_ok = outputs.size() == golden_.outputs.size();
+  if (output_ok) {
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const double want = golden_.outputs[i];
+      const double have = outputs[i];
+      if (std::isnan(have) ||
+          std::fabs(have - want) >
+              config_.classifier.tolerance * (std::fabs(want) + 1e-9)) {
+        output_ok = false;
+        break;
+      }
+    }
+  }
+  if (!output_ok) return Outcome::WrongOutput;
+
+  const bool more_iters = golden_.reported_iters >= 0 &&
+                          job.reported_iters() > golden_.reported_iters;
+  const bool longer =
+      static_cast<double>(job.global_cycles) >
+      static_cast<double>(golden_.global_cycles) * config_.classifier.time_factor;
+  if (more_iters || longer) return Outcome::ProlongedExecution;
+
+  return memory_was_touched ? Outcome::OutputNotAffected : Outcome::Vanished;
+}
+
+TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
+                                  bool capture_trace) const {
+  inject::InjectorRuntime injector(plan);
+  mpisim::World world(module_, world_config(capture_trace));
+  world.set_inject_hook(&injector);
+  const mpisim::JobResult job = world.run();
+
+  TrialResult t;
+  t.trap = job.crashed ? job.first_trap : vm::Trap::None;
+  t.injected = !injector.events().empty();
+  if (t.injected) t.injection = injector.events().front();
+  t.total_cml_final = job.total_cml_final();
+  t.total_cml_peak = job.total_cml_peak();
+  const std::uint64_t words = job.total_allocated_words();
+  t.contaminated_pct =
+      words == 0 ? 0.0
+                 : 100.0 * static_cast<double>(t.total_cml_peak) /
+                       static_cast<double>(words);
+  t.contaminated_ranks = job.contaminated_ranks();
+  t.reported_iters = job.reported_iters();
+  t.global_cycles = job.global_cycles;
+  t.outcome = classify(job, t.total_cml_peak > 0);
+  if (capture_trace) {
+    t.trace = world.global_trace();
+    t.rank_first_contaminated.reserve(job.ranks.size());
+    for (const auto& r : job.ranks) {
+      t.rank_first_contaminated.push_back(r.first_contaminated_at);
+    }
+  }
+  return t;
+}
+
+std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
+                                              const CampaignResult& result) {
+  std::map<std::int64_t, SiteVulnerability> by_site;
+  for (const auto& t : result.trials) {
+    if (!t.injected) continue;
+    SiteVulnerability& sv = by_site[t.injection.site_id];
+    if (sv.site_id < 0) {
+      sv.site_id = t.injection.site_id;
+      const auto& site =
+          harness.sites().at(static_cast<std::size_t>(t.injection.site_id));
+      sv.consumer = site.consumer;
+      sv.function = site.function;
+    }
+    switch (t.outcome) {
+      case Outcome::Vanished: ++sv.counts.vanished; break;
+      case Outcome::OutputNotAffected: ++sv.counts.ona; break;
+      case Outcome::WrongOutput: ++sv.counts.wrong_output; break;
+      case Outcome::ProlongedExecution: ++sv.counts.pex; break;
+      case Outcome::Crashed: ++sv.counts.crashed; break;
+    }
+    sv.mean_contaminated_pct += t.contaminated_pct;  // sum; divided below
+  }
+  std::vector<SiteVulnerability> out;
+  out.reserve(by_site.size());
+  for (auto& [id, sv] : by_site) {
+    if (sv.counts.total() > 0) {
+      sv.mean_contaminated_pct /= static_cast<double>(sv.counts.total());
+    }
+    out.push_back(std::move(sv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SiteVulnerability& a, const SiteVulnerability& b) {
+              if (a.severity() != b.severity()) {
+                return a.severity() > b.severity();
+              }
+              return a.counts.total() > b.counts.total();
+            });
+  return out;
+}
+
+CampaignResult run_campaign(const AppHarness& harness,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  result.trials.reserve(config.trials);
+  std::size_t kept_traces = 0;
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    Xoshiro256 rng(derive_seed(config.seed, i));
+    const inject::InjectionPlan plan = inject::sample_faults(
+        harness.golden().dyn_counts, config.faults_per_run, rng);
+    TrialResult t = harness.run_trial(plan, config.capture_traces);
+
+    switch (t.outcome) {
+      case Outcome::Vanished: ++result.counts.vanished; break;
+      case Outcome::OutputNotAffected: ++result.counts.ona; break;
+      case Outcome::WrongOutput: ++result.counts.wrong_output; break;
+      case Outcome::ProlongedExecution: ++result.counts.pex; break;
+      case Outcome::Crashed: ++result.counts.crashed; break;
+    }
+    result.max_contaminated_pct.push_back(t.contaminated_pct);
+
+    if (config.capture_traces && !t.trace.empty()) {
+      // Fit the propagation slope while the trace is still in hand; the
+      // crash cases (immediate termination) rarely yield usable traces.
+      const model::TraceModel tm = model::model_trace(t.trace);
+      if (tm.usable && tm.rate.a > 0.0) result.slopes.push_back(tm.rate.a);
+    }
+    if (!config.capture_traces || kept_traces >= config.max_kept_traces) {
+      t.trace.clear();
+      t.trace.shrink_to_fit();
+    } else {
+      ++kept_traces;
+    }
+    result.trials.push_back(std::move(t));
+  }
+  return result;
+}
+
+}  // namespace fprop::harness

@@ -1,0 +1,128 @@
+#include "fprop/inject/injector.h"
+
+#include <algorithm>
+
+#include "fprop/support/error.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::inject {
+
+InjectionPlan InjectionPlan::single(std::uint32_t rank,
+                                    std::uint64_t dyn_index,
+                                    std::uint32_t bit) {
+  InjectionPlan p;
+  p.faults_by_rank[rank].push_back({dyn_index, bit});
+  return p;
+}
+
+std::size_t InjectionPlan::total_faults() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [rank, v] : faults_by_rank) n += v.size();
+  return n;
+}
+
+InjectorRuntime::InjectorRuntime(InjectionPlan plan) {
+  for (auto& [rank, faults] : plan.faults_by_rank) {
+    PerRank st;
+    st.pending = std::move(faults);
+    std::sort(st.pending.begin(), st.pending.end(),
+              [](const FaultRecord& a, const FaultRecord& b) {
+                return a.dyn_index < b.dyn_index;
+              });
+    ranks_.emplace(rank, std::move(st));
+  }
+}
+
+InjectorRuntime::PerRank& InjectorRuntime::rank_state(std::uint32_t rank) {
+  return ranks_[rank];  // default-constructed (counting only) if absent
+}
+
+std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
+                                          std::uint64_t value,
+                                          std::int64_t site_id,
+                                          unsigned width) {
+  PerRank& st = rank_state(self.rank());
+  const std::uint64_t index = st.counter++;
+  if (st.next >= st.pending.size() ||
+      st.pending[st.next].dyn_index != index) {
+    return value;
+  }
+  const FaultRecord& rec = st.pending[st.next++];
+  // Flips land within the live value's type width (i1 registers have a
+  // single meaningful bit).
+  const std::uint32_t bit = rec.bit % (width == 0 ? 64 : width);
+  const std::uint64_t flipped = value ^ (1ull << bit);
+  events_.push_back({self.rank(), site_id, index, bit, self.cycles(),
+                     value, flipped});
+  return flipped;
+}
+
+std::uint64_t InjectorRuntime::dynamic_points(std::uint32_t rank) const {
+  auto it = ranks_.find(rank);
+  return it == ranks_.end() ? 0 : it->second.counter;
+}
+
+DynCounts InjectorRuntime::dynamic_counts(std::uint32_t nranks) const {
+  DynCounts counts(nranks, 0);
+  for (std::uint32_t r = 0; r < nranks; ++r) counts[r] = dynamic_points(r);
+  return counts;
+}
+
+CycleProbe::CycleProbe(
+    std::map<std::uint32_t, std::vector<std::uint64_t>> samples) {
+  for (auto& [rank, indices] : samples) {
+    std::sort(indices.begin(), indices.end());
+    PerRank st;
+    for (std::uint64_t idx : indices) {
+      if (!st.targets.empty() && st.targets.back().first == idx) {
+        ++st.targets.back().second;
+      } else {
+        st.targets.emplace_back(idx, 1);
+      }
+    }
+    ranks_.emplace(rank, std::move(st));
+  }
+}
+
+std::uint64_t CycleProbe::on_fim_inj(vm::Interp& self, std::uint64_t value,
+                                     std::int64_t /*site_id*/,
+                                     unsigned /*width*/) {
+  auto it = ranks_.find(self.rank());
+  if (it == ranks_.end()) return value;
+  PerRank& st = it->second;
+  const std::uint64_t index = st.counter++;
+  while (st.next < st.targets.size() &&
+         st.targets[st.next].first == index) {
+    for (std::uint32_t m = 0; m < st.targets[st.next].second; ++m) {
+      samples_.emplace_back(self.rank(), self.cycles());
+    }
+    ++st.next;
+    break;  // distinct indices are unique after dedup; multiplicity handled
+  }
+  return value;
+}
+
+InjectionPlan sample_single_fault(const DynCounts& counts, Xoshiro256& rng) {
+  return sample_faults(counts, 1, rng);
+}
+
+InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
+                            Xoshiro256& rng) {
+  std::vector<std::uint32_t> eligible;
+  for (std::uint32_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] > 0) eligible.push_back(r);
+  }
+  FPROP_CHECK_MSG(!eligible.empty(),
+                  "no rank executed any injection point");
+  InjectionPlan plan;
+  for (std::size_t i = 0; i < nfaults; ++i) {
+    const std::uint32_t rank =
+        eligible[rng.next_below(eligible.size())];
+    const std::uint64_t idx = rng.next_below(counts[rank]);
+    const auto bit = static_cast<std::uint32_t>(rng.next_below(64));
+    plan.faults_by_rank[rank].push_back({idx, bit});
+  }
+  return plan;
+}
+
+}  // namespace fprop::inject

@@ -1,0 +1,163 @@
+#include "fprop/ir/builder.h"
+
+namespace fprop::ir {
+
+Type opcode_result_type(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::AddF: case Opcode::SubF: case Opcode::MulF:
+    case Opcode::DivF: case Opcode::NegF: case Opcode::I2F:
+    case Opcode::ConstF:
+      return Type::F64;
+    case Opcode::PtrAdd:
+      return Type::Ptr;
+    case Opcode::Store: case Opcode::Jmp: case Opcode::Br:
+    case Opcode::Ret: case Opcode::FpmStore:
+      return Type::Void;
+    default:
+      return Type::I64;
+  }
+}
+
+Type opcode_operand_type(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::AddF: case Opcode::SubF: case Opcode::MulF:
+    case Opcode::DivF: case Opcode::NegF: case Opcode::F2I:
+    case Opcode::EqF: case Opcode::NeF: case Opcode::LtF:
+    case Opcode::LeF: case Opcode::GtF: case Opcode::GeF:
+      return Type::F64;
+    case Opcode::EqP: case Opcode::NeP:
+      return Type::Ptr;
+    default:
+      return Type::I64;
+  }
+}
+
+BlockId Builder::new_block() {
+  f_->blocks.emplace_back();
+  return static_cast<BlockId>(f_->blocks.size() - 1);
+}
+
+Instr Builder::make(Opcode op, Type t, Reg dst,
+                    std::initializer_list<Reg> operands) const {
+  Instr in;
+  in.op = op;
+  in.type = t;
+  in.dst = dst;
+  FPROP_CHECK(operands.size() <= in.ops.size());
+  std::size_t i = 0;
+  for (Reg r : operands) in.ops[i++] = r;
+  in.nops = static_cast<std::uint8_t>(operands.size());
+  return in;
+}
+
+void Builder::emit(Instr in) {
+  FPROP_CHECK_MSG(cur_ < f_->blocks.size(), "insert point out of range");
+  f_->blocks[cur_].code.push_back(std::move(in));
+}
+
+Reg Builder::const_i(std::int64_t v) {
+  const Reg dst = new_reg(Type::I64);
+  Instr in = make(Opcode::ConstI, Type::I64, dst, {});
+  in.imm = v;
+  emit(std::move(in));
+  return dst;
+}
+
+Reg Builder::const_f(double v) {
+  const Reg dst = new_reg(Type::F64);
+  Instr in = make(Opcode::ConstF, Type::F64, dst, {});
+  in.fimm = v;
+  emit(std::move(in));
+  return dst;
+}
+
+Reg Builder::mov(Reg src) {
+  const Type t = f_->reg_type(src);
+  const Reg dst = new_reg(t);
+  emit(make(Opcode::Mov, t, dst, {src}));
+  return dst;
+}
+
+void Builder::mov_to(Reg dst, Reg src) {
+  emit(make(Opcode::Mov, f_->reg_type(src), dst, {src}));
+}
+
+Reg Builder::binop(Opcode op, Reg a, Reg b) {
+  const Type rt = opcode_result_type(op);
+  const Reg dst = new_reg(rt);
+  emit(make(op, rt, dst, {a, b}));
+  return dst;
+}
+
+Reg Builder::unop(Opcode op, Reg a) {
+  const Type rt = opcode_result_type(op);
+  const Reg dst = new_reg(rt);
+  emit(make(op, rt, dst, {a}));
+  return dst;
+}
+
+Reg Builder::i2f(Reg a) { return unop(Opcode::I2F, a); }
+Reg Builder::f2i(Reg a) { return unop(Opcode::F2I, a); }
+
+Reg Builder::load(Type t, Reg addr) {
+  const Reg dst = new_reg(t);
+  emit(make(Opcode::Load, t, dst, {addr}));
+  return dst;
+}
+
+void Builder::store(Reg val, Reg addr) {
+  emit(make(Opcode::Store, f_->reg_type(val), kNoReg, {val, addr}));
+}
+
+Reg Builder::ptr_add(Reg base, Reg index) {
+  return binop(Opcode::PtrAdd, base, index);
+}
+
+void Builder::jmp(BlockId target) {
+  Instr in = make(Opcode::Jmp, Type::Void, kNoReg, {});
+  in.t1 = target;
+  emit(std::move(in));
+}
+
+void Builder::br(Reg cond, BlockId if_true, BlockId if_false) {
+  Instr in = make(Opcode::Br, Type::Void, kNoReg, {cond});
+  in.t1 = if_true;
+  in.t2 = if_false;
+  emit(std::move(in));
+}
+
+void Builder::ret() { emit(make(Opcode::Ret, Type::Void, kNoReg, {})); }
+
+void Builder::ret(Reg value) {
+  Instr in = make(Opcode::Ret, f_->reg_type(value), kNoReg, {});
+  in.args = {value};
+  emit(std::move(in));
+}
+
+Reg Builder::call(FuncId callee, std::vector<Reg> args, Type result_type) {
+  Instr in = make(Opcode::Call, result_type, kNoReg, {});
+  if (result_type != Type::Void) in.dst = new_reg(result_type);
+  in.callee = callee;
+  in.args = std::move(args);
+  const Reg dst = in.dst;
+  emit(std::move(in));
+  return dst;
+}
+
+Reg Builder::intrinsic(IntrinsicId id, std::vector<Reg> args) {
+  const Type rt = intrinsic_result_type(id);
+  Instr in = make(Opcode::Intrinsic, rt, kNoReg, {});
+  if (rt != Type::Void) in.dst = new_reg(rt);
+  in.intr = id;
+  in.args = std::move(args);
+  const Reg dst = in.dst;
+  emit(std::move(in));
+  return dst;
+}
+
+bool Builder::block_terminated() const {
+  const auto& code = f_->blocks[cur_].code;
+  return !code.empty() && is_terminator(code.back().op);
+}
+
+}  // namespace fprop::ir

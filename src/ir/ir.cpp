@@ -1,0 +1,252 @@
+#include "fprop/ir/ir.h"
+
+namespace fprop::ir {
+
+const char* type_name(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I64: return "i64";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::ConstI: return "const.i64";
+    case Opcode::ConstF: return "const.f64";
+    case Opcode::Mov: return "mov";
+    case Opcode::AddI: return "add.i64";
+    case Opcode::SubI: return "sub.i64";
+    case Opcode::MulI: return "mul.i64";
+    case Opcode::DivI: return "div.i64";
+    case Opcode::RemI: return "rem.i64";
+    case Opcode::AndI: return "and.i64";
+    case Opcode::OrI: return "or.i64";
+    case Opcode::XorI: return "xor.i64";
+    case Opcode::ShlI: return "shl.i64";
+    case Opcode::ShrI: return "shr.i64";
+    case Opcode::NegI: return "neg.i64";
+    case Opcode::NotI: return "not.i64";
+    case Opcode::AddF: return "add.f64";
+    case Opcode::SubF: return "sub.f64";
+    case Opcode::MulF: return "mul.f64";
+    case Opcode::DivF: return "div.f64";
+    case Opcode::NegF: return "neg.f64";
+    case Opcode::EqI: return "eq.i64";
+    case Opcode::NeI: return "ne.i64";
+    case Opcode::LtI: return "lt.i64";
+    case Opcode::LeI: return "le.i64";
+    case Opcode::GtI: return "gt.i64";
+    case Opcode::GeI: return "ge.i64";
+    case Opcode::EqF: return "eq.f64";
+    case Opcode::NeF: return "ne.f64";
+    case Opcode::LtF: return "lt.f64";
+    case Opcode::LeF: return "le.f64";
+    case Opcode::GtF: return "gt.f64";
+    case Opcode::GeF: return "ge.f64";
+    case Opcode::EqP: return "eq.ptr";
+    case Opcode::NeP: return "ne.ptr";
+    case Opcode::I2F: return "i2f";
+    case Opcode::F2I: return "f2i";
+    case Opcode::Load: return "ld";
+    case Opcode::Store: return "st";
+    case Opcode::PtrAdd: return "ptradd";
+    case Opcode::Jmp: return "jmp";
+    case Opcode::Br: return "br";
+    case Opcode::Ret: return "ret";
+    case Opcode::Call: return "call";
+    case Opcode::Intrinsic: return "intrinsic";
+    case Opcode::FimInj: return "fim_inj";
+    case Opcode::FpmFetch: return "fpm_fetch";
+    case Opcode::FpmStore: return "fpm_store";
+  }
+  return "?";
+}
+
+const char* intrinsic_name(IntrinsicId id) noexcept {
+  switch (id) {
+    case IntrinsicId::Sqrt: return "sqrt";
+    case IntrinsicId::Fabs: return "fabs";
+    case IntrinsicId::Exp: return "exp";
+    case IntrinsicId::Log: return "log";
+    case IntrinsicId::Sin: return "sin";
+    case IntrinsicId::Cos: return "cos";
+    case IntrinsicId::Pow: return "pow";
+    case IntrinsicId::Floor: return "floor";
+    case IntrinsicId::FMin: return "fmin";
+    case IntrinsicId::FMax: return "fmax";
+    case IntrinsicId::IMin: return "imin";
+    case IntrinsicId::IMax: return "imax";
+    case IntrinsicId::Alloc: return "alloc";
+    case IntrinsicId::OutputF: return "output_f";
+    case IntrinsicId::OutputI: return "output_i";
+    case IntrinsicId::ReportIters: return "report_iters";
+    case IntrinsicId::Rand01: return "rand01";
+    case IntrinsicId::Clock: return "clock";
+    case IntrinsicId::MpiRank: return "mpi_rank";
+    case IntrinsicId::MpiSize: return "mpi_size";
+    case IntrinsicId::MpiSendF: return "mpi_send_f";
+    case IntrinsicId::MpiRecvF: return "mpi_recv_f";
+    case IntrinsicId::MpiIsendF: return "mpi_isend_f";
+    case IntrinsicId::MpiIrecvF: return "mpi_irecv_f";
+    case IntrinsicId::MpiWait: return "mpi_wait";
+    case IntrinsicId::MpiAllreduceSumF: return "mpi_allreduce_sum_f";
+    case IntrinsicId::MpiAllreduceMaxF: return "mpi_allreduce_max_f";
+    case IntrinsicId::MpiBcastF: return "mpi_bcast_f";
+    case IntrinsicId::MpiBarrier: return "mpi_barrier";
+    case IntrinsicId::MpiAbort: return "mpi_abort";
+  }
+  return "?";
+}
+
+bool intrinsic_is_pure(IntrinsicId id) noexcept {
+  switch (id) {
+    case IntrinsicId::Sqrt:
+    case IntrinsicId::Fabs:
+    case IntrinsicId::Exp:
+    case IntrinsicId::Log:
+    case IntrinsicId::Sin:
+    case IntrinsicId::Cos:
+    case IntrinsicId::Pow:
+    case IntrinsicId::Floor:
+    case IntrinsicId::FMin:
+    case IntrinsicId::FMax:
+    case IntrinsicId::IMin:
+    case IntrinsicId::IMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned intrinsic_arity(IntrinsicId id) noexcept {
+  switch (id) {
+    case IntrinsicId::Sqrt:
+    case IntrinsicId::Fabs:
+    case IntrinsicId::Exp:
+    case IntrinsicId::Log:
+    case IntrinsicId::Sin:
+    case IntrinsicId::Cos:
+    case IntrinsicId::Floor:
+    case IntrinsicId::Alloc:
+    case IntrinsicId::OutputF:
+    case IntrinsicId::OutputI:
+    case IntrinsicId::ReportIters:
+    case IntrinsicId::MpiAbort:
+    case IntrinsicId::MpiWait:
+      return 1;
+    case IntrinsicId::Pow:
+    case IntrinsicId::FMin:
+    case IntrinsicId::FMax:
+    case IntrinsicId::IMin:
+    case IntrinsicId::IMax:
+      return 2;
+    case IntrinsicId::Rand01:
+    case IntrinsicId::Clock:
+    case IntrinsicId::MpiRank:
+    case IntrinsicId::MpiSize:
+    case IntrinsicId::MpiBarrier:
+      return 0;
+    case IntrinsicId::MpiBcastF:
+    case IntrinsicId::MpiAllreduceSumF:
+    case IntrinsicId::MpiAllreduceMaxF:
+      return 3;
+    case IntrinsicId::MpiSendF:
+    case IntrinsicId::MpiRecvF:
+    case IntrinsicId::MpiIsendF:
+    case IntrinsicId::MpiIrecvF:
+      return 4;
+  }
+  return 0;
+}
+
+Type intrinsic_result_type(IntrinsicId id) noexcept {
+  switch (id) {
+    case IntrinsicId::Sqrt:
+    case IntrinsicId::Fabs:
+    case IntrinsicId::Exp:
+    case IntrinsicId::Log:
+    case IntrinsicId::Sin:
+    case IntrinsicId::Cos:
+    case IntrinsicId::Pow:
+    case IntrinsicId::Floor:
+    case IntrinsicId::FMin:
+    case IntrinsicId::FMax:
+    case IntrinsicId::Rand01:
+      return Type::F64;
+    case IntrinsicId::IMin:
+    case IntrinsicId::IMax:
+    case IntrinsicId::Clock:
+    case IntrinsicId::MpiRank:
+    case IntrinsicId::MpiSize:
+    case IntrinsicId::MpiIsendF:
+    case IntrinsicId::MpiIrecvF:
+      return Type::I64;
+    case IntrinsicId::Alloc:
+      return Type::Ptr;
+    default:
+      return Type::Void;
+  }
+}
+
+bool is_arith(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::AddI: case Opcode::SubI: case Opcode::MulI:
+    case Opcode::DivI: case Opcode::RemI: case Opcode::AndI:
+    case Opcode::OrI: case Opcode::XorI: case Opcode::ShlI:
+    case Opcode::ShrI: case Opcode::NegI: case Opcode::NotI:
+    case Opcode::AddF: case Opcode::SubF: case Opcode::MulF:
+    case Opcode::DivF: case Opcode::NegF:
+    case Opcode::EqI: case Opcode::NeI: case Opcode::LtI:
+    case Opcode::LeI: case Opcode::GtI: case Opcode::GeI:
+    case Opcode::EqF: case Opcode::NeF: case Opcode::LtF:
+    case Opcode::LeF: case Opcode::GtF: case Opcode::GeF:
+    case Opcode::EqP: case Opcode::NeP:
+    case Opcode::I2F: case Opcode::F2I:
+    case Opcode::PtrAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_terminator(Opcode op) noexcept {
+  return op == Opcode::Jmp || op == Opcode::Br || op == Opcode::Ret;
+}
+
+bool has_result(const Instr& in) noexcept { return in.dst != kNoReg; }
+
+Function& Module::add_function(std::string name, Type ret_type) {
+  FPROP_CHECK_MSG(by_name.find(name) == by_name.end(),
+                  "duplicate function name: " + name);
+  Function f;
+  f.name = name;
+  f.id = static_cast<FuncId>(funcs.size());
+  f.ret_type = ret_type;
+  f.blocks.emplace_back();  // entry block
+  by_name.emplace(std::move(name), f.id);
+  funcs.push_back(std::move(f));
+  return funcs.back();
+}
+
+Function* Module::find(std::string_view name) {
+  auto it = by_name.find(std::string(name));
+  return it == by_name.end() ? nullptr : &funcs[it->second];
+}
+
+const Function* Module::find(std::string_view name) const {
+  auto it = by_name.find(std::string(name));
+  return it == by_name.end() ? nullptr : &funcs[it->second];
+}
+
+std::size_t Module::static_instr_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : funcs) {
+    for (const auto& b : f.blocks) n += b.code.size();
+  }
+  return n;
+}
+
+}  // namespace fprop::ir

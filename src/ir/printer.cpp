@@ -1,0 +1,131 @@
+#include "fprop/ir/printer.h"
+
+#include <sstream>
+
+namespace fprop::ir {
+
+namespace {
+
+// Registers created as pristine twins by the dual-chain pass are printed with
+// a `p` suffix (the paper's r1/r1p notation); injected-value registers keep
+// plain names since the site id already marks them.
+std::string reg_name(const Function& f, Reg r) {
+  if (r == kNoReg) return "r?";
+  for (const auto& [primary, shadow] : f.shadow_of) {
+    if (shadow == r) return "r" + std::to_string(primary) + "p";
+  }
+  return "r" + std::to_string(r);
+}
+
+}  // namespace
+
+std::string to_string(const Function& f, const Instr& in) {
+  std::ostringstream os;
+  auto r = [&](Reg reg) { return reg_name(f, reg); };
+  switch (in.op) {
+    case Opcode::ConstI:
+      os << r(in.dst) << " = const.i64 " << in.imm;
+      break;
+    case Opcode::ConstF:
+      os << r(in.dst) << " = const.f64 " << in.fimm;
+      break;
+    case Opcode::Mov:
+      os << r(in.dst) << " = mov " << r(in.a());
+      break;
+    case Opcode::Load:
+      os << r(in.dst) << " = ld." << type_name(in.type) << " [" << r(in.a())
+         << "]";
+      break;
+    case Opcode::Store:
+      os << "st." << type_name(in.type) << " " << r(in.a()) << ", ["
+         << r(in.b()) << "]";
+      break;
+    case Opcode::Jmp:
+      os << "jmp bb" << in.t1;
+      break;
+    case Opcode::Br:
+      os << "br " << r(in.a()) << ", bb" << in.t1 << ", bb" << in.t2;
+      break;
+    case Opcode::Ret:
+      os << "ret";
+      for (Reg v : in.args) os << " " << r(v);
+      break;
+    case Opcode::Call: {
+      if (in.dst != kNoReg) {
+        os << r(in.dst);
+        if (in.dst2 != kNoReg) os << ", " << r(in.dst2);
+        os << " = ";
+      }
+      os << "call @" << in.callee << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << r(in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::Intrinsic: {
+      if (in.dst != kNoReg) {
+        os << r(in.dst);
+        if (in.dst2 != kNoReg) os << ", " << r(in.dst2);
+        os << " = ";
+      }
+      os << intrinsic_name(in.intr) << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << r(in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::FimInj:
+      os << r(in.dst) << " = fim_inj(" << r(in.a()) << ") #site=" << in.imm;
+      break;
+    case Opcode::FpmFetch:
+      os << r(in.dst) << " = fpm_fetch." << type_name(in.type) << " ["
+         << r(in.a()) << "]";
+      break;
+    case Opcode::FpmStore:
+      os << "fpm_store." << type_name(in.type) << " " << r(in.a()) << ", "
+         << r(in.b()) << ", [" << r(in.c()) << "], [" << r(in.d()) << "]";
+      break;
+    default: {
+      // Generic arithmetic rendering: `r3 = mul.f64 r1, r2`.
+      os << r(in.dst) << " = " << opcode_name(in.op);
+      for (std::uint8_t i = 0; i < in.nops; ++i) {
+        os << (i == 0 ? " " : ", ") << r(in.ops[i]);
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name << "(";
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << reg_name(f, f.params[i]) << ":"
+       << type_name(f.reg_types[f.params[i]]);
+  }
+  os << ") -> " << type_name(f.ret_type);
+  if (f.dual_chain) os << " dual_chain";
+  os << " {\n";
+  for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+    os << "bb" << b << ":\n";
+    for (const auto& in : f.blocks[b].code) {
+      os << "  " << to_string(f, in) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  for (const auto& f : m.funcs) os << to_string(f) << "\n";
+  return os.str();
+}
+
+}  // namespace fprop::ir

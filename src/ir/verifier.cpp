@@ -1,0 +1,211 @@
+#include "fprop/ir/verifier.h"
+
+#include <sstream>
+
+#include "fprop/ir/builder.h"
+#include "fprop/ir/printer.h"
+
+namespace fprop::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& m) : m_(m) {}
+
+  void run() {
+    if (m_.entry == kNoFunc || m_.entry >= m_.funcs.size()) {
+      throw VerifyError("module has no entry function");
+    }
+    if (!m_.funcs[m_.entry].params.empty()) {
+      throw VerifyError("entry function must take no parameters");
+    }
+    for (const auto& f : m_.funcs) check_function(f);
+  }
+
+ private:
+  [[noreturn]] void fail(const Function& f, const Instr* in,
+                         const std::string& msg) const {
+    std::ostringstream os;
+    os << "verify: @" << f.name;
+    if (in != nullptr) os << ": `" << to_string(f, *in) << "`";
+    os << ": " << msg;
+    throw VerifyError(os.str());
+  }
+
+  void check_reg(const Function& f, const Instr& in, Reg r, Type want) const {
+    if (r >= f.reg_types.size()) fail(f, &in, "register out of range");
+    if (want != Type::Void && f.reg_types[r] != want) {
+      fail(f, &in,
+           std::string("register type mismatch: have ") +
+               type_name(f.reg_types[r]) + ", want " + type_name(want));
+    }
+  }
+
+  void check_nops(const Function& f, const Instr& in, unsigned want) const {
+    if (in.nops != want) fail(f, &in, "wrong operand count");
+  }
+
+  void check_target(const Function& f, const Instr& in, BlockId b) const {
+    if (b >= f.blocks.size()) fail(f, &in, "branch target out of range");
+  }
+
+  void check_function(const Function& f) const {
+    for (Reg p : f.params) {
+      if (p >= f.reg_types.size()) fail(f, nullptr, "param register invalid");
+    }
+    if (f.blocks.empty()) fail(f, nullptr, "function has no blocks");
+    for (const auto& block : f.blocks) {
+      if (block.code.empty()) fail(f, nullptr, "empty basic block");
+      for (std::size_t i = 0; i < block.code.size(); ++i) {
+        const Instr& in = block.code[i];
+        const bool last = i + 1 == block.code.size();
+        if (is_terminator(in.op) != last) {
+          fail(f, &in, last ? "block does not end in terminator"
+                            : "terminator not at end of block");
+        }
+        check_instr(f, in);
+      }
+    }
+  }
+
+  void check_instr(const Function& f, const Instr& in) const {
+    switch (in.op) {
+      case Opcode::ConstI:
+        check_nops(f, in, 0);
+        check_reg(f, in, in.dst, Type::I64);
+        break;
+      case Opcode::ConstF:
+        check_nops(f, in, 0);
+        check_reg(f, in, in.dst, Type::F64);
+        break;
+      case Opcode::Mov:
+        check_nops(f, in, 1);
+        check_reg(f, in, in.a(), Type::Void);
+        check_reg(f, in, in.dst, f.reg_types[in.a()]);
+        break;
+      case Opcode::Load:
+        check_nops(f, in, 1);
+        check_reg(f, in, in.a(), Type::Ptr);
+        if (in.type == Type::Void) fail(f, &in, "load of void");
+        check_reg(f, in, in.dst, in.type);
+        break;
+      case Opcode::FpmFetch:
+        check_nops(f, in, 1);
+        check_reg(f, in, in.a(), Type::Ptr);
+        if (in.type == Type::Void) fail(f, &in, "fetch of void");
+        check_reg(f, in, in.dst, in.type);
+        break;
+      case Opcode::Store:
+        check_nops(f, in, 2);
+        check_reg(f, in, in.a(), in.type);
+        check_reg(f, in, in.b(), Type::Ptr);
+        break;
+      case Opcode::FpmStore:
+        check_nops(f, in, 4);
+        check_reg(f, in, in.a(), in.type);   // primary value
+        check_reg(f, in, in.b(), in.type);   // pristine value
+        check_reg(f, in, in.c(), Type::Ptr); // primary address
+        check_reg(f, in, in.d(), Type::Ptr); // pristine address
+        break;
+      case Opcode::PtrAdd:
+        check_nops(f, in, 2);
+        check_reg(f, in, in.a(), Type::Ptr);
+        check_reg(f, in, in.b(), Type::I64);
+        check_reg(f, in, in.dst, Type::Ptr);
+        break;
+      case Opcode::Jmp:
+        check_nops(f, in, 0);
+        check_target(f, in, in.t1);
+        break;
+      case Opcode::Br:
+        check_nops(f, in, 1);
+        check_reg(f, in, in.a(), Type::I64);
+        check_target(f, in, in.t1);
+        check_target(f, in, in.t2);
+        break;
+      case Opcode::Ret:
+        check_ret(f, in);
+        break;
+      case Opcode::Call:
+        check_call(f, in);
+        break;
+      case Opcode::Intrinsic:
+        check_intrinsic(f, in);
+        break;
+      case Opcode::FimInj:
+        check_nops(f, in, 1);
+        check_reg(f, in, in.a(), Type::Void);
+        check_reg(f, in, in.dst, f.reg_types[in.a()]);
+        break;
+      default:
+        check_arith(f, in);
+        break;
+    }
+  }
+
+  void check_arith(const Function& f, const Instr& in) const {
+    if (!is_arith(in.op)) fail(f, &in, "unknown opcode");
+    const Type opt = opcode_operand_type(in.op);
+    const Type rt = opcode_result_type(in.op);
+    const bool unary = in.op == Opcode::NegI || in.op == Opcode::NotI ||
+                       in.op == Opcode::NegF || in.op == Opcode::I2F ||
+                       in.op == Opcode::F2I;
+    check_nops(f, in, unary ? 1 : 2);
+    check_reg(f, in, in.a(), opt);
+    if (!unary) check_reg(f, in, in.b(), opt);
+    check_reg(f, in, in.dst, rt);
+  }
+
+  void check_ret(const Function& f, const Instr& in) const {
+    const std::size_t want =
+        f.ret_type == Type::Void ? 0 : (f.dual_chain ? 2 : 1);
+    if (in.args.size() != want) fail(f, &in, "wrong number of return values");
+    for (Reg r : in.args) check_reg(f, in, r, f.ret_type);
+  }
+
+  void check_call(const Function& f, const Instr& in) const {
+    if (in.callee >= m_.funcs.size()) fail(f, &in, "callee out of range");
+    const Function& callee = m_.funcs[in.callee];
+    if (in.args.size() != callee.params.size()) {
+      fail(f, &in, "argument count mismatch with @" + callee.name);
+    }
+    for (std::size_t i = 0; i < in.args.size(); ++i) {
+      check_reg(f, in, in.args[i], callee.reg_types[callee.params[i]]);
+    }
+    if (callee.ret_type == Type::Void) {
+      if (in.dst != kNoReg || in.dst2 != kNoReg) {
+        fail(f, &in, "void callee cannot produce results");
+      }
+    } else {
+      check_reg(f, in, in.dst, callee.ret_type);
+      if (callee.dual_chain) {
+        check_reg(f, in, in.dst2, callee.ret_type);
+      } else if (in.dst2 != kNoReg) {
+        fail(f, &in, "dst2 on call to non-dual-chain function");
+      }
+    }
+  }
+
+  void check_intrinsic(const Function& f, const Instr& in) const {
+    if (in.args.size() != intrinsic_arity(in.intr)) {
+      fail(f, &in, "intrinsic arity mismatch");
+    }
+    for (Reg r : in.args) check_reg(f, in, r, Type::Void);
+    const Type rt = intrinsic_result_type(in.intr);
+    if (rt == Type::Void) {
+      if (in.dst != kNoReg) fail(f, &in, "void intrinsic cannot have result");
+    } else {
+      check_reg(f, in, in.dst, rt);
+      if (in.dst2 != kNoReg) check_reg(f, in, in.dst2, rt);
+    }
+  }
+
+  const Module& m_;
+};
+
+}  // namespace
+
+void verify(const Module& m) { Verifier(m).run(); }
+
+}  // namespace fprop::ir

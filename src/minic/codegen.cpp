@@ -1,0 +1,585 @@
+#include <optional>
+#include <unordered_map>
+
+#include "fprop/ir/builder.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/minic/compile.h"
+#include "fprop/support/error.h"
+
+namespace fprop::minic {
+
+namespace {
+
+using ir::Opcode;
+using ir::Reg;
+
+ir::Type lower_type(TypeKind t) {
+  switch (t) {
+    case TypeKind::Int: return ir::Type::I64;
+    case TypeKind::Float: return ir::Type::F64;
+    case TypeKind::IntPtr:
+    case TypeKind::FloatPtr: return ir::Type::Ptr;
+  }
+  return ir::Type::I64;
+}
+
+bool is_ptr(TypeKind t) {
+  return t == TypeKind::IntPtr || t == TypeKind::FloatPtr;
+}
+
+TypeKind element_type(TypeKind t) {
+  return t == TypeKind::IntPtr ? TypeKind::Int : TypeKind::Float;
+}
+
+struct Value {
+  Reg reg = ir::kNoReg;
+  TypeKind type = TypeKind::Int;
+};
+
+struct Builtin {
+  ir::IntrinsicId id{};
+  std::vector<TypeKind> params;
+  std::optional<TypeKind> result;
+};
+
+const std::unordered_map<std::string, Builtin>& builtins() {
+  using I = ir::IntrinsicId;
+  using T = TypeKind;
+  static const std::unordered_map<std::string, Builtin> table = {
+      {"sqrt", {I::Sqrt, {T::Float}, T::Float}},
+      {"fabs", {I::Fabs, {T::Float}, T::Float}},
+      {"exp", {I::Exp, {T::Float}, T::Float}},
+      {"log", {I::Log, {T::Float}, T::Float}},
+      {"sin", {I::Sin, {T::Float}, T::Float}},
+      {"cos", {I::Cos, {T::Float}, T::Float}},
+      {"pow", {I::Pow, {T::Float, T::Float}, T::Float}},
+      {"floor", {I::Floor, {T::Float}, T::Float}},
+      {"fmin", {I::FMin, {T::Float, T::Float}, T::Float}},
+      {"fmax", {I::FMax, {T::Float, T::Float}, T::Float}},
+      {"imin", {I::IMin, {T::Int, T::Int}, T::Int}},
+      {"imax", {I::IMax, {T::Int, T::Int}, T::Int}},
+      {"alloc_int", {I::Alloc, {T::Int}, T::IntPtr}},
+      {"alloc_float", {I::Alloc, {T::Int}, T::FloatPtr}},
+      {"output_f", {I::OutputF, {T::Float}, std::nullopt}},
+      {"output_i", {I::OutputI, {T::Int}, std::nullopt}},
+      {"report_iters", {I::ReportIters, {T::Int}, std::nullopt}},
+      {"rand01", {I::Rand01, {}, T::Float}},
+      {"clock", {I::Clock, {}, T::Int}},
+      {"mpi_rank", {I::MpiRank, {}, T::Int}},
+      {"mpi_size", {I::MpiSize, {}, T::Int}},
+      {"mpi_send_f", {I::MpiSendF, {T::Int, T::Int, T::FloatPtr, T::Int},
+                      std::nullopt}},
+      {"mpi_recv_f", {I::MpiRecvF, {T::Int, T::Int, T::FloatPtr, T::Int},
+                      std::nullopt}},
+      {"mpi_isend_f", {I::MpiIsendF, {T::Int, T::Int, T::FloatPtr, T::Int},
+                       T::Int}},
+      {"mpi_irecv_f", {I::MpiIrecvF, {T::Int, T::Int, T::FloatPtr, T::Int},
+                       T::Int}},
+      {"mpi_wait", {I::MpiWait, {T::Int}, std::nullopt}},
+      {"mpi_allreduce_sum_f", {I::MpiAllreduceSumF,
+                               {T::FloatPtr, T::FloatPtr, T::Int},
+                               std::nullopt}},
+      {"mpi_allreduce_max_f", {I::MpiAllreduceMaxF,
+                               {T::FloatPtr, T::FloatPtr, T::Int},
+                               std::nullopt}},
+      {"mpi_bcast_f", {I::MpiBcastF, {T::Int, T::FloatPtr, T::Int},
+                       std::nullopt}},
+      {"mpi_barrier", {I::MpiBarrier, {}, std::nullopt}},
+      {"mpi_abort", {I::MpiAbort, {T::Int}, std::nullopt}},
+  };
+  return table;
+}
+
+class FunctionCodegen {
+ public:
+  FunctionCodegen(ir::Module& m, const FuncDecl& decl,
+                  const std::unordered_map<std::string, const FuncDecl*>& decls)
+      : m_(m), decl_(decl), decls_(decls),
+        func_(*m.find(decl.name)), b_(func_) {}
+
+  void run() {
+    push_scope();
+    for (std::size_t i = 0; i < decl_.params.size(); ++i) {
+      declare(decl_.params[i].name, decl_.params[i].type, func_.params[i],
+              decl_.line, 0);
+    }
+    gen_stmts(decl_.body);
+    pop_scope();
+    if (!b_.block_terminated()) {
+      if (decl_.has_return) {
+        // Fall-off of a value-returning function: return a zero of the
+        // declared type. This keeps unreachable join blocks well-formed;
+        // reachable fall-offs are an app bug the tests would catch.
+        b_.ret(zero_of(decl_.return_type));
+      } else {
+        b_.ret();
+      }
+    }
+  }
+
+ private:
+  struct LoopCtx {
+    ir::BlockId break_target;
+    ir::BlockId continue_target;
+  };
+
+  [[noreturn]] void fail(const std::string& msg, int line, int col) const {
+    throw CompileError("in fn " + decl_.name + ": " + msg, line, col);
+  }
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare(const std::string& name, TypeKind type, Reg reg, int line,
+               int col) {
+    auto& scope = scopes_.back();
+    if (scope.count(name) != 0) {
+      fail("redeclaration of '" + name + "'", line, col);
+    }
+    scope.emplace(name, Value{reg, type});
+  }
+
+  const Value* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  Reg zero_of(TypeKind t) {
+    if (t == TypeKind::Float) return b_.const_f(0.0);
+    if (is_ptr(t)) {
+      // Null pointer: a fresh ptr register that is never written — the VM
+      // zero-initializes registers, and so does the dual-chain twin.
+      return b_.new_reg(ir::Type::Ptr);
+    }
+    return b_.const_i(0);
+  }
+
+  void gen_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts) {
+      if (b_.block_terminated()) {
+        // Unreachable trailing statements (code after return/break).
+        break;
+      }
+      gen_stmt(*s);
+    }
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::VarDecl: {
+        const Reg home = b_.new_reg(lower_type(s.var_type));
+        declare(s.name, s.var_type, home, s.line, s.column);
+        if (s.expr) {
+          const Value v = gen_expr(*s.expr);
+          expect_type(v.type, s.var_type, *s.expr);
+          b_.mov_to(home, v.reg);
+        }
+        break;
+      }
+      case Stmt::Kind::Assign: {
+        const Value* var = lookup(s.name);
+        if (var == nullptr) {
+          fail("assignment to undeclared '" + s.name + "'", s.line, s.column);
+        }
+        const Value v = gen_expr(*s.expr);
+        expect_type(v.type, var->type, *s.expr);
+        b_.mov_to(var->reg, v.reg);
+        break;
+      }
+      case Stmt::Kind::IndexAssign: {
+        const Value base = gen_expr(*s.index_base);
+        if (!is_ptr(base.type)) {
+          fail("indexed assignment into non-pointer", s.line, s.column);
+        }
+        const Value idx = gen_expr(*s.index);
+        expect_type(idx.type, TypeKind::Int, *s.index);
+        const Value v = gen_expr(*s.expr);
+        expect_type(v.type, element_type(base.type), *s.expr);
+        const Reg addr = b_.ptr_add(base.reg, idx.reg);
+        b_.store(v.reg, addr);
+        break;
+      }
+      case Stmt::Kind::If: {
+        const Value cond = gen_expr(*s.expr);
+        expect_type(cond.type, TypeKind::Int, *s.expr);
+        const ir::BlockId then_b = b_.new_block();
+        const ir::BlockId join_b = b_.new_block();
+        const ir::BlockId else_b =
+            s.else_body.empty() ? join_b : b_.new_block();
+        b_.br(cond.reg, then_b, else_b);
+        b_.set_insert_point(then_b);
+        push_scope();
+        gen_stmts(s.body);
+        pop_scope();
+        if (!b_.block_terminated()) b_.jmp(join_b);
+        if (!s.else_body.empty()) {
+          b_.set_insert_point(else_b);
+          push_scope();
+          gen_stmts(s.else_body);
+          pop_scope();
+          if (!b_.block_terminated()) b_.jmp(join_b);
+        }
+        b_.set_insert_point(join_b);
+        break;
+      }
+      case Stmt::Kind::While: {
+        const ir::BlockId header = b_.new_block();
+        const ir::BlockId body = b_.new_block();
+        const ir::BlockId exit = b_.new_block();
+        b_.jmp(header);
+        b_.set_insert_point(header);
+        const Value cond = gen_expr(*s.expr);
+        expect_type(cond.type, TypeKind::Int, *s.expr);
+        b_.br(cond.reg, body, exit);
+        b_.set_insert_point(body);
+        loops_.push_back({exit, header});
+        push_scope();
+        gen_stmts(s.body);
+        pop_scope();
+        loops_.pop_back();
+        if (!b_.block_terminated()) b_.jmp(header);
+        b_.set_insert_point(exit);
+        break;
+      }
+      case Stmt::Kind::For: {
+        push_scope();  // for-init scope
+        if (s.for_init) gen_stmt(*s.for_init);
+        const ir::BlockId header = b_.new_block();
+        const ir::BlockId body = b_.new_block();
+        const ir::BlockId step = b_.new_block();
+        const ir::BlockId exit = b_.new_block();
+        b_.jmp(header);
+        b_.set_insert_point(header);
+        if (s.expr) {
+          const Value cond = gen_expr(*s.expr);
+          expect_type(cond.type, TypeKind::Int, *s.expr);
+          b_.br(cond.reg, body, exit);
+        } else {
+          b_.jmp(body);
+        }
+        b_.set_insert_point(body);
+        loops_.push_back({exit, step});
+        push_scope();
+        gen_stmts(s.body);
+        pop_scope();
+        loops_.pop_back();
+        if (!b_.block_terminated()) b_.jmp(step);
+        b_.set_insert_point(step);
+        if (s.for_step) gen_stmt(*s.for_step);
+        if (!b_.block_terminated()) b_.jmp(header);
+        b_.set_insert_point(exit);
+        pop_scope();
+        break;
+      }
+      case Stmt::Kind::Return: {
+        if (decl_.has_return) {
+          if (!s.expr) fail("missing return value", s.line, s.column);
+          const Value v = gen_expr(*s.expr);
+          expect_type(v.type, decl_.return_type, *s.expr);
+          b_.ret(v.reg);
+        } else {
+          if (s.expr) fail("void function returns a value", s.line, s.column);
+          b_.ret();
+        }
+        break;
+      }
+      case Stmt::Kind::Break: {
+        if (loops_.empty()) fail("'break' outside loop", s.line, s.column);
+        b_.jmp(loops_.back().break_target);
+        break;
+      }
+      case Stmt::Kind::Continue: {
+        if (loops_.empty()) fail("'continue' outside loop", s.line, s.column);
+        b_.jmp(loops_.back().continue_target);
+        break;
+      }
+      case Stmt::Kind::ExprStmt:
+        gen_call_or_expr(*s.expr);
+        break;
+      case Stmt::Kind::Block:
+        push_scope();
+        gen_stmts(s.body);
+        pop_scope();
+        break;
+    }
+  }
+
+  void expect_type(TypeKind have, TypeKind want, const Expr& at) const {
+    if (have != want) {
+      fail(std::string("type mismatch: have ") + type_kind_name(have) +
+               ", want " + type_kind_name(want),
+           at.line, at.column);
+    }
+  }
+
+  /// Expression statement: allows void calls; discards any value.
+  void gen_call_or_expr(const Expr& e) {
+    if (e.kind == Expr::Kind::Call) {
+      (void)gen_call(e, /*allow_void=*/true);
+    } else {
+      (void)gen_expr(e);
+    }
+  }
+
+  Value gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return {b_.const_i(e.int_val), TypeKind::Int};
+      case Expr::Kind::FloatLit:
+        return {b_.const_f(e.float_val), TypeKind::Float};
+      case Expr::Kind::Var: {
+        const Value* v = lookup(e.name);
+        if (v == nullptr) fail("unknown variable '" + e.name + "'", e.line,
+                               e.column);
+        return *v;
+      }
+      case Expr::Kind::CastInt: {
+        const Value v = gen_expr(*e.lhs);
+        if (v.type == TypeKind::Int) return v;
+        expect_type(v.type, TypeKind::Float, *e.lhs);
+        return {b_.f2i(v.reg), TypeKind::Int};
+      }
+      case Expr::Kind::CastFloat: {
+        const Value v = gen_expr(*e.lhs);
+        if (v.type == TypeKind::Float) return v;
+        expect_type(v.type, TypeKind::Int, *e.lhs);
+        return {b_.i2f(v.reg), TypeKind::Float};
+      }
+      case Expr::Kind::Index: {
+        const Value base = gen_expr(*e.lhs);
+        if (!is_ptr(base.type)) fail("indexing non-pointer", e.line, e.column);
+        const Value idx = gen_expr(*e.rhs);
+        expect_type(idx.type, TypeKind::Int, *e.rhs);
+        const Reg addr = b_.ptr_add(base.reg, idx.reg);
+        const TypeKind elem = element_type(base.type);
+        return {b_.load(lower_type(elem), addr), elem};
+      }
+      case Expr::Kind::Unary: {
+        const Value v = gen_expr(*e.lhs);
+        switch (e.un_op) {
+          case UnOp::Neg:
+            if (v.type == TypeKind::Float) {
+              return {b_.unop(Opcode::NegF, v.reg), TypeKind::Float};
+            }
+            expect_type(v.type, TypeKind::Int, *e.lhs);
+            return {b_.unop(Opcode::NegI, v.reg), TypeKind::Int};
+          case UnOp::Not:
+            expect_type(v.type, TypeKind::Int, *e.lhs);
+            return {b_.unop(Opcode::NotI, v.reg), TypeKind::Int};
+          case UnOp::LogNot: {
+            expect_type(v.type, TypeKind::Int, *e.lhs);
+            const Reg z = b_.const_i(0);
+            return {b_.binop(Opcode::EqI, v.reg, z), TypeKind::Int};
+          }
+        }
+        break;
+      }
+      case Expr::Kind::Binary:
+        return gen_binary(e);
+      case Expr::Kind::Call: {
+        auto v = gen_call(e, /*allow_void=*/false);
+        return *v;  // gen_call faults on void in value context
+      }
+    }
+    fail("unsupported expression", e.line, e.column);
+  }
+
+  Value gen_binary(const Expr& e) {
+    const Value a = gen_expr(*e.lhs);
+    const Value b = gen_expr(*e.rhs);
+    const auto op = e.bin_op;
+
+    // Pointer offset: `p + i` (word units), preserving the pointee type.
+    if (op == BinOp::Add && is_ptr(a.type) && b.type == TypeKind::Int) {
+      return {b_.ptr_add(a.reg, b.reg), a.type};
+    }
+
+    // Logical ops: both operands int; normalized, non-short-circuit
+    // (documented in docs/minic.md).
+    if (op == BinOp::LogAnd || op == BinOp::LogOr) {
+      expect_type(a.type, TypeKind::Int, *e.lhs);
+      expect_type(b.type, TypeKind::Int, *e.rhs);
+      const Reg z1 = b_.const_i(0);
+      const Reg na = b_.binop(Opcode::NeI, a.reg, z1);
+      const Reg z2 = b_.const_i(0);
+      const Reg nb = b_.binop(Opcode::NeI, b.reg, z2);
+      const Opcode o = op == BinOp::LogAnd ? Opcode::AndI : Opcode::OrI;
+      return {b_.binop(o, na, nb), TypeKind::Int};
+    }
+
+    if (a.type != b.type) {
+      fail(std::string("operand type mismatch: ") + type_kind_name(a.type) +
+               " vs " + type_kind_name(b.type),
+           e.line, e.column);
+    }
+
+    const bool flt = a.type == TypeKind::Float;
+    const bool ptr = is_ptr(a.type);
+    auto pick = [&](Opcode io, Opcode fo) {
+      if (flt) return fo;
+      expect_type(a.type, TypeKind::Int, *e.lhs);
+      return io;
+    };
+
+    switch (op) {
+      case BinOp::Add: return {b_.binop(pick(Opcode::AddI, Opcode::AddF),
+                                        a.reg, b.reg), a.type};
+      case BinOp::Sub: return {b_.binop(pick(Opcode::SubI, Opcode::SubF),
+                                        a.reg, b.reg), a.type};
+      case BinOp::Mul: return {b_.binop(pick(Opcode::MulI, Opcode::MulF),
+                                        a.reg, b.reg), a.type};
+      case BinOp::Div: return {b_.binop(pick(Opcode::DivI, Opcode::DivF),
+                                        a.reg, b.reg), a.type};
+      case BinOp::Rem:
+        expect_type(a.type, TypeKind::Int, *e.lhs);
+        return {b_.binop(Opcode::RemI, a.reg, b.reg), TypeKind::Int};
+      case BinOp::And:
+      case BinOp::Or:
+      case BinOp::Xor:
+      case BinOp::Shl:
+      case BinOp::Shr: {
+        expect_type(a.type, TypeKind::Int, *e.lhs);
+        const Opcode o = op == BinOp::And   ? Opcode::AndI
+                         : op == BinOp::Or  ? Opcode::OrI
+                         : op == BinOp::Xor ? Opcode::XorI
+                         : op == BinOp::Shl ? Opcode::ShlI
+                                            : Opcode::ShrI;
+        return {b_.binop(o, a.reg, b.reg), TypeKind::Int};
+      }
+      case BinOp::Eq:
+      case BinOp::Ne: {
+        Opcode o;
+        if (ptr) {
+          o = op == BinOp::Eq ? Opcode::EqP : Opcode::NeP;
+        } else if (flt) {
+          o = op == BinOp::Eq ? Opcode::EqF : Opcode::NeF;
+        } else {
+          o = op == BinOp::Eq ? Opcode::EqI : Opcode::NeI;
+        }
+        return {b_.binop(o, a.reg, b.reg), TypeKind::Int};
+      }
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge: {
+        if (ptr) fail("ordered comparison of pointers", e.line, e.column);
+        Opcode o;
+        switch (op) {
+          case BinOp::Lt: o = flt ? Opcode::LtF : Opcode::LtI; break;
+          case BinOp::Le: o = flt ? Opcode::LeF : Opcode::LeI; break;
+          case BinOp::Gt: o = flt ? Opcode::GtF : Opcode::GtI; break;
+          default: o = flt ? Opcode::GeF : Opcode::GeI; break;
+        }
+        return {b_.binop(o, a.reg, b.reg), TypeKind::Int};
+      }
+      default:
+        break;
+    }
+    fail("unsupported binary operator", e.line, e.column);
+  }
+
+  std::optional<Value> gen_call(const Expr& e, bool allow_void) {
+    // Builtins first, then user functions.
+    auto bit = builtins().find(e.name);
+    if (bit != builtins().end()) {
+      const Builtin& bi = bit->second;
+      if (e.args.size() != bi.params.size()) {
+        fail("wrong argument count for builtin '" + e.name + "'", e.line,
+             e.column);
+      }
+      std::vector<Reg> args;
+      args.reserve(e.args.size());
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        const Value v = gen_expr(*e.args[i]);
+        expect_type(v.type, bi.params[i], *e.args[i]);
+        args.push_back(v.reg);
+      }
+      const Reg r = b_.intrinsic(bi.id, std::move(args));
+      if (!bi.result.has_value()) {
+        if (!allow_void) {
+          fail("void builtin '" + e.name + "' used as a value", e.line,
+               e.column);
+        }
+        return std::nullopt;
+      }
+      return Value{r, *bi.result};
+    }
+
+    auto dit = decls_.find(e.name);
+    if (dit == decls_.end()) {
+      fail("unknown function '" + e.name + "'", e.line, e.column);
+    }
+    const FuncDecl& callee = *dit->second;
+    if (e.args.size() != callee.params.size()) {
+      fail("wrong argument count for '" + e.name + "'", e.line, e.column);
+    }
+    std::vector<Reg> args;
+    args.reserve(e.args.size());
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      const Value v = gen_expr(*e.args[i]);
+      expect_type(v.type, callee.params[i].type, *e.args[i]);
+      args.push_back(v.reg);
+    }
+    const ir::FuncId callee_id = m_.find(e.name)->id;
+    const ir::Type rt =
+        callee.has_return ? lower_type(callee.return_type) : ir::Type::Void;
+    const Reg r = b_.call(callee_id, std::move(args), rt);
+    if (!callee.has_return) {
+      if (!allow_void) {
+        fail("void function '" + e.name + "' used as a value", e.line,
+             e.column);
+      }
+      return std::nullopt;
+    }
+    return Value{r, callee.return_type};
+  }
+
+  ir::Module& m_;
+  const FuncDecl& decl_;
+  const std::unordered_map<std::string, const FuncDecl*>& decls_;
+  ir::Function& func_;
+  ir::Builder b_;
+  std::vector<std::unordered_map<std::string, Value>> scopes_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+ir::Module codegen(const Program& program) {
+  ir::Module m;
+  std::unordered_map<std::string, const FuncDecl*> decls;
+  for (const auto& f : program.functions) {
+    if (builtins().count(f.name) != 0) {
+      throw CompileError("function '" + f.name + "' shadows a builtin",
+                         f.line, 0);
+    }
+    if (decls.count(f.name) != 0) {
+      throw CompileError("duplicate function '" + f.name + "'", f.line, 0);
+    }
+    decls.emplace(f.name, &f);
+    ir::Function& fn = m.add_function(
+        f.name, f.has_return ? lower_type(f.return_type) : ir::Type::Void);
+    for (const auto& p : f.params) fn.add_param(lower_type(p.type));
+  }
+  auto* main_fn = m.find("main");
+  if (main_fn == nullptr) throw CompileError("program has no fn main()", 0, 0);
+  if (!main_fn->params.empty() || main_fn->ret_type != ir::Type::Void) {
+    throw CompileError("fn main() must take no parameters and return nothing",
+                       0, 0);
+  }
+  m.entry = main_fn->id;
+  for (const auto& f : program.functions) {
+    FunctionCodegen(m, f, decls).run();
+  }
+  ir::verify(m);
+  return m;
+}
+
+ir::Module compile(std::string_view source) {
+  return codegen(parse(source));
+}
+
+}  // namespace fprop::minic

@@ -1,0 +1,247 @@
+#include "fprop/minic/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+#include "fprop/support/error.h"
+
+namespace fprop::minic {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"fn", Tok::KwFn},         {"var", Tok::KwVar},
+    {"if", Tok::KwIf},         {"else", Tok::KwElse},
+    {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+    {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"int", Tok::KwInt},
+    {"float", Tok::KwFloat},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_ws();
+      Token t = next();
+      const bool end = t.kind == Tok::End;
+      out.push_back(std::move(t));
+      if (end) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    // Report the start of the offending token, not the scan position.
+    throw CompileError(msg, tok_line_, tok_col_);
+  }
+
+  bool eof() const noexcept { return pos_ >= src_.size(); }
+  char peek(std::size_t off = 0) const noexcept {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    for (;;) {
+      while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token tok(Tok kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = tok_line_;
+    t.column = tok_col_;
+    return t;
+  }
+
+  Token next() {
+    tok_line_ = line_;
+    tok_col_ = col_;
+    if (eof()) return tok(Tok::End);
+    const char c = advance();
+    switch (c) {
+      case '(': return tok(Tok::LParen);
+      case ')': return tok(Tok::RParen);
+      case '{': return tok(Tok::LBrace);
+      case '}': return tok(Tok::RBrace);
+      case '[': return tok(Tok::LBracket);
+      case ']': return tok(Tok::RBracket);
+      case ',': return tok(Tok::Comma);
+      case ';': return tok(Tok::Semi);
+      case ':': return tok(Tok::Colon);
+      case '+': return tok(Tok::Plus);
+      case '*': return tok(Tok::Star);
+      case '/': return tok(Tok::Slash);
+      case '%': return tok(Tok::Percent);
+      case '~': return tok(Tok::Tilde);
+      case '^': return tok(Tok::Caret);
+      case '-':
+        if (peek() == '>') { advance(); return tok(Tok::Arrow); }
+        return tok(Tok::Minus);
+      case '&':
+        if (peek() == '&') { advance(); return tok(Tok::AmpAmp); }
+        return tok(Tok::Amp);
+      case '|':
+        if (peek() == '|') { advance(); return tok(Tok::PipePipe); }
+        return tok(Tok::Pipe);
+      case '=':
+        if (peek() == '=') { advance(); return tok(Tok::EqEq); }
+        return tok(Tok::Assign);
+      case '!':
+        if (peek() == '=') { advance(); return tok(Tok::NotEq); }
+        return tok(Tok::Bang);
+      case '<':
+        if (peek() == '=') { advance(); return tok(Tok::Le); }
+        if (peek() == '<') { advance(); return tok(Tok::Shl); }
+        return tok(Tok::Lt);
+      case '>':
+        if (peek() == '=') { advance(); return tok(Tok::Ge); }
+        if (peek() == '>') { advance(); return tok(Tok::Shr); }
+        return tok(Tok::Gt);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(c);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ident(c);
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Token number(char first) {
+    std::string text(1, first);
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      text.push_back(advance());
+    }
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      text.push_back(advance());
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("malformed exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    }
+    Token t = tok(is_float ? Tok::FloatLit : Tok::IntLit);
+    if (is_float) {
+      t.float_val = std::stod(text);
+    } else {
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                       t.int_val);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        fail("integer literal out of range");
+      }
+    }
+    return t;
+  }
+
+  Token ident(char first) {
+    std::string text(1, first);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      text.push_back(advance());
+    }
+    auto it = kKeywords.find(text);
+    if (it != kKeywords.end()) return tok(it->second);
+    Token t = tok(Tok::Ident);
+    t.text = std::move(text);
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+const char* token_name(Tok t) noexcept {
+  switch (t) {
+    case Tok::End: return "<end>";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::KwFn: return "'fn'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+  }
+  return "?";
+}
+
+}  // namespace fprop::minic

@@ -1,0 +1,390 @@
+#include "fprop/minic/ast.h"
+
+#include "fprop/minic/lexer.h"
+#include "fprop/support/error.h"
+
+namespace fprop::minic {
+
+const char* type_kind_name(TypeKind t) noexcept {
+  switch (t) {
+    case TypeKind::Int: return "int";
+    case TypeKind::Float: return "float";
+    case TypeKind::IntPtr: return "int*";
+    case TypeKind::FloatPtr: return "float*";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Program run() {
+    Program prog;
+    while (!at(Tok::End)) {
+      prog.functions.push_back(parse_function());
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t off = 1) const {
+    return toks_[std::min(pos_ + off, toks_.size() - 1)];
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw CompileError(msg, cur().line, cur().column);
+  }
+
+  Token eat(Tok k) {
+    if (!at(k)) {
+      fail(std::string("expected ") + token_name(k) + ", found " +
+           token_name(cur().kind));
+    }
+    return toks_[pos_++];
+  }
+
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  TypeKind parse_type() {
+    if (accept(Tok::KwInt)) {
+      return accept(Tok::Star) ? TypeKind::IntPtr : TypeKind::Int;
+    }
+    if (accept(Tok::KwFloat)) {
+      return accept(Tok::Star) ? TypeKind::FloatPtr : TypeKind::Float;
+    }
+    fail("expected type");
+  }
+
+  FuncDecl parse_function() {
+    FuncDecl f;
+    f.line = cur().line;
+    eat(Tok::KwFn);
+    f.name = eat(Tok::Ident).text;
+    eat(Tok::LParen);
+    if (!at(Tok::RParen)) {
+      do {
+        Param p;
+        p.name = eat(Tok::Ident).text;
+        eat(Tok::Colon);
+        p.type = parse_type();
+        f.params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    eat(Tok::RParen);
+    if (accept(Tok::Arrow)) {
+      f.has_return = true;
+      f.return_type = parse_type();
+    }
+    f.body = parse_block();
+    return f;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    eat(Tok::LBrace);
+    std::vector<StmtPtr> stmts;
+    while (!at(Tok::RBrace)) stmts.push_back(parse_stmt());
+    eat(Tok::RBrace);
+    return stmts;
+  }
+
+  StmtPtr make_stmt(Stmt::Kind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    s->column = cur().column;
+    return s;
+  }
+
+  StmtPtr parse_stmt() {
+    switch (cur().kind) {
+      case Tok::KwVar: return parse_var_decl(true);
+      case Tok::KwIf: return parse_if();
+      case Tok::KwWhile: return parse_while();
+      case Tok::KwFor: return parse_for();
+      case Tok::KwReturn: {
+        auto s = make_stmt(Stmt::Kind::Return);
+        eat(Tok::KwReturn);
+        if (!at(Tok::Semi)) s->expr = parse_expr();
+        eat(Tok::Semi);
+        return s;
+      }
+      case Tok::KwBreak: {
+        auto s = make_stmt(Stmt::Kind::Break);
+        eat(Tok::KwBreak);
+        eat(Tok::Semi);
+        return s;
+      }
+      case Tok::KwContinue: {
+        auto s = make_stmt(Stmt::Kind::Continue);
+        eat(Tok::KwContinue);
+        eat(Tok::Semi);
+        return s;
+      }
+      case Tok::LBrace: {
+        auto s = make_stmt(Stmt::Kind::Block);
+        s->body = parse_block();
+        return s;
+      }
+      default: {
+        StmtPtr s = parse_simple_stmt();
+        eat(Tok::Semi);
+        return s;
+      }
+    }
+  }
+
+  /// Assignment, indexed assignment, or expression statement (no trailing
+  /// ';' — shared between statement position and for-headers).
+  StmtPtr parse_simple_stmt() {
+    if (at(Tok::KwVar)) return parse_var_decl(false);
+    if (at(Tok::Ident) && peek().kind == Tok::Assign) {
+      auto s = make_stmt(Stmt::Kind::Assign);
+      s->name = eat(Tok::Ident).text;
+      eat(Tok::Assign);
+      s->expr = parse_expr();
+      return s;
+    }
+    // Indexed assignment requires lookahead past a bracketed expression;
+    // parse an expression and reinterpret `base[i]` followed by `=`.
+    ExprPtr e = parse_expr();
+    if (e->kind == Expr::Kind::Index && at(Tok::Assign)) {
+      eat(Tok::Assign);
+      auto s = make_stmt(Stmt::Kind::IndexAssign);
+      s->index_base = std::move(e->lhs);
+      s->index = std::move(e->rhs);
+      s->expr = parse_expr();
+      return s;
+    }
+    auto s = make_stmt(Stmt::Kind::ExprStmt);
+    s->expr = std::move(e);
+    return s;
+  }
+
+  StmtPtr parse_var_decl(bool eat_semi) {
+    auto s = make_stmt(Stmt::Kind::VarDecl);
+    eat(Tok::KwVar);
+    s->name = eat(Tok::Ident).text;
+    eat(Tok::Colon);
+    s->var_type = parse_type();
+    if (accept(Tok::Assign)) s->expr = parse_expr();
+    if (eat_semi) eat(Tok::Semi);
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = make_stmt(Stmt::Kind::If);
+    eat(Tok::KwIf);
+    eat(Tok::LParen);
+    s->expr = parse_expr();
+    eat(Tok::RParen);
+    s->body = parse_block();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->else_body.push_back(parse_if());
+      } else {
+        s->else_body = parse_block();
+      }
+    }
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    auto s = make_stmt(Stmt::Kind::While);
+    eat(Tok::KwWhile);
+    eat(Tok::LParen);
+    s->expr = parse_expr();
+    eat(Tok::RParen);
+    s->body = parse_block();
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = make_stmt(Stmt::Kind::For);
+    eat(Tok::KwFor);
+    eat(Tok::LParen);
+    if (!at(Tok::Semi)) s->for_init = parse_simple_stmt();
+    eat(Tok::Semi);
+    if (!at(Tok::Semi)) s->expr = parse_expr();
+    eat(Tok::Semi);
+    if (!at(Tok::RParen)) s->for_step = parse_simple_stmt();
+    eat(Tok::RParen);
+    s->body = parse_block();
+    return s;
+  }
+
+  // --- expressions (precedence climbing) ---------------------------------
+
+  ExprPtr make_expr(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    e->column = cur().column;
+    return e;
+  }
+
+  ExprPtr parse_expr() { return parse_bin(0); }
+
+  static int precedence(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return 1;
+      case Tok::AmpAmp: return 2;
+      case Tok::Pipe: return 3;
+      case Tok::Caret: return 4;
+      case Tok::Amp: return 5;
+      case Tok::EqEq: case Tok::NotEq: return 6;
+      case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge: return 7;
+      case Tok::Shl: case Tok::Shr: return 8;
+      case Tok::Plus: case Tok::Minus: return 9;
+      case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+      default: return -1;
+    }
+  }
+
+  static BinOp binop_of(Tok t) {
+    switch (t) {
+      case Tok::PipePipe: return BinOp::LogOr;
+      case Tok::AmpAmp: return BinOp::LogAnd;
+      case Tok::Pipe: return BinOp::Or;
+      case Tok::Caret: return BinOp::Xor;
+      case Tok::Amp: return BinOp::And;
+      case Tok::EqEq: return BinOp::Eq;
+      case Tok::NotEq: return BinOp::Ne;
+      case Tok::Lt: return BinOp::Lt;
+      case Tok::Le: return BinOp::Le;
+      case Tok::Gt: return BinOp::Gt;
+      case Tok::Ge: return BinOp::Ge;
+      case Tok::Shl: return BinOp::Shl;
+      case Tok::Shr: return BinOp::Shr;
+      case Tok::Plus: return BinOp::Add;
+      case Tok::Minus: return BinOp::Sub;
+      case Tok::Star: return BinOp::Mul;
+      case Tok::Slash: return BinOp::Div;
+      case Tok::Percent: return BinOp::Rem;
+      default: return BinOp::Add;
+    }
+  }
+
+  ExprPtr parse_bin(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      const int prec = precedence(cur().kind);
+      if (prec < min_prec || prec < 0) break;
+      const Tok op = cur().kind;
+      ++pos_;
+      ExprPtr rhs = parse_bin(prec + 1);
+      auto e = make_expr(Expr::Kind::Binary);
+      e->bin_op = binop_of(op);
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (accept(Tok::Minus)) {
+      auto e = make_expr(Expr::Kind::Unary);
+      e->un_op = UnOp::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (accept(Tok::Tilde)) {
+      auto e = make_expr(Expr::Kind::Unary);
+      e->un_op = UnOp::Not;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (accept(Tok::Bang)) {
+      auto e = make_expr(Expr::Kind::Unary);
+      e->un_op = UnOp::LogNot;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      if (accept(Tok::LBracket)) {
+        auto idx = make_expr(Expr::Kind::Index);
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expr();
+        eat(Tok::RBracket);
+        e = std::move(idx);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::IntLit)) {
+      auto e = make_expr(Expr::Kind::IntLit);
+      e->int_val = eat(Tok::IntLit).int_val;
+      return e;
+    }
+    if (at(Tok::FloatLit)) {
+      auto e = make_expr(Expr::Kind::FloatLit);
+      e->float_val = eat(Tok::FloatLit).float_val;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      eat(Tok::RParen);
+      return e;
+    }
+    // Casts spelled as type-call: int(e), float(e).
+    if (at(Tok::KwInt) || at(Tok::KwFloat)) {
+      const bool to_int = at(Tok::KwInt);
+      ++pos_;
+      auto e = make_expr(to_int ? Expr::Kind::CastInt : Expr::Kind::CastFloat);
+      eat(Tok::LParen);
+      e->lhs = parse_expr();
+      eat(Tok::RParen);
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      if (peek().kind == Tok::LParen) {
+        auto e = make_expr(Expr::Kind::Call);
+        e->name = eat(Tok::Ident).text;
+        eat(Tok::LParen);
+        if (!at(Tok::RParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::Comma));
+        }
+        eat(Tok::RParen);
+        return e;
+      }
+      auto e = make_expr(Expr::Kind::Var);
+      e->name = eat(Tok::Ident).text;
+      return e;
+    }
+    fail(std::string("unexpected ") + token_name(cur().kind) +
+         " in expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace fprop::minic

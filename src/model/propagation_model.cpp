@@ -1,0 +1,191 @@
+#include "fprop/model/propagation_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fprop/support/error.h"
+
+namespace fprop::model {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  FPROP_CHECK(x.size() == y.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (fit.n < 2) return fit;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double n = static_cast<double>(fit.n);
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    fit.b = sy / n;
+    return fit;
+  }
+  fit.a = (n * sxy - sx * sy) / denom;
+  fit.b = (sy - fit.a * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.a * x[i] + fit.b;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+PiecewiseFit fit_linear_then_constant(std::span<const double> x,
+                                      std::span<const double> y) {
+  FPROP_CHECK(x.size() == y.size());
+  PiecewiseFit best;
+  best.n = x.size();
+  if (x.size() < 3) {
+    const LinearFit lf = fit_linear(x, y);
+    best.a = lf.a;
+    best.b = lf.b;
+    best.knee = x.empty() ? 0.0 : x.back();
+    best.plateau = y.empty() ? 0.0 : y.back();
+    return best;
+  }
+
+  best.sse = HUGE_VAL;
+  // Try each sample as the knee; fit linear before (inclusive) and a
+  // constant (mean) after. Exhaustive but O(n) per candidate via prefix
+  // sums would be overkill for trace sizes in the hundreds.
+  for (std::size_t k = 1; k + 1 < x.size(); ++k) {
+    const LinearFit lf =
+        fit_linear(x.subspan(0, k + 1), y.subspan(0, k + 1));
+    double mean_after = 0.0;
+    for (std::size_t i = k; i < y.size(); ++i) mean_after += y[i];
+    mean_after /= static_cast<double>(y.size() - k);
+
+    double sse = 0.0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double pred = lf.a * x[i] + lf.b;
+      sse += (y[i] - pred) * (y[i] - pred);
+    }
+    for (std::size_t i = k + 1; i < y.size(); ++i) {
+      sse += (y[i] - mean_after) * (y[i] - mean_after);
+    }
+    if (sse < best.sse) {
+      best.sse = sse;
+      best.a = lf.a;
+      best.b = lf.b;
+      best.knee = x[k];
+      best.plateau = mean_after;
+    }
+  }
+  return best;
+}
+
+double cross_validate_linear(std::span<const double> x,
+                             std::span<const double> y, std::size_t folds) {
+  FPROP_CHECK(x.size() == y.size());
+  FPROP_CHECK(folds >= 2);
+  if (x.size() < folds * 2) return 0.0;
+
+  double mean_abs_y = 0.0;
+  for (double v : y) mean_abs_y += std::fabs(v);
+  mean_abs_y /= static_cast<double>(y.size());
+  if (mean_abs_y == 0.0) return 0.0;
+
+  double total_err = 0.0;
+  std::size_t total_count = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<double> tx;
+    std::vector<double> ty;
+    std::vector<double> vx;
+    std::vector<double> vy;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (i % folds == f) {
+        vx.push_back(x[i]);
+        vy.push_back(y[i]);
+      } else {
+        tx.push_back(x[i]);
+        ty.push_back(y[i]);
+      }
+    }
+    const LinearFit lf = fit_linear(tx, ty);
+    for (std::size_t i = 0; i < vx.size(); ++i) {
+      total_err += std::fabs(lf.a * vx[i] + lf.b - vy[i]);
+      ++total_count;
+    }
+  }
+  return total_err / static_cast<double>(total_count) / mean_abs_y;
+}
+
+TraceModel model_trace(std::span<const fpm::TraceSample> trace) {
+  TraceModel m;
+  // Restrict to the signal region: from the first nonzero CML sample
+  // (everything before the fault is exactly zero) to the end of the run.
+  std::size_t first = trace.size();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].cml > 0) {
+      first = i;
+      break;
+    }
+  }
+  if (first == trace.size()) return m;  // never contaminated
+  // Include one leading zero sample so the intercept sees the onset.
+  if (first > 0) --first;
+
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(trace.size() - first);
+  for (std::size_t i = first; i < trace.size(); ++i) {
+    x.push_back(static_cast<double>(trace[i].cycle));
+    y.push_back(static_cast<double>(trace[i].cml));
+  }
+  if (x.size() < 3) return m;
+
+  m.fit = fit_linear_then_constant(x, y);
+  m.rate = fit_linear(x, y);
+  m.final_cml = y.back();
+  m.inferred_tf = m.rate.a != 0.0 ? -m.rate.b / m.rate.a : 0.0;
+  m.usable = true;
+  return m;
+}
+
+FpsModel aggregate_fps(std::span<const double> slopes) {
+  FpsModel fm;
+  RunningStat rs;
+  for (double s : slopes) rs.add(s);
+  fm.fps = rs.mean();
+  fm.stddev = rs.stddev();
+  fm.min = rs.count() > 0 ? rs.min() : 0.0;
+  fm.max = rs.count() > 0 ? rs.max() : 0.0;
+  fm.num_models = rs.count();
+  return fm;
+}
+
+double max_cml_estimate(double fps, double t1, double t2) {
+  FPROP_CHECK(t2 >= t1);
+  return fps * (t2 - t1);
+}
+
+double avg_cml_estimate(double fps, double t1, double t2) {
+  return max_cml_estimate(fps, t1, t2) / 2.0;
+}
+
+RollbackDecision advise_rollback(double fps, double t1, double t2,
+                                 double t_end, double cml_threshold) {
+  FPROP_CHECK(t_end >= t2);
+  RollbackDecision d;
+  d.predicted_cml_now = max_cml_estimate(fps, t1, t2);
+  // If the application keeps running to t_end, the contamination keeps
+  // growing at the application's FPS.
+  d.predicted_cml_at_end = d.predicted_cml_now + fps * (t_end - t2);
+  d.rollback = d.predicted_cml_at_end > cml_threshold;
+  return d;
+}
+
+}  // namespace fprop::model

@@ -1,0 +1,98 @@
+#include "fprop/model/rollback_sim.h"
+
+#include <algorithm>
+
+#include "fprop/model/propagation_model.h"
+
+namespace fprop::model {
+
+const char* rollback_policy_name(RollbackPolicy p) noexcept {
+  switch (p) {
+    case RollbackPolicy::Always: return "always";
+    case RollbackPolicy::Never: return "never";
+    case RollbackPolicy::FpsModel: return "fps-model";
+  }
+  return "?";
+}
+
+namespace {
+
+/// CML at virtual time `t` per the trace (last sample at or before t).
+std::uint64_t cml_at(std::span<const fpm::TraceSample> trace,
+                     std::uint64_t t) {
+  std::uint64_t cml = 0;
+  for (const auto& s : trace) {
+    if (s.cycle > t) break;
+    cml = s.cml;
+  }
+  return cml;
+}
+
+}  // namespace
+
+RollbackOutcome simulate_rollback(std::span<const fpm::TraceSample> trace,
+                                  const DetectorConfig& detector,
+                                  RollbackPolicy policy) {
+  RollbackOutcome out;
+  out.policy = policy;
+  if (trace.empty()) return out;
+  const std::uint64_t t_end = trace.back().cycle;
+
+  std::uint64_t last_clean_checkpoint = 0;
+  for (std::uint64_t t = detector.interval; t <= t_end;
+       t += detector.interval) {
+    if (cml_at(trace, t) == 0) {
+      last_clean_checkpoint = t;  // clean: take a checkpoint, keep going
+      continue;
+    }
+    // Detection. Decide per policy.
+    out.detected = true;
+    // Eq. 3 prediction of contamination if the run continues to the end:
+    // bound within the detection window plus growth at the application FPS.
+    const double now = max_cml_estimate(detector.fps,
+                                        static_cast<double>(last_clean_checkpoint),
+                                        static_cast<double>(t));
+    out.predicted_final_cml =
+        now + detector.fps * static_cast<double>(t_end - t);
+    const bool rollback =
+        policy == RollbackPolicy::Always ||
+        (policy == RollbackPolicy::FpsModel &&
+         out.predicted_final_cml > detector.cml_threshold);
+    if (rollback) {
+      out.rolled_back = true;
+      // Restore the last clean checkpoint: the transient fault does not
+      // recur, so the remainder of the run is clean; the cost is the work
+      // between the checkpoint and the detection.
+      out.wasted_cycles = t - last_clean_checkpoint;
+      out.residual_cml = 0;
+      return out;
+    }
+    // Keep running: contamination persists; stop checking further windows
+    // (the detector already fired) and charge the end-of-run residual.
+    out.residual_cml = trace.back().cml;
+    return out;
+  }
+  // Detector never fired within its grid (fault too late or none): whatever
+  // contamination remains at the end is residual.
+  out.residual_cml = trace.back().cml;
+  return out;
+}
+
+PolicySummary summarize_policy(
+    const std::vector<std::vector<fpm::TraceSample>>& traces,
+    const DetectorConfig& detector, RollbackPolicy policy) {
+  PolicySummary s;
+  s.policy = policy;
+  for (const auto& tr : traces) {
+    if (tr.empty()) continue;
+    const RollbackOutcome o = simulate_rollback(tr, detector, policy);
+    ++s.runs;
+    if (o.detected) ++s.detections;
+    if (o.rolled_back) ++s.rollbacks;
+    s.total_wasted_cycles += static_cast<double>(o.wasted_cycles);
+    s.total_residual_cml += static_cast<double>(o.residual_cml);
+  }
+  return s;
+}
+
+}  // namespace fprop::model

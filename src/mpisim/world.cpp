@@ -1,0 +1,498 @@
+#include "fprop/mpisim/world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fprop/support/error.h"
+
+namespace fprop::mpisim {
+
+namespace {
+/// Upper bound on a single message (words); a corrupted count beyond this is
+/// rejected as an MPI argument error instead of exhausting host memory.
+constexpr std::int64_t kMaxMessageWords = 1 << 22;
+}  // namespace
+
+World::World(const ir::Module& module, WorldConfig config)
+    : module_(&module), config_(config) {
+  FPROP_CHECK_MSG(config_.nranks > 0, "world needs at least one rank");
+  fpms_.reserve(config_.nranks);
+  ranks_.reserve(config_.nranks);
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    fpms_.push_back(config_.enable_fpm
+                        ? std::make_unique<fpm::FpmRuntime>(
+                              config_.fpm_sample_period)
+                        : nullptr);
+    auto interp = std::make_unique<vm::Interp>(module, r, config_.interp);
+    interp->set_mpi_hook(this);
+    interp->set_fpm(fpms_.back().get());
+    ranks_.push_back(std::move(interp));
+  }
+  mailboxes_.resize(config_.nranks);
+  requests_.resize(config_.nranks);
+  coll_epoch_.assign(config_.nranks, 0);
+  first_contaminated_.assign(config_.nranks, std::nullopt);
+}
+
+World::~World() = default;
+
+std::uint32_t World::nranks() const noexcept { return config_.nranks; }
+
+vm::Interp& World::rank(std::uint32_t r) { return *ranks_.at(r); }
+
+fpm::FpmRuntime* World::fpm(std::uint32_t r) { return fpms_.at(r).get(); }
+
+std::int64_t World::rank_count() const { return config_.nranks; }
+
+void World::set_inject_hook(vm::InjectHook* hook) {
+  for (auto& r : ranks_) r->set_inject_hook(hook);
+}
+
+bool World::read_payload(vm::Interp& src_rank, std::uint64_t buf,
+                         std::int64_t count,
+                         std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    if (!src_rank.memory().load(buf + 8 * static_cast<std::uint64_t>(i), v)) {
+      return false;
+    }
+    out.push_back(v);
+  }
+  return true;
+}
+
+bool World::write_payload(vm::Interp& dst_rank, std::uint64_t buf,
+                          const std::vector<std::uint64_t>& payload) {
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (!dst_rank.memory().store(buf + 8 * i, payload[i])) return false;
+  }
+  return true;
+}
+
+vm::MpiResult World::send_f(vm::Interp& self, std::int64_t dest,
+                            std::int64_t tag, std::uint64_t buf,
+                            std::int64_t count) {
+  if (dest < 0 || dest >= rank_count() || count < 0 ||
+      count > kMaxMessageWords) {
+    return vm::MpiResult::Fault;
+  }
+  Message msg;
+  msg.src = self.rank();
+  msg.tag = tag;
+  if (!read_payload(self, buf, count, msg.payload)) {
+    return vm::MpiResult::Fault;
+  }
+  if (auto* f = fpms_[self.rank()].get()) {
+    msg.header = fpm::build_header(f->shadow(), buf,
+                                   static_cast<std::uint64_t>(count));
+  }
+  mailboxes_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
+  return vm::MpiResult::Done;  // eager buffered send never blocks
+}
+
+vm::MpiResult World::recv_f(vm::Interp& self, std::int64_t src,
+                            std::int64_t tag, std::uint64_t buf,
+                            std::int64_t count) {
+  if ((src != kAnySource && (src < 0 || src >= rank_count())) || count < 0) {
+    return vm::MpiResult::Fault;
+  }
+  auto& box = mailboxes_[self.rank()];
+  auto it = std::find_if(box.begin(), box.end(), [&](const Message& m) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  });
+  if (it == box.end()) return vm::MpiResult::Block;
+  if (static_cast<std::int64_t>(it->payload.size()) > count) {
+    return vm::MpiResult::Fault;  // truncation error
+  }
+  if (!write_payload(self, buf, it->payload)) return vm::MpiResult::Fault;
+  if (auto* f = fpms_[self.rank()].get()) {
+    fpm::install_header(f->shadow(), buf, it->payload.size(), it->header);
+  }
+  box.erase(it);
+  return vm::MpiResult::Done;
+}
+
+vm::MpiResult World::isend_f(vm::Interp& self, std::int64_t dest,
+                             std::int64_t tag, std::uint64_t buf,
+                             std::int64_t count, std::int64_t* request) {
+  // Eager buffered semantics: the payload (and its contamination header)
+  // is captured at the isend, so the request completes immediately.
+  const vm::MpiResult r = send_f(self, dest, tag, buf, count);
+  if (r != vm::MpiResult::Done) return r;
+  Request req;
+  req.done = true;
+  requests_[self.rank()].push_back(req);
+  *request = static_cast<std::int64_t>(requests_[self.rank()].size());
+  return vm::MpiResult::Done;
+}
+
+vm::MpiResult World::irecv_f(vm::Interp& self, std::int64_t src,
+                             std::int64_t tag, std::uint64_t buf,
+                             std::int64_t count, std::int64_t* request) {
+  if ((src != kAnySource && (src < 0 || src >= rank_count())) || count < 0) {
+    return vm::MpiResult::Fault;
+  }
+  Request req;
+  req.is_recv = true;
+  req.src = src;
+  req.tag = tag;
+  req.buf = buf;
+  req.count = count;
+  requests_[self.rank()].push_back(req);
+  *request = static_cast<std::int64_t>(requests_[self.rank()].size());
+  return vm::MpiResult::Done;
+}
+
+vm::MpiResult World::wait(vm::Interp& self, std::int64_t request) {
+  auto& table = requests_[self.rank()];
+  if (request <= 0 || request > static_cast<std::int64_t>(table.size())) {
+    return vm::MpiResult::Fault;  // corrupted/forged handle
+  }
+  Request& req = table[static_cast<std::size_t>(request - 1)];
+  if (req.done) return vm::MpiResult::Done;  // waiting twice is benign
+  // Pending receive: complete it with ordinary matching semantics.
+  const vm::MpiResult r = recv_f(self, req.src, req.tag, req.buf, req.count);
+  if (r == vm::MpiResult::Done) req.done = true;
+  return r;
+}
+
+vm::MpiResult World::allreduce_f(vm::Interp& self, bool is_max,
+                                 std::uint64_t sendbuf, std::uint64_t recvbuf,
+                                 std::int64_t count) {
+  CollArgs args;
+  args.a = sendbuf;
+  args.b = recvbuf;
+  args.count = count;
+  return join_collective(
+      self, is_max ? CollKind::AllreduceMax : CollKind::AllreduceSum, args);
+}
+
+vm::MpiResult World::bcast_f(vm::Interp& self, std::int64_t root,
+                             std::uint64_t buf, std::int64_t count) {
+  CollArgs args;
+  args.a = buf;
+  args.count = count;
+  args.root = root;
+  return join_collective(self, CollKind::Bcast, args);
+}
+
+vm::MpiResult World::barrier(vm::Interp& self) {
+  return join_collective(self, CollKind::Barrier, {});
+}
+
+void World::abort(vm::Interp& self, std::int64_t /*code*/) {
+  aborted_ = true;
+  abort_rank_ = self.rank();
+}
+
+vm::MpiResult World::join_collective(vm::Interp& self, CollKind kind,
+                                     const CollArgs& args) {
+  const std::uint32_t r = self.rank();
+  const std::uint64_t epoch = coll_epoch_[r];
+  FPROP_CHECK(epoch >= coll_base_epoch_);
+  const std::size_t idx = epoch - coll_base_epoch_;
+  while (pending_colls_.size() <= idx) {
+    Collective c;
+    c.arrived.assign(config_.nranks, false);
+    c.left.assign(config_.nranks, false);
+    c.args.resize(config_.nranks);
+    pending_colls_.push_back(std::move(c));
+  }
+  Collective& coll = pending_colls_[idx];
+
+  if (!coll.arrived[r]) {
+    if (coll.kind == CollKind::None) {
+      coll.kind = kind;
+    } else if (coll.kind != kind) {
+      // Divergent control flow made ranks disagree on the collective — a
+      // real MPI job would error out or hang here.
+      coll.failed = true;
+    }
+    if (!coll.failed && kind != CollKind::Barrier && coll.arrived_count > 0) {
+      // Find any prior participant's count for the consistency check.
+      for (std::uint32_t p = 0; p < config_.nranks; ++p) {
+        if (coll.arrived[p]) {
+          if (coll.args[p].count != args.count ||
+              (kind == CollKind::Bcast && coll.args[p].root != args.root)) {
+            coll.failed = true;
+          }
+          break;
+        }
+      }
+    }
+    coll.arrived[r] = true;
+    coll.args[r] = args;
+    ++coll.arrived_count;
+    if (!coll.failed && coll.arrived_count == config_.nranks) {
+      if (execute_collective(coll)) {
+        coll.executed = true;
+      } else {
+        coll.failed = true;
+      }
+    }
+  }
+
+  if (coll.failed) return vm::MpiResult::Fault;
+  if (!coll.executed) return vm::MpiResult::Block;
+
+  // Completed: this rank leaves the collective.
+  FPROP_CHECK(!coll.left[r]);
+  coll.left[r] = true;
+  ++coll.left_count;
+  ++coll_epoch_[r];
+  while (!pending_colls_.empty() &&
+         pending_colls_.front().left_count == config_.nranks) {
+    pending_colls_.pop_front();
+    ++coll_base_epoch_;
+  }
+  return vm::MpiResult::Done;
+}
+
+bool World::execute_collective(Collective& coll) {
+  switch (coll.kind) {
+    case CollKind::Barrier:
+      return true;
+    case CollKind::AllreduceSum:
+      return exec_allreduce(coll, false);
+    case CollKind::AllreduceMax:
+      return exec_allreduce(coll, true);
+    case CollKind::Bcast:
+      return exec_bcast(coll);
+    case CollKind::None:
+      return false;
+  }
+  return false;
+}
+
+bool World::exec_allreduce(Collective& coll, bool is_max) {
+  const std::int64_t count = coll.args[0].count;
+  if (count < 0 || count > kMaxMessageWords) return false;
+  const auto n = static_cast<std::size_t>(count);
+  std::vector<std::uint64_t> primary(n);
+  std::vector<std::uint64_t> pristine(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc_p = is_max ? -HUGE_VAL : 0.0;
+    double acc_q = is_max ? -HUGE_VAL : 0.0;
+    for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+      const std::uint64_t addr = coll.args[r].a + 8 * i;
+      std::uint64_t bits = 0;
+      if (!ranks_[r]->memory().load(addr, bits)) return false;
+      std::uint64_t pbits = bits;
+      if (auto* f = fpms_[r].get()) pbits = f->shadow().pristine_or(addr, bits);
+      const double v = vm::double_of(bits);
+      const double q = vm::double_of(pbits);
+      if (is_max) {
+        acc_p = std::fmax(acc_p, v);
+        acc_q = std::fmax(acc_q, q);
+      } else {
+        acc_p += v;
+        acc_q += q;
+      }
+    }
+    primary[i] = vm::bits_of(acc_p);
+    pristine[i] = vm::bits_of(acc_q);
+  }
+
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t addr = coll.args[r].b + 8 * i;
+      if (!ranks_[r]->memory().store(addr, primary[i])) return false;
+      if (auto* f = fpms_[r].get()) {
+        if (primary[i] != pristine[i]) {
+          f->shadow().record(addr, pristine[i]);
+        } else if (f->shadow().contaminated(addr)) {
+          f->shadow().heal(addr);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool World::exec_bcast(Collective& coll) {
+  const std::int64_t root = coll.args[0].root;
+  const std::int64_t count = coll.args[0].count;
+  if (root < 0 || root >= rank_count() || count < 0 ||
+      count > kMaxMessageWords) {
+    return false;
+  }
+  auto& root_rank = *ranks_[static_cast<std::size_t>(root)];
+  std::vector<std::uint64_t> payload;
+  if (!read_payload(root_rank, coll.args[static_cast<std::size_t>(root)].a,
+                    count, payload)) {
+    return false;
+  }
+  fpm::MessageHeader header;
+  if (auto* f = fpms_[static_cast<std::size_t>(root)].get()) {
+    header = fpm::build_header(f->shadow(),
+                               coll.args[static_cast<std::size_t>(root)].a,
+                               static_cast<std::uint64_t>(count));
+  }
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    if (static_cast<std::int64_t>(r) == root) continue;
+    if (!write_payload(*ranks_[r], coll.args[r].a, payload)) return false;
+    if (auto* f = fpms_[r].get()) {
+      fpm::install_header(f->shadow(), coll.args[r].a, payload.size(),
+                          header);
+    }
+  }
+  return true;
+}
+
+void World::note_contamination() {
+  std::uint64_t total_cml = 0;
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    if (fpms_[r] == nullptr) continue;
+    const std::size_t cml = fpms_[r]->shadow().size();
+    total_cml += cml;
+    if (!first_contaminated_[r].has_value() && cml > 0) {
+      first_contaminated_[r] = global_clock_;
+    }
+  }
+  if (config_.global_sample_period != 0 &&
+      global_clock_ >= next_global_sample_) {
+    global_trace_.push_back({global_clock_, total_cml});
+    next_global_sample_ = global_clock_ + config_.global_sample_period;
+  }
+}
+
+void World::teardown(std::uint32_t offender, vm::Trap cause) {
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    if (r == offender) continue;
+    ranks_[r]->force_trap(cause);
+  }
+}
+
+JobResult World::run() {
+  bool done = false;
+  while (!done) {
+    bool any_live = false;
+    bool progress = false;
+    std::optional<std::uint32_t> trapped_rank;
+
+    for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+      auto& rk = *ranks_[r];
+      if (rk.state() == vm::RunState::Done ||
+          rk.state() == vm::RunState::Trapped) {
+        continue;
+      }
+      any_live = true;
+      const std::uint64_t c0 = rk.cycles();
+      rk.run(config_.slice);
+      const std::uint64_t dc = rk.cycles() - c0;
+      global_clock_ += dc;
+      if (dc > 0) progress = true;
+      note_contamination();
+      if (rk.state() == vm::RunState::Trapped) {
+        trapped_rank = r;
+        break;
+      }
+    }
+
+    if (trapped_rank.has_value()) {
+      teardown(*trapped_rank, vm::Trap::Killed);
+      break;
+    }
+    if (!any_live) {
+      done = true;
+    } else if (!progress) {
+      // Full sweep with zero executed instructions: nothing can unblock the
+      // remaining ranks — the job is deadlocked (e.g. a fault diverged one
+      // rank past a matching receive).
+      for (auto& rk : ranks_) rk->force_trap(vm::Trap::Deadlock);
+      break;
+    }
+  }
+
+  if (config_.global_sample_period != 0) {
+    std::uint64_t total_cml = 0;
+    for (auto& f : fpms_) {
+      if (f != nullptr) total_cml += f->shadow().size();
+    }
+    global_trace_.push_back({global_clock_, total_cml});
+  }
+
+  JobResult result;
+  result.ranks.resize(config_.nranks);
+  result.global_cycles = global_clock_;
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    auto& rk = *ranks_[r];
+    RankResult& rr = result.ranks[r];
+    rr.state = rk.state();
+    rr.trap = rk.trap();
+    rr.cycles = rk.cycles();
+    rr.outputs = rk.outputs();
+    rr.reported_iters = rk.reported_iters();
+    rr.allocated_words = rk.memory().allocated_words();
+    if (auto* f = fpms_[r].get()) {
+      rr.cml_final = f->shadow().size();
+      rr.cml_peak = f->shadow().peak();
+    }
+    rr.first_contaminated_at = first_contaminated_[r];
+    result.max_rank_cycles = std::max(result.max_rank_cycles, rr.cycles);
+    if (rr.state == vm::RunState::Trapped && rr.trap != vm::Trap::Killed &&
+        !result.crashed) {
+      result.crashed = true;
+      result.first_trap = rr.trap;
+      result.first_trap_rank = r;
+    }
+  }
+  // If only Killed traps exist (offender raced), still mark crashed.
+  if (!result.crashed) {
+    for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+      if (result.ranks[r].state == vm::RunState::Trapped) {
+        result.crashed = true;
+        result.first_trap = result.ranks[r].trap;
+        result.first_trap_rank = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> JobResult::outputs() const {
+  std::vector<double> all;
+  for (const auto& r : ranks) {
+    all.insert(all.end(), r.outputs.begin(), r.outputs.end());
+  }
+  return all;
+}
+
+std::uint64_t JobResult::total_cml_final() const {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks) n += r.cml_final;
+  return n;
+}
+
+std::uint64_t JobResult::total_cml_peak() const {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks) n += r.cml_peak;
+  return n;
+}
+
+std::uint64_t JobResult::total_allocated_words() const {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks) n += r.allocated_words;
+  return n;
+}
+
+std::int64_t JobResult::reported_iters() const {
+  std::int64_t best = -1;
+  for (const auto& r : ranks) best = std::max(best, r.reported_iters);
+  return best;
+}
+
+std::size_t JobResult::contaminated_ranks() const {
+  std::size_t n = 0;
+  for (const auto& r : ranks) {
+    if (r.first_contaminated_at.has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace fprop::mpisim

@@ -1,0 +1,350 @@
+#include "fprop/passes/passes.h"
+
+#include "fprop/ir/printer.h"
+#include "fprop/ir/verifier.h"
+
+namespace fprop::passes {
+
+bool is_data_arith(ir::Opcode op) noexcept {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::AddI: case Opcode::SubI: case Opcode::MulI:
+    case Opcode::DivI: case Opcode::RemI: case Opcode::AndI:
+    case Opcode::OrI: case Opcode::XorI: case Opcode::ShlI:
+    case Opcode::ShrI: case Opcode::NegI: case Opcode::NotI:
+    case Opcode::AddF: case Opcode::SubF: case Opcode::MulF:
+    case Opcode::DivF: case Opcode::NegF:
+    case Opcode::I2F: case Opcode::F2I:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_compare(ir::Opcode op) noexcept {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::EqI: case Opcode::NeI: case Opcode::LtI:
+    case Opcode::LeI: case Opcode::GtI: case Opcode::GeI:
+    case Opcode::EqF: case Opcode::NeF: case Opcode::LtF:
+    case Opcode::LeF: case Opcode::GtF: case Opcode::GeF:
+    case Opcode::EqP: case Opcode::NeP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Reg;
+
+/// Registers whose single definition is a materialized constant — these
+/// correspond to LLVM immediates and are not injection targets.
+std::vector<bool> const_defined_regs(const Function& f) {
+  std::vector<bool> is_const(f.num_regs(), false);
+  for (const auto& block : f.blocks) {
+    for (const auto& in : block.code) {
+      if (in.op == Opcode::ConstI || in.op == Opcode::ConstF) {
+        is_const[in.dst] = true;
+      }
+    }
+  }
+  return is_const;
+}
+
+/// Registers that only ever hold booleans (LLVM i1 analogues): defined
+/// exclusively by comparisons, 0/1 constants, moves/logical combinations of
+/// other boolean registers. A live-register flip in such a register can only
+/// touch its single meaningful bit, so the injector is told width = 1.
+std::vector<bool> boolean_regs(const Function& f) {
+  std::vector<bool> is_bool(f.num_regs(), false);
+  for (Reg r = 0; r < f.num_regs(); ++r) {
+    is_bool[r] = f.reg_types[r] == ir::Type::I64;  // optimistic start
+  }
+  for (Reg p : f.params) is_bool[p] = false;  // conservative across calls
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& block : f.blocks) {
+      for (const auto& in : block.code) {
+        if (in.dst == ir::kNoReg) continue;
+        bool produces_bool = false;
+        if (is_compare(in.op)) {
+          produces_bool = true;
+        } else {
+          switch (in.op) {
+            case Opcode::Mov:
+            case Opcode::FimInj:
+              produces_bool = is_bool[in.a()];
+              break;
+            case Opcode::AndI:
+            case Opcode::OrI:
+            case Opcode::XorI:
+              produces_bool = is_bool[in.a()] && is_bool[in.b()];
+              break;
+            default:
+              produces_bool = false;
+              break;
+          }
+        }
+        if (!produces_bool && is_bool[in.dst]) {
+          is_bool[in.dst] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return is_bool;
+}
+
+void inject_function(Function& f, const InjectTargets& targets,
+                     std::int64_t& next_site,
+                     std::vector<InjectionSite>& sites) {
+  FPROP_CHECK_MSG(!f.dual_chain,
+                  "FaultInjectionPass must run before DualChainPass");
+  const auto is_const = const_defined_regs(f);
+  const auto is_bool = boolean_regs(f);
+  for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    auto& block = f.blocks[bi];
+    std::vector<Instr> out;
+    out.reserve(block.code.size() * 2);
+    for (Instr in : block.code) {
+      // Select the source-operand indices to instrument.
+      std::vector<std::uint8_t> operand_idx;
+      const bool eligible_arith =
+          (targets.arith && is_data_arith(in.op)) ||
+          (targets.compares && is_compare(in.op)) ||
+          (targets.addresses && in.op == Opcode::PtrAdd);
+      if (eligible_arith) {
+        for (std::uint8_t i = 0; i < in.nops; ++i) operand_idx.push_back(i);
+      } else if (targets.load_address && in.op == Opcode::Load) {
+        operand_idx.push_back(0);
+      } else if (targets.store_operands && in.op == Opcode::Store) {
+        operand_idx.push_back(0);
+        operand_idx.push_back(1);
+      }
+      for (std::uint8_t i : operand_idx) {
+        const Reg src = in.ops[i];
+        if (is_const[src]) continue;
+        const ir::Type t = f.reg_type(src);
+        const Reg injected = f.add_reg(t);
+        Instr fim;
+        fim.op = Opcode::FimInj;
+        fim.type = t;
+        fim.inj_width = is_bool[src] ? 1 : 64;
+        fim.dst = injected;
+        fim.ops[0] = src;
+        fim.nops = 1;
+        fim.imm = next_site;
+        sites.push_back({next_site, f.name, static_cast<ir::BlockId>(bi),
+                         ir::to_string(f, in), t});
+        ++next_site;
+        out.push_back(fim);
+        in.ops[i] = injected;
+      }
+      out.push_back(std::move(in));
+    }
+    block.code = std::move(out);
+  }
+}
+
+class DualChain {
+ public:
+  DualChain(Module& m, Function& f) : m_(m), f_(f) {}
+
+  void run() {
+    FPROP_CHECK_MSG(!f_.dual_chain, "DualChainPass run twice on @" + f_.name);
+    const auto first_new = static_cast<Reg>(f_.num_regs());
+    shadow_.resize(first_new);
+    for (Reg r = 0; r < first_new; ++r) {
+      shadow_[r] = f_.add_reg(f_.reg_type(r));
+    }
+    // Dual call convention: one pristine parameter per input parameter,
+    // appended after the originals (§3.2 "Function Calls").
+    const std::size_t orig_params = f_.params.size();
+    for (std::size_t i = 0; i < orig_params; ++i) {
+      f_.params.push_back(shadow_[f_.params[i]]);
+    }
+    for (auto& block : f_.blocks) rewrite_block(block);
+    f_.dual_chain = true;
+    for (Reg r = 0; r < first_new; ++r) f_.shadow_of.emplace(r, shadow_[r]);
+  }
+
+ private:
+  Reg sh(Reg r) const { return shadow_.at(r); }
+
+  void rewrite_block(ir::BasicBlock& block) {
+    std::vector<Instr> out;
+    out.reserve(block.code.size() * 2);
+    for (Instr in : block.code) {
+      switch (in.op) {
+        case Opcode::FpmFetch:
+        case Opcode::FpmStore:
+          throw Error("module already dual-chain transformed");
+
+        case Opcode::ConstI:
+        case Opcode::ConstF: {
+          out.push_back(in);
+          Instr dup = in;
+          dup.dst = sh(in.dst);
+          out.push_back(std::move(dup));
+          break;
+        }
+
+        case Opcode::Mov: {
+          out.push_back(in);
+          Instr dup = in;
+          dup.dst = sh(in.dst);
+          dup.ops[0] = sh(in.a());
+          out.push_back(std::move(dup));
+          break;
+        }
+
+        case Opcode::FimInj:
+          // Injection exists only on the primary chain; the pristine twin of
+          // the injected register is the (unmodified) twin of its source.
+          out.push_back(in);
+          shadow_[in.dst] = sh(in.a());
+          break;
+
+        case Opcode::Load: {
+          out.push_back(in);
+          Instr fetch;
+          fetch.op = Opcode::FpmFetch;
+          fetch.type = in.type;
+          fetch.dst = sh(in.dst);
+          fetch.ops[0] = sh(in.a());
+          fetch.nops = 1;
+          out.push_back(std::move(fetch));
+          break;
+        }
+
+        case Opcode::Store: {
+          // Replaced by fpm_store, which performs the primary write and the
+          // runtime check in one step (value, pristine value, address,
+          // pristine address — the last pair covers corrupted-pointer
+          // stores, §3.2 "Store addresses").
+          Instr st;
+          st.op = Opcode::FpmStore;
+          st.type = in.type;
+          st.ops = {in.a(), sh(in.a()), in.b(), sh(in.b())};
+          st.nops = 4;
+          out.push_back(std::move(st));
+          break;
+        }
+
+        case Opcode::Jmp:
+        case Opcode::Br:
+          // Control flow follows the primary (potentially corrupted) chain.
+          out.push_back(in);
+          break;
+
+        case Opcode::Ret: {
+          if (!in.args.empty()) {
+            const Reg v = in.args[0];
+            in.args = {v, sh(v)};
+          }
+          out.push_back(std::move(in));
+          break;
+        }
+
+        case Opcode::Call: {
+          const Function& callee = m_.func(in.callee);
+          if (callee.is_app_code) {
+            const std::size_t n = in.args.size();
+            for (std::size_t i = 0; i < n; ++i) {
+              in.args.push_back(sh(in.args[i]));
+            }
+            if (in.dst != ir::kNoReg) in.dst2 = sh(in.dst);
+            out.push_back(std::move(in));
+          } else {
+            // Untransformed callee: result is born pristine.
+            const Reg dst = in.dst;
+            out.push_back(std::move(in));
+            if (dst != ir::kNoReg) emit_mov(out, sh(dst), dst);
+          }
+          break;
+        }
+
+        case Opcode::Intrinsic: {
+          if (ir::intrinsic_is_pure(in.intr)) {
+            // Replicate pure library calls on the pristine operands — the
+            // paper's sin() double-execution.
+            out.push_back(in);
+            Instr dup = in;
+            dup.dst = sh(in.dst);
+            for (auto& a : dup.args) a = sh(a);
+            out.push_back(std::move(dup));
+          } else {
+            const Reg dst = in.dst;
+            out.push_back(std::move(in));
+            if (dst != ir::kNoReg) emit_mov(out, sh(dst), dst);
+          }
+          break;
+        }
+
+        default: {
+          FPROP_CHECK_MSG(ir::is_arith(in.op),
+                          "unhandled opcode in dual-chain pass");
+          out.push_back(in);
+          Instr dup = in;
+          dup.dst = sh(in.dst);
+          for (std::uint8_t i = 0; i < dup.nops; ++i) {
+            dup.ops[i] = sh(dup.ops[i]);
+          }
+          out.push_back(std::move(dup));
+          break;
+        }
+      }
+    }
+    block.code = std::move(out);
+  }
+
+  void emit_mov(std::vector<Instr>& out, Reg dst, Reg src) {
+    Instr mv;
+    mv.op = Opcode::Mov;
+    mv.type = f_.reg_type(src);
+    mv.dst = dst;
+    mv.ops[0] = src;
+    mv.nops = 1;
+    out.push_back(std::move(mv));
+  }
+
+  Module& m_;
+  Function& f_;
+  std::vector<Reg> shadow_;
+};
+
+}  // namespace
+
+std::vector<InjectionSite> run_fault_injection_pass(
+    ir::Module& m, const InjectTargets& targets) {
+  std::vector<InjectionSite> sites;
+  std::int64_t next_site = 0;
+  if (!targets.any()) return sites;
+  for (auto& f : m.funcs) {
+    if (f.is_app_code) inject_function(f, targets, next_site, sites);
+  }
+  return sites;
+}
+
+void run_dual_chain_pass(ir::Module& m) {
+  for (auto& f : m.funcs) {
+    if (f.is_app_code) DualChain(m, f).run();
+  }
+}
+
+std::vector<InjectionSite> instrument_module(ir::Module& m,
+                                             const InjectTargets& targets) {
+  auto sites = run_fault_injection_pass(m, targets);
+  run_dual_chain_pass(m);
+  ir::verify(m);
+  return sites;
+}
+
+}  // namespace fprop::passes

@@ -1,0 +1,15 @@
+#include "fprop/support/error.h"
+
+namespace fprop::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::string what = std::string("FPROP_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!message.empty()) {
+    what += ": " + message;
+  }
+  throw Error(what);
+}
+
+}  // namespace fprop::detail

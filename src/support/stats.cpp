@@ -1,0 +1,128 @@
+#include "fprop/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fprop/support/error.h"
+
+namespace fprop {
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  FPROP_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+  FPROP_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) via series expansion; valid for
+// x < a + 1.
+double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) via Lentz continued fraction;
+// valid for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double chi_squared_upper_tail(double x, std::size_t dof) {
+  if (x <= 0.0) return 1.0;
+  const double a = static_cast<double>(dof) / 2.0;
+  const double half_x = x / 2.0;
+  if (half_x < a + 1.0) {
+    return 1.0 - gamma_p_series(a, half_x);
+  }
+  return gamma_q_cf(a, half_x);
+}
+
+ChiSquaredResult chi_squared_uniform(const Histogram& h) {
+  ChiSquaredResult r;
+  r.dof = h.bins() - 1;
+  const double expected =
+      static_cast<double>(h.total()) / static_cast<double>(h.bins());
+  FPROP_CHECK_MSG(expected > 0.0, "chi-squared test needs samples");
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    const double diff = static_cast<double>(h.bin_count(i)) - expected;
+    r.statistic += diff * diff / expected;
+  }
+  r.p_value = chi_squared_upper_tail(r.statistic, r.dof);
+  r.uniform_at_5pct = r.p_value >= 0.05;
+  return r;
+}
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  FPROP_CHECK(x.size() == y.size());
+  FPROP_CHECK(x.size() >= 2);
+  RunningStat sx;
+  RunningStat sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+double quantile(std::span<const double> xs, double p) {
+  FPROP_CHECK(!xs.empty());
+  FPROP_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace fprop

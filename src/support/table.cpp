@@ -1,0 +1,117 @@
+#include "fprop/support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "fprop/support/error.h"
+
+namespace fprop {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FPROP_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  FPROP_CHECK_MSG(cells.size() == header_.size(),
+                  "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::add_row_values(std::span<const double> values,
+                                 int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void TableWriter::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TableWriter::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string render_bar_chart(std::span<const std::string> labels,
+                             std::span<const double> values, double max_value,
+                             std::size_t width, const std::string& unit) {
+  FPROP_CHECK(labels.size() == values.size());
+  std::size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double frac =
+        max_value > 0.0 ? std::clamp(values[i] / max_value, 0.0, 1.0) : 0.0;
+    const auto bar = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(width)));
+    os << labels[i] << std::string(label_w - labels[i].size(), ' ') << " |"
+       << std::string(bar, '#') << std::string(width - bar, ' ') << "| "
+       << format_double(values[i], 2) << unit << "\n";
+  }
+  return os.str();
+}
+
+std::string render_series(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t plot_width,
+                          std::size_t plot_height) {
+  FPROP_CHECK(xs.size() == ys.size());
+  if (xs.empty()) return "(empty series)\n";
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  const double ymin = std::min(0.0, *std::min_element(ys.begin(), ys.end()));
+  double ymax = *std::max_element(ys.begin(), ys.end());
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(plot_height, std::string(plot_width, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fx = xmax > xmin ? (xs[i] - xmin) / (xmax - xmin) : 0.0;
+    const double fy = (ys[i] - ymin) / (ymax - ymin);
+    auto cx = static_cast<std::size_t>(fx * static_cast<double>(plot_width - 1));
+    auto cy = static_cast<std::size_t>(fy * static_cast<double>(plot_height - 1));
+    grid[plot_height - 1 - cy][cx] = '*';
+  }
+  std::ostringstream os;
+  os << format_double(ymax, 0) << "\n";
+  for (const auto& row : grid) os << "|" << row << "\n";
+  os << "+" << std::string(plot_width, '-') << "\n";
+  os << format_double(xmin, 0) << " ... " << format_double(xmax, 0)
+     << " (virtual time)\n";
+  return os.str();
+}
+
+}  // namespace fprop

@@ -1,0 +1,640 @@
+#include "fprop/vm/interp.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "fprop/fpm/message.h"
+
+namespace fprop::vm {
+
+std::uint64_t bits_of(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+double double_of(std::uint64_t bits) noexcept { return std::bit_cast<double>(bits); }
+
+const char* trap_name(Trap t) noexcept {
+  switch (t) {
+    case Trap::None: return "none";
+    case Trap::BadAccess: return "bad-access";
+    case Trap::DivByZero: return "div-by-zero";
+    case Trap::BadAlloc: return "bad-alloc";
+    case Trap::StackOverflow: return "stack-overflow";
+    case Trap::CycleBudget: return "cycle-budget";
+    case Trap::MpiAbort: return "mpi-abort";
+    case Trap::MpiFault: return "mpi-fault";
+    case Trap::Deadlock: return "deadlock";
+    case Trap::Killed: return "killed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t as_i64(std::uint64_t bits) noexcept {
+  return static_cast<std::int64_t>(bits);
+}
+std::uint64_t as_bits(std::int64_t v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+
+// Truncating f64 -> i64 with x86 cvttsd2si semantics: NaN and out-of-range
+// inputs yield INT64_MIN instead of trapping (hardware does not fault here,
+// and neither should the simulated fault propagate into a VM error).
+std::int64_t f2i_trunc(double v) noexcept {
+  if (std::isnan(v)) return std::numeric_limits<std::int64_t>::min();
+  if (v >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
+  if (v <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Interp::Interp(const ir::Module& module, std::uint32_t rank,
+               InterpConfig config)
+    : module_(&module),
+      rank_(rank),
+      config_(config),
+      mem_(config.max_words),
+      rng_(derive_seed(config.rng_seed, rank)) {
+  FPROP_CHECK(module.entry != ir::kNoFunc);
+  const ir::Function& entry = module.func(module.entry);
+  FPROP_CHECK_MSG(entry.params.empty(), "entry function takes no params");
+  Frame f;
+  f.func = &entry;
+  f.regs.assign(entry.num_regs(), 0);
+  frames_.push_back(std::move(f));
+}
+
+void Interp::do_trap(Trap t) {
+  trap_ = t;
+  state_ = RunState::Trapped;
+  if (fpm_ != nullptr) fpm_->flush_trace(cycles_);
+}
+
+void Interp::force_trap(Trap t) {
+  if (state_ == RunState::Done || state_ == RunState::Trapped) return;
+  do_trap(t);
+}
+
+void Interp::finish_instr() {
+  ++cycles_;
+  if (fpm_ != nullptr) fpm_->tick(cycles_);
+  if (state_ == RunState::Ready && cycles_ >= config_.cycle_budget) {
+    do_trap(Trap::CycleBudget);
+  }
+}
+
+RunState Interp::run(std::uint64_t max_steps) {
+  if (state_ == RunState::Done || state_ == RunState::Trapped) return state_;
+  state_ = RunState::Ready;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (!step()) break;
+  }
+  return state_;
+}
+
+bool Interp::step() {
+  Frame& fr = frames_.back();
+  if (taint_ != nullptr && fr.taint.size() != fr.regs.size()) {
+    fr.taint.assign(fr.regs.size(), 0);  // taint mode enabled lazily
+  }
+  const ir::Instr& in = fr.func->blocks[fr.block].code[fr.ip];
+  std::uint64_t inj_from = 0;  // fim_inj pre/post values for taint transfer
+  std::uint64_t inj_to = 0;
+
+  switch (in.op) {
+    case ir::Opcode::ConstI:
+      set_reg(in.dst, as_bits(in.imm));
+      break;
+    case ir::Opcode::ConstF:
+      set_reg(in.dst, bits_of(in.fimm));
+      break;
+    case ir::Opcode::Mov:
+    case ir::Opcode::FimInj: {
+      std::uint64_t v = reg(in.a());
+      inj_from = v;
+      if (in.op == ir::Opcode::FimInj && inject_ != nullptr) {
+        v = inject_->on_fim_inj(*this, v, in.imm, in.inj_width);
+      }
+      inj_to = v;
+      set_reg(in.dst, v);
+      break;
+    }
+
+    // --- integer arithmetic -------------------------------------------
+    case ir::Opcode::AddI:
+      set_reg(in.dst, reg(in.a()) + reg(in.b()));
+      break;
+    case ir::Opcode::SubI:
+      set_reg(in.dst, reg(in.a()) - reg(in.b()));
+      break;
+    case ir::Opcode::MulI:
+      set_reg(in.dst, reg(in.a()) * reg(in.b()));
+      break;
+    case ir::Opcode::DivI: {
+      const std::int64_t a = as_i64(reg(in.a()));
+      const std::int64_t b = as_i64(reg(in.b()));
+      if (b == 0) {
+        do_trap(Trap::DivByZero);
+        return false;
+      }
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        set_reg(in.dst, as_bits(a));  // wraps on hardware
+      } else {
+        set_reg(in.dst, as_bits(a / b));
+      }
+      break;
+    }
+    case ir::Opcode::RemI: {
+      const std::int64_t a = as_i64(reg(in.a()));
+      const std::int64_t b = as_i64(reg(in.b()));
+      if (b == 0) {
+        do_trap(Trap::DivByZero);
+        return false;
+      }
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        set_reg(in.dst, 0);
+      } else {
+        set_reg(in.dst, as_bits(a % b));
+      }
+      break;
+    }
+    case ir::Opcode::AndI:
+      set_reg(in.dst, reg(in.a()) & reg(in.b()));
+      break;
+    case ir::Opcode::OrI:
+      set_reg(in.dst, reg(in.a()) | reg(in.b()));
+      break;
+    case ir::Opcode::XorI:
+      set_reg(in.dst, reg(in.a()) ^ reg(in.b()));
+      break;
+    case ir::Opcode::ShlI:
+      set_reg(in.dst, reg(in.a()) << (reg(in.b()) & 63));
+      break;
+    case ir::Opcode::ShrI:
+      set_reg(in.dst, reg(in.a()) >> (reg(in.b()) & 63));
+      break;
+    case ir::Opcode::NegI:
+      set_reg(in.dst, 0 - reg(in.a()));
+      break;
+    case ir::Opcode::NotI:
+      set_reg(in.dst, ~reg(in.a()));
+      break;
+
+    // --- floating point -----------------------------------------------
+    case ir::Opcode::AddF:
+      set_reg(in.dst, bits_of(double_of(reg(in.a())) + double_of(reg(in.b()))));
+      break;
+    case ir::Opcode::SubF:
+      set_reg(in.dst, bits_of(double_of(reg(in.a())) - double_of(reg(in.b()))));
+      break;
+    case ir::Opcode::MulF:
+      set_reg(in.dst, bits_of(double_of(reg(in.a())) * double_of(reg(in.b()))));
+      break;
+    case ir::Opcode::DivF:
+      set_reg(in.dst, bits_of(double_of(reg(in.a())) / double_of(reg(in.b()))));
+      break;
+    case ir::Opcode::NegF:
+      set_reg(in.dst, bits_of(-double_of(reg(in.a()))));
+      break;
+
+    // --- comparisons ----------------------------------------------------
+    case ir::Opcode::EqI:
+      set_reg(in.dst, reg(in.a()) == reg(in.b()) ? 1 : 0);
+      break;
+    case ir::Opcode::NeI:
+      set_reg(in.dst, reg(in.a()) != reg(in.b()) ? 1 : 0);
+      break;
+    case ir::Opcode::LtI:
+      set_reg(in.dst, as_i64(reg(in.a())) < as_i64(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::LeI:
+      set_reg(in.dst, as_i64(reg(in.a())) <= as_i64(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::GtI:
+      set_reg(in.dst, as_i64(reg(in.a())) > as_i64(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::GeI:
+      set_reg(in.dst, as_i64(reg(in.a())) >= as_i64(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::EqF:
+      set_reg(in.dst, double_of(reg(in.a())) == double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::NeF:
+      set_reg(in.dst, double_of(reg(in.a())) != double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::LtF:
+      set_reg(in.dst, double_of(reg(in.a())) < double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::LeF:
+      set_reg(in.dst, double_of(reg(in.a())) <= double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::GtF:
+      set_reg(in.dst, double_of(reg(in.a())) > double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::GeF:
+      set_reg(in.dst, double_of(reg(in.a())) >= double_of(reg(in.b())) ? 1 : 0);
+      break;
+    case ir::Opcode::EqP:
+      set_reg(in.dst, reg(in.a()) == reg(in.b()) ? 1 : 0);
+      break;
+    case ir::Opcode::NeP:
+      set_reg(in.dst, reg(in.a()) != reg(in.b()) ? 1 : 0);
+      break;
+
+    // --- conversions ----------------------------------------------------
+    case ir::Opcode::I2F:
+      set_reg(in.dst, bits_of(static_cast<double>(as_i64(reg(in.a())))));
+      break;
+    case ir::Opcode::F2I:
+      set_reg(in.dst, as_bits(f2i_trunc(double_of(reg(in.a())))));
+      break;
+
+    // --- memory ---------------------------------------------------------
+    case ir::Opcode::Load: {
+      std::uint64_t v = 0;
+      if (!mem_.load(reg(in.a()), v)) {
+        do_trap(Trap::BadAccess);
+        return false;
+      }
+      set_reg(in.dst, v);
+      break;
+    }
+    case ir::Opcode::FpmFetch: {
+      // Pristine-chain load: never faults the primary execution. If the
+      // pristine address is unmapped (possible only after an allocation
+      // already diverged), fall back to the shadow table alone.
+      const std::uint64_t addr_p = reg(in.a());
+      std::uint64_t actual = 0;
+      (void)mem_.load(addr_p, actual);
+      const std::uint64_t v =
+          fpm_ != nullptr ? fpm_->fetch(addr_p, actual) : actual;
+      set_reg(in.dst, v);
+      break;
+    }
+    case ir::Opcode::Store: {
+      if (!mem_.store(reg(in.b()), reg(in.a()))) {
+        do_trap(Trap::BadAccess);
+        return false;
+      }
+      break;
+    }
+    case ir::Opcode::FpmStore: {
+      const std::uint64_t val = reg(in.a());
+      const std::uint64_t val_p = reg(in.b());
+      const std::uint64_t addr = reg(in.c());
+      const std::uint64_t addr_p = reg(in.d());
+      std::uint64_t old = 0;
+      if (!mem_.load(addr, old)) {
+        do_trap(Trap::BadAccess);  // the primary store faults
+        return false;
+      }
+      const std::uint64_t old_pristine =
+          fpm_ != nullptr ? fpm_->shadow().pristine_or(addr, old) : old;
+      mem_.store(addr, val);
+      if (fpm_ != nullptr) {
+        std::uint64_t mem_at_p = 0;
+        bool have_p = true;
+        if (addr != addr_p) have_p = mem_.load(addr_p, mem_at_p);
+        fpm_->on_store(val, val_p, addr, addr_p, old_pristine, mem_at_p,
+                       have_p);
+      }
+      break;
+    }
+    case ir::Opcode::PtrAdd:
+      set_reg(in.dst, reg(in.a()) + reg(in.b()) * 8);
+      break;
+
+    // --- control flow ----------------------------------------------------
+    case ir::Opcode::Jmp: {
+      fr.block = in.t1;
+      fr.ip = 0;
+      finish_instr();
+      return state_ == RunState::Ready;
+    }
+    case ir::Opcode::Br: {
+      fr.block = reg(in.a()) != 0 ? in.t1 : in.t2;
+      fr.ip = 0;
+      finish_instr();
+      return state_ == RunState::Ready;
+    }
+    case ir::Opcode::Ret: {
+      std::uint64_t v0 = 0;
+      std::uint64_t v1 = 0;
+      std::uint8_t t0 = 0;
+      std::uint8_t t1 = 0;
+      if (!in.args.empty()) {
+        v0 = reg(in.args[0]);
+        if (taint_ != nullptr) t0 = fr.taint[in.args[0]];
+      }
+      if (in.args.size() > 1) {
+        v1 = reg(in.args[1]);
+        if (taint_ != nullptr) t1 = fr.taint[in.args[1]];
+      }
+      const ir::Reg dst = fr.ret_dst;
+      const ir::Reg dst2 = fr.ret_dst2;
+      frames_.pop_back();
+      if (frames_.empty()) {
+        state_ = RunState::Done;
+        if (fpm_ != nullptr) fpm_->flush_trace(cycles_);
+        finish_instr();
+        return false;
+      }
+      if (dst != ir::kNoReg) set_reg(dst, v0);
+      if (dst2 != ir::kNoReg) set_reg(dst2, v1);
+      if (taint_ != nullptr && !frames_.back().taint.empty()) {
+        if (dst != ir::kNoReg) frames_.back().taint[dst] = t0;
+        if (dst2 != ir::kNoReg) frames_.back().taint[dst2] = t1;
+      }
+      finish_instr();
+      return state_ == RunState::Ready;
+    }
+    case ir::Opcode::Call: {
+      if (frames_.size() >= config_.max_call_depth) {
+        do_trap(Trap::StackOverflow);
+        return false;
+      }
+      const ir::Function& callee = module_->func(in.callee);
+      Frame next;
+      next.func = &callee;
+      next.ret_dst = in.dst;
+      next.ret_dst2 = in.dst2;
+      next.regs.assign(callee.num_regs(), 0);
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        next.regs[callee.params[i]] = reg(in.args[i]);
+      }
+      if (taint_ != nullptr) {
+        next.taint.assign(callee.num_regs(), 0);
+        for (std::size_t i = 0; i < in.args.size(); ++i) {
+          next.taint[callee.params[i]] = fr.taint[in.args[i]];
+        }
+      }
+      fr.ip++;  // return past the call
+      frames_.push_back(std::move(next));
+      finish_instr();
+      return state_ == RunState::Ready;
+    }
+
+    case ir::Opcode::Intrinsic:
+      if (!exec_intrinsic(in)) return false;
+      break;
+  }
+
+  if (taint_ != nullptr) update_taint(in, inj_from, inj_to);
+  frames_.back().ip++;
+  finish_instr();
+  return state_ == RunState::Ready;
+}
+
+void Interp::update_taint(const ir::Instr& in, std::uint64_t injected_from,
+                          std::uint64_t injected_to) {
+  Frame& fr = frames_.back();
+  auto t = [&](ir::Reg r) { return fr.taint[r] != 0; };
+
+  switch (in.op) {
+    case ir::Opcode::ConstI:
+    case ir::Opcode::ConstF:
+      fr.taint[in.dst] = 0;
+      break;
+    case ir::Opcode::Mov:
+      fr.taint[in.dst] = fr.taint[in.a()];
+      break;
+    case ir::Opcode::FimInj: {
+      const bool flipped = injected_from != injected_to;
+      if (flipped) taint_->note_injection();
+      fr.taint[in.dst] = static_cast<std::uint8_t>(t(in.a()) || flipped);
+      break;
+    }
+    case ir::Opcode::Load:
+      fr.taint[in.dst] = static_cast<std::uint8_t>(
+          t(in.a()) || taint_->location(reg(in.a())));
+      break;
+    case ir::Opcode::FpmFetch:
+      fr.taint[in.dst] = 0;  // pristine-chain value by definition
+      break;
+    case ir::Opcode::Store:
+      taint_->set_location(reg(in.b()), t(in.a()) || t(in.b()));
+      break;
+    case ir::Opcode::FpmStore:
+      taint_->set_location(reg(in.c()), t(in.a()) || t(in.c()));
+      break;
+    case ir::Opcode::Intrinsic: {
+      if (in.dst == ir::kNoReg) break;
+      bool any = false;
+      if (ir::intrinsic_is_pure(in.intr)) {
+        for (ir::Reg a : in.args) any = any || t(a);
+      }
+      fr.taint[in.dst] = static_cast<std::uint8_t>(any);
+      break;
+    }
+    default: {
+      // Arithmetic/comparisons/conversions: output tainted iff any input is
+      // (the naive rule of §3.2).
+      if (in.dst == ir::kNoReg) break;
+      bool any = false;
+      for (std::uint8_t i = 0; i < in.nops; ++i) any = any || t(in.ops[i]);
+      fr.taint[in.dst] = static_cast<std::uint8_t>(any);
+      break;
+    }
+  }
+}
+
+bool Interp::exec_intrinsic(const ir::Instr& in) {
+  using ir::IntrinsicId;
+  auto farg = [&](std::size_t i) { return double_of(reg(in.args[i])); };
+  auto iarg = [&](std::size_t i) { return as_i64(reg(in.args[i])); };
+  auto set_f = [&](double v) { set_reg(in.dst, bits_of(v)); };
+  auto set_i = [&](std::int64_t v) { set_reg(in.dst, as_bits(v)); };
+
+  switch (in.intr) {
+    case IntrinsicId::Sqrt: set_f(std::sqrt(farg(0))); return true;
+    case IntrinsicId::Fabs: set_f(std::fabs(farg(0))); return true;
+    case IntrinsicId::Exp: set_f(std::exp(farg(0))); return true;
+    case IntrinsicId::Log: set_f(std::log(farg(0))); return true;
+    case IntrinsicId::Sin: set_f(std::sin(farg(0))); return true;
+    case IntrinsicId::Cos: set_f(std::cos(farg(0))); return true;
+    case IntrinsicId::Pow: set_f(std::pow(farg(0), farg(1))); return true;
+    case IntrinsicId::Floor: set_f(std::floor(farg(0))); return true;
+    case IntrinsicId::FMin: set_f(std::fmin(farg(0), farg(1))); return true;
+    case IntrinsicId::FMax: set_f(std::fmax(farg(0), farg(1))); return true;
+    case IntrinsicId::IMin: set_i(std::min(iarg(0), iarg(1))); return true;
+    case IntrinsicId::IMax: set_i(std::max(iarg(0), iarg(1))); return true;
+
+    case IntrinsicId::Alloc: {
+      const std::int64_t n = iarg(0);
+      if (n < 0) {
+        do_trap(Trap::BadAlloc);
+        return false;
+      }
+      const std::uint64_t addr = mem_.alloc_words(static_cast<std::uint64_t>(n));
+      if (addr == 0) {
+        do_trap(Trap::BadAlloc);
+        return false;
+      }
+      set_reg(in.dst, addr);
+      return true;
+    }
+
+    case IntrinsicId::OutputF:
+      outputs_.push_back(farg(0));
+      return true;
+    case IntrinsicId::OutputI:
+      outputs_.push_back(static_cast<double>(iarg(0)));
+      return true;
+    case IntrinsicId::ReportIters:
+      reported_iters_ = iarg(0);
+      return true;
+
+    case IntrinsicId::Rand01:
+      set_f(rng_.next_double());
+      return true;
+    case IntrinsicId::Clock:
+      set_i(static_cast<std::int64_t>(cycles_));
+      return true;
+
+    case IntrinsicId::MpiRank:
+      set_i(rank_);
+      return true;
+    case IntrinsicId::MpiSize:
+      set_i(mpi_ != nullptr ? mpi_->rank_count() : 1);
+      return true;
+
+    case IntrinsicId::MpiSendF:
+    case IntrinsicId::MpiRecvF:
+    case IntrinsicId::MpiIsendF:
+    case IntrinsicId::MpiIrecvF:
+    case IntrinsicId::MpiWait:
+    case IntrinsicId::MpiAllreduceSumF:
+    case IntrinsicId::MpiAllreduceMaxF:
+    case IntrinsicId::MpiBcastF:
+    case IntrinsicId::MpiBarrier:
+    case IntrinsicId::MpiAbort: {
+      if (mpi_ == nullptr) return exec_mpi_local(in);
+      MpiResult r = MpiResult::Done;
+      switch (in.intr) {
+        case IntrinsicId::MpiSendF:
+          r = mpi_->send_f(*this, iarg(0), iarg(1), reg(in.args[2]), iarg(3));
+          break;
+        case IntrinsicId::MpiRecvF:
+          r = mpi_->recv_f(*this, iarg(0), iarg(1), reg(in.args[2]), iarg(3));
+          break;
+        case IntrinsicId::MpiIsendF: {
+          std::int64_t req = 0;
+          r = mpi_->isend_f(*this, iarg(0), iarg(1), reg(in.args[2]), iarg(3),
+                            &req);
+          if (r == MpiResult::Done) set_i(req);
+          break;
+        }
+        case IntrinsicId::MpiIrecvF: {
+          std::int64_t req = 0;
+          r = mpi_->irecv_f(*this, iarg(0), iarg(1), reg(in.args[2]), iarg(3),
+                            &req);
+          if (r == MpiResult::Done) set_i(req);
+          break;
+        }
+        case IntrinsicId::MpiWait:
+          r = mpi_->wait(*this, iarg(0));
+          break;
+        case IntrinsicId::MpiAllreduceSumF:
+          r = mpi_->allreduce_f(*this, false, reg(in.args[0]), reg(in.args[1]),
+                                iarg(2));
+          break;
+        case IntrinsicId::MpiAllreduceMaxF:
+          r = mpi_->allreduce_f(*this, true, reg(in.args[0]), reg(in.args[1]),
+                                iarg(2));
+          break;
+        case IntrinsicId::MpiBcastF:
+          r = mpi_->bcast_f(*this, iarg(0), reg(in.args[1]), iarg(2));
+          break;
+        case IntrinsicId::MpiBarrier:
+          r = mpi_->barrier(*this);
+          break;
+        case IntrinsicId::MpiAbort:
+          abort_code_ = iarg(0);
+          mpi_->abort(*this, iarg(0));
+          do_trap(Trap::MpiAbort);
+          return false;
+        default:
+          break;
+      }
+      switch (r) {
+        case MpiResult::Done:
+          return true;
+        case MpiResult::Block:
+          state_ = RunState::Blocked;
+          return false;
+        case MpiResult::Fault:
+          do_trap(Trap::MpiFault);
+          return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool Interp::exec_mpi_local(const ir::Instr& in) {
+  // Single-rank fallback semantics (no MPI hook attached): point-to-point is
+  // invalid, collectives degenerate to local copies that preserve
+  // contamination metadata.
+  using ir::IntrinsicId;
+  auto iarg = [&](std::size_t i) { return as_i64(reg(in.args[i])); };
+  switch (in.intr) {
+    case IntrinsicId::MpiSendF:
+    case IntrinsicId::MpiRecvF:
+    case IntrinsicId::MpiIsendF:
+    case IntrinsicId::MpiIrecvF:
+      do_trap(Trap::MpiFault);
+      return false;
+    case IntrinsicId::MpiWait:
+      do_trap(Trap::MpiFault);  // no request can exist without a hook
+      return false;
+    case IntrinsicId::MpiAllreduceSumF:
+    case IntrinsicId::MpiAllreduceMaxF: {
+      const std::uint64_t sb = reg(in.args[0]);
+      const std::uint64_t rb = reg(in.args[1]);
+      const std::int64_t count = iarg(2);
+      if (count < 0) {
+        do_trap(Trap::MpiFault);
+        return false;
+      }
+      for (std::int64_t i = 0; i < count; ++i) {
+        std::uint64_t v = 0;
+        if (!mem_.load(sb + 8 * static_cast<std::uint64_t>(i), v) ||
+            !mem_.store(rb + 8 * static_cast<std::uint64_t>(i), v)) {
+          do_trap(Trap::BadAccess);
+          return false;
+        }
+      }
+      if (fpm_ != nullptr && count > 0) {
+        const auto n = static_cast<std::uint64_t>(count);
+        const auto header = fpm::build_header(fpm_->shadow(), sb, n);
+        fpm::install_header(fpm_->shadow(), rb, n, header);
+      }
+      if (taint_ != nullptr) {
+        for (std::int64_t i = 0; i < count; ++i) {
+          const auto off = 8 * static_cast<std::uint64_t>(i);
+          taint_->set_location(rb + off, taint_->location(sb + off));
+        }
+      }
+      return true;
+    }
+    case IntrinsicId::MpiBcastF: {
+      if (iarg(0) != 0) {
+        do_trap(Trap::MpiFault);
+        return false;
+      }
+      return true;  // root == self: nothing to do
+    }
+    case IntrinsicId::MpiBarrier:
+      return true;
+    case IntrinsicId::MpiAbort:
+      abort_code_ = iarg(0);
+      do_trap(Trap::MpiAbort);
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace fprop::vm

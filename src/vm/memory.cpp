@@ -1,0 +1,12 @@
+#include "fprop/vm/memory.h"
+
+namespace fprop::vm {
+
+std::uint64_t AddressSpace::alloc_words(std::uint64_t n) {
+  if (n > max_words_ || words_.size() > max_words_ - n) return 0;
+  const std::uint64_t addr = addr_of(words_.size());
+  words_.resize(words_.size() + n, 0);
+  return addr;
+}
+
+}  // namespace fprop::vm

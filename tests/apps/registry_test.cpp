@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/support/error.h"
+
+namespace fprop::apps {
+namespace {
+
+TEST(Registry, AllPaperAppsPresent) {
+  const auto& apps = paper_apps();
+  ASSERT_EQ(apps.size(), 5u);
+  // Fig. 6 order.
+  EXPECT_EQ(apps[0].name, "lulesh");
+  EXPECT_EQ(apps[1].name, "amg");
+  EXPECT_EQ(apps[2].name, "minife");
+  EXPECT_EQ(apps[3].name, "lammps");
+  EXPECT_EQ(apps[4].name, "mcb");
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_EQ(get_app("matvec").default_nranks, 1u);
+  EXPECT_EQ(get_app("lulesh").default_nranks, 8u);
+  EXPECT_THROW(get_app("nonexistent"), Error);
+}
+
+TEST(Registry, InstantiateSubstitutesDefaults) {
+  const auto& spec = get_app("matvec");
+  const std::string src = instantiate(spec);
+  EXPECT_EQ(src.find('@'), std::string::npos);
+  EXPECT_NE(src.find("var iters: int = 3;"), std::string::npos);
+}
+
+TEST(Registry, InstantiateOverrides) {
+  const auto& spec = get_app("matvec");
+  const std::string src = instantiate(spec, {{"ITERS", "7"}});
+  EXPECT_NE(src.find("var iters: int = 7;"), std::string::npos);
+}
+
+TEST(Registry, UnresolvedPlaceholderThrows) {
+  AppSpec broken;
+  broken.name = "broken";
+  broken.source = "fn main() { var x: int = @MISSING@; }";
+  EXPECT_THROW(instantiate(broken), Error);
+}
+
+TEST(Registry, AllAppsCompile) {
+  for (const auto& spec : paper_apps()) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_NO_THROW({
+      const ir::Module m = compile_app(spec);
+      EXPECT_GT(m.static_instr_count(), 50u);
+    });
+  }
+  EXPECT_NO_THROW(compile_app(get_app("matvec")));
+}
+
+// Golden-run physical sanity per application (parameterized).
+class AppGolden : public ::testing::TestWithParam<const char*> {
+ protected:
+  static harness::AppHarness make(const char* name) {
+    harness::ExperimentConfig cfg;
+    return harness::AppHarness(get_app(name), cfg);
+  }
+};
+
+TEST_P(AppGolden, CompletesWithSaneOutputs) {
+  harness::AppHarness h = make(GetParam());
+  const auto& g = h.golden();
+  EXPECT_GT(g.global_cycles, 10'000u);
+  EXPECT_GT(g.total_dyn_points, 100u);
+  EXPECT_FALSE(g.outputs.empty());
+  for (double v : g.outputs) {
+    EXPECT_FALSE(std::isnan(v)) << "NaN in golden output";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppGolden,
+                         ::testing::Values("lulesh", "amg", "minife",
+                                           "lammps", "mcb"),
+                         [](const auto& pi) { return std::string(pi.param); });
+
+TEST(AppGoldenDetail, MinifeConvergesWithinCap) {
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(apps::get_app("minife"), cfg);
+  // outputs[0] is the app's own acceptance flag.
+  EXPECT_DOUBLE_EQ(h.golden().outputs[0], 1.0);
+  EXPECT_GT(h.golden().reported_iters, 10);
+  EXPECT_LT(h.golden().reported_iters, 600);
+}
+
+TEST(AppGoldenDetail, AmgConvergesLikeMultigrid) {
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(apps::get_app("amg"), cfg);
+  EXPECT_DOUBLE_EQ(h.golden().outputs[0], 1.0);
+  // Textbook V-cycle: a handful of cycles regardless of size.
+  EXPECT_LE(h.golden().reported_iters, 12);
+}
+
+TEST(AppGoldenDetail, LuleshConservesEnergyWithinBounds) {
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(apps::get_app("lulesh"), cfg);
+  // outputs[0] is the final total energy; the blast starts around 10 + n
+  // cells of background ~0.1: it must stay positive and bounded.
+  const double e_final = h.golden().outputs[0];
+  EXPECT_GT(e_final, 1.0);
+  EXPECT_LT(e_final, 200.0);
+}
+
+TEST(AppGoldenDetail, McbTallyPositive) {
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(apps::get_app("mcb"), cfg);
+  EXPECT_GT(h.golden().outputs[0], 0.0);  // global tally
+}
+
+TEST(AppGoldenDetail, LammpsEnergyFinite) {
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(apps::get_app("lammps"), cfg);
+  const double ke = h.golden().outputs[0];
+  EXPECT_GT(ke, 0.0);
+  EXPECT_LT(ke, 1e4);  // chain did not explode
+}
+
+TEST(AppScaling, AppsRunAtDifferentRankCounts) {
+  for (std::uint32_t nranks : {2u, 4u}) {
+    for (const char* name : {"lulesh", "mcb"}) {
+      SCOPED_TRACE(std::string(name) + "@" + std::to_string(nranks));
+      harness::ExperimentConfig cfg;
+      cfg.nranks = nranks;
+      EXPECT_NO_THROW({
+        harness::AppHarness h(get_app(name), cfg);
+        EXPECT_FALSE(h.golden().outputs.empty());
+      });
+    }
+  }
+}
+
+TEST(AppScaling, ProblemSizeOverride) {
+  harness::ExperimentConfig small;
+  small.overrides = {{"ITERS", "2"}};
+  small.nranks = 1;
+  harness::AppHarness h(get_app("matvec"), small);
+  // After 2 iterations: b1 = [232 226 264 240] (paper Fig. 1).
+  const std::vector<double> want{232, 226, 264, 240};
+  EXPECT_EQ(h.golden().outputs, want);
+}
+
+}  // namespace
+}  // namespace fprop::apps

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "fprop/fpm/message.h"
+#include "fprop/fpm/runtime.h"
+
+namespace fprop::fpm {
+namespace {
+
+TEST(FpmRuntime, DivergentStoreRecords) {
+  FpmRuntime rt;
+  rt.on_store(/*val=*/5, /*val_p=*/7, /*addr=*/800, /*addr_p=*/800,
+              /*old_pristine=*/0, 0, true);
+  EXPECT_EQ(rt.shadow().size(), 1u);
+  EXPECT_EQ(rt.shadow().lookup(800).value(), 7u);
+  EXPECT_EQ(rt.stats().stores_divergent, 1u);
+  EXPECT_EQ(rt.stats().wild_stores, 0u);
+}
+
+TEST(FpmRuntime, MatchingStoreHealsContamination) {
+  // Table 1 rows 2/4: an operation masks the corruption; storing the
+  // pristine value back must remove the location from the table.
+  FpmRuntime rt;
+  rt.on_store(5, 7, 800, 800, 0, 0, true);
+  ASSERT_EQ(rt.shadow().size(), 1u);
+  rt.on_store(9, 9, 800, 800, 7, 0, true);
+  EXPECT_TRUE(rt.shadow().empty());
+  EXPECT_EQ(rt.stats().heals, 1u);
+}
+
+TEST(FpmRuntime, MatchingStoreOnCleanLocationIsNoop) {
+  FpmRuntime rt;
+  rt.on_store(9, 9, 800, 800, 9, 0, true);
+  EXPECT_TRUE(rt.shadow().empty());
+  EXPECT_EQ(rt.stats().stores_checked, 1u);
+  EXPECT_EQ(rt.stats().stores_divergent, 0u);
+}
+
+TEST(FpmRuntime, WildStoreDuplicateEffect) {
+  // §3.2 "Store addresses": the store landed at `addr` = 808 instead of
+  // `addr_p` = 800. Both locations become contaminated: 808 should hold its
+  // old pristine value (77), 800 should have received val_p (42).
+  FpmRuntime rt;
+  rt.on_store(/*val=*/5, /*val_p=*/42, /*addr=*/808, /*addr_p=*/800,
+              /*old_pristine=*/77, /*mem_at_addr_p=*/3, true);
+  EXPECT_EQ(rt.stats().wild_stores, 1u);
+  EXPECT_EQ(rt.shadow().size(), 2u);
+  EXPECT_EQ(rt.shadow().lookup(808).value(), 77u);
+  EXPECT_EQ(rt.shadow().lookup(800).value(), 42u);
+}
+
+TEST(FpmRuntime, WildStoreCoincidentallyCorrectValues) {
+  // If the wild write stored exactly what the location should hold, and the
+  // intended location already holds the intended value, nothing is
+  // contaminated.
+  FpmRuntime rt;
+  rt.on_store(/*val=*/77, /*val_p=*/42, /*addr=*/808, /*addr_p=*/800,
+              /*old_pristine=*/77, /*mem_at_addr_p=*/42, true);
+  EXPECT_TRUE(rt.shadow().empty());
+}
+
+TEST(FpmRuntime, WildStoreWithUnmappedIntendedAddress) {
+  FpmRuntime rt;
+  rt.on_store(5, 42, 808, 800, 77, 0, /*have_addr_p_content=*/false);
+  // Cannot compare the intended location: conservatively contaminated.
+  EXPECT_TRUE(rt.shadow().contaminated(800));
+}
+
+TEST(FpmRuntime, FetchUsesShadowThenMemory) {
+  FpmRuntime rt;
+  EXPECT_EQ(rt.fetch(800, 5), 5u);
+  rt.shadow().record(800, 9);
+  EXPECT_EQ(rt.fetch(800, 5), 9u);
+  EXPECT_EQ(rt.stats().fetches, 2u);
+  EXPECT_EQ(rt.stats().fetch_hits, 1u);
+}
+
+TEST(FpmRuntime, TraceSampling) {
+  FpmRuntime rt(/*sample_period=*/10);
+  for (std::uint64_t c = 1; c <= 35; ++c) {
+    if (c == 12) rt.shadow().record(800, 1);
+    if (c == 25) rt.shadow().record(808, 1);
+    rt.tick(c);
+  }
+  rt.flush_trace(35);
+  const auto& tr = rt.trace();
+  ASSERT_GE(tr.size(), 4u);
+  EXPECT_EQ(tr.front().cml, 0u);      // before the fault
+  EXPECT_EQ(tr.back().cml, 2u);       // final state
+  EXPECT_EQ(tr.back().cycle, 35u);
+  // Monotone sample cycles.
+  for (std::size_t i = 1; i < tr.size(); ++i) {
+    EXPECT_GE(tr[i].cycle, tr[i - 1].cycle);
+  }
+}
+
+TEST(FpmRuntime, NoTraceWhenDisabled) {
+  FpmRuntime rt(0);
+  rt.tick(100);
+  rt.flush_trace(200);
+  EXPECT_TRUE(rt.trace().empty());
+}
+
+TEST(FpmMessage, BuildHeaderFromContaminatedBuffer) {
+  ShadowTable sender;
+  const std::uint64_t buf = 4096;
+  sender.record(buf + 8, 0x1111);
+  sender.record(buf + 24, 0x2222);
+  sender.record(buf + 800, 0x3333);  // outside the message
+  const MessageHeader h = build_header(sender, buf, 4);
+  ASSERT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.records[0].displacement_words, 1u);
+  EXPECT_EQ(h.records[0].pristine_bits, 0x1111u);
+  EXPECT_EQ(h.records[1].displacement_words, 3u);
+  EXPECT_TRUE(h.contaminated());
+}
+
+TEST(FpmMessage, CleanBufferYieldsEmptyHeader) {
+  ShadowTable sender;
+  const MessageHeader h = build_header(sender, 4096, 16);
+  EXPECT_FALSE(h.contaminated());
+  EXPECT_EQ(header_wire_words(h), 1u);  // count word only
+}
+
+TEST(FpmMessage, InstallRebasesDisplacements) {
+  // Fig. 4: sender address alpha != receiver address beta; displacements
+  // carry the contamination across.
+  MessageHeader h;
+  h.records.push_back({1, 0xAAAA});
+  h.records.push_back({3, 0xBBBB});
+  ShadowTable receiver;
+  const std::uint64_t beta = 1 << 20;
+  install_header(receiver, beta, 4, h);
+  EXPECT_EQ(receiver.size(), 2u);
+  EXPECT_EQ(receiver.lookup(beta + 8).value(), 0xAAAAu);
+  EXPECT_EQ(receiver.lookup(beta + 24).value(), 0xBBBBu);
+}
+
+TEST(FpmMessage, InstallHealsOverwrittenRange) {
+  // Receiving a clean payload over previously contaminated words heals them.
+  ShadowTable receiver;
+  receiver.record(4096 + 8, 1);
+  receiver.record(4096 + 16, 2);
+  receiver.record(4096 + 800, 3);  // beyond the message: untouched
+  install_header(receiver, 4096, 4, MessageHeader{});
+  EXPECT_EQ(receiver.size(), 1u);
+  EXPECT_TRUE(receiver.contaminated(4096 + 800));
+}
+
+TEST(FpmMessage, WireSizeAccountsRecords) {
+  MessageHeader h;
+  h.records.resize(5);
+  EXPECT_EQ(header_wire_words(h), 11u);  // 1 + 2*5
+}
+
+TEST(FpmMessage, RoundTripSenderToReceiver) {
+  ShadowTable sender;
+  const std::uint64_t alpha = 4096;
+  sender.record(alpha + 0, 100);
+  sender.record(alpha + 32, 200);
+  const auto h = build_header(sender, alpha, 8);
+  ShadowTable receiver;
+  const std::uint64_t beta = 8192;
+  receiver.record(beta + 16, 999);  // stale; will be healed
+  install_header(receiver, beta, 8, h);
+  EXPECT_EQ(receiver.size(), 2u);
+  EXPECT_EQ(receiver.lookup(beta + 0).value(), 100u);
+  EXPECT_EQ(receiver.lookup(beta + 32).value(), 200u);
+  EXPECT_FALSE(receiver.contaminated(beta + 16));
+}
+
+}  // namespace
+}  // namespace fprop::fpm

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fprop/fpm/shadow_table.h"
+
+namespace fprop::fpm {
+namespace {
+
+TEST(ShadowTable, RecordLookupHeal) {
+  ShadowTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(4096).has_value());
+  t.record(4096, 7);
+  EXPECT_TRUE(t.contaminated(4096));
+  EXPECT_EQ(t.lookup(4096).value(), 7u);
+  EXPECT_EQ(t.size(), 1u);
+  t.heal(4096);
+  EXPECT_FALSE(t.contaminated(4096));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowTable, RecordOverwritesPristine) {
+  ShadowTable t;
+  t.record(8, 1);
+  t.record(8, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(8).value(), 2u);
+}
+
+TEST(ShadowTable, PristineOrFallsBackToActual) {
+  ShadowTable t;
+  EXPECT_EQ(t.pristine_or(100, 42), 42u);
+  t.record(100, 7);
+  EXPECT_EQ(t.pristine_or(100, 42), 7u);
+}
+
+TEST(ShadowTable, PeakTracksMaximum) {
+  ShadowTable t;
+  t.record(0, 0);
+  t.record(8, 0);
+  t.record(16, 0);
+  EXPECT_EQ(t.peak(), 3u);
+  t.heal(0);
+  t.heal(8);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.peak(), 3u);  // peak is sticky
+}
+
+TEST(ShadowTable, HealMissingIsNoop) {
+  ShadowTable t;
+  t.heal(4096);  // absent
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowTable, InRangeSortedAndBounded) {
+  ShadowTable t;
+  t.record(800, 1);
+  t.record(816, 2);
+  t.record(808, 3);
+  t.record(900, 4);  // outside
+  const auto v = t.in_range(800, 824);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], (std::pair<std::uint64_t, std::uint64_t>{800, 1}));
+  EXPECT_EQ(v[1], (std::pair<std::uint64_t, std::uint64_t>{808, 3}));
+  EXPECT_EQ(v[2], (std::pair<std::uint64_t, std::uint64_t>{816, 2}));
+}
+
+TEST(ShadowTable, InRangeBothScanStrategies) {
+  // Small range over a big table (probe path) and big range over a small
+  // table (scan path) must agree.
+  ShadowTable big;
+  for (std::uint64_t i = 0; i < 1000; ++i) big.record(i * 8, i);
+  const auto probe = big.in_range(80, 160);
+  ASSERT_EQ(probe.size(), 10u);
+
+  ShadowTable small;
+  small.record(80, 10);
+  small.record(152, 19);
+  const auto scan = small.in_range(0, 1 << 20);
+  ASSERT_EQ(scan.size(), 2u);
+  EXPECT_EQ(scan[0].first, 80u);
+}
+
+TEST(ShadowTable, HealRangeBothStrategies) {
+  ShadowTable t;
+  for (std::uint64_t i = 0; i < 100; ++i) t.record(i * 8, i);
+  t.heal_range(80, 160);  // probe path (small range)
+  EXPECT_EQ(t.size(), 90u);
+  EXPECT_FALSE(t.contaminated(80));
+  EXPECT_TRUE(t.contaminated(72));
+  EXPECT_TRUE(t.contaminated(160));  // hi is exclusive
+  t.heal_range(0, 1 << 20);  // scan path
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowTable, Clear) {
+  ShadowTable t;
+  t.record(8, 1);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace fprop::fpm

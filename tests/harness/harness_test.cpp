@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+namespace fprop::harness {
+namespace {
+
+AppHarness matvec_harness(int iters = 6) {
+  ExperimentConfig cfg;
+  cfg.nranks = 1;
+  cfg.overrides = {{"ITERS", std::to_string(iters)}};
+  return AppHarness(apps::get_app("matvec"), cfg);
+}
+
+TEST(OutcomeNames, Stable) {
+  EXPECT_STREQ(outcome_name(Outcome::Vanished), "V");
+  EXPECT_STREQ(outcome_name(Outcome::OutputNotAffected), "ONA");
+  EXPECT_STREQ(outcome_name(Outcome::WrongOutput), "WO");
+  EXPECT_STREQ(outcome_name(Outcome::ProlongedExecution), "PEX");
+  EXPECT_STREQ(outcome_name(Outcome::Crashed), "C");
+}
+
+TEST(OutcomeCounts, Percentages) {
+  OutcomeCounts c;
+  c.vanished = 1;
+  c.ona = 3;
+  c.wrong_output = 4;
+  c.pex = 0;
+  c.crashed = 2;
+  EXPECT_EQ(c.total(), 10u);
+  EXPECT_EQ(c.correct_output(), 4u);
+  EXPECT_DOUBLE_EQ(c.pct(c.crashed), 20.0);
+  EXPECT_DOUBLE_EQ(OutcomeCounts{}.pct(0), 0.0);
+}
+
+TEST(AppHarness, GoldenDoublesAsProfilingRun) {
+  AppHarness h = matvec_harness();
+  EXPECT_EQ(h.golden().dyn_counts.size(), 1u);
+  EXPECT_EQ(h.golden().dyn_counts[0], h.golden().total_dyn_points);
+  EXPECT_GT(h.golden().total_dyn_points, 100u);
+  EXPECT_FALSE(h.sites().empty());
+  EXPECT_EQ(h.app_name(), "matvec");
+  EXPECT_EQ(h.nranks(), 1u);
+}
+
+TEST(AppHarness, TrialDeterminism) {
+  AppHarness h = matvec_harness();
+  const auto plan = inject::InjectionPlan::single(0, 42, 13);
+  const TrialResult a = h.run_trial(plan, true);
+  const TrialResult b = h.run_trial(plan, true);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.total_cml_peak, b.total_cml_peak);
+  EXPECT_EQ(a.global_cycles, b.global_cycles);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].cml, b.trace[i].cml);
+  }
+}
+
+TEST(AppHarness, NonFiringPlanIsVanished) {
+  AppHarness h = matvec_harness();
+  const auto plan =
+      inject::InjectionPlan::single(0, h.golden().total_dyn_points + 1, 0);
+  const TrialResult t = h.run_trial(plan);
+  EXPECT_FALSE(t.injected);
+  EXPECT_EQ(t.outcome, Outcome::Vanished);
+}
+
+TEST(AppHarness, HighBitFlipCorruptsOutput) {
+  AppHarness h = matvec_harness();
+  // Sweep high-bit (62) flips over the early dynamic points: at least one
+  // must corrupt the output or crash (exploded values / wild indices), and
+  // not every run can stay correct.
+  bool saw_bad = false;
+  for (std::uint64_t dyn = 0; dyn < 30; ++dyn) {
+    const TrialResult t =
+        h.run_trial(inject::InjectionPlan::single(0, dyn, 62));
+    if (!t.injected) break;
+    if (t.outcome == Outcome::WrongOutput || t.outcome == Outcome::Crashed) {
+      saw_bad = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_bad);
+}
+
+TEST(AppHarness, LowMantissaFlipIsToleratedButTracked) {
+  AppHarness h = matvec_harness(3);
+  // Sweep low-bit flips until one lands on a float operand: output shifts
+  // by far less than 5% but the memory state is contaminated (paper: ONA,
+  // invisible to black-box analysis).
+  for (std::uint64_t dyn = 0; dyn < h.golden().total_dyn_points; ++dyn) {
+    const TrialResult t = h.run_trial(inject::InjectionPlan::single(0, dyn, 0));
+    if (t.outcome == Outcome::OutputNotAffected) {
+      EXPECT_GT(t.total_cml_peak, 0u);
+      return;
+    }
+  }
+  FAIL() << "no ONA trial found in a full sweep";
+}
+
+TEST(AppHarness, TraceCaptureOnlyWhenRequested) {
+  AppHarness h = matvec_harness();
+  const auto plan = inject::InjectionPlan::single(0, 10, 5);
+  EXPECT_TRUE(h.run_trial(plan, false).trace.empty());
+  EXPECT_FALSE(h.run_trial(plan, true).trace.empty());
+  EXPECT_EQ(h.run_trial(plan, true).rank_first_contaminated.size(), 1u);
+}
+
+TEST(Campaign, CountsAddUp) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 40;
+  cc.seed = 7;
+  const CampaignResult r = run_campaign(h, cc);
+  EXPECT_EQ(r.counts.total(), 40u);
+  EXPECT_EQ(r.trials.size(), 40u);
+  EXPECT_EQ(r.max_contaminated_pct.size(), 40u);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 99;
+  const CampaignResult a = run_campaign(h, cc);
+  const CampaignResult b = run_campaign(h, cc);
+  EXPECT_EQ(a.counts.vanished, b.counts.vanished);
+  EXPECT_EQ(a.counts.ona, b.counts.ona);
+  EXPECT_EQ(a.counts.wrong_output, b.counts.wrong_output);
+  EXPECT_EQ(a.counts.crashed, b.counts.crashed);
+}
+
+TEST(Campaign, SeedChangesOutcomeMix) {
+  AppHarness h = matvec_harness();
+  CampaignConfig a;
+  a.trials = 30;
+  a.seed = 1;
+  CampaignConfig b = a;
+  b.seed = 2;
+  const auto ra = run_campaign(h, a);
+  const auto rb = run_campaign(h, b);
+  bool differs = false;
+  for (std::size_t i = 0; i < ra.trials.size(); ++i) {
+    if (ra.trials[i].injection.site_id != rb.trials[i].injection.site_id ||
+        ra.trials[i].injection.bit != rb.trials[i].injection.bit) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Campaign, TraceBudgetRespected) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 20;
+  cc.capture_traces = true;
+  cc.max_kept_traces = 3;
+  const CampaignResult r = run_campaign(h, cc);
+  std::size_t kept = 0;
+  for (const auto& t : r.trials) {
+    if (!t.trace.empty()) ++kept;
+  }
+  EXPECT_LE(kept, 3u);
+}
+
+TEST(Campaign, MultiFaultRunsInjectMore) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 10;
+  cc.faults_per_run = 4;  // LLFI++ multi-fault extension
+  const CampaignResult r = run_campaign(h, cc);
+  EXPECT_EQ(r.counts.total(), 10u);
+  // Multi-fault campaigns are at least as destructive as single-fault.
+  CampaignConfig one = cc;
+  one.faults_per_run = 1;
+  const CampaignResult r1 = run_campaign(h, one);
+  EXPECT_GE(r.counts.total() - r.counts.correct_output(),
+            r1.counts.total() - r1.counts.correct_output());
+}
+
+TEST(SiteBreakdown, FoldsCampaignPerSite) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 60;
+  const CampaignResult r = run_campaign(h, cc);
+  const auto sites = site_breakdown(h, r);
+  ASSERT_FALSE(sites.empty());
+  // Totals add up to the injected trials.
+  std::size_t total = 0;
+  for (const auto& s : sites) {
+    total += s.counts.total();
+    EXPECT_GE(s.site_id, 0);
+    EXPECT_FALSE(s.consumer.empty());
+    EXPECT_LE(s.severity(), 1.0);
+  }
+  std::size_t injected = 0;
+  for (const auto& t : r.trials) {
+    if (t.injected) ++injected;
+  }
+  EXPECT_EQ(total, injected);
+  // Sorted most severe first.
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_GE(sites[i - 1].severity(), sites[i].severity());
+  }
+}
+
+TEST(Classifier, GoldenEquivalentJobIsCorrectOutput) {
+  // Classification of a fault-free job result: everything matches golden.
+  AppHarness h = matvec_harness();
+  const auto plan =
+      inject::InjectionPlan::single(0, h.golden().total_dyn_points + 1, 0);
+  const TrialResult t = h.run_trial(plan);
+  EXPECT_EQ(t.outcome, Outcome::Vanished);
+  EXPECT_EQ(t.trap, vm::Trap::None);
+}
+
+TEST(Classifier, MpiAppClassification) {
+  // A small multi-rank campaign on lulesh must only produce valid outcomes
+  // and plausible aggregates.
+  ExperimentConfig cfg;
+  AppHarness h(apps::get_app("lulesh"), cfg);
+  CampaignConfig cc;
+  cc.trials = 12;
+  const CampaignResult r = run_campaign(h, cc);
+  EXPECT_EQ(r.counts.total(), 12u);
+  for (const auto& t : r.trials) {
+    if (t.outcome == Outcome::Crashed) {
+      EXPECT_NE(t.trap, vm::Trap::None);
+    } else {
+      EXPECT_EQ(t.trap, vm::Trap::None);
+    }
+    EXPECT_LE(t.contaminated_ranks, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace fprop::harness

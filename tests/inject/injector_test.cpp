@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/support/stats.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::inject {
+namespace {
+
+ir::Module instrumented_counter_app(int iters) {
+  std::string src = R"(
+fn main() {
+  var s: float = 0.0;
+  for (var i: int = 0; i < )" + std::to_string(iters) + R"(; i = i + 1) {
+    s = s + 1.5;
+  }
+  output_f(s);
+}
+)";
+  ir::Module m = minic::compile(src);
+  (void)passes::instrument_module(m);
+  return m;
+}
+
+TEST(InjectionPlan, SingleConstruction) {
+  const auto p = InjectionPlan::single(3, 100, 7);
+  EXPECT_EQ(p.total_faults(), 1u);
+  ASSERT_EQ(p.faults_by_rank.count(3), 1u);
+  EXPECT_EQ(p.faults_by_rank.at(3)[0].dyn_index, 100u);
+  EXPECT_EQ(p.faults_by_rank.at(3)[0].bit, 7u);
+}
+
+TEST(InjectorRuntime, CountingModeCountsDynamicPoints) {
+  const ir::Module m = instrumented_counter_app(10);
+  InjectorRuntime probe;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&probe);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  // Loop body: s + 1.5 has one non-const operand (s); i + 1 has one (i).
+  // 10 iterations each => 20 dynamic points.
+  EXPECT_EQ(probe.dynamic_points(0), 20u);
+  EXPECT_TRUE(probe.events().empty());
+}
+
+TEST(InjectorRuntime, PlannedFlipFiresExactlyOnce) {
+  const ir::Module m = instrumented_counter_app(10);
+  InjectorRuntime inj(InjectionPlan::single(0, 5, 52));
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  ASSERT_EQ(inj.events().size(), 1u);
+  const auto& e = inj.events()[0];
+  EXPECT_EQ(e.rank, 0u);
+  EXPECT_EQ(e.dyn_index, 5u);
+  EXPECT_EQ(e.bit, 52u);
+  EXPECT_EQ(e.after, e.before ^ (1ull << 52));
+  // The flip changed the accumulator, so the output differs.
+  EXPECT_NE(vm.outputs()[0], 15.0);
+}
+
+TEST(InjectorRuntime, OutOfRangeIndexNeverFires) {
+  const ir::Module m = instrumented_counter_app(10);
+  InjectorRuntime inj(InjectionPlan::single(0, 10'000, 3));
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  EXPECT_TRUE(inj.events().empty());
+  EXPECT_DOUBLE_EQ(vm.outputs()[0], 15.0);
+}
+
+TEST(InjectorRuntime, WrongRankNeverFires) {
+  const ir::Module m = instrumented_counter_app(10);
+  InjectorRuntime inj(InjectionPlan::single(/*rank=*/4, 5, 3));
+  vm::Interp vm(m, 0, vm::InterpConfig{});  // rank 0
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  EXPECT_TRUE(inj.events().empty());
+}
+
+TEST(InjectorRuntime, MultipleFaultsInOneRun) {
+  const ir::Module m = instrumented_counter_app(20);
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{3, 1}, {7, 2}, {15, 3}};
+  InjectorRuntime inj(plan);
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  ASSERT_EQ(inj.events().size(), 3u);
+  EXPECT_EQ(inj.events()[0].dyn_index, 3u);
+  EXPECT_EQ(inj.events()[1].dyn_index, 7u);
+  EXPECT_EQ(inj.events()[2].dyn_index, 15u);
+}
+
+TEST(InjectorRuntime, UnsortedPlanIsSorted) {
+  const ir::Module m = instrumented_counter_app(20);
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{15, 3}, {3, 1}};  // descending on purpose
+  InjectorRuntime inj(plan);
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  EXPECT_EQ(inj.events().size(), 2u);
+}
+
+TEST(InjectorRuntime, WidthLimitsBitPosition) {
+  // For a width-1 (boolean) site, any planned bit collapses to bit 0.
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var a: int = 3;
+  var c: int = (a < 5) && (a > 1);
+  output_i(c);
+}
+)");
+  (void)passes::instrument_module(m);
+  // Find a width-1 site id.
+  std::int64_t bool_site = -1;
+  for (const auto& block : m.find("main")->blocks) {
+    for (const auto& in : block.code) {
+      if (in.op == ir::Opcode::FimInj && in.inj_width == 1) {
+        bool_site = in.imm;
+      }
+    }
+  }
+  ASSERT_GE(bool_site, 0);
+  // Count dynamic points first to find the dynamic index of that site.
+  InjectorRuntime probe;
+  {
+    vm::Interp vm(m, 0, vm::InterpConfig{});
+    vm.set_inject_hook(&probe);
+    ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
+  }
+  for (std::uint64_t idx = 0; idx < probe.dynamic_points(0); ++idx) {
+    InjectorRuntime inj(InjectionPlan::single(0, idx, /*bit=*/37));
+    vm::Interp vm(m, 0, vm::InterpConfig{});
+    vm.set_inject_hook(&inj);
+    ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
+    ASSERT_EQ(inj.events().size(), 1u);
+    if (inj.events()[0].site_id == bool_site) {
+      EXPECT_EQ(inj.events()[0].bit, 0u);  // 37 % 1
+      return;
+    }
+  }
+  FAIL() << "boolean site never executed";
+}
+
+TEST(Sampling, SingleFaultRespectsCounts) {
+  DynCounts counts{100, 0, 50};  // rank 1 executed nothing
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto plan = sample_single_fault(counts, rng);
+    ASSERT_EQ(plan.total_faults(), 1u);
+    const auto& [rank, faults] = *plan.faults_by_rank.begin();
+    EXPECT_NE(rank, 1u);
+    EXPECT_LT(faults[0].dyn_index, counts[rank]);
+    EXPECT_LT(faults[0].bit, 64u);
+  }
+}
+
+TEST(Sampling, AllRanksEmptyThrows) {
+  DynCounts counts{0, 0};
+  Xoshiro256 rng(7);
+  EXPECT_THROW(sample_single_fault(counts, rng), Error);
+}
+
+TEST(Sampling, RankSelectionIsUniform) {
+  DynCounts counts{10, 10, 10, 10};
+  Xoshiro256 rng(11);
+  Histogram h(0.0, 4.0, 4);
+  for (int i = 0; i < 8000; ++i) {
+    const auto plan = sample_single_fault(counts, rng);
+    h.add(static_cast<double>(plan.faults_by_rank.begin()->first));
+  }
+  EXPECT_TRUE(chi_squared_uniform(h).uniform_at_5pct);
+}
+
+TEST(Sampling, MultiFaultDrawsRequestedCount) {
+  DynCounts counts{100, 100};
+  Xoshiro256 rng(3);
+  const auto plan = sample_faults(counts, 5, rng);
+  EXPECT_EQ(plan.total_faults(), 5u);
+}
+
+TEST(CycleProbe, RecordsCyclesOfRequestedPoints) {
+  const ir::Module m = instrumented_counter_app(10);
+  std::map<std::uint32_t, std::vector<std::uint64_t>> samples;
+  samples[0] = {0, 5, 19, 5};  // includes a duplicate
+  CycleProbe probe(std::move(samples));
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&probe);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  ASSERT_EQ(probe.samples().size(), 4u);  // duplicate counted twice
+  // Cycles are nondecreasing in dynamic-index order, all on rank 0.
+  EXPECT_LT(probe.samples()[0].second, probe.samples().back().second);
+  for (const auto& [rank, cycle] : probe.samples()) EXPECT_EQ(rank, 0u);
+}
+
+}  // namespace
+}  // namespace fprop::inject

@@ -1,0 +1,177 @@
+// Full reproduction of the paper's Fig. 1: an iterative matrix-vector
+// product Ax_i = b_i where a single bit flip changes A[3][3] from 6 to 2
+// (third least significant bit). After three iterations the faulty run must
+// produce exactly the outputs of Fig. 1b, and the shadow table must show
+// 37.5% of the memory state contaminated (9 of 24 words: A[3][3], all of x,
+// all of b) with 100% of the output state corrupted.
+
+#include <gtest/gtest.h>
+
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop {
+namespace {
+
+// Integer-valued matvec whose stores carry computed (injectable) values.
+constexpr const char* kIntMatvec = R"(
+fn main() {
+  var n: int = 4;
+  var a: int* = alloc_int(n * n);
+  var x: int* = alloc_int(n);
+  var b: int* = alloc_int(n);
+  var z: int = 0;   // keeps store values non-constant (injectable)
+
+  a[0] = z + 1;  a[1] = z + 2;  a[2] = z + 3;  a[3] = z + 4;
+  a[4] = z + 4;  a[5] = z + 2;  a[6] = z + 3;  a[7] = z + 1;
+  a[8] = z + 2;  a[9] = z + 4;  a[10] = z + 3; a[11] = z + 3;
+  a[12] = z + 1; a[13] = z + 1; a[14] = z + 2; a[15] = z + 6;
+
+  x[0] = z + 1; x[1] = z + 2; x[2] = z + 2; x[3] = z + 3;
+
+  for (var it: int = 0; it < 3; it = it + 1) {
+    for (var i: int = 0; i < n; i = i + 1) {
+      var s: int = 0;
+      for (var j: int = 0; j < n; j = j + 1) {
+        s = s + a[i * n + j] * x[j];
+      }
+      b[i] = s;
+    }
+    for (var i: int = 0; i < n; i = i + 1) {
+      x[i] = b[i];
+    }
+  }
+  for (var i: int = 0; i < n; i = i + 1) {
+    output_i(b[i]);
+  }
+}
+)";
+
+struct Fig1Run {
+  std::vector<double> outputs;
+  std::uint64_t cml_final = 0;
+  std::uint64_t words = 0;
+  fpm::ShadowTable shadow;
+  std::vector<std::uint64_t> memory;  ///< final memory image (words)
+};
+
+Fig1Run run_fig1(std::optional<std::uint64_t> fault_dyn_index) {
+  ir::Module m = minic::compile(kIntMatvec);
+  // The paper's fault sits in the register holding A[3][3] as it is written
+  // to memory, so this experiment targets store operands (§2 allows "other
+  // kinds of instructions" beyond arithmetic).
+  passes::InjectTargets targets;
+  targets.arith = false;
+  targets.store_operands = true;
+  (void)passes::instrument_module(m, targets);
+  inject::InjectorRuntime inj(
+      fault_dyn_index
+          ? inject::InjectionPlan::single(0, *fault_dyn_index, /*bit=*/2)
+          : inject::InjectionPlan{});
+  fpm::FpmRuntime fpm;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_fpm(&fpm);
+  EXPECT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  Fig1Run r;
+  r.outputs = vm.outputs();
+  r.cml_final = fpm.shadow().size();
+  r.words = vm.memory().allocated_words();
+  r.shadow = fpm.shadow();
+  const auto words = vm.memory().words();
+  r.memory.assign(words.begin(), words.end());
+  return r;
+}
+
+// Dynamic injection points (store operands only), in program order: each
+// store contributes its value operand then its address operand, so the
+// store of a[k] has its value at dynamic point 2k. The A[3][3] value
+// (register holding 6; bit 2 flips it to 2) is dynamic point 30.
+constexpr std::uint64_t kA33ValuePoint = 30;
+
+TEST(Fig1, FaultFreeMatchesPaper) {
+  const Fig1Run r = run_fig1(std::nullopt);
+  const std::vector<double> want{2436, 2412, 2880, 2426};  // Fig. 1a
+  EXPECT_EQ(r.outputs, want);
+  EXPECT_EQ(r.cml_final, 0u);
+}
+
+TEST(Fig1, SingleBitFlipReproducesFig1b) {
+  const Fig1Run r = run_fig1(kA33ValuePoint);
+  // Fig. 1b: outputs after three iterations with A[3][3] = 2.
+  const std::vector<double> want{1760, 1964, 2256, 1086};
+  EXPECT_EQ(r.outputs, want);
+
+  // 37.5% of the application's memory state is contaminated: A[3][3] plus
+  // all of x plus all of b = 9 of 24 words.
+  EXPECT_EQ(r.words, 24u);
+  EXPECT_EQ(r.cml_final, 9u);
+  EXPECT_DOUBLE_EQ(100.0 * static_cast<double>(r.cml_final) /
+                       static_cast<double>(r.words),
+                   37.5);
+
+  // The pristine value of A[3][3] is recoverable from the shadow table.
+  const std::uint64_t a33 = vm::AddressSpace::kBase + 15 * 8;
+  ASSERT_TRUE(r.shadow.contaminated(a33));
+  EXPECT_EQ(r.shadow.lookup(a33).value(), 6u);
+}
+
+TEST(Fig1, ContaminationGrowsPerIteration) {
+  // Run the same fault while sampling the CML trace densely: contamination
+  // must be nondecreasing and step up across iterations (Fig. 1's
+  // 1 -> 3 -> 6 -> 9 progression, modulo the exact copy points).
+  ir::Module m = minic::compile(kIntMatvec);
+  passes::InjectTargets targets;
+  targets.arith = false;
+  targets.store_operands = true;
+  (void)passes::instrument_module(m, targets);
+  inject::InjectorRuntime inj(
+      inject::InjectionPlan::single(0, kA33ValuePoint, 2));
+  fpm::FpmRuntime fpm(/*sample_period=*/8);
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_fpm(&fpm);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  const auto& tr = fpm.trace();
+  ASSERT_GT(tr.size(), 10u);
+  EXPECT_EQ(tr.back().cml, 9u);
+  std::uint64_t prev = 0;
+  std::size_t increases = 0;
+  for (const auto& s : tr) {
+    EXPECT_GE(s.cml, prev);  // no healing in this workload
+    if (s.cml > prev) ++increases;
+    prev = s.cml;
+  }
+  EXPECT_GE(increases, 3u);  // distinct growth steps across iterations
+}
+
+TEST(Fig1, ShadowTableReconstructsFaultFreeMemory) {
+  // The strongest invariant of the dual-chain design: patching every
+  // contaminated word with its recorded pristine value must reproduce the
+  // fault-free final memory image bit-for-bit (here control flow is
+  // data-independent, so the pristine chain tracks the true golden run).
+  const Fig1Run golden = run_fig1(std::nullopt);
+  const Fig1Run faulty = run_fig1(kA33ValuePoint);
+  ASSERT_EQ(golden.memory.size(), faulty.memory.size());
+  for (std::size_t w = 0; w < golden.memory.size(); ++w) {
+    const std::uint64_t addr = vm::AddressSpace::addr_of(w);
+    const std::uint64_t reconstructed =
+        faulty.shadow.pristine_or(addr, faulty.memory[w]);
+    EXPECT_EQ(reconstructed, golden.memory[w]) << "word " << w;
+  }
+}
+
+TEST(Fig1, OutputStateFullyCorrupted) {
+  // 100% of the output state b is corrupted (Fig. 1 narrative).
+  const Fig1Run golden = run_fig1(std::nullopt);
+  const Fig1Run faulty = run_fig1(kA33ValuePoint);
+  ASSERT_EQ(golden.outputs.size(), faulty.outputs.size());
+  for (std::size_t i = 0; i < golden.outputs.size(); ++i) {
+    EXPECT_NE(golden.outputs[i], faulty.outputs[i]) << "b[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace fprop

@@ -1,0 +1,76 @@
+// End-to-end smoke test on the paper's Fig. 1 matrix-vector example:
+// compile MiniC -> instrument (LLFI++ + FPM) -> run on the VM, fault-free
+// and with the exact fault from the figure, checking outputs and CML.
+
+#include <gtest/gtest.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop {
+namespace {
+
+TEST(Smoke, MatvecGoldenMatchesFig1) {
+  const auto& spec = apps::get_app("matvec");
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  harness::AppHarness h(spec, cfg);
+  const auto& outs = h.golden().outputs;
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_DOUBLE_EQ(outs[0], 2436.0);
+  EXPECT_DOUBLE_EQ(outs[1], 2412.0);
+  EXPECT_DOUBLE_EQ(outs[2], 2880.0);
+  EXPECT_DOUBLE_EQ(outs[3], 2426.0);
+}
+
+TEST(Smoke, MatvecSingleFaultPropagates) {
+  const auto& spec = apps::get_app("matvec");
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  harness::AppHarness h(spec, cfg);
+  ASSERT_GT(h.golden().total_dyn_points, 0u);
+
+  // Sweep a few early injection points; at least one must contaminate
+  // memory, and the classifier must notice the wrong output.
+  bool saw_contamination = false;
+  for (std::uint64_t idx = 0; idx < 40; ++idx) {
+    const auto plan = inject::InjectionPlan::single(0, idx, 2);
+    const auto t = h.run_trial(plan);
+    if (t.total_cml_peak > 0) saw_contamination = true;
+  }
+  EXPECT_TRUE(saw_contamination);
+}
+
+TEST(Smoke, FaultFreeTrialIsVanished) {
+  const auto& spec = apps::get_app("matvec");
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  harness::AppHarness h(spec, cfg);
+  // A plan whose dynamic index is beyond the run never fires.
+  const auto plan = inject::InjectionPlan::single(
+      0, h.golden().total_dyn_points + 1000, 1);
+  const auto t = h.run_trial(plan);
+  EXPECT_FALSE(t.injected);
+  EXPECT_EQ(t.outcome, harness::Outcome::Vanished);
+  EXPECT_EQ(t.total_cml_peak, 0u);
+}
+
+TEST(Smoke, AllAppsGoldenRunsComplete) {
+  for (const auto& spec : apps::paper_apps()) {
+    harness::ExperimentConfig cfg;
+    SCOPED_TRACE(spec.name);
+    ASSERT_NO_THROW({
+      harness::AppHarness h(spec, cfg);
+      EXPECT_GT(h.golden().global_cycles, 0u);
+      EXPECT_GT(h.golden().total_dyn_points, 0u);
+      EXPECT_FALSE(h.golden().outputs.empty());
+    });
+  }
+}
+
+}  // namespace
+}  // namespace fprop

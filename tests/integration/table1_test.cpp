@@ -1,0 +1,91 @@
+// Reproduces the paper's Table 1: whether a fault in register `a`
+// propagates to `b` depends on the operation. a = 19 with its second least
+// significant bit flipped becomes 17; the outcome per operation is:
+//
+//   N  Op          b (pristine)  b' (faulty)  contaminated?
+//   1  b = a + 5   24            22           yes
+//   3  b = a >> 1  9             8            yes
+//   4  b = a >> 2  4             4            no  (masked)
+//
+// (Row 2, b = 13, has no dependence on `a` and therefore no injection
+// point at all — covered by a separate test.)
+
+#include <gtest/gtest.h>
+
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop {
+namespace {
+
+struct Table1Row {
+  const char* name;
+  const char* op;        // MiniC expression over variable a
+  std::int64_t faulty;   // expected b' with a = 17
+  bool contaminated;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, PropagationMatchesPaper) {
+  const Table1Row& row = GetParam();
+  const std::string src = R"(
+fn main() {
+  var m: int* = alloc_int(2);
+  var base: int = 19;
+  m[0] = base + 0;      // a lives in memory
+  m[1] = )" + std::string(row.op) + R"(;
+  output_i(m[1]);
+}
+)";
+  ir::Module m = minic::compile(src);
+  (void)passes::instrument_module(m);
+
+  // Dynamic injection points on rank 0, in order: the store of `base + 0`
+  // uses one arith operand (base), then the row operation's operand (the
+  // load of a). Flip the second least significant bit of the latter.
+  inject::InjectorRuntime inj(inject::InjectionPlan::single(0, 1, 1));
+  fpm::FpmRuntime fpm;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_fpm(&fpm);
+  ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
+  ASSERT_EQ(inj.events().size(), 1u);
+  EXPECT_EQ(inj.events()[0].before, 19u);
+  EXPECT_EQ(inj.events()[0].after, 17u);
+
+  EXPECT_EQ(vm.outputs()[0], static_cast<double>(row.faulty));
+  if (row.contaminated) {
+    EXPECT_TRUE(fpm.shadow().size() >= 1) << "fault should have propagated";
+  } else {
+    EXPECT_TRUE(fpm.shadow().empty()) << "fault should have been masked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, Table1,
+    ::testing::Values(Table1Row{"row1_add", "m[0] + 5", 22, true},
+                      Table1Row{"row3_shr1", "m[0] >> 1", 8, true},
+                      Table1Row{"row4_shr2", "m[0] >> 2", 4, false}),
+    [](const ::testing::TestParamInfo<Table1Row>& pi) {
+      return pi.param.name;
+    });
+
+TEST(Table1, Row2ConstantHasNoInjectionPoint) {
+  // b = 13 does not read `a`: no fault can reach it through this operation.
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var m: int* = alloc_int(2);
+  m[0] = 19;
+  m[1] = 13;
+  output_i(m[1]);
+}
+)");
+  const auto sites = passes::instrument_module(m);
+  EXPECT_TRUE(sites.empty());
+}
+
+}  // namespace
+}  // namespace fprop

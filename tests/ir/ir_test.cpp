@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "fprop/ir/builder.h"
+#include "fprop/ir/printer.h"
+#include "fprop/ir/verifier.h"
+
+namespace fprop::ir {
+namespace {
+
+Module simple_module() {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  const Reg two = b.const_i(2);
+  const Reg three = b.const_i(3);
+  const Reg sum = b.binop(Opcode::AddI, two, three);
+  (void)sum;
+  b.ret();
+  return m;
+}
+
+TEST(IrModule, AddAndFindFunctions) {
+  Module m;
+  Function& f = m.add_function("foo", Type::I64);
+  EXPECT_EQ(f.id, 0u);
+  EXPECT_EQ(m.find("foo"), &m.funcs[0]);
+  EXPECT_EQ(m.find("bar"), nullptr);
+  EXPECT_THROW(m.add_function("foo", Type::Void), Error);
+}
+
+TEST(IrModule, StaticInstrCount) {
+  Module m = simple_module();
+  EXPECT_EQ(m.static_instr_count(), 4u);
+}
+
+TEST(IrFunction, RegisterManagement) {
+  Module m;
+  Function& f = m.add_function("f", Type::Void);
+  const Reg a = f.add_param(Type::I64);
+  const Reg b = f.add_reg(Type::F64);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(f.params.size(), 1u);
+  EXPECT_EQ(f.reg_type(a), Type::I64);
+  EXPECT_EQ(f.reg_type(b), Type::F64);
+}
+
+TEST(IrTraits, ArithClassification) {
+  EXPECT_TRUE(is_arith(Opcode::AddI));
+  EXPECT_TRUE(is_arith(Opcode::MulF));
+  EXPECT_TRUE(is_arith(Opcode::EqF));
+  EXPECT_TRUE(is_arith(Opcode::PtrAdd));
+  EXPECT_TRUE(is_arith(Opcode::I2F));
+  EXPECT_FALSE(is_arith(Opcode::Load));
+  EXPECT_FALSE(is_arith(Opcode::Call));
+  EXPECT_FALSE(is_arith(Opcode::Jmp));
+  EXPECT_FALSE(is_arith(Opcode::FimInj));
+}
+
+TEST(IrTraits, Terminators) {
+  EXPECT_TRUE(is_terminator(Opcode::Jmp));
+  EXPECT_TRUE(is_terminator(Opcode::Br));
+  EXPECT_TRUE(is_terminator(Opcode::Ret));
+  EXPECT_FALSE(is_terminator(Opcode::Call));
+  EXPECT_FALSE(is_terminator(Opcode::Store));
+}
+
+TEST(IrTraits, IntrinsicTable) {
+  EXPECT_TRUE(intrinsic_is_pure(IntrinsicId::Sqrt));
+  EXPECT_TRUE(intrinsic_is_pure(IntrinsicId::Pow));
+  EXPECT_FALSE(intrinsic_is_pure(IntrinsicId::Rand01));
+  EXPECT_FALSE(intrinsic_is_pure(IntrinsicId::Alloc));
+  EXPECT_FALSE(intrinsic_is_pure(IntrinsicId::MpiSendF));
+
+  EXPECT_EQ(intrinsic_arity(IntrinsicId::Pow), 2u);
+  EXPECT_EQ(intrinsic_arity(IntrinsicId::MpiSendF), 4u);
+  EXPECT_EQ(intrinsic_arity(IntrinsicId::MpiBarrier), 0u);
+
+  EXPECT_EQ(intrinsic_result_type(IntrinsicId::Sqrt), Type::F64);
+  EXPECT_EQ(intrinsic_result_type(IntrinsicId::Alloc), Type::Ptr);
+  EXPECT_EQ(intrinsic_result_type(IntrinsicId::OutputF), Type::Void);
+  EXPECT_EQ(intrinsic_result_type(IntrinsicId::MpiRank), Type::I64);
+}
+
+TEST(Builder, OpcodeTypeInference) {
+  EXPECT_EQ(opcode_result_type(Opcode::AddF), Type::F64);
+  EXPECT_EQ(opcode_result_type(Opcode::AddI), Type::I64);
+  EXPECT_EQ(opcode_result_type(Opcode::LtF), Type::I64);
+  EXPECT_EQ(opcode_result_type(Opcode::PtrAdd), Type::Ptr);
+  EXPECT_EQ(opcode_operand_type(Opcode::LtF), Type::F64);
+  EXPECT_EQ(opcode_operand_type(Opcode::EqP), Type::Ptr);
+  EXPECT_EQ(opcode_operand_type(Opcode::ShlI), Type::I64);
+}
+
+TEST(Builder, BuildsVerifiableControlFlow) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  const Reg i = b.const_i(0);
+  const BlockId header = b.new_block();
+  const BlockId body = b.new_block();
+  const BlockId exit = b.new_block();
+  b.jmp(header);
+  b.set_insert_point(header);
+  const Reg ten = b.const_i(10);
+  const Reg cond = b.binop(Opcode::LtI, i, ten);
+  b.br(cond, body, exit);
+  b.set_insert_point(body);
+  const Reg one = b.const_i(1);
+  b.mov_to(i, b.binop(Opcode::AddI, i, one));
+  b.jmp(header);
+  b.set_insert_point(exit);
+  b.ret();
+  EXPECT_NO_THROW(verify(m));
+  EXPECT_TRUE(b.block_terminated());
+}
+
+TEST(Printer, RendersPaperStyle) {
+  Module m = simple_module();
+  const std::string s = to_string(m.funcs[0]);
+  EXPECT_NE(s.find("func @main() -> void {"), std::string::npos);
+  EXPECT_NE(s.find("r0 = const.i64 2"), std::string::npos);
+  EXPECT_NE(s.find("r2 = add.i64 r0, r1"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+TEST(Printer, ShadowRegistersGetPSuffix) {
+  Module m;
+  Function& f = m.add_function("f", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  const Reg x = b.const_i(1);
+  const Reg xp = b.new_reg(Type::I64);
+  f.shadow_of.emplace(x, xp);
+  b.mov_to(xp, x);
+  b.ret();
+  const std::string s = to_string(f);
+  EXPECT_NE(s.find("r0p = mov r0"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsSimpleModule) {
+  Module m = simple_module();
+  EXPECT_NO_THROW(verify(m));
+}
+
+TEST(Verifier, RejectsMissingEntry) {
+  Module m;
+  m.add_function("f", Type::Void);
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsEntryWithParams) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  f.add_param(Type::I64);
+  m.entry = f.id;
+  Builder b(f);
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  (void)b.const_i(1);  // block has no terminator
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  b.ret();
+  (void)b.const_i(1);  // code after the terminator
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  const Reg i = b.const_i(1);
+  const Reg d = b.const_f(1.0);
+  // Hand-build a mistyped add (builder would pick the right types).
+  Instr in;
+  in.op = Opcode::AddF;
+  in.type = Type::F64;
+  in.dst = f.add_reg(Type::F64);
+  in.ops[0] = i;  // i64 operand into a float add
+  in.ops[1] = d;
+  in.nops = 2;
+  b.emit(std::move(in));
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsRegisterOutOfRange) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  Instr in;
+  in.op = Opcode::NegI;
+  in.type = Type::I64;
+  in.dst = f.add_reg(Type::I64);
+  in.ops[0] = 999;
+  in.nops = 1;
+  b.emit(std::move(in));
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  b.jmp(42);
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Module m;
+  Function& callee = m.add_function("callee", Type::Void);
+  callee.add_param(Type::I64);
+  {
+    Builder cb(callee);
+    cb.ret();
+  }
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  b.call(callee.id, {}, Type::Void);  // missing argument
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsIntrinsicArityMismatch) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  Instr in;
+  in.op = Opcode::Intrinsic;
+  in.intr = IntrinsicId::Pow;  // wants 2 args
+  in.type = Type::F64;
+  in.dst = f.add_reg(Type::F64);
+  in.args = {b.const_f(1.0)};
+  b.emit(std::move(in));
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsDualResultOnPlainCall) {
+  Module m;
+  Function& callee = m.add_function("callee", Type::I64);
+  {
+    Builder cb(callee);
+    cb.ret(cb.const_i(0));
+  }
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  Instr in;
+  in.op = Opcode::Call;
+  in.callee = callee.id;
+  in.type = Type::I64;
+  in.dst = f.add_reg(Type::I64);
+  in.dst2 = f.add_reg(Type::I64);  // callee is not dual-chain
+  b.emit(std::move(in));
+  b.ret();
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+TEST(Verifier, RejectsWrongReturnArity) {
+  Module m;
+  Function& f = m.add_function("main", Type::Void);
+  m.entry = f.id;
+  Builder b(f);
+  Instr in;
+  in.op = Opcode::Ret;
+  in.args = {b.const_i(0)};  // void function returning a value
+  b.emit(std::move(in));
+  EXPECT_THROW(verify(m), VerifyError);
+}
+
+}  // namespace
+}  // namespace fprop::ir

@@ -1,0 +1,414 @@
+// Execution-level semantics of MiniC: each test compiles a snippet, runs it
+// on the VM and checks the emitted outputs. This covers codegen and
+// interpreter behavior together (golden end-to-end language semantics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fprop/minic/compile.h"
+#include "fprop/support/error.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop {
+namespace {
+
+std::vector<double> run(const std::string& body_or_program,
+                        vm::Trap expect_trap = vm::Trap::None) {
+  const std::string src =
+      body_or_program.find("fn ") != std::string::npos
+          ? body_or_program
+          : "fn main() {\n" + body_or_program + "\n}";
+  ir::Module m = minic::compile(src);
+  vm::Interp interp(m, 0, vm::InterpConfig{});
+  const vm::RunState rs = interp.run(1ull << 30);
+  if (expect_trap == vm::Trap::None) {
+    EXPECT_EQ(rs, vm::RunState::Done);
+  } else {
+    EXPECT_EQ(rs, vm::RunState::Trapped);
+    EXPECT_EQ(interp.trap(), expect_trap);
+  }
+  return interp.outputs();
+}
+
+TEST(MinicExec, IntArithmetic) {
+  const auto out = run(R"(
+    output_i(7 + 3 * 2);
+    output_i(10 / 3);
+    output_i(10 % 3);
+    output_i(-5 / 2);
+    output_i(7 & 3);
+    output_i(4 | 1);
+    output_i(6 ^ 3);
+    output_i(~0);
+    output_i(1 << 10);
+    output_i(1024 >> 3);
+  )");
+  const std::vector<double> want{13, 3, 1, -2, 3, 5, 5, -1, 1024, 128};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, FloatArithmetic) {
+  const auto out = run(R"(
+    output_f(1.5 + 2.25);
+    output_f(2.0 * 3.5 - 1.0);
+    output_f(7.0 / 2.0);
+    output_f(-1.5);
+  )");
+  EXPECT_DOUBLE_EQ(out[0], 3.75);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.5);
+  EXPECT_DOUBLE_EQ(out[3], -1.5);
+}
+
+TEST(MinicExec, Comparisons) {
+  const auto out = run(R"(
+    output_i(1 < 2);
+    output_i(2 < 1);
+    output_i(2 <= 2);
+    output_i(3 > 2);
+    output_i(2 >= 3);
+    output_i(2 == 2);
+    output_i(2 != 2);
+    output_i(1.5 < 2.5);
+    output_i(2.5 == 2.5);
+    output_i(-1 < 1);
+  )");
+  const std::vector<double> want{1, 0, 1, 1, 0, 1, 0, 1, 1, 1};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, LogicalOperators) {
+  // Non-short-circuit, normalized to 0/1 (docs/minic.md).
+  const auto out = run(R"(
+    output_i(2 && 3);
+    output_i(2 && 0);
+    output_i(0 || 5);
+    output_i(0 || 0);
+    output_i(!0);
+    output_i(!7);
+  )");
+  const std::vector<double> want{1, 0, 1, 0, 1, 0};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, Casts) {
+  const auto out = run(R"(
+    output_i(int(3.9));
+    output_i(int(-3.9));
+    output_f(float(7));
+    output_f(float(-2));
+  )");
+  const std::vector<double> want{3, -3, 7.0, -2.0};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, VariablesAndScopes) {
+  const auto out = run(R"(
+    var x: int = 1;
+    {
+      var x: int = 2;   // shadows
+      output_i(x);
+    }
+    output_i(x);
+    x = x + 41;
+    output_i(x);
+  )");
+  const std::vector<double> want{2, 1, 42};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, DefaultInitializedToZero) {
+  const auto out = run(R"(
+    var i: int;
+    var f: float;
+    output_i(i);
+    output_f(f);
+  )");
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(MinicExec, IfElseChains) {
+  const auto out = run(R"(
+    for (var x: int = 0; x < 4; x = x + 1) {
+      if (x == 0) { output_i(100); }
+      else if (x == 1) { output_i(101); }
+      else if (x == 2) { output_i(102); }
+      else { output_i(999); }
+    }
+  )");
+  const std::vector<double> want{100, 101, 102, 999};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, WhileLoop) {
+  const auto out = run(R"(
+    var s: int = 0;
+    var i: int = 1;
+    while (i <= 10) {
+      s = s + i;
+      i = i + 1;
+    }
+    output_i(s);
+  )");
+  EXPECT_EQ(out[0], 55.0);
+}
+
+TEST(MinicExec, ForWithBreakContinue) {
+  const auto out = run(R"(
+    var s: int = 0;
+    for (var i: int = 0; i < 100; i = i + 1) {
+      if (i % 2 == 0) { continue; }
+      if (i > 10) { break; }
+      s = s + i;   // 1+3+5+7+9 = 25
+    }
+    output_i(s);
+  )");
+  EXPECT_EQ(out[0], 25.0);
+}
+
+TEST(MinicExec, NestedLoopsWithBreak) {
+  const auto out = run(R"(
+    var count: int = 0;
+    for (var i: int = 0; i < 3; i = i + 1) {
+      for (var j: int = 0; j < 10; j = j + 1) {
+        if (j == 2) { break; }   // inner break only
+        count = count + 1;
+      }
+    }
+    output_i(count);
+  )");
+  EXPECT_EQ(out[0], 6.0);
+}
+
+TEST(MinicExec, Arrays) {
+  const auto out = run(R"(
+    var a: float* = alloc_float(8);
+    for (var i: int = 0; i < 8; i = i + 1) { a[i] = float(i * i); }
+    var s: float = 0.0;
+    for (var i: int = 0; i < 8; i = i + 1) { s = s + a[i]; }
+    output_f(s);   // 0+1+4+...+49 = 140
+    var b: int* = alloc_int(3);
+    b[0] = 5; b[1] = b[0] * 2; b[2] = b[1] - b[0];
+    output_i(b[2]);
+  )");
+  EXPECT_EQ(out[0], 140.0);
+  EXPECT_EQ(out[1], 5.0);
+}
+
+TEST(MinicExec, ArraysZeroInitialized) {
+  const auto out = run(R"(
+    var a: float* = alloc_float(4);
+    output_f(a[3]);
+  )");
+  EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(MinicExec, PointerOffsetArithmetic) {
+  const auto out = run(R"(
+    var a: float* = alloc_float(8);
+    a[5] = 3.5;
+    var p: float* = a + 4;
+    output_f(p[1]);
+  )");
+  EXPECT_EQ(out[0], 3.5);
+}
+
+TEST(MinicExec, FunctionsAndRecursion) {
+  const auto out = run(R"(
+fn fib(n: int) -> int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn twice(x: float) -> float { return x * 2.0; }
+fn main() {
+  output_i(fib(12));
+  output_f(twice(21.0));
+}
+  )");
+  EXPECT_EQ(out[0], 144.0);
+  EXPECT_EQ(out[1], 42.0);
+}
+
+TEST(MinicExec, FunctionsMutateArrays) {
+  const auto out = run(R"(
+fn fill(a: float*, n: int, v: float) {
+  for (var i: int = 0; i < n; i = i + 1) { a[i] = v; }
+}
+fn main() {
+  var a: float* = alloc_float(4);
+  fill(a, 4, 2.5);
+  output_f(a[0] + a[3]);
+}
+  )");
+  EXPECT_EQ(out[0], 5.0);
+}
+
+TEST(MinicExec, MathBuiltins) {
+  const auto out = run(R"(
+    output_f(sqrt(16.0));
+    output_f(fabs(-3.0));
+    output_f(floor(2.9));
+    output_f(fmin(1.0, 2.0));
+    output_f(fmax(1.0, 2.0));
+    output_i(imin(4, 7));
+    output_i(imax(4, 7));
+    output_f(pow(2.0, 10.0));
+  )");
+  const std::vector<double> want{4, 3, 2, 1, 2, 4, 7, 1024};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, TranscendentalBuiltins) {
+  const auto out = run(R"(
+    output_f(exp(0.0));
+    output_f(log(1.0));
+    output_f(sin(0.0));
+    output_f(cos(0.0));
+  )");
+  const std::vector<double> want{1, 0, 0, 1};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, Rand01DeterministicPerSeed) {
+  const char* src = "output_f(rand01()); output_f(rand01());";
+  const auto a = run(src);
+  const auto b = run(src);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a[0], a[1]);
+  EXPECT_GE(a[0], 0.0);
+  EXPECT_LT(a[0], 1.0);
+}
+
+TEST(MinicExec, ClockIsMonotone) {
+  const auto out = run(R"(
+    var t0: int = clock();
+    var s: int = 0;
+    for (var i: int = 0; i < 100; i = i + 1) { s = s + i; }
+    var t1: int = clock();
+    output_i(t1 > t0);
+  )");
+  EXPECT_EQ(out[0], 1.0);
+}
+
+TEST(MinicExec, SingleRankMpiFallbacks) {
+  const auto out = run(R"(
+    output_i(mpi_rank());
+    output_i(mpi_size());
+    mpi_barrier();
+    var a: float* = alloc_float(2);
+    var b: float* = alloc_float(2);
+    a[0] = 1.5; a[1] = 2.5;
+    mpi_allreduce_sum_f(a, b, 2);
+    output_f(b[0] + b[1]);
+  )");
+  const std::vector<double> want{0, 1, 4};
+  EXPECT_EQ(out, want);
+}
+
+TEST(MinicExec, DivByZeroTraps) {
+  run("var z: int = 0; output_i(1 / z);", vm::Trap::DivByZero);
+  run("var z: int = 0; output_i(1 % z);", vm::Trap::DivByZero);
+}
+
+TEST(MinicExec, FloatDivByZeroIsInf) {
+  const auto out = run("var z: float = 0.0; output_f(1.0 / z);");
+  EXPECT_TRUE(std::isinf(out[0]));
+}
+
+TEST(MinicExec, OutOfBoundsAccessTraps) {
+  run("var a: float* = alloc_float(2); output_f(a[1000000]);",
+      vm::Trap::BadAccess);
+  run("var a: float* = alloc_float(2); a[-1] = 0.0;", vm::Trap::BadAccess);
+}
+
+TEST(MinicExec, NullPointerTraps) {
+  run("var p: float*; output_f(p[0]);", vm::Trap::BadAccess);
+}
+
+TEST(MinicExec, NegativeAllocTraps) {
+  run("var a: float* = alloc_float(-5);", vm::Trap::BadAlloc);
+}
+
+TEST(MinicExec, InfiniteRecursionOverflows) {
+  run(R"(
+fn loop(n: int) -> int { return loop(n + 1); }
+fn main() { output_i(loop(0)); }
+  )",
+      vm::Trap::StackOverflow);
+}
+
+TEST(MinicExec, MpiAbortTraps) {
+  run("mpi_abort(3);", vm::Trap::MpiAbort);
+}
+
+TEST(MinicExec, NonBlockingNeedsAnMpiWorld) {
+  // Without the MPI simulator attached there is no request table: the
+  // non-blocking calls fault like an uninitialized MPI library would.
+  run("var b: float* = alloc_float(1); var r: int = mpi_irecv_f(0, 0, b, 1);",
+      vm::Trap::MpiFault);
+  run("mpi_wait(1);", vm::Trap::MpiFault);
+}
+
+struct TypeErrorCase {
+  const char* name;
+  const char* src;
+};
+
+class MinicTypeErrors : public ::testing::TestWithParam<TypeErrorCase> {};
+
+TEST_P(MinicTypeErrors, Rejected) {
+  EXPECT_THROW(minic::compile(GetParam().src), CompileError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sema, MinicTypeErrors,
+    ::testing::Values(
+        TypeErrorCase{"int_plus_float", "fn main() { var x: int = 1 + 2.0; }"},
+        TypeErrorCase{"assign_wrong_type", "fn main() { var x: int = 1.5; }"},
+        TypeErrorCase{"float_condition", "fn main() { if (1.5) { } }"},
+        TypeErrorCase{"rem_on_float", "fn main() { var x: float = 1.0 % 2.0; }"},
+        TypeErrorCase{"shift_on_float", "fn main() { var x: float = 1.0 << 1; }"},
+        TypeErrorCase{"index_non_pointer", "fn main() { var x: int = 1; output_i(x[0]); }"},
+        TypeErrorCase{"float_index", "fn main() { var a: float* = alloc_float(2); output_f(a[1.0]); }"},
+        TypeErrorCase{"unknown_variable", "fn main() { output_i(nope); }"},
+        TypeErrorCase{"unknown_function", "fn main() { nope(); }"},
+        TypeErrorCase{"redeclared_variable", "fn main() { var x: int; var x: int; }"},
+        TypeErrorCase{"void_as_value", "fn main() { var x: int = mpi_barrier(); }"},
+        TypeErrorCase{"wrong_arg_count", "fn main() { output_f(sqrt(1.0, 2.0)); }"},
+        TypeErrorCase{"wrong_arg_type", "fn main() { output_f(sqrt(1)); }"},
+        TypeErrorCase{"missing_main", "fn helper() { }"},
+        TypeErrorCase{"main_with_params", "fn main(x: int) { }"},
+        TypeErrorCase{"main_with_return", "fn main() -> int { return 0; }"},
+        TypeErrorCase{"duplicate_function", "fn f() { } fn f() { } fn main() { }"},
+        TypeErrorCase{"shadow_builtin", "fn sqrt(x: float) -> float { return x; } fn main() { }"},
+        TypeErrorCase{"return_value_from_void", "fn f() { return 1; } fn main() { f(); }"},
+        TypeErrorCase{"missing_return_value", "fn f() -> int { return; } fn main() { }"},
+        TypeErrorCase{"break_outside_loop", "fn main() { break; }"},
+        TypeErrorCase{"continue_outside_loop", "fn main() { continue; }"},
+        TypeErrorCase{"pointer_compare_ordered",
+                      "fn main() { var a: float* = alloc_float(1); var b: float* = alloc_float(1); output_i(a < b); }"},
+        TypeErrorCase{"call_wrong_user_args",
+                      "fn f(x: int) { } fn main() { f(1.0); }"},
+        TypeErrorCase{"void_user_fn_as_value",
+                      "fn f() { } fn main() { var x: int = f(); }"}),
+    [](const ::testing::TestParamInfo<TypeErrorCase>& pi) {
+      return pi.param.name;
+    });
+
+TEST(MinicExec, PointerEqualityAllowed) {
+  const auto out = run(R"(
+    var a: float* = alloc_float(1);
+    var b: float* = a;
+    var c: float* = alloc_float(1);
+    output_i(a == b);
+    output_i(a == c);
+    output_i(a != c);
+  )");
+  const std::vector<double> want{1, 0, 1};
+  EXPECT_EQ(out, want);
+}
+
+}  // namespace
+}  // namespace fprop

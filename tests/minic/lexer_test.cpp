@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "fprop/minic/lexer.h"
+#include "fprop/support/error.h"
+
+namespace fprop::minic {
+namespace {
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, Keywords) {
+  const auto k = kinds("fn var if else while for return break continue");
+  const std::vector<Tok> want{
+      Tok::KwFn, Tok::KwVar, Tok::KwIf, Tok::KwElse, Tok::KwWhile,
+      Tok::KwFor, Tok::KwReturn, Tok::KwBreak, Tok::KwContinue, Tok::End};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  const auto toks = lex("fnord variable if_ _for");
+  ASSERT_EQ(toks.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(toks[i].kind, Tok::Ident);
+  }
+  EXPECT_EQ(toks[0].text, "fnord");
+  EXPECT_EQ(toks[3].text, "_for");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto toks = lex("0 42 9223372036854775807");
+  EXPECT_EQ(toks[0].int_val, 0);
+  EXPECT_EQ(toks[1].int_val, 42);
+  EXPECT_EQ(toks[2].int_val, 9223372036854775807LL);
+}
+
+TEST(Lexer, IntegerOverflowRejected) {
+  EXPECT_THROW(lex("99999999999999999999999"), CompileError);
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto toks = lex("1.5 0.25 1e3 2.5e-2 1E+2");
+  EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_val, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_val, 0.25);
+  EXPECT_DOUBLE_EQ(toks[2].float_val, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_val, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].float_val, 100.0);
+}
+
+TEST(Lexer, MalformedExponentRejected) {
+  EXPECT_THROW(lex("1e"), CompileError);
+  EXPECT_THROW(lex("1e+"), CompileError);
+}
+
+TEST(Lexer, DotWithoutDigitsIsError) {
+  // `1.` is not a float literal in MiniC (no trailing-dot form), and a bare
+  // dot is not a token at all.
+  EXPECT_THROW(lex("a . b"), CompileError);
+}
+
+TEST(Lexer, Operators) {
+  const auto k = kinds("+ - * / % & | ^ ~ << >> && || ! == != < <= > >= = ->");
+  const std::vector<Tok> want{
+      Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent, Tok::Amp,
+      Tok::Pipe, Tok::Caret, Tok::Tilde, Tok::Shl, Tok::Shr, Tok::AmpAmp,
+      Tok::PipePipe, Tok::Bang, Tok::EqEq, Tok::NotEq, Tok::Lt, Tok::Le,
+      Tok::Gt, Tok::Ge, Tok::Assign, Tok::Arrow, Tok::End};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, MaximalMunch) {
+  // `<<=` lexes as `<<` `=`, `>>=` as `>>` `=`, `&&&` as `&&` `&`.
+  EXPECT_EQ(kinds("<<="),
+            (std::vector<Tok>{Tok::Shl, Tok::Assign, Tok::End}));
+  EXPECT_EQ(kinds("&&&"), (std::vector<Tok>{Tok::AmpAmp, Tok::Amp, Tok::End}));
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = lex("a // comment with fn var 123\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  bb\n   c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].column, 4);
+}
+
+TEST(Lexer, InvalidCharacterRejected) {
+  EXPECT_THROW(lex("a $ b"), CompileError);
+  EXPECT_THROW(lex("\"string\""), CompileError);
+}
+
+TEST(Lexer, ErrorCarriesLocation) {
+  try {
+    lex("ok\n   $");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace fprop::minic

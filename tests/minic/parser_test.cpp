@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "fprop/minic/ast.h"
+#include "fprop/support/error.h"
+
+namespace fprop::minic {
+namespace {
+
+const FuncDecl& only_fn(const Program& p) {
+  EXPECT_EQ(p.functions.size(), 1u);
+  return p.functions.front();
+}
+
+TEST(Parser, FunctionSignature) {
+  const Program p = parse("fn f(a: int, b: float, c: float*) -> int { return a; }");
+  const FuncDecl& f = only_fn(p);
+  EXPECT_EQ(f.name, "f");
+  ASSERT_EQ(f.params.size(), 3u);
+  EXPECT_EQ(f.params[0].type, TypeKind::Int);
+  EXPECT_EQ(f.params[1].type, TypeKind::Float);
+  EXPECT_EQ(f.params[2].type, TypeKind::FloatPtr);
+  EXPECT_TRUE(f.has_return);
+  EXPECT_EQ(f.return_type, TypeKind::Int);
+}
+
+TEST(Parser, VoidFunction) {
+  const Program p = parse("fn g() { }");
+  EXPECT_FALSE(only_fn(p).has_return);
+}
+
+TEST(Parser, VarDeclarations) {
+  const Program p = parse(R"(fn f() {
+    var a: int;
+    var b: float = 1.5;
+    var c: int* = alloc_int(4);
+  })");
+  const auto& body = only_fn(p).body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->kind, Stmt::Kind::VarDecl);
+  EXPECT_EQ(body[0]->var_type, TypeKind::Int);
+  EXPECT_EQ(body[0]->expr, nullptr);
+  EXPECT_NE(body[1]->expr, nullptr);
+  EXPECT_EQ(body[2]->var_type, TypeKind::IntPtr);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const Program p = parse("fn f() -> int { return 1 + 2 * 3; }");
+  const Expr& e = *only_fn(p).body[0]->expr;
+  ASSERT_EQ(e.kind, Expr::Kind::Binary);
+  EXPECT_EQ(e.bin_op, BinOp::Add);
+  EXPECT_EQ(e.rhs->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, PrecedenceShiftVsCompare) {
+  // `a << b < c` parses as `(a << b) < c`.
+  const Program p = parse("fn f(a: int, b: int, c: int) -> int { return a << b < c; }");
+  const Expr& e = *only_fn(p).body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::Lt);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::Shl);
+}
+
+TEST(Parser, PrecedenceLogicalLowest) {
+  const Program p = parse("fn f(a: int, b: int) -> int { return a == 1 && b == 2; }");
+  const Expr& e = *only_fn(p).body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::LogAnd);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::Eq);
+}
+
+TEST(Parser, LeftAssociativity) {
+  const Program p = parse("fn f() -> int { return 10 - 3 - 2; }");
+  const Expr& e = *only_fn(p).body[0]->expr;
+  EXPECT_EQ(e.bin_op, BinOp::Sub);
+  EXPECT_EQ(e.lhs->bin_op, BinOp::Sub);  // (10-3)-2
+  EXPECT_EQ(e.rhs->kind, Expr::Kind::IntLit);
+}
+
+TEST(Parser, UnaryAndCasts) {
+  const Program p = parse("fn f(x: float) -> int { return -int(x) + int(1.0); }");
+  const Expr& e = *only_fn(p).body[0]->expr;
+  EXPECT_EQ(e.lhs->kind, Expr::Kind::Unary);
+  EXPECT_EQ(e.lhs->un_op, UnOp::Neg);
+  EXPECT_EQ(e.lhs->lhs->kind, Expr::Kind::CastInt);
+}
+
+TEST(Parser, IndexingAndIndexedAssignment) {
+  const Program p = parse(R"(fn f(a: float*) {
+    a[0] = a[1] + a[2 * 3];
+  })");
+  const Stmt& s = *only_fn(p).body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::IndexAssign);
+  EXPECT_EQ(s.index_base->kind, Expr::Kind::Var);
+  EXPECT_EQ(s.index->kind, Expr::Kind::IntLit);
+  EXPECT_EQ(s.expr->kind, Expr::Kind::Binary);
+}
+
+TEST(Parser, NestedIndexTarget) {
+  // Chained indexing is an expression; assignment applies to the outermost.
+  const Program p = parse("fn f(a: float*, i: int) { a[i + 1] = 0.0; }");
+  EXPECT_EQ(only_fn(p).body[0]->kind, Stmt::Kind::IndexAssign);
+}
+
+TEST(Parser, IfElseChain) {
+  const Program p = parse(R"(fn f(x: int) -> int {
+    if (x > 2) { return 2; } else if (x > 1) { return 1; } else { return 0; }
+  })");
+  const Stmt& s = *only_fn(p).body[0];
+  ASSERT_EQ(s.kind, Stmt::Kind::If);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, Stmt::Kind::If);
+  EXPECT_EQ(s.else_body[0]->else_body.size(), 1u);
+}
+
+TEST(Parser, ForLoopPieces) {
+  const Program p = parse(R"(fn f() {
+    for (var i: int = 0; i < 10; i = i + 1) { }
+    for (;;) { break; }
+  })");
+  const Stmt& full = *only_fn(p).body[0];
+  EXPECT_NE(full.for_init, nullptr);
+  EXPECT_NE(full.expr, nullptr);
+  EXPECT_NE(full.for_step, nullptr);
+  const Stmt& bare = *only_fn(p).body[1];
+  EXPECT_EQ(bare.for_init, nullptr);
+  EXPECT_EQ(bare.expr, nullptr);
+  EXPECT_EQ(bare.for_step, nullptr);
+}
+
+TEST(Parser, WhileBreakContinue) {
+  const Program p = parse(R"(fn f() {
+    while (1) { if (0) { break; } continue; }
+  })");
+  const Stmt& w = *only_fn(p).body[0];
+  EXPECT_EQ(w.kind, Stmt::Kind::While);
+  EXPECT_EQ(w.body[1]->kind, Stmt::Kind::Continue);
+}
+
+TEST(Parser, CallsAndArgs) {
+  const Program p = parse("fn f() { g(1, 2.0, h()); }");
+  const Expr& c = *only_fn(p).body[0]->expr;
+  ASSERT_EQ(c.kind, Expr::Kind::Call);
+  EXPECT_EQ(c.name, "g");
+  ASSERT_EQ(c.args.size(), 3u);
+  EXPECT_EQ(c.args[2]->kind, Expr::Kind::Call);
+}
+
+TEST(Parser, BlockStatement) {
+  const Program p = parse("fn f() { { var x: int; } }");
+  EXPECT_EQ(only_fn(p).body[0]->kind, Stmt::Kind::Block);
+}
+
+struct BadSource {
+  const char* name;
+  const char* src;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(ParserErrors, Rejected) {
+  EXPECT_THROW(parse(GetParam().src), CompileError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrors,
+    ::testing::Values(
+        BadSource{"missing_brace", "fn f() { "},
+        BadSource{"missing_paren", "fn f( { }"},
+        BadSource{"missing_semi", "fn f() { var x: int = 1 }"},
+        BadSource{"bad_type", "fn f(x: double) { }"},
+        BadSource{"no_fn_keyword", "f() { }"},
+        BadSource{"assign_to_literal", "fn f() { 1 = 2; }"},
+        BadSource{"empty_condition_if", "fn f() { if () { } }"},
+        BadSource{"else_without_if", "fn f() { else { } }"},
+        BadSource{"missing_colon", "fn f() { var x int; }"},
+        BadSource{"trailing_comma", "fn f() { g(1,); }"},
+        BadSource{"unclosed_index", "fn f(a: int*) { a[1 = 2; }"},
+        BadSource{"top_level_stmt", "var x: int;"}),
+    [](const ::testing::TestParamInfo<BadSource>& pi) {
+      return pi.param.name;
+    });
+
+}  // namespace
+}  // namespace fprop::minic

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fprop/model/propagation_model.h"
+#include "fprop/support/rng.h"
+
+namespace fprop::model {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i + 11.0);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.a, 3.5, 1e-12);
+  EXPECT_NEAR(f.b, 11.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  Xoshiro256 rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 5.0 + (rng.next_double() - 0.5) * 4.0);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.a, 2.0, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).n, 0u);
+  const LinearFit one = fit_linear(std::vector<double>{1.0},
+                                   std::vector<double>{2.0});
+  EXPECT_EQ(one.a, 0.0);
+  // All-equal x: slope undefined, falls back to mean intercept.
+  std::vector<double> x{2, 2, 2};
+  std::vector<double> y{1, 2, 3};
+  const LinearFit flat = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(flat.a, 0.0);
+  EXPECT_DOUBLE_EQ(flat.b, 2.0);
+}
+
+TEST(PiecewiseFit, FindsKneeOfLinearThenConstant) {
+  // y = 2t for t <= 60, then flat at 120.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int t = 0; t <= 100; ++t) {
+    x.push_back(t);
+    y.push_back(t <= 60 ? 2.0 * t : 120.0);
+  }
+  const PiecewiseFit f = fit_linear_then_constant(x, y);
+  EXPECT_NEAR(f.a, 2.0, 0.05);
+  EXPECT_NEAR(f.knee, 60.0, 3.0);
+  EXPECT_NEAR(f.plateau, 120.0, 1.0);
+  EXPECT_LT(f.sse, 1.0);
+}
+
+TEST(PiecewiseFit, PureLinearKeepsLateKnee) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int t = 0; t <= 100; ++t) {
+    x.push_back(t);
+    y.push_back(1.5 * t);
+  }
+  const PiecewiseFit f = fit_linear_then_constant(x, y);
+  EXPECT_NEAR(f.a, 1.5, 0.05);
+  EXPECT_GT(f.knee, 90.0);
+}
+
+TEST(PiecewiseFit, TinyInputFallsBackToLinear) {
+  std::vector<double> x{0, 1};
+  std::vector<double> y{0, 2};
+  const PiecewiseFit f = fit_linear_then_constant(x, y);
+  EXPECT_NEAR(f.a, 2.0, 1e-12);
+}
+
+TEST(CrossValidation, NearZeroForExactModel) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(4.0 * i + 1.0);
+  }
+  EXPECT_LT(cross_validate_linear(x, y), 1e-10);
+}
+
+TEST(CrossValidation, LargeForNonlinearData) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(i * i);
+  }
+  EXPECT_GT(cross_validate_linear(x, y), 0.05);
+}
+
+std::vector<fpm::TraceSample> make_trace(
+    std::uint64_t onset, std::uint64_t end, double slope,
+    std::uint64_t period = 10) {
+  std::vector<fpm::TraceSample> tr;
+  for (std::uint64_t c = 0; c <= end; c += period) {
+    const double cml = c < onset ? 0.0 : slope * static_cast<double>(c - onset);
+    tr.push_back({c, static_cast<std::uint64_t>(cml)});
+  }
+  return tr;
+}
+
+TEST(TraceModel, CleanTraceIsUnusable) {
+  std::vector<fpm::TraceSample> tr;
+  for (std::uint64_t c = 0; c < 100; c += 10) tr.push_back({c, 0});
+  const TraceModel m = model_trace(tr);
+  EXPECT_FALSE(m.usable);
+}
+
+TEST(TraceModel, RecoversSlopeAndFaultTime) {
+  const auto tr = make_trace(/*onset=*/200, /*end=*/1000, /*slope=*/0.5);
+  const TraceModel m = model_trace(tr);
+  ASSERT_TRUE(m.usable);
+  EXPECT_NEAR(m.rate.a, 0.5, 0.02);
+  // Eq. 2: inferred fault time = -b/a, close to the onset.
+  EXPECT_NEAR(m.inferred_tf, 200.0, 30.0);
+  EXPECT_NEAR(m.final_cml, 0.5 * 800, 2.0);
+}
+
+TEST(TraceModel, ShortTraceUnusable) {
+  std::vector<fpm::TraceSample> tr{{0, 0}, {10, 5}};
+  EXPECT_FALSE(model_trace(tr).usable);
+}
+
+TEST(FpsAggregation, MeanAndStddev) {
+  std::vector<double> slopes{1.0, 2.0, 3.0};
+  const FpsModel f = aggregate_fps(slopes);
+  EXPECT_DOUBLE_EQ(f.fps, 2.0);
+  EXPECT_NEAR(f.stddev, 1.0, 1e-12);
+  EXPECT_EQ(f.num_models, 3u);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.max, 3.0);
+}
+
+TEST(FpsAggregation, Empty) {
+  const FpsModel f = aggregate_fps({});
+  EXPECT_EQ(f.num_models, 0u);
+  EXPECT_DOUBLE_EQ(f.fps, 0.0);
+}
+
+TEST(CmlEstimators, Eq3Bounds) {
+  // Paper Eq. 3: max CML between detector invocations t1, t2.
+  EXPECT_DOUBLE_EQ(max_cml_estimate(0.5, 100, 300), 100.0);
+  EXPECT_DOUBLE_EQ(avg_cml_estimate(0.5, 100, 300), 50.0);
+  EXPECT_DOUBLE_EQ(max_cml_estimate(0.5, 100, 100), 0.0);
+}
+
+TEST(RollbackAdvisor, KeepsRunningUnderThreshold) {
+  // Low-FPS application: predicted contamination at the end of the run
+  // stays below the safe threshold -> keep running (paper §5).
+  const RollbackDecision d =
+      advise_rollback(/*fps=*/0.001, /*t1=*/0, /*t2=*/1000, /*t_end=*/10000,
+                      /*cml_threshold=*/100.0);
+  EXPECT_FALSE(d.rollback);
+  EXPECT_NEAR(d.predicted_cml_now, 1.0, 1e-9);
+  EXPECT_NEAR(d.predicted_cml_at_end, 10.0, 1e-9);
+}
+
+TEST(RollbackAdvisor, RollsBackWhenExceeding) {
+  const RollbackDecision d =
+      advise_rollback(/*fps=*/1.0, /*t1=*/0, /*t2=*/1000, /*t_end=*/10000,
+                      /*cml_threshold=*/100.0);
+  EXPECT_TRUE(d.rollback);
+  EXPECT_GT(d.predicted_cml_at_end, 100.0);
+}
+
+}  // namespace
+}  // namespace fprop::model

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "fprop/model/rollback_sim.h"
+
+namespace fprop::model {
+namespace {
+
+// Trace helper: contamination appears at `onset` and grows by `slope`
+// per cycle until `end`.
+std::vector<fpm::TraceSample> linear_trace(std::uint64_t onset,
+                                           std::uint64_t end, double slope) {
+  std::vector<fpm::TraceSample> tr;
+  for (std::uint64_t c = 0; c <= end; c += 50) {
+    const double cml =
+        c < onset ? 0.0 : slope * static_cast<double>(c - onset);
+    tr.push_back({c, static_cast<std::uint64_t>(cml)});
+  }
+  return tr;
+}
+
+DetectorConfig detector(std::uint64_t interval, double fps,
+                        double threshold) {
+  DetectorConfig d;
+  d.interval = interval;
+  d.fps = fps;
+  d.cml_threshold = threshold;
+  return d;
+}
+
+TEST(RollbackSim, CleanTraceNeverDetects) {
+  const auto tr = linear_trace(100'000, 10'000, 0.0);  // never contaminated
+  const auto o = simulate_rollback(tr, detector(1000, 0.01, 10),
+                                   RollbackPolicy::Always);
+  EXPECT_FALSE(o.detected);
+  EXPECT_FALSE(o.rolled_back);
+  EXPECT_EQ(o.wasted_cycles, 0u);
+  EXPECT_EQ(o.residual_cml, 0u);
+}
+
+TEST(RollbackSim, AlwaysPolicyRollsBackOnFirstDetection) {
+  const auto tr = linear_trace(2'500, 10'000, 0.1);
+  const auto o = simulate_rollback(tr, detector(1000, 0.1, 10),
+                                   RollbackPolicy::Always);
+  EXPECT_TRUE(o.detected);
+  EXPECT_TRUE(o.rolled_back);
+  // Fault at 2500, last clean detector tick at 2000, detection at 3000:
+  // wasted work = 1000 cycles.
+  EXPECT_EQ(o.wasted_cycles, 1000u);
+  EXPECT_EQ(o.residual_cml, 0u);
+}
+
+TEST(RollbackSim, NeverPolicyCarriesResidual) {
+  const auto tr = linear_trace(2'500, 10'000, 0.1);
+  const auto o = simulate_rollback(tr, detector(1000, 0.1, 10),
+                                   RollbackPolicy::Never);
+  EXPECT_TRUE(o.detected);
+  EXPECT_FALSE(o.rolled_back);
+  EXPECT_EQ(o.wasted_cycles, 0u);
+  EXPECT_EQ(o.residual_cml, tr.back().cml);
+  EXPECT_GT(o.residual_cml, 500u);
+}
+
+TEST(RollbackSim, FpsPolicyKeepsRunningForSlowPropagators) {
+  // Slow FPS: predicted end-of-run contamination below threshold.
+  const auto tr = linear_trace(2'500, 10'000, 0.0005);
+  const auto o = simulate_rollback(tr, detector(1000, 0.0005, 10),
+                                   RollbackPolicy::FpsModel);
+  EXPECT_TRUE(o.detected);
+  EXPECT_FALSE(o.rolled_back) << "predicted " << o.predicted_final_cml;
+  EXPECT_LT(o.predicted_final_cml, 10.0);
+  EXPECT_EQ(o.residual_cml, tr.back().cml);
+}
+
+TEST(RollbackSim, FpsPolicyRollsBackFastPropagators) {
+  const auto tr = linear_trace(2'500, 10'000, 0.5);
+  const auto o = simulate_rollback(tr, detector(1000, 0.5, 10),
+                                   RollbackPolicy::FpsModel);
+  EXPECT_TRUE(o.detected);
+  EXPECT_TRUE(o.rolled_back);
+  EXPECT_GT(o.predicted_final_cml, 10.0);
+  EXPECT_EQ(o.residual_cml, 0u);
+}
+
+TEST(RollbackSim, LateFaultMayEscapeTheDetectorGrid) {
+  // Fault after the last detector tick (ticks at 4000 and 8000): nothing
+  // fires; residual remains.
+  const auto tr = linear_trace(9'950, 10'000, 1.0);
+  const auto o = simulate_rollback(tr, detector(4000, 1.0, 10),
+                                   RollbackPolicy::Always);
+  EXPECT_FALSE(o.detected);
+  EXPECT_EQ(o.residual_cml, tr.back().cml);
+}
+
+TEST(RollbackSim, SummaryAggregates) {
+  std::vector<std::vector<fpm::TraceSample>> traces{
+      linear_trace(2'500, 10'000, 0.1),   // detected
+      linear_trace(100'000, 10'000, 0.0), // clean
+  };
+  const auto s = summarize_policy(traces, detector(1000, 0.1, 10),
+                                  RollbackPolicy::Always);
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_EQ(s.detections, 1u);
+  EXPECT_EQ(s.rollbacks, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_wasted(), 500.0);
+  EXPECT_DOUBLE_EQ(s.mean_residual(), 0.0);
+}
+
+TEST(RollbackSim, PolicyNames) {
+  EXPECT_STREQ(rollback_policy_name(RollbackPolicy::Always), "always");
+  EXPECT_STREQ(rollback_policy_name(RollbackPolicy::Never), "never");
+  EXPECT_STREQ(rollback_policy_name(RollbackPolicy::FpsModel), "fps-model");
+}
+
+}  // namespace
+}  // namespace fprop::model

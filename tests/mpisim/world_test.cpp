@@ -1,0 +1,493 @@
+#include <gtest/gtest.h>
+
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/passes/passes.h"
+
+namespace fprop::mpisim {
+namespace {
+
+JobResult run_mpi(const std::string& src, std::uint32_t nranks,
+                  WorldConfig cfg = {}) {
+  ir::Module m = minic::compile(src);
+  cfg.nranks = nranks;
+  World world(m, cfg);
+  return world.run();
+}
+
+TEST(World, RankAndSizeVisible) {
+  const auto job = run_mpi(R"(
+fn main() {
+  output_i(mpi_rank());
+  output_i(mpi_size());
+}
+)", 4);
+  EXPECT_FALSE(job.crashed);
+  const auto outs = job.outputs();
+  const std::vector<double> want{0, 4, 1, 4, 2, 4, 3, 4};
+  EXPECT_EQ(outs, want);
+}
+
+TEST(World, RingSendRecv) {
+  // Each rank sends its rank to the right neighbor (cyclically) and
+  // receives from the left.
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  sb[0] = float(rank);
+  mpi_send_f((rank + 1) % size, 7, sb, 1);
+  mpi_recv_f((rank + size - 1) % size, 7, rb, 1);
+  output_f(rb[0]);
+}
+)", 4);
+  EXPECT_FALSE(job.crashed);
+  const std::vector<double> want{3, 0, 1, 2};
+  EXPECT_EQ(job.outputs(), want);
+}
+
+TEST(World, MessageOrderingFifoPerPair) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 0) {
+    sb[0] = 1.0; mpi_send_f(1, 5, sb, 1);
+    sb[0] = 2.0; mpi_send_f(1, 5, sb, 1);
+    sb[0] = 3.0; mpi_send_f(1, 5, sb, 1);
+  }
+  if (rank == 1) {
+    mpi_recv_f(0, 5, rb, 1); output_f(rb[0]);
+    mpi_recv_f(0, 5, rb, 1); output_f(rb[0]);
+    mpi_recv_f(0, 5, rb, 1); output_f(rb[0]);
+  }
+}
+)", 2);
+  EXPECT_FALSE(job.crashed);
+  const std::vector<double> want{1, 2, 3};
+  EXPECT_EQ(job.outputs(), want);
+}
+
+TEST(World, TagSelectivity) {
+  // Receiver asks for tag 2 first even though tag 1 was sent first.
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 0) {
+    sb[0] = 10.0; mpi_send_f(1, 1, sb, 1);
+    sb[0] = 20.0; mpi_send_f(1, 2, sb, 1);
+  }
+  if (rank == 1) {
+    mpi_recv_f(0, 2, rb, 1); output_f(rb[0]);
+    mpi_recv_f(0, 1, rb, 1); output_f(rb[0]);
+  }
+}
+)", 2);
+  EXPECT_FALSE(job.crashed);
+  const std::vector<double> want{20, 10};
+  EXPECT_EQ(job.outputs(), want);
+}
+
+TEST(World, AnySourceAnyTagWildcards) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 1) {
+    sb[0] = 42.0;
+    mpi_send_f(0, 9, sb, 1);
+  }
+  if (rank == 0) {
+    mpi_recv_f(-1, -1, rb, 1);   // MPI_ANY_SOURCE / MPI_ANY_TAG
+    output_f(rb[0]);
+  }
+}
+)", 2);
+  EXPECT_FALSE(job.crashed);
+  EXPECT_EQ(job.outputs(), std::vector<double>{42.0});
+}
+
+TEST(World, SendToInvalidRankFaults) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var sb: float* = alloc_float(1);
+  mpi_send_f(99, 0, sb, 1);
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiFault);
+}
+
+TEST(World, TruncatedReceiveFaults) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(4);
+  var rb: float* = alloc_float(4);
+  if (rank == 0) { mpi_send_f(1, 0, sb, 4); }
+  if (rank == 1) { mpi_recv_f(0, 0, rb, 2); }   // capacity 2 < 4 sent
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiFault);
+}
+
+TEST(World, AllreduceSum) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(2);
+  var b: float* = alloc_float(2);
+  a[0] = float(mpi_rank());
+  a[1] = 1.0;
+  mpi_allreduce_sum_f(a, b, 2);
+  output_f(b[0]);
+  output_f(b[1]);
+}
+)", 4);
+  EXPECT_FALSE(job.crashed);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(job.ranks[r].outputs[0], 6.0);  // 0+1+2+3
+    EXPECT_DOUBLE_EQ(job.ranks[r].outputs[1], 4.0);
+  }
+}
+
+TEST(World, AllreduceMax) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(1);
+  var b: float* = alloc_float(1);
+  a[0] = float(mpi_rank() * mpi_rank());
+  mpi_allreduce_max_f(a, b, 1);
+  output_f(b[0]);
+}
+)", 5);
+  EXPECT_FALSE(job.crashed);
+  for (const auto& r : job.ranks) EXPECT_DOUBLE_EQ(r.outputs[0], 16.0);
+}
+
+TEST(World, Bcast) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(2);
+  if (mpi_rank() == 2) { a[0] = 5.0; a[1] = 6.0; }
+  mpi_bcast_f(2, a, 2);
+  output_f(a[0] + a[1]);
+}
+)", 4);
+  EXPECT_FALSE(job.crashed);
+  for (const auto& r : job.ranks) EXPECT_DOUBLE_EQ(r.outputs[0], 11.0);
+}
+
+TEST(World, BarrierSequencesOutput) {
+  const auto job = run_mpi(R"(
+fn main() {
+  mpi_barrier();
+  output_i(mpi_rank());
+  mpi_barrier();
+  mpi_barrier();
+  output_i(100 + mpi_rank());
+}
+)", 3);
+  EXPECT_FALSE(job.crashed);
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(job.ranks[r].outputs[0], static_cast<double>(r));
+    EXPECT_EQ(job.ranks[r].outputs[1], static_cast<double>(100 + r));
+  }
+}
+
+TEST(World, CollectiveKindMismatchFaults) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(1);
+  var b: float* = alloc_float(1);
+  if (mpi_rank() == 0) {
+    mpi_barrier();
+  } else {
+    mpi_allreduce_sum_f(a, b, 1);
+  }
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiFault);
+}
+
+TEST(World, CollectiveCountMismatchFaults) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(4);
+  var b: float* = alloc_float(4);
+  if (mpi_rank() == 0) {
+    mpi_allreduce_sum_f(a, b, 2);
+  } else {
+    mpi_allreduce_sum_f(a, b, 4);
+  }
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiFault);
+}
+
+TEST(World, DeadlockDetected) {
+  // Both ranks wait for a message that never comes.
+  const auto job = run_mpi(R"(
+fn main() {
+  var rb: float* = alloc_float(1);
+  mpi_recv_f((mpi_rank() + 1) % mpi_size(), 0, rb, 1);
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::Deadlock);
+}
+
+TEST(World, PartialExitDeadlockDetected) {
+  // Rank 0 finishes while rank 1 still waits in a barrier.
+  const auto job = run_mpi(R"(
+fn main() {
+  if (mpi_rank() == 1) { mpi_barrier(); }
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::Deadlock);
+}
+
+TEST(World, AbortTearsDownJob) {
+  const auto job = run_mpi(R"(
+fn main() {
+  if (mpi_rank() == 2) { mpi_abort(13); }
+  var rb: float* = alloc_float(1);
+  mpi_recv_f(-1, -1, rb, 1);   // everyone else would block forever
+}
+)", 4);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiAbort);
+  EXPECT_EQ(job.first_trap_rank, 2u);
+  std::size_t killed = 0;
+  for (const auto& r : job.ranks) {
+    if (r.trap == vm::Trap::Killed) ++killed;
+  }
+  EXPECT_EQ(killed, 3u);
+}
+
+TEST(World, CrashOnOneRankKillsOthers) {
+  const auto job = run_mpi(R"(
+fn main() {
+  if (mpi_rank() == 1) {
+    var z: int = 0;
+    output_i(1 / z);
+  }
+  mpi_barrier();
+}
+)", 3);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::DivByZero);
+  EXPECT_EQ(job.first_trap_rank, 1u);
+}
+
+TEST(World, NonBlockingRoundTrip) {
+  // Overlap communication with computation: post the irecv, isend, compute,
+  // then wait — the MCB pattern the paper mentions.
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var size: int = mpi_size();
+  var sb: float* = alloc_float(2);
+  var rb: float* = alloc_float(2);
+  var rreq: int = mpi_irecv_f((rank + size - 1) % size, 3, rb, 2);
+  sb[0] = float(rank);
+  sb[1] = float(rank * 2);
+  var sreq: int = mpi_isend_f((rank + 1) % size, 3, sb, 2);
+  var acc: float = 0.0;
+  for (var i: int = 0; i < 50; i = i + 1) {
+    acc = acc + float(i);   // overlapped "computation"
+  }
+  mpi_wait(sreq);
+  mpi_wait(rreq);
+  output_f(rb[0] + rb[1] + acc * 0.0);
+}
+)", 4);
+  EXPECT_FALSE(job.crashed);
+  // Rank r receives from r-1: value (r-1) + 2*(r-1).
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    const double prev = static_cast<double>((r + 3) % 4);
+    EXPECT_DOUBLE_EQ(job.ranks[r].outputs[0], prev * 3.0);
+  }
+}
+
+TEST(World, WaitBlocksUntilMessageArrives) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 1) {
+    var req: int = mpi_irecv_f(0, 0, rb, 1);
+    mpi_wait(req);            // blocks: rank 0 sends only after a delay
+    output_f(rb[0]);
+  } else {
+    var acc: float = 0.0;
+    for (var i: int = 0; i < 2000; i = i + 1) { acc = acc + 1.0; }
+    sb[0] = acc;
+    mpi_send_f(1, 0, sb, 1);
+  }
+}
+)", 2);
+  EXPECT_FALSE(job.crashed);
+  EXPECT_EQ(job.ranks[1].outputs[0], 2000.0);
+}
+
+TEST(World, WaitTwiceIsBenign) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 0) { mpi_send_f(1, 0, sb, 1); }
+  if (rank == 1) {
+    var req: int = mpi_irecv_f(0, 0, rb, 1);
+    mpi_wait(req);
+    mpi_wait(req);
+    output_i(req);
+  }
+}
+)", 2);
+  EXPECT_FALSE(job.crashed);
+}
+
+TEST(World, CorruptedRequestHandleFaults) {
+  const auto job = run_mpi(R"(
+fn main() {
+  mpi_wait(12345);   // forged/corrupted handle
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::MpiFault);
+}
+
+TEST(World, UnmatchedIrecvDeadlocks) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var rb: float* = alloc_float(1);
+  if (mpi_rank() == 0) {
+    var req: int = mpi_irecv_f(1, 0, rb, 1);
+    mpi_wait(req);   // rank 1 never sends
+  }
+}
+)", 2);
+  EXPECT_TRUE(job.crashed);
+  EXPECT_EQ(job.first_trap, vm::Trap::Deadlock);
+}
+
+TEST(World, DeterministicReplay) {
+  const char* src = R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  var s: float = 0.0;
+  for (var i: int = 0; i < 10; i = i + 1) {
+    s = s + rand01();
+    sb[0] = s;
+    mpi_send_f((rank + 1) % mpi_size(), 0, sb, 1);
+    mpi_recv_f((rank + mpi_size() - 1) % mpi_size(), 0, rb, 1);
+    s = s + rb[0] * 0.5;
+  }
+  output_f(s);
+}
+)";
+  const auto a = run_mpi(src, 4);
+  const auto b = run_mpi(src, 4);
+  ASSERT_FALSE(a.crashed);
+  EXPECT_EQ(a.outputs(), b.outputs());
+  EXPECT_EQ(a.global_cycles, b.global_cycles);
+}
+
+TEST(World, ContaminationCrossesRanksWithPristineValues) {
+  // Fig. 4 end-to-end: rank 0's buffer word is corrupted (via injection);
+  // after the send, rank 1's copy must be contaminated with the pristine
+  // value recoverable from its shadow table.
+  const char* src = R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(2);
+  var rb: float* = alloc_float(2);
+  if (rank == 0) {
+    sb[0] = 3.0;
+    sb[1] = sb[0] * 2.0;    // injection lands on this multiply
+    mpi_send_f(1, 0, sb, 2);
+  }
+  if (rank == 1) {
+    mpi_recv_f(0, 0, rb, 2);
+    output_f(rb[1]);
+  }
+}
+)";
+  ir::Module m = minic::compile(src);
+  (void)passes::instrument_module(m);
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  World world(m, cfg);
+  // One fault on rank 0: flip bit 60 of some arithmetic operand.
+  inject::InjectorRuntime inj(inject::InjectionPlan::single(0, 0, 60));
+  world.set_inject_hook(&inj);
+  const JobResult job = world.run();
+  ASSERT_FALSE(job.crashed);
+  ASSERT_EQ(inj.events().size(), 1u);
+  // Rank 1 received corrupted data and its shadow table knows the pristine
+  // value 6.0 for the second word.
+  EXPECT_GT(job.ranks[1].cml_final, 0u);
+  auto* receiver_fpm = world.fpm(1);
+  ASSERT_NE(receiver_fpm, nullptr);
+  bool found_pristine = false;
+  for (const auto& [addr, pristine] : receiver_fpm->shadow().entries()) {
+    if (vm::double_of(pristine) == 6.0) found_pristine = true;
+  }
+  EXPECT_TRUE(found_pristine);
+  EXPECT_TRUE(job.ranks[1].first_contaminated_at.has_value());
+}
+
+TEST(World, GlobalTraceSampling) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var s: float = 0.0;
+  for (var i: int = 0; i < 200; i = i + 1) { s = s + 1.0; }
+  output_f(s);
+}
+)");
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  cfg.global_sample_period = 64;
+  cfg.slice = 32;
+  World world(m, cfg);
+  const auto job = world.run();
+  EXPECT_FALSE(job.crashed);
+  const auto& tr = world.global_trace();
+  ASSERT_GE(tr.size(), 3u);
+  EXPECT_EQ(tr.back().cml, 0u);  // fault-free
+  EXPECT_EQ(tr.back().cycle, job.global_cycles);
+}
+
+TEST(JobResult, Aggregations) {
+  const auto job = run_mpi(R"(
+fn main() {
+  var a: float* = alloc_float(8);
+  a[0] = 1.0;
+  report_iters(mpi_rank() * 10);
+  output_i(mpi_rank());
+}
+)", 3);
+  EXPECT_EQ(job.reported_iters(), 20);
+  EXPECT_EQ(job.outputs().size(), 3u);
+  EXPECT_EQ(job.total_cml_final(), 0u);
+  EXPECT_EQ(job.contaminated_ranks(), 0u);
+  EXPECT_GT(job.total_allocated_words(), 0u);
+}
+
+}  // namespace
+}  // namespace fprop::mpisim

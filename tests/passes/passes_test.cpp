@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/ir/printer.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::passes {
+namespace {
+
+TEST(InstrClasses, DataArithVsCompareVsAddress) {
+  using ir::Opcode;
+  EXPECT_TRUE(is_data_arith(Opcode::AddF));
+  EXPECT_TRUE(is_data_arith(Opcode::ShrI));
+  EXPECT_TRUE(is_data_arith(Opcode::F2I));
+  EXPECT_FALSE(is_data_arith(Opcode::LtI));
+  EXPECT_FALSE(is_data_arith(Opcode::PtrAdd));
+  EXPECT_FALSE(is_data_arith(Opcode::Load));
+  EXPECT_TRUE(is_compare(Opcode::LtI));
+  EXPECT_TRUE(is_compare(Opcode::EqP));
+  EXPECT_FALSE(is_compare(Opcode::AddI));
+}
+
+TEST(FaultInjectionPass, InstrumentsArithmeticOperands) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var a: float = 1.5;
+  var b: float = a * a + a;
+  output_f(b);
+}
+)");
+  const auto before = m.static_instr_count();
+  const auto sites = run_fault_injection_pass(m);
+  // a*a has two non-const operands; (a*a)+a has two (product + a).
+  EXPECT_EQ(sites.size(), 4u);
+  EXPECT_EQ(m.static_instr_count(), before + 4);
+  EXPECT_NO_THROW(ir::verify(m));
+  // Site ids are dense and ordered.
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(sites[i].site_id, static_cast<std::int64_t>(i));
+    EXPECT_EQ(sites[i].function, "main");
+  }
+}
+
+TEST(FaultInjectionPass, ConstantsNotInstrumented) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var b: float = 2.0 * 3.0;   // both operands are materialized constants
+  output_f(b);
+}
+)");
+  const auto sites = run_fault_injection_pass(m);
+  EXPECT_TRUE(sites.empty());
+}
+
+TEST(FaultInjectionPass, TargetSelectionFlags) {
+  const char* src = R"(
+fn main() {
+  var a: float* = alloc_float(4);
+  var i: int = 1;
+  a[i] = a[i] * 2.0;   // ptradd, load, store, mul
+  output_i(i < 3);     // compare
+}
+)";
+  InjectTargets none;
+  none.arith = false;
+  {
+    ir::Module m = minic::compile(src);
+    EXPECT_TRUE(run_fault_injection_pass(m, none).empty());
+  }
+  InjectTargets cmp = none;
+  cmp.compares = true;
+  InjectTargets addr = none;
+  addr.addresses = true;
+  InjectTargets ldst = none;
+  ldst.load_address = true;
+  ldst.store_operands = true;
+  std::size_t n_cmp = 0;
+  std::size_t n_addr = 0;
+  std::size_t n_ldst = 0;
+  {
+    ir::Module m = minic::compile(src);
+    n_cmp = run_fault_injection_pass(m, cmp).size();
+  }
+  {
+    ir::Module m = minic::compile(src);
+    n_addr = run_fault_injection_pass(m, addr).size();
+  }
+  {
+    ir::Module m = minic::compile(src);
+    n_ldst = run_fault_injection_pass(m, ldst).size();
+  }
+  EXPECT_GT(n_cmp, 0u);
+  EXPECT_GT(n_addr, 0u);
+  EXPECT_GT(n_ldst, 0u);
+}
+
+TEST(FaultInjectionPass, BooleanRegistersGetWidthOne) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var a: int = 3;
+  var b: int = 4;
+  var both: int = (a < 5) && (b < 5);  // AndI over two booleans
+  output_i(both);
+  output_i(a + b);                     // full-width arithmetic site
+}
+)");
+  (void)run_fault_injection_pass(m);
+  bool saw_width1 = false;
+  bool saw_width64 = false;
+  for (const auto& block : m.find("main")->blocks) {
+    for (const auto& in : block.code) {
+      if (in.op != ir::Opcode::FimInj) continue;
+      if (in.inj_width == 1) saw_width1 = true;
+      if (in.inj_width == 64) saw_width64 = true;
+    }
+  }
+  EXPECT_TRUE(saw_width1);   // the && operands
+  EXPECT_TRUE(saw_width64);  // any full-width value elsewhere
+}
+
+TEST(DualChainPass, Fig3GoldenTransformation) {
+  // The paper's running example c = 2*a + b (Fig. 3): after LLFI++ and FPM
+  // lowering the function must contain the primary chain with fim_inj, the
+  // replicated secondary chain, fpm_fetch at loads and fpm_store at stores.
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var mem: float* = alloc_float(3);
+  mem[0] = 3.0;   // a
+  mem[1] = 4.0;   // b
+  mem[2] = 2.0 * mem[0] + mem[1];   // c = 2*a + b
+  output_f(mem[2]);
+}
+)");
+  const auto sites = instrument_module(m);
+  const std::string text = ir::to_string(*m.find("main"));
+  EXPECT_NE(text.find("fim_inj"), std::string::npos);
+  EXPECT_NE(text.find("fpm_fetch"), std::string::npos);
+  EXPECT_NE(text.find("fpm_store"), std::string::npos);
+  EXPECT_NE(text.find("dual_chain"), std::string::npos);
+  // No plain stores survive the transformation.
+  EXPECT_EQ(text.find(" st."), std::string::npos);
+  // Replicated multiply exists (a mul whose operands are both p-registers).
+  EXPECT_NE(text.find("p = mul.f64"), std::string::npos);
+  EXPECT_FALSE(sites.empty());
+}
+
+TEST(DualChainPass, RunningTwiceThrows) {
+  ir::Module m = minic::compile("fn main() { output_i(1 + 2); }");
+  run_dual_chain_pass(m);
+  EXPECT_THROW(run_dual_chain_pass(m), Error);
+}
+
+TEST(DualChainPass, DualCallConvention) {
+  ir::Module m = minic::compile(R"(
+fn add(a: float, b: float) -> float { return a + b; }
+fn main() { output_f(add(1.0, 2.0)); }
+)");
+  run_dual_chain_pass(m);
+  EXPECT_NO_THROW(ir::verify(m));
+  const ir::Function& add = *m.find("add");
+  EXPECT_TRUE(add.dual_chain);
+  EXPECT_EQ(add.params.size(), 4u);  // (a, b, a_p, b_p)
+  // main's call site passes four args and receives two results.
+  bool checked = false;
+  for (const auto& block : m.find("main")->blocks) {
+    for (const auto& in : block.code) {
+      if (in.op != ir::Opcode::Call) continue;
+      EXPECT_EQ(in.args.size(), 4u);
+      EXPECT_NE(in.dst, ir::kNoReg);
+      EXPECT_NE(in.dst2, ir::kNoReg);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(DualChainPass, PureIntrinsicsReplicated) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var x: float = 2.0;
+  output_f(sqrt(x * x));
+}
+)");
+  run_dual_chain_pass(m);
+  std::size_t sqrt_count = 0;
+  std::size_t output_count = 0;
+  for (const auto& block : m.find("main")->blocks) {
+    for (const auto& in : block.code) {
+      if (in.op != ir::Opcode::Intrinsic) continue;
+      if (in.intr == ir::IntrinsicId::Sqrt) ++sqrt_count;
+      if (in.intr == ir::IntrinsicId::OutputF) ++output_count;
+    }
+  }
+  EXPECT_EQ(sqrt_count, 2u);   // replicated (the paper's sin() case)
+  EXPECT_EQ(output_count, 1u); // impure: executed once
+}
+
+// Property: on a fault-free run, the instrumented program must produce
+// exactly the outputs of the uninstrumented program and leave the shadow
+// table empty. Checked over every proxy application (single-rank apps run
+// directly; this also exercises the dual call convention in real code).
+class DualChainEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DualChainEquivalence, FaultFreeRunsAreBitIdentical) {
+  const std::string snippet = GetParam();
+  ir::Module plain = minic::compile(snippet);
+  ir::Module instrumented = minic::compile(snippet);
+  (void)instrument_module(instrumented);
+
+  vm::Interp vm_plain(plain, 0, vm::InterpConfig{});
+  ASSERT_EQ(vm_plain.run(1ull << 30), vm::RunState::Done);
+
+  fpm::FpmRuntime fpm;
+  vm::Interp vm_inst(instrumented, 0, vm::InterpConfig{});
+  vm_inst.set_fpm(&fpm);
+  ASSERT_EQ(vm_inst.run(1ull << 30), vm::RunState::Done);
+
+  ASSERT_EQ(vm_plain.outputs().size(), vm_inst.outputs().size());
+  for (std::size_t i = 0; i < vm_plain.outputs().size(); ++i) {
+    EXPECT_EQ(vm::bits_of(vm_plain.outputs()[i]),
+              vm::bits_of(vm_inst.outputs()[i]))
+        << "output " << i;
+  }
+  EXPECT_TRUE(fpm.shadow().empty());
+  EXPECT_EQ(fpm.shadow().peak(), 0u);
+  EXPECT_EQ(fpm.stats().stores_divergent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, DualChainEquivalence,
+    ::testing::Values(
+        // arithmetic + loops
+        R"(fn main() {
+          var s: float = 0.0;
+          for (var i: int = 0; i < 50; i = i + 1) { s = s + float(i) * 0.5; }
+          output_f(s);
+        })",
+        // arrays + functions
+        R"(fn norm(a: float*, n: int) -> float {
+          var s: float = 0.0;
+          for (var i: int = 0; i < n; i = i + 1) { s = s + a[i] * a[i]; }
+          return sqrt(s);
+        }
+        fn main() {
+          var a: float* = alloc_float(10);
+          for (var i: int = 0; i < 10; i = i + 1) { a[i] = float(i); }
+          output_f(norm(a, 10));
+        })",
+        // recursion + conditionals
+        R"(fn fib(n: int) -> int {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { output_i(fib(10)); })",
+        // randomness + math intrinsics
+        R"(fn main() {
+          var s: float = 0.0;
+          for (var i: int = 0; i < 20; i = i + 1) {
+            s = s + sin(rand01()) + cos(rand01());
+          }
+          output_f(s);
+        })",
+        // integer bit manipulation
+        R"(fn main() {
+          var h: int = 0;
+          for (var i: int = 1; i < 100; i = i + 1) {
+            h = (h * 31 + i) & 65535;
+            h = h ^ (h >> 3);
+          }
+          output_i(h);
+        })"));
+
+TEST(DualChainEquivalence, MatvecAppBitIdentical) {
+  // The Fig. 1 example app end-to-end.
+  const auto& spec = apps::get_app("matvec");
+  ir::Module plain = apps::compile_app(spec);
+  ir::Module inst = apps::compile_app(spec);
+  (void)instrument_module(inst);
+  vm::Interp a(plain, 0, vm::InterpConfig{});
+  fpm::FpmRuntime fpm;
+  vm::Interp b(inst, 0, vm::InterpConfig{});
+  b.set_fpm(&fpm);
+  ASSERT_EQ(a.run(1u << 28), vm::RunState::Done);
+  ASSERT_EQ(b.run(1u << 28), vm::RunState::Done);
+  EXPECT_EQ(a.outputs(), b.outputs());
+  EXPECT_TRUE(fpm.shadow().empty());
+}
+
+}  // namespace
+}  // namespace fprop::passes

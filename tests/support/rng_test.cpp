@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "fprop/support/rng.h"
+#include "fprop/support/stats.h"
+
+namespace fprop {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (from the SplitMix64 reference
+  // implementation).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(1234);
+  Xoshiro256 b(1234);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundIsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowIsUnbiased) {
+  // Chi-squared check over a small modulus that would show modulo bias.
+  Xoshiro256 rng(7);
+  Histogram h(0.0, 6.0, 6);
+  for (int i = 0; i < 60000; ++i) {
+    h.add(static_cast<double>(rng.next_below(6)));
+  }
+  const auto chi = chi_squared_uniform(h);
+  EXPECT_TRUE(chi.uniform_at_5pct) << "p=" << chi.p_value;
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  RunningStat rs;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    rs.add(d);
+  }
+  EXPECT_NEAR(rs.mean(), 0.5, 0.02);
+}
+
+TEST(DeriveSeed, IndependentStreams) {
+  // Streams derived from the same master seed must not collide.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(1, 3));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 2));
+}
+
+}  // namespace
+}  // namespace fprop

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fprop/support/error.h"
+#include "fprop/support/stats.h"
+
+namespace fprop {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat rs;
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValuesTrackMinMax) {
+  RunningStat rs;
+  rs.add(-3.0);
+  rs.add(1.0);
+  rs.add(-7.5);
+  EXPECT_DOUBLE_EQ(rs.min(), -7.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(50.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RejectsEmptyConfig) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), Error);
+}
+
+TEST(ChiSquared, UpperTailKnownValues) {
+  // chi2(x=3.84, dof=1) upper tail ~ 0.05; chi2(x=0) = 1.
+  EXPECT_NEAR(chi_squared_upper_tail(3.841, 1), 0.05, 0.001);
+  EXPECT_DOUBLE_EQ(chi_squared_upper_tail(0.0, 5), 1.0);
+  // Median of chi2(dof) ~ dof*(1-2/(9dof))^3; for dof=10 ~ 9.34.
+  EXPECT_NEAR(chi_squared_upper_tail(9.34, 10), 0.5, 0.01);
+  // Far tail.
+  EXPECT_LT(chi_squared_upper_tail(100.0, 5), 1e-15);
+}
+
+TEST(ChiSquared, UniformSamplesPass) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(static_cast<double>(i % 100) + 0.5);
+  }
+  const auto r = chi_squared_uniform(h);
+  EXPECT_TRUE(r.uniform_at_5pct);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);  // perfectly uniform
+}
+
+TEST(ChiSquared, SkewedSamplesFail) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(1.0);  // everything in one bin
+  for (int i = 0; i < 100; ++i) h.add(5.0);
+  const auto r = chi_squared_uniform(h);
+  EXPECT_FALSE(r.uniform_at_5pct);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  std::vector<double> yn{-2, -4, -6, -8, -10};
+  EXPECT_NEAR(pearson_correlation(x, yn), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Quantile, Interpolation) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Quantile, SingleElement) {
+  std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.7), 42.0);
+}
+
+}  // namespace
+}  // namespace fprop

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fprop/support/error.h"
+#include "fprop/support/table.h"
+
+namespace fprop {
+namespace {
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|   name | value |"), std::string::npos);
+  EXPECT_NE(s.find("|      a |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| longer |    22 |"), std::string::npos);
+}
+
+TEST(TableWriter, RowWidthChecked) {
+  TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableWriter, EmptyHeaderRejected) {
+  EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(TableWriter, ValueRowFormatting) {
+  TableWriter t({"x", "y"});
+  const std::vector<double> vals{1.23456, 2.0};
+  t.add_row_values(vals, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_NE(t.to_string().find("2.00"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::vector<std::string> labels{"a", "bb"};
+  const std::vector<double> values{50.0, 100.0};
+  const std::string s = render_bar_chart(labels, values, 100.0, 10);
+  // 50% -> 5 hashes, 100% -> 10 hashes.
+  EXPECT_NE(s.find("a  |#####     |"), std::string::npos);
+  EXPECT_NE(s.find("bb |##########|"), std::string::npos);
+}
+
+TEST(BarChart, ClampsOverflow) {
+  const std::vector<std::string> labels{"x"};
+  const std::vector<double> values{250.0};
+  const std::string s = render_bar_chart(labels, values, 100.0, 10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(RenderSeries, EmptyAndBasic) {
+  EXPECT_NE(render_series({}, {}).find("empty"), std::string::npos);
+  const std::vector<double> xs{0, 1, 2, 3};
+  const std::vector<double> ys{0, 1, 2, 3};
+  const std::string s = render_series(xs, ys, 20, 5);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("virtual time"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace fprop

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fprop/ir/builder.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::vm {
+namespace {
+
+using ir::Opcode;
+using ir::Reg;
+
+// Builds main() { output(op(a, b)); } and returns the single output bits.
+std::uint64_t eval_binop(Opcode op, std::uint64_t a_bits,
+                         std::uint64_t b_bits, Trap expect = Trap::None) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const ir::Type opt = ir::opcode_operand_type(op);
+  const Reg ra = f.add_reg(opt);
+  const Reg rb = f.add_reg(opt);
+  const Reg out = b.binop(op, ra, rb);
+  b.intrinsic(ir::opcode_result_type(op) == ir::Type::F64
+                  ? ir::IntrinsicId::OutputF
+                  : ir::IntrinsicId::OutputI,
+              {out});
+  b.ret();
+  ir::verify(m);
+  Interp interp(m, 0, InterpConfig{});
+  // Pre-set the operand registers by injecting constants via a tiny hack:
+  // rebuild with constants instead.
+  (void)interp;
+  // Simpler: rebuild the function with constants.
+  ir::Module m2;
+  ir::Function& f2 = m2.add_function("main", ir::Type::Void);
+  m2.entry = f2.id;
+  ir::Builder b2(f2);
+  Reg ca;
+  Reg cb;
+  if (opt == ir::Type::F64) {
+    ca = b2.const_f(double_of(a_bits));
+    cb = b2.const_f(double_of(b_bits));
+  } else {
+    ca = b2.const_i(static_cast<std::int64_t>(a_bits));
+    cb = b2.const_i(static_cast<std::int64_t>(b_bits));
+  }
+  const Reg out2 = b2.binop(op, ca, cb);
+  const bool fres = ir::opcode_result_type(op) == ir::Type::F64;
+  b2.intrinsic(fres ? ir::IntrinsicId::OutputF : ir::IntrinsicId::OutputI,
+               {out2});
+  b2.ret();
+  ir::verify(m2);
+  Interp vm2(m2, 0, InterpConfig{});
+  const RunState rs = vm2.run(1000);
+  if (expect != Trap::None) {
+    EXPECT_EQ(rs, RunState::Trapped);
+    EXPECT_EQ(vm2.trap(), expect);
+    return 0;
+  }
+  EXPECT_EQ(rs, RunState::Done);
+  EXPECT_EQ(vm2.outputs().size(), 1u);
+  const double v = vm2.outputs()[0];
+  return fres ? bits_of(v) : static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(v));
+}
+
+TEST(VmArith, SignedOverflowWraps) {
+  const auto max = static_cast<std::uint64_t>(
+      std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(static_cast<std::int64_t>(eval_binop(Opcode::AddI, max, 1)),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(VmArith, DivisionEdgeCases) {
+  const auto min_i = static_cast<std::uint64_t>(
+      std::numeric_limits<std::int64_t>::min());
+  // INT64_MIN / -1 wraps instead of faulting (documented VM semantics).
+  EXPECT_EQ(eval_binop(Opcode::DivI, min_i, static_cast<std::uint64_t>(-1)),
+            min_i);
+  EXPECT_EQ(static_cast<std::int64_t>(eval_binop(
+                Opcode::RemI, min_i, static_cast<std::uint64_t>(-1))),
+            0);
+  eval_binop(Opcode::DivI, 5, 0, Trap::DivByZero);
+  eval_binop(Opcode::RemI, 5, 0, Trap::DivByZero);
+}
+
+TEST(VmArith, ShiftCountsMasked) {
+  EXPECT_EQ(eval_binop(Opcode::ShlI, 1, 64), 1u);  // 64 & 63 == 0
+  EXPECT_EQ(eval_binop(Opcode::ShlI, 1, 65), 2u);
+  EXPECT_EQ(eval_binop(Opcode::ShrI, 8, 67), 1u);
+}
+
+TEST(VmArith, ShrIsLogical) {
+  // INT64_MIN >> 1 logically is 2^62 (arithmetic shift would keep the sign
+  // bit). 2^62 is exactly representable through the output channel.
+  const auto min_i = static_cast<std::uint64_t>(
+      std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(eval_binop(Opcode::ShrI, min_i, 1), 1ull << 62);
+}
+
+TEST(VmArith, FloatSpecialValues) {
+  const std::uint64_t inf = bits_of(HUGE_VAL);
+  const std::uint64_t one = bits_of(1.0);
+  EXPECT_TRUE(std::isnan(double_of(eval_binop(Opcode::SubF, inf, inf))));
+  EXPECT_TRUE(std::isinf(double_of(eval_binop(Opcode::AddF, inf, one))));
+  // NaN compares false with everything.
+  const std::uint64_t nan = bits_of(std::nan(""));
+  EXPECT_EQ(eval_binop(Opcode::EqF, nan, nan), 0u);
+  EXPECT_EQ(eval_binop(Opcode::LtF, nan, one), 0u);
+  EXPECT_EQ(eval_binop(Opcode::NeF, nan, nan), 1u);
+}
+
+// The output channel stores i64 as double, so expectations are phrased as
+// the double image of the expected integer.
+double eval_f2i(double v) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const Reg c = b.const_f(v);
+  const Reg out = b.f2i(c);
+  b.intrinsic(ir::IntrinsicId::OutputI, {out});
+  b.ret();
+  Interp vm(m, 0, InterpConfig{});
+  EXPECT_EQ(vm.run(100), RunState::Done);
+  return vm.outputs()[0];
+}
+
+TEST(VmArith, F2ITruncationSemantics) {
+  EXPECT_EQ(eval_f2i(3.99), 3.0);
+  EXPECT_EQ(eval_f2i(-3.99), -3.0);
+  // NaN / out-of-range follow x86 cvttsd2si: saturate, no trap.
+  const double min_d =
+      static_cast<double>(std::numeric_limits<std::int64_t>::min());
+  const double max_d =
+      static_cast<double>(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(eval_f2i(std::nan("")), min_d);
+  EXPECT_EQ(eval_f2i(1e30), max_d);
+  EXPECT_EQ(eval_f2i(-1e30), min_d);
+}
+
+TEST(VmMemory, GuardPageAndAlignment) {
+  AddressSpace mem(1024);
+  EXPECT_EQ(mem.alloc_words(4), AddressSpace::kBase);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(mem.load(0, v));                        // null
+  EXPECT_FALSE(mem.load(AddressSpace::kBase - 8, v));  // guard
+  EXPECT_FALSE(mem.load(AddressSpace::kBase + 1, v));  // unaligned
+  EXPECT_FALSE(mem.load(AddressSpace::kBase + 4 * 8, v));  // past the end
+  EXPECT_TRUE(mem.store(AddressSpace::kBase + 8, 42));
+  EXPECT_TRUE(mem.load(AddressSpace::kBase + 8, v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(VmMemory, ZeroInitialized) {
+  AddressSpace mem(16);
+  const std::uint64_t addr = mem.alloc_words(16);
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 1;
+    EXPECT_TRUE(mem.load(addr + 8 * static_cast<std::uint64_t>(i), v));
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(VmMemory, CapacityEnforced) {
+  AddressSpace mem(8);
+  EXPECT_NE(mem.alloc_words(8), 0u);
+  EXPECT_EQ(mem.alloc_words(1), 0u);  // full
+  // Overflow-safe: a huge request must not wrap.
+  AddressSpace mem2(8);
+  EXPECT_EQ(mem2.alloc_words(~0ull), 0u);
+}
+
+TEST(VmInterp, CycleBudgetTrapsAsHang) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const ir::BlockId loop = b.new_block();
+  b.jmp(loop);
+  b.set_insert_point(loop);
+  b.jmp(loop);  // while(true){}
+  InterpConfig cfg;
+  cfg.cycle_budget = 1000;
+  Interp vm(m, 0, cfg);
+  EXPECT_EQ(vm.run(1u << 20), RunState::Trapped);
+  EXPECT_EQ(vm.trap(), Trap::CycleBudget);
+  EXPECT_LE(vm.cycles(), 1001u);
+}
+
+TEST(VmInterp, RunIsResumable) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  for (int i = 0; i < 100; ++i) (void)b.const_i(i);
+  b.ret();
+  Interp vm(m, 0, InterpConfig{});
+  EXPECT_EQ(vm.run(10), RunState::Ready);
+  EXPECT_EQ(vm.cycles(), 10u);
+  EXPECT_EQ(vm.run(1000), RunState::Done);
+  // Terminal states stay terminal.
+  EXPECT_EQ(vm.run(1000), RunState::Done);
+}
+
+TEST(VmInterp, ForceTrapKillsRank) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const ir::BlockId loop = b.new_block();
+  b.jmp(loop);
+  b.set_insert_point(loop);
+  b.jmp(loop);
+  Interp vm(m, 0, InterpConfig{});
+  vm.run(50);
+  vm.force_trap(Trap::Killed);
+  EXPECT_EQ(vm.state(), RunState::Trapped);
+  EXPECT_EQ(vm.trap(), Trap::Killed);
+  EXPECT_EQ(vm.run(50), RunState::Trapped);  // does not resurrect
+}
+
+TEST(VmInterp, RankRngStreamsDiffer) {
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const Reg r = b.intrinsic(ir::IntrinsicId::Rand01, {});
+  b.intrinsic(ir::IntrinsicId::OutputF, {r});
+  b.ret();
+  Interp vm0(m, 0, InterpConfig{});
+  Interp vm1(m, 1, InterpConfig{});
+  vm0.run(100);
+  vm1.run(100);
+  EXPECT_NE(vm0.outputs()[0], vm1.outputs()[0]);
+}
+
+TEST(VmInterp, BitsRoundTrip) {
+  for (double v : {0.0, -0.0, 1.5, -3.25, 1e300, -1e-300}) {
+    EXPECT_EQ(double_of(bits_of(v)), v);
+  }
+  EXPECT_TRUE(std::isnan(double_of(bits_of(std::nan("")))));
+}
+
+TEST(VmInterp, TrapNames) {
+  EXPECT_STREQ(trap_name(Trap::None), "none");
+  EXPECT_STREQ(trap_name(Trap::BadAccess), "bad-access");
+  EXPECT_STREQ(trap_name(Trap::CycleBudget), "cycle-budget");
+  EXPECT_STREQ(trap_name(Trap::Deadlock), "deadlock");
+}
+
+}  // namespace
+}  // namespace fprop::vm

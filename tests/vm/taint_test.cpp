@@ -1,0 +1,158 @@
+// Naive taint propagation (fpm/taint.h): semantics of the §3.2 strawman and
+// its defining failure — it cannot observe masking, so Table 1 row 4 stays
+// "contaminated" under taint while the dual chain proves it clean.
+
+#include <gtest/gtest.h>
+
+#include "fprop/fpm/taint.h"
+#include "fprop/inject/injector.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop {
+namespace {
+
+struct TaintRun {
+  std::size_t taint_peak = 0;
+  std::size_t taint_final = 0;
+  std::vector<double> outputs;
+};
+
+TaintRun run_taint(const std::string& src, const inject::InjectionPlan& plan) {
+  ir::Module m = minic::compile(src);
+  (void)passes::run_fault_injection_pass(m);
+  ir::verify(m);
+  inject::InjectorRuntime inj(plan);
+  fpm::TaintRuntime taint;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_taint(&taint);
+  EXPECT_EQ(vm.run(1u << 26), vm::RunState::Done);
+  return {taint.peak(), taint.size(), vm.outputs()};
+}
+
+TEST(TaintRuntime, LocationBits) {
+  fpm::TaintRuntime t;
+  EXPECT_FALSE(t.location(800));
+  t.set_location(800, true);
+  EXPECT_TRUE(t.location(800));
+  EXPECT_EQ(t.size(), 1u);
+  t.set_location(800, false);
+  EXPECT_FALSE(t.location(800));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.peak(), 1u);
+  t.set_range(0, 80, true);
+  EXPECT_EQ(t.size(), 10u);
+  t.set_range(0, 80, false);
+  EXPECT_TRUE(t.size() == 0u);
+}
+
+TEST(TaintMode, FaultFreeRunStaysClean) {
+  const TaintRun r = run_taint(R"(
+fn main() {
+  var a: float* = alloc_float(4);
+  a[0] = 1.5;
+  a[1] = a[0] * 2.0;
+  output_f(a[1]);
+}
+)",
+                               inject::InjectionPlan{});
+  EXPECT_EQ(r.taint_peak, 0u);
+}
+
+TEST(TaintMode, InjectedFaultTaintsStores) {
+  const TaintRun r = run_taint(R"(
+fn main() {
+  var m: int* = alloc_int(2);
+  var base: int = 19;
+  m[0] = base + 0;
+  m[1] = m[0] + 5;
+  output_i(m[1]);
+}
+)",
+                               inject::InjectionPlan::single(0, 1, 1));
+  // The add result is tainted, and so is everything downstream.
+  EXPECT_GE(r.taint_peak, 1u);
+  EXPECT_EQ(r.outputs[0], 22.0);
+}
+
+TEST(TaintMode, CannotSeeMaskingUnlikeDualChain) {
+  // Table 1 row 4: a = 19 flipped to 17, b = a >> 2 = 4 either way.
+  const char* src = R"(
+fn main() {
+  var m: int* = alloc_int(2);
+  var base: int = 19;
+  m[0] = base + 0;
+  m[1] = m[0] >> 2;
+  output_i(m[1]);
+}
+)";
+  const auto plan = inject::InjectionPlan::single(0, 1, 1);
+
+  // Naive taint: flags the location even though the value is correct.
+  const TaintRun naive = run_taint(src, plan);
+  EXPECT_EQ(naive.outputs[0], 4.0);
+  EXPECT_GE(naive.taint_final, 1u) << "taint cannot observe masking";
+
+  // Dual chain: proves the store matched its pristine value.
+  ir::Module m = minic::compile(src);
+  (void)passes::instrument_module(m);
+  inject::InjectorRuntime inj(plan);
+  fpm::FpmRuntime fpm;
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  vm.set_fpm(&fpm);
+  ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
+  EXPECT_EQ(fpm.shadow().peak(), 0u);
+}
+
+TEST(TaintMode, FlowsThroughFunctionCalls) {
+  const TaintRun r = run_taint(R"(
+fn square(x: float) -> float { return x * x; }
+fn main() {
+  var a: float* = alloc_float(2);
+  var v: float = 1.5;
+  a[0] = v + 0.5;          // injection lands on v here (dyn 0)
+  a[1] = square(a[0]);     // taint must survive the call
+  output_f(a[1]);
+}
+)",
+                               inject::InjectionPlan::single(0, 0, 40));
+  EXPECT_GE(r.taint_peak, 2u);  // both a[0] and a[1]
+}
+
+TEST(TaintMode, OverwriteWithCleanValueClears) {
+  const TaintRun r = run_taint(R"(
+fn main() {
+  var a: float* = alloc_float(1);
+  var v: float = 1.5;
+  a[0] = v * 2.0;    // tainted by the injected flip (dyn 0)
+  a[0] = 7.0;        // clean constant store clears the word
+  output_f(a[0]);
+}
+)",
+                               inject::InjectionPlan::single(0, 0, 30));
+  EXPECT_GE(r.taint_peak, 1u);
+  EXPECT_EQ(r.taint_final, 0u);
+  EXPECT_EQ(r.outputs[0], 7.0);
+}
+
+TEST(TaintMode, LoadsPickUpLocationTaint) {
+  const TaintRun r = run_taint(R"(
+fn main() {
+  var a: float* = alloc_float(3);
+  var v: float = 1.0;
+  a[0] = v + 1.0;        // tainted store (dyn 0)
+  a[1] = a[0] * 3.0;     // load of tainted word -> tainted result
+  a[2] = a[1] + 1.0;
+  output_f(a[2]);
+}
+)",
+                               inject::InjectionPlan::single(0, 0, 20));
+  EXPECT_GE(r.taint_peak, 3u);
+}
+
+}  // namespace
+}  // namespace fprop
