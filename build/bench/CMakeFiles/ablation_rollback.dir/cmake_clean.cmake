@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rollback.dir/ablation_rollback.cpp.o"
+  "CMakeFiles/ablation_rollback.dir/ablation_rollback.cpp.o.d"
+  "ablation_rollback"
+  "ablation_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

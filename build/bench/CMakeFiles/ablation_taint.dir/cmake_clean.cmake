@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_taint.dir/ablation_taint.cpp.o"
+  "CMakeFiles/ablation_taint.dir/ablation_taint.cpp.o.d"
+  "ablation_taint"
+  "ablation_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

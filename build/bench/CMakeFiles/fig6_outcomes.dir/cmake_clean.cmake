@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_outcomes.dir/fig6_outcomes.cpp.o"
+  "CMakeFiles/fig6_outcomes.dir/fig6_outcomes.cpp.o.d"
+  "fig6_outcomes"
+  "fig6_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

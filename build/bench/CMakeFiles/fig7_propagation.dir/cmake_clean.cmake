@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_propagation.dir/fig7_propagation.cpp.o"
+  "CMakeFiles/fig7_propagation.dir/fig7_propagation.cpp.o.d"
+  "fig7_propagation"
+  "fig7_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

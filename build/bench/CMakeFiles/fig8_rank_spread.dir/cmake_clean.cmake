@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rank_spread.dir/fig8_rank_spread.cpp.o"
+  "CMakeFiles/fig8_rank_spread.dir/fig8_rank_spread.cpp.o.d"
+  "fig8_rank_spread"
+  "fig8_rank_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rank_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_shadowtable.dir/perf_shadowtable.cpp.o"
+  "CMakeFiles/perf_shadowtable.dir/perf_shadowtable.cpp.o.d"
+  "perf_shadowtable"
+  "perf_shadowtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_shadowtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_vm.dir/perf_vm.cpp.o"
+  "CMakeFiles/perf_vm.dir/perf_vm.cpp.o.d"
+  "perf_vm"
+  "perf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

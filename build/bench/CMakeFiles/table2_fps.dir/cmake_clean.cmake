@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fps.dir/table2_fps.cpp.o"
+  "CMakeFiles/table2_fps.dir/table2_fps.cpp.o.d"
+  "table2_fps"
+  "table2_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_rank.dir/cross_rank.cpp.o"
+  "CMakeFiles/cross_rank.dir/cross_rank.cpp.o.d"
+  "cross_rank"
+  "cross_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

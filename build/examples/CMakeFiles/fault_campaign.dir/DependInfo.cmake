@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fault_campaign.cpp" "examples/CMakeFiles/fault_campaign.dir/fault_campaign.cpp.o" "gcc" "examples/CMakeFiles/fault_campaign.dir/fault_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fprop_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/fprop_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/fprop_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/fprop_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/fprop_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fprop_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpm/CMakeFiles/fprop_fpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fprop_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/fprop_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fprop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fprop_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amg.cpp" "src/apps/CMakeFiles/fprop_apps.dir/amg.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/amg.cpp.o.d"
+  "/root/repo/src/apps/lammps.cpp" "src/apps/CMakeFiles/fprop_apps.dir/lammps.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/lammps.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/fprop_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/matvec.cpp" "src/apps/CMakeFiles/fprop_apps.dir/matvec.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/matvec.cpp.o.d"
+  "/root/repo/src/apps/mcb.cpp" "src/apps/CMakeFiles/fprop_apps.dir/mcb.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/mcb.cpp.o.d"
+  "/root/repo/src/apps/minife.cpp" "src/apps/CMakeFiles/fprop_apps.dir/minife.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/minife.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/fprop_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/fprop_apps.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minic/CMakeFiles/fprop_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fprop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fprop_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

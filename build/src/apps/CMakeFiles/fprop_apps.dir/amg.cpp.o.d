@@ -1,0 +1,2 @@
+src/apps/CMakeFiles/fprop_apps.dir/amg.cpp.o: /root/repo/src/apps/amg.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/apps/app_sources.h

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_apps.dir/amg.cpp.o"
+  "CMakeFiles/fprop_apps.dir/amg.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/lammps.cpp.o"
+  "CMakeFiles/fprop_apps.dir/lammps.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/fprop_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/matvec.cpp.o"
+  "CMakeFiles/fprop_apps.dir/matvec.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/mcb.cpp.o"
+  "CMakeFiles/fprop_apps.dir/mcb.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/minife.cpp.o"
+  "CMakeFiles/fprop_apps.dir/minife.cpp.o.d"
+  "CMakeFiles/fprop_apps.dir/registry.cpp.o"
+  "CMakeFiles/fprop_apps.dir/registry.cpp.o.d"
+  "libfprop_apps.a"
+  "libfprop_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/apps/CMakeFiles/fprop_apps.dir/lammps.cpp.o: \
+ /root/repo/src/apps/lammps.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/apps/app_sources.h

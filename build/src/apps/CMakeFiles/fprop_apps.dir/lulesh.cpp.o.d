@@ -1,0 +1,3 @@
+src/apps/CMakeFiles/fprop_apps.dir/lulesh.cpp.o: \
+ /root/repo/src/apps/lulesh.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/apps/app_sources.h

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpm/message.cpp" "src/fpm/CMakeFiles/fprop_fpm.dir/message.cpp.o" "gcc" "src/fpm/CMakeFiles/fprop_fpm.dir/message.cpp.o.d"
+  "/root/repo/src/fpm/runtime.cpp" "src/fpm/CMakeFiles/fprop_fpm.dir/runtime.cpp.o" "gcc" "src/fpm/CMakeFiles/fprop_fpm.dir/runtime.cpp.o.d"
+  "/root/repo/src/fpm/shadow_table.cpp" "src/fpm/CMakeFiles/fprop_fpm.dir/shadow_table.cpp.o" "gcc" "src/fpm/CMakeFiles/fprop_fpm.dir/shadow_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fprop_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

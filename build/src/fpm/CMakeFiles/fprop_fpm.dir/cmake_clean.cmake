@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_fpm.dir/message.cpp.o"
+  "CMakeFiles/fprop_fpm.dir/message.cpp.o.d"
+  "CMakeFiles/fprop_fpm.dir/runtime.cpp.o"
+  "CMakeFiles/fprop_fpm.dir/runtime.cpp.o.d"
+  "CMakeFiles/fprop_fpm.dir/shadow_table.cpp.o"
+  "CMakeFiles/fprop_fpm.dir/shadow_table.cpp.o.d"
+  "libfprop_fpm.a"
+  "libfprop_fpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fprop_fpm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_harness.dir/harness.cpp.o"
+  "CMakeFiles/fprop_harness.dir/harness.cpp.o.d"
+  "libfprop_harness.a"
+  "libfprop_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/injector.cpp" "src/inject/CMakeFiles/fprop_inject.dir/injector.cpp.o" "gcc" "src/inject/CMakeFiles/fprop_inject.dir/injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/fprop_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fprop_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fprop_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpm/CMakeFiles/fprop_fpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_inject.dir/injector.cpp.o"
+  "CMakeFiles/fprop_inject.dir/injector.cpp.o.d"
+  "libfprop_inject.a"
+  "libfprop_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

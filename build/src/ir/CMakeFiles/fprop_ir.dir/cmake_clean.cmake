@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_ir.dir/builder.cpp.o"
+  "CMakeFiles/fprop_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/fprop_ir.dir/ir.cpp.o"
+  "CMakeFiles/fprop_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/fprop_ir.dir/printer.cpp.o"
+  "CMakeFiles/fprop_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/fprop_ir.dir/verifier.cpp.o"
+  "CMakeFiles/fprop_ir.dir/verifier.cpp.o.d"
+  "libfprop_ir.a"
+  "libfprop_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfprop_ir.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_minic.dir/codegen.cpp.o"
+  "CMakeFiles/fprop_minic.dir/codegen.cpp.o.d"
+  "CMakeFiles/fprop_minic.dir/lexer.cpp.o"
+  "CMakeFiles/fprop_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/fprop_minic.dir/parser.cpp.o"
+  "CMakeFiles/fprop_minic.dir/parser.cpp.o.d"
+  "libfprop_minic.a"
+  "libfprop_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_model.dir/propagation_model.cpp.o"
+  "CMakeFiles/fprop_model.dir/propagation_model.cpp.o.d"
+  "CMakeFiles/fprop_model.dir/rollback_sim.cpp.o"
+  "CMakeFiles/fprop_model.dir/rollback_sim.cpp.o.d"
+  "libfprop_model.a"
+  "libfprop_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_mpisim.dir/world.cpp.o"
+  "CMakeFiles/fprop_mpisim.dir/world.cpp.o.d"
+  "libfprop_mpisim.a"
+  "libfprop_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

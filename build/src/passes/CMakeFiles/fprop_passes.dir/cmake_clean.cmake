@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_passes.dir/passes.cpp.o"
+  "CMakeFiles/fprop_passes.dir/passes.cpp.o.d"
+  "libfprop_passes.a"
+  "libfprop_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

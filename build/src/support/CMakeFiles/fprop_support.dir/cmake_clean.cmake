@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_support.dir/error.cpp.o"
+  "CMakeFiles/fprop_support.dir/error.cpp.o.d"
+  "CMakeFiles/fprop_support.dir/stats.cpp.o"
+  "CMakeFiles/fprop_support.dir/stats.cpp.o.d"
+  "CMakeFiles/fprop_support.dir/table.cpp.o"
+  "CMakeFiles/fprop_support.dir/table.cpp.o.d"
+  "libfprop_support.a"
+  "libfprop_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

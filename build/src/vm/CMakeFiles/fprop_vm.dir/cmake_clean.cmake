@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fprop_vm.dir/interp.cpp.o"
+  "CMakeFiles/fprop_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/fprop_vm.dir/memory.cpp.o"
+  "CMakeFiles/fprop_vm.dir/memory.cpp.o.d"
+  "libfprop_vm.a"
+  "libfprop_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fprop_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

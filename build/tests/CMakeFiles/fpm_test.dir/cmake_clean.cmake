@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpm_test.dir/fpm/runtime_test.cpp.o"
+  "CMakeFiles/fpm_test.dir/fpm/runtime_test.cpp.o.d"
+  "CMakeFiles/fpm_test.dir/fpm/shadow_table_test.cpp.o"
+  "CMakeFiles/fpm_test.dir/fpm/shadow_table_test.cpp.o.d"
+  "fpm_test"
+  "fpm_test.pdb"
+  "fpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

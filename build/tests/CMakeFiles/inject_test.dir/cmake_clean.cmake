@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_test.dir/inject/injector_test.cpp.o"
+  "CMakeFiles/inject_test.dir/inject/injector_test.cpp.o.d"
+  "inject_test"
+  "inject_test.pdb"
+  "inject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
