@@ -83,6 +83,23 @@ class FpmRuntime {
 
   std::uint64_t sample_period() const noexcept { return sample_period_; }
 
+  /// Complete bookkeeping state (shadow table incl. its peak, stats, trace,
+  /// sampling cursor). The sample period is configuration and not captured.
+  struct Snapshot {
+    ShadowTable shadow;
+    FpmStats stats;
+    std::vector<TraceSample> trace;
+    std::uint64_t next_sample = 0;
+  };
+
+  Snapshot snapshot() const { return {shadow_, stats_, trace_, next_sample_}; }
+  void restore(const Snapshot& snap) {
+    shadow_ = snap.shadow;
+    stats_ = snap.stats;
+    trace_ = snap.trace;
+    next_sample_ = snap.next_sample;
+  }
+
  private:
   ShadowTable shadow_;
   FpmStats stats_;

@@ -23,6 +23,7 @@
 #include "fprop/inject/injector.h"
 #include "fprop/mpisim/world.h"
 #include "fprop/passes/passes.h"
+#include "fprop/recovery/recovery.h"
 
 namespace fprop::harness {
 
@@ -53,6 +54,11 @@ struct ExperimentConfig {
   std::uint64_t rng_seed = 0x5eedf00d;       ///< app rand01() streams
   double budget_factor = 8.0;  ///< trial cycle budget = golden x factor
   ClassifierConfig classifier;
+  /// Detector-driven checkpoint/restart (off by default). When
+  /// `recovery.enabled`, run_trial drives the job through
+  /// recovery::RecoveryManager; a zero detector_interval / expected_cycles
+  /// is derived from the golden run.
+  recovery::RecoveryConfig recovery;
 };
 
 /// Fault-free reference execution; doubles as the LLFI++ profiling run that
@@ -82,6 +88,16 @@ struct TrialResult {
   std::vector<fpm::TraceSample> trace;
   /// Per-rank first-contamination times on the global clock (Fig. 8).
   std::vector<std::optional<std::uint64_t>> rank_first_contaminated;
+
+  // --- recovery campaigns (ExperimentConfig::recovery.enabled) -------------
+  /// Rolled back at least once AND still finished with correct output —
+  /// the trial the recovery subsystem actually saved.
+  bool recovered = false;
+  std::size_t rollbacks = 0;
+  std::size_t detections = 0;
+  std::uint64_t wasted_cycles = 0;    ///< re-executed global cycles
+  std::uint64_t residual_cml = 0;     ///< contamination carried to the end
+  bool recovery_gave_up = false;      ///< retry budget exhausted
 };
 
 class AppHarness {
@@ -152,6 +168,11 @@ struct CampaignResult {
   std::vector<TrialResult> trials;  ///< traces stripped beyond the kept ones
   std::vector<double> slopes;       ///< CML/cycle fit per usable trace
   std::vector<double> max_contaminated_pct;  ///< per trial (Fig. 7f)
+
+  // Recovery aggregates (zero unless the harness ran with recovery enabled).
+  std::size_t recovered_trials = 0;
+  std::size_t total_rollbacks = 0;
+  std::uint64_t total_wasted_cycles = 0;
 };
 
 /// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds

@@ -32,6 +32,12 @@ struct FaultRecord {
 struct InjectionPlan {
   std::map<std::uint32_t, std::vector<FaultRecord>> faults_by_rank;
 
+  /// Throws fprop::Error for `bit >= 64` — a flip outside any register.
+  /// Called by InjectorRuntime at construction; width-dependent validity
+  /// (e.g. bit 3 of an i1 site) is checked at injection time, where the
+  /// live value's width is known.
+  void validate() const;
+
   static InjectionPlan single(std::uint32_t rank, std::uint64_t dyn_index,
                               std::uint32_t bit);
   std::size_t total_faults() const noexcept;

@@ -76,52 +76,6 @@ struct JobResult {
 };
 
 class World final : public vm::MpiHook {
- public:
-  World(const ir::Module& module, WorldConfig config);
-  ~World() override;
-
-  World(const World&) = delete;
-  World& operator=(const World&) = delete;
-
-  /// Attaches the LLFI++ runtime to every rank (may be null to detach).
-  void set_inject_hook(vm::InjectHook* hook);
-
-  /// Runs the job to completion (all done, or teardown on trap/deadlock).
-  JobResult run();
-
-  std::uint32_t nranks() const noexcept;
-  vm::Interp& rank(std::uint32_t r);
-  fpm::FpmRuntime* fpm(std::uint32_t r);
-  std::uint64_t global_cycles() const noexcept { return global_clock_; }
-  /// Job-wide CML(t): (global cycle, sum of all ranks' shadow-table sizes).
-  const std::vector<fpm::TraceSample>& global_trace() const noexcept {
-    return global_trace_;
-  }
-
-  // --- vm::MpiHook ---------------------------------------------------------
-  std::int64_t rank_count() const override;
-  vm::MpiResult send_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
-                       std::uint64_t buf, std::int64_t count) override;
-  vm::MpiResult recv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
-                       std::uint64_t buf, std::int64_t count) override;
-  /// Non-blocking operations. Isend completes eagerly (buffered copy, like
-  /// MCB's boundary-particle sends); Irecv posts a request that is matched
-  /// lazily at mpi_wait. A corrupted request handle faults at wait.
-  vm::MpiResult isend_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
-                        std::uint64_t buf, std::int64_t count,
-                        std::int64_t* request) override;
-  vm::MpiResult irecv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
-                        std::uint64_t buf, std::int64_t count,
-                        std::int64_t* request) override;
-  vm::MpiResult wait(vm::Interp& self, std::int64_t request) override;
-  vm::MpiResult allreduce_f(vm::Interp& self, bool is_max,
-                            std::uint64_t sendbuf, std::uint64_t recvbuf,
-                            std::int64_t count) override;
-  vm::MpiResult bcast_f(vm::Interp& self, std::int64_t root, std::uint64_t buf,
-                        std::int64_t count) override;
-  vm::MpiResult barrier(vm::Interp& self) override;
-  void abort(vm::Interp& self, std::int64_t code) override;
-
  private:
   struct Message {
     std::int64_t src = 0;
@@ -161,6 +115,108 @@ class World final : public vm::MpiHook {
     bool failed = false;  ///< mismatched participation -> MPI error
   };
 
+ public:
+  World(const ir::Module& module, WorldConfig config);
+  ~World() override;
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Attaches the LLFI++ runtime to every rank (may be null to detach).
+  void set_inject_hook(vm::InjectHook* hook);
+
+  /// Runs the job to completion (all done, or teardown on trap/deadlock).
+  JobResult run();
+
+  // --- stepping API (recovery::RecoveryManager interleaves detection and
+  // --- checkpointing with execution through these) -------------------------
+
+  enum class StepStatus : std::uint8_t {
+    Running,     ///< at least one rank executed instructions; job continues
+    Done,        ///< every rank finished
+    Trapped,     ///< a rank trapped this sweep (see trapped_rank()); the job
+                 ///< has NOT been torn down yet — the caller decides
+    Deadlocked,  ///< full sweep with zero progress; no teardown applied yet
+  };
+
+  /// One round-robin scheduling pass over all live ranks. Between sweeps the
+  /// job is at a quiescent boundary: every rank sits at an instruction
+  /// boundary and all in-flight messages/collective epochs are fully
+  /// captured by World state — the coordinated-checkpoint point.
+  StepStatus sweep();
+  /// Offender of the last sweep() that returned Trapped.
+  std::uint32_t trapped_rank() const noexcept { return trapped_rank_; }
+  /// Tears the job down after an unrecovered trap: every other live rank
+  /// traps with `cause` (vm::Trap::Killed under real MPI semantics).
+  void kill_job(std::uint32_t offender, vm::Trap cause);
+  /// Declares the no-progress deadlock: all live ranks trap with Deadlock.
+  void declare_deadlock();
+  /// Assembles the job result from the current state (flushes the final
+  /// global trace sample; call once, after the job stopped).
+  JobResult collect();
+  /// Sum of all ranks' shadow-table sizes — the periodic detector's scan
+  /// signal (the paper's FPM store-check table).
+  std::uint64_t total_cml() const;
+
+  /// Coordinated checkpoint of the whole job, taken between sweeps. Holds
+  /// every rank's execution snapshot, FPM bookkeeping, in-flight messages,
+  /// request tables, collective epochs and the global clock/trace — enough
+  /// to restore bit-exact deterministic replay.
+  struct Checkpoint {
+    std::vector<vm::Interp::Snapshot> ranks;
+    std::vector<std::optional<fpm::FpmRuntime::Snapshot>> fpms;
+    std::vector<std::deque<Message>> mailboxes;
+    std::vector<std::vector<Request>> requests;
+    std::vector<std::uint64_t> coll_epoch;
+    std::deque<Collective> pending_colls;
+    std::uint64_t coll_base_epoch = 0;
+    bool aborted = false;
+    std::uint32_t abort_rank = 0;
+    std::uint64_t global_clock = 0;
+    std::vector<std::optional<std::uint64_t>> first_contaminated;
+    std::vector<fpm::TraceSample> global_trace;
+    std::uint64_t next_global_sample = 0;
+  };
+
+  Checkpoint checkpoint() const;
+  /// Rolls the whole job back to `ckpt` (same World only: the checkpoint
+  /// references this module's functions).
+  void restore(const Checkpoint& ckpt);
+
+  std::uint32_t nranks() const noexcept;
+  vm::Interp& rank(std::uint32_t r);
+  fpm::FpmRuntime* fpm(std::uint32_t r);
+  std::uint64_t global_cycles() const noexcept { return global_clock_; }
+  /// Job-wide CML(t): (global cycle, sum of all ranks' shadow-table sizes).
+  const std::vector<fpm::TraceSample>& global_trace() const noexcept {
+    return global_trace_;
+  }
+
+  // --- vm::MpiHook ---------------------------------------------------------
+  std::int64_t rank_count() const override;
+  vm::MpiResult send_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
+                       std::uint64_t buf, std::int64_t count) override;
+  vm::MpiResult recv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
+                       std::uint64_t buf, std::int64_t count) override;
+  /// Non-blocking operations. Isend completes eagerly (buffered copy, like
+  /// MCB's boundary-particle sends); Irecv posts a request that is matched
+  /// lazily at mpi_wait. A corrupted request handle faults at wait.
+  vm::MpiResult isend_f(vm::Interp& self, std::int64_t dest, std::int64_t tag,
+                        std::uint64_t buf, std::int64_t count,
+                        std::int64_t* request) override;
+  vm::MpiResult irecv_f(vm::Interp& self, std::int64_t src, std::int64_t tag,
+                        std::uint64_t buf, std::int64_t count,
+                        std::int64_t* request) override;
+  vm::MpiResult wait(vm::Interp& self, std::int64_t request) override;
+  vm::MpiResult allreduce_f(vm::Interp& self, bool is_max,
+                            std::uint64_t sendbuf, std::uint64_t recvbuf,
+                            std::int64_t count) override;
+  vm::MpiResult bcast_f(vm::Interp& self, std::int64_t root, std::uint64_t buf,
+                        std::int64_t count) override;
+  vm::MpiResult barrier(vm::Interp& self) override;
+  void abort(vm::Interp& self, std::int64_t code) override;
+
+ private:
   /// Registers `self` in the current collective epoch; returns Done once the
   /// operation has executed, Block while waiting, Fault on mismatch.
   vm::MpiResult join_collective(vm::Interp& self, CollKind kind,
@@ -187,6 +243,7 @@ class World final : public vm::MpiHook {
   std::uint64_t coll_base_epoch_ = 0;
   bool aborted_ = false;
   std::uint32_t abort_rank_ = 0;
+  std::uint32_t trapped_rank_ = 0;
   std::uint64_t global_clock_ = 0;
   std::vector<std::optional<std::uint64_t>> first_contaminated_;
   std::vector<fpm::TraceSample> global_trace_;

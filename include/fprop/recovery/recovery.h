@@ -1,0 +1,101 @@
+#pragma once
+
+// Detector-driven checkpoint/restart — the closed loop behind the paper's §5
+// rollback use case. model/rollback_sim replays a *recorded* CML(t) trace and
+// assumes a restore removes contamination; this subsystem exercises the real
+// mechanism instead:
+//
+//  * a periodic runtime detector scans every rank's shadow table (the FPM
+//    store-check signal the paper proposes) on a fixed global-cycle grid;
+//  * clean scans take a coordinated checkpoint of the whole job at a
+//    quiescent scheduler boundary (mpisim::World::Checkpoint), with bounded
+//    snapshot retention;
+//  * detections — contamination, a trap, or a deadlock — are decided by the
+//    three §5 policies (Always / Never / FpsModel via Eq. 3): restore the
+//    last clean checkpoint and re-execute, or keep running;
+//  * a rollback retry budget makes a rollback storm (e.g. a checkpoint that
+//    captured a corrupted register before it reached memory) degrade
+//    gracefully into a Crashed classification instead of a hang.
+//
+// Transient-fault semantics: the injector's dynamic counters live outside
+// the checkpoint, so a restored job re-executes *without* replaying the
+// flip — exactly the transient model rollback_sim assumes analytically.
+
+#include <cstdint>
+#include <deque>
+
+#include "fprop/model/rollback_sim.h"
+#include "fprop/mpisim/world.h"
+
+namespace fprop::recovery {
+
+struct RecoveryConfig {
+  /// Master switch (consumed by harness::ExperimentConfig).
+  bool enabled = false;
+  model::RollbackPolicy policy = model::RollbackPolicy::Always;
+  /// Global cycles between detector scans; checkpoints are taken at every
+  /// clean scan. 0 lets the harness derive a grid from the golden run.
+  std::uint64_t detector_interval = 100'000;
+  /// Application FPS factor (Table 2) feeding the FpsModel policy's Eq. 3.
+  double fps = 0.0;
+  /// Safe residual-contamination threshold (CML) for FpsModel.
+  double cml_threshold = 10.0;
+  /// Expected job length (global cycles) for Eq. 3's end-of-run prediction;
+  /// 0 lets the harness fill in the golden length.
+  std::uint64_t expected_cycles = 0;
+  /// Rollback retry budget: once spent, further detections tear the job
+  /// down (Crashed) instead of looping forever.
+  std::size_t max_rollbacks = 8;
+  /// Bounded snapshot retention: older clean checkpoints are dropped.
+  std::size_t max_retained = 2;
+};
+
+/// What the recovery subsystem did during one job.
+struct RecoveryReport {
+  std::size_t detections = 0;   ///< scans/traps that saw damage
+  std::size_t rollbacks = 0;    ///< restores actually performed
+  std::size_t checkpoints = 0;  ///< clean checkpoints taken (incl. initial)
+  std::uint64_t wasted_cycles = 0;  ///< re-executed global cycles, summed
+  std::uint64_t residual_cml = 0;   ///< contamination left at job end
+  /// Max CML the detector ever observed, *including* state rolled away by a
+  /// restore (the job-final peak alone underestimates what happened).
+  std::uint64_t peak_cml_seen = 0;
+  bool gave_up = false;  ///< budget exhausted; job was torn down
+  double predicted_final_cml = 0.0;  ///< last Eq. 3 prediction (FpsModel)
+};
+
+/// Drives a World to completion with the periodic detector, coordinated
+/// checkpoints and policy-decided rollbacks described above.
+class RecoveryManager {
+ public:
+  RecoveryManager(mpisim::World& world, RecoveryConfig config);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Runs the job to completion (or give-up teardown); call once.
+  mpisim::JobResult run();
+  const RecoveryReport& report() const noexcept { return report_; }
+
+ private:
+  /// Policy decision for one detection. Traps/deadlocks cannot be
+  /// "continued", so every policy except Never restores on them.
+  bool should_rollback(bool crashed, std::uint64_t now);
+  /// Restores the most recent clean checkpoint; false once the retry
+  /// budget is spent.
+  bool try_rollback(std::uint64_t now);
+  void take_checkpoint();
+  void advance_scan_grid(std::uint64_t now);
+
+  mpisim::World* world_;
+  RecoveryConfig config_;
+  RecoveryReport report_;
+  std::deque<mpisim::World::Checkpoint> retained_;
+  std::uint64_t last_ckpt_clock_ = 0;
+  std::uint64_t next_scan_ = 0;
+  /// A continue decision latches the detector off, mirroring the analytical
+  /// simulator (one detection, one decision, residual charged at the end).
+  bool detector_latched_ = false;
+};
+
+}  // namespace fprop::recovery

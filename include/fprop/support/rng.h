@@ -71,6 +71,13 @@ class Xoshiro256 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  /// Raw generator state, for checkpoint/restore. Restoring a saved state
+  /// resumes the stream exactly where it was captured (deterministic replay).
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -12,6 +12,7 @@
 //  * Cooperative blocking: MPI receive/collectives that cannot complete
 //    leave the PC in place and report Blocked; the scheduler resumes later.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -49,6 +50,17 @@ struct InterpConfig {
 };
 
 class Interp {
+ private:
+  struct Frame {
+    const ir::Function* func = nullptr;
+    ir::BlockId block = 0;
+    std::uint32_t ip = 0;
+    ir::Reg ret_dst = ir::kNoReg;   ///< caller register for result
+    ir::Reg ret_dst2 = ir::kNoReg;  ///< caller register for pristine result
+    std::vector<std::uint64_t> regs;
+    std::vector<std::uint8_t> taint;  ///< parallel taint bits (taint mode)
+  };
+
  public:
   Interp(const ir::Module& module, std::uint32_t rank, InterpConfig config);
 
@@ -86,17 +98,28 @@ class Interp {
   /// Kills the rank from outside (job teardown after another rank trapped).
   void force_trap(Trap t);
 
- private:
-  struct Frame {
-    const ir::Function* func = nullptr;
-    ir::BlockId block = 0;
-    std::uint32_t ip = 0;
-    ir::Reg ret_dst = ir::kNoReg;   ///< caller register for result
-    ir::Reg ret_dst2 = ir::kNoReg;  ///< caller register for pristine result
-    std::vector<std::uint64_t> regs;
-    std::vector<std::uint8_t> taint;  ///< parallel taint bits (taint mode)
+  /// Complete execution state of a rank at an instruction boundary: call
+  /// stack, registers, PC, RNG stream, emitted outputs and the full memory
+  /// image. Restoring a snapshot resumes bit-exactly (module and config are
+  /// identity, not state, and are not captured). Frames reference functions
+  /// of the module the interpreter was built with, so a snapshot must only
+  /// be restored into an interpreter over the same module.
+  struct Snapshot {
+    std::vector<Frame> frames;
+    RunState state = RunState::Ready;
+    Trap trap = Trap::None;
+    std::uint64_t cycles = 0;
+    std::array<std::uint64_t, 4> rng{};
+    std::vector<double> outputs;
+    std::int64_t reported_iters = -1;
+    std::int64_t abort_code = 0;
+    std::vector<std::uint64_t> memory_words;
   };
 
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+ private:
   /// Executes one instruction. Returns false when the rank stopped running
   /// (blocked, finished, or trapped).
   bool step();

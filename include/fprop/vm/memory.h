@@ -51,6 +51,15 @@ class AddressSpace {
   std::span<std::uint64_t> words() noexcept { return words_; }
   std::span<const std::uint64_t> words() const noexcept { return words_; }
 
+  /// Full-content copy for checkpointing (word storage only; capacity is
+  /// configuration, not state).
+  std::vector<std::uint64_t> save_words() const { return words_; }
+  /// Restores a checkpointed image: allocation watermark and every word
+  /// revert to the captured values.
+  void restore_words(const std::vector<std::uint64_t>& words) {
+    words_ = words;
+  }
+
   /// Byte address of word index i.
   static constexpr std::uint64_t addr_of(std::uint64_t word_index) noexcept {
     return kBase + word_index * 8;

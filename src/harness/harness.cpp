@@ -99,9 +99,30 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   inject::InjectorRuntime injector(plan);
   mpisim::World world(module_, world_config(capture_trace));
   world.set_inject_hook(&injector);
-  const mpisim::JobResult job = world.run();
 
   TrialResult t;
+  mpisim::JobResult job;
+  std::uint64_t rolled_away_peak = 0;  ///< CML peak erased by restores
+  if (config_.recovery.enabled) {
+    recovery::RecoveryConfig rc = config_.recovery;
+    if (rc.detector_interval == 0) {
+      rc.detector_interval =
+          std::max<std::uint64_t>(golden_.global_cycles / 16, 1);
+    }
+    if (rc.expected_cycles == 0) rc.expected_cycles = golden_.global_cycles;
+    recovery::RecoveryManager manager(world, rc);
+    job = manager.run();
+    const recovery::RecoveryReport& rep = manager.report();
+    t.rollbacks = rep.rollbacks;
+    t.detections = rep.detections;
+    t.wasted_cycles = rep.wasted_cycles;
+    t.residual_cml = rep.residual_cml;
+    t.recovery_gave_up = rep.gave_up;
+    rolled_away_peak = rep.peak_cml_seen;
+  } else {
+    job = world.run();
+  }
+
   t.trap = job.crashed ? job.first_trap : vm::Trap::None;
   t.injected = !injector.events().empty();
   if (t.injected) t.injection = injector.events().front();
@@ -115,7 +136,11 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   t.contaminated_ranks = job.contaminated_ranks();
   t.reported_iters = job.reported_iters();
   t.global_cycles = job.global_cycles;
-  t.outcome = classify(job, t.total_cml_peak > 0);
+  // A restore rewinds the shadow tables, so fold in the peak the detector
+  // observed before rollback: a recovered trial still "touched memory".
+  t.outcome = classify(job, std::max(t.total_cml_peak, rolled_away_peak) > 0);
+  t.recovered = t.rollbacks > 0 && t.outcome != Outcome::Crashed &&
+                t.outcome != Outcome::WrongOutput;
   if (capture_trace) {
     t.trace = world.global_trace();
     t.rank_first_contaminated.reserve(job.ranks.size());
@@ -185,6 +210,9 @@ CampaignResult run_campaign(const AppHarness& harness,
       case Outcome::Crashed: ++result.counts.crashed; break;
     }
     result.max_contaminated_pct.push_back(t.contaminated_pct);
+    if (t.recovered) ++result.recovered_trials;
+    result.total_rollbacks += t.rollbacks;
+    result.total_wasted_cycles += t.wasted_cycles;
 
     if (config.capture_traces && !t.trace.empty()) {
       // Fit the propagation slope while the trace is still in hand; the

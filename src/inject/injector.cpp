@@ -7,11 +7,24 @@
 
 namespace fprop::inject {
 
+void InjectionPlan::validate() const {
+  for (const auto& [rank, faults] : faults_by_rank) {
+    for (const FaultRecord& f : faults) {
+      if (f.bit >= 64) {
+        throw Error("injection plan: bit " + std::to_string(f.bit) +
+                    " on rank " + std::to_string(rank) +
+                    " is outside any 64-bit register");
+      }
+    }
+  }
+}
+
 InjectionPlan InjectionPlan::single(std::uint32_t rank,
                                     std::uint64_t dyn_index,
                                     std::uint32_t bit) {
   InjectionPlan p;
   p.faults_by_rank[rank].push_back({dyn_index, bit});
+  p.validate();
   return p;
 }
 
@@ -22,6 +35,7 @@ std::size_t InjectionPlan::total_faults() const noexcept {
 }
 
 InjectorRuntime::InjectorRuntime(InjectionPlan plan) {
+  plan.validate();
   for (auto& [rank, faults] : plan.faults_by_rank) {
     PerRank st;
     st.pending = std::move(faults);
@@ -48,11 +62,20 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
     return value;
   }
   const FaultRecord& rec = st.pending[st.next++];
-  // Flips land within the live value's type width (i1 registers have a
-  // single meaningful bit).
-  const std::uint32_t bit = rec.bit % (width == 0 ? 64 : width);
-  const std::uint64_t flipped = value ^ (1ull << bit);
-  events_.push_back({self.rank(), site_id, index, bit, self.cycles(),
+  // Flips must land within the live value's type width (i1 registers have a
+  // single meaningful bit): a plan that targets bit 3 of a boolean is a
+  // planning error, not a simulated fault — silently wrapping it would
+  // inject a different experiment than the one recorded in the plan.
+  const unsigned w = width == 0 ? 64 : width;
+  if (rec.bit >= w) {
+    throw Error("injection plan: bit " + std::to_string(rec.bit) +
+                " exceeds the " + std::to_string(w) +
+                "-bit width of the value at site " + std::to_string(site_id) +
+                " (rank " + std::to_string(self.rank()) + ", dynamic index " +
+                std::to_string(index) + ")");
+  }
+  const std::uint64_t flipped = value ^ (1ull << rec.bit);
+  events_.push_back({self.rank(), site_id, index, rec.bit, self.cycles(),
                      value, flipped});
   return flipped;
 }

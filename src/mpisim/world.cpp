@@ -367,53 +367,125 @@ void World::teardown(std::uint32_t offender, vm::Trap cause) {
   }
 }
 
-JobResult World::run() {
-  bool done = false;
-  while (!done) {
-    bool any_live = false;
-    bool progress = false;
-    std::optional<std::uint32_t> trapped_rank;
+void World::kill_job(std::uint32_t offender, vm::Trap cause) {
+  teardown(offender, cause);
+}
 
-    for (std::uint32_t r = 0; r < config_.nranks; ++r) {
-      auto& rk = *ranks_[r];
-      if (rk.state() == vm::RunState::Done ||
-          rk.state() == vm::RunState::Trapped) {
-        continue;
-      }
-      any_live = true;
-      const std::uint64_t c0 = rk.cycles();
-      rk.run(config_.slice);
-      const std::uint64_t dc = rk.cycles() - c0;
-      global_clock_ += dc;
-      if (dc > 0) progress = true;
-      note_contamination();
-      if (rk.state() == vm::RunState::Trapped) {
-        trapped_rank = r;
-        break;
-      }
-    }
+void World::declare_deadlock() {
+  for (auto& rk : ranks_) rk->force_trap(vm::Trap::Deadlock);
+}
 
-    if (trapped_rank.has_value()) {
-      teardown(*trapped_rank, vm::Trap::Killed);
-      break;
+std::uint64_t World::total_cml() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fpms_) {
+    if (f != nullptr) total += f->shadow().size();
+  }
+  return total;
+}
+
+World::StepStatus World::sweep() {
+  bool any_live = false;
+  bool progress = false;
+  std::optional<std::uint32_t> trapped;
+
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    auto& rk = *ranks_[r];
+    if (rk.state() == vm::RunState::Done ||
+        rk.state() == vm::RunState::Trapped) {
+      continue;
     }
-    if (!any_live) {
-      done = true;
-    } else if (!progress) {
-      // Full sweep with zero executed instructions: nothing can unblock the
-      // remaining ranks — the job is deadlocked (e.g. a fault diverged one
-      // rank past a matching receive).
-      for (auto& rk : ranks_) rk->force_trap(vm::Trap::Deadlock);
+    any_live = true;
+    const std::uint64_t c0 = rk.cycles();
+    rk.run(config_.slice);
+    const std::uint64_t dc = rk.cycles() - c0;
+    global_clock_ += dc;
+    if (dc > 0) progress = true;
+    note_contamination();
+    if (rk.state() == vm::RunState::Trapped) {
+      trapped = r;
       break;
     }
   }
 
-  if (config_.global_sample_period != 0) {
-    std::uint64_t total_cml = 0;
-    for (auto& f : fpms_) {
-      if (f != nullptr) total_cml += f->shadow().size();
+  if (trapped.has_value()) {
+    trapped_rank_ = *trapped;
+    return StepStatus::Trapped;
+  }
+  if (!any_live) return StepStatus::Done;
+  if (!progress) {
+    // Full sweep with zero executed instructions: nothing can unblock the
+    // remaining ranks — the job is deadlocked (e.g. a fault diverged one
+    // rank past a matching receive).
+    return StepStatus::Deadlocked;
+  }
+  return StepStatus::Running;
+}
+
+JobResult World::run() {
+  for (;;) {
+    const StepStatus s = sweep();
+    if (s == StepStatus::Running) continue;
+    if (s == StepStatus::Trapped) {
+      kill_job(trapped_rank_, vm::Trap::Killed);
+    } else if (s == StepStatus::Deadlocked) {
+      declare_deadlock();
     }
-    global_trace_.push_back({global_clock_, total_cml});
+    break;
+  }
+  return collect();
+}
+
+World::Checkpoint World::checkpoint() const {
+  Checkpoint c;
+  c.ranks.reserve(config_.nranks);
+  c.fpms.reserve(config_.nranks);
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    c.ranks.push_back(ranks_[r]->snapshot());
+    if (fpms_[r] != nullptr) {
+      c.fpms.push_back(fpms_[r]->snapshot());
+    } else {
+      c.fpms.push_back(std::nullopt);
+    }
+  }
+  c.mailboxes = mailboxes_;
+  c.requests = requests_;
+  c.coll_epoch = coll_epoch_;
+  c.pending_colls = pending_colls_;
+  c.coll_base_epoch = coll_base_epoch_;
+  c.aborted = aborted_;
+  c.abort_rank = abort_rank_;
+  c.global_clock = global_clock_;
+  c.first_contaminated = first_contaminated_;
+  c.global_trace = global_trace_;
+  c.next_global_sample = next_global_sample_;
+  return c;
+}
+
+void World::restore(const Checkpoint& ckpt) {
+  FPROP_CHECK_MSG(ckpt.ranks.size() == config_.nranks,
+                  "checkpoint rank count mismatch");
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    ranks_[r]->restore(ckpt.ranks[r]);
+    if (fpms_[r] != nullptr && ckpt.fpms[r].has_value()) {
+      fpms_[r]->restore(*ckpt.fpms[r]);
+    }
+  }
+  mailboxes_ = ckpt.mailboxes;
+  requests_ = ckpt.requests;
+  coll_epoch_ = ckpt.coll_epoch;
+  pending_colls_ = ckpt.pending_colls;
+  coll_base_epoch_ = ckpt.coll_base_epoch;
+  aborted_ = ckpt.aborted;
+  abort_rank_ = ckpt.abort_rank;
+  global_clock_ = ckpt.global_clock;
+  first_contaminated_ = ckpt.first_contaminated;
+  global_trace_ = ckpt.global_trace;
+  next_global_sample_ = ckpt.next_global_sample;
+}
+
+JobResult World::collect() {
+  if (config_.global_sample_period != 0) {
+    global_trace_.push_back({global_clock_, total_cml()});
   }
 
   JobResult result;

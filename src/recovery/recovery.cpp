@@ -1,0 +1,125 @@
+#include "fprop/recovery/recovery.h"
+
+#include <algorithm>
+
+#include "fprop/model/propagation_model.h"
+#include "fprop/support/error.h"
+
+namespace fprop::recovery {
+
+RecoveryManager::RecoveryManager(mpisim::World& world, RecoveryConfig config)
+    : world_(&world), config_(config) {
+  FPROP_CHECK_MSG(config_.detector_interval > 0,
+                  "recovery detector interval must be positive");
+  FPROP_CHECK_MSG(config_.max_retained > 0,
+                  "recovery must retain at least one checkpoint");
+}
+
+void RecoveryManager::take_checkpoint() {
+  retained_.push_back(world_->checkpoint());
+  while (retained_.size() > config_.max_retained) retained_.pop_front();
+  last_ckpt_clock_ = world_->global_cycles();
+  ++report_.checkpoints;
+}
+
+void RecoveryManager::advance_scan_grid(std::uint64_t now) {
+  // Fixed grid anchored at 0 (matching simulate_rollback's detector), not at
+  // the scan that just ran — a sweep can jump several intervals at once.
+  while (next_scan_ <= now) next_scan_ += config_.detector_interval;
+}
+
+bool RecoveryManager::should_rollback(bool crashed, std::uint64_t now) {
+  switch (config_.policy) {
+    case model::RollbackPolicy::Never:
+      return false;
+    case model::RollbackPolicy::Always:
+      return true;
+    case model::RollbackPolicy::FpsModel: {
+      if (crashed) return true;  // a dead job cannot be "kept running"
+      // Eq. 3 bounds the contamination accumulated since the last clean
+      // checkpoint; extrapolate at the application FPS to the end of run.
+      const double at_detect = model::max_cml_estimate(
+          config_.fps, static_cast<double>(last_ckpt_clock_),
+          static_cast<double>(now));
+      const std::uint64_t t_end = std::max(config_.expected_cycles, now);
+      report_.predicted_final_cml =
+          at_detect + config_.fps * static_cast<double>(t_end - now);
+      return report_.predicted_final_cml > config_.cml_threshold;
+    }
+  }
+  return true;
+}
+
+bool RecoveryManager::try_rollback(std::uint64_t now) {
+  if (report_.rollbacks >= config_.max_rollbacks) return false;
+  const mpisim::World::Checkpoint& ckpt = retained_.back();
+  report_.wasted_cycles += now - ckpt.global_clock;
+  world_->restore(ckpt);
+  ++report_.rollbacks;
+  last_ckpt_clock_ = ckpt.global_clock;
+  next_scan_ = 0;
+  advance_scan_grid(ckpt.global_clock);
+  return true;
+}
+
+mpisim::JobResult RecoveryManager::run() {
+  take_checkpoint();  // t = 0: restart-from-scratch is always available
+  advance_scan_grid(world_->global_cycles());
+
+  for (;;) {
+    const mpisim::World::StepStatus s = world_->sweep();
+    if (s == mpisim::World::StepStatus::Done) break;
+
+    if (s == mpisim::World::StepStatus::Trapped ||
+        s == mpisim::World::StepStatus::Deadlocked) {
+      // Crash detection is free: the runtime sees the rank die (or the
+      // scheduler sees no progress) without waiting for a detector scan.
+      ++report_.detections;
+      const std::uint64_t now = world_->global_cycles();
+      report_.peak_cml_seen =
+          std::max(report_.peak_cml_seen, world_->total_cml());
+      const bool wanted = should_rollback(/*crashed=*/true, now);
+      if (wanted && try_rollback(now)) continue;
+      report_.gave_up = wanted;  // budget spent (vs Never declining)
+      if (s == mpisim::World::StepStatus::Trapped) {
+        world_->kill_job(world_->trapped_rank(), vm::Trap::Killed);
+      } else {
+        world_->declare_deadlock();
+      }
+      break;
+    }
+
+    // Running: periodic shadow-table scan on the global-cycle grid.
+    const std::uint64_t now = world_->global_cycles();
+    if (detector_latched_ || now < next_scan_) continue;
+    const std::uint64_t cml = world_->total_cml();
+    report_.peak_cml_seen = std::max(report_.peak_cml_seen, cml);
+    if (cml == 0) {
+      take_checkpoint();
+      advance_scan_grid(now);
+      continue;
+    }
+    ++report_.detections;
+    if (should_rollback(/*crashed=*/false, now)) {
+      if (try_rollback(now)) continue;
+      // Budget exhausted with contamination on board (a rollback storm —
+      // e.g. the checkpoint itself captured a corrupted register): abort
+      // the job so the trial classifies Crashed instead of hanging.
+      report_.gave_up = true;
+      for (std::uint32_t r = 0; r < world_->nranks(); ++r) {
+        world_->rank(r).force_trap(vm::Trap::Killed);
+      }
+      break;
+    }
+    // Keep running with the contamination; mirror the analytical simulator
+    // by latching the detector off and charging the residual at the end.
+    detector_latched_ = true;
+  }
+
+  report_.residual_cml = world_->total_cml();
+  report_.peak_cml_seen =
+      std::max(report_.peak_cml_seen, report_.residual_cml);
+  return world_->collect();
+}
+
+}  // namespace fprop::recovery

@@ -65,6 +65,32 @@ Interp::Interp(const ir::Module& module, std::uint32_t rank,
   frames_.push_back(std::move(f));
 }
 
+Interp::Snapshot Interp::snapshot() const {
+  Snapshot s;
+  s.frames = frames_;
+  s.state = state_;
+  s.trap = trap_;
+  s.cycles = cycles_;
+  s.rng = rng_.state();
+  s.outputs = outputs_;
+  s.reported_iters = reported_iters_;
+  s.abort_code = abort_code_;
+  s.memory_words = mem_.save_words();
+  return s;
+}
+
+void Interp::restore(const Snapshot& snap) {
+  frames_ = snap.frames;
+  state_ = snap.state;
+  trap_ = snap.trap;
+  cycles_ = snap.cycles;
+  rng_.set_state(snap.rng);
+  outputs_ = snap.outputs;
+  reported_iters_ = snap.reported_iters;
+  abort_code_ = snap.abort_code;
+  mem_.restore_words(snap.memory_words);
+}
+
 void Interp::do_trap(Trap t) {
   trap_ = t;
   state_ = RunState::Trapped;

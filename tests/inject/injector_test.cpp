@@ -106,8 +106,17 @@ TEST(InjectorRuntime, UnsortedPlanIsSorted) {
   EXPECT_EQ(inj.events().size(), 2u);
 }
 
-TEST(InjectorRuntime, WidthLimitsBitPosition) {
-  // For a width-1 (boolean) site, any planned bit collapses to bit 0.
+TEST(InjectionPlan, BitOutsideRegisterIsRejectedAtConstruction) {
+  EXPECT_THROW(InjectionPlan::single(0, 5, /*bit=*/64), Error);
+  InjectionPlan plan;
+  plan.faults_by_rank[2] = {{3, 1}, {7, 200}};
+  EXPECT_THROW(InjectorRuntime{plan}, Error);
+}
+
+TEST(InjectorRuntime, OverWidthBitIsRejectedAtInjection) {
+  // A planned bit beyond the live value's type width (e.g. bit 37 of an i1
+  // boolean) is a planning error: the runtime refuses it instead of silently
+  // flipping a different bit than the plan records.
   ir::Module m = minic::compile(R"(
 fn main() {
   var a: int = 3;
@@ -133,18 +142,36 @@ fn main() {
     vm.set_inject_hook(&probe);
     ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
   }
+  bool rejected = false;
   for (std::uint64_t idx = 0; idx < probe.dynamic_points(0); ++idx) {
     InjectorRuntime inj(InjectionPlan::single(0, idx, /*bit=*/37));
     vm::Interp vm(m, 0, vm::InterpConfig{});
     vm.set_inject_hook(&inj);
-    ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
-    ASSERT_EQ(inj.events().size(), 1u);
-    if (inj.events()[0].site_id == bool_site) {
-      EXPECT_EQ(inj.events()[0].bit, 0u);  // 37 % 1
-      return;
+    try {
+      ASSERT_EQ(vm.run(1u << 20), vm::RunState::Done);
+    } catch (const Error& e) {
+      rejected = true;
+      EXPECT_NE(std::string(e.what()).find("1-bit width"), std::string::npos);
+      EXPECT_TRUE(inj.events().empty());  // rejected flips are not recorded
+      continue;
     }
+    // No throw: the fired site must have been wide enough for bit 37.
+    ASSERT_EQ(inj.events().size(), 1u);
+    EXPECT_NE(inj.events()[0].site_id, bool_site);
+    EXPECT_EQ(inj.events()[0].bit, 37u);
   }
-  FAIL() << "boolean site never executed";
+  EXPECT_TRUE(rejected) << "boolean site never executed";
+}
+
+TEST(InjectorRuntime, InWidthBitOnNarrowSiteStillFires) {
+  // Bit 0 is valid for every width, including i1 sites.
+  const ir::Module m = instrumented_counter_app(10);
+  InjectorRuntime inj(InjectionPlan::single(0, 5, /*bit=*/0));
+  vm::Interp vm(m, 0, vm::InterpConfig{});
+  vm.set_inject_hook(&inj);
+  ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
+  ASSERT_EQ(inj.events().size(), 1u);
+  EXPECT_EQ(inj.events()[0].bit, 0u);
 }
 
 TEST(Sampling, SingleFaultRespectsCounts) {

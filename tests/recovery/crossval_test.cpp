@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/model/rollback_sim.h"
+#include "fprop/recovery/recovery.h"
+
+// Cross-validation of the analytical rollback simulator (model §5, which
+// replays a recorded CML(t) trace) against the real checkpoint/restart
+// mechanism (recovery::RecoveryManager) on the same injection plans. The two
+// observe the job at different granularities — the trace is sampled every
+// global_sample_period cycles and the runtime detector scans at sweep
+// boundaries — so agreement is asserted up to one detector interval plus
+// those quantisation terms, never exactly.
+
+namespace fprop::recovery {
+namespace {
+
+harness::ExperimentConfig base_config() {
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  cfg.overrides = {{"ITERS", "6"}};
+  return cfg;
+}
+
+struct CrossValCase {
+  inject::InjectionPlan plan;
+  harness::TrialResult baseline;  ///< no-recovery trial with trace
+};
+
+/// First plan whose uninterrupted run contaminates memory without crashing:
+/// the regime where detector timing is comparable between the two systems.
+CrossValCase find_case(const harness::AppHarness& plain) {
+  for (std::uint64_t dyn = 0; dyn < plain.golden().total_dyn_points; ++dyn) {
+    const auto plan = inject::InjectionPlan::single(0, dyn, 3);
+    harness::TrialResult t = plain.run_trial(plan, /*capture_trace=*/true);
+    if (t.injected && t.total_cml_final > 0 &&
+        t.outcome != harness::Outcome::Crashed) {
+      return {plan, std::move(t)};
+    }
+  }
+  ADD_FAILURE() << "no contaminating non-crashing plan found";
+  return {};
+}
+
+TEST(CrossValidation, AlwaysPolicyAgreesOnDetectionAndWaste) {
+  harness::AppHarness plain(apps::get_app("matvec"), base_config());
+  const CrossValCase cv = find_case(plain);
+  ASSERT_FALSE(cv.baseline.trace.empty());
+
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(plain.golden().global_cycles / 16, 1);
+
+  model::DetectorConfig det;
+  det.interval = interval;
+  const model::RollbackOutcome analytical = model::simulate_rollback(
+      cv.baseline.trace, det, model::RollbackPolicy::Always);
+  ASSERT_TRUE(analytical.detected);
+  ASSERT_TRUE(analytical.rolled_back);
+
+  harness::ExperimentConfig cfg = base_config();
+  cfg.recovery.enabled = true;
+  cfg.recovery.policy = model::RollbackPolicy::Always;
+  cfg.recovery.detector_interval = interval;
+  harness::AppHarness mech(apps::get_app("matvec"), cfg);
+  const harness::TrialResult t = mech.run_trial(cv.plan);
+
+  ASSERT_GE(t.detections, 1u);
+  ASSERT_EQ(t.rollbacks, 1u);  // transient fault: one restore suffices
+  EXPECT_FALSE(t.recovery_gave_up);
+  EXPECT_EQ(t.residual_cml, 0u);
+
+  // Wasted work (detection time minus last clean checkpoint) must agree up
+  // to the two systems' observation granularity: one detector interval plus
+  // the trace sampling period plus one scheduler sweep.
+  const std::uint64_t slack = interval +
+                              cfg.global_sample_period +
+                              cfg.slice * mech.nranks();
+  const auto diff = t.wasted_cycles > analytical.wasted_cycles
+                        ? t.wasted_cycles - analytical.wasted_cycles
+                        : analytical.wasted_cycles - t.wasted_cycles;
+  EXPECT_LE(diff, slack)
+      << "mechanism wasted " << t.wasted_cycles << " vs analytical "
+      << analytical.wasted_cycles;
+  // Both charge at most the span since the last clean checkpoint, which the
+  // fixed scan grid bounds by one interval plus one sweep of overshoot.
+  EXPECT_LE(analytical.wasted_cycles, interval);
+  EXPECT_LE(t.wasted_cycles, interval + cfg.slice * mech.nranks());
+}
+
+TEST(CrossValidation, NeverPolicyAgreesOnResidualExactly) {
+  harness::AppHarness plain(apps::get_app("matvec"), base_config());
+  const CrossValCase cv = find_case(plain);
+  ASSERT_FALSE(cv.baseline.trace.empty());
+
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(plain.golden().global_cycles / 16, 1);
+
+  model::DetectorConfig det;
+  det.interval = interval;
+  const model::RollbackOutcome analytical = model::simulate_rollback(
+      cv.baseline.trace, det, model::RollbackPolicy::Never);
+  ASSERT_TRUE(analytical.detected);
+  EXPECT_FALSE(analytical.rolled_back);
+
+  harness::ExperimentConfig cfg = base_config();
+  cfg.recovery.enabled = true;
+  cfg.recovery.policy = model::RollbackPolicy::Never;
+  cfg.recovery.detector_interval = interval;
+  harness::AppHarness mech(apps::get_app("matvec"), cfg);
+  const harness::TrialResult t = mech.run_trial(cv.plan);
+
+  EXPECT_GE(t.detections, 1u);
+  EXPECT_EQ(t.rollbacks, 0u);
+  EXPECT_EQ(t.wasted_cycles, 0u);
+  // Declining the rollback leaves the run untouched, so the residual the
+  // mechanism carries to the end is exactly the recorded trace's endpoint.
+  EXPECT_EQ(t.residual_cml, analytical.residual_cml);
+  EXPECT_EQ(t.residual_cml, cv.baseline.total_cml_final);
+  EXPECT_EQ(t.outcome, cv.baseline.outcome);
+}
+
+TEST(CrossValidation, FpsModelDecisionMatchesEqThreePrediction) {
+  // With a threshold between zero and the Eq. 3 prediction both systems
+  // must roll back; with a threshold far above it both must continue.
+  harness::AppHarness plain(apps::get_app("matvec"), base_config());
+  const CrossValCase cv = find_case(plain);
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(plain.golden().global_cycles / 16, 1);
+
+  for (const double threshold : {1e-3, 1e18}) {
+    model::DetectorConfig det;
+    det.interval = interval;
+    det.fps = 1e-4;
+    det.cml_threshold = threshold;
+    const model::RollbackOutcome analytical = model::simulate_rollback(
+        cv.baseline.trace, det, model::RollbackPolicy::FpsModel);
+    ASSERT_TRUE(analytical.detected);
+
+    harness::ExperimentConfig cfg = base_config();
+    cfg.recovery.enabled = true;
+    cfg.recovery.policy = model::RollbackPolicy::FpsModel;
+    cfg.recovery.detector_interval = interval;
+    cfg.recovery.fps = det.fps;
+    cfg.recovery.cml_threshold = threshold;
+    harness::AppHarness mech(apps::get_app("matvec"), cfg);
+    const harness::TrialResult t = mech.run_trial(cv.plan);
+
+    EXPECT_EQ(analytical.rolled_back, t.rollbacks > 0)
+        << "threshold " << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace fprop::recovery

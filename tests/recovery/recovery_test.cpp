@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/minic/compile.h"
+#include "fprop/recovery/recovery.h"
+#include "fprop/support/error.h"
+
+namespace fprop::recovery {
+namespace {
+
+harness::AppHarness matvec_harness(RecoveryConfig rc = {}) {
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  cfg.overrides = {{"ITERS", "6"}};
+  cfg.recovery = rc;
+  return harness::AppHarness(apps::get_app("matvec"), cfg);
+}
+
+RecoveryConfig enabled(model::RollbackPolicy policy) {
+  RecoveryConfig rc;
+  rc.enabled = true;
+  rc.policy = policy;
+  rc.detector_interval = 0;  // derive golden/16 from the golden run
+  return rc;
+}
+
+TEST(RecoveryConfig, InvalidValuesAreRejected) {
+  ir::Module m = minic::compile("fn main() { output_i(1); }");
+  mpisim::WorldConfig wc;
+  wc.nranks = 1;
+  mpisim::World world(m, wc);
+  RecoveryConfig no_interval;
+  no_interval.detector_interval = 0;
+  EXPECT_THROW(RecoveryManager(world, no_interval), Error);
+  RecoveryConfig no_retention;
+  no_retention.max_retained = 0;
+  EXPECT_THROW(RecoveryManager(world, no_retention), Error);
+}
+
+TEST(RecoveryManager, FaultFreeJobRunsUntouched) {
+  ir::Module m = minic::compile(R"(
+fn main() {
+  var s: float = 0.0;
+  for (var i: int = 0; i < 500; i = i + 1) { s = s + 0.5; }
+  output_f(s);
+}
+)");
+  mpisim::WorldConfig wc;
+  wc.nranks = 2;
+  mpisim::World plain(m, wc);
+  const mpisim::JobResult want = plain.run();
+  ASSERT_FALSE(want.crashed);
+
+  mpisim::World world(m, wc);
+  RecoveryConfig rc;
+  rc.detector_interval = 300;
+  RecoveryManager manager(world, rc);
+  const mpisim::JobResult got = manager.run();
+  EXPECT_FALSE(got.crashed);
+  EXPECT_EQ(got.outputs(), want.outputs());
+  EXPECT_EQ(got.global_cycles, want.global_cycles);
+  const RecoveryReport& rep = manager.report();
+  EXPECT_EQ(rep.detections, 0u);
+  EXPECT_EQ(rep.rollbacks, 0u);
+  EXPECT_GE(rep.checkpoints, 2u);  // initial + periodic clean scans
+  EXPECT_EQ(rep.residual_cml, 0u);
+  EXPECT_FALSE(rep.gave_up);
+}
+
+TEST(RecoveryCampaign, AlwaysPolicyConvertsFailuresToCorrectOutput) {
+  // Acceptance criterion: a recovery-enabled matvec campaign converts a
+  // nonzero fraction of WrongOutput/Crashed trials into correct output.
+  harness::CampaignConfig cc;
+  cc.trials = 40;
+  cc.seed = 7;
+
+  harness::AppHarness baseline = matvec_harness();
+  const harness::CampaignResult base = run_campaign(baseline, cc);
+  const std::size_t base_bad =
+      base.counts.wrong_output + base.counts.crashed;
+  ASSERT_GT(base_bad, 0u);
+
+  harness::AppHarness recovering =
+      matvec_harness(enabled(model::RollbackPolicy::Always));
+  const harness::CampaignResult rec = run_campaign(recovering, cc);
+  const std::size_t rec_bad = rec.counts.wrong_output + rec.counts.crashed;
+
+  EXPECT_GT(rec.recovered_trials, 0u);
+  EXPECT_GT(rec.total_rollbacks, 0u);
+  EXPECT_GT(rec.total_wasted_cycles, 0u);
+  EXPECT_LT(rec_bad, base_bad);
+  EXPECT_GT(rec.counts.correct_output(), base.counts.correct_output());
+
+  // Per-trial bookkeeping: a recovered trial rolled back, paid for it, and
+  // still ended correct.
+  for (const auto& t : rec.trials) {
+    if (!t.recovered) continue;
+    EXPECT_GT(t.rollbacks, 0u);
+    EXPECT_GT(t.detections, 0u);
+    EXPECT_GT(t.wasted_cycles, 0u);
+    EXPECT_FALSE(t.recovery_gave_up);
+  }
+}
+
+TEST(RecoveryCampaign, FpsModelWastesFewerCyclesThanAlways) {
+  // Acceptance criterion: with a generous safe threshold the FpsModel
+  // policy keeps benign contaminations running (paper §5's low-FPS case)
+  // and re-executes strictly less work than Always.
+  harness::CampaignConfig cc;
+  cc.trials = 40;
+  cc.seed = 7;
+
+  harness::AppHarness always =
+      matvec_harness(enabled(model::RollbackPolicy::Always));
+  const harness::CampaignResult ra = run_campaign(always, cc);
+  ASSERT_GT(ra.total_rollbacks, 0u);
+
+  RecoveryConfig fps = enabled(model::RollbackPolicy::FpsModel);
+  fps.fps = 1e-9;            // Table 2 low-FPS regime
+  fps.cml_threshold = 1e18;  // everything predicted below the safe bound
+  harness::AppHarness tolerant = matvec_harness(fps);
+  const harness::CampaignResult rf = run_campaign(tolerant, cc);
+
+  EXPECT_LT(rf.total_wasted_cycles, ra.total_wasted_cycles);
+  EXPECT_LE(rf.total_rollbacks, ra.total_rollbacks);
+}
+
+TEST(RecoveryTrial, NeverPolicyObservesWithoutRestoring) {
+  harness::AppHarness plain = matvec_harness();
+  // Find a contaminating, non-crashing plan to give the detector something
+  // to see.
+  std::uint64_t dyn = 0;
+  harness::TrialResult base;
+  for (;; ++dyn) {
+    ASSERT_LT(dyn, plain.golden().total_dyn_points);
+    base = plain.run_trial(inject::InjectionPlan::single(0, dyn, 3));
+    if (base.injected && base.total_cml_final > 0 &&
+        base.outcome != harness::Outcome::Crashed) {
+      break;
+    }
+  }
+
+  harness::AppHarness never =
+      matvec_harness(enabled(model::RollbackPolicy::Never));
+  const harness::TrialResult t =
+      never.run_trial(inject::InjectionPlan::single(0, dyn, 3));
+  EXPECT_EQ(t.rollbacks, 0u);
+  EXPECT_FALSE(t.recovered);
+  EXPECT_GE(t.detections, 1u);
+  EXPECT_FALSE(t.recovery_gave_up);
+  // Declining every rollback leaves the uninterrupted execution intact.
+  EXPECT_EQ(t.outcome, base.outcome);
+  EXPECT_EQ(t.residual_cml, base.total_cml_final);
+  EXPECT_EQ(t.wasted_cycles, 0u);
+}
+
+TEST(RecoveryTrial, ExhaustedBudgetDegradesToCrash) {
+  harness::AppHarness plain = matvec_harness();
+  std::uint64_t dyn = 0;
+  for (;; ++dyn) {
+    ASSERT_LT(dyn, plain.golden().total_dyn_points);
+    const harness::TrialResult base =
+        plain.run_trial(inject::InjectionPlan::single(0, dyn, 3));
+    if (base.injected && base.total_cml_final > 0 &&
+        base.outcome != harness::Outcome::Crashed) {
+      break;
+    }
+  }
+
+  RecoveryConfig rc = enabled(model::RollbackPolicy::Always);
+  rc.max_rollbacks = 0;  // want to roll back, never allowed to
+  harness::AppHarness h = matvec_harness(rc);
+  const harness::TrialResult t =
+      h.run_trial(inject::InjectionPlan::single(0, dyn, 3));
+  EXPECT_EQ(t.outcome, harness::Outcome::Crashed);
+  EXPECT_EQ(t.trap, vm::Trap::Killed);
+  EXPECT_TRUE(t.recovery_gave_up);
+  EXPECT_EQ(t.rollbacks, 0u);
+  EXPECT_GE(t.detections, 1u);
+}
+
+TEST(RecoveryTrial, SingleRetainedCheckpointStillRecovers) {
+  // Bounded retention at its minimum: rolling back to the one retained
+  // (most recent clean) checkpoint is enough for transient faults.
+  harness::AppHarness plain = matvec_harness();
+  std::uint64_t dyn = 0;
+  for (;; ++dyn) {
+    ASSERT_LT(dyn, plain.golden().total_dyn_points);
+    const harness::TrialResult base =
+        plain.run_trial(inject::InjectionPlan::single(0, dyn, 62));
+    if (base.injected &&
+        (base.outcome == harness::Outcome::WrongOutput ||
+         base.outcome == harness::Outcome::Crashed)) {
+      break;
+    }
+  }
+
+  RecoveryConfig rc = enabled(model::RollbackPolicy::Always);
+  rc.max_retained = 1;
+  harness::AppHarness h = matvec_harness(rc);
+  const harness::TrialResult t =
+      h.run_trial(inject::InjectionPlan::single(0, dyn, 62));
+  EXPECT_TRUE(t.recovered);
+  EXPECT_GT(t.rollbacks, 0u);
+  EXPECT_TRUE(t.outcome == harness::Outcome::Vanished ||
+              t.outcome == harness::Outcome::OutputNotAffected)
+      << harness::outcome_name(t.outcome);
+}
+
+}  // namespace
+}  // namespace fprop::recovery
