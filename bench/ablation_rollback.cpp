@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const std::size_t trials = args.get_u64("trials", 60);
   const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hardware threads
   const double threshold = static_cast<double>(args.get_u64("threshold", 25));
 
   bench::print_header("Ablation",
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
     harness::CampaignConfig cc;
     cc.trials = trials;
     cc.seed = seed;
+    cc.jobs = jobs;
     cc.capture_traces = true;
     cc.max_kept_traces = trials;
     const harness::CampaignResult r = run_campaign(h, cc);

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const std::size_t trials = args.get_u64("trials", 200);
   const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hardware threads
   const std::string only = args.get_str("app", "");
 
   bench::print_header("Figure 6",
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     harness::CampaignConfig cc;
     cc.trials = trials;
     cc.seed = seed;
+    cc.jobs = jobs;
     const harness::CampaignResult r = run_campaign(h, cc);
     const auto& c = r.counts;
 

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const std::size_t trials = args.get_u64("trials", 120);
   const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hardware threads
   const std::string only = args.get_str("app", "");
   const std::size_t per_class = args.get_u64("per_class", 2);
 
@@ -54,6 +55,7 @@ int main(int argc, char** argv) {
     harness::CampaignConfig cc;
     cc.trials = trials;
     cc.seed = seed;
+    cc.jobs = jobs;
     cc.capture_traces = true;
     cc.max_kept_traces = trials;  // keep everything; we select below
     const harness::CampaignResult r = run_campaign(h, cc);

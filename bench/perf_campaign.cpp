@@ -1,0 +1,71 @@
+// Campaign-engine throughput (google-benchmark): end-to-end trials/sec of
+// run_campaign at jobs=1 vs jobs=N over a shared AppHarness. The parallel
+// engine's contract is bit-identical results at any thread count, so the
+// only thing that may change with jobs is wall-clock — which is what this
+// measures (UseRealTime: the work happens on pool threads).
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <thread>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+namespace {
+
+using namespace fprop;
+
+harness::AppHarness& matvec_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    cfg.nranks = 1;
+    cfg.overrides = {{"ITERS", "6"}};
+    return harness::AppHarness(apps::get_app("matvec"), cfg);
+  }();
+  return h;
+}
+
+harness::AppHarness& lulesh_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    cfg.nranks = 4;
+    return harness::AppHarness(apps::get_app("lulesh"), cfg);
+  }();
+  return h;
+}
+
+void run_campaign_bench(benchmark::State& state, harness::AppHarness& h,
+                        std::size_t trials) {
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.seed = 42;
+  cc.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const harness::CampaignResult r = harness::run_campaign(h, cc);
+    benchmark::DoNotOptimize(r.counts.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials));
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * trials),
+      benchmark::Counter::kIsRate);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+void BM_CampaignMatvec(benchmark::State& state) {
+  run_campaign_bench(state, matvec_harness(), 64);
+}
+
+void BM_CampaignLulesh(benchmark::State& state) {
+  run_campaign_bench(state, lulesh_harness(), 16);
+}
+
+}  // namespace
+
+// jobs=1 (serial baseline), 2, 8, and 0 = hardware_concurrency.
+BENCHMARK(BM_CampaignMatvec)->Arg(1)->Arg(2)->Arg(8)->Arg(0)->UseRealTime();
+BENCHMARK(BM_CampaignLulesh)->Arg(1)->Arg(2)->Arg(8)->Arg(0)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every perf_* google-benchmark binary with JSON output.
+#
+#   bench/run_benches.sh [build_dir] [out_dir]
+#
+# build_dir defaults to ./build, out_dir to <build_dir>/bench-results.
+# Results land in <out_dir>/BENCH_<name>.json (BENCH_campaign.json for
+# perf_campaign, etc.). The committed bench/BENCH_campaign.json is a
+# reference baseline produced by this script; regenerate it after touching
+# the campaign engine or the VM/shadow-table hot paths.
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-${build_dir}/bench-results}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — build the project first:" >&2
+  echo "  cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+found=0
+for bin in "${build_dir}"/bench/perf_*; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  found=1
+  name="$(basename "${bin}")"
+  out="${out_dir}/BENCH_${name#perf_}.json"
+  echo "== ${name} -> ${out}"
+  "${bin}" --benchmark_format=json --benchmark_out="${out}" \
+           --benchmark_out_format=json
+done
+
+if [[ "${found}" == 0 ]]; then
+  echo "error: no perf_* binaries in ${build_dir}/bench" >&2
+  exit 1
+fi
+
+echo "done: results in ${out_dir}"

@@ -3,11 +3,15 @@
 // prints both the black-box outcome breakdown (Fig. 6 row) and the
 // propagation-aware V/ONA split that only the FPM framework can measure.
 //
-//   $ ./fault_campaign [app] [trials]
-//   $ ./fault_campaign lulesh 200
+//   $ ./fault_campaign [app] [trials] [--jobs=N]
+//   $ ./fault_campaign lulesh 200 --jobs=8
+//
+// --jobs=N runs trials on N worker threads (default: all hardware threads);
+// results are bit-identical at any jobs value.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
@@ -15,9 +19,21 @@
 using namespace fprop;
 
 int main(int argc, char** argv) {
-  const char* app = argc > 1 ? argv[1] : "lulesh";
-  const std::size_t trials =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+  const char* app = "lulesh";
+  std::size_t trials = 100;
+  std::size_t jobs = 0;  // 0 = all hardware threads
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (positional == 0) {
+      app = argv[i];
+      ++positional;
+    } else {
+      trials = static_cast<std::size_t>(std::atoi(argv[i]));
+      ++positional;
+    }
+  }
 
   harness::ExperimentConfig config;
   harness::AppHarness h(apps::get_app(app), config);
@@ -27,6 +43,7 @@ int main(int argc, char** argv) {
   harness::CampaignConfig cc;
   cc.trials = trials;
   cc.capture_traces = false;
+  cc.jobs = jobs;
   const harness::CampaignResult r = run_campaign(h, cc);
   const auto& c = r.counts;
 

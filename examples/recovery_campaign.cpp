@@ -4,11 +4,15 @@
 // detector, coordinated checkpoints at clean scans, and a rollback policy
 // deciding whether a detection is worth re-executing work for.
 //
-//   $ ./recovery_campaign [app] [trials]
-//   $ ./recovery_campaign matvec 200
+//   $ ./recovery_campaign [app] [trials] [--jobs=N]
+//   $ ./recovery_campaign matvec 200 --jobs=8
+//
+// --jobs=N runs trials on N worker threads (default: all hardware threads);
+// results are bit-identical at any jobs value.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
@@ -18,10 +22,12 @@ using namespace fprop;
 namespace {
 
 harness::CampaignResult campaign(const char* app, std::size_t trials,
+                                 std::size_t jobs,
                                  harness::ExperimentConfig config) {
   harness::AppHarness h(apps::get_app(app), config);
   harness::CampaignConfig cc;
   cc.trials = trials;
+  cc.jobs = jobs;
   return run_campaign(h, cc);
 }
 
@@ -38,31 +44,43 @@ void print_row(const char* label, const harness::CampaignResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* app = argc > 1 ? argv[1] : "matvec";
-  const std::size_t trials =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+  const char* app = "matvec";
+  std::size_t trials = 100;
+  std::size_t jobs = 0;  // 0 = all hardware threads
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (positional == 0) {
+      app = argv[i];
+      ++positional;
+    } else {
+      trials = static_cast<std::size_t>(std::atoi(argv[i]));
+      ++positional;
+    }
+  }
 
   harness::ExperimentConfig config;
   std::printf("recovery campaign: %s, %zu single-fault trials per policy\n",
               app, trials);
 
-  print_row("baseline", campaign(app, trials, config));
+  print_row("baseline", campaign(app, trials, jobs, config));
 
   config.recovery.enabled = true;
   config.recovery.detector_interval = 0;  // derive golden/16
 
   config.recovery.policy = model::RollbackPolicy::Always;
-  print_row("always", campaign(app, trials, config));
+  print_row("always", campaign(app, trials, jobs, config));
 
   config.recovery.policy = model::RollbackPolicy::Never;
-  print_row("never", campaign(app, trials, config));
+  print_row("never", campaign(app, trials, jobs, config));
 
   // FpsModel: tolerate contaminations whose Eq. 3 end-of-run prediction
   // stays below the safe threshold; roll back otherwise (and on crashes).
   config.recovery.policy = model::RollbackPolicy::FpsModel;
   config.recovery.fps = 1e-4;
   config.recovery.cml_threshold = 50.0;
-  print_row("fps-model", campaign(app, trials, config));
+  print_row("fps-model", campaign(app, trials, jobs, config));
 
   std::printf("\nthe fps-model row should sit between always (max repair,\n"
               "max waste) and never (no waste, contamination survives).\n");

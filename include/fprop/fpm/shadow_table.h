@@ -5,50 +5,109 @@
 // to its pristine value — the value the location would hold in a fault-free
 // execution. The table size at any instant is the number of Corrupted Memory
 // Locations (CML), the quantity plotted in Fig. 7 and modelled in §5.
+//
+// This is the hottest shadow structure in the system: every fpm_fetch and
+// fpm_store probes it, which SWAT-style detectors identify as the dominant
+// instrumentation cost. It is therefore a flat open-addressing table (linear
+// probing, power-of-two capacity) rather than std::unordered_map: one
+// contiguous allocation, no per-node indirection, and `heal` uses
+// tombstone-free backward-shift deletion so probe chains never degrade over
+// the record/heal churn a long run produces. Every mutating operation is a
+// single probe; APIs that previously forced a contaminated()+heal() double
+// hash report what they did instead (heal returns whether it erased).
 
+#include <bit>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace fprop::fpm {
 
 class ShadowTable {
  public:
+  ShadowTable() : slots_(kMinCapacity, Slot{kEmptyKey, 0}) {}
+
   /// Pristine value of `addr` if contaminated, otherwise nullopt.
   std::optional<std::uint64_t> lookup(std::uint64_t addr) const {
-    auto it = table_.find(addr);
-    if (it == table_.end()) return std::nullopt;
-    return it->second;
+    const Slot* s = find(addr);
+    if (s == nullptr) return std::nullopt;
+    return s->val;
   }
 
   /// Pristine value of `addr`, falling back to the actual memory content
   /// (a non-contaminated location's pristine value IS its content).
-  std::uint64_t pristine_or(std::uint64_t addr,
-                            std::uint64_t actual) const {
-    auto it = table_.find(addr);
-    return it == table_.end() ? actual : it->second;
+  std::uint64_t pristine_or(std::uint64_t addr, std::uint64_t actual) const {
+    const Slot* s = find(addr);
+    return s == nullptr ? actual : s->val;
   }
 
-  /// Marks `addr` contaminated with the given pristine value.
+  /// Marks `addr` contaminated with the given pristine value. One probe:
+  /// peak tracking happens on the same pass that finds the slot. Defined
+  /// inline — this and heal() sit on the per-store instrumentation path,
+  /// where an out-of-line call is measurable.
   void record(std::uint64_t addr, std::uint64_t pristine) {
-    table_.insert_or_assign(addr, pristine);
-    if (table_.size() > peak_) peak_ = table_.size();
+    if (addr == kEmptyKey) {
+      sentinel_.val = pristine;
+      if (!has_sentinel_) {
+        has_sentinel_ = true;
+        bump_size();
+      }
+      return;
+    }
+    Slot* data = slots_.data();
+    const std::size_t m = mask();
+    std::size_t i = home_slot(addr);
+    while (data[i].key != kEmptyKey) {
+      if (data[i].key == addr) {
+        data[i].val = pristine;
+        return;
+      }
+      i = (i + 1) & m;
+    }
+    data[i] = {addr, pristine};
+    bump_size();
+    // Grow at 1/2 load so probe chains stay short (1–2 slots) through
+    // record/heal churn; at 16 bytes per slot the table is still tiny next
+    // to the rank memory it shadows.
+    if (occupied() * 2 >= slots_.size()) grow();
   }
 
   /// Removes `addr` from the table: a store wrote the pristine value back
   /// (Table 1 row 4 — an operation masked the corruption), so the location
   /// is no longer corrupted. Without healing, CML would be overestimated,
-  /// the exact pitfall §3.2 warns about.
-  void heal(std::uint64_t addr) { table_.erase(addr); }
-
-  bool contaminated(std::uint64_t addr) const {
-    return table_.find(addr) != table_.end();
+  /// the exact pitfall §3.2 warns about. Returns true iff the address was
+  /// present (so callers can count heals without a separate contaminated()
+  /// probe). Erasure is backward-shift: no tombstones are left behind.
+  bool heal(std::uint64_t addr) {
+    // Empty-table early-out: fault-free stretches dominate even injected
+    // runs, so the common store heals nothing and should cost one branch.
+    if (size_ == 0) return false;
+    if (addr == kEmptyKey) {
+      if (!has_sentinel_) return false;
+      has_sentinel_ = false;
+      --size_;
+      return true;
+    }
+    const Slot* data = slots_.data();
+    const std::size_t m = mask();
+    std::size_t i = home_slot(addr);
+    while (data[i].key != kEmptyKey) {
+      if (data[i].key == addr) {
+        erase_at(i);
+        --size_;
+        return true;
+      }
+      i = (i + 1) & m;
+    }
+    return false;
   }
 
+  bool contaminated(std::uint64_t addr) const { return find(addr) != nullptr; }
+
   /// Current CML count.
-  std::size_t size() const noexcept { return table_.size(); }
-  bool empty() const noexcept { return table_.empty(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
   /// Maximum CML ever reached (Fig. 7f).
   std::size_t peak() const noexcept { return peak_; }
 
@@ -61,15 +120,68 @@ class ShadowTable {
   /// wholesale (e.g. by a received message) before re-recording.
   void heal_range(std::uint64_t lo, std::uint64_t hi);
 
-  void clear() { table_.clear(); }
+  void clear();
 
-  const std::unordered_map<std::uint64_t, std::uint64_t>& entries() const {
-    return table_;
+  /// All (addr, pristine) pairs sorted by address. Diagnostic/test accessor;
+  /// the campaign hot path never materializes the full table.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries() const {
+    return in_range(0, kEmptyKey);
   }
 
  private:
-  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t val;
+  };
+
+  /// Word addresses are 8-aligned, so all-ones can never be a recorded
+  /// address; it doubles as the free-slot marker. A sentinel side slot keeps
+  /// the table correct even for hostile keys (a corrupted pristine address
+  /// could in principle take any value).
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+  static constexpr std::size_t kMinCapacity = 16;  ///< power of two
+
+  /// Fibonacci hashing over the word index: one multiply, then the top
+  /// log2(capacity) bits. Consecutive word indices — the dominant pattern
+  /// the apps produce — land a golden-ratio stride apart, so sequential
+  /// buffers probe collision-free, while the multiply still scatters
+  /// power-of-two strides that would defeat a plain masked index.
+  std::size_t home_slot(std::uint64_t addr) const noexcept {
+    return static_cast<std::size_t>(((addr >> 3) * 0x9E3779B97F4A7C15ull) >>
+                                    shift_);
+  }
+
+  const Slot* find(std::uint64_t addr) const {
+    if (size_ == 0) return nullptr;  // common case: nothing contaminated
+    if (addr == kEmptyKey) return has_sentinel_ ? &sentinel_ : nullptr;
+    const Slot* data = slots_.data();
+    const std::size_t m = mask();
+    std::size_t i = home_slot(addr);
+    while (data[i].key != kEmptyKey) {
+      if (data[i].key == addr) return &data[i];
+      i = (i + 1) & m;
+    }
+    return nullptr;
+  }
+
+  std::size_t mask() const noexcept { return slots_.size() - 1; }
+  std::size_t occupied() const noexcept {
+    return size_ - (has_sentinel_ ? 1 : 0);
+  }
+  void bump_size() noexcept {
+    ++size_;
+    if (size_ > peak_) peak_ = size_;
+  }
+  void erase_at(std::size_t hole);
+  void grow();
+
+  std::vector<Slot> slots_;  ///< power-of-two capacity; key==kEmptyKey free
+  /// 64 - log2(capacity); keeps home_slot() a multiply + shift.
+  unsigned shift_ = 64 - std::bit_width(kMinCapacity - 1);
+  std::size_t size_ = 0;
   std::size_t peak_ = 0;
+  bool has_sentinel_ = false;
+  Slot sentinel_{kEmptyKey, 0};
 };
 
 }  // namespace fprop::fpm

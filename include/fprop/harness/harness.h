@@ -114,6 +114,14 @@ class AppHarness {
   const std::string& app_name() const noexcept { return name_; }
 
   /// Runs one injection trial and classifies it against the golden run.
+  ///
+  /// Thread-safe: may be called concurrently from multiple threads on the
+  /// same harness. Each call builds a private World/InjectorRuntime (and
+  /// RecoveryManager when recovery is enabled) over the shared, immutable
+  /// instrumented module; the harness itself is only read (`module_`,
+  /// `golden_`, `config_` are never written after construction, and neither
+  /// the module nor the app registry holds lazy mutable caches). This is
+  /// what the parallel campaign engine relies on.
   TrialResult run_trial(const inject::InjectionPlan& plan,
                         bool capture_trace = false) const;
 
@@ -161,6 +169,12 @@ struct CampaignConfig {
   /// Faults per run (1 = the paper's main campaign; >1 exercises the
   /// LLFI++ multi-fault extension).
   std::size_t faults_per_run = 1;
+  /// Worker threads executing trials (0 = hardware_concurrency, 1 = run on
+  /// the calling thread). Every trial is seed-derived and independent, so
+  /// run_campaign pre-samples all injection plans, dispatches them to a
+  /// chunked worker pool, and merges results in trial-index order — the
+  /// CampaignResult is bit-identical at any jobs value.
+  std::size_t jobs = 1;
 };
 
 struct CampaignResult {
@@ -176,7 +190,11 @@ struct CampaignResult {
 };
 
 /// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds
-/// derived from `config.seed`.
+/// derived from `config.seed`, on `config.jobs` worker threads. Determinism
+/// is preserved at any thread count: plans are pre-sampled from
+/// derive_seed(seed, i), every trial is a pure function of its plan, and the
+/// per-trial results (including slopes and kept traces) are folded into the
+/// CampaignResult strictly in trial-index order.
 CampaignResult run_campaign(const AppHarness& harness,
                             const CampaignConfig& config);
 

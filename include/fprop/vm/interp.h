@@ -53,6 +53,11 @@ class Interp {
  private:
   struct Frame {
     const ir::Function* func = nullptr;
+    /// Cached `func->blocks[block].code.data()` so the fetch in step() is a
+    /// single indexed load instead of three chained indexings per
+    /// instruction. Maintained on every block/frame transition and re-derived
+    /// on snapshot restore (it references the module, which is identity).
+    const ir::Instr* code = nullptr;
     ir::BlockId block = 0;
     std::uint32_t ip = 0;
     ir::Reg ret_dst = ir::kNoReg;   ///< caller register for result
@@ -74,7 +79,12 @@ class Interp {
   void set_fpm(fpm::FpmRuntime* fpm) noexcept { fpm_ = fpm; }
   /// Enables naive taint propagation (the §3.2 strawman; see fpm/taint.h).
   /// Use on a module WITHOUT the dual-chain pass — only the injection pass.
-  void set_taint(fpm::TaintRuntime* taint) noexcept { taint_ = taint; }
+  /// Sizes the taint arrays of live frames up front so the interpreter's hot
+  /// loop never re-checks them.
+  void set_taint(fpm::TaintRuntime* taint) noexcept {
+    taint_ = taint;
+    if (taint_ != nullptr) ensure_taint_frames();
+  }
 
   /// Executes up to `max_steps` instructions; returns the resulting state.
   /// Resumable: call again after Blocked (or to continue a Ready rank).
@@ -131,6 +141,16 @@ class Interp {
   /// Local (single-rank) semantics for MPI intrinsics when no hook is set.
   bool exec_mpi_local(const ir::Instr& in);
   void finish_instr();  ///< cycle accounting + fpm tick + budget check
+  /// Sizes every live frame's taint array (lazy taint-mode enable, hoisted
+  /// out of the per-instruction path).
+  void ensure_taint_frames();
+
+  /// Positions `fr` at the start of `block`, refreshing the code cache.
+  static void enter_block(Frame& fr, ir::BlockId block) {
+    fr.block = block;
+    fr.ip = 0;
+    fr.code = fr.func->blocks[block].code.data();
+  }
 
   std::uint64_t reg(ir::Reg r) const { return frames_.back().regs[r]; }
   void set_reg(ir::Reg r, std::uint64_t v) { frames_.back().regs[r] = v; }

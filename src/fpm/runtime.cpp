@@ -15,11 +15,12 @@ void FpmRuntime::on_store(std::uint64_t val, std::uint64_t val_p,
     if (val != val_p) {
       ++stats_.stores_divergent;
       shadow_.record(addr, val_p);
-    } else if (shadow_.contaminated(addr)) {
+    } else if (shadow_.heal(addr)) {
       // The store wrote the correct value over a previously contaminated
-      // word — the location healed (masking, Table 1 rows 2/4).
+      // word — the location healed (masking, Table 1 rows 2/4). heal()
+      // reports whether the word was present, so no separate contaminated()
+      // probe is needed.
       ++stats_.heals;
-      shadow_.heal(addr);
     }
     return;
   }
@@ -33,17 +34,15 @@ void FpmRuntime::on_store(std::uint64_t val, std::uint64_t val_p,
   if (val != old_pristine_addr) {
     ++stats_.stores_divergent;
     shadow_.record(addr, old_pristine_addr);
-  } else if (shadow_.contaminated(addr)) {
+  } else if (shadow_.heal(addr)) {
     ++stats_.heals;
-    shadow_.heal(addr);
   }
 
   // (2) `addr_p` should now hold `val_p` but was never written.
   if (!have_addr_p_content || mem_at_addr_p != val_p) {
     shadow_.record(addr_p, val_p);
-  } else if (shadow_.contaminated(addr_p)) {
+  } else if (shadow_.heal(addr_p)) {
     ++stats_.heals;
-    shadow_.heal(addr_p);
   }
 }
 

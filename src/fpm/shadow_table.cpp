@@ -4,35 +4,87 @@
 
 namespace fprop::fpm {
 
+void ShadowTable::erase_at(std::size_t hole) {
+  // Backward-shift deletion: walk the cluster after the hole and pull back
+  // every entry whose home slot lies at or before the hole, leaving no
+  // tombstone. Probe chains therefore stay exactly as long as the live
+  // entries require, no matter how many record/heal cycles have run.
+  Slot* data = slots_.data();
+  const std::size_t m = mask();
+  std::size_t cur = hole;
+  for (;;) {
+    cur = (cur + 1) & m;
+    if (data[cur].key == kEmptyKey) break;
+    const std::size_t home = home_slot(data[cur].key);
+    // Cyclic test: can this entry reach `hole` from its home without
+    // crossing an empty slot? Equivalently, home is NOT strictly inside
+    // (hole, cur].
+    const bool unreachable = ((cur - home) & m) < ((cur - hole) & m);
+    if (!unreachable) {
+      data[hole] = data[cur];
+      hole = cur;
+    }
+  }
+  data[hole].key = kEmptyKey;
+}
+
+void ShadowTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{kEmptyKey, 0});
+  --shift_;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    std::size_t i = home_slot(s.key);
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & mask();
+    slots_[i] = s;
+  }
+}
+
+void ShadowTable::clear() {
+  slots_.assign(kMinCapacity, Slot{kEmptyKey, 0});
+  shift_ = 64 - std::bit_width(kMinCapacity - 1);
+  size_ = 0;
+  has_sentinel_ = false;
+}
+
 std::vector<std::pair<std::uint64_t, std::uint64_t>> ShadowTable::in_range(
     std::uint64_t lo, std::uint64_t hi) const {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
-  // The table is unordered; for typical message sizes the range is small, so
-  // probing each word of the range beats scanning the whole table.
-  if (hi > lo && (hi - lo) / 8 < table_.size()) {
+  // For typical message sizes the range is small, so probing each word of
+  // the range beats scanning the whole table.
+  if (hi > lo && (hi - lo) / 8 < size_) {
     for (std::uint64_t addr = lo; addr < hi; addr += 8) {
-      auto it = table_.find(addr);
-      if (it != table_.end()) out.emplace_back(it->first, it->second);
+      const Slot* s = find(addr);
+      if (s != nullptr) out.emplace_back(s->key, s->val);
     }
   } else {
-    for (const auto& [addr, pristine] : table_) {
-      if (addr >= lo && addr < hi) out.emplace_back(addr, pristine);
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey && s.key >= lo && s.key < hi) {
+        out.emplace_back(s.key, s.val);
+      }
     }
+    // The sentinel key (all ones) can never satisfy key < hi: hi is
+    // exclusive, so no range covers it.
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void ShadowTable::heal_range(std::uint64_t lo, std::uint64_t hi) {
-  if (hi > lo && (hi - lo) / 8 < table_.size()) {
-    for (std::uint64_t addr = lo; addr < hi; addr += 8) table_.erase(addr);
-  } else {
-    for (auto it = table_.begin(); it != table_.end();) {
-      if (it->first >= lo && it->first < hi) {
-        it = table_.erase(it);
-      } else {
-        ++it;
-      }
+  if (hi > lo && (hi - lo) / 8 < size_) {
+    for (std::uint64_t addr = lo; addr < hi; addr += 8) heal(addr);
+    return;
+  }
+  for (std::size_t i = 0; i < slots_.size();) {
+    if (slots_[i].key != kEmptyKey && slots_[i].key >= lo &&
+        slots_[i].key < hi) {
+      // Backward shift may move a cluster entry into slot i; re-examine it
+      // before advancing. Entries it moves to other positions are either
+      // re-visited later or were already-scanned keepers.
+      erase_at(i);
+      --size_;
+    } else {
+      ++i;
     }
   }
 }

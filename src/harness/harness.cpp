@@ -1,8 +1,11 @@
 #include "fprop/harness/harness.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <map>
+#include <thread>
 
 #include "fprop/model/propagation_model.h"
 #include "fprop/support/error.h"
@@ -191,17 +194,109 @@ std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
   return out;
 }
 
+namespace {
+
+/// Worker-side product of one trial: the result plus the propagation-slope
+/// fit, extracted while the (possibly discarded) trace is still in hand.
+struct TrialSlot {
+  TrialResult t;
+  double slope = 0.0;
+  bool slope_usable = false;
+};
+
+/// Executes trials [first(chunks)..] pulled from a shared chunk counter.
+/// Trial i writes only slot i, so workers never contend on results; the
+/// trace-retention cutoff depends only on the trial index, so what each
+/// worker keeps is independent of scheduling.
+void trial_worker(const AppHarness& harness, const CampaignConfig& config,
+                  const std::vector<inject::InjectionPlan>& plans,
+                  std::vector<TrialSlot>& slots, std::atomic<std::size_t>& next,
+                  std::size_t chunk) {
+  for (;;) {
+    const std::size_t begin = next.fetch_add(chunk);
+    if (begin >= plans.size()) return;
+    const std::size_t end = std::min(begin + chunk, plans.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      TrialSlot& slot = slots[i];
+      slot.t = harness.run_trial(plans[i], config.capture_traces);
+      if (config.capture_traces && !slot.t.trace.empty()) {
+        // Fit the propagation slope while the trace is still in hand; the
+        // crash cases (immediate termination) rarely yield usable traces.
+        const model::TraceModel tm = model::model_trace(slot.t.trace);
+        slot.slope = tm.rate.a;
+        slot.slope_usable = tm.usable;
+      }
+      if (!config.capture_traces || i >= config.max_kept_traces) {
+        // Same retention rule as the serial merge: only the first
+        // max_kept_traces trials keep their trace. Dropping it here bounds
+        // in-flight memory to the kept set regardless of trial count.
+        slot.t.trace.clear();
+        slot.t.trace.shrink_to_fit();
+      }
+    }
+  }
+}
+
+std::size_t effective_jobs(std::size_t requested, std::size_t trials) {
+  std::size_t jobs =
+      requested != 0 ? requested
+                     : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  return std::max<std::size_t>(std::min(jobs, trials), 1);
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const AppHarness& harness,
                             const CampaignConfig& config) {
-  CampaignResult result;
-  result.trials.reserve(config.trials);
-  std::size_t kept_traces = 0;
+  // Phase 1 — pre-sample every injection plan up front. Plan i depends only
+  // on derive_seed(config.seed, i), never on execution order, so the sampled
+  // campaign is identical at any jobs value.
+  std::vector<inject::InjectionPlan> plans;
+  plans.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
     Xoshiro256 rng(derive_seed(config.seed, i));
-    const inject::InjectionPlan plan = inject::sample_faults(
-        harness.golden().dyn_counts, config.faults_per_run, rng);
-    TrialResult t = harness.run_trial(plan, config.capture_traces);
+    plans.push_back(inject::sample_faults(harness.golden().dyn_counts,
+                                          config.faults_per_run, rng));
+  }
 
+  // Phase 2 — execute trials on the worker pool. Chunked dynamic dispatch:
+  // trial cost varies wildly (crashes terminate early), so workers pull
+  // modest chunks off a shared counter instead of static striping.
+  std::vector<TrialSlot> slots(config.trials);
+  const std::size_t jobs = effective_jobs(config.jobs, config.trials);
+  const std::size_t chunk =
+      std::max<std::size_t>(1, config.trials / (jobs * 8));
+  std::atomic<std::size_t> next{0};
+  if (jobs <= 1) {
+    trial_worker(harness, config, plans, slots, next, chunk);
+  } else {
+    std::vector<std::exception_ptr> errors(jobs);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          trial_worker(harness, config, plans, slots, next, chunk);
+        } catch (...) {
+          errors[w] = std::current_exception();
+          // Drain the counter so the surviving workers wind down quickly.
+          next.store(plans.size());
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (const auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Phase 3 — merge in trial-index order. This loop is the serial campaign
+  // loop minus execution, so counts, slopes, kept traces and recovery
+  // aggregates come out bit-identical to a jobs=1 run.
+  CampaignResult result;
+  result.trials.reserve(config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    TrialResult& t = slots[i].t;
     switch (t.outcome) {
       case Outcome::Vanished: ++result.counts.vanished; break;
       case Outcome::OutputNotAffected: ++result.counts.ona; break;
@@ -213,18 +308,8 @@ CampaignResult run_campaign(const AppHarness& harness,
     if (t.recovered) ++result.recovered_trials;
     result.total_rollbacks += t.rollbacks;
     result.total_wasted_cycles += t.wasted_cycles;
-
-    if (config.capture_traces && !t.trace.empty()) {
-      // Fit the propagation slope while the trace is still in hand; the
-      // crash cases (immediate termination) rarely yield usable traces.
-      const model::TraceModel tm = model::model_trace(t.trace);
-      if (tm.usable && tm.rate.a > 0.0) result.slopes.push_back(tm.rate.a);
-    }
-    if (!config.capture_traces || kept_traces >= config.max_kept_traces) {
-      t.trace.clear();
-      t.trace.shrink_to_fit();
-    } else {
-      ++kept_traces;
+    if (slots[i].slope_usable && slots[i].slope > 0.0) {
+      result.slopes.push_back(slots[i].slope);
     }
     result.trials.push_back(std::move(t));
   }

@@ -11,10 +11,18 @@ namespace {
 // plain names since the site id already marks them.
 std::string reg_name(const Function& f, Reg r) {
   if (r == kNoReg) return "r?";
+  // Built via append rather than operator+(const char*, string&&): the
+  // latter trips GCC 12's -Wrestrict false positive (PR 105651) at -O3.
+  std::string name = "r";
   for (const auto& [primary, shadow] : f.shadow_of) {
-    if (shadow == r) return "r" + std::to_string(primary) + "p";
+    if (shadow == r) {
+      name += std::to_string(primary);
+      name += 'p';
+      return name;
+    }
   }
-  return "r" + std::to_string(r);
+  name += std::to_string(r);
+  return name;
 }
 
 }  // namespace

@@ -304,8 +304,8 @@ bool World::exec_allreduce(Collective& coll, bool is_max) {
       if (auto* f = fpms_[r].get()) {
         if (primary[i] != pristine[i]) {
           f->shadow().record(addr, pristine[i]);
-        } else if (f->shadow().contaminated(addr)) {
-          f->shadow().heal(addr);
+        } else {
+          f->shadow().heal(addr);  // single probe; no-op when absent
         }
       }
     }

@@ -62,6 +62,7 @@ Interp::Interp(const ir::Module& module, std::uint32_t rank,
   Frame f;
   f.func = &entry;
   f.regs.assign(entry.num_regs(), 0);
+  enter_block(f, 0);
   frames_.push_back(std::move(f));
 }
 
@@ -81,6 +82,13 @@ Interp::Snapshot Interp::snapshot() const {
 
 void Interp::restore(const Snapshot& snap) {
   frames_ = snap.frames;
+  // Re-derive the per-frame code cache: the snapshot may have been captured
+  // before taint mode was enabled or hold pointers from another interpreter
+  // over the same module; func/block are the authoritative position.
+  for (Frame& fr : frames_) {
+    fr.code = fr.func->blocks[fr.block].code.data();
+  }
+  if (taint_ != nullptr) ensure_taint_frames();
   state_ = snap.state;
   trap_ = snap.trap;
   cycles_ = snap.cycles;
@@ -119,12 +127,17 @@ RunState Interp::run(std::uint64_t max_steps) {
   return state_;
 }
 
+void Interp::ensure_taint_frames() {
+  for (Frame& fr : frames_) {
+    if (fr.taint.size() != fr.regs.size()) fr.taint.assign(fr.regs.size(), 0);
+  }
+}
+
 bool Interp::step() {
   Frame& fr = frames_.back();
-  if (taint_ != nullptr && fr.taint.size() != fr.regs.size()) {
-    fr.taint.assign(fr.regs.size(), 0);  // taint mode enabled lazily
-  }
-  const ir::Instr& in = fr.func->blocks[fr.block].code[fr.ip];
+  // Single indexed fetch off the cached block pointer; the lazy taint-mode
+  // resize that used to sit here is hoisted to set_taint()/restore().
+  const ir::Instr& in = fr.code[fr.ip];
   std::uint64_t inj_from = 0;  // fim_inj pre/post values for taint transfer
   std::uint64_t inj_to = 0;
 
@@ -333,14 +346,12 @@ bool Interp::step() {
 
     // --- control flow ----------------------------------------------------
     case ir::Opcode::Jmp: {
-      fr.block = in.t1;
-      fr.ip = 0;
+      enter_block(fr, in.t1);
       finish_instr();
       return state_ == RunState::Ready;
     }
     case ir::Opcode::Br: {
-      fr.block = reg(in.a()) != 0 ? in.t1 : in.t2;
-      fr.ip = 0;
+      enter_block(fr, reg(in.a()) != 0 ? in.t1 : in.t2);
       finish_instr();
       return state_ == RunState::Ready;
     }
@@ -385,6 +396,7 @@ bool Interp::step() {
       next.func = &callee;
       next.ret_dst = in.dst;
       next.ret_dst2 = in.dst2;
+      enter_block(next, 0);
       next.regs.assign(callee.num_regs(), 0);
       for (std::size_t i = 0; i < in.args.size(); ++i) {
         next.regs[callee.params[i]] = reg(in.args[i]);

@@ -1,0 +1,158 @@
+// The parallel campaign engine's contract: a CampaignResult is bit-identical
+// at any jobs value. Plans are pre-sampled from derive_seed(seed, i), every
+// trial is a pure function of its plan, and the merge runs strictly in
+// trial-index order — so serial vs jobs={2,8} must agree on every counter,
+// every per-trial field, every slope and every kept trace.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+namespace fprop::harness {
+namespace {
+
+AppHarness make_harness(const std::string& app, std::uint32_t nranks,
+                        bool recovery = false) {
+  ExperimentConfig cfg;
+  cfg.nranks = nranks;
+  if (app == "matvec") cfg.overrides = {{"ITERS", "6"}};
+  if (recovery) {
+    cfg.recovery.enabled = true;
+    cfg.recovery.max_rollbacks = 2;
+  }
+  return AppHarness(apps::get_app(app), cfg);
+}
+
+CampaignConfig campaign_config(std::size_t trials, std::size_t jobs,
+                               bool capture) {
+  CampaignConfig cc;
+  cc.trials = trials;
+  cc.seed = 1234;
+  cc.capture_traces = capture;
+  cc.max_kept_traces = 4;
+  cc.jobs = jobs;
+  return cc;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  // Aggregate outcome counts (the Fig. 6 row).
+  EXPECT_EQ(a.counts.vanished, b.counts.vanished);
+  EXPECT_EQ(a.counts.ona, b.counts.ona);
+  EXPECT_EQ(a.counts.wrong_output, b.counts.wrong_output);
+  EXPECT_EQ(a.counts.pex, b.counts.pex);
+  EXPECT_EQ(a.counts.crashed, b.counts.crashed);
+
+  // Recovery aggregates.
+  EXPECT_EQ(a.recovered_trials, b.recovered_trials);
+  EXPECT_EQ(a.total_rollbacks, b.total_rollbacks);
+  EXPECT_EQ(a.total_wasted_cycles, b.total_wasted_cycles);
+
+  // Propagation slopes, bit-for-bit (same fits folded in the same order).
+  ASSERT_EQ(a.slopes.size(), b.slopes.size());
+  for (std::size_t i = 0; i < a.slopes.size(); ++i) {
+    EXPECT_EQ(a.slopes[i], b.slopes[i]) << "slope " << i;
+  }
+  ASSERT_EQ(a.max_contaminated_pct.size(), b.max_contaminated_pct.size());
+  for (std::size_t i = 0; i < a.max_contaminated_pct.size(); ++i) {
+    EXPECT_EQ(a.max_contaminated_pct[i], b.max_contaminated_pct[i])
+        << "max_contaminated_pct " << i;
+  }
+
+  // Per-trial results, including which trials kept their traces.
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    const TrialResult& x = a.trials[i];
+    const TrialResult& y = b.trials[i];
+    EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+    EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+    EXPECT_EQ(x.injected, y.injected) << "trial " << i;
+    EXPECT_EQ(x.total_cml_final, y.total_cml_final) << "trial " << i;
+    EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+    EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+    EXPECT_EQ(x.contaminated_ranks, y.contaminated_ranks) << "trial " << i;
+    EXPECT_EQ(x.reported_iters, y.reported_iters) << "trial " << i;
+    EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+    EXPECT_EQ(x.recovered, y.recovered) << "trial " << i;
+    EXPECT_EQ(x.rollbacks, y.rollbacks) << "trial " << i;
+    EXPECT_EQ(x.detections, y.detections) << "trial " << i;
+    EXPECT_EQ(x.wasted_cycles, y.wasted_cycles) << "trial " << i;
+    EXPECT_EQ(x.residual_cml, y.residual_cml) << "trial " << i;
+    ASSERT_EQ(x.trace.size(), y.trace.size()) << "trial " << i;
+    for (std::size_t s = 0; s < x.trace.size(); ++s) {
+      EXPECT_EQ(x.trace[s].cycle, y.trace[s].cycle)
+          << "trial " << i << " sample " << s;
+      EXPECT_EQ(x.trace[s].cml, y.trace[s].cml)
+          << "trial " << i << " sample " << s;
+    }
+  }
+}
+
+TEST(ParallelCampaign, MatvecMatchesSerialWithTraces) {
+  AppHarness h = make_harness("matvec", 1);
+  const CampaignResult serial =
+      run_campaign(h, campaign_config(48, 1, /*capture=*/true));
+  // Sanity: the campaign actually exercises multiple outcome classes and
+  // keeps exactly max_kept_traces traces (the first 4 trials).
+  EXPECT_EQ(serial.counts.total(), 48u);
+  std::size_t kept = 0;
+  for (const TrialResult& t : serial.trials) kept += !t.trace.empty();
+  EXPECT_LE(kept, 4u);
+
+  for (std::size_t jobs : {2u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const CampaignResult par =
+        run_campaign(h, campaign_config(48, jobs, /*capture=*/true));
+    expect_identical(serial, par);
+  }
+}
+
+TEST(ParallelCampaign, MatvecRecoveryAggregatesMatchSerial) {
+  AppHarness h = make_harness("matvec", 1, /*recovery=*/true);
+  const CampaignResult serial =
+      run_campaign(h, campaign_config(32, 1, /*capture=*/false));
+  EXPECT_EQ(serial.counts.total(), 32u);
+
+  for (std::size_t jobs : {2u, 8u}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const CampaignResult par =
+        run_campaign(h, campaign_config(32, jobs, /*capture=*/false));
+    expect_identical(serial, par);
+  }
+}
+
+TEST(ParallelCampaign, MultiRankLuleshMatchesSerial) {
+  // A second, multi-rank app: cross-rank propagation through MPI messages.
+  AppHarness h = make_harness("lulesh", 4);
+  const CampaignResult serial =
+      run_campaign(h, campaign_config(12, 1, /*capture=*/true));
+  EXPECT_EQ(serial.counts.total(), 12u);
+
+  const CampaignResult par =
+      run_campaign(h, campaign_config(12, 8, /*capture=*/true));
+  expect_identical(serial, par);
+}
+
+TEST(ParallelCampaign, JobsZeroMeansAutoAndStaysDeterministic) {
+  AppHarness h = make_harness("matvec", 1);
+  const CampaignResult serial =
+      run_campaign(h, campaign_config(16, 1, /*capture=*/false));
+  const CampaignResult auto_jobs =
+      run_campaign(h, campaign_config(16, 0, /*capture=*/false));
+  expect_identical(serial, auto_jobs);
+}
+
+TEST(ParallelCampaign, MoreJobsThanTrials) {
+  AppHarness h = make_harness("matvec", 1);
+  const CampaignResult serial =
+      run_campaign(h, campaign_config(3, 1, /*capture=*/false));
+  const CampaignResult par =
+      run_campaign(h, campaign_config(3, 8, /*capture=*/false));
+  expect_identical(serial, par);
+}
+
+}  // namespace
+}  // namespace fprop::harness
