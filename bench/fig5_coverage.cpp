@@ -72,7 +72,11 @@ int main(int argc, char** argv) {
   }
   double vmax = 0.0;
   for (std::size_t i = 0; i < buckets; ++i) {
-    labels[i] = "t" + std::to_string(i);
+    // std::string{} + ... instead of "t" + std::to_string(i): the char*
+    // overload of operator+ trips a GCC 12 -Wrestrict false positive when
+    // fully inlined at -O3 (PR105651), and this file must build in the
+    // Release -Werror CI bench job.
+    labels[i] = std::string("t") + std::to_string(i);
     vmax = std::max(vmax, values[i]);
   }
   std::printf("\ninjections per time bucket (ideal uniform = %.1f):\n%s\n",

@@ -1,18 +1,56 @@
 #!/usr/bin/env bash
-# Runs every perf_* google-benchmark binary with JSON output.
+# Runs the google-benchmark perf binaries with JSON output.
 #
-#   bench/run_benches.sh [build_dir] [out_dir]
+#   bench/run_benches.sh [build_dir] [out_dir] [-- extra benchmark args...]
 #
 # build_dir defaults to ./build, out_dir to <build_dir>/bench-results.
+# Everything after `--` is forwarded verbatim to every benchmark binary,
+# e.g. `-- --benchmark_filter=Matvec --benchmark_repetitions=3`.
+#
 # Results land in <out_dir>/BENCH_<name>.json (BENCH_campaign.json for
-# perf_campaign, etc.). The committed bench/BENCH_campaign.json is a
-# reference baseline produced by this script; regenerate it after touching
-# the campaign engine or the VM/shadow-table hot paths.
+# perf_campaign, etc.).
+#
+# Regenerating the committed CI baselines (bench/BENCH_*.json):
+#   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+#   cmake --build build-rel -j
+#   bench/run_benches.sh build-rel bench-baseline
+#   cp bench-baseline/BENCH_campaign.json bench/
+#   cp bench-baseline/BENCH_shadowtable.json bench/
+# Do this on a quiet machine only after an intentional perf change; the CI
+# bench-regression job compares fresh runs against these files with
+# fprop-benchdiff --threshold=0.30.
+#
+# The benchmark set is an explicit list (not a glob) so that the figure /
+# ablation replication binaries that also live in build/bench — which are
+# plain executables, not google-benchmark harnesses and don't understand
+# --benchmark_* flags — are never picked up by mistake.
 
 set -euo pipefail
 
-build_dir="${1:-build}"
-out_dir="${2:-${build_dir}/bench-results}"
+BENCHES=(perf_overhead perf_shadowtable perf_vm perf_checkpoint perf_campaign)
+
+build_dir="build"
+out_dir=""
+positional=0
+extra_args=()
+while [[ $# -gt 0 ]]; do
+  if [[ "$1" == "--" ]]; then
+    shift
+    extra_args=("$@")
+    break
+  fi
+  if [[ ${positional} == 0 ]]; then
+    build_dir="$1"
+  elif [[ ${positional} == 1 ]]; then
+    out_dir="$1"
+  else
+    echo "error: unexpected argument '$1' (extra benchmark args go after --)" >&2
+    exit 1
+  fi
+  positional=$((positional + 1))
+  shift
+done
+out_dir="${out_dir:-${build_dir}/bench-results}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — build the project first:" >&2
@@ -22,20 +60,16 @@ fi
 
 mkdir -p "${out_dir}"
 
-found=0
-for bin in "${build_dir}"/bench/perf_*; do
-  [[ -x "${bin}" && -f "${bin}" ]] || continue
-  found=1
-  name="$(basename "${bin}")"
+for name in "${BENCHES[@]}"; do
+  bin="${build_dir}/bench/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (configure with -DFPROP_BUILD_BENCH=ON)" >&2
+    exit 1
+  fi
   out="${out_dir}/BENCH_${name#perf_}.json"
   echo "== ${name} -> ${out}"
   "${bin}" --benchmark_format=json --benchmark_out="${out}" \
-           --benchmark_out_format=json
+           --benchmark_out_format=json "${extra_args[@]}"
 done
-
-if [[ "${found}" == 0 ]]; then
-  echo "error: no perf_* binaries in ${build_dir}/bench" >&2
-  exit 1
-fi
 
 echo "done: results in ${out_dir}"

@@ -3,18 +3,24 @@
 // prints both the black-box outcome breakdown (Fig. 6 row) and the
 // propagation-aware V/ONA split that only the FPM framework can measure.
 //
-//   $ ./fault_campaign [app] [trials] [--jobs=N]
+//   $ ./fault_campaign [app] [trials] [--jobs=N] [--trace-dir=D] [--metrics-out=F]
 //   $ ./fault_campaign lulesh 200 --jobs=8
+//   $ ./fault_campaign matvec 8 --trace-dir=out   # Chrome traces + CSV/JSON
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
+// --trace-dir=D writes per-trial Chrome trace-event JSON (load in
+// chrome://tracing) plus campaign.csv / campaign.json into D.
+// --metrics-out=F dumps the process-wide metrics registry as JSON to F.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
+#include "fprop/obs/export.h"
 
 using namespace fprop;
 
@@ -22,10 +28,16 @@ int main(int argc, char** argv) {
   const char* app = "lulesh";
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
+  std::string trace_dir;
+  std::string metrics_out;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      trace_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else if (positional == 0) {
       app = argv[i];
       ++positional;
@@ -44,8 +56,20 @@ int main(int argc, char** argv) {
   cc.trials = trials;
   cc.capture_traces = false;
   cc.jobs = jobs;
+  cc.trace_dir = trace_dir;
+  if (!metrics_out.empty()) cc.metrics = &obs::MetricsRegistry::global();
   const harness::CampaignResult r = run_campaign(h, cc);
   const auto& c = r.counts;
+
+  if (!metrics_out.empty()) {
+    obs::write_file(metrics_out,
+                    obs::metrics_json(obs::MetricsRegistry::global().snapshot()));
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_dir.empty()) {
+    std::printf("traces + campaign.csv/json written to %s/\n",
+                trace_dir.c_str());
+  }
 
   std::printf("\nblack-box view (output variation only):\n");
   std::printf("  correct output (CO): %5.1f%%\n", c.pct(c.correct_output()));

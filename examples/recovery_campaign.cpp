@@ -4,30 +4,48 @@
 // detector, coordinated checkpoints at clean scans, and a rollback policy
 // deciding whether a detection is worth re-executing work for.
 //
-//   $ ./recovery_campaign [app] [trials] [--jobs=N]
+//   $ ./recovery_campaign [app] [trials] [--jobs=N] [--trace-dir=D] [--metrics-out=F]
 //   $ ./recovery_campaign matvec 200 --jobs=8
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
+// --trace-dir=D writes per-trial Chrome traces + campaign.csv/json into one
+// subdirectory per policy row (D/baseline, D/always, ...).
+// --metrics-out=F dumps the metrics registry (all four campaigns) to F.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
+#include "fprop/obs/export.h"
 
 using namespace fprop;
 
 namespace {
 
+struct ObsOptions {
+  std::string trace_dir;   // empty = tracing off
+  std::string metrics_out; // empty = no metrics dump
+};
+
 harness::CampaignResult campaign(const char* app, std::size_t trials,
                                  std::size_t jobs,
-                                 harness::ExperimentConfig config) {
+                                 harness::ExperimentConfig config,
+                                 const ObsOptions& obs_opts,
+                                 const char* label) {
   harness::AppHarness h(apps::get_app(app), config);
   harness::CampaignConfig cc;
   cc.trials = trials;
   cc.jobs = jobs;
+  if (!obs_opts.trace_dir.empty()) {
+    cc.trace_dir = obs_opts.trace_dir + "/" + label;
+  }
+  if (!obs_opts.metrics_out.empty()) {
+    cc.metrics = &obs::MetricsRegistry::global();
+  }
   return run_campaign(h, cc);
 }
 
@@ -47,10 +65,15 @@ int main(int argc, char** argv) {
   const char* app = "matvec";
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
+  ObsOptions obs_opts;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
+      obs_opts.trace_dir = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      obs_opts.metrics_out = argv[i] + 14;
     } else if (positional == 0) {
       app = argv[i];
       ++positional;
@@ -64,23 +87,29 @@ int main(int argc, char** argv) {
   std::printf("recovery campaign: %s, %zu single-fault trials per policy\n",
               app, trials);
 
-  print_row("baseline", campaign(app, trials, jobs, config));
+  print_row("baseline", campaign(app, trials, jobs, config, obs_opts, "baseline"));
 
   config.recovery.enabled = true;
   config.recovery.detector_interval = 0;  // derive golden/16
 
   config.recovery.policy = model::RollbackPolicy::Always;
-  print_row("always", campaign(app, trials, jobs, config));
+  print_row("always", campaign(app, trials, jobs, config, obs_opts, "always"));
 
   config.recovery.policy = model::RollbackPolicy::Never;
-  print_row("never", campaign(app, trials, jobs, config));
+  print_row("never", campaign(app, trials, jobs, config, obs_opts, "never"));
 
   // FpsModel: tolerate contaminations whose Eq. 3 end-of-run prediction
   // stays below the safe threshold; roll back otherwise (and on crashes).
   config.recovery.policy = model::RollbackPolicy::FpsModel;
   config.recovery.fps = 1e-4;
   config.recovery.cml_threshold = 50.0;
-  print_row("fps-model", campaign(app, trials, jobs, config));
+  print_row("fps-model", campaign(app, trials, jobs, config, obs_opts, "fps-model"));
+
+  if (!obs_opts.metrics_out.empty()) {
+    obs::write_file(obs_opts.metrics_out,
+                    obs::metrics_json(obs::MetricsRegistry::global().snapshot()));
+    std::printf("metrics written to %s\n", obs_opts.metrics_out.c_str());
+  }
 
   std::printf("\nthe fps-model row should sit between always (max repair,\n"
               "max waste) and never (no waste, contamination survives).\n");

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fprop/fpm/shadow_table.h"
+#include "fprop/obs/events.h"
 
 namespace fprop::fpm {
 
@@ -36,6 +37,14 @@ class FpmRuntime {
   /// `sample_period` = cycles between CML(t) trace samples (0 = no trace).
   explicit FpmRuntime(std::uint64_t sample_period = 0)
       : sample_period_(sample_period) {}
+
+  /// Attaches a per-trial event recorder (null detaches). The runtime does
+  /// not know the VM clock; it timestamps events with the cycle last seen by
+  /// tick(), which is at most one instruction behind the store being traced.
+  void set_recorder(obs::TrialRecorder* recorder, std::uint32_t rank) noexcept {
+    recorder_ = recorder;
+    rank_ = rank;
+  }
 
   ShadowTable& shadow() noexcept { return shadow_; }
   const ShadowTable& shadow() const noexcept { return shadow_; }
@@ -70,6 +79,7 @@ class FpmRuntime {
   /// Advances the virtual clock; appends a trace sample when the sampling
   /// period elapses. Called by the VM once per executed instruction.
   void tick(std::uint64_t cycle) {
+    if (recorder_ != nullptr) clock_hint_ = cycle;
     if (sample_period_ != 0 && cycle >= next_sample_) {
       trace_.push_back({cycle, shadow_.size()});
       next_sample_ = cycle + sample_period_;
@@ -106,6 +116,14 @@ class FpmRuntime {
   std::vector<TraceSample> trace_;
   std::uint64_t sample_period_;
   std::uint64_t next_sample_ = 0;
+
+  // Observability (DESIGN.md §8). clock_hint_ and divergence_seen_ are
+  // recorder bookkeeping, not trial state: they are only advanced while a
+  // recorder is attached and are deliberately not part of Snapshot.
+  obs::TrialRecorder* recorder_ = nullptr;
+  std::uint32_t rank_ = 0;
+  std::uint64_t clock_hint_ = 0;
+  bool divergence_seen_ = false;
 };
 
 }  // namespace fprop::fpm

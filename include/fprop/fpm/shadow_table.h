@@ -128,6 +128,11 @@ class ShadowTable {
     return in_range(0, kEmptyKey);
   }
 
+  /// Probe distance (slots from home; 0 = at home) of every live entry, in
+  /// slot order. Observability accessor (the metrics registry's
+  /// shadow.probe_len histogram); never called on the campaign hot path.
+  std::vector<std::uint64_t> probe_lengths() const;
+
  private:
   struct Slot {
     std::uint64_t key;

@@ -22,6 +22,8 @@
 #include "fprop/fpm/runtime.h"
 #include "fprop/inject/injector.h"
 #include "fprop/mpisim/world.h"
+#include "fprop/obs/events.h"
+#include "fprop/obs/metrics.h"
 #include "fprop/passes/passes.h"
 #include "fprop/recovery/recovery.h"
 
@@ -89,6 +91,13 @@ struct TrialResult {
   /// Per-rank first-contamination times on the global clock (Fig. 8).
   std::vector<std::optional<std::uint64_t>> rank_first_contaminated;
 
+  /// CML/cycle linear fit of the captured trace (populated when
+  /// capture_trace was requested and the trace was fittable). Lives on the
+  /// result so exporters and the campaign merge agree on one fit.
+  double slope_a = 0.0;
+  double slope_b = 0.0;
+  bool slope_usable = false;
+
   // --- recovery campaigns (ExperimentConfig::recovery.enabled) -------------
   /// Rolled back at least once AND still finished with correct output —
   /// the trial the recovery subsystem actually saved.
@@ -98,6 +107,8 @@ struct TrialResult {
   std::uint64_t wasted_cycles = 0;    ///< re-executed global cycles
   std::uint64_t residual_cml = 0;     ///< contamination carried to the end
   bool recovery_gave_up = false;      ///< retry budget exhausted
+  /// Global clock of the first detection (-1 = none / recovery disabled).
+  std::int64_t first_detection_clock = -1;
 };
 
 class AppHarness {
@@ -122,8 +133,16 @@ class AppHarness {
   /// `golden_`, `config_` are never written after construction, and neither
   /// the module nor the app registry holds lazy mutable caches). This is
   /// what the parallel campaign engine relies on.
+  ///
+  /// `recorder` (optional) captures the trial's typed event stream; it is
+  /// observation only and MUST NOT change any TrialResult field (enforced by
+  /// parallel_campaign_test). `metrics` (optional) receives the trial's
+  /// counter/histogram updates; all updates are commutative atomics, so
+  /// campaign aggregates are identical at any worker count.
   TrialResult run_trial(const inject::InjectionPlan& plan,
-                        bool capture_trace = false) const;
+                        bool capture_trace = false,
+                        obs::TrialRecorder* recorder = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr) const;
 
   /// Classifies an arbitrary job result (exposed for tests).
   Outcome classify(const mpisim::JobResult& job, bool memory_was_touched)
@@ -175,6 +194,18 @@ struct CampaignConfig {
   /// chunked worker pool, and merges results in trial-index order — the
   /// CampaignResult is bit-identical at any jobs value.
   std::size_t jobs = 1;
+
+  // --- observability (DESIGN.md §8) ----------------------------------------
+  /// When non-empty: per-trial Chrome trace JSON (trial_NNNNNN.json) plus
+  /// campaign.csv / campaign.json summaries are written into this directory
+  /// (created if missing). Empty (the default) disables tracing entirely.
+  std::string trace_dir;
+  /// When non-null, every trial folds its counters/histograms into this
+  /// registry. Aggregation is commutative, so the snapshot is identical at
+  /// any jobs value (tested by parallel_campaign_test).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Event-ring capacity per trial (oldest events drop first on overflow).
+  std::size_t trace_capacity = 1u << 16;
 };
 
 struct CampaignResult {
@@ -197,6 +228,14 @@ struct CampaignResult {
 /// CampaignResult strictly in trial-index order.
 CampaignResult run_campaign(const AppHarness& harness,
                             const CampaignConfig& config);
+
+/// Writes the campaign summaries — campaign.csv (one row per trial) and
+/// campaign.json (outcome counts + FPS fit + recovery aggregates) — into
+/// `dir` (created if missing). run_campaign calls this automatically when
+/// CampaignConfig::trace_dir is set; exposed for tools and tests. Output is
+/// byte-stable for a fixed (app, seed, trials) triple.
+void export_campaign(const AppHarness& harness, const CampaignConfig& config,
+                     const CampaignResult& result, const std::string& dir);
 
 /// Per-static-site vulnerability aggregation: LLFI's raison d'etre is
 /// tracing fault effects back to the source construct, so campaigns can be

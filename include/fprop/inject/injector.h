@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "fprop/obs/events.h"
 #include "fprop/support/rng.h"
 #include "fprop/vm/hooks.h"
 
@@ -66,6 +67,12 @@ class InjectorRuntime final : public vm::InjectHook {
   std::uint64_t on_fim_inj(vm::Interp& self, std::uint64_t value,
                            std::int64_t site_id, unsigned width) override;
 
+  /// Attaches the per-trial event recorder (null detaches): every flip that
+  /// actually fires emits an Injection event.
+  void set_recorder(obs::TrialRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   /// Dynamic fim_inj executions observed on `rank` so far.
   std::uint64_t dynamic_points(std::uint32_t rank) const;
   DynCounts dynamic_counts(std::uint32_t nranks) const;
@@ -83,6 +90,7 @@ class InjectorRuntime final : public vm::InjectHook {
 
   std::map<std::uint32_t, PerRank> ranks_;
   std::vector<InjectionEvent> events_;
+  obs::TrialRecorder* recorder_ = nullptr;
 };
 
 /// Fig. 5 support: given a set of sampled (rank, dyn_index) injection

@@ -22,6 +22,7 @@
 #include "fprop/fpm/message.h"
 #include "fprop/fpm/runtime.h"
 #include "fprop/ir/ir.h"
+#include "fprop/obs/events.h"
 #include "fprop/vm/interp.h"
 
 namespace fprop::mpisim {
@@ -37,6 +38,9 @@ struct WorldConfig {
   /// 0 disables. Sampled between scheduler slices, so the effective
   /// resolution is max(slice, this).
   std::uint64_t global_sample_period = 0;
+  /// Per-trial event recorder (DESIGN.md §8); wired into every rank's
+  /// interpreter and FPM runtime. Null (the default) disables tracing.
+  obs::TrialRecorder* recorder = nullptr;
 };
 
 /// Wildcards accepted by recv (matching MPI_ANY_SOURCE / MPI_ANY_TAG).
@@ -176,6 +180,11 @@ class World final : public vm::MpiHook {
     std::vector<std::optional<std::uint64_t>> first_contaminated;
     std::vector<fpm::TraceSample> global_trace;
     std::uint64_t next_global_sample = 0;
+
+    /// Rough serialized footprint (bytes) for the observability layer's
+    /// Checkpoint events and checkpoint.bytes histogram. Dominated by the
+    /// rank memory images; bookkeeping containers are costed per element.
+    std::uint64_t approx_bytes() const;
   };
 
   Checkpoint checkpoint() const;

@@ -1,0 +1,75 @@
+#pragma once
+
+// Core of the fprop-benchdiff tool: parse two google-benchmark JSON result
+// files, match benchmarks by name, and flag relative-time regressions. The
+// CI bench-regression gate runs the thin CLI in tools/benchdiff_main.cpp on
+// top of this; keeping the logic here makes it unit-testable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/obs/json.h"
+
+namespace fprop::obs {
+
+struct BenchEntry {
+  std::string name;
+  double real_time = 0.0;  ///< normalized to nanoseconds
+  double cpu_time = 0.0;   ///< normalized to nanoseconds
+  std::uint64_t iterations = 0;
+};
+
+/// Extracts per-iteration benchmark entries from a parsed
+/// --benchmark_format=json document. Aggregate rows (mean/median/stddev)
+/// are skipped; times are normalized to ns using each entry's time_unit.
+/// Throws fprop::Error on a structurally unusable document.
+std::vector<BenchEntry> parse_benchmark_entries(const json::Value& doc);
+
+struct DiffOptions {
+  /// Relative slowdown that counts as a regression: current > base*(1+t).
+  double threshold = 0.30;
+  /// Entries with fewer iterations than this (in either file) are noise and
+  /// excluded from gating (still listed, marked "skip").
+  std::uint64_t min_iters = 0;
+  /// Substring filter on benchmark names (empty = all).
+  std::string filter;
+  /// Compare cpu_time instead of real_time.
+  bool use_cpu_time = false;
+  /// Benchmarks present in only one file fail the diff unless allowed.
+  bool allow_missing = false;
+};
+
+struct DiffRow {
+  std::string name;
+  double base_ns = 0.0;
+  double cur_ns = 0.0;
+  double ratio = 0.0;  ///< cur / base
+  bool skipped = false;    ///< below min_iters; not gated
+  bool regressed = false;  ///< ratio > 1 + threshold
+  bool improved = false;   ///< ratio < 1 - threshold
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;
+  std::vector<std::string> only_in_base;
+  std::vector<std::string> only_in_current;
+  std::size_t regressions = 0;
+
+  /// Gate verdict the CI job keys on.
+  bool failed(const DiffOptions& opt) const noexcept {
+    return regressions > 0 ||
+           (!opt.allow_missing &&
+            (!only_in_base.empty() || !only_in_current.empty()));
+  }
+};
+
+DiffReport diff_benchmarks(const std::vector<BenchEntry>& base,
+                           const std::vector<BenchEntry>& current,
+                           const DiffOptions& options);
+
+/// Human-readable fixed-width table (one line per row + missing-name notes).
+std::string format_diff_table(const DiffReport& report,
+                              const DiffOptions& options);
+
+}  // namespace fprop::obs

@@ -1,0 +1,131 @@
+#pragma once
+
+// Per-trial event recorder — the tracing half of the observability layer
+// (DESIGN.md §8). Every subsystem that participates in a trial (injector,
+// FPM runtime, VM, MPI simulator, recovery manager, harness) emits typed
+// propagation events into one TrialRecorder; exporters (obs/export.h) turn
+// the stream into chrome://tracing timelines and campaign summaries.
+//
+// Hot-path contract:
+//  * recording is a bounds-checked write into a pre-allocated ring buffer —
+//    no allocation, no locking, no formatting;
+//  * a disabled recorder is a null pointer at every emit site, so the cost
+//    of tracing-off is one predictable branch (FPROP_OBS_EMIT);
+//  * when FPROP_OBS_ENABLED is defined to 0 the emit sites compile away
+//    entirely and the binary carries no tracing code at all.
+//
+// The recorder never feeds back into execution: attaching one must leave
+// every TrialResult field bit-identical (tested by parallel_campaign_test).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifndef FPROP_OBS_ENABLED
+#define FPROP_OBS_ENABLED 1
+#endif
+
+namespace fprop::obs {
+
+/// Typed propagation events. Payload fields a/b/c are kind-specific; see
+/// the per-kind comments. Steps are virtual time: rank-scoped events carry
+/// the emitting rank's executed-instruction count, job-scoped events (rank
+/// == kJobScope) carry the World's global clock.
+enum class EventKind : std::uint8_t {
+  Injection,        ///< a=site_id, b=bit, c=before^after (flipped mask)
+  FirstDivergence,  ///< a=0 value divergence, a=1 wild-store address
+  ShadowRecord,     ///< a=addr, b=table size after, c=pristine bits
+  ShadowHeal,       ///< a=addr, b=table size after
+  MsgSend,          ///< a=dest rank, b=payload words, c=header wire words
+  MsgRecv,          ///< a=src rank, b=payload words, c=header wire words
+  CmlSample,        ///< b=table size; resync after a bulk shadow mutation
+                    ///< (message install / collective) that bypasses on_store
+  Trap,             ///< a=vm::Trap value
+  DetectorScan,     ///< a=total CML seen (0 = clean verdict), b=#scans so far
+  Checkpoint,       ///< a=approx bytes, b=retained count after
+  Rollback,         ///< a=restored-to global clock, b=wasted cycles
+  RankContaminated, ///< a=rank whose state first became contaminated
+  TrialOutcome,     ///< a=harness::Outcome, b=vm::Trap, c=final CML
+};
+
+const char* event_kind_name(EventKind k) noexcept;
+
+/// Emitting rank for job-scoped events (detector, checkpoint, outcome...).
+inline constexpr std::uint32_t kJobScope = 0xFFFFFFFFu;
+
+struct Event {
+  std::uint64_t step = 0;  ///< virtual time (see EventKind comment)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t rank = 0;
+  EventKind kind = EventKind::Injection;
+};
+
+/// Fixed-capacity ring buffer of Events for one trial. When full, the
+/// oldest events are overwritten (the end of a trial — detection, outcome —
+/// is always retained; `dropped()` reports how much of the head was lost).
+class TrialRecorder {
+ public:
+  explicit TrialRecorder(std::size_t capacity = 1u << 16)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  /// Appends one event. Zero-allocation: a single indexed store.
+  void emit(EventKind kind, std::uint32_t rank, std::uint64_t step,
+            std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint64_t c = 0) noexcept {
+    Event& e = ring_[head_];
+    e.step = step;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.rank = rank;
+    e.kind = kind;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++total_;
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events emitted over the trial's lifetime (including overwritten ones).
+  std::uint64_t total_emitted() const noexcept { return total_; }
+  /// Oldest events lost to ring overwrite.
+  std::uint64_t dropped() const noexcept {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::size_t size() const noexcept {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+
+  /// Retained events in emission order (oldest surviving first).
+  std::vector<Event> ordered() const;
+
+  /// Resets the recorder for reuse by the next trial.
+  void clear() noexcept {
+    head_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fprop::obs
+
+/// Emit-site wrapper: a null recorder costs one branch; with
+/// FPROP_OBS_ENABLED=0 the condition is constant-false, so the site still
+/// type-checks (and keeps its operands "used" for -Werror) but is folded
+/// away by the compiler front end — no tracing code reaches the binary.
+#if FPROP_OBS_ENABLED
+#define FPROP_OBS_EMIT(rec, ...)                           \
+  do {                                                     \
+    if ((rec) != nullptr) (rec)->emit(__VA_ARGS__);        \
+  } while (0)
+#else
+#define FPROP_OBS_EMIT(rec, ...)                           \
+  do {                                                     \
+    if (false) (rec)->emit(__VA_ARGS__);                   \
+  } while (0)
+#endif

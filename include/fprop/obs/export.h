@@ -1,0 +1,107 @@
+#pragma once
+
+// Exporters over the observability layer's two data sources:
+//
+//  * a trial's event stream (obs/events.h) -> Chrome trace-event JSON,
+//    loadable in chrome://tracing / Perfetto: one track per rank plus a
+//    "job" track for detector/checkpoint/outcome events, and per-rank CML
+//    counter tracks rebuilt from the shadow record/heal events — the
+//    recorded CML(t) trace replayed from events;
+//  * campaign-level rows/summary (filled by harness::export_campaign) ->
+//    CSV (one row per trial) and JSON summary, plus a metrics-registry JSON
+//    dump.
+//
+// All writers are byte-deterministic: fields are emitted in fixed order,
+// doubles through format_double (shortest round-trip std::to_chars), so a
+// fixed-seed campaign produces bit-identical files at any jobs value
+// (golden-file tested).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/obs/events.h"
+#include "fprop/obs/metrics.h"
+
+namespace fprop::obs {
+
+/// Deterministic double formatting shared by every exporter: shortest
+/// round-trip std::to_chars, which is correctly rounded (i.e.
+/// platform-stable for identical double bits) per the C++ standard.
+std::string format_double(double v);
+
+struct ChromeTraceMeta {
+  std::string app;
+  std::uint64_t trial_index = 0;
+  std::uint32_t nranks = 0;
+  std::uint64_t total_emitted = 0;
+  std::uint64_t dropped = 0;  ///< oldest events lost to ring overwrite
+};
+
+/// Serializes `events` (emission order, as TrialRecorder::ordered returns)
+/// as Chrome trace-event JSON. ts is virtual time: rank-track events use
+/// the rank's own step clock, job-track events the global clock.
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ChromeTraceMeta& meta);
+
+/// One campaign trial flattened for CSV export (harness fills these from
+/// TrialResult; obs keeps no dependency on the harness layer).
+struct CampaignRow {
+  std::uint64_t trial = 0;
+  std::string outcome;  ///< V / ONA / WO / PEX / C
+  std::string trap;     ///< vm trap name ("none" when the trial survived)
+  bool injected = false;
+  std::uint32_t rank = 0;
+  std::int64_t site = -1;
+  std::uint32_t bit = 0;
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t global_cycles = 0;
+  std::uint64_t cml_final = 0;
+  std::uint64_t cml_peak = 0;
+  double contaminated_pct = 0.0;
+  std::uint64_t contaminated_ranks = 0;
+  std::int64_t reported_iters = -1;
+  bool slope_usable = false;
+  double slope_a = 0.0;  ///< CML(t) linear-fit slope (Eq. 1 a)
+  double slope_b = 0.0;  ///< intercept (Eq. 2 recovers t_f from it)
+  std::int64_t detect_clock = -1;  ///< global cycle of first detection
+  std::uint64_t detections = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t wasted_cycles = 0;
+  bool recovered = false;
+};
+
+struct CampaignSummary {
+  std::string app;
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t faults_per_run = 1;
+  /// Outcome class -> count, in fixed export order V/ONA/WO/PEX/C.
+  std::uint64_t vanished = 0;
+  std::uint64_t ona = 0;
+  std::uint64_t wrong_output = 0;
+  std::uint64_t pex = 0;
+  std::uint64_t crashed = 0;
+  double fps_mean = 0.0;  ///< mean usable CML slope (Table 2 FPS)
+  double fps_stddev = 0.0;
+  std::uint64_t fps_n = 0;
+  std::uint64_t recovered_trials = 0;
+  std::uint64_t total_rollbacks = 0;
+  std::uint64_t total_wasted_cycles = 0;
+};
+
+std::string campaign_csv(const std::vector<CampaignRow>& rows);
+std::string campaign_summary_json(const CampaignSummary& summary);
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path` atomically enough for our purposes (truncate
+/// + write); throws fprop::Error on I/O failure. Parent directories must
+/// exist (see ensure_dir).
+void write_file(const std::string& path, const std::string& content);
+/// mkdir -p equivalent; throws fprop::Error on failure.
+void ensure_dir(const std::string& dir);
+
+/// Trace file name for one trial inside a --trace-dir: trial_000042.json.
+std::string trial_trace_filename(std::uint64_t trial_index);
+
+}  // namespace fprop::obs

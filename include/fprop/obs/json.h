@@ -1,0 +1,78 @@
+#pragma once
+
+// Minimal JSON value model + recursive-descent parser. Exists for two
+// consumers that must not pull external dependencies: fprop-benchdiff
+// (parses google-benchmark --benchmark_format=json output) and the exporter
+// tests (validate that emitted Chrome traces are well-formed JSON).
+//
+// Scope: full JSON syntax (objects, arrays, strings with escapes, numbers,
+// literals); numbers are doubles (benchmark files stay well inside 2^53).
+// Object keys are kept in a std::map — duplicate keys keep the last value.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fprop::obs::json {
+
+class Value;
+
+enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit Value(double d) : type_(Type::Number), num_(d) {}
+  explicit Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::Array), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::Object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return *arr_; }
+  const Object& as_object() const { return *obj_; }
+
+  /// Object member access; returns a shared Null for missing keys or
+  /// non-objects, so lookups chain without exceptions.
+  const Value& operator[](const std::string& key) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;       ///< human-readable message when !ok
+  std::size_t error_pos = 0;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+ParseResult parse(const std::string& text);
+
+/// Convenience: parse a file; !ok with an error message if unreadable.
+ParseResult parse_file(const std::string& path);
+
+}  // namespace fprop::obs::json

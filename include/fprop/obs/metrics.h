@@ -1,0 +1,108 @@
+#pragma once
+
+// Process-wide metrics registry: named monotonic counters and fixed-bucket
+// histograms, aggregated across campaign worker threads.
+//
+// Determinism contract: all updates are commutative (atomic adds on
+// counters and per-bucket counts), so a campaign folds to the identical
+// snapshot at any CampaignConfig::jobs value — the registry observes the
+// parallel engine without perturbing its bit-identical merge (metrics never
+// feed back into trial execution).
+//
+// Registration (name lookup) takes a mutex and is meant for setup / fold
+// code; the returned Counter/Histogram references are stable for the
+// registry's lifetime and update lock-free.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fprop::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed upper-bound buckets (e.g. {1, 4, 16, 64}); observations above the
+/// last bound land in an implicit overflow bucket. Sum and count are kept
+/// so exporters can report totals and means.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  /// bucket_count(i) counts observations <= bounds[i] (and > bounds[i-1]);
+  /// bucket_count(bounds().size()) is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds+overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-value snapshot for export and comparison (operator== makes the
+/// jobs=1 vs jobs=N determinism test a one-liner).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns (creating on first use) the named counter. Stable reference.
+  Counter& counter(const std::string& name);
+  /// Returns (creating on first use) the named histogram. `bounds` is only
+  /// consulted on creation; later calls must agree (checked).
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+  /// Drops every metric (tests / per-campaign isolation).
+  void reset();
+
+  /// Process-wide instance used by the example binaries.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fprop::obs

@@ -26,6 +26,7 @@
 
 #include "fprop/model/rollback_sim.h"
 #include "fprop/mpisim/world.h"
+#include "fprop/obs/events.h"
 
 namespace fprop::recovery {
 
@@ -48,6 +49,9 @@ struct RecoveryConfig {
   std::size_t max_rollbacks = 8;
   /// Bounded snapshot retention: older clean checkpoints are dropped.
   std::size_t max_retained = 2;
+  /// Per-trial event recorder (DESIGN.md §8): detector scans, checkpoints
+  /// and rollbacks are emitted as job-scoped events. Null disables.
+  obs::TrialRecorder* recorder = nullptr;
 };
 
 /// What the recovery subsystem did during one job.
@@ -62,6 +66,11 @@ struct RecoveryReport {
   std::uint64_t peak_cml_seen = 0;
   bool gave_up = false;  ///< budget exhausted; job was torn down
   double predicted_final_cml = 0.0;  ///< last Eq. 3 prediction (FpsModel)
+  std::size_t scans = 0;  ///< detector scans performed (clean or not)
+  /// Global clock of the first detection (scan, trap or deadlock);
+  /// -1 = nothing was ever detected. Detection latency relative to the
+  /// first contamination is the headline §5 detector metric.
+  std::int64_t first_detection_clock = -1;
 };
 
 /// Drives a World to completion with the periodic detector, coordinated

@@ -77,6 +77,11 @@ class Interp {
   void set_inject_hook(InjectHook* hook) noexcept { inject_ = hook; }
   void set_mpi_hook(MpiHook* hook) noexcept { mpi_ = hook; }
   void set_fpm(fpm::FpmRuntime* fpm) noexcept { fpm_ = fpm; }
+  /// Attaches the per-trial event recorder (null detaches): the VM emits a
+  /// Trap event at every trap, including externally forced ones.
+  void set_recorder(obs::TrialRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
   /// Enables naive taint propagation (the §3.2 strawman; see fpm/taint.h).
   /// Use on a module WITHOUT the dual-chain pass — only the injection pass.
   /// Sizes the taint arrays of live frames up front so the interpreter's hot
@@ -172,6 +177,7 @@ class Interp {
   MpiHook* mpi_ = nullptr;
   fpm::FpmRuntime* fpm_ = nullptr;
   fpm::TaintRuntime* taint_ = nullptr;
+  obs::TrialRecorder* recorder_ = nullptr;
 };
 
 /// Bit-level reinterpretation helpers shared by VM, injector and harness.

@@ -15,12 +15,23 @@ void FpmRuntime::on_store(std::uint64_t val, std::uint64_t val_p,
     if (val != val_p) {
       ++stats_.stores_divergent;
       shadow_.record(addr, val_p);
+      if (recorder_ != nullptr) {
+        if (!divergence_seen_) {
+          divergence_seen_ = true;
+          recorder_->emit(obs::EventKind::FirstDivergence, rank_, clock_hint_,
+                          0);
+        }
+        recorder_->emit(obs::EventKind::ShadowRecord, rank_, clock_hint_, addr,
+                        shadow_.size(), val_p);
+      }
     } else if (shadow_.heal(addr)) {
       // The store wrote the correct value over a previously contaminated
       // word — the location healed (masking, Table 1 rows 2/4). heal()
       // reports whether the word was present, so no separate contaminated()
       // probe is needed.
       ++stats_.heals;
+      FPROP_OBS_EMIT(recorder_, obs::EventKind::ShadowHeal, rank_, clock_hint_,
+                     addr, shadow_.size());
     }
     return;
   }
@@ -28,21 +39,33 @@ void FpmRuntime::on_store(std::uint64_t val, std::uint64_t val_p,
   // "Store addresses" duplicate effect (paper §3.2): the address register
   // itself was corrupted, so the write landed at `addr` instead of `addr_p`.
   ++stats_.wild_stores;
+  if (recorder_ != nullptr && !divergence_seen_) {
+    divergence_seen_ = true;
+    recorder_->emit(obs::EventKind::FirstDivergence, rank_, clock_hint_, 1);
+  }
 
   // (1) `addr` was overwritten with `val` but fault-free execution would
   // leave it at `old_pristine_addr`.
   if (val != old_pristine_addr) {
     ++stats_.stores_divergent;
     shadow_.record(addr, old_pristine_addr);
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::ShadowRecord, rank_, clock_hint_,
+                   addr, shadow_.size(), old_pristine_addr);
   } else if (shadow_.heal(addr)) {
     ++stats_.heals;
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::ShadowHeal, rank_, clock_hint_,
+                   addr, shadow_.size());
   }
 
   // (2) `addr_p` should now hold `val_p` but was never written.
   if (!have_addr_p_content || mem_at_addr_p != val_p) {
     shadow_.record(addr_p, val_p);
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::ShadowRecord, rank_, clock_hint_,
+                   addr_p, shadow_.size(), val_p);
   } else if (shadow_.heal(addr_p)) {
     ++stats_.heals;
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::ShadowHeal, rank_, clock_hint_,
+                   addr_p, shadow_.size());
   }
 }
 

@@ -70,6 +70,18 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> ShadowTable::in_range(
   return out;
 }
 
+std::vector<std::uint64_t> ShadowTable::probe_lengths() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].key == kEmptyKey) continue;
+    const std::size_t home = home_slot(slots_[i].key);
+    out.push_back((i - home) & mask());
+  }
+  if (has_sentinel_) out.push_back(0);  // side slot: always a direct hit
+  return out;
+}
+
 void ShadowTable::heal_range(std::uint64_t lo, std::uint64_t hi) {
   if (hi > lo && (hi - lo) / 8 < size_) {
     for (std::uint64_t addr = lo; addr < hi; addr += 8) heal(addr);

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <exception>
 #include <map>
+#include <optional>
 #include <thread>
 
 #include "fprop/model/propagation_model.h"
+#include "fprop/obs/export.h"
 #include "fprop/support/error.h"
 
 namespace fprop::harness {
@@ -97,10 +99,100 @@ Outcome AppHarness::classify(const mpisim::JobResult& job,
   return memory_was_touched ? Outcome::OutputNotAffected : Outcome::Vanished;
 }
 
+namespace {
+
+/// Folds one finished trial into the metrics registry: outcome counters,
+/// shadow-table probe lengths sampled from the job-final tables, and (when
+/// an event stream exists) per-kind event counters and histograms. Every
+/// update is a commutative atomic add, so campaign aggregates are identical
+/// at any worker count.
+void fold_trial_metrics(obs::MetricsRegistry& reg, const TrialResult& t,
+                        const obs::TrialRecorder* recorder,
+                        mpisim::World& world) {
+  reg.counter("campaign.trials").add(1);
+  reg.counter(std::string("campaign.outcome.") + outcome_name(t.outcome))
+      .add(1);
+  if (t.injected) reg.counter("inject.flips").add(1);
+  if (t.recovered) reg.counter("recovery.recovered").add(1);
+  reg.counter("recovery.detections").add(t.detections);
+
+  auto& probe_len = reg.histogram("shadow.probe_len", {0, 1, 2, 4, 8, 16});
+  for (std::uint32_t r = 0; r < world.nranks(); ++r) {
+    if (auto* f = world.fpm(r)) {
+      for (const std::uint64_t len : f->shadow().probe_lengths()) {
+        probe_len.observe(len);
+      }
+    }
+  }
+
+  if (recorder == nullptr) return;
+  reg.counter("obs.events").add(recorder->total_emitted());
+  reg.counter("obs.events_dropped").add(recorder->dropped());
+
+  auto& header_words = reg.histogram("mpi.header_words",
+                                     {1, 3, 9, 33, 129, 513});
+  auto& ckpt_bytes = reg.histogram(
+      "checkpoint.bytes",
+      {1u << 10, 1u << 14, 1u << 18, 1u << 22, 1u << 26});
+  auto& detect_latency = reg.histogram(
+      "detector.latency_steps",
+      {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24});
+  std::uint64_t records = 0, heals = 0, sends = 0, recvs = 0, traps = 0,
+                scans = 0, checkpoints = 0, rollbacks = 0;
+  std::int64_t first_contaminated = -1;
+  for (const obs::Event& e : recorder->ordered()) {
+    switch (e.kind) {
+      case obs::EventKind::ShadowRecord: ++records; break;
+      case obs::EventKind::ShadowHeal: ++heals; break;
+      case obs::EventKind::MsgSend:
+        ++sends;
+        header_words.observe(e.c);
+        break;
+      case obs::EventKind::MsgRecv: ++recvs; break;
+      case obs::EventKind::Trap: ++traps; break;
+      case obs::EventKind::DetectorScan: ++scans; break;
+      case obs::EventKind::Checkpoint:
+        ++checkpoints;
+        ckpt_bytes.observe(e.a);
+        break;
+      case obs::EventKind::Rollback: ++rollbacks; break;
+      case obs::EventKind::RankContaminated:
+        // Both this and first_detection_clock sit on the global clock, so
+        // their difference is the end-to-end detection latency.
+        if (first_contaminated < 0) {
+          first_contaminated = static_cast<std::int64_t>(e.step);
+        }
+        break;
+      default: break;
+    }
+  }
+  if (first_contaminated >= 0 &&
+      t.first_detection_clock >= first_contaminated) {
+    detect_latency.observe(
+        static_cast<std::uint64_t>(t.first_detection_clock -
+                                   first_contaminated));
+  }
+  reg.counter("shadow.records").add(records);
+  reg.counter("shadow.heals").add(heals);
+  reg.counter("mpi.sends").add(sends);
+  reg.counter("mpi.recvs").add(recvs);
+  reg.counter("vm.traps").add(traps);
+  reg.counter("detector.scans").add(scans);
+  reg.counter("recovery.checkpoints").add(checkpoints);
+  reg.counter("recovery.rollbacks").add(rollbacks);
+}
+
+}  // namespace
+
 TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
-                                  bool capture_trace) const {
+                                  bool capture_trace,
+                                  obs::TrialRecorder* recorder,
+                                  obs::MetricsRegistry* metrics) const {
   inject::InjectorRuntime injector(plan);
-  mpisim::World world(module_, world_config(capture_trace));
+  injector.set_recorder(recorder);
+  mpisim::WorldConfig wc = world_config(capture_trace);
+  wc.recorder = recorder;
+  mpisim::World world(module_, wc);
   world.set_inject_hook(&injector);
 
   TrialResult t;
@@ -113,6 +205,7 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
           std::max<std::uint64_t>(golden_.global_cycles / 16, 1);
     }
     if (rc.expected_cycles == 0) rc.expected_cycles = golden_.global_cycles;
+    rc.recorder = recorder;
     recovery::RecoveryManager manager(world, rc);
     job = manager.run();
     const recovery::RecoveryReport& rep = manager.report();
@@ -121,6 +214,7 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     t.wasted_cycles = rep.wasted_cycles;
     t.residual_cml = rep.residual_cml;
     t.recovery_gave_up = rep.gave_up;
+    t.first_detection_clock = rep.first_detection_clock;
     rolled_away_peak = rep.peak_cml_seen;
   } else {
     job = world.run();
@@ -150,7 +244,19 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     for (const auto& r : job.ranks) {
       t.rank_first_contaminated.push_back(r.first_contaminated_at);
     }
+    if (!t.trace.empty()) {
+      // Fit the propagation slope while the trace is in hand; campaign
+      // workers may discard the trace itself but keep the fit.
+      const model::TraceModel tm = model::model_trace(t.trace);
+      t.slope_a = tm.rate.a;
+      t.slope_b = tm.rate.b;
+      t.slope_usable = tm.usable;
+    }
   }
+  FPROP_OBS_EMIT(recorder, obs::EventKind::TrialOutcome, obs::kJobScope,
+                 job.global_cycles, static_cast<std::uint64_t>(t.outcome),
+                 static_cast<std::uint64_t>(t.trap), t.total_cml_final);
+  if (metrics != nullptr) fold_trial_metrics(*metrics, t, recorder, world);
   return t;
 }
 
@@ -196,42 +302,46 @@ std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
 
 namespace {
 
-/// Worker-side product of one trial: the result plus the propagation-slope
-/// fit, extracted while the (possibly discarded) trace is still in hand.
-struct TrialSlot {
-  TrialResult t;
-  double slope = 0.0;
-  bool slope_usable = false;
-};
-
 /// Executes trials [first(chunks)..] pulled from a shared chunk counter.
 /// Trial i writes only slot i, so workers never contend on results; the
 /// trace-retention cutoff depends only on the trial index, so what each
-/// worker keeps is independent of scheduling.
+/// worker keeps is independent of scheduling. Each worker owns one event
+/// recorder reused (cleared) across its trials; trace files are written
+/// worker-side, keyed by trial index, so the on-disk output is identical at
+/// any jobs value.
 void trial_worker(const AppHarness& harness, const CampaignConfig& config,
                   const std::vector<inject::InjectionPlan>& plans,
-                  std::vector<TrialSlot>& slots, std::atomic<std::size_t>& next,
-                  std::size_t chunk) {
+                  std::vector<TrialResult>& slots,
+                  std::atomic<std::size_t>& next, std::size_t chunk) {
+  std::optional<obs::TrialRecorder> recorder;
+  if (!config.trace_dir.empty() || config.metrics != nullptr) {
+    recorder.emplace(config.trace_capacity);
+  }
   for (;;) {
     const std::size_t begin = next.fetch_add(chunk);
     if (begin >= plans.size()) return;
     const std::size_t end = std::min(begin + chunk, plans.size());
     for (std::size_t i = begin; i < end; ++i) {
-      TrialSlot& slot = slots[i];
-      slot.t = harness.run_trial(plans[i], config.capture_traces);
-      if (config.capture_traces && !slot.t.trace.empty()) {
-        // Fit the propagation slope while the trace is still in hand; the
-        // crash cases (immediate termination) rarely yield usable traces.
-        const model::TraceModel tm = model::model_trace(slot.t.trace);
-        slot.slope = tm.rate.a;
-        slot.slope_usable = tm.usable;
+      if (recorder.has_value()) recorder->clear();
+      slots[i] = harness.run_trial(plans[i], config.capture_traces,
+                                   recorder.has_value() ? &*recorder : nullptr,
+                                   config.metrics);
+      if (!config.trace_dir.empty()) {
+        obs::ChromeTraceMeta meta;
+        meta.app = harness.app_name();
+        meta.trial_index = i;
+        meta.nranks = harness.nranks();
+        meta.total_emitted = recorder->total_emitted();
+        meta.dropped = recorder->dropped();
+        obs::write_file(config.trace_dir + "/" + obs::trial_trace_filename(i),
+                        obs::chrome_trace_json(recorder->ordered(), meta));
       }
       if (!config.capture_traces || i >= config.max_kept_traces) {
         // Same retention rule as the serial merge: only the first
         // max_kept_traces trials keep their trace. Dropping it here bounds
         // in-flight memory to the kept set regardless of trial count.
-        slot.t.trace.clear();
-        slot.t.trace.shrink_to_fit();
+        slots[i].trace.clear();
+        slots[i].trace.shrink_to_fit();
       }
     }
   }
@@ -262,7 +372,8 @@ CampaignResult run_campaign(const AppHarness& harness,
   // Phase 2 — execute trials on the worker pool. Chunked dynamic dispatch:
   // trial cost varies wildly (crashes terminate early), so workers pull
   // modest chunks off a shared counter instead of static striping.
-  std::vector<TrialSlot> slots(config.trials);
+  if (!config.trace_dir.empty()) obs::ensure_dir(config.trace_dir);
+  std::vector<TrialResult> slots(config.trials);
   const std::size_t jobs = effective_jobs(config.jobs, config.trials);
   const std::size_t chunk =
       std::max<std::size_t>(1, config.trials / (jobs * 8));
@@ -296,7 +407,7 @@ CampaignResult run_campaign(const AppHarness& harness,
   CampaignResult result;
   result.trials.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
-    TrialResult& t = slots[i].t;
+    TrialResult& t = slots[i];
     switch (t.outcome) {
       case Outcome::Vanished: ++result.counts.vanished; break;
       case Outcome::OutputNotAffected: ++result.counts.ona; break;
@@ -308,12 +419,81 @@ CampaignResult run_campaign(const AppHarness& harness,
     if (t.recovered) ++result.recovered_trials;
     result.total_rollbacks += t.rollbacks;
     result.total_wasted_cycles += t.wasted_cycles;
-    if (slots[i].slope_usable && slots[i].slope > 0.0) {
-      result.slopes.push_back(slots[i].slope);
+    if (t.slope_usable && t.slope_a > 0.0) {
+      result.slopes.push_back(t.slope_a);
     }
     result.trials.push_back(std::move(t));
   }
+  if (!config.trace_dir.empty()) {
+    export_campaign(harness, config, result, config.trace_dir);
+  }
   return result;
+}
+
+void export_campaign(const AppHarness& harness, const CampaignConfig& config,
+                     const CampaignResult& result, const std::string& dir) {
+  obs::ensure_dir(dir);
+
+  std::vector<obs::CampaignRow> rows;
+  rows.reserve(result.trials.size());
+  for (std::size_t i = 0; i < result.trials.size(); ++i) {
+    const TrialResult& t = result.trials[i];
+    obs::CampaignRow row;
+    row.trial = i;
+    row.outcome = outcome_name(t.outcome);
+    row.trap = t.trap == vm::Trap::None ? "none" : vm::trap_name(t.trap);
+    row.injected = t.injected;
+    if (t.injected) {
+      row.rank = t.injection.rank;
+      row.site = t.injection.site_id;
+      row.bit = t.injection.bit;
+      row.inject_cycle = t.injection.cycle;
+    }
+    row.global_cycles = t.global_cycles;
+    row.cml_final = t.total_cml_final;
+    row.cml_peak = t.total_cml_peak;
+    row.contaminated_pct = t.contaminated_pct;
+    row.contaminated_ranks = t.contaminated_ranks;
+    row.reported_iters = t.reported_iters;
+    row.slope_usable = t.slope_usable;
+    row.slope_a = t.slope_a;
+    row.slope_b = t.slope_b;
+    row.detect_clock = t.first_detection_clock;
+    row.detections = t.detections;
+    row.rollbacks = t.rollbacks;
+    row.wasted_cycles = t.wasted_cycles;
+    row.recovered = t.recovered;
+    rows.push_back(std::move(row));
+  }
+
+  obs::CampaignSummary summary;
+  summary.app = harness.app_name();
+  summary.trials = result.trials.size();
+  summary.seed = config.seed;
+  summary.faults_per_run = config.faults_per_run;
+  summary.vanished = result.counts.vanished;
+  summary.ona = result.counts.ona;
+  summary.wrong_output = result.counts.wrong_output;
+  summary.pex = result.counts.pex;
+  summary.crashed = result.counts.crashed;
+  summary.fps_n = result.slopes.size();
+  if (!result.slopes.empty()) {
+    double sum = 0.0;
+    for (const double s : result.slopes) sum += s;
+    summary.fps_mean = sum / static_cast<double>(result.slopes.size());
+    double var = 0.0;
+    for (const double s : result.slopes) {
+      var += (s - summary.fps_mean) * (s - summary.fps_mean);
+    }
+    summary.fps_stddev =
+        std::sqrt(var / static_cast<double>(result.slopes.size()));
+  }
+  summary.recovered_trials = result.recovered_trials;
+  summary.total_rollbacks = result.total_rollbacks;
+  summary.total_wasted_cycles = result.total_wasted_cycles;
+
+  obs::write_file(dir + "/campaign.csv", obs::campaign_csv(rows));
+  obs::write_file(dir + "/campaign.json", obs::campaign_summary_json(summary));
 }
 
 }  // namespace fprop::harness

@@ -77,6 +77,9 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
   const std::uint64_t flipped = value ^ (1ull << rec.bit);
   events_.push_back({self.rank(), site_id, index, rec.bit, self.cycles(),
                      value, flipped});
+  FPROP_OBS_EMIT(recorder_, obs::EventKind::Injection, self.rank(),
+                 self.cycles(), static_cast<std::uint64_t>(site_id), rec.bit,
+                 value ^ flipped);
   return flipped;
 }
 

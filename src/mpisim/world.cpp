@@ -23,9 +23,13 @@ World::World(const ir::Module& module, WorldConfig config)
                         ? std::make_unique<fpm::FpmRuntime>(
                               config_.fpm_sample_period)
                         : nullptr);
+    if (fpms_.back() != nullptr) {
+      fpms_.back()->set_recorder(config_.recorder, r);
+    }
     auto interp = std::make_unique<vm::Interp>(module, r, config_.interp);
     interp->set_mpi_hook(this);
     interp->set_fpm(fpms_.back().get());
+    interp->set_recorder(config_.recorder);
     ranks_.push_back(std::move(interp));
   }
   mailboxes_.resize(config_.nranks);
@@ -88,6 +92,10 @@ vm::MpiResult World::send_f(vm::Interp& self, std::int64_t dest,
     msg.header = fpm::build_header(f->shadow(), buf,
                                    static_cast<std::uint64_t>(count));
   }
+  FPROP_OBS_EMIT(config_.recorder, obs::EventKind::MsgSend, self.rank(),
+                 self.cycles(), static_cast<std::uint64_t>(dest),
+                 static_cast<std::uint64_t>(count),
+                 fpm::header_wire_words(msg.header));
   mailboxes_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
   return vm::MpiResult::Done;  // eager buffered send never blocks
 }
@@ -110,7 +118,14 @@ vm::MpiResult World::recv_f(vm::Interp& self, std::int64_t src,
   if (!write_payload(self, buf, it->payload)) return vm::MpiResult::Fault;
   if (auto* f = fpms_[self.rank()].get()) {
     fpm::install_header(f->shadow(), buf, it->payload.size(), it->header);
+    // The install heals the whole range then re-records the header's words,
+    // bypassing on_store — resync the receiver's CML track.
+    FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, self.rank(),
+                   self.cycles(), 0, f->shadow().size());
   }
+  FPROP_OBS_EMIT(config_.recorder, obs::EventKind::MsgRecv, self.rank(),
+                 self.cycles(), static_cast<std::uint64_t>(it->src),
+                 it->payload.size(), fpm::header_wire_words(it->header));
   box.erase(it);
   return vm::MpiResult::Done;
 }
@@ -309,6 +324,12 @@ bool World::exec_allreduce(Collective& coll, bool is_max) {
         }
       }
     }
+    if (auto* f = fpms_[r].get()) {
+      // Reduction results mutate every participant's table outside
+      // on_store — resync each rank's CML track.
+      FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, r,
+                     ranks_[r]->cycles(), 0, f->shadow().size());
+    }
   }
   return true;
 }
@@ -338,6 +359,8 @@ bool World::exec_bcast(Collective& coll) {
     if (auto* f = fpms_[r].get()) {
       fpm::install_header(f->shadow(), coll.args[r].a, payload.size(),
                           header);
+      FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, r,
+                     ranks_[r]->cycles(), 0, f->shadow().size());
     }
   }
   return true;
@@ -351,6 +374,8 @@ void World::note_contamination() {
     total_cml += cml;
     if (!first_contaminated_[r].has_value() && cml > 0) {
       first_contaminated_[r] = global_clock_;
+      FPROP_OBS_EMIT(config_.recorder, obs::EventKind::RankContaminated,
+                     obs::kJobScope, global_clock_, r);
     }
   }
   if (config_.global_sample_period != 0 &&
@@ -481,6 +506,30 @@ void World::restore(const Checkpoint& ckpt) {
   first_contaminated_ = ckpt.first_contaminated;
   global_trace_ = ckpt.global_trace;
   next_global_sample_ = ckpt.next_global_sample;
+}
+
+std::uint64_t World::Checkpoint::approx_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& r : ranks) {
+    bytes += r.memory_words.size() * 8;
+    for (const auto& fr : r.frames) {
+      bytes += fr.regs.size() * 8 + fr.taint.size();
+    }
+    bytes += r.outputs.size() * 8;
+  }
+  for (const auto& f : fpms) {
+    if (!f.has_value()) continue;
+    bytes += f->shadow.size() * 16;  // live (addr, pristine) pairs
+    bytes += f->trace.size() * 16;
+  }
+  for (const auto& box : mailboxes) {
+    for (const auto& m : box) {
+      bytes += m.payload.size() * 8 + m.header.count() * 16;
+    }
+  }
+  for (const auto& table : requests) bytes += table.size() * sizeof(Request);
+  bytes += global_trace.size() * 16;
+  return bytes;
 }
 
 JobResult World::collect() {

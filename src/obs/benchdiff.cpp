@@ -1,0 +1,134 @@
+#include "fprop/obs/benchdiff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "fprop/support/error.h"
+
+namespace fprop::obs {
+
+namespace {
+
+double time_unit_to_ns(const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw Error("unknown benchmark time_unit: " + unit);
+}
+
+}  // namespace
+
+std::vector<BenchEntry> parse_benchmark_entries(const json::Value& doc) {
+  const json::Value& benches = doc["benchmarks"];
+  FPROP_CHECK_MSG(benches.is_array(),
+                  "not a google-benchmark JSON file (no 'benchmarks' array)");
+  std::vector<BenchEntry> out;
+  out.reserve(benches.as_array().size());
+  for (const json::Value& b : benches.as_array()) {
+    if (!b.is_object()) continue;
+    // Aggregate rows (mean/median/stddev of --benchmark_repetitions runs)
+    // would double-count; keep only per-iteration measurements.
+    const json::Value& run_type = b["run_type"];
+    if (run_type.is_string() && run_type.as_string() == "aggregate") continue;
+    const json::Value& name = b["name"];
+    if (!name.is_string() || !b["real_time"].is_number()) continue;
+    BenchEntry e;
+    e.name = name.as_string();
+    const double scale = time_unit_to_ns(
+        b["time_unit"].is_string() ? b["time_unit"].as_string() : "ns");
+    e.real_time = b["real_time"].as_number() * scale;
+    e.cpu_time =
+        b["cpu_time"].is_number() ? b["cpu_time"].as_number() * scale : 0.0;
+    e.iterations = b["iterations"].is_number()
+                       ? static_cast<std::uint64_t>(b["iterations"].as_number())
+                       : 0;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+DiffReport diff_benchmarks(const std::vector<BenchEntry>& base,
+                           const std::vector<BenchEntry>& current,
+                           const DiffOptions& options) {
+  const auto wanted = [&](const std::string& name) {
+    return options.filter.empty() ||
+           name.find(options.filter) != std::string::npos;
+  };
+  std::map<std::string, const BenchEntry*> cur_by_name;
+  for (const BenchEntry& e : current) {
+    if (wanted(e.name)) cur_by_name[e.name] = &e;
+  }
+
+  DiffReport report;
+  for (const BenchEntry& b : base) {
+    if (!wanted(b.name)) continue;
+    const auto it = cur_by_name.find(b.name);
+    if (it == cur_by_name.end()) {
+      report.only_in_base.push_back(b.name);
+      continue;
+    }
+    const BenchEntry& c = *it->second;
+    cur_by_name.erase(it);
+
+    DiffRow row;
+    row.name = b.name;
+    row.base_ns = options.use_cpu_time ? b.cpu_time : b.real_time;
+    row.cur_ns = options.use_cpu_time ? c.cpu_time : c.real_time;
+    row.ratio = row.base_ns > 0.0 ? row.cur_ns / row.base_ns : 0.0;
+    row.skipped = b.iterations < options.min_iters ||
+                  c.iterations < options.min_iters || row.base_ns <= 0.0;
+    if (!row.skipped) {
+      row.regressed = row.ratio > 1.0 + options.threshold;
+      row.improved = row.ratio < 1.0 - options.threshold;
+    }
+    if (row.regressed) ++report.regressions;
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, e] : cur_by_name) {
+    (void)e;
+    report.only_in_current.push_back(name);
+  }
+  std::sort(report.only_in_current.begin(), report.only_in_current.end());
+  return report;
+}
+
+std::string format_diff_table(const DiffReport& report,
+                              const DiffOptions& options) {
+  std::size_t name_w = 9;  // "benchmark"
+  for (const DiffRow& r : report.rows) name_w = std::max(name_w, r.name.size());
+
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %14s  %14s  %8s  %s\n",
+                static_cast<int>(name_w), "benchmark", "base", "current",
+                "ratio", "verdict");
+  out += line;
+  for (const DiffRow& r : report.rows) {
+    const char* verdict = r.skipped      ? "skip (min-iters)"
+                          : r.regressed  ? "REGRESSED"
+                          : r.improved   ? "improved"
+                                         : "ok";
+    std::snprintf(line, sizeof(line), "%-*s  %12.1fns  %12.1fns  %7.3fx  %s\n",
+                  static_cast<int>(name_w), r.name.c_str(), r.base_ns,
+                  r.cur_ns, r.ratio, verdict);
+    out += line;
+  }
+  for (const std::string& n : report.only_in_base) {
+    out += "missing from current: " + n + "\n";
+  }
+  for (const std::string& n : report.only_in_current) {
+    out += "missing from baseline: " + n + "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "threshold %.0f%%: %zu regression(s), %zu/%zu compared\n",
+                options.threshold * 100.0, report.regressions,
+                report.rows.size(),
+                report.rows.size() + report.only_in_base.size() +
+                    report.only_in_current.size());
+  out += line;
+  return out;
+}
+
+}  // namespace fprop::obs

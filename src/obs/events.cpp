@@ -1,0 +1,36 @@
+#include "fprop/obs/events.h"
+
+namespace fprop::obs {
+
+const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::Injection: return "injection";
+    case EventKind::FirstDivergence: return "first_divergence";
+    case EventKind::ShadowRecord: return "shadow_record";
+    case EventKind::ShadowHeal: return "shadow_heal";
+    case EventKind::MsgSend: return "msg_send";
+    case EventKind::MsgRecv: return "msg_recv";
+    case EventKind::CmlSample: return "cml_sample";
+    case EventKind::Trap: return "trap";
+    case EventKind::DetectorScan: return "detector_scan";
+    case EventKind::Checkpoint: return "checkpoint";
+    case EventKind::Rollback: return "rollback";
+    case EventKind::RankContaminated: return "rank_contaminated";
+    case EventKind::TrialOutcome: return "trial_outcome";
+  }
+  return "?";
+}
+
+std::vector<Event> TrialRecorder::ordered() const {
+  std::vector<Event> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest surviving event: at head_ when the ring wrapped, else at 0.
+  const std::size_t start = total_ > ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace fprop::obs

@@ -1,0 +1,312 @@
+#include "fprop/obs/export.h"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "fprop/support/error.h"
+
+namespace fprop::obs {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+/// One trace event line. `args` is the pre-rendered JSON object body.
+void append_chrome_event(std::string& out, const char* name, const char* ph,
+                         std::uint64_t ts, std::uint64_t tid,
+                         const std::string& args) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":0,\"tid\":";
+  append_u64(out, tid);
+  out += ",\"ts\":";
+  append_u64(out, ts);
+  if (*ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  out += ",\"args\":{";
+  out += args;
+  out += "}}";
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  // Shortest round-trip representation: std::to_chars is required to be
+  // correctly rounded, so the bytes are platform-independent for identical
+  // double bits — the property the golden-file tests rely on.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ChromeTraceMeta& meta) {
+  std::string out;
+  out.reserve(256 + events.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"app\":\"";
+  out += json_escape(meta.app);
+  out += "\",\"trial\":";
+  append_u64(out, meta.trial_index);
+  out += ",\"nranks\":";
+  append_u64(out, meta.nranks);
+  out += ",\"total_emitted\":";
+  append_u64(out, meta.total_emitted);
+  out += ",\"dropped\":";
+  append_u64(out, meta.dropped);
+  out += ",\"ts_unit\":\"vm steps\"},\"traceEvents\":[";
+
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Track names: one lane per rank plus a "job" lane for global events.
+  const std::uint64_t job_tid = meta.nranks;
+  for (std::uint32_t r = 0; r < meta.nranks; ++r) {
+    comma();
+    append_chrome_event(out, "thread_name", "M", 0, r,
+                        "\"name\":\"rank " + std::to_string(r) + "\"");
+  }
+  comma();
+  append_chrome_event(out, "thread_name", "M", 0, job_tid,
+                      "\"name\":\"job\"");
+
+  for (const Event& e : events) {
+    const std::uint64_t tid = e.rank == kJobScope ? job_tid : e.rank;
+    std::string args;
+    switch (e.kind) {
+      case EventKind::Injection:
+        args = "\"site\":" + std::to_string(e.a) +
+               ",\"bit\":" + std::to_string(e.b) +
+               ",\"flipped_mask\":" + std::to_string(e.c);
+        break;
+      case EventKind::FirstDivergence:
+        args = std::string("\"which\":\"") +
+               (e.a == 0 ? "value" : "wild_store") + "\"";
+        break;
+      case EventKind::ShadowRecord:
+      case EventKind::ShadowHeal:
+        args = "\"addr\":" + std::to_string(e.a) +
+               ",\"cml\":" + std::to_string(e.b);
+        break;
+      case EventKind::CmlSample:
+        args = "\"cml\":" + std::to_string(e.b);
+        break;
+      case EventKind::MsgSend:
+        args = "\"dest\":" + std::to_string(e.a) +
+               ",\"payload_words\":" + std::to_string(e.b) +
+               ",\"header_words\":" + std::to_string(e.c);
+        break;
+      case EventKind::MsgRecv:
+        args = "\"src\":" + std::to_string(e.a) +
+               ",\"payload_words\":" + std::to_string(e.b) +
+               ",\"header_words\":" + std::to_string(e.c);
+        break;
+      case EventKind::Trap:
+        args = "\"trap\":" + std::to_string(e.a);
+        break;
+      case EventKind::DetectorScan:
+        args = "\"cml\":" + std::to_string(e.a) +
+               ",\"scan\":" + std::to_string(e.b) + ",\"verdict\":\"" +
+               (e.a == 0 ? "clean" : "contaminated") + "\"";
+        break;
+      case EventKind::Checkpoint:
+        args = "\"approx_bytes\":" + std::to_string(e.a) +
+               ",\"retained\":" + std::to_string(e.b);
+        break;
+      case EventKind::Rollback:
+        args = "\"restored_to\":" + std::to_string(e.a) +
+               ",\"wasted_cycles\":" + std::to_string(e.b);
+        break;
+      case EventKind::RankContaminated:
+        args = "\"rank\":" + std::to_string(e.a);
+        break;
+      case EventKind::TrialOutcome:
+        args = "\"outcome\":" + std::to_string(e.a) +
+               ",\"trap\":" + std::to_string(e.b) +
+               ",\"cml_final\":" + std::to_string(e.c);
+        break;
+    }
+    comma();
+    append_chrome_event(out, event_kind_name(e.kind), "i", e.step, tid, args);
+
+    // Replay the CML(t) trace: shadow record/heal/sample events carry the
+    // table size after the mutation, which drives a per-rank counter track.
+    if (e.kind == EventKind::ShadowRecord ||
+        e.kind == EventKind::ShadowHeal ||
+        e.kind == EventKind::CmlSample) {
+      comma();
+      const std::string name = "cml[" + std::to_string(e.rank) + "]";
+      append_chrome_event(out, name.c_str(), "C", e.step, tid,
+                          "\"cml\":" + std::to_string(e.b));
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string campaign_csv(const std::vector<CampaignRow>& rows) {
+  std::string out =
+      "trial,outcome,trap,injected,rank,site,bit,inject_cycle,global_cycles,"
+      "cml_final,cml_peak,contaminated_pct,contaminated_ranks,reported_iters,"
+      "slope_usable,slope_a,slope_b,detect_clock,detections,rollbacks,"
+      "wasted_cycles,recovered\n";
+  for (const CampaignRow& r : rows) {
+    append_u64(out, r.trial);
+    out += ',';
+    out += r.outcome;
+    out += ',';
+    out += r.trap;
+    out += ',';
+    out += r.injected ? '1' : '0';
+    out += ',';
+    append_u64(out, r.rank);
+    out += ',';
+    append_i64(out, r.site);
+    out += ',';
+    append_u64(out, r.bit);
+    out += ',';
+    append_u64(out, r.inject_cycle);
+    out += ',';
+    append_u64(out, r.global_cycles);
+    out += ',';
+    append_u64(out, r.cml_final);
+    out += ',';
+    append_u64(out, r.cml_peak);
+    out += ',';
+    out += format_double(r.contaminated_pct);
+    out += ',';
+    append_u64(out, r.contaminated_ranks);
+    out += ',';
+    append_i64(out, r.reported_iters);
+    out += ',';
+    out += r.slope_usable ? '1' : '0';
+    out += ',';
+    out += format_double(r.slope_a);
+    out += ',';
+    out += format_double(r.slope_b);
+    out += ',';
+    append_i64(out, r.detect_clock);
+    out += ',';
+    append_u64(out, r.detections);
+    out += ',';
+    append_u64(out, r.rollbacks);
+    out += ',';
+    append_u64(out, r.wasted_cycles);
+    out += ',';
+    out += r.recovered ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+std::string campaign_summary_json(const CampaignSummary& s) {
+  std::string out = "{\n  \"app\": \"" + json_escape(s.app) + "\",\n";
+  out += "  \"trials\": " + std::to_string(s.trials) + ",\n";
+  out += "  \"seed\": " + std::to_string(s.seed) + ",\n";
+  out += "  \"faults_per_run\": " + std::to_string(s.faults_per_run) + ",\n";
+  out += "  \"outcomes\": {\"V\": " + std::to_string(s.vanished) +
+         ", \"ONA\": " + std::to_string(s.ona) +
+         ", \"WO\": " + std::to_string(s.wrong_output) +
+         ", \"PEX\": " + std::to_string(s.pex) +
+         ", \"C\": " + std::to_string(s.crashed) + "},\n";
+  out += "  \"fps\": {\"mean\": " + format_double(s.fps_mean) +
+         ", \"stddev\": " + format_double(s.fps_stddev) +
+         ", \"n\": " + std::to_string(s.fps_n) + "},\n";
+  out += "  \"recovery\": {\"recovered_trials\": " +
+         std::to_string(s.recovered_trials) +
+         ", \"total_rollbacks\": " + std::to_string(s.total_rollbacks) +
+         ", \"total_wasted_cycles\": " +
+         std::to_string(s.total_wasted_cycles) + "}\n}\n";
+  return out;
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_u64(out, h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_u64(out, h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FPROP_CHECK_MSG(static_cast<bool>(out), "cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  FPROP_CHECK_MSG(static_cast<bool>(out), "write failed: " + path);
+}
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  FPROP_CHECK_MSG(!ec, "cannot create directory " + dir + ": " + ec.message());
+}
+
+std::string trial_trace_filename(std::uint64_t trial_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "trial_%06llu.json",
+                static_cast<unsigned long long>(trial_index));
+  return buf;
+}
+
+}  // namespace fprop::obs

@@ -1,0 +1,281 @@
+#include "fprop/obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fprop::obs::json {
+
+namespace {
+
+const Value kNull{};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ParseResult run() {
+    ParseResult r;
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) {
+      r.error = error_;
+      r.error_pos = pos_;
+      return r;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      r.error = "trailing garbage after document";
+      r.error_pos = pos_;
+      return r;
+    }
+    r.ok = true;
+    r.value = std::move(v);
+    return r;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (s_[pos_]) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"': {
+        std::string str;
+        ok = parse_string(str);
+        if (ok) out = Value(std::move(str));
+        break;
+      }
+      case 't':
+        ok = parse_literal("true");
+        if (ok) out = Value(true);
+        break;
+      case 'f':
+        ok = parse_literal("false");
+        if (ok) out = Value(false);
+        break;
+      case 'n':
+        ok = parse_literal("null");
+        if (ok) out = Value();
+        break;
+      default: ok = parse_number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parse_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+    }
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("malformed number");
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("truncated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          // Surrogate pair: combine; a lone surrogate degrades to U+FFFD.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < s_.size() &&
+              s_[pos_] == '\\' && s_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size()) return fail("truncated \\u escape");
+      const char c = s_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape digit");
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_array(Value& out) {
+    eat('[');
+    Array arr;
+    skip_ws();
+    if (eat(']')) {
+      out = Value(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      Value v;
+      if (!parse_value(v)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) break;
+      if (!eat(',')) return fail("expected ',' or ']' in array");
+    }
+    out = Value(std::move(arr));
+    return true;
+  }
+
+  bool parse_object(Value& out) {
+    eat('{');
+    Object obj;
+    skip_ws();
+    if (eat('}')) {
+      out = Value(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail("expected object key");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      Value v;
+      if (!parse_value(v)) return false;
+      obj[std::move(key)] = std::move(v);
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) return fail("expected ',' or '}' in object");
+    }
+    out = Value(std::move(obj));
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (type_ == Type::Object) {
+    const auto it = obj_->find(key);
+    if (it != obj_->end()) return it->second;
+  }
+  return kNull;
+}
+
+ParseResult parse(const std::string& text) { return Parser(text).run(); }
+
+ParseResult parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace fprop::obs::json

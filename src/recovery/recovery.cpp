@@ -20,6 +20,12 @@ void RecoveryManager::take_checkpoint() {
   while (retained_.size() > config_.max_retained) retained_.pop_front();
   last_ckpt_clock_ = world_->global_cycles();
   ++report_.checkpoints;
+  if (config_.recorder != nullptr) {
+    // approx_bytes walks the whole snapshot; only pay for it when traced.
+    config_.recorder->emit(obs::EventKind::Checkpoint, obs::kJobScope,
+                           last_ckpt_clock_, retained_.back().approx_bytes(),
+                           retained_.size());
+  }
 }
 
 void RecoveryManager::advance_scan_grid(std::uint64_t now) {
@@ -54,6 +60,8 @@ bool RecoveryManager::try_rollback(std::uint64_t now) {
   if (report_.rollbacks >= config_.max_rollbacks) return false;
   const mpisim::World::Checkpoint& ckpt = retained_.back();
   report_.wasted_cycles += now - ckpt.global_clock;
+  FPROP_OBS_EMIT(config_.recorder, obs::EventKind::Rollback, obs::kJobScope,
+                 now, ckpt.global_clock, now - ckpt.global_clock);
   world_->restore(ckpt);
   ++report_.rollbacks;
   last_ckpt_clock_ = ckpt.global_clock;
@@ -76,6 +84,9 @@ mpisim::JobResult RecoveryManager::run() {
       // scheduler sees no progress) without waiting for a detector scan.
       ++report_.detections;
       const std::uint64_t now = world_->global_cycles();
+      if (report_.first_detection_clock < 0) {
+        report_.first_detection_clock = static_cast<std::int64_t>(now);
+      }
       report_.peak_cml_seen =
           std::max(report_.peak_cml_seen, world_->total_cml());
       const bool wanted = should_rollback(/*crashed=*/true, now);
@@ -93,6 +104,9 @@ mpisim::JobResult RecoveryManager::run() {
     const std::uint64_t now = world_->global_cycles();
     if (detector_latched_ || now < next_scan_) continue;
     const std::uint64_t cml = world_->total_cml();
+    ++report_.scans;
+    FPROP_OBS_EMIT(config_.recorder, obs::EventKind::DetectorScan,
+                   obs::kJobScope, now, cml, report_.scans);
     report_.peak_cml_seen = std::max(report_.peak_cml_seen, cml);
     if (cml == 0) {
       take_checkpoint();
@@ -100,6 +114,9 @@ mpisim::JobResult RecoveryManager::run() {
       continue;
     }
     ++report_.detections;
+    if (report_.first_detection_clock < 0) {
+      report_.first_detection_clock = static_cast<std::int64_t>(now);
+    }
     if (should_rollback(/*crashed=*/false, now)) {
       if (try_rollback(now)) continue;
       // Budget exhausted with contamination on board (a rollback storm —

@@ -103,6 +103,8 @@ void Interp::do_trap(Trap t) {
   trap_ = t;
   state_ = RunState::Trapped;
   if (fpm_ != nullptr) fpm_->flush_trace(cycles_);
+  FPROP_OBS_EMIT(recorder_, obs::EventKind::Trap, rank_, cycles_,
+                 static_cast<std::uint64_t>(t));
 }
 
 void Interp::force_trap(Trap t) {

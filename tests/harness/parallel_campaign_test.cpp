@@ -154,5 +154,50 @@ TEST(ParallelCampaign, MoreJobsThanTrials) {
   expect_identical(serial, par);
 }
 
+TEST(ParallelCampaign, TracingLeavesResultsBitIdentical) {
+  // The observability contract (DESIGN.md §8): attaching a recorder and a
+  // metrics registry observes the campaign without feeding back — every
+  // TrialResult field stays bit-identical to the untraced run.
+  AppHarness h = make_harness("matvec", 1, /*recovery=*/true);
+  const CampaignResult plain =
+      run_campaign(h, campaign_config(24, 2, /*capture=*/true));
+
+  CampaignConfig traced = campaign_config(24, 2, /*capture=*/true);
+  traced.trace_dir = ::testing::TempDir() + "fprop_campaign_traced";
+  obs::MetricsRegistry reg;
+  traced.metrics = &reg;
+  const CampaignResult with_obs = run_campaign(h, traced);
+
+  expect_identical(plain, with_obs);
+  EXPECT_EQ(reg.snapshot().counters.at("campaign.trials"), 24u);
+}
+
+TEST(ParallelCampaign, MetricsFoldIdenticallyAtAnyJobsCount) {
+  // Registry updates are commutative, so the folded snapshot is a pure
+  // function of the trial set — jobs=1 and jobs=8 must agree exactly.
+  AppHarness h = make_harness("matvec", 1, /*recovery=*/true);
+
+  obs::MetricsRegistry serial_reg;
+  CampaignConfig serial_cc = campaign_config(24, 1, /*capture=*/false);
+  serial_cc.metrics = &serial_reg;
+  run_campaign(h, serial_cc);
+
+  obs::MetricsRegistry par_reg;
+  CampaignConfig par_cc = campaign_config(24, 8, /*capture=*/false);
+  par_cc.metrics = &par_reg;
+  run_campaign(h, par_cc);
+
+  const obs::MetricsSnapshot a = serial_reg.snapshot();
+  EXPECT_EQ(a, par_reg.snapshot());
+
+  // The fold actually recorded something on every axis it claims to cover.
+  EXPECT_EQ(a.counters.at("campaign.trials"), 24u);
+  EXPECT_GT(a.counters.at("inject.flips"), 0u);
+#if FPROP_OBS_ENABLED
+  EXPECT_GT(a.counters.at("obs.events"), 0u);
+#endif
+  EXPECT_GT(a.histograms.at("shadow.probe_len").count, 0u);
+}
+
 }  // namespace
 }  // namespace fprop::harness

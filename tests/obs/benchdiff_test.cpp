@@ -1,0 +1,146 @@
+// fprop-benchdiff core: benchmark JSON extraction, regression gating, and
+// the report the CI job keys on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fprop/obs/benchdiff.h"
+#include "fprop/support/error.h"
+
+namespace fprop::obs {
+namespace {
+
+json::Value parse_doc(const std::string& text) {
+  const json::ParseResult r = json::parse(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.value;
+}
+
+BenchEntry entry(std::string name, double real_ns, std::uint64_t iters = 100) {
+  BenchEntry e;
+  e.name = std::move(name);
+  e.real_time = real_ns;
+  e.cpu_time = real_ns;
+  e.iterations = iters;
+  return e;
+}
+
+TEST(Benchdiff, ParsesEntriesAndNormalizesTimeUnits) {
+  const json::Value doc = parse_doc(R"({
+    "benchmarks": [
+      {"name": "BM_A", "run_type": "iteration", "iterations": 50,
+       "real_time": 2.0, "cpu_time": 1.5, "time_unit": "us"},
+      {"name": "BM_A_mean", "run_type": "aggregate",
+       "real_time": 2.0, "time_unit": "us"},
+      {"name": "BM_B", "real_time": 3.0}
+    ]
+  })");
+  const std::vector<BenchEntry> entries = parse_benchmark_entries(doc);
+  ASSERT_EQ(entries.size(), 2u);  // the aggregate row is skipped
+  EXPECT_EQ(entries[0].name, "BM_A");
+  EXPECT_DOUBLE_EQ(entries[0].real_time, 2000.0);  // us -> ns
+  EXPECT_DOUBLE_EQ(entries[0].cpu_time, 1500.0);
+  EXPECT_EQ(entries[0].iterations, 50u);
+  EXPECT_EQ(entries[1].name, "BM_B");
+  EXPECT_DOUBLE_EQ(entries[1].real_time, 3.0);  // default ns
+}
+
+TEST(Benchdiff, RejectsNonBenchmarkDocuments) {
+  EXPECT_THROW(parse_benchmark_entries(parse_doc(R"({"x": 1})")), Error);
+  EXPECT_THROW(parse_benchmark_entries(parse_doc(R"({
+    "benchmarks": [{"name": "BM_A", "real_time": 1.0, "time_unit": "weeks"}]
+  })")), Error);
+}
+
+TEST(Benchdiff, FlagsRegressionsAgainstThreshold) {
+  const std::vector<BenchEntry> base = {entry("BM_fast", 100.0),
+                                        entry("BM_slow", 100.0),
+                                        entry("BM_same", 100.0)};
+  const std::vector<BenchEntry> cur = {entry("BM_fast", 60.0),
+                                       entry("BM_slow", 140.0),
+                                       entry("BM_same", 105.0)};
+  DiffOptions opt;
+  opt.threshold = 0.30;
+  const DiffReport report = diff_benchmarks(base, cur, opt);
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_TRUE(report.rows[0].improved);
+  EXPECT_TRUE(report.rows[1].regressed);
+  EXPECT_DOUBLE_EQ(report.rows[1].ratio, 1.4);
+  EXPECT_FALSE(report.rows[2].regressed);
+  EXPECT_FALSE(report.rows[2].improved);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_TRUE(report.failed(opt));
+
+  // A 40% slowdown passes a 50% threshold.
+  opt.threshold = 0.50;
+  EXPECT_FALSE(diff_benchmarks(base, cur, opt).failed(opt));
+}
+
+TEST(Benchdiff, MinItersExcludesNoisyRowsFromGating) {
+  const std::vector<BenchEntry> base = {entry("BM_noisy", 100.0, /*iters=*/3)};
+  const std::vector<BenchEntry> cur = {entry("BM_noisy", 500.0, /*iters=*/3)};
+  DiffOptions opt;
+  opt.min_iters = 10;
+  const DiffReport report = diff_benchmarks(base, cur, opt);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_TRUE(report.rows[0].skipped);
+  EXPECT_FALSE(report.rows[0].regressed);
+  EXPECT_FALSE(report.failed(opt));
+}
+
+TEST(Benchdiff, MissingBenchmarksFailUnlessAllowed) {
+  const std::vector<BenchEntry> base = {entry("BM_old", 1.0),
+                                        entry("BM_kept", 1.0)};
+  const std::vector<BenchEntry> cur = {entry("BM_kept", 1.0),
+                                       entry("BM_new", 1.0)};
+  DiffOptions opt;
+  const DiffReport report = diff_benchmarks(base, cur, opt);
+  ASSERT_EQ(report.only_in_base.size(), 1u);
+  EXPECT_EQ(report.only_in_base[0], "BM_old");
+  ASSERT_EQ(report.only_in_current.size(), 1u);
+  EXPECT_EQ(report.only_in_current[0], "BM_new");
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_TRUE(report.failed(opt));
+
+  opt.allow_missing = true;
+  EXPECT_FALSE(report.failed(opt));
+}
+
+TEST(Benchdiff, FilterRestrictsComparison) {
+  const std::vector<BenchEntry> base = {entry("BM_Matvec/1", 100.0),
+                                        entry("BM_Lulesh/1", 100.0)};
+  const std::vector<BenchEntry> cur = {entry("BM_Matvec/1", 400.0),
+                                       entry("BM_Lulesh/1", 100.0)};
+  DiffOptions opt;
+  opt.filter = "Lulesh";
+  const DiffReport report = diff_benchmarks(base, cur, opt);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].name, "BM_Lulesh/1");
+  EXPECT_FALSE(report.failed(opt));  // the Matvec regression is filtered out
+}
+
+TEST(Benchdiff, CpuTimeModeUsesCpuColumn) {
+  BenchEntry b = entry("BM_X", 100.0);
+  BenchEntry c = entry("BM_X", 100.0);
+  c.cpu_time = 400.0;  // cpu regressed, real did not
+  DiffOptions opt;
+  EXPECT_FALSE(diff_benchmarks({b}, {c}, opt).failed(opt));
+  opt.use_cpu_time = true;
+  EXPECT_TRUE(diff_benchmarks({b}, {c}, opt).failed(opt));
+}
+
+TEST(Benchdiff, TableListsRowsAndVerdicts) {
+  const std::vector<BenchEntry> base = {entry("BM_slow", 100.0)};
+  const std::vector<BenchEntry> cur = {entry("BM_slow", 140.0)};
+  DiffOptions opt;
+  const DiffReport report = diff_benchmarks(base, cur, opt);
+  const std::string table = format_diff_table(report, opt);
+  EXPECT_NE(table.find("BM_slow"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("1 regression(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fprop::obs

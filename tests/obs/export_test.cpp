@@ -1,0 +1,269 @@
+// Exporter golden tests: byte-exact CSV/JSON for hand-built inputs, and an
+// end-to-end tiny campaign (matvec, fixed seed, 8 trials) whose exported
+// files must be byte-stable across jobs=1 vs jobs=8 and valid JSON with
+// step-ordered events per track.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/obs/export.h"
+#include "fprop/obs/json.h"
+
+namespace fprop::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(FormatDouble, ShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(-2.0), "-2");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  // Round-trips bit-exactly through the shortest representation.
+  const double v = 33.333333333333336;
+  EXPECT_EQ(std::stod(format_double(v)), v);
+}
+
+TEST(CampaignCsv, GoldenBytes) {
+  CampaignRow r0;
+  r0.trial = 0;
+  r0.outcome = "C";
+  r0.trap = "bad-access";
+  r0.injected = true;
+  r0.site = 7;
+  r0.bit = 53;
+  r0.inject_cycle = 452;
+  r0.global_cycles = 457;
+  CampaignRow r1;
+  r1.trial = 1;
+  r1.outcome = "ONA";
+  r1.trap = "none";
+  r1.injected = true;
+  r1.site = 10;
+  r1.bit = 30;
+  r1.inject_cycle = 787;
+  r1.global_cycles = 2709;
+  r1.cml_final = 8;
+  r1.cml_peak = 8;
+  r1.contaminated_pct = 12.5;
+  r1.contaminated_ranks = 1;
+  r1.slope_usable = true;
+  r1.slope_a = 0.25;
+  r1.slope_b = -1.5;
+  r1.detect_clock = 900;
+  r1.detections = 2;
+  r1.rollbacks = 1;
+  r1.wasted_cycles = 300;
+  r1.recovered = true;
+
+  const std::string expected =
+      "trial,outcome,trap,injected,rank,site,bit,inject_cycle,global_cycles,"
+      "cml_final,cml_peak,contaminated_pct,contaminated_ranks,reported_iters,"
+      "slope_usable,slope_a,slope_b,detect_clock,detections,rollbacks,"
+      "wasted_cycles,recovered\n"
+      "0,C,bad-access,1,0,7,53,452,457,0,0,0,0,-1,0,0,0,-1,0,0,0,0\n"
+      "1,ONA,none,1,0,10,30,787,2709,8,8,12.5,1,-1,1,0.25,-1.5,900,2,1,300,1\n";
+  EXPECT_EQ(campaign_csv({r0, r1}), expected);
+}
+
+TEST(CampaignSummaryJson, GoldenBytesAndValid) {
+  CampaignSummary s;
+  s.app = "matvec";
+  s.trials = 8;
+  s.seed = 1234;
+  s.vanished = 3;
+  s.ona = 2;
+  s.wrong_output = 1;
+  s.pex = 0;
+  s.crashed = 2;
+  s.fps_mean = 0.5;
+  s.fps_stddev = 0.25;
+  s.fps_n = 3;
+
+  const std::string text = campaign_summary_json(s);
+  const std::string expected =
+      "{\n  \"app\": \"matvec\",\n"
+      "  \"trials\": 8,\n"
+      "  \"seed\": 1234,\n"
+      "  \"faults_per_run\": 1,\n"
+      "  \"outcomes\": {\"V\": 3, \"ONA\": 2, \"WO\": 1, \"PEX\": 0, \"C\": 2},\n"
+      "  \"fps\": {\"mean\": 0.5, \"stddev\": 0.25, \"n\": 3},\n"
+      "  \"recovery\": {\"recovered_trials\": 0, \"total_rollbacks\": 0, "
+      "\"total_wasted_cycles\": 0}\n}\n";
+  EXPECT_EQ(text, expected);
+
+  const json::ParseResult r = json::parse(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.value["outcomes"]["V"].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(r.value["fps"]["mean"].as_number(), 0.5);
+}
+
+TEST(MetricsJson, ValidAndOrdered) {
+  MetricsRegistry reg;
+  reg.counter("campaign.trials").add(8);
+  reg.counter("inject.flips").add(7);
+  reg.histogram("shadow.probe_len", {1, 4}).observe(2);
+
+  const std::string text = metrics_json(reg.snapshot());
+  const json::ParseResult r = json::parse(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.value["counters"]["campaign.trials"].as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(r.value["counters"]["inject.flips"].as_number(), 7.0);
+  const json::Value& h = r.value["histograms"]["shadow.probe_len"];
+  ASSERT_TRUE(h["counts"].is_array());
+  ASSERT_EQ(h["counts"].as_array().size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(h["counts"].as_array()[1].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h["sum"].as_number(), 2.0);
+  // std::map keys: "campaign.trials" serializes before "inject.flips".
+  EXPECT_LT(text.find("campaign.trials"), text.find("inject.flips"));
+
+  // An empty snapshot is still a valid document.
+  EXPECT_TRUE(json::parse(metrics_json(MetricsSnapshot{})).ok);
+}
+
+TEST(ChromeTrace, ValidJsonWithTracksAndCounters) {
+  std::vector<Event> events;
+  events.push_back({452, 7, 53, 1, 0, EventKind::Injection});
+  events.push_back({500, 0x40, 3, 9, 0, EventKind::ShadowRecord});
+  events.push_back({510, 0x40, 2, 0, 0, EventKind::ShadowHeal});
+  events.push_back({520, 0, 5, 0, 1, EventKind::CmlSample});
+  events.push_back({600, 4, 0, 7, kJobScope, EventKind::TrialOutcome});
+
+  ChromeTraceMeta meta;
+  meta.app = "matvec";
+  meta.trial_index = 3;
+  meta.nranks = 2;
+  meta.total_emitted = 5;
+
+  const std::string text = chrome_trace_json(events, meta);
+  const json::ParseResult r = json::parse(text);
+  ASSERT_TRUE(r.ok) << r.error << " at " << r.error_pos;
+  EXPECT_EQ(r.value["otherData"]["app"].as_string(), "matvec");
+  EXPECT_DOUBLE_EQ(r.value["otherData"]["trial"].as_number(), 3.0);
+
+  const json::Array& tev = r.value["traceEvents"].as_array();
+  // 3 thread_name metadata (2 ranks + job) + 5 events + 3 CML counter
+  // samples (record/heal/sample all resync the counter track).
+  ASSERT_EQ(tev.size(), 11u);
+  std::size_t counters = 0;
+  for (const json::Value& e : tev) {
+    if (e["ph"].as_string() == "C") {
+      ++counters;
+      EXPECT_EQ(e["name"].as_string().rfind("cml[", 0), 0u);
+    }
+  }
+  EXPECT_EQ(counters, 3u);
+  // The job-scoped outcome event lands on the job track (tid == nranks).
+  const json::Value& last = tev.back();
+  EXPECT_EQ(last["name"].as_string(), "trial_outcome");
+  EXPECT_DOUBLE_EQ(last["tid"].as_number(), 2.0);
+}
+
+TEST(TraceFilename, ZeroPadded) {
+  EXPECT_EQ(trial_trace_filename(0), "trial_000000.json");
+  EXPECT_EQ(trial_trace_filename(42), "trial_000042.json");
+}
+
+TEST(WriteFile, RoundTripsThroughEnsureDir) {
+  const std::string dir = ::testing::TempDir() + "fprop_obs_export/sub";
+  ensure_dir(dir);
+  write_file(dir + "/x.txt", "payload\n");
+  EXPECT_EQ(read_file(dir + "/x.txt"), "payload\n");
+}
+
+// --- end-to-end golden: tiny deterministic campaign -> byte-stable files ---
+
+harness::CampaignConfig tiny_config(std::size_t jobs, std::string trace_dir) {
+  harness::CampaignConfig cc;
+  cc.trials = 8;
+  cc.seed = 1234;
+  cc.jobs = jobs;
+  cc.trace_dir = std::move(trace_dir);
+  return cc;
+}
+
+std::map<std::string, std::string> run_and_slurp(harness::AppHarness& h,
+                                                 std::size_t jobs,
+                                                 const std::string& dir) {
+  run_campaign(h, tiny_config(jobs, dir));
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    files[entry.path().filename().string()] = read_file(entry.path().string());
+  }
+  return files;
+}
+
+TEST(CampaignExport, ByteStableAcrossJobsAndValid) {
+  harness::ExperimentConfig cfg;
+  cfg.overrides = {{"ITERS", "6"}};
+  harness::AppHarness h(apps::get_app("matvec"), cfg);
+
+  const std::string base = ::testing::TempDir() + "fprop_obs_campaign";
+  const auto serial = run_and_slurp(h, 1, base + "/j1");
+  const auto parallel = run_and_slurp(h, 8, base + "/j8");
+
+  // 8 trial traces + campaign.csv + campaign.json, byte-identical at any
+  // jobs value (the golden-file determinism contract).
+  ASSERT_EQ(serial.size(), 10u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (const auto& [name, bytes] : serial) {
+    const auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << name;
+    EXPECT_EQ(it->second, bytes) << name << " differs between jobs=1 and 8";
+  }
+
+  // The CSV has one row per trial and survives re-parsing of its header.
+  const std::string& csv = serial.at("campaign.csv");
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            9u);
+  EXPECT_EQ(csv.rfind("trial,outcome,trap,", 0), 0u);
+
+  // The summary parses and accounts for every trial.
+  const json::ParseResult summary = json::parse(serial.at("campaign.json"));
+  ASSERT_TRUE(summary.ok) << summary.error;
+  const json::Value& oc = summary.value["outcomes"];
+  EXPECT_DOUBLE_EQ(oc["V"].as_number() + oc["ONA"].as_number() +
+                       oc["WO"].as_number() + oc["PEX"].as_number() +
+                       oc["C"].as_number(),
+                   8.0);
+
+  // Every trace is valid JSON whose events are step-ordered per track
+  // (virtual time is monotone on each rank's clock and the global clock).
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const json::ParseResult trace =
+        json::parse(serial.at(trial_trace_filename(i)));
+    ASSERT_TRUE(trace.ok) << trace.error;
+    std::map<double, double> last_ts_by_tid;
+    for (const json::Value& e : trace.value["traceEvents"].as_array()) {
+      if (e["ph"].as_string() == "M") continue;
+      const double tid = e["tid"].as_number();
+      const double ts = e["ts"].as_number();
+      const auto it = last_ts_by_tid.find(tid);
+      if (it != last_ts_by_tid.end()) {
+        EXPECT_GE(ts, it->second) << "trial " << i << " tid " << tid;
+      }
+      last_ts_by_tid[tid] = ts;
+    }
+    EXPECT_DOUBLE_EQ(trace.value["otherData"]["dropped"].as_number(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fprop::obs

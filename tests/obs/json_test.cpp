@@ -1,0 +1,93 @@
+// The dependency-free JSON parser behind fprop-benchdiff and the trace
+// validation tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fprop/obs/json.h"
+
+namespace fprop::obs::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").value.is_null());
+  EXPECT_TRUE(parse("true").value.as_bool());
+  EXPECT_FALSE(parse("false").value.as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").value.as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5").value.as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse("2.5e3").value.as_number(), 2500.0);
+  EXPECT_EQ(parse("\"hi\"").value.as_string(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const ParseResult r = parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.as_string(), "a\n\t\"\\bA");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const ParseResult r = parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}, "e": null})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Value& v = r.value;
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v["a"].is_array());
+  ASSERT_EQ(v["a"].as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v["a"].as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(v["a"].as_array()[2]["b"].as_bool());
+  EXPECT_EQ(v["c"]["d"].as_string(), "x");
+  EXPECT_TRUE(v["e"].is_null());
+}
+
+TEST(Json, MissingKeysChainToNull) {
+  const ParseResult r = parse(R"({"a": 1})");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.value["nope"].is_null());
+  EXPECT_TRUE(r.value["nope"]["deeper"].is_null());
+  // Indexing a non-object is also a shared null, not UB.
+  EXPECT_TRUE(r.value["a"]["x"].is_null());
+}
+
+TEST(Json, DuplicateKeysKeepLast) {
+  const ParseResult r = parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.value["k"].as_number(), 2.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(parse("").ok);
+  EXPECT_FALSE(parse("{").ok);
+  EXPECT_FALSE(parse("[1,]").ok);
+  EXPECT_FALSE(parse("\"unterminated").ok);
+  EXPECT_FALSE(parse("nul").ok);
+
+  const ParseResult r = parse("{} garbage");
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.error_pos, 0u);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Json, ParseFileReportsMissingFile) {
+  const ParseResult r = parse_file("/nonexistent/fprop-json-test.json");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Json, ParsesBenchmarkShapedDocument) {
+  const ParseResult r = parse(R"({
+    "context": {"date": "2026-01-01T00:00:00", "num_cpus": 8},
+    "benchmarks": [
+      {"name": "BM_X/1", "run_type": "iteration", "iterations": 100,
+       "real_time": 2.5, "cpu_time": 2.4, "time_unit": "ms"}
+    ]
+  })");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Value& b = r.value["benchmarks"].as_array()[0];
+  EXPECT_EQ(b["name"].as_string(), "BM_X/1");
+  EXPECT_DOUBLE_EQ(b["real_time"].as_number(), 2.5);
+  EXPECT_EQ(b["time_unit"].as_string(), "ms");
+}
+
+}  // namespace
+}  // namespace fprop::obs::json

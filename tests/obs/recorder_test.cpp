@@ -1,0 +1,181 @@
+// TrialRecorder ring-buffer semantics and the metrics registry's
+// determinism-enabling invariants (commutative updates, ordered snapshots).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fprop/obs/events.h"
+#include "fprop/obs/metrics.h"
+#include "fprop/support/error.h"
+
+namespace fprop::obs {
+namespace {
+
+TEST(TrialRecorder, EmitsInOrder) {
+  TrialRecorder rec(8);
+  rec.emit(EventKind::Injection, 0, 10, 7, 3, 0xFF);
+  rec.emit(EventKind::ShadowRecord, 1, 11, 0x1000, 1, 42);
+  rec.emit(EventKind::TrialOutcome, kJobScope, 12, 2, 0, 1);
+
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.total_emitted(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+
+  const std::vector<Event> events = rec.ordered();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::Injection);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 3u);
+  EXPECT_EQ(events[0].c, 0xFFu);
+  EXPECT_EQ(events[1].kind, EventKind::ShadowRecord);
+  EXPECT_EQ(events[1].rank, 1u);
+  EXPECT_EQ(events[2].rank, kJobScope);
+  EXPECT_EQ(events[2].step, 12u);
+}
+
+TEST(TrialRecorder, WraparoundKeepsNewestEvents) {
+  TrialRecorder rec(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.emit(EventKind::ShadowRecord, 0, i, i);
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_emitted(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_EQ(rec.size(), 4u);
+
+  // The oldest two events (steps 0, 1) were overwritten; the tail survives
+  // in emission order — exactly what a trial's detection/outcome needs.
+  const std::vector<Event> events = rec.ordered();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].step, i + 2) << "event " << i;
+  }
+}
+
+TEST(TrialRecorder, ClearResetsForReuse) {
+  TrialRecorder rec(4);
+  for (int i = 0; i < 9; ++i) rec.emit(EventKind::Trap, 0, 1);
+  rec.clear();
+  EXPECT_EQ(rec.total_emitted(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.ordered().empty());
+
+  rec.emit(EventKind::Injection, 0, 5);
+  ASSERT_EQ(rec.ordered().size(), 1u);
+  EXPECT_EQ(rec.ordered()[0].step, 5u);
+}
+
+TEST(TrialRecorder, ZeroCapacityClampsToOne) {
+  TrialRecorder rec(0);
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.emit(EventKind::Injection, 0, 1);
+  rec.emit(EventKind::Trap, 0, 2);
+  ASSERT_EQ(rec.ordered().size(), 1u);
+  EXPECT_EQ(rec.ordered()[0].kind, EventKind::Trap);
+}
+
+TEST(TrialRecorder, EmitMacroToleratesNullRecorder) {
+  TrialRecorder* null_rec = nullptr;
+  FPROP_OBS_EMIT(null_rec, EventKind::Injection, 0u, 1u);  // must not crash
+
+  TrialRecorder rec(4);
+  TrialRecorder* p = &rec;
+  FPROP_OBS_EMIT(p, EventKind::Rollback, kJobScope, 9u, 3u, 6u);
+#if FPROP_OBS_ENABLED
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.ordered()[0].kind, EventKind::Rollback);
+  EXPECT_EQ(rec.ordered()[0].b, 6u);
+#else
+  EXPECT_EQ(rec.size(), 0u);
+#endif
+}
+
+TEST(EventKindName, CoversEveryKind) {
+  EXPECT_STREQ(event_kind_name(EventKind::Injection), "injection");
+  EXPECT_STREQ(event_kind_name(EventKind::ShadowRecord), "shadow_record");
+  EXPECT_STREQ(event_kind_name(EventKind::ShadowHeal), "shadow_heal");
+  EXPECT_STREQ(event_kind_name(EventKind::CmlSample), "cml_sample");
+  EXPECT_STREQ(event_kind_name(EventKind::TrialOutcome), "trial_outcome");
+}
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, HistogramBucketsByUpperBound) {
+  Histogram h({1, 4, 16});
+  for (std::uint64_t v : {0u, 1u, 2u, 4u, 17u}) h.observe(v);
+
+  EXPECT_EQ(h.bucket_count(0), 2u);  // <= 1: {0, 1}
+  EXPECT_EQ(h.bucket_count(1), 2u);  // <= 4: {2, 4}
+  EXPECT_EQ(h.bucket_count(2), 0u);  // <= 16: none
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow: {17}
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 24u);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({4, 1}), Error);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  a.add(3);
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+
+  Histogram& h = reg.histogram("h", {1, 2});
+  h.observe(2);
+  EXPECT_EQ(&reg.histogram("h", {1, 2}), &h);
+  EXPECT_THROW(reg.histogram("h", {1, 3}), Error);
+}
+
+TEST(Metrics, SnapshotComparesAndResets) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("trials").add(8);
+  a.histogram("probe", {1, 2}).observe(1);
+  b.counter("trials").add(8);
+  b.histogram("probe", {1, 2}).observe(1);
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+
+  b.counter("trials").add(1);
+  EXPECT_FALSE(a.snapshot() == b.snapshot());
+
+  a.reset();
+  EXPECT_TRUE(a.snapshot().counters.empty());
+  EXPECT_TRUE(a.snapshot().histograms.empty());
+}
+
+TEST(Metrics, ConcurrentUpdatesAreCommutative) {
+  // The registry's whole determinism story: updates from any number of
+  // worker threads fold to the same totals.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  Histogram& h = reg.histogram("v", {8, 64});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        c.add();
+        h.observe(i % 100);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+  EXPECT_EQ(h.count(), 4000u);
+  EXPECT_EQ(h.sum(), 198000u);  // 4 threads * 10 cycles * sum(0..99)
+}
+
+}  // namespace
+}  // namespace fprop::obs

@@ -1,0 +1,100 @@
+// fprop-benchdiff: compares two google-benchmark JSON files and fails (exit
+// 1) when any benchmark regressed beyond the relative threshold. This is the
+// CI bench-regression gate: baselines live in bench/BENCH_*.json and are
+// compared against a fresh run of the same benchmarks.
+//
+//   fprop-benchdiff [options] <baseline.json> <current.json>
+//
+//   --threshold=F    relative slowdown that counts as a regression
+//                    (default 0.30 = 30%; ratios below 1-F count improved)
+//   --min-iters=N    skip benchmarks with fewer iterations on either side
+//                    (sub-millisecond runs are noise-dominated)
+//   --filter=SUBSTR  compare only benchmarks whose name contains SUBSTR
+//   --cpu-time       compare cpu_time instead of real_time
+//   --allow-missing  missing benchmarks are reported but do not fail
+//
+// Exit codes: 0 ok, 1 regression (or missing benchmark), 2 usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fprop/obs/benchdiff.h"
+#include "fprop/support/error.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fprop-benchdiff [--threshold=F] [--min-iters=N] [--filter=S]\n"
+    "                       [--cpu-time] [--allow-missing]\n"
+    "                       <baseline.json> <current.json>\n";
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string& value) {
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+std::vector<fprop::obs::BenchEntry> load(const std::string& path) {
+  const fprop::obs::json::ParseResult doc = fprop::obs::json::parse_file(path);
+  if (!doc.ok) {
+    throw fprop::Error(path + ": " + doc.error + " (offset " +
+                       std::to_string(doc.error_pos) + ")");
+  }
+  return fprop::obs::parse_benchmark_entries(doc.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fprop::obs::DiffOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (parse_flag(arg, "--threshold", value)) {
+      options.threshold = std::strtod(value.c_str(), nullptr);
+      if (options.threshold <= 0.0) {
+        std::fprintf(stderr, "fprop-benchdiff: bad --threshold=%s\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (parse_flag(arg, "--min-iters", value)) {
+      options.min_iters = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(arg, "--filter", value)) {
+      options.filter = value;
+    } else if (arg == "--cpu-time") {
+      options.use_cpu_time = true;
+    } else if (arg == "--allow-missing") {
+      options.allow_missing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fprop-benchdiff: unknown option %s\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  try {
+    const std::vector<fprop::obs::BenchEntry> base = load(files[0]);
+    const std::vector<fprop::obs::BenchEntry> current = load(files[1]);
+    const fprop::obs::DiffReport report =
+        fprop::obs::diff_benchmarks(base, current, options);
+    std::fputs(fprop::obs::format_diff_table(report, options).c_str(), stdout);
+    return report.failed(options) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fprop-benchdiff: %s\n", e.what());
+    return 2;
+  }
+}
