@@ -1,0 +1,58 @@
+#pragma once
+
+// Seeded random MiniC program generator (DESIGN.md §10).
+//
+// Produces programs that are *valid by construction*: every expression is
+// typed, every array index is clamped into bounds, every loop has a constant
+// trip count, integer division/remainder denominators are provably non-zero,
+// and there is no recursion — so a generated program always compiles and
+// always terminates well under the cycle budget. MPI patterns (ring
+// send/recv, isend/irecv+wait, allreduce, bcast, barrier) are emitted only at
+// rank-uniform sequence points, so they are deadlock-free under the mpisim
+// World's rendezvous semantics.
+//
+// Validity-by-construction is what makes the differential oracles
+// (fuzz/oracles.h) sharp: any crash, divergence or non-determinism observed
+// on a generated program is a framework bug, not an input problem.
+
+#include <cstdint>
+#include <string>
+
+namespace fprop::fuzz {
+
+struct GenConfig {
+  /// Ranks the program is meant to run on (>= 2 enables MPI patterns).
+  std::uint32_t nranks = 4;
+  /// Allow MPI send-recv/collective patterns (needs nranks >= 2).
+  bool mpi = true;
+  /// Helper functions generated in addition to main (0..max).
+  std::size_t max_helpers = 2;
+  /// Statement budget for main's top-level body.
+  std::size_t max_stmts = 10;
+  /// Maximum expression tree depth.
+  int max_expr_depth = 3;
+  /// Maximum nesting of if/for blocks.
+  int max_block_depth = 2;
+  /// Maximum constant trip count of generated loops.
+  std::int64_t max_loop_trip = 6;
+};
+
+struct GeneratedProgram {
+  std::string source;
+  std::uint32_t nranks = 1;
+  bool has_mpi = false;
+  std::uint64_t seed = 0;
+};
+
+/// Generates one program from `seed`. Same (seed, config) => same source,
+/// byte for byte (all randomness flows through a seeded Xoshiro256).
+GeneratedProgram generate_program(std::uint64_t seed,
+                                  const GenConfig& config = {});
+
+/// Applies 1..4 random byte/span-level mutations (truncation, deletion,
+/// duplication, character flips, pathological token insertion) to `source`.
+/// The result is usually *invalid* MiniC — fodder for the parser-robustness
+/// oracle: the frontend must reject it with CompileError, never crash.
+std::string mutate_source(const std::string& source, std::uint64_t seed);
+
+}  // namespace fprop::fuzz

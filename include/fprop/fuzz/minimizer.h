@@ -1,0 +1,38 @@
+#pragma once
+
+// Greedy failing-case minimizer (DESIGN.md §10).
+//
+// Delta-debugging over source lines: repeatedly deletes line chunks of
+// halving size, keeping any deletion under which the caller-supplied
+// predicate still reports "fails". Converges to 1-line granularity
+// (ddmin-style), which is enough to turn a generated 80-line program into a
+// handful of lines that still trip an oracle — the form committed to the
+// corpus.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fprop::fuzz {
+
+struct MinimizeStats {
+  std::size_t initial_lines = 0;
+  std::size_t final_lines = 0;
+  std::size_t attempts = 0;  ///< predicate evaluations spent
+};
+
+/// Returns true when `candidate` still exhibits the failure being minimized.
+/// The predicate must treat every candidate independently (no state), and
+/// should be deterministic — the same seeds/config as the original failure.
+using FailPredicate = std::function<bool(const std::string&)>;
+
+/// Shrinks `source` while `still_fails` holds, spending at most
+/// `max_attempts` predicate calls. `source` itself must satisfy the
+/// predicate; if it does not, it is returned unchanged (stats record zero
+/// attempts). The result always satisfies the predicate.
+std::string minimize_lines(const std::string& source,
+                           const FailPredicate& still_fails,
+                           std::size_t max_attempts = 2000,
+                           MinimizeStats* stats = nullptr);
+
+}  // namespace fprop::fuzz

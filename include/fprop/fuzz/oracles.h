@@ -1,0 +1,75 @@
+#pragma once
+
+// Differential oracles over generated MiniC programs (DESIGN.md §10).
+//
+// Each oracle checks one framework invariant that must hold for *every*
+// valid program, not just the six registry apps:
+//
+//   pristine   FPM-on uninjected run == plain FPM-off run, bit for bit, and
+//              the secondary chain never diverges (the paper's §3.2 claim).
+//   campaign   run_campaign at jobs=1 == jobs=N, field for field (the PR 2
+//              determinism contract).
+//   ckpt       taking a coordinated checkpoint mid-run does not perturb the
+//              run, and restore + re-run replays bit-exactly (PR 1 contract).
+//   shadow     ShadowTable == std::unordered_map reference model under a
+//              randomized record/lookup/heal/heal_range/clear op stream.
+//   parser     the MiniC frontend rejects arbitrarily mutated source with
+//              CompileError — never another exception type, never a crash.
+//
+// Oracles never throw: any unexpected exception is itself a violation and is
+// reported through OracleResult.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fprop/fuzz/generator.h"
+
+namespace fprop::fuzz {
+
+struct OracleResult {
+  bool ok = true;
+  std::string oracle;  ///< which invariant was checked
+  std::string detail;  ///< empty when ok; mismatch description otherwise
+};
+
+struct OracleConfig {
+  /// Campaign oracle: trials per run and the parallel jobs count compared
+  /// against jobs=1.
+  std::size_t campaign_trials = 6;
+  std::size_t campaign_jobs = 2;
+  /// Campaign oracle: also exercise the trace-capture + slope-fit path.
+  bool capture_traces = false;
+};
+
+/// Oracle "pristine": compiles `prog` twice — plain (no instrumentation,
+/// FPM off) and instrumented (LLFI++ sites unarmed + dual chain, FPM on) —
+/// runs both and requires bitwise-equal outputs/outcomes plus a clean FPM:
+/// zero divergent stores, zero wild stores, empty shadow tables.
+OracleResult check_pristine_chain(const GeneratedProgram& prog);
+
+/// Oracle "campaign": builds an AppHarness over `prog` and compares
+/// run_campaign at jobs=1 vs jobs=config.campaign_jobs field-for-field
+/// (doubles compared bitwise).
+OracleResult check_campaign_parallel(const GeneratedProgram& prog,
+                                     const OracleConfig& config = {});
+
+/// Oracle "ckpt": (a) a run that takes a mid-run coordinated checkpoint
+/// (under a sampled single-fault injection) must equal the same run without
+/// the checkpoint; (b) without injection, completing, restoring the mid-run
+/// checkpoint and completing again must replay bit-exactly.
+OracleResult check_checkpoint_replay(const GeneratedProgram& prog);
+
+/// Oracle "shadow": drives ShadowTable and an unordered_map reference model
+/// through `ops` randomized operations (record/lookup/pristine_or/heal/
+/// heal_range/in_range/clear over 8-aligned keys, colliding keys and the
+/// ~0 sentinel key) and compares results after every operation.
+OracleResult check_shadow_model(std::uint64_t seed, std::size_t ops = 4096);
+
+/// Oracle "parser": minic::compile(source) must either succeed or throw
+/// CompileError. Any other exception (or a crash, which no oracle can
+/// report) is a frontend robustness bug. `source` is typically
+/// mutate_source() output.
+OracleResult check_parser_robust(const std::string& source);
+
+}  // namespace fprop::fuzz

@@ -72,6 +72,10 @@ struct GoldenRun {
   std::uint64_t global_cycles = 0;
   std::uint64_t total_allocated_words = 0;
   inject::DynCounts dyn_counts;
+  /// Per-dynamic-point live widths; empty when every site is 64-bit (then
+  /// width-aware sampling degenerates to the historical draws). Needed so
+  /// campaigns on apps with i1 arith sites produce valid plans.
+  inject::DynWidths dyn_widths;
   std::uint64_t total_dyn_points = 0;
 };
 

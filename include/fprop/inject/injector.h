@@ -58,6 +58,13 @@ struct InjectionEvent {
 /// Per-rank dynamic injection-point counts measured by a profiling run.
 using DynCounts = std::vector<std::uint64_t>;  // index = rank
 
+/// Per-rank, per-dynamic-point live-value widths (bits) measured by a
+/// profiling run with width recording enabled: widths[rank][dyn_index].
+/// Execution is deterministic up to the injection point, so the width seen
+/// by the profiling run is the width the fault will meet. Empty vectors mean
+/// "all 64-bit" (the common case; see InjectorRuntime::record_widths).
+using DynWidths = std::vector<std::vector<std::uint8_t>>;
+
 class InjectorRuntime final : public vm::InjectHook {
  public:
   /// Counting mode: no faults, just tallies dynamic points per rank.
@@ -73,9 +80,18 @@ class InjectorRuntime final : public vm::InjectHook {
     recorder_ = recorder;
   }
 
+  /// Enables per-dynamic-point width recording (profiling runs only; costs
+  /// one byte per dynamic point). Needed by width-aware plan sampling when
+  /// the module has sub-64-bit injection sites (i1 registers feeding
+  /// arithmetic); modules with only 64-bit sites can skip it.
+  void record_widths(bool enable) noexcept { record_widths_ = enable; }
+
   /// Dynamic fim_inj executions observed on `rank` so far.
   std::uint64_t dynamic_points(std::uint32_t rank) const;
   DynCounts dynamic_counts(std::uint32_t nranks) const;
+  /// Recorded widths (empty per-rank vectors unless record_widths(true) was
+  /// set before the run).
+  DynWidths dynamic_widths(std::uint32_t nranks) const;
   const std::vector<InjectionEvent>& events() const noexcept {
     return events_;
   }
@@ -85,12 +101,14 @@ class InjectorRuntime final : public vm::InjectHook {
     std::uint64_t counter = 0;
     std::vector<FaultRecord> pending;  ///< sorted by dyn_index
     std::size_t next = 0;
+    std::vector<std::uint8_t> widths;  ///< per dyn_index, when recording
   };
   PerRank& rank_state(std::uint32_t rank);
 
   std::map<std::uint32_t, PerRank> ranks_;
   std::vector<InjectionEvent> events_;
   obs::TrialRecorder* recorder_ = nullptr;
+  bool record_widths_ = false;
 };
 
 /// Fig. 5 support: given a set of sampled (rank, dyn_index) injection
@@ -133,5 +151,15 @@ InjectionPlan sample_single_fault(const DynCounts& counts, Xoshiro256& rng);
 /// merged into one plan (several may land on the same rank).
 InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
                             Xoshiro256& rng);
+
+/// Width-aware variants: the drawn bit is reduced into the target point's
+/// recorded width (uniformly — every IR width divides 64), so the plan is
+/// valid for modules with sub-64-bit sites. With empty `widths` (or for
+/// 64-bit points) the draws — and therefore existing campaign results — are
+/// unchanged bit-for-bit.
+InjectionPlan sample_single_fault(const DynCounts& counts,
+                                  const DynWidths& widths, Xoshiro256& rng);
+InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
+                            std::size_t nfaults, Xoshiro256& rng);
 
 }  // namespace fprop::inject

@@ -1,0 +1,714 @@
+#include "fprop/fuzz/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fprop/support/rng.h"
+
+namespace fprop::fuzz {
+
+namespace {
+
+/// Generator-side value categories. Arrays carry a *bound expression*
+/// (their constant length minus one, or a length-parameter expression) so
+/// every subscript can be clamped into bounds at generation time.
+enum class VType : std::uint8_t { Int, Float, IntArr, FloatArr };
+
+bool is_array(VType t) noexcept {
+  return t == VType::IntArr || t == VType::FloatArr;
+}
+VType elem_of(VType t) noexcept {
+  return t == VType::IntArr ? VType::Int : VType::Float;
+}
+
+struct Var {
+  std::string name;
+  VType type{};
+  /// Arrays: textual expression for length-1 ("7" or "(n - 1)").
+  std::string bound;
+  /// Arrays owned by main: constant length (0 for helper params).
+  std::int64_t len = 0;
+  /// Loop counters / MPI bookkeeping must never be reassigned (that could
+  /// break termination or rank-uniformity).
+  bool assignable = true;
+};
+
+struct Helper {
+  std::string name;
+  /// Scalar parameter types; when `array_param` the signature additionally
+  /// starts with (float*/int* a, int n) and callers pass a real array plus
+  /// its true length.
+  std::vector<VType> scalars;
+  bool array_param = false;
+  VType array_type = VType::FloatArr;
+  bool has_ret = false;
+  VType ret = VType::Int;
+};
+
+class Gen {
+ public:
+  Gen(std::uint64_t seed, const GenConfig& cfg)
+      : rng_(derive_seed(seed, 0xF0550ull)), cfg_(cfg) {}
+
+  GeneratedProgram run(std::uint64_t seed) {
+    GeneratedProgram p;
+    p.seed = seed;
+    p.nranks = cfg_.nranks;
+    p.has_mpi = cfg_.mpi && cfg_.nranks >= 2 && chance(70);
+    if (!p.has_mpi) p.nranks = 1;
+
+    const std::size_t nhelpers =
+        cfg_.max_helpers == 0 ? 0 : below(cfg_.max_helpers + 1);
+    for (std::size_t i = 0; i < nhelpers; ++i) emit_helper();
+    emit_main(p.has_mpi);
+    p.source = std::move(out_);
+    return p;
+  }
+
+ private:
+  // --- randomness helpers --------------------------------------------------
+  std::uint64_t below(std::uint64_t bound) { return rng_.next_below(bound); }
+  bool chance(unsigned pct) { return below(100) < pct; }
+  std::int64_t irange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // --- emit helpers --------------------------------------------------------
+  void line(const std::string& s) {
+    out_.append(static_cast<std::size_t>(indent_) * 2, ' ');
+    out_ += s;
+    out_ += '\n';
+  }
+  std::string fresh(const char* prefix) {
+    return std::string(prefix) + std::to_string(name_counter_++);
+  }
+
+  // --- scopes --------------------------------------------------------------
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  Var& declare(Var v) {
+    scopes_.back().push_back(std::move(v));
+    return scopes_.back().back();
+  }
+  /// All visible variables satisfying `pred`.
+  template <typename Pred>
+  std::vector<const Var*> visible(Pred pred) const {
+    std::vector<const Var*> out;
+    for (const auto& scope : scopes_) {
+      for (const auto& v : scope) {
+        if (pred(v)) out.push_back(&v);
+      }
+    }
+    return out;
+  }
+  const Var* pick(std::vector<const Var*> vars) {
+    if (vars.empty()) return nullptr;
+    return vars[below(vars.size())];
+  }
+  const Var* pick_scalar(VType t) {
+    return pick(visible([&](const Var& v) { return v.type == t; }));
+  }
+  const Var* pick_array(bool float_only = false) {
+    return pick(visible([&](const Var& v) {
+      return float_only ? v.type == VType::FloatArr : is_array(v.type);
+    }));
+  }
+
+  // --- expressions ---------------------------------------------------------
+  std::string int_lit() {
+    switch (below(4)) {
+      case 0: return std::to_string(irange(0, 4));
+      case 1: return std::to_string(irange(0, 16));
+      case 2: return std::to_string(std::int64_t{1} << below(12));
+      default: return std::to_string(irange(0, 255));
+    }
+  }
+  std::string float_lit() {
+    // Small decimal literals built from integers: byte-stable across
+    // platforms (no printf rounding) and always lexable.
+    return std::to_string(irange(0, 9)) + "." + std::to_string(irange(0, 9));
+  }
+
+  /// Clamped subscript into `arr`: always within [0, len-1].
+  std::string index_into(const Var& arr, int depth) {
+    return "imin(imax(" + int_expr(depth) + ", 0), " + arr.bound + ")";
+  }
+
+  std::string int_expr(int depth) {
+    if (depth <= 0 || chance(30)) {
+      if (chance(50)) {
+        if (const Var* v = pick_scalar(VType::Int)) return v->name;
+      }
+      return int_lit();
+    }
+    switch (below(12)) {
+      case 0: case 1: {
+        static const char* const ops[] = {"+", "-", "*", "&", "|", "^"};
+        return "(" + int_expr(depth - 1) + " " + ops[below(6)] + " " +
+               int_expr(depth - 1) + ")";
+      }
+      case 2: {
+        // Non-zero positive denominator by construction.
+        const char* op = chance(50) ? " / " : " % ";
+        return "(" + int_expr(depth - 1) + op + "((" + int_expr(depth - 1) +
+               " & 7) + 1))";
+      }
+      case 3: {
+        // The VM masks shift amounts to 6 bits, so any amount is safe; keep
+        // them small so values stay in a range where faults are interesting.
+        const char* op = chance(50) ? " << " : " >> ";
+        return "(" + int_expr(depth - 1) + op + "(" + int_expr(depth - 1) +
+               " & 15))";
+      }
+      case 4: {
+        static const char* const ops[] = {"<", "<=", ">", ">=", "==", "!="};
+        return "(" + int_expr(depth - 1) + " " + ops[below(6)] + " " +
+               int_expr(depth - 1) + ")";
+      }
+      case 5: {
+        static const char* const ops[] = {"&&", "||"};
+        return "(" + int_expr(depth - 1) + " " + ops[below(2)] + " " +
+               int_expr(depth - 1) + ")";
+      }
+      case 6: {
+        static const char* const ops[] = {"-", "~", "!"};
+        return "(" + std::string(ops[below(3)]) + int_expr(depth - 1) + ")";
+      }
+      case 7:
+        // f64 -> i64 uses cvttsd2si semantics in the VM: safe for any value.
+        return "int(" + float_expr(depth - 1) + ")";
+      case 8:
+        return std::string(chance(50) ? "imin(" : "imax(") +
+               int_expr(depth - 1) + ", " + int_expr(depth - 1) + ")";
+      case 9: {
+        const Var* arr = pick(visible(
+            [](const Var& v) { return v.type == VType::IntArr; }));
+        if (arr == nullptr) return int_expr(depth - 1);
+        return arr->name + "[" + index_into(*arr, depth - 1) + "]";
+      }
+      case 10: {
+        std::string call;
+        if (helper_call(VType::Int, depth - 1, call)) return call;
+        return int_expr(depth - 1);
+      }
+      default:
+        return int_expr(depth - 1);
+    }
+  }
+
+  std::string float_expr(int depth) {
+    if (depth <= 0 || chance(30)) {
+      if (chance(50)) {
+        if (const Var* v = pick_scalar(VType::Float)) return v->name;
+      }
+      return float_lit();
+    }
+    switch (below(10)) {
+      case 0: case 1: {
+        static const char* const ops[] = {"+", "-", "*"};
+        return "(" + float_expr(depth - 1) + " " + ops[below(3)] + " " +
+               float_expr(depth - 1) + ")";
+      }
+      case 2:
+        // Denominator >= 1.0: division can shrink but never explode.
+        return "(" + float_expr(depth - 1) + " / (fabs(" +
+               float_expr(depth - 1) + ") + 1.0))";
+      case 3:
+        return "sqrt(fabs(" + float_expr(depth - 1) + "))";
+      case 4:
+        return std::string(chance(50) ? "fmin(" : "fmax(") +
+               float_expr(depth - 1) + ", " + float_expr(depth - 1) + ")";
+      case 5:
+        return "floor(" + float_expr(depth - 1) + ")";
+      case 6:
+        return "float(" + int_expr(depth - 1) + ")";
+      case 7: {
+        const Var* arr = pick_array(/*float_only=*/true);
+        if (arr == nullptr) return float_expr(depth - 1);
+        return arr->name + "[" + index_into(*arr, depth - 1) + "]";
+      }
+      case 8: {
+        std::string call;
+        if (helper_call(VType::Float, depth - 1, call)) return call;
+        return float_expr(depth - 1);
+      }
+      default:
+        if (allow_rand_ && chance(40)) return "rand01()";
+        return "(" + float_expr(depth - 1) + " * " + float_lit() + ")";
+    }
+  }
+
+  std::string expr_of(VType t, int depth) {
+    return t == VType::Int ? int_expr(depth) : float_expr(depth);
+  }
+
+  /// Builds a call to a random helper returning `ret` whose arguments are
+  /// satisfiable in the current scope. Helpers are only callable from main
+  /// (no helper-to-helper calls => no recursion).
+  bool helper_call(VType ret, int depth, std::string& out) {
+    if (!in_main_ || helpers_.empty()) return false;
+    std::vector<const Helper*> cands;
+    for (const auto& h : helpers_) {
+      if (h.has_ret && h.ret == ret) cands.push_back(&h);
+    }
+    if (cands.empty()) return false;
+    const Helper& h = *cands[below(cands.size())];
+    return format_call(h, depth, out);
+  }
+
+  bool format_call(const Helper& h, int depth, std::string& out) {
+    std::string call = h.name + "(";
+    bool first = true;
+    if (h.array_param) {
+      const Var* arr = pick(visible([&](const Var& v) {
+        return v.type == h.array_type && v.len > 0;
+      }));
+      if (arr == nullptr) return false;
+      call += arr->name + ", " + std::to_string(arr->len);
+      first = false;
+    }
+    for (VType t : h.scalars) {
+      if (!first) call += ", ";
+      call += expr_of(t, depth);
+      first = false;
+    }
+    call += ")";
+    out = std::move(call);
+    return true;
+  }
+
+  // --- statements ----------------------------------------------------------
+  void stmt_decl_scalar(int depth) {
+    const VType t = chance(50) ? VType::Int : VType::Float;
+    Var v;
+    v.name = fresh("v");
+    v.type = t;
+    line("var " + v.name + ": " +
+         (t == VType::Int ? std::string("int") : std::string("float")) +
+         " = " + expr_of(t, depth) + ";");
+    declare(std::move(v));
+  }
+
+  void stmt_decl_array() {
+    const bool is_float = chance(70);
+    Var v;
+    v.name = fresh("a");
+    v.type = is_float ? VType::FloatArr : VType::IntArr;
+    v.len = irange(4, 16);
+    v.bound = std::to_string(v.len - 1);
+    line("var " + v.name + ": " + (is_float ? "float*" : "int*") + " = " +
+         (is_float ? "alloc_float(" : "alloc_int(") + std::to_string(v.len) +
+         ");");
+    declare(std::move(v));
+  }
+
+  void stmt_assign(int depth) {
+    const Var* v = pick(visible(
+        [](const Var& x) { return !is_array(x.type) && x.assignable; }));
+    if (v == nullptr) {
+      stmt_decl_scalar(depth);
+      return;
+    }
+    line(v->name + " = " + expr_of(v->type, depth) + ";");
+  }
+
+  void stmt_array_store(int depth) {
+    const Var* arr = pick_array();
+    if (arr == nullptr) {
+      stmt_decl_array();
+      return;
+    }
+    line(arr->name + "[" + index_into(*arr, depth - 1) + "] = " +
+         expr_of(elem_of(arr->type), depth) + ";");
+  }
+
+  void stmt_output(int depth) {
+    if (chance(50)) {
+      line("output_i(" + int_expr(depth) + ");");
+    } else {
+      line("output_f(" + float_expr(depth) + ");");
+    }
+  }
+
+  void stmt_if(int block_depth) {
+    line("if (" + int_expr(cfg_.max_expr_depth) + ") {");
+    ++indent_;
+    push_scope();
+    block_body(block_depth - 1, 1 + below(3));
+    pop_scope();
+    --indent_;
+    if (chance(50)) {
+      line("} else {");
+      ++indent_;
+      push_scope();
+      block_body(block_depth - 1, 1 + below(2));
+      pop_scope();
+      --indent_;
+    }
+    line("}");
+  }
+
+  void stmt_for(int block_depth) {
+    const std::string i = fresh("i");
+    const std::int64_t trip = irange(2, cfg_.max_loop_trip);
+    line("for (var " + i + ": int = 0; " + i + " < " + std::to_string(trip) +
+         "; " + i + " = " + i + " + 1) {");
+    ++indent_;
+    push_scope();
+    declare({i, VType::Int, "", 0, /*assignable=*/false});
+    block_body(block_depth - 1, 1 + below(3));
+    pop_scope();
+    --indent_;
+    line("}");
+  }
+
+  void stmt_helper_void_call(int depth) {
+    std::vector<const Helper*> voids;
+    for (const auto& h : helpers_) {
+      if (!h.has_ret) voids.push_back(&h);
+    }
+    if (!in_main_ || voids.empty()) {
+      stmt_output(depth);
+      return;
+    }
+    std::string call;
+    if (format_call(*voids[below(voids.size())], depth, call)) {
+      line(call + ";");
+    } else {
+      stmt_output(depth);
+    }
+  }
+
+  void one_stmt(int block_depth) {
+    const int d = cfg_.max_expr_depth;
+    switch (below(10)) {
+      case 0: stmt_decl_scalar(d); break;
+      case 1: stmt_decl_array(); break;
+      case 2: case 3: stmt_assign(d); break;
+      case 4: case 5: stmt_array_store(d); break;
+      case 6: stmt_output(d); break;
+      case 7:
+        if (block_depth > 0) stmt_if(block_depth); else stmt_assign(d);
+        break;
+      case 8:
+        if (block_depth > 0) stmt_for(block_depth); else stmt_array_store(d);
+        break;
+      default: stmt_helper_void_call(d); break;
+    }
+  }
+
+  void block_body(int block_depth, std::size_t nstmts) {
+    for (std::size_t i = 0; i < nstmts; ++i) one_stmt(block_depth);
+  }
+
+  // --- MPI patterns --------------------------------------------------------
+  // All MPI calls are emitted at rank-uniform sequence points (main's top
+  // level, or a constant-trip loop at main's top level); sends are eager in
+  // mpisim, so send-before-recv rings cannot deadlock.
+
+  /// Two distinct float arrays with length >= L, for buffer pairs.
+  bool pick_buffer_pair(std::int64_t len, const Var*& a, const Var*& b) {
+    auto arrs = visible([&](const Var& v) {
+      return v.type == VType::FloatArr && v.len >= len;
+    });
+    if (arrs.size() < 2) return false;
+    const std::size_t i = below(arrs.size());
+    std::size_t j = below(arrs.size() - 1);
+    if (j >= i) ++j;
+    a = arrs[i];
+    b = arrs[j];
+    return true;
+  }
+
+  void mpi_pattern() {
+    const std::int64_t len = irange(1, 4);
+    const Var* a = nullptr;
+    const Var* b = nullptr;
+    if (!pick_buffer_pair(len, a, b)) return;
+    // Copy the names now: ring_neighbor() declares variables below, which
+    // can reallocate the scope vectors and invalidate a/b.
+    const std::string an = a->name;
+    const std::string bn = b->name;
+    const std::string l = std::to_string(len);
+    const std::string tag = std::to_string(irange(0, 7));
+    switch (below(5)) {
+      case 0:
+        line(std::string(chance(50) ? "mpi_allreduce_sum_f("
+                                    : "mpi_allreduce_max_f(") +
+             an + ", " + bn + ", " + l + ");");
+        break;
+      case 1:
+        line("mpi_bcast_f(0, " + an + ", " + l + ");");
+        break;
+      case 2:
+        line("mpi_barrier();");
+        break;
+      case 3: {
+        // Blocking ring shift: everyone sends right, receives from the left.
+        const std::string rt = ring_neighbor(+1);
+        const std::string lf = ring_neighbor(-1);
+        line("mpi_send_f(" + rt + ", " + tag + ", " + an + ", " + l +
+             ");");
+        line("mpi_recv_f(" + lf + ", " + tag + ", " + bn + ", " + l +
+             ");");
+        break;
+      }
+      default: {
+        // Nonblocking ring: post the receive first, then the eager send.
+        const std::string rt = ring_neighbor(+1);
+        const std::string lf = ring_neighbor(-1);
+        const std::string rq = fresh("v");
+        line("var " + rq + ": int = mpi_irecv_f(" + lf + ", " + tag + ", " +
+             bn + ", " + l + ");");
+        declare({rq, VType::Int, "", 0, /*assignable=*/false});
+        if (chance(50)) {
+          line("mpi_send_f(" + rt + ", " + tag + ", " + an + ", " + l +
+               ");");
+        } else {
+          const std::string sq = fresh("v");
+          line("var " + sq + ": int = mpi_isend_f(" + rt + ", " + tag + ", " +
+               an + ", " + l + ");");
+          declare({sq, VType::Int, "", 0, /*assignable=*/false});
+          line("mpi_wait(" + sq + ");");
+        }
+        line("mpi_wait(" + rq + ");");
+        break;
+      }
+    }
+  }
+
+  /// Declares and returns a ring-neighbor rank variable (rank +/- 1, wrapped).
+  std::string ring_neighbor(int dir) {
+    const std::string n = fresh("v");
+    if (dir > 0) {
+      line("var " + n + ": int = rank + 1;");
+      line("if (" + n + " >= size) { " + n + " = 0; }");
+    } else {
+      line("var " + n + ": int = rank - 1;");
+      line("if (" + n + " < 0) { " + n + " = size - 1; }");
+    }
+    declare({n, VType::Int, "", 0, /*assignable=*/false});
+    return n;
+  }
+
+  // --- functions -----------------------------------------------------------
+  void emit_helper() {
+    Helper h;
+    h.name = fresh("h");
+    h.array_param = chance(40);
+    if (h.array_param) h.array_type = VType::FloatArr;
+    const std::size_t nscalars = 1 + below(2);
+    for (std::size_t i = 0; i < nscalars; ++i) {
+      h.scalars.push_back(chance(50) ? VType::Int : VType::Float);
+    }
+    h.has_ret = chance(70);
+    if (h.has_ret) h.ret = chance(50) ? VType::Int : VType::Float;
+
+    std::string sig = "fn " + h.name + "(";
+    push_scope();
+    bool first = true;
+    if (h.array_param) {
+      const std::string arr = fresh("p");
+      const std::string n = fresh("n");
+      sig += arr + ": float*, " + n + ": int";
+      // Callers always pass the array's true length, so clamping against the
+      // length parameter keeps subscripts in bounds.
+      declare({arr, h.array_type, "(" + n + " - 1)", 0, true});
+      declare({n, VType::Int, "", 0, /*assignable=*/false});
+      first = false;
+    }
+    for (std::size_t i = 0; i < h.scalars.size(); ++i) {
+      const std::string p = fresh("p");
+      if (!first) sig += ", ";
+      sig += p + ": " + (h.scalars[i] == VType::Int ? "int" : "float");
+      declare({p, h.scalars[i], "", 0, /*assignable=*/false});
+      first = false;
+    }
+    sig += ")";
+    if (h.has_ret) {
+      sig += std::string(" -> ") + (h.ret == VType::Int ? "int" : "float");
+    }
+    line(sig + " {");
+    ++indent_;
+    block_body(1, 1 + below(4));
+    if (h.has_ret) {
+      line("return " + expr_of(h.ret, cfg_.max_expr_depth) + ";");
+    }
+    --indent_;
+    pop_scope();
+    line("}");
+    line("");
+    helpers_.push_back(std::move(h));
+  }
+
+  void emit_main(bool mpi) {
+    in_main_ = true;
+    allow_rand_ = chance(60);
+    line("fn main() {");
+    ++indent_;
+    push_scope();
+    if (mpi) {
+      line("var rank: int = mpi_rank();");
+      line("var size: int = mpi_size();");
+      declare({"rank", VType::Int, "", 0, /*assignable=*/false});
+      declare({"size", VType::Int, "", 0, /*assignable=*/false});
+    }
+    const std::size_t narrays = 2 + below(3);
+    for (std::size_t i = 0; i < narrays; ++i) stmt_decl_array();
+    // Prologue: deterministically fill every array. Besides giving the body
+    // non-zero data, this guarantees each run executes memory stores — the
+    // pristine oracle rejects a run whose FPM checked nothing.
+    {
+      struct ArrInfo {
+        std::string name;
+        std::int64_t len;
+        bool is_float;
+      };
+      std::vector<ArrInfo> arrs;
+      for (const Var* v : visible(
+               [](const Var& x) { return is_array(x.type) && x.len > 0; })) {
+        arrs.push_back({v->name, v->len, v->type == VType::FloatArr});
+      }
+      for (const auto& ai : arrs) {
+        const std::string i = fresh("i");
+        line("for (var " + i + ": int = 0; " + i + " < " +
+             std::to_string(ai.len) + "; " + i + " = " + i + " + 1) {");
+        if (ai.is_float) {
+          line("  " + ai.name + "[" + i + "] = (float(" + i + ") * " +
+               float_lit() + ");");
+        } else {
+          line("  " + ai.name + "[" + i + "] = (" + i + " * " + int_lit() +
+               ");");
+        }
+        line("}");
+      }
+    }
+    const std::size_t nscalars = 2 + below(3);
+    for (std::size_t i = 0; i < nscalars; ++i) {
+      stmt_decl_scalar(cfg_.max_expr_depth);
+    }
+
+    // Body: plain statements with MPI patterns interleaved at top level.
+    const std::size_t nstmts = 3 + below(cfg_.max_stmts);
+    std::size_t mpi_left = mpi ? 1 + below(3) : 0;
+    for (std::size_t i = 0; i < nstmts; ++i) {
+      if (mpi_left > 0 && chance(25)) {
+        --mpi_left;
+        if (chance(30)) {
+          // Pattern repeated inside a constant-trip loop (uniform bounds).
+          const std::string it = fresh("i");
+          line("for (var " + it + ": int = 0; " + it + " < " +
+               std::to_string(irange(2, 4)) + "; " + it + " = " + it +
+               " + 1) {");
+          ++indent_;
+          push_scope();
+          declare({it, VType::Int, "", 0, false});
+          mpi_pattern();
+          pop_scope();
+          --indent_;
+          line("}");
+        } else {
+          mpi_pattern();
+        }
+      } else {
+        one_stmt(cfg_.max_block_depth);
+      }
+    }
+    while (mpi_left-- > 0) mpi_pattern();
+
+    // Epilogue: checksum every main-scope array and output every scalar, so
+    // the whole final memory state feeds the differential comparison.
+    std::vector<const Var*> arrays = visible(
+        [](const Var& v) { return is_array(v.type) && v.len > 0; });
+    for (const Var* arr : arrays) {
+      const std::string s = fresh("v");
+      const std::string i = fresh("i");
+      const bool f = arr->type == VType::FloatArr;
+      line(std::string("var ") + s + ": " + (f ? "float" : "int") + " = " +
+           (f ? "0.0" : "0") + ";");
+      line("for (var " + i + ": int = 0; " + i + " < " +
+           std::to_string(arr->len) + "; " + i + " = " + i + " + 1) {");
+      line("  " + s + " = " + s + " + " + arr->name + "[" + i + "];");
+      line("}");
+      line((f ? "output_f(" : "output_i(") + s + ");");
+    }
+    for (const Var* v :
+         visible([](const Var& x) { return !is_array(x.type); })) {
+      line((v->type == VType::Float ? "output_f(" : "output_i(") + v->name +
+           ");");
+    }
+    pop_scope();
+    --indent_;
+    line("}");
+    in_main_ = false;
+  }
+
+  Xoshiro256 rng_;
+  GenConfig cfg_;
+  std::string out_;
+  int indent_ = 0;
+  std::size_t name_counter_ = 0;
+  std::vector<std::vector<Var>> scopes_;
+  std::vector<Helper> helpers_;
+  bool in_main_ = false;
+  bool allow_rand_ = false;
+};
+
+}  // namespace
+
+GeneratedProgram generate_program(std::uint64_t seed, const GenConfig& config) {
+  return Gen(seed, config).run(seed);
+}
+
+std::string mutate_source(const std::string& source, std::uint64_t seed) {
+  Xoshiro256 rng(derive_seed(seed, 0x3007a7eull));
+  std::string s = source;
+  const std::size_t nmut = 1 + rng.next_below(4);
+  // Dictionary of pathological fragments: frontend edge cases a plain
+  // byte-flipper takes a long time to spell (huge literals, truncated
+  // exponents, operator soup).
+  static const char* const kDict[] = {
+      "((((((((", "{{{{", "}}}}", "1e", "1e999999999",
+      "99999999999999999999999999", "->", "!!!~~--", "var", "fn",
+      "int(", "[", "]]", ";;", ":", "@", "$", "\x01", "e+", ".5.",
+  };
+  static const char kChars[] =
+      "{}()[];:=+-*/%<>!&|^~.,eE0123456789abz_ \n\"@$";
+  for (std::size_t m = 0; m < nmut; ++m) {
+    if (s.empty()) break;
+    switch (rng.next_below(5)) {
+      case 0:  // truncate
+        s.resize(rng.next_below(s.size() + 1));
+        break;
+      case 1: {  // delete a span
+        const std::size_t at = rng.next_below(s.size());
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.next_below(16), s.size() - at);
+        s.erase(at, n);
+        break;
+      }
+      case 2: {  // duplicate a span
+        const std::size_t at = rng.next_below(s.size());
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.next_below(16), s.size() - at);
+        s.insert(at, s.substr(at, n));
+        break;
+      }
+      case 3: {  // flip a character
+        const std::size_t at = rng.next_below(s.size());
+        s[at] = kChars[rng.next_below(sizeof(kChars) - 1)];
+        break;
+      }
+      default: {  // insert a dictionary fragment
+        const std::size_t at = rng.next_below(s.size() + 1);
+        s.insert(at, kDict[rng.next_below(std::size(kDict))]);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace fprop::fuzz

@@ -1,0 +1,94 @@
+#include "fprop/fuzz/minimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fprop::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < s.size()) lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string minimize_lines(const std::string& source,
+                           const FailPredicate& still_fails,
+                           std::size_t max_attempts, MinimizeStats* stats) {
+  std::vector<std::string> lines = split_lines(source);
+  MinimizeStats st;
+  st.initial_lines = lines.size();
+  std::size_t attempts = 0;
+
+  const auto try_without = [&](std::size_t at, std::size_t n) {
+    std::vector<std::string> cand;
+    cand.reserve(lines.size() - n);
+    cand.insert(cand.end(), lines.begin(),
+                lines.begin() + static_cast<std::ptrdiff_t>(at));
+    cand.insert(cand.end(),
+                lines.begin() + static_cast<std::ptrdiff_t>(at + n),
+                lines.end());
+    ++attempts;
+    if (still_fails(join_lines(cand))) {
+      lines = std::move(cand);
+      return true;
+    }
+    return false;
+  };
+
+  // The input must fail to begin with; otherwise there is nothing to
+  // preserve while shrinking.
+  if (lines.empty() || !still_fails(source)) {
+    st.final_lines = st.initial_lines;
+    if (stats != nullptr) *stats = st;
+    return source;
+  }
+
+  bool shrunk = true;
+  while (shrunk && attempts < max_attempts) {
+    shrunk = false;
+    // Chunk sizes halve from n/2 down to 1; restart after any progress so
+    // large deletions get retried on the smaller program.
+    for (std::size_t chunk = std::max<std::size_t>(1, lines.size() / 2);
+         chunk >= 1 && attempts < max_attempts; chunk /= 2) {
+      for (std::size_t at = 0;
+           at + chunk <= lines.size() && attempts < max_attempts;) {
+        if (try_without(at, chunk)) {
+          shrunk = true;
+          // `at` now indexes the line after the deleted chunk; stay put.
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  st.final_lines = lines.size();
+  st.attempts = attempts;
+  if (stats != nullptr) *stats = st;
+  return join_lines(lines);
+}
+
+}  // namespace fprop::fuzz

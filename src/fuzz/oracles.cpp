@@ -1,0 +1,571 @@
+#include "fprop/fuzz/oracles.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "fprop/harness/harness.h"
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/passes/passes.h"
+#include "fprop/support/error.h"
+#include "fprop/support/rng.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::fuzz {
+
+namespace {
+
+std::uint64_t dbits(double v) { return vm::bits_of(v); }
+
+bool outputs_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (dbits(a[i]) != dbits(b[i])) return false;
+  }
+  return true;
+}
+
+mpisim::WorldConfig oracle_world_config(const GeneratedProgram& prog,
+                                        bool enable_fpm) {
+  mpisim::WorldConfig wc;
+  wc.nranks = prog.nranks;
+  wc.enable_fpm = enable_fpm;
+  wc.fpm_sample_period = 0;
+  wc.global_sample_period = 0;
+  wc.slice = 128;  // small quantum: interleave ranks aggressively
+  // Generated programs finish in a few thousand instructions; a modest
+  // budget turns a non-terminating generator bug into a visible trap
+  // instead of a half-minute stall.
+  wc.interp.cycle_budget = 50'000'000;
+  return wc;
+}
+
+/// Drives `w` to completion with World::run()'s teardown semantics,
+/// optionally counting sweeps.
+mpisim::JobResult drive(mpisim::World& w, std::size_t* sweeps = nullptr) {
+  for (;;) {
+    const mpisim::World::StepStatus s = w.sweep();
+    if (sweeps != nullptr) ++*sweeps;
+    if (s == mpisim::World::StepStatus::Running) continue;
+    if (s == mpisim::World::StepStatus::Trapped) {
+      w.kill_job(w.trapped_rank(), vm::Trap::Killed);
+    } else if (s == mpisim::World::StepStatus::Deadlocked) {
+      w.declare_deadlock();
+    }
+    break;
+  }
+  return w.collect();
+}
+
+/// Full bitwise comparison of two job results (used by the ckpt oracle,
+/// where even cycle counts and CML bookkeeping must replay exactly).
+std::string diff_jobs(const mpisim::JobResult& a, const mpisim::JobResult& b) {
+  std::ostringstream d;
+  if (a.crashed != b.crashed) d << "crashed " << a.crashed << "!=" << b.crashed << "; ";
+  if (a.first_trap != b.first_trap) d << "first_trap differs; ";
+  if (a.first_trap_rank != b.first_trap_rank) d << "first_trap_rank differs; ";
+  if (a.global_cycles != b.global_cycles) {
+    d << "global_cycles " << a.global_cycles << "!=" << b.global_cycles << "; ";
+  }
+  if (a.max_rank_cycles != b.max_rank_cycles) d << "max_rank_cycles differs; ";
+  if (a.ranks.size() != b.ranks.size()) {
+    d << "rank count differs; ";
+    return d.str();
+  }
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const auto& x = a.ranks[r];
+    const auto& y = b.ranks[r];
+    if (x.state != y.state) d << "rank " << r << " state differs; ";
+    if (x.trap != y.trap) d << "rank " << r << " trap differs; ";
+    if (x.cycles != y.cycles) d << "rank " << r << " cycles differs; ";
+    if (!outputs_equal(x.outputs, y.outputs)) {
+      d << "rank " << r << " outputs differ; ";
+    }
+    if (x.reported_iters != y.reported_iters) {
+      d << "rank " << r << " reported_iters differs; ";
+    }
+    if (x.allocated_words != y.allocated_words) {
+      d << "rank " << r << " allocated_words differs; ";
+    }
+    if (x.cml_final != y.cml_final) d << "rank " << r << " cml_final differs; ";
+    if (x.cml_peak != y.cml_peak) d << "rank " << r << " cml_peak differs; ";
+    if (x.first_contaminated_at != y.first_contaminated_at) {
+      d << "rank " << r << " first_contaminated_at differs; ";
+    }
+  }
+  return d.str();
+}
+
+std::string diff_trials(const harness::TrialResult& a,
+                        const harness::TrialResult& b, std::size_t i) {
+  std::ostringstream d;
+  const std::string p = "trial " + std::to_string(i) + " ";
+  if (a.outcome != b.outcome) d << p << "outcome differs; ";
+  if (a.trap != b.trap) d << p << "trap differs; ";
+  if (a.injected != b.injected) d << p << "injected differs; ";
+  if (a.injection.rank != b.injection.rank ||
+      a.injection.site_id != b.injection.site_id ||
+      a.injection.dyn_index != b.injection.dyn_index ||
+      a.injection.bit != b.injection.bit ||
+      a.injection.cycle != b.injection.cycle ||
+      a.injection.before != b.injection.before ||
+      a.injection.after != b.injection.after) {
+    d << p << "injection event differs; ";
+  }
+  if (a.total_cml_final != b.total_cml_final) d << p << "cml_final differs; ";
+  if (a.total_cml_peak != b.total_cml_peak) d << p << "cml_peak differs; ";
+  if (dbits(a.contaminated_pct) != dbits(b.contaminated_pct)) {
+    d << p << "contaminated_pct differs; ";
+  }
+  if (a.contaminated_ranks != b.contaminated_ranks) {
+    d << p << "contaminated_ranks differs; ";
+  }
+  if (a.reported_iters != b.reported_iters) d << p << "reported_iters differs; ";
+  if (a.global_cycles != b.global_cycles) d << p << "global_cycles differs; ";
+  if (a.trace.size() != b.trace.size()) {
+    d << p << "trace size differs; ";
+  } else {
+    for (std::size_t k = 0; k < a.trace.size(); ++k) {
+      if (a.trace[k].cycle != b.trace[k].cycle ||
+          a.trace[k].cml != b.trace[k].cml) {
+        d << p << "trace sample " << k << " differs; ";
+        break;
+      }
+    }
+  }
+  if (a.rank_first_contaminated != b.rank_first_contaminated) {
+    d << p << "rank_first_contaminated differs; ";
+  }
+  if (dbits(a.slope_a) != dbits(b.slope_a) ||
+      dbits(a.slope_b) != dbits(b.slope_b) ||
+      a.slope_usable != b.slope_usable) {
+    d << p << "slope fit differs; ";
+  }
+  if (a.recovered != b.recovered || a.rollbacks != b.rollbacks ||
+      a.detections != b.detections || a.wasted_cycles != b.wasted_cycles ||
+      a.residual_cml != b.residual_cml ||
+      a.recovery_gave_up != b.recovery_gave_up ||
+      a.first_detection_clock != b.first_detection_clock) {
+    d << p << "recovery fields differ; ";
+  }
+  return d.str();
+}
+
+std::string diff_campaigns(const harness::CampaignResult& a,
+                           const harness::CampaignResult& b) {
+  std::ostringstream d;
+  if (a.counts.vanished != b.counts.vanished ||
+      a.counts.ona != b.counts.ona ||
+      a.counts.wrong_output != b.counts.wrong_output ||
+      a.counts.pex != b.counts.pex || a.counts.crashed != b.counts.crashed) {
+    d << "outcome counts differ; ";
+  }
+  if (a.trials.size() != b.trials.size()) {
+    d << "trial count differs; ";
+    return d.str();
+  }
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    d << diff_trials(a.trials[i], b.trials[i], i);
+  }
+  if (a.slopes.size() != b.slopes.size()) {
+    d << "slopes size differs; ";
+  } else {
+    for (std::size_t i = 0; i < a.slopes.size(); ++i) {
+      if (dbits(a.slopes[i]) != dbits(b.slopes[i])) {
+        d << "slope " << i << " differs; ";
+        break;
+      }
+    }
+  }
+  if (a.max_contaminated_pct.size() != b.max_contaminated_pct.size()) {
+    d << "max_contaminated_pct size differs; ";
+  } else {
+    for (std::size_t i = 0; i < a.max_contaminated_pct.size(); ++i) {
+      if (dbits(a.max_contaminated_pct[i]) != dbits(b.max_contaminated_pct[i])) {
+        d << "max_contaminated_pct " << i << " differs; ";
+        break;
+      }
+    }
+  }
+  if (a.recovered_trials != b.recovered_trials ||
+      a.total_rollbacks != b.total_rollbacks ||
+      a.total_wasted_cycles != b.total_wasted_cycles) {
+    d << "recovery aggregates differ; ";
+  }
+  return d.str();
+}
+
+OracleResult fail(const char* oracle, std::string detail) {
+  OracleResult r;
+  r.ok = false;
+  r.oracle = oracle;
+  r.detail = std::move(detail);
+  return r;
+}
+
+}  // namespace
+
+OracleResult check_pristine_chain(const GeneratedProgram& prog) {
+  OracleResult res;
+  res.oracle = "pristine";
+  try {
+    ir::Module plain = minic::compile(prog.source);
+    ir::Module inst = minic::compile(prog.source);
+    (void)passes::instrument_module(inst);
+
+    mpisim::World ref(plain, oracle_world_config(prog, /*enable_fpm=*/false));
+    const mpisim::JobResult rj = ref.run();
+    if (rj.crashed) {
+      return fail("pristine",
+                  "generated program crashed uninstrumented (trap " +
+                      std::string(vm::trap_name(rj.first_trap)) + " on rank " +
+                      std::to_string(rj.first_trap_rank) +
+                      ") — generator validity bug");
+    }
+
+    mpisim::World sub(inst, oracle_world_config(prog, /*enable_fpm=*/true));
+    inject::InjectorRuntime counting;  // unarmed: counts sites, flips nothing
+    sub.set_inject_hook(&counting);
+    const mpisim::JobResult sj = sub.run();
+    if (sj.crashed) {
+      return fail("pristine", "instrumented uninjected run crashed (trap " +
+                                  std::string(vm::trap_name(sj.first_trap)) +
+                                  ")");
+    }
+    if (!outputs_equal(rj.outputs(), sj.outputs())) {
+      return fail("pristine",
+                  "outputs differ between plain and instrumented run");
+    }
+    if (rj.reported_iters() != sj.reported_iters()) {
+      return fail("pristine", "reported_iters differ");
+    }
+    std::ostringstream d;
+    for (std::uint32_t r = 0; r < sub.nranks(); ++r) {
+      const fpm::FpmRuntime* f = sub.fpm(r);
+      if (f == nullptr) {
+        d << "rank " << r << " has no FPM runtime; ";
+        continue;
+      }
+      const fpm::FpmStats& st = f->stats();
+      if (st.stores_checked == 0) d << "rank " << r << " checked no stores; ";
+      if (st.stores_divergent != 0) {
+        d << "rank " << r << " saw " << st.stores_divergent
+          << " divergent stores without injection; ";
+      }
+      if (st.wild_stores != 0) d << "rank " << r << " saw wild stores; ";
+      if (!f->shadow().empty()) {
+        d << "rank " << r << " shadow table non-empty (CML "
+          << f->shadow().size() << "); ";
+      }
+      if (f->shadow().peak() != 0) d << "rank " << r << " nonzero CML peak; ";
+    }
+    if (!d.str().empty()) return fail("pristine", d.str());
+  } catch (const std::exception& e) {
+    return fail("pristine", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_campaign_parallel(const GeneratedProgram& prog,
+                                     const OracleConfig& config) {
+  OracleResult res;
+  res.oracle = "campaign";
+  try {
+    apps::AppSpec spec;
+    spec.name = "fuzz_" + std::to_string(prog.seed);
+    spec.description = "generated fuzz program";
+    spec.source = prog.source;
+    spec.default_nranks = prog.nranks;
+
+    harness::ExperimentConfig ec;
+    ec.nranks = prog.nranks;
+    const harness::AppHarness h(spec, ec);
+
+    harness::CampaignConfig cc;
+    cc.trials = config.campaign_trials;
+    cc.seed = derive_seed(prog.seed, 0xCA4Bull);
+    cc.capture_traces = config.capture_traces;
+    cc.max_kept_traces = 4;
+    cc.jobs = 1;
+    const harness::CampaignResult serial = harness::run_campaign(h, cc);
+    cc.jobs = config.campaign_jobs;
+    const harness::CampaignResult par = harness::run_campaign(h, cc);
+
+    const std::string d = diff_campaigns(serial, par);
+    if (!d.empty()) {
+      return fail("campaign", "jobs=1 vs jobs=" +
+                                  std::to_string(config.campaign_jobs) +
+                                  ": " + d);
+    }
+  } catch (const std::exception& e) {
+    return fail("campaign", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_checkpoint_replay(const GeneratedProgram& prog) {
+  OracleResult res;
+  res.oracle = "ckpt";
+  try {
+    ir::Module inst = minic::compile(prog.source);
+    (void)passes::instrument_module(inst);
+    const mpisim::WorldConfig wc = oracle_world_config(prog, true);
+
+    // Profiling run: dynamic injection points per rank.
+    inject::DynCounts counts;
+    inject::DynWidths widths;
+    {
+      mpisim::World w(inst, wc);
+      inject::InjectorRuntime counting;
+      counting.record_widths(true);
+      w.set_inject_hook(&counting);
+      const mpisim::JobResult j = w.run();
+      if (j.crashed) {
+        return fail("ckpt", "profiling run crashed — generator validity bug");
+      }
+      counts = counting.dynamic_counts(prog.nranks);
+      widths = counting.dynamic_widths(prog.nranks);
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) total += c;
+    if (total == 0) {
+      return fail("ckpt", "no dynamic injection points — generator bug");
+    }
+    Xoshiro256 rng(derive_seed(prog.seed, 0xC4B7ull));
+    const inject::InjectionPlan plan =
+        inject::sample_single_fault(counts, widths, rng);
+
+    // Leg A: a mid-run checkpoint (taken and discarded) must not perturb an
+    // injected run in any observable way.
+    std::size_t sweeps = 0;
+    mpisim::JobResult straight;
+    {
+      mpisim::World w(inst, wc);
+      inject::InjectorRuntime inj(plan);
+      w.set_inject_hook(&inj);
+      straight = drive(w, &sweeps);
+    }
+    {
+      mpisim::World w(inst, wc);
+      inject::InjectorRuntime inj(plan);
+      w.set_inject_hook(&inj);
+      const std::size_t at = std::max<std::size_t>(1, sweeps / 2);
+      std::size_t n = 0;
+      std::optional<mpisim::World::Checkpoint> ckpt;
+      for (;;) {
+        if (n == at) ckpt = w.checkpoint();
+        const mpisim::World::StepStatus s = w.sweep();
+        ++n;
+        if (s == mpisim::World::StepStatus::Running) continue;
+        if (s == mpisim::World::StepStatus::Trapped) {
+          w.kill_job(w.trapped_rank(), vm::Trap::Killed);
+        } else if (s == mpisim::World::StepStatus::Deadlocked) {
+          w.declare_deadlock();
+        }
+        break;
+      }
+      const mpisim::JobResult observed = w.collect();
+      const std::string d = diff_jobs(straight, observed);
+      if (!d.empty()) {
+        return fail("ckpt", "taking a checkpoint perturbed the run: " + d);
+      }
+    }
+
+    // Leg B: checkpoint right after the fault fires, finish, restore, finish
+    // again — the replay must be bit-exact (injector counters sit outside
+    // the checkpoint, so the post-checkpoint segment is injection-free in
+    // both passes).
+    {
+      mpisim::World w(inst, wc);
+      inject::InjectorRuntime inj(plan);
+      w.set_inject_hook(&inj);
+      std::optional<mpisim::World::Checkpoint> ckpt;
+      for (;;) {
+        if (!ckpt && !inj.events().empty()) ckpt = w.checkpoint();
+        const mpisim::World::StepStatus s = w.sweep();
+        if (s == mpisim::World::StepStatus::Running) continue;
+        if (s == mpisim::World::StepStatus::Trapped) {
+          w.kill_job(w.trapped_rank(), vm::Trap::Killed);
+        } else if (s == mpisim::World::StepStatus::Deadlocked) {
+          w.declare_deadlock();
+        }
+        break;
+      }
+      const mpisim::JobResult first = w.collect();
+      if (ckpt) {
+        w.restore(*ckpt);
+        const mpisim::JobResult second = drive(w);
+        const std::string d = diff_jobs(first, second);
+        if (!d.empty()) {
+          return fail("ckpt", "restore + replay diverged: " + d);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("ckpt", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_shadow_model(std::uint64_t seed, std::size_t ops) {
+  OracleResult res;
+  res.oracle = "shadow";
+
+  // Reference model: the semantics ShadowTable must match, in the simplest
+  // possible terms. peak mirrors ShadowTable::peak (never reset, not even
+  // by clear()).
+  struct Ref {
+    std::unordered_map<std::uint64_t, std::uint64_t> map;
+    std::size_t peak = 0;
+    void record(std::uint64_t a, std::uint64_t v) {
+      map[a] = v;
+      peak = std::max(peak, map.size());
+    }
+    bool heal(std::uint64_t a) { return map.erase(a) > 0; }
+  };
+
+  try {
+    Xoshiro256 rng(derive_seed(seed, 0x5AAD0ull));
+    // Key pool: a dense sequential run (the dominant app pattern), scattered
+    // 8-aligned keys across the full address range, and the all-ones
+    // sentinel key a corrupted pristine address could take.
+    std::vector<std::uint64_t> pool;
+    const std::uint64_t base = rng.next_below(1u << 20) * 8;
+    for (std::uint64_t i = 0; i < 48; ++i) pool.push_back(base + 8 * i);
+    for (int i = 0; i < 16; ++i) pool.push_back((rng.next() << 3));
+    pool.push_back(~0ull);
+
+    fpm::ShadowTable table;
+    Ref ref;
+    auto pick = [&] { return pool[rng.next_below(pool.size())]; };
+
+    for (std::size_t op = 0; op < ops; ++op) {
+      const std::string at = " at op " + std::to_string(op);
+      switch (rng.next_below(16)) {
+        case 0: case 1: case 2: case 3: case 4: case 5: {
+          const std::uint64_t a = pick();
+          const std::uint64_t v = rng.next();
+          table.record(a, v);
+          ref.record(a, v);
+          break;
+        }
+        case 6: case 7: case 8: {
+          const std::uint64_t a = pick();
+          const bool healed = table.heal(a);
+          if (healed != ref.heal(a)) {
+            return fail("shadow", "heal() return mismatch" + at);
+          }
+          break;
+        }
+        case 9: {
+          const std::uint64_t a = pick();
+          const auto got = table.lookup(a);
+          const auto it = ref.map.find(a);
+          const bool want = it != ref.map.end();
+          if (got.has_value() != want ||
+              (want && *got != it->second)) {
+            return fail("shadow", "lookup mismatch" + at);
+          }
+          break;
+        }
+        case 10: {
+          const std::uint64_t a = pick();
+          const std::uint64_t actual = rng.next();
+          const auto it = ref.map.find(a);
+          const std::uint64_t want = it == ref.map.end() ? actual : it->second;
+          if (table.pristine_or(a, actual) != want) {
+            return fail("shadow", "pristine_or mismatch" + at);
+          }
+          break;
+        }
+        case 11: {
+          const std::uint64_t a = pick();
+          if (table.contaminated(a) != (ref.map.count(a) != 0)) {
+            return fail("shadow", "contaminated mismatch" + at);
+          }
+          break;
+        }
+        case 12: {
+          const std::uint64_t lo = base + 8 * rng.next_below(64);
+          const std::uint64_t hi = lo + 8 * rng.next_below(64);
+          auto got = table.in_range(lo, hi);
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+          for (const auto& [k, v] : ref.map) {
+            if (k >= lo && k < hi) want.emplace_back(k, v);
+          }
+          std::sort(want.begin(), want.end());
+          if (got != want) return fail("shadow", "in_range mismatch" + at);
+          break;
+        }
+        case 13: {
+          const std::uint64_t lo = base + 8 * rng.next_below(64);
+          const std::uint64_t hi = lo + 8 * rng.next_below(64);
+          table.heal_range(lo, hi);
+          for (auto it = ref.map.begin(); it != ref.map.end();) {
+            if (it->first >= lo && it->first < hi) {
+              it = ref.map.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          break;
+        }
+        case 14: {
+          // Full-state audit: every live entry, sorted. entries() can never
+          // include the sentinel key (its range is [0, ~0)).
+          auto got = table.entries();
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+          for (const auto& [k, v] : ref.map) {
+            if (k != ~0ull) want.emplace_back(k, v);
+          }
+          std::sort(want.begin(), want.end());
+          if (got != want) return fail("shadow", "entries mismatch" + at);
+          break;
+        }
+        default:
+          if (rng.next_below(64) == 0) {
+            table.clear();
+            ref.map.clear();
+          }
+          break;
+      }
+      if (table.size() != ref.map.size()) {
+        return fail("shadow",
+                    "size mismatch" + at + ": table " +
+                        std::to_string(table.size()) + " vs ref " +
+                        std::to_string(ref.map.size()));
+      }
+      if (table.peak() != ref.peak) {
+        return fail("shadow", "peak mismatch" + at);
+      }
+      if (table.empty() != ref.map.empty()) {
+        return fail("shadow", "empty mismatch" + at);
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("shadow", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_parser_robust(const std::string& source) {
+  OracleResult res;
+  res.oracle = "parser";
+  try {
+    (void)minic::compile(source);
+  } catch (const CompileError&) {
+    // Expected rejection path: a diagnostic with a source location.
+  } catch (const std::exception& e) {
+    return fail("parser",
+                std::string("frontend threw a non-CompileError exception: ") +
+                    e.what());
+  }
+  return res;
+}
+
+}  // namespace fprop::fuzz

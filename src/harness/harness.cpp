@@ -34,6 +34,7 @@ AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
 
   // Golden run doubles as the LLFI++ profiling run (counts dynamic points).
   inject::InjectorRuntime probe;  // counting mode
+  probe.record_widths(true);
   mpisim::WorldConfig wc = world_config(/*tracing=*/false);
   wc.interp.cycle_budget = 4ull << 30;  // effectively unbounded
   mpisim::World world(module_, wc);
@@ -49,6 +50,21 @@ AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
   golden_.total_allocated_words = job.total_allocated_words();
   golden_.dyn_counts = probe.dynamic_counts(nranks_);
   for (auto c : golden_.dyn_counts) golden_.total_dyn_points += c;
+  // Keep the width table only when a sub-64-bit point exists; an empty table
+  // routes plan sampling through the historical (all-64-bit) draws, keeping
+  // registry-app campaigns bit-identical to earlier releases.
+  golden_.dyn_widths = probe.dynamic_widths(nranks_);
+  bool narrow = false;
+  for (const auto& per_rank : golden_.dyn_widths) {
+    for (std::uint8_t w : per_rank) {
+      if (w != 64) {
+        narrow = true;
+        break;
+      }
+    }
+    if (narrow) break;
+  }
+  if (!narrow) golden_.dyn_widths.clear();
   FPROP_CHECK_MSG(golden_.total_dyn_points > 0,
                   "no injection points executed in '" + name_ + "'");
 }
@@ -366,6 +382,7 @@ CampaignResult run_campaign(const AppHarness& harness,
   for (std::size_t i = 0; i < config.trials; ++i) {
     Xoshiro256 rng(derive_seed(config.seed, i));
     plans.push_back(inject::sample_faults(harness.golden().dyn_counts,
+                                          harness.golden().dyn_widths,
                                           config.faults_per_run, rng));
   }
 

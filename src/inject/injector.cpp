@@ -57,6 +57,9 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
                                           unsigned width) {
   PerRank& st = rank_state(self.rank());
   const std::uint64_t index = st.counter++;
+  if (record_widths_) {
+    st.widths.push_back(static_cast<std::uint8_t>(width == 0 ? 64 : width));
+  }
   if (st.next >= st.pending.size() ||
       st.pending[st.next].dyn_index != index) {
     return value;
@@ -92,6 +95,15 @@ DynCounts InjectorRuntime::dynamic_counts(std::uint32_t nranks) const {
   DynCounts counts(nranks, 0);
   for (std::uint32_t r = 0; r < nranks; ++r) counts[r] = dynamic_points(r);
   return counts;
+}
+
+DynWidths InjectorRuntime::dynamic_widths(std::uint32_t nranks) const {
+  DynWidths widths(nranks);
+  for (std::uint32_t r = 0; r < nranks; ++r) {
+    auto it = ranks_.find(r);
+    if (it != ranks_.end()) widths[r] = it->second.widths;
+  }
+  return widths;
 }
 
 CycleProbe::CycleProbe(
@@ -134,6 +146,16 @@ InjectionPlan sample_single_fault(const DynCounts& counts, Xoshiro256& rng) {
 
 InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
                             Xoshiro256& rng) {
+  return sample_faults(counts, DynWidths{}, nfaults, rng);
+}
+
+InjectionPlan sample_single_fault(const DynCounts& counts,
+                                  const DynWidths& widths, Xoshiro256& rng) {
+  return sample_faults(counts, widths, 1, rng);
+}
+
+InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
+                            std::size_t nfaults, Xoshiro256& rng) {
   std::vector<std::uint32_t> eligible;
   for (std::uint32_t r = 0; r < counts.size(); ++r) {
     if (counts[r] > 0) eligible.push_back(r);
@@ -145,7 +167,14 @@ InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
     const std::uint32_t rank =
         eligible[rng.next_below(eligible.size())];
     const std::uint64_t idx = rng.next_below(counts[rank]);
-    const auto bit = static_cast<std::uint32_t>(rng.next_below(64));
+    auto bit = static_cast<std::uint32_t>(rng.next_below(64));
+    // Reduce into the target point's live width. Every IR width divides 64,
+    // so the reduction stays uniform; 64-bit points (and empty width tables)
+    // leave the draw untouched, preserving historical plans bit-for-bit.
+    if (rank < widths.size() && idx < widths[rank].size()) {
+      const std::uint32_t w = widths[rank][idx] == 0 ? 64 : widths[rank][idx];
+      bit %= w;
+    }
     plan.faults_by_rank[rank].push_back({idx, bit});
   }
   return plan;

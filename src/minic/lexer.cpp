@@ -157,7 +157,13 @@ class Lexer {
     }
     Token t = tok(is_float ? Tok::FloatLit : Tok::IntLit);
     if (is_float) {
-      t.float_val = std::stod(text);
+      // stod throws for literals whose magnitude leaves the double range
+      // (e.g. "1e999999999"); surface that as a diagnostic, not an escape.
+      try {
+        t.float_val = std::stod(text);
+      } catch (const std::exception&) {
+        fail("float literal out of range");
+      }
     } else {
       auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
                                        t.int_val);

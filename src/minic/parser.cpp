@@ -56,6 +56,21 @@ class Parser {
     return false;
   }
 
+  /// Bounds recursive-descent depth. Without it, pathological nesting
+  /// ("((((…", "{{{{…", "!!!!…") recurses once per character and overflows
+  /// the native stack — a crash no caller can catch. Fuzzer-found; corpus
+  /// regression tests in tests/fuzz/corpus keep it fixed.
+  static constexpr int kMaxNesting = 200;
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxNesting) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p_;
+  };
+
   TypeKind parse_type() {
     if (accept(Tok::KwInt)) {
       return accept(Tok::Star) ? TypeKind::IntPtr : TypeKind::Int;
@@ -107,6 +122,7 @@ class Parser {
   }
 
   StmtPtr parse_stmt() {
+    const DepthGuard guard(*this);
     switch (cur().kind) {
       case Tok::KwVar: return parse_var_decl(true);
       case Tok::KwIf: return parse_if();
@@ -293,6 +309,7 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    const DepthGuard guard(*this);
     if (accept(Tok::Minus)) {
       auto e = make_expr(Expr::Kind::Unary);
       e->un_op = UnOp::Neg;
@@ -379,6 +396,7 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< current parse_stmt/parse_unary nesting (DepthGuard)
 };
 
 }  // namespace

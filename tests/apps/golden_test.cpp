@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+// Per-app golden campaign tests: a fixed-seed 30-trial campaign over every
+// registry app must reproduce its outcome distribution exactly. Campaigns
+// are deterministic by contract (plans pre-sampled from derive_seed, trials
+// pure functions of their plan), so these counts are stable across runs,
+// jobs values and platforms. If a change moves them, it changed observable
+// injection behaviour — either a bug, or an intentional change that must
+// re-capture this table and say so in its commit message.
+
+namespace fprop::apps {
+namespace {
+
+struct GoldenRow {
+  const char* app;
+  std::size_t vanished;
+  std::size_t ona;
+  std::size_t wrong_output;
+  std::size_t pex;
+  std::size_t crashed;
+};
+
+// Captured at seed=42, trials=30, default ExperimentConfig.
+constexpr GoldenRow kGolden[] = {
+    {"matvec", 4, 8, 7, 0, 11},
+    {"lulesh", 9, 13, 0, 0, 8},
+    {"amg", 5, 13, 0, 6, 6},
+    {"minife", 5, 17, 4, 3, 1},
+    {"lammps", 2, 24, 3, 0, 1},
+    {"mcb", 9, 16, 4, 0, 1},
+};
+
+class GoldenCampaign : public ::testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenCampaign, OutcomeDistributionIsFrozen) {
+  const GoldenRow& row = GetParam();
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(get_app(row.app), cfg);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 42;
+  cc.jobs = 1;
+  const harness::CampaignResult r = harness::run_campaign(h, cc);
+  EXPECT_EQ(r.counts.vanished, row.vanished);
+  EXPECT_EQ(r.counts.ona, row.ona);
+  EXPECT_EQ(r.counts.wrong_output, row.wrong_output);
+  EXPECT_EQ(r.counts.pex, row.pex);
+  EXPECT_EQ(r.counts.crashed, row.crashed);
+  EXPECT_EQ(r.counts.total(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GoldenCampaign, ::testing::ValuesIn(kGolden),
+                         [](const auto& pi) { return std::string(pi.param.app); });
+
+}  // namespace
+}  // namespace fprop::apps

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "fprop/fpm/shadow_table.h"
+#include "fprop/support/rng.h"
+
+// Promotion of bench/perf_shadowtable.cpp's differential check into a ctest
+// property test: ShadowTable must agree with a std::unordered_map reference
+// model, including the corners the flat table implements specially — the ~0
+// sentinel side-slot, backward-shift deletion across the index wraparound,
+// and the heal-on-empty early-out.
+
+namespace fprop::fpm {
+namespace {
+
+constexpr std::uint64_t kSentinel = ~0ull;
+
+// Mirrors ShadowTable's private hash for the directed wraparound test: the
+// initial capacity is 16, so the home slot is the top 4 bits of the
+// Fibonacci product. (Static assumptions checked by the test itself: with
+// <8 live entries the table cannot have grown past 16 slots.)
+std::size_t home_slot_cap16(std::uint64_t addr) {
+  return static_cast<std::size_t>(((addr >> 3) * 0x9E3779B97F4A7C15ull) >> 60);
+}
+
+TEST(ShadowModel, SentinelKeyLivesInSideSlot) {
+  ShadowTable t;
+  EXPECT_FALSE(t.contaminated(kSentinel));
+  t.record(kSentinel, 0xAB);
+  EXPECT_TRUE(t.contaminated(kSentinel));
+  EXPECT_EQ(t.lookup(kSentinel), std::optional<std::uint64_t>(0xAB));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.peak(), 1u);
+  // Overwrite updates in place, no double count.
+  t.record(kSentinel, 0xCD);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.pristine_or(kSentinel, 0), 0xCDu);
+  // entries() spans [0, ~0) and therefore excludes the sentinel by design.
+  EXPECT_TRUE(t.entries().empty());
+  EXPECT_TRUE(t.heal(kSentinel));
+  EXPECT_FALSE(t.heal(kSentinel));  // already gone
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.peak(), 1u);  // peak is never reset
+}
+
+TEST(ShadowModel, BackwardShiftHealAcrossWraparound) {
+  // Two 8-aligned keys whose home slot is the last slot (15) at the initial
+  // capacity of 16: the second insert wraps to slot 0. Healing the first
+  // must backward-shift the wrapped entry over the table boundary so it
+  // stays findable.
+  std::vector<std::uint64_t> tail_keys;
+  for (std::uint64_t a = 0; tail_keys.size() < 2 && a < (1u << 16); a += 8) {
+    if (home_slot_cap16(a) == 15) tail_keys.push_back(a);
+  }
+  ASSERT_EQ(tail_keys.size(), 2u);
+
+  ShadowTable t;
+  t.record(tail_keys[0], 100);
+  t.record(tail_keys[1], 200);  // probes 15 (taken) then wraps to 0
+  ASSERT_EQ(t.size(), 2u);      // < 8 entries: capacity is still 16
+
+  EXPECT_TRUE(t.heal(tail_keys[0]));
+  EXPECT_FALSE(t.contaminated(tail_keys[0]));
+  EXPECT_EQ(t.lookup(tail_keys[1]), std::optional<std::uint64_t>(200));
+  EXPECT_TRUE(t.heal(tail_keys[1]));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowModel, HealOnEmptyEarlyOut) {
+  ShadowTable t;
+  EXPECT_FALSE(t.heal(0x100));
+  EXPECT_FALSE(t.heal(kSentinel));
+  t.heal_range(0, 1u << 20);  // no-op, must not crash
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.peak(), 0u);
+  // And again right after the table empties through churn.
+  t.record(0x40, 7);
+  EXPECT_TRUE(t.heal(0x40));
+  EXPECT_FALSE(t.heal(0x40));
+  EXPECT_EQ(t.peak(), 1u);
+}
+
+TEST(ShadowModel, ClearKeepsPeak) {
+  ShadowTable t;
+  for (std::uint64_t i = 0; i < 100; ++i) t.record(i * 8, i);
+  EXPECT_EQ(t.peak(), 100u);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.peak(), 100u);  // Fig. 7f peak survives the next trial prep
+}
+
+// Randomized differential run against std::unordered_map. Keys are 8-aligned
+// (word addresses) with a deliberately collision-heavy pool plus the
+// sentinel; every operation cross-checks size and lookup behaviour.
+TEST(ShadowModel, AgreesWithUnorderedMapUnderChurn) {
+  Xoshiro256 rng(0x5AAD0Full);
+  ShadowTable t;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  std::size_t ref_peak = 0;
+
+  // 32 sequential words (the apps' dominant pattern), 8 scattered keys,
+  // and the sentinel.
+  std::vector<std::uint64_t> pool;
+  for (std::uint64_t i = 0; i < 32; ++i) pool.push_back(0x1000 + i * 8);
+  for (int i = 0; i < 8; ++i) pool.push_back(rng.next() << 3);
+  pool.push_back(kSentinel);
+
+  for (std::size_t op = 0; op < 20'000; ++op) {
+    const std::uint64_t key = pool[rng.next_below(pool.size())];
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // record (biased: tables spend their life absorbing stores)
+        const std::uint64_t val = rng.next();
+        t.record(key, val);
+        ref[key] = val;
+        break;
+      }
+      case 2: {  // heal
+        EXPECT_EQ(t.heal(key), ref.erase(key) == 1) << "op " << op;
+        break;
+      }
+      case 3: {  // lookup / pristine_or
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(t.lookup(key), std::nullopt) << "op " << op;
+          EXPECT_EQ(t.pristine_or(key, 0x77), 0x77u) << "op " << op;
+        } else {
+          EXPECT_EQ(t.lookup(key), std::optional<std::uint64_t>(it->second));
+        }
+        break;
+      }
+      case 4: {  // in_range over a window of the sequential block
+        const std::uint64_t lo = 0x1000 + rng.next_below(32) * 8;
+        const std::uint64_t hi = lo + rng.next_below(16) * 8;
+        auto got = t.in_range(lo, hi);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+        for (const auto& [k, v] : ref) {
+          if (k >= lo && k < hi) want.emplace_back(k, v);
+        }
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "op " << op;
+        break;
+      }
+      case 5: {  // heal_range over the same window
+        const std::uint64_t lo = 0x1000 + rng.next_below(32) * 8;
+        const std::uint64_t hi = lo + rng.next_below(16) * 8;
+        t.heal_range(lo, hi);
+        for (auto it = ref.begin(); it != ref.end();) {
+          it = (it->first >= lo && it->first < hi) ? ref.erase(it)
+                                                   : std::next(it);
+        }
+        break;
+      }
+    }
+    ref_peak = std::max(ref_peak, ref.size());
+    ASSERT_EQ(t.size(), ref.size()) << "op " << op;
+    ASSERT_EQ(t.empty(), ref.empty()) << "op " << op;
+    ASSERT_EQ(t.peak(), ref_peak) << "op " << op;
+  }
+
+  // Final audit: full entry set (minus the sentinel side slot) matches.
+  auto got = t.entries();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+  for (const auto& [k, v] : ref) {
+    if (k != kSentinel) want.emplace_back(k, v);
+  }
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace fprop::fpm

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fprop/fuzz/oracles.h"
+
+// Replays every committed fuzzer-found repro (tests/fuzz/corpus/*.mc)
+// through the parser-robustness oracle. Each file is a minimized input that
+// once crashed the frontend; this is the regression net that keeps those
+// fixes fixed. FPROP_FUZZ_CORPUS_DIR is injected by tests/CMakeLists.txt.
+
+#ifndef FPROP_FUZZ_CORPUS_DIR
+#error "FPROP_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace fprop::fuzz {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(FPROP_FUZZ_CORPUS_DIR)) {
+    if (e.path().extension() == ".mc") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, IsCommittedAndNonEmpty) {
+  EXPECT_GE(corpus_files().size(), 5u)
+      << "corpus dir: " << FPROP_FUZZ_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryReproStaysFixed) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const OracleResult r = check_parser_robust(buf.str());
+    EXPECT_TRUE(r.ok) << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace fprop::fuzz

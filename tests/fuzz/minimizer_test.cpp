@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fprop/fuzz/minimizer.h"
+
+namespace fprop::fuzz {
+namespace {
+
+std::string lines(std::size_t n, const std::string& fill) {
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += fill + std::to_string(i) + "\n";
+  }
+  return out;
+}
+
+// The acceptance-criterion test: a synthetic failure seeded into an 80-line
+// input must shrink to just the lines the predicate actually needs.
+TEST(Minimizer, ShrinksSyntheticFailureToItsCore) {
+  std::string input = lines(40, "filler_");
+  input += "needle_alpha\n";
+  input += lines(30, "more_filler_");
+  input += "needle_beta\n";
+  input += lines(9, "tail_");
+
+  const FailPredicate needs_both = [](const std::string& s) {
+    return s.find("needle_alpha") != std::string::npos &&
+           s.find("needle_beta") != std::string::npos;
+  };
+
+  MinimizeStats stats;
+  const std::string out = minimize_lines(input, needs_both, 2000, &stats);
+
+  EXPECT_TRUE(needs_both(out));  // result must still fail
+  EXPECT_EQ(out, "needle_alpha\nneedle_beta\n");
+  EXPECT_EQ(stats.initial_lines, 81u);
+  EXPECT_EQ(stats.final_lines, 2u);
+  EXPECT_GT(stats.attempts, 0u);
+}
+
+TEST(Minimizer, NonFailingInputReturnedUnchanged) {
+  const std::string input = lines(10, "line_");
+  MinimizeStats stats;
+  const std::string out = minimize_lines(
+      input, [](const std::string&) { return false; }, 2000, &stats);
+  EXPECT_EQ(out, input);
+  EXPECT_EQ(stats.attempts, 0u);
+}
+
+TEST(Minimizer, SingleLineFailureIsFixedPoint) {
+  const std::string input = "the_bug\n";
+  const std::string out = minimize_lines(input, [](const std::string& s) {
+    return s.find("the_bug") != std::string::npos;
+  });
+  EXPECT_EQ(out, input);
+}
+
+TEST(Minimizer, RespectsAttemptBudget) {
+  const std::string input = lines(64, "x_");
+  std::size_t calls = 0;
+  MinimizeStats stats;
+  (void)minimize_lines(
+      input,
+      [&calls](const std::string& s) {
+        ++calls;
+        return s.find("x_0\n") != std::string::npos;
+      },
+      /*max_attempts=*/10, &stats);
+  // One free call validates the input; the budget bounds the rest.
+  EXPECT_LE(stats.attempts, 10u);
+  EXPECT_LE(calls, 11u);
+}
+
+TEST(Minimizer, ResultAlwaysSatisfiesPredicate) {
+  // A predicate with a non-monotone shape (fails only when an even number of
+  // marker lines remain, minimum two) must still end on a failing candidate.
+  const std::string input = lines(6, "marker_") + lines(20, "pad_");
+  const FailPredicate pred = [](const std::string& s) {
+    std::size_t n = 0;
+    for (std::size_t pos = s.find("marker_"); pos != std::string::npos;
+         pos = s.find("marker_", pos + 1)) {
+      ++n;
+    }
+    return n >= 2 && n % 2 == 0;
+  };
+  const std::string out = minimize_lines(input, pred);
+  EXPECT_TRUE(pred(out));
+  EXPECT_LT(out.size(), input.size());
+}
+
+}  // namespace
+}  // namespace fprop::fuzz

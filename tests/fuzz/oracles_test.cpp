@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "fprop/fuzz/generator.h"
+#include "fprop/fuzz/oracles.h"
+
+namespace fprop::fuzz {
+namespace {
+
+// A slice of the nightly job runs in-tree so oracle regressions surface in
+// regular CI, not only at the next scheduled fuzz run.
+
+TEST(Oracles, PristineChainHoldsOnSampleSeeds) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const OracleResult r = check_pristine_chain(generate_program(seed));
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, CampaignParallelismIsBitIdentical) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 5;
+  cfg.campaign_jobs = 3;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const OracleResult r = check_campaign_parallel(generate_program(seed), cfg);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, CampaignTraceCapturePathAgreesToo) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 4;
+  cfg.campaign_jobs = 2;
+  cfg.capture_traces = true;
+  const OracleResult r = check_campaign_parallel(generate_program(3), cfg);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(Oracles, CheckpointReplayIsExact) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const OracleResult r = check_checkpoint_replay(generate_program(seed));
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, ShadowModelAgreesWithReference) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const OracleResult r = check_shadow_model(seed, 2048);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, ParserRobustOnMutatedPrograms) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const std::string mutated =
+        mutate_source(generate_program(seed).source, seed ^ 0xA5A5ull);
+    const OracleResult r = check_parser_robust(mutated);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, ParserOracleAcceptsBothValidAndInvalidInput) {
+  // Valid input: compiles, ok. Invalid input: CompileError, still ok —
+  // the oracle only flags non-CompileError escapes.
+  EXPECT_TRUE(check_parser_robust("fn main() { output_i(1); }").ok);
+  EXPECT_TRUE(check_parser_robust("fn main( {{{{").ok);
+  EXPECT_TRUE(check_parser_robust("").ok);
+}
+
+TEST(Oracles, ResultsCarryOracleName) {
+  EXPECT_EQ(check_shadow_model(1, 64).oracle, "shadow");
+  EXPECT_EQ(check_parser_robust("fn main() {}").oracle, "parser");
+}
+
+}  // namespace
+}  // namespace fprop::fuzz

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fprop/minic/compile.h"
+#include "fprop/support/error.h"
+
+// Negative-path frontend tests seeded from fuzzer-found inputs: every
+// malformed program must be rejected with CompileError carrying a usable
+// message — never another exception type, never a crash. Each block below
+// names the defect class the fuzzing campaign originally surfaced.
+
+namespace fprop::minic {
+namespace {
+
+void expect_rejected(const std::string& src) {
+  try {
+    (void)compile(src);
+    FAIL() << "malformed program compiled:\n" << src;
+  } catch (const CompileError& e) {
+    EXPECT_FALSE(std::string(e.what()).empty());
+  }
+  // Any other exception escapes and fails the test with its own type.
+}
+
+// Fuzzer-found: std::stod threw std::out_of_range straight through the
+// lexer for literals beyond double range.
+TEST(NegativePath, FloatLiteralOutOfRange) {
+  expect_rejected("fn main() { var x: float = 1e999999999; }");
+  expect_rejected("fn main() { var x: float = 9" + std::string(400, '9') +
+                  ".0; }");
+}
+
+// Fuzzer-found: unbounded recursive descent let deep nesting exhaust the
+// C++ call stack before any diagnostic fired.
+TEST(NegativePath, DeepParenNestingHitsGuardNotStack) {
+  const std::string deep = "fn main() { var x: int = " +
+                           std::string(5000, '(') + "1" +
+                           std::string(5000, ')') + "; }";
+  expect_rejected(deep);
+}
+
+TEST(NegativePath, DeepBraceNestingHitsGuardNotStack) {
+  std::string deep = "fn main() ";
+  for (int i = 0; i < 5000; ++i) deep += "{ ";
+  expect_rejected(deep);  // also unbalanced: either diagnostic is fine
+}
+
+TEST(NegativePath, DeepUnaryChainHitsGuardNotStack) {
+  expect_rejected("fn main() { output_i(" + std::string(5000, '!') + "0); }");
+}
+
+TEST(NegativePath, ModestNestingStillCompiles) {
+  // The depth guard must not reject programs a human would write.
+  const std::string ok = "fn main() { output_i(" + std::string(50, '(') + "1" +
+                         std::string(50, ')') + "); }";
+  EXPECT_NO_THROW((void)compile(ok));
+}
+
+TEST(NegativePath, TruncatedInputs) {
+  expect_rejected("fn main() { var a: int = rank +");
+  expect_rejected("fn main() { if (1) {");
+  expect_rejected("fn main(");
+  expect_rejected("fn");
+}
+
+TEST(NegativePath, UnbalancedAndMisplacedTokens) {
+  expect_rejected("fn main() { var x: int = {{{{ 1; }");
+  expect_rejected("fn main() { ) ( }");
+  expect_rejected("fn main() { var x: int = ; }");
+  expect_rejected("}} fn main() {}");
+}
+
+TEST(NegativePath, GarbageBytes) {
+  expect_rejected("\x01\x02\x7f garbage @@@ $$$");
+  expect_rejected(std::string("fn main() { \0 }", 15));
+}
+
+TEST(NegativePath, EmptyAndCommentOnlySources) {
+  // No main function: must be a diagnostic, not a null deref at run-entry.
+  expect_rejected("");
+  expect_rejected("// nothing but a comment\n");
+}
+
+}  // namespace
+}  // namespace fprop::minic

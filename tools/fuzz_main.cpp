@@ -1,0 +1,263 @@
+// fprop-fuzz: differential fuzzing driver for the FPM/VM/MPI stack
+// (DESIGN.md §10).
+//
+// Generates seeded random MiniC programs and checks each against the
+// selected invariant oracles. Violations print the seed + detail, are
+// written as .mc repro files into --corpus-dir, and (with --minimize) are
+// shrunk to a small repro first. Exit status: 0 = no violations, 1 =
+// violations found, 2 = bad usage.
+//
+//   $ fprop-fuzz --seeds=10000 --oracles=pristine,campaign,ckpt,shadow,parser
+//   $ fprop-fuzz --seed-start=7341 --seeds=1 --oracles=ckpt --minimize
+//                --corpus-dir=repros        (one line; wrapped for width)
+//   $ fprop-fuzz --time-budget=600 --seeds=0     # nightly: run for 10 min
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fprop/fuzz/generator.h"
+#include "fprop/fuzz/minimizer.h"
+#include "fprop/fuzz/oracles.h"
+
+using namespace fprop;
+
+namespace {
+
+struct Options {
+  std::uint64_t seed_start = 0;
+  std::uint64_t seeds = 100;  ///< 0 = unbounded (needs --time-budget)
+  std::uint64_t time_budget_s = 0;  ///< 0 = no time limit
+  bool pristine = true;
+  bool campaign = true;
+  bool ckpt = true;
+  bool shadow = true;
+  bool parser = true;
+  std::size_t trials = 6;
+  std::size_t jobs = 2;
+  std::uint32_t nranks = 4;
+  bool mpi = true;
+  bool minimize = false;
+  std::string corpus_dir;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fprop-fuzz [options]\n"
+               "  --seed-start=N   first seed (default 0)\n"
+               "  --seeds=N        seeds to run; 0 = until time budget "
+               "(default 100)\n"
+               "  --time-budget=S  stop after S seconds (default 0 = off)\n"
+               "  --oracles=LIST   comma list of "
+               "pristine,campaign,ckpt,shadow,parser (default all)\n"
+               "  --trials=N       campaign-oracle trials per run (default 6)\n"
+               "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
+               "  --nranks=N       simulated MPI ranks (default 4)\n"
+               "  --no-mpi         generate single-rank programs only\n"
+               "  --minimize       shrink failing programs before reporting\n"
+               "  --corpus-dir=D   write failing inputs/repros into D\n"
+               "  --help           this text\n");
+}
+
+bool parse_oracles(const std::string& list, Options& opt) {
+  opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser = false;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    if (name == "pristine") opt.pristine = true;
+    else if (name == "campaign") opt.campaign = true;
+    else if (name == "ckpt") opt.ckpt = true;
+    else if (name == "shadow") opt.shadow = true;
+    else if (name == "parser") opt.parser = true;
+    else if (!name.empty()) return false;
+    start = comma + 1;
+  }
+  return opt.pristine || opt.campaign || opt.ckpt || opt.shadow || opt.parser;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Repro file: the failing source prefixed with machine-readable provenance
+/// (still valid MiniC comments, so the file replays through minic::compile).
+std::string repro_text(const std::string& oracle, std::uint64_t seed,
+                       std::uint32_t nranks, const std::string& detail,
+                       const std::string& source) {
+  std::string head = "// fprop-fuzz repro\n// oracle: " + oracle +
+                     "\n// seed: " + std::to_string(seed) +
+                     "\n// nranks: " + std::to_string(nranks) + "\n";
+  std::string d = detail;
+  for (char& c : d) {
+    if (c == '\n') c = ' ';
+  }
+  head += "// detail: " + d + "\n";
+  return head + source;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strncmp(a, "--seed-start=", 13) == 0) {
+      opt.seed_start = std::strtoull(a + 13, nullptr, 10);
+    } else if (std::strncmp(a, "--seeds=", 8) == 0) {
+      opt.seeds = std::strtoull(a + 8, nullptr, 10);
+    } else if (std::strncmp(a, "--time-budget=", 14) == 0) {
+      opt.time_budget_s = std::strtoull(a + 14, nullptr, 10);
+    } else if (std::strncmp(a, "--oracles=", 10) == 0) {
+      if (!parse_oracles(a + 10, opt)) {
+        std::fprintf(stderr, "fprop-fuzz: bad --oracles list '%s'\n", a + 10);
+        return 2;
+      }
+    } else if (std::strncmp(a, "--trials=", 9) == 0) {
+      opt.trials = std::strtoull(a + 9, nullptr, 10);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      opt.jobs = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--nranks=", 9) == 0) {
+      opt.nranks = static_cast<std::uint32_t>(std::strtoul(a + 9, nullptr, 10));
+    } else if (std::strcmp(a, "--no-mpi") == 0) {
+      opt.mpi = false;
+    } else if (std::strcmp(a, "--minimize") == 0) {
+      opt.minimize = true;
+    } else if (std::strncmp(a, "--corpus-dir=", 13) == 0) {
+      opt.corpus_dir = a + 13;
+    } else {
+      std::fprintf(stderr, "fprop-fuzz: unknown option '%s'\n", a);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opt.seeds == 0 && opt.time_budget_s == 0) {
+    std::fprintf(stderr, "fprop-fuzz: --seeds=0 requires --time-budget\n");
+    return 2;
+  }
+  if (!opt.corpus_dir.empty()) {
+    std::filesystem::create_directories(opt.corpus_dir);
+  }
+
+  fuzz::GenConfig gc;
+  gc.nranks = opt.nranks;
+  gc.mpi = opt.mpi;
+
+  fuzz::OracleConfig oc;
+  oc.campaign_trials = opt.trials;
+  oc.campaign_jobs = opt.jobs;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto over_budget = [&] {
+    if (opt.time_budget_s == 0) return false;
+    return std::chrono::steady_clock::now() - t0 >=
+           std::chrono::seconds(opt.time_budget_s);
+  };
+
+  std::uint64_t programs = 0;
+  std::uint64_t violations = 0;
+
+  const auto report = [&](const fuzz::OracleResult& r, std::uint64_t seed,
+                          const std::string& source, bool program_based) {
+    if (r.ok) return;
+    ++violations;
+    std::fprintf(stderr, "VIOLATION oracle=%s seed=%llu\n  %s\n",
+                 r.oracle.c_str(), static_cast<unsigned long long>(seed),
+                 r.detail.c_str());
+    std::string repro = source;
+    if (opt.minimize && !source.empty()) {
+      const fuzz::FailPredicate pred = [&](const std::string& cand) {
+        if (!program_based) return !fuzz::check_parser_robust(cand).ok;
+        fuzz::GeneratedProgram p;
+        p.source = cand;
+        p.nranks = opt.nranks;
+        p.seed = seed;
+        if (r.oracle == "pristine") return !fuzz::check_pristine_chain(p).ok;
+        if (r.oracle == "campaign") {
+          return !fuzz::check_campaign_parallel(p, oc).ok;
+        }
+        if (r.oracle == "ckpt") return !fuzz::check_checkpoint_replay(p).ok;
+        return false;
+      };
+      fuzz::MinimizeStats st;
+      repro = fuzz::minimize_lines(source, pred, 2000, &st);
+      std::fprintf(stderr, "  minimized %zu -> %zu lines (%zu attempts)\n",
+                   st.initial_lines, st.final_lines, st.attempts);
+    }
+    if (!opt.corpus_dir.empty() && !repro.empty()) {
+      const std::string path = opt.corpus_dir + "/" + r.oracle + "_seed" +
+                               std::to_string(seed) + ".mc";
+      write_file(path, repro_text(r.oracle, seed, opt.nranks, r.detail, repro));
+      std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+    }
+  };
+
+  // When a corpus dir is available, persist the frontend's input *before*
+  // compiling it: a hard crash (the very bug the parser oracle hunts) then
+  // still leaves the offending bytes on disk for triage.
+  const std::string last_input =
+      opt.corpus_dir.empty() ? std::string()
+                             : opt.corpus_dir + "/last_parser_input.mc";
+
+  for (std::uint64_t i = 0; opt.seeds == 0 || i < opt.seeds; ++i) {
+    if (over_budget()) break;
+    const std::uint64_t seed = opt.seed_start + i;
+    const fuzz::GeneratedProgram prog = fuzz::generate_program(seed, gc);
+    ++programs;
+
+    if (opt.pristine) {
+      report(fuzz::check_pristine_chain(prog), seed, prog.source, true);
+    }
+    if (opt.campaign) {
+      fuzz::OracleConfig c = oc;
+      c.capture_traces = (seed % 4 == 0);  // exercise the slope-fit path too
+      report(fuzz::check_campaign_parallel(prog, c), seed, prog.source, true);
+    }
+    if (opt.ckpt) {
+      report(fuzz::check_checkpoint_replay(prog), seed, prog.source, true);
+    }
+    if (opt.shadow) {
+      report(fuzz::check_shadow_model(seed), seed, std::string(), true);
+    }
+    if (opt.parser) {
+      const std::string mutated = fuzz::mutate_source(prog.source, seed);
+      if (!last_input.empty()) write_file(last_input, mutated);
+      report(fuzz::check_parser_robust(mutated), seed, mutated, false);
+    }
+
+    if (programs % 500 == 0) {
+      const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::fprintf(stderr,
+                   "fprop-fuzz: %llu programs, %llu violations, %llds\n",
+                   static_cast<unsigned long long>(programs),
+                   static_cast<unsigned long long>(violations),
+                   static_cast<long long>(secs));
+    }
+  }
+
+  if (!last_input.empty() && violations == 0) {
+    std::error_code ec;
+    std::filesystem::remove(last_input, ec);
+  }
+
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::printf("fprop-fuzz: %llu programs checked in %llds, %llu violations\n",
+              static_cast<unsigned long long>(programs),
+              static_cast<long long>(secs),
+              static_cast<unsigned long long>(violations));
+  return violations == 0 ? 0 : 1;
+}
