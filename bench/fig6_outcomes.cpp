@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const std::size_t trials = args.get_u64("trials", 200);
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hardware threads
+  const bool cold = args.has("cold-start");  // disable the snapshot ladder
   const std::string only = args.get_str("app", "");
 
   bench::print_header("Figure 6",
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
     cc.trials = trials;
     cc.seed = seed;
     cc.jobs = jobs;
+    cc.warm_start = !cold;
     const harness::CampaignResult r = run_campaign(h, cc);
     const auto& c = r.counts;
 

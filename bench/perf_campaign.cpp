@@ -1,8 +1,13 @@
 // Campaign-engine throughput (google-benchmark): end-to-end trials/sec of
-// run_campaign at jobs=1 vs jobs=N over a shared AppHarness. The parallel
-// engine's contract is bit-identical results at any thread count, so the
-// only thing that may change with jobs is wall-clock — which is what this
-// measures (UseRealTime: the work happens on pool threads).
+// run_campaign over a shared AppHarness, across two axes:
+//
+//   jobs  1 vs N — the parallel engine's contract is bit-identical results
+//         at any thread count, so the only thing that may change with jobs
+//         is wall-clock (UseRealTime: the work happens on pool threads).
+//   warm  0 vs 1 — cold starts replay the fault-free prefix of every trial;
+//         warm starts resume from the golden snapshot ladder (DESIGN.md
+//         §11), also bit-identical. warm/cold at equal jobs is the
+//         prefix-skip speedup.
 
 #include <benchmark/benchmark.h>
 
@@ -41,6 +46,13 @@ void run_campaign_bench(benchmark::State& state, harness::AppHarness& h,
   cc.trials = trials;
   cc.seed = 42;
   cc.jobs = static_cast<std::size_t>(state.range(0));
+  cc.warm_start = state.range(1) != 0;
+  if (cc.warm_start) {
+    // Ladder capture is a one-time per-harness cost (measured separately in
+    // perf_snapshot_ladder); keep it out of the timed region so warm numbers
+    // report steady-state trial throughput.
+    (void)h.snapshot_ladder();
+  }
   for (auto _ : state) {
     const harness::CampaignResult r = harness::run_campaign(h, cc);
     benchmark::DoNotOptimize(r.counts.total());
@@ -64,8 +76,21 @@ void BM_CampaignLulesh(benchmark::State& state) {
 
 }  // namespace
 
-// jobs=1 (serial baseline), 2, 8, and 0 = hardware_concurrency.
-BENCHMARK(BM_CampaignMatvec)->Arg(1)->Arg(2)->Arg(8)->Arg(0)->UseRealTime();
-BENCHMARK(BM_CampaignLulesh)->Arg(1)->Arg(2)->Arg(8)->Arg(0)->UseRealTime();
+// jobs=1 (serial baseline), 2, 8, and 0 = hardware_concurrency; each at
+// warm=0 (cold start) and warm=1 (snapshot-ladder resume, the default).
+BENCHMARK(BM_CampaignMatvec)
+    ->ArgNames({"jobs", "warm"})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({0, 0})->Args({0, 1})
+    ->UseRealTime();
+BENCHMARK(BM_CampaignLulesh)
+    ->ArgNames({"jobs", "warm"})
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({0, 0})->Args({0, 1})
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

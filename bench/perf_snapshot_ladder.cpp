@@ -1,0 +1,124 @@
+// Snapshot-ladder cost model (google-benchmark), three layers down:
+//
+//   1. AddressSpace::save() — CoW refcount sweep vs the full word copy it
+//      replaced (BM_SnapshotSaveFullCopy reconstructs the old save_words
+//      behaviour as the baseline). This gap is what makes a K-rung ladder
+//      of whole-World checkpoints affordable (DESIGN.md §11).
+//   2. restore() + first-touch: restore is O(pages); the real CoW cost is
+//      deferred to the first post-restore store into each shared page
+//      (BM_SnapshotCoWFaultSweep dirties every page, the worst case).
+//   3. Harness ladder capture: the one-time golden replay that records the
+//      rungs a warm-started campaign resumes from.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/vm/memory.h"
+
+namespace {
+
+using namespace fprop;
+
+vm::AddressSpace make_space(std::uint64_t words) {
+  vm::AddressSpace mem;
+  mem.alloc_words(words);
+  // Touch every word so no page is left in its freshly-allocated state.
+  for (std::uint64_t i = 0; i < words; ++i) {
+    mem.store(vm::AddressSpace::addr_of(i), i * 0x9E3779B97F4A7C15ull);
+  }
+  return mem;
+}
+
+void BM_SnapshotSaveCoW(benchmark::State& state) {
+  const auto words = static_cast<std::uint64_t>(state.range(0));
+  vm::AddressSpace mem = make_space(words);
+  for (auto _ : state) {
+    vm::AddressSpace::Image img = mem.save();
+    benchmark::DoNotOptimize(img.words);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 8);
+}
+
+// Baseline: the pre-CoW snapshot — copy every live word into a flat vector.
+void BM_SnapshotSaveFullCopy(benchmark::State& state) {
+  const auto words = static_cast<std::uint64_t>(state.range(0));
+  vm::AddressSpace mem = make_space(words);
+  const vm::AddressSpace::Image img = mem.save();
+  for (auto _ : state) {
+    std::vector<std::uint64_t> copy(img.words);
+    std::uint64_t done = 0;
+    for (const auto& page : img.pages) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(vm::AddressSpace::kPageWords, img.words - done);
+      std::memcpy(copy.data() + done, page->w.data(), n * 8);
+      done += n;
+      if (done == img.words) break;
+    }
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 8);
+}
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  const auto words = static_cast<std::uint64_t>(state.range(0));
+  vm::AddressSpace mem = make_space(words);
+  const vm::AddressSpace::Image img = mem.save();
+  for (auto _ : state) {
+    mem.restore(img);
+    benchmark::DoNotOptimize(mem.allocated_words());
+  }
+}
+
+// Worst-case deferred CoW cost: after a restore every page is shared with
+// the image; one store per page clones them all.
+void BM_SnapshotCoWFaultSweep(benchmark::State& state) {
+  const auto words = static_cast<std::uint64_t>(state.range(0));
+  vm::AddressSpace mem = make_space(words);
+  const vm::AddressSpace::Image img = mem.save();
+  for (auto _ : state) {
+    mem.restore(img);
+    for (std::uint64_t i = 0; i < words; i += vm::AddressSpace::kPageWords) {
+      mem.store(vm::AddressSpace::addr_of(i), i);
+    }
+    benchmark::DoNotOptimize(mem.allocated_words());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(words) * 8);
+}
+
+// One-time harness cost a warm campaign pays before its first trial: replay
+// the golden run, capturing the rung checkpoints.
+void BM_LadderCaptureMatvec(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.nranks = 1;
+  cfg.overrides = {{"ITERS", "6"}};
+  for (auto _ : state) {
+    state.PauseTiming();
+    const harness::AppHarness h(apps::get_app("matvec"), cfg);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(h.snapshot_ladder().size());
+  }
+  state.counters["rungs"] = static_cast<double>([&] {
+    harness::ExperimentConfig c = cfg;
+    const harness::AppHarness h(apps::get_app("matvec"), c);
+    return h.snapshot_ladder().size();
+  }());
+}
+
+}  // namespace
+
+// 2^14 words = 128 KiB (4 pages) … 2^20 words = 8 MiB (256 pages).
+BENCHMARK(BM_SnapshotSaveCoW)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_SnapshotSaveFullCopy)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_SnapshotRestore)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_SnapshotCoWFaultSweep)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_LadderCaptureMatvec);
+
+BENCHMARK_MAIN();

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const std::size_t trials = args.get_u64("trials", 120);
   const std::uint64_t seed = args.get_u64("seed", 42);
   const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hardware threads
+  const bool cold = args.has("cold-start");  // disable the snapshot ladder
   const std::string only = args.get_str("app", "");
 
   bench::print_header("Table 2", "fault propagation speed (FPS) factors");
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
     cc.trials = trials;
     cc.seed = seed;
     cc.jobs = jobs;
+    cc.warm_start = !cold;
     cc.capture_traces = true;
     cc.max_kept_traces = 8;
     const harness::CampaignResult r = run_campaign(h, cc);

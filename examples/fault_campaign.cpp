@@ -3,12 +3,15 @@
 // prints both the black-box outcome breakdown (Fig. 6 row) and the
 // propagation-aware V/ONA split that only the FPM framework can measure.
 //
-//   $ ./fault_campaign [app] [trials] [--jobs=N] [--trace-dir=D] [--metrics-out=F]
+//   $ ./fault_campaign [app] [trials] [--jobs=N] [--cold-start]
+//                      [--trace-dir=D] [--metrics-out=F]
 //   $ ./fault_campaign lulesh 200 --jobs=8
 //   $ ./fault_campaign matvec 8 --trace-dir=out   # Chrome traces + CSV/JSON
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
+// --cold-start replays every trial from cycle 0 instead of resuming from
+// the golden snapshot ladder (the default; also bit-identical).
 // --trace-dir=D writes per-trial Chrome trace-event JSON (load in
 // chrome://tracing) plus campaign.csv / campaign.json into D.
 // --metrics-out=F dumps the process-wide metrics registry as JSON to F.
@@ -28,12 +31,15 @@ int main(int argc, char** argv) {
   const char* app = "lulesh";
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
+  bool cold = false;
   std::string trace_dir;
   std::string metrics_out;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--cold-start") == 0) {
+      cold = true;
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
   cc.trials = trials;
   cc.capture_traces = false;
   cc.jobs = jobs;
+  cc.warm_start = !cold;
   cc.trace_dir = trace_dir;
   if (!metrics_out.empty()) cc.metrics = &obs::MetricsRegistry::global();
   const harness::CampaignResult r = run_campaign(h, cc);

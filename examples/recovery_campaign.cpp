@@ -4,11 +4,14 @@
 // detector, coordinated checkpoints at clean scans, and a rollback policy
 // deciding whether a detection is worth re-executing work for.
 //
-//   $ ./recovery_campaign [app] [trials] [--jobs=N] [--trace-dir=D] [--metrics-out=F]
+//   $ ./recovery_campaign [app] [trials] [--jobs=N] [--cold-start]
+//                         [--trace-dir=D] [--metrics-out=F]
 //   $ ./recovery_campaign matvec 200 --jobs=8
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
+// --cold-start replays every trial from cycle 0 instead of resuming from
+// the golden snapshot ladder (the default; also bit-identical).
 // --trace-dir=D writes per-trial Chrome traces + campaign.csv/json into one
 // subdirectory per policy row (D/baseline, D/always, ...).
 // --metrics-out=F dumps the metrics registry (all four campaigns) to F.
@@ -32,7 +35,7 @@ struct ObsOptions {
 };
 
 harness::CampaignResult campaign(const char* app, std::size_t trials,
-                                 std::size_t jobs,
+                                 std::size_t jobs, bool cold,
                                  harness::ExperimentConfig config,
                                  const ObsOptions& obs_opts,
                                  const char* label) {
@@ -40,6 +43,7 @@ harness::CampaignResult campaign(const char* app, std::size_t trials,
   harness::CampaignConfig cc;
   cc.trials = trials;
   cc.jobs = jobs;
+  cc.warm_start = !cold;
   if (!obs_opts.trace_dir.empty()) {
     cc.trace_dir = obs_opts.trace_dir + "/" + label;
   }
@@ -65,11 +69,14 @@ int main(int argc, char** argv) {
   const char* app = "matvec";
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
+  bool cold = false;
   ObsOptions obs_opts;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--cold-start") == 0) {
+      cold = true;
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       obs_opts.trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -87,23 +94,23 @@ int main(int argc, char** argv) {
   std::printf("recovery campaign: %s, %zu single-fault trials per policy\n",
               app, trials);
 
-  print_row("baseline", campaign(app, trials, jobs, config, obs_opts, "baseline"));
+  print_row("baseline", campaign(app, trials, jobs, cold, config, obs_opts, "baseline"));
 
   config.recovery.enabled = true;
   config.recovery.detector_interval = 0;  // derive golden/16
 
   config.recovery.policy = model::RollbackPolicy::Always;
-  print_row("always", campaign(app, trials, jobs, config, obs_opts, "always"));
+  print_row("always", campaign(app, trials, jobs, cold, config, obs_opts, "always"));
 
   config.recovery.policy = model::RollbackPolicy::Never;
-  print_row("never", campaign(app, trials, jobs, config, obs_opts, "never"));
+  print_row("never", campaign(app, trials, jobs, cold, config, obs_opts, "never"));
 
   // FpsModel: tolerate contaminations whose Eq. 3 end-of-run prediction
   // stays below the safe threshold; roll back otherwise (and on crashes).
   config.recovery.policy = model::RollbackPolicy::FpsModel;
   config.recovery.fps = 1e-4;
   config.recovery.cml_threshold = 50.0;
-  print_row("fps-model", campaign(app, trials, jobs, config, obs_opts, "fps-model"));
+  print_row("fps-model", campaign(app, trials, jobs, cold, config, obs_opts, "fps-model"));
 
   if (!obs_opts.metrics_out.empty()) {
     obs::write_file(obs_opts.metrics_out,

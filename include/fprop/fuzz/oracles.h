@@ -15,6 +15,10 @@
 //              randomized record/lookup/heal/heal_range/clear op stream.
 //   parser     the MiniC frontend rejects arbitrarily mutated source with
 //              CompileError — never another exception type, never a crash.
+//   warm_vs_cold  warm-started campaigns (golden snapshot ladder +
+//              injector fast-forward, DESIGN.md §11) == cold-started
+//              campaigns bit-for-bit, with and without recovery, and the
+//              warm_start knob never perturbs a metrics fold.
 //
 // Oracles never throw: any unexpected exception is itself a violation and is
 // reported through OracleResult.
@@ -71,5 +75,15 @@ OracleResult check_shadow_model(std::uint64_t seed, std::size_t ops = 4096);
 /// report) is a frontend robustness bug. `source` is typically
 /// mutate_source() output.
 OracleResult check_parser_robust(const std::string& source);
+
+/// Oracle "warm_vs_cold": builds an AppHarness over `prog` (plain, then with
+/// recovery enabled on a golden-derived detector grid) and compares
+/// run_campaign with warm_start=false vs warm_start=true field-for-field —
+/// outcomes, injection events, CML traces and slope fits, recovery fields
+/// (doubles compared bitwise). Also folds both campaigns into metrics
+/// registries and requires equal snapshots (recorder-attached trials
+/// decline warm starts; the knob must still change nothing).
+OracleResult check_warm_vs_cold(const GeneratedProgram& prog,
+                                const OracleConfig& config = {});
 
 }  // namespace fprop::fuzz

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +56,11 @@ struct ExperimentConfig {
   std::uint64_t slice = 256;                 ///< scheduler quantum
   std::uint64_t rng_seed = 0x5eedf00d;       ///< app rand01() streams
   double budget_factor = 8.0;  ///< trial cycle budget = golden x factor
+  /// Rungs in the golden snapshot ladder warm-started trials restore from
+  /// (DESIGN.md §11). Snapshot memory is copy-on-write, so rungs cost pages
+  /// actually dirtied between them, not full images. 0 disables the ladder
+  /// (every trial cold-starts regardless of any warm_start knob).
+  std::size_t snapshot_rungs = 12;
   ClassifierConfig classifier;
   /// Detector-driven checkpoint/restart (off by default). When
   /// `recovery.enabled`, run_trial drives the job through
@@ -115,6 +121,63 @@ struct TrialResult {
   std::int64_t first_detection_clock = -1;
 };
 
+/// Per-campaign cache of every counter/histogram handle the per-trial
+/// metrics fold updates. Resolving a handle hashes its name under the
+/// registry mutex; doing that ~15 times per trial dominated the fold on
+/// large campaigns, so run_campaign resolves the handles once and shares
+/// them across workers (all updates are commutative atomics).
+struct TrialMetricHandles {
+  explicit TrialMetricHandles(obs::MetricsRegistry& reg);
+
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Counter* trials = nullptr;
+  obs::Counter* outcome[5] = {};  ///< indexed by static_cast<size_t>(Outcome)
+  obs::Counter* flips = nullptr;
+  obs::Counter* recovered = nullptr;
+  obs::Counter* detections = nullptr;
+  obs::Counter* obs_events = nullptr;
+  obs::Counter* obs_events_dropped = nullptr;
+  obs::Counter* shadow_records = nullptr;
+  obs::Counter* shadow_heals = nullptr;
+  obs::Counter* mpi_sends = nullptr;
+  obs::Counter* mpi_recvs = nullptr;
+  obs::Counter* vm_traps = nullptr;
+  obs::Counter* detector_scans = nullptr;
+  obs::Counter* recovery_checkpoints = nullptr;
+  obs::Counter* recovery_rollbacks = nullptr;
+  obs::Histogram* probe_len = nullptr;
+  obs::Histogram* header_words = nullptr;
+  obs::Histogram* ckpt_bytes = nullptr;
+  obs::Histogram* detect_latency = nullptr;
+};
+
+/// One rung of the golden snapshot ladder (DESIGN.md §11): a coordinated
+/// checkpoint of the fault-free run at a quiescent sweep boundary, plus the
+/// injector's dynamic-point counters at that instant. A trial whose every
+/// planned fault has `dyn_index >= dyn_counts[rank]` can start here instead
+/// of at cycle 0 and produce a bit-identical TrialResult.
+struct SnapshotRung {
+  std::uint64_t global_clock = 0;
+  inject::DynCounts dyn_counts;
+  mpisim::World::Checkpoint state;
+};
+
+/// Per-call options for AppHarness::run_trial (the legacy positional
+/// overload forwards here with warm_start forced off).
+struct TrialOptions {
+  bool capture_trace = false;
+  /// Start from the latest golden-ladder rung at or below the plan's first
+  /// injection instead of cycle 0. Bit-identical to a cold start by
+  /// construction (DESIGN.md §11). Falls back to cold when a recorder is
+  /// attached (the skipped prefix's event stream cannot be replayed), when
+  /// the ladder is disabled (snapshot_rungs == 0), or when no rung precedes
+  /// the plan's earliest fault.
+  bool warm_start = true;
+  obs::TrialRecorder* recorder = nullptr;
+  /// Pre-resolved metric handles (null = no metrics fold).
+  const TrialMetricHandles* metrics = nullptr;
+};
+
 class AppHarness {
  public:
   AppHarness(const apps::AppSpec& spec, ExperimentConfig config);
@@ -148,12 +211,32 @@ class AppHarness {
                         obs::TrialRecorder* recorder = nullptr,
                         obs::MetricsRegistry* metrics = nullptr) const;
 
+  /// Options-struct overload; the only path that warm-starts (DESIGN.md
+  /// §11). Same thread-safety contract as above — the ladder is built once
+  /// under std::call_once and read-only afterwards; restored rungs share
+  /// memory pages copy-on-write, so concurrent trials never write state
+  /// another trial can see.
+  TrialResult run_trial(const inject::InjectionPlan& plan,
+                        const TrialOptions& options) const;
+
+  /// Golden snapshot ladder, built lazily on first use (thread-safe). Rungs
+  /// ascend by global clock with non-decreasing dyn_counts; empty when
+  /// config.snapshot_rungs == 0. With recovery enabled, rungs sit on the
+  /// detector scan grid (clean-scan checkpoint boundaries of a cold run).
+  const std::vector<SnapshotRung>& snapshot_ladder() const;
+
+  /// Trial World configuration (exposed for the midpoint-equivalence test
+  /// and the ladder bench; `tracing` toggles the CML sample periods only).
+  mpisim::WorldConfig world_config(bool tracing) const;
+
   /// Classifies an arbitrary job result (exposed for tests).
   Outcome classify(const mpisim::JobResult& job, bool memory_was_touched)
       const;
 
  private:
-  mpisim::WorldConfig world_config(bool tracing) const;
+  void build_ladder() const;
+  const SnapshotRung* latest_usable_rung(const inject::InjectionPlan& plan)
+      const;
 
   std::string name_;
   ExperimentConfig config_;
@@ -161,6 +244,8 @@ class AppHarness {
   ir::Module module_;  ///< instrumented (LLFI++ + FPM)
   std::vector<passes::InjectionSite> sites_;
   GoldenRun golden_;
+  mutable std::once_flag ladder_once_;
+  mutable std::vector<SnapshotRung> ladder_;
 };
 
 /// Outcome counters for a campaign (Fig. 6 row).
@@ -198,6 +283,12 @@ struct CampaignConfig {
   /// chunked worker pool, and merges results in trial-index order — the
   /// CampaignResult is bit-identical at any jobs value.
   std::size_t jobs = 1;
+  /// Warm-start trials from the golden snapshot ladder (DESIGN.md §11) —
+  /// bit-identical to cold starts, typically 1.5–2x trials/s. The examples
+  /// and benches expose `--cold-start` to turn it off for A/B runs. Trials
+  /// that attach a recorder (trace_dir set or metrics != nullptr) always
+  /// cold-start: the skipped prefix's event stream cannot be replayed.
+  bool warm_start = true;
 
   // --- observability (DESIGN.md §8) ----------------------------------------
   /// When non-empty: per-trial Chrome trace JSON (trial_NNNNNN.json) plus

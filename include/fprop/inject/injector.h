@@ -86,6 +86,14 @@ class InjectorRuntime final : public vm::InjectHook {
   /// arithmetic); modules with only 64-bit sites can skip it.
   void record_widths(bool enable) noexcept { record_widths_ = enable; }
 
+  /// Warm-start support (DESIGN.md §11): positions the runtime as if the
+  /// first `counts[rank]` dynamic points had already executed on every rank,
+  /// without replaying them. Pending faults whose dynamic index falls inside
+  /// the skipped prefix are discarded — they can no longer fire; warm-start
+  /// callers pick a restore point at or below every planned fault's index
+  /// precisely so this never drops one.
+  void fast_forward(const DynCounts& counts);
+
   /// Dynamic fim_inj executions observed on `rank` so far.
   std::uint64_t dynamic_points(std::uint32_t rank) const;
   DynCounts dynamic_counts(std::uint32_t nranks) const;

@@ -30,6 +30,17 @@
 
 namespace fprop::recovery {
 
+/// First detector-grid point strictly after `now`, on the fixed grid of
+/// multiples of `interval` anchored at 0. Shared by RecoveryManager and the
+/// harness's golden snapshot ladder (DESIGN.md §11): warm-started trials
+/// restore at golden clean-scan boundaries, and this single definition of
+/// the grid is what guarantees a warm RecoveryManager scans at exactly the
+/// clocks a cold one would.
+constexpr std::uint64_t next_scan_point(std::uint64_t now,
+                                        std::uint64_t interval) noexcept {
+  return (now / interval + 1) * interval;
+}
+
 struct RecoveryConfig {
   /// Master switch (consumed by harness::ExperimentConfig).
   bool enabled = false;

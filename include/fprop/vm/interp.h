@@ -118,7 +118,9 @@ class Interp {
   /// image. Restoring a snapshot resumes bit-exactly (module and config are
   /// identity, not state, and are not captured). Frames reference functions
   /// of the module the interpreter was built with, so a snapshot must only
-  /// be restored into an interpreter over the same module.
+  /// be restored into an interpreter over the same module. The memory image
+  /// is copy-on-write (AddressSpace::Image): snapshots share unmodified
+  /// pages with the live space and with each other.
   struct Snapshot {
     std::vector<Frame> frames;
     RunState state = RunState::Ready;
@@ -128,7 +130,7 @@ class Interp {
     std::vector<double> outputs;
     std::int64_t reported_iters = -1;
     std::int64_t abort_code = 0;
-    std::vector<std::uint64_t> memory_words;
+    AddressSpace::Image memory;
   };
 
   Snapshot snapshot() const;

@@ -6,9 +6,20 @@
 // bit-flipped pointers near zero fault exactly like on real hardware — the
 // paper attributes most crashes to corrupted pointers. Words are allocated
 // by a bump allocator (the apps are one-shot; nothing is ever freed).
+//
+// Storage is a vector of reference-counted pages so snapshots are
+// copy-on-write: save() bumps every page's refcount instead of copying the
+// words, and a store into a page that a snapshot still references clones
+// just that page. This is what makes the harness's golden snapshot ladder
+// (DESIGN.md §11) affordable — K coordinated World checkpoints share all
+// pages the trial never dirties. Page refcounts are the atomic
+// std::shared_ptr counts, so immutable snapshot images may be shared
+// between campaign worker threads; a page is mutated only when this
+// AddressSpace holds the sole reference.
 
+#include <array>
 #include <cstdint>
-#include <span>
+#include <memory>
 #include <vector>
 
 namespace fprop::vm {
@@ -17,6 +28,23 @@ class AddressSpace {
  public:
   /// First valid byte address (4 KiB null guard, word-aligned).
   static constexpr std::uint64_t kBase = 4096;
+
+  /// Words per page (32 KiB pages): small enough that a store into a shared
+  /// page clones little, large enough that save()'s refcount sweep is short.
+  static constexpr std::uint64_t kPageShift = 12;
+  static constexpr std::uint64_t kPageWords = 1ull << kPageShift;
+
+  struct Page {
+    std::array<std::uint64_t, kPageWords> w;
+  };
+
+  /// Immutable checkpoint of the word storage: shared page references plus
+  /// the allocation watermark (capacity is configuration, not state).
+  /// Copying an Image copies refcounts, not words.
+  struct Image {
+    std::vector<std::shared_ptr<Page>> pages;
+    std::uint64_t words = 0;
+  };
 
   explicit AddressSpace(std::uint64_t max_words = 1ull << 22)
       : max_words_(max_words) {}
@@ -28,36 +56,38 @@ class AddressSpace {
 
   /// True iff `addr` is mapped and 8-aligned.
   bool valid(std::uint64_t addr) const noexcept {
-    return addr >= kBase && (addr & 7) == 0 &&
-           (addr - kBase) / 8 < words_.size();
+    return addr >= kBase && (addr & 7) == 0 && (addr - kBase) / 8 < size_;
   }
 
   bool load(std::uint64_t addr, std::uint64_t& out) const noexcept {
     if (!valid(addr)) return false;
-    out = words_[(addr - kBase) / 8];
+    const std::uint64_t i = (addr - kBase) / 8;
+    out = pages_[i >> kPageShift]->w[i & (kPageWords - 1)];
     return true;
   }
 
-  bool store(std::uint64_t addr, std::uint64_t bits) noexcept {
+  /// May clone a page still referenced by a snapshot Image (copy-on-write),
+  /// so stores can allocate.
+  bool store(std::uint64_t addr, std::uint64_t bits) {
     if (!valid(addr)) return false;
-    words_[(addr - kBase) / 8] = bits;
+    const std::uint64_t i = (addr - kBase) / 8;
+    writable_page(i >> kPageShift).w[i & (kPageWords - 1)] = bits;
     return true;
   }
 
-  std::uint64_t allocated_words() const noexcept { return words_.size(); }
+  std::uint64_t allocated_words() const noexcept { return size_; }
   std::uint64_t max_words() const noexcept { return max_words_; }
 
-  /// Raw word storage (used by the MPI simulator for payload copies).
-  std::span<std::uint64_t> words() noexcept { return words_; }
-  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  /// O(pages) checkpoint: shares every page with the live space; the first
+  /// post-save store into any shared page clones it.
+  Image save() const { return Image{pages_, size_}; }
 
-  /// Full-content copy for checkpointing (word storage only; capacity is
-  /// configuration, not state).
-  std::vector<std::uint64_t> save_words() const { return words_; }
   /// Restores a checkpointed image: allocation watermark and every word
-  /// revert to the captured values.
-  void restore_words(const std::vector<std::uint64_t>& words) {
-    words_ = words;
+  /// revert to the captured values. O(pages); the restored pages stay
+  /// shared with `image` until stored to.
+  void restore(const Image& image) {
+    pages_ = image.pages;
+    size_ = image.words;
   }
 
   /// Byte address of word index i.
@@ -66,7 +96,16 @@ class AddressSpace {
   }
 
  private:
-  std::vector<std::uint64_t> words_;
+  Page& writable_page(std::uint64_t p) {
+    std::shared_ptr<Page>& sp = pages_[p];
+    // use_count()==1 means exclusively ours: snapshots are the only other
+    // holders of page refs, and they never surrender one concurrently.
+    if (sp.use_count() != 1) sp = std::make_shared<Page>(*sp);
+    return *sp;
+  }
+
+  std::vector<std::shared_ptr<Page>> pages_;
+  std::uint64_t size_ = 0;
   std::uint64_t max_words_;
 };
 

@@ -10,6 +10,7 @@
 #include "fprop/harness/harness.h"
 #include "fprop/inject/injector.h"
 #include "fprop/minic/compile.h"
+#include "fprop/obs/metrics.h"
 #include "fprop/mpisim/world.h"
 #include "fprop/passes/passes.h"
 #include "fprop/support/error.h"
@@ -549,6 +550,72 @@ OracleResult check_shadow_model(std::uint64_t seed, std::size_t ops) {
     }
   } catch (const std::exception& e) {
     return fail("shadow", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_warm_vs_cold(const GeneratedProgram& prog,
+                                const OracleConfig& config) {
+  OracleResult res;
+  res.oracle = "warm_vs_cold";
+  try {
+    apps::AppSpec spec;
+    spec.name = "fuzz_" + std::to_string(prog.seed);
+    spec.description = "generated fuzz program";
+    spec.source = prog.source;
+    spec.default_nranks = prog.nranks;
+
+    for (const bool recovery : {false, true}) {
+      const char* leg = recovery ? "recovery leg" : "plain leg";
+      harness::ExperimentConfig ec;
+      ec.nranks = prog.nranks;
+      ec.snapshot_rungs = 6;
+      if (recovery) {
+        ec.recovery.enabled = true;
+        ec.recovery.max_rollbacks = 2;
+        // Derive the scan grid from the golden run (golden/16): generated
+        // programs finish far below the default absolute interval, which
+        // would leave the grid — and the recovery-aligned ladder — empty.
+        ec.recovery.detector_interval = 0;
+      }
+      const harness::AppHarness h(spec, ec);
+
+      harness::CampaignConfig cc;
+      cc.trials = config.campaign_trials;
+      cc.seed = derive_seed(prog.seed, 0x3A4Dull);
+      cc.capture_traces = !recovery;  // exercise the restored-trace path too
+      cc.max_kept_traces = 4;
+      cc.jobs = 1;
+      cc.warm_start = false;
+      const harness::CampaignResult cold = harness::run_campaign(h, cc);
+      cc.warm_start = true;
+      const harness::CampaignResult warm = harness::run_campaign(h, cc);
+      const std::string d = diff_campaigns(cold, warm);
+      if (!d.empty()) {
+        return fail("warm_vs_cold",
+                    std::string(leg) + ", cold vs warm: " + d);
+      }
+
+      // Metrics leg: an attached registry means an attached recorder, so
+      // trials decline warm starts (the skipped prefix cannot be replayed
+      // into the event stream) — the knob must leave the fold untouched.
+      cc.capture_traces = false;
+      obs::MetricsRegistry cold_reg;
+      cc.warm_start = false;
+      cc.metrics = &cold_reg;
+      (void)harness::run_campaign(h, cc);
+      obs::MetricsRegistry warm_reg;
+      cc.warm_start = true;
+      cc.metrics = &warm_reg;
+      (void)harness::run_campaign(h, cc);
+      if (!(cold_reg.snapshot() == warm_reg.snapshot())) {
+        return fail("warm_vs_cold",
+                    std::string(leg) +
+                        ": metrics fold differs with warm_start on");
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("warm_vs_cold", std::string("exception: ") + e.what());
   }
   return res;
 }

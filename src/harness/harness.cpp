@@ -25,6 +25,36 @@ const char* outcome_name(Outcome o) noexcept {
   return "?";
 }
 
+TrialMetricHandles::TrialMetricHandles(obs::MetricsRegistry& reg)
+    : registry(&reg),
+      trials(&reg.counter("campaign.trials")),
+      flips(&reg.counter("inject.flips")),
+      recovered(&reg.counter("recovery.recovered")),
+      detections(&reg.counter("recovery.detections")),
+      obs_events(&reg.counter("obs.events")),
+      obs_events_dropped(&reg.counter("obs.events_dropped")),
+      shadow_records(&reg.counter("shadow.records")),
+      shadow_heals(&reg.counter("shadow.heals")),
+      mpi_sends(&reg.counter("mpi.sends")),
+      mpi_recvs(&reg.counter("mpi.recvs")),
+      vm_traps(&reg.counter("vm.traps")),
+      detector_scans(&reg.counter("detector.scans")),
+      recovery_checkpoints(&reg.counter("recovery.checkpoints")),
+      recovery_rollbacks(&reg.counter("recovery.rollbacks")),
+      probe_len(&reg.histogram("shadow.probe_len", {0, 1, 2, 4, 8, 16})),
+      header_words(&reg.histogram("mpi.header_words", {1, 3, 9, 33, 129, 513})),
+      ckpt_bytes(&reg.histogram(
+          "checkpoint.bytes",
+          {1u << 10, 1u << 14, 1u << 18, 1u << 22, 1u << 26})),
+      detect_latency(&reg.histogram(
+          "detector.latency_steps",
+          {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24})) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    outcome[i] = &reg.counter(std::string("campaign.outcome.") +
+                              outcome_name(static_cast<Outcome>(i)));
+  }
+}
+
 AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
     : name_(spec.name),
       config_(config),
@@ -117,42 +147,34 @@ Outcome AppHarness::classify(const mpisim::JobResult& job,
 
 namespace {
 
-/// Folds one finished trial into the metrics registry: outcome counters,
-/// shadow-table probe lengths sampled from the job-final tables, and (when
-/// an event stream exists) per-kind event counters and histograms. Every
-/// update is a commutative atomic add, so campaign aggregates are identical
-/// at any worker count.
-void fold_trial_metrics(obs::MetricsRegistry& reg, const TrialResult& t,
+/// Folds one finished trial into the metrics registry via pre-resolved
+/// handles (TrialMetricHandles — resolving by name per trial cost ~15
+/// string hashes under the registry mutex): outcome counters, shadow-table
+/// probe lengths sampled from the job-final tables, and (when an event
+/// stream exists) per-kind event counters and histograms. Every update is a
+/// commutative atomic add, so campaign aggregates are identical at any
+/// worker count.
+void fold_trial_metrics(const TrialMetricHandles& m, const TrialResult& t,
                         const obs::TrialRecorder* recorder,
                         mpisim::World& world) {
-  reg.counter("campaign.trials").add(1);
-  reg.counter(std::string("campaign.outcome.") + outcome_name(t.outcome))
-      .add(1);
-  if (t.injected) reg.counter("inject.flips").add(1);
-  if (t.recovered) reg.counter("recovery.recovered").add(1);
-  reg.counter("recovery.detections").add(t.detections);
+  m.trials->add(1);
+  m.outcome[static_cast<std::size_t>(t.outcome)]->add(1);
+  if (t.injected) m.flips->add(1);
+  if (t.recovered) m.recovered->add(1);
+  m.detections->add(t.detections);
 
-  auto& probe_len = reg.histogram("shadow.probe_len", {0, 1, 2, 4, 8, 16});
   for (std::uint32_t r = 0; r < world.nranks(); ++r) {
     if (auto* f = world.fpm(r)) {
       for (const std::uint64_t len : f->shadow().probe_lengths()) {
-        probe_len.observe(len);
+        m.probe_len->observe(len);
       }
     }
   }
 
   if (recorder == nullptr) return;
-  reg.counter("obs.events").add(recorder->total_emitted());
-  reg.counter("obs.events_dropped").add(recorder->dropped());
+  m.obs_events->add(recorder->total_emitted());
+  m.obs_events_dropped->add(recorder->dropped());
 
-  auto& header_words = reg.histogram("mpi.header_words",
-                                     {1, 3, 9, 33, 129, 513});
-  auto& ckpt_bytes = reg.histogram(
-      "checkpoint.bytes",
-      {1u << 10, 1u << 14, 1u << 18, 1u << 22, 1u << 26});
-  auto& detect_latency = reg.histogram(
-      "detector.latency_steps",
-      {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24});
   std::uint64_t records = 0, heals = 0, sends = 0, recvs = 0, traps = 0,
                 scans = 0, checkpoints = 0, rollbacks = 0;
   std::int64_t first_contaminated = -1;
@@ -162,14 +184,14 @@ void fold_trial_metrics(obs::MetricsRegistry& reg, const TrialResult& t,
       case obs::EventKind::ShadowHeal: ++heals; break;
       case obs::EventKind::MsgSend:
         ++sends;
-        header_words.observe(e.c);
+        m.header_words->observe(e.c);
         break;
       case obs::EventKind::MsgRecv: ++recvs; break;
       case obs::EventKind::Trap: ++traps; break;
       case obs::EventKind::DetectorScan: ++scans; break;
       case obs::EventKind::Checkpoint:
         ++checkpoints;
-        ckpt_bytes.observe(e.a);
+        m.ckpt_bytes->observe(e.a);
         break;
       case obs::EventKind::Rollback: ++rollbacks; break;
       case obs::EventKind::RankContaminated:
@@ -184,32 +206,142 @@ void fold_trial_metrics(obs::MetricsRegistry& reg, const TrialResult& t,
   }
   if (first_contaminated >= 0 &&
       t.first_detection_clock >= first_contaminated) {
-    detect_latency.observe(
+    m.detect_latency->observe(
         static_cast<std::uint64_t>(t.first_detection_clock -
                                    first_contaminated));
   }
-  reg.counter("shadow.records").add(records);
-  reg.counter("shadow.heals").add(heals);
-  reg.counter("mpi.sends").add(sends);
-  reg.counter("mpi.recvs").add(recvs);
-  reg.counter("vm.traps").add(traps);
-  reg.counter("detector.scans").add(scans);
-  reg.counter("recovery.checkpoints").add(checkpoints);
-  reg.counter("recovery.rollbacks").add(rollbacks);
+  m.shadow_records->add(records);
+  m.shadow_heals->add(heals);
+  m.mpi_sends->add(sends);
+  m.mpi_recvs->add(recvs);
+  m.vm_traps->add(traps);
+  m.detector_scans->add(scans);
+  m.recovery_checkpoints->add(checkpoints);
+  m.recovery_rollbacks->add(rollbacks);
 }
 
 }  // namespace
+
+void AppHarness::build_ladder() const {
+  if (config_.snapshot_rungs == 0) return;
+  // Re-execute the golden run under the exact trial configuration and
+  // capture coordinated checkpoints at quiescent sweep boundaries. Tracing
+  // is ON: the sample periods only append to trace vectors (they never
+  // steer execution), so the captured rungs carry the precise CML-trace
+  // prefix and sampling cursors tracing trials need, and non-tracing trial
+  // runtimes ignore those fields entirely (their sample periods are 0).
+  mpisim::World world(module_, world_config(/*tracing=*/true));
+  inject::InjectorRuntime probe;  // counting mode
+  world.set_inject_hook(&probe);
+
+  const std::size_t max_rungs = config_.snapshot_rungs;
+  // Minimum global-cycle spacing between kept rungs: evenly splits the
+  // golden run into ~max_rungs+1 segments.
+  const std::uint64_t stride = std::max<std::uint64_t>(
+      golden_.global_cycles / (static_cast<std::uint64_t>(max_rungs) + 1), 1);
+  std::uint64_t scan_interval = 0;
+  std::uint64_t next_target = stride;
+  if (config_.recovery.enabled) {
+    // Recovery trials may only restore at the golden run's clean-scan
+    // checkpoint boundaries: there a warm RecoveryManager's state (last
+    // retained checkpoint, checkpoint clock, next scan point) is exactly
+    // what a cold run reaches at the same clock. Walk the detector grid —
+    // the same grid RecoveryManager walks (recovery::next_scan_point, with
+    // the same derived interval run_trial uses) — and thin it by `stride`
+    // to bound the ladder size.
+    scan_interval = config_.recovery.detector_interval != 0
+                        ? config_.recovery.detector_interval
+                        : std::max<std::uint64_t>(golden_.global_cycles / 16, 1);
+    next_target = scan_interval;
+  }
+
+  for (;;) {
+    const mpisim::World::StepStatus s = world.sweep();
+    if (s != mpisim::World::StepStatus::Running) break;
+    const std::uint64_t now = world.global_cycles();
+    if (now < next_target) continue;
+    if (config_.recovery.enabled) {
+      next_target = recovery::next_scan_point(now, scan_interval);
+      if (!ladder_.empty() && now < ladder_.back().global_clock + stride) {
+        continue;  // on the grid, but too close to the previous rung
+      }
+    } else {
+      if (ladder_.size() >= max_rungs) break;
+      while (next_target <= now) next_target += stride;
+    }
+    SnapshotRung rung;
+    rung.global_clock = now;
+    rung.dyn_counts = probe.dynamic_counts(nranks_);
+    rung.state = world.checkpoint();
+    ladder_.push_back(std::move(rung));
+  }
+}
+
+const std::vector<SnapshotRung>& AppHarness::snapshot_ladder() const {
+  std::call_once(ladder_once_, [this] { build_ladder(); });
+  return ladder_;
+}
+
+const SnapshotRung* AppHarness::latest_usable_rung(
+    const inject::InjectionPlan& plan) const {
+  // A rung is usable when no planned fault's dynamic execution lies in the
+  // prefix it skips: counter == dyn_index means that execution has not
+  // happened yet, so equality is still usable. Counters are non-decreasing
+  // along the ladder, so the first unusable rung ends the scan.
+  const SnapshotRung* best = nullptr;
+  for (const SnapshotRung& rung : snapshot_ladder()) {
+    for (const auto& [rank, faults] : plan.faults_by_rank) {
+      const std::uint64_t done =
+          rank < rung.dyn_counts.size() ? rung.dyn_counts[rank] : 0;
+      for (const inject::FaultRecord& f : faults) {
+        if (f.dyn_index < done) return best;
+      }
+    }
+    best = &rung;
+  }
+  return best;
+}
 
 TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
                                   bool capture_trace,
                                   obs::TrialRecorder* recorder,
                                   obs::MetricsRegistry* metrics) const {
+  TrialOptions opts;
+  opts.capture_trace = capture_trace;
+  // Historical entry point: always cold. One-shot callers (tests, examples
+  // doing a single trial) should not pay a full ladder build; campaigns go
+  // through the options overload with CampaignConfig::warm_start.
+  opts.warm_start = false;
+  opts.recorder = recorder;
+  std::optional<TrialMetricHandles> handles;
+  if (metrics != nullptr) handles.emplace(*metrics);
+  opts.metrics = handles.has_value() ? &*handles : nullptr;
+  return run_trial(plan, opts);
+}
+
+TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
+                                  const TrialOptions& opts) const {
   inject::InjectorRuntime injector(plan);
-  injector.set_recorder(recorder);
-  mpisim::WorldConfig wc = world_config(capture_trace);
-  wc.recorder = recorder;
+  injector.set_recorder(opts.recorder);
+  mpisim::WorldConfig wc = world_config(opts.capture_trace);
+  wc.recorder = opts.recorder;
   mpisim::World world(module_, wc);
   world.set_inject_hook(&injector);
+
+  // Warm start (DESIGN.md §11): the pre-injection prefix is bit-identical
+  // to the golden run, so restoring its latest snapshot at or below the
+  // plan's first fault and fast-forwarding the injector's dynamic-point
+  // counters changes nothing observable. Recorder-attached trials cold-
+  // start: the prefix's event stream cannot be replayed from a snapshot.
+  if (opts.warm_start && opts.recorder == nullptr) {
+    if (const SnapshotRung* rung = latest_usable_rung(plan)) {
+      world.restore(rung->state);
+      injector.fast_forward(rung->dyn_counts);
+    }
+  }
+
+  const bool capture_trace = opts.capture_trace;
+  obs::TrialRecorder* const recorder = opts.recorder;
 
   TrialResult t;
   mpisim::JobResult job;
@@ -272,20 +404,25 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   FPROP_OBS_EMIT(recorder, obs::EventKind::TrialOutcome, obs::kJobScope,
                  job.global_cycles, static_cast<std::uint64_t>(t.outcome),
                  static_cast<std::uint64_t>(t.trap), t.total_cml_final);
-  if (metrics != nullptr) fold_trial_metrics(*metrics, t, recorder, world);
+  if (opts.metrics != nullptr) {
+    fold_trial_metrics(*opts.metrics, t, recorder, world);
+  }
   return t;
 }
 
 std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
                                               const CampaignResult& result) {
-  std::map<std::int64_t, SiteVulnerability> by_site;
+  // Site ids are dense indices into harness.sites(), so a flat vector
+  // replaces the former std::map: no per-trial log-n probes or node
+  // allocations on large campaigns.
+  std::vector<SiteVulnerability> by_site(harness.sites().size());
   for (const auto& t : result.trials) {
     if (!t.injected) continue;
-    SiteVulnerability& sv = by_site[t.injection.site_id];
+    const auto id = static_cast<std::size_t>(t.injection.site_id);
+    SiteVulnerability& sv = by_site.at(id);
     if (sv.site_id < 0) {
       sv.site_id = t.injection.site_id;
-      const auto& site =
-          harness.sites().at(static_cast<std::size_t>(t.injection.site_id));
+      const auto& site = harness.sites()[id];
       sv.consumer = site.consumer;
       sv.function = site.function;
     }
@@ -300,10 +437,9 @@ std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
   }
   std::vector<SiteVulnerability> out;
   out.reserve(by_site.size());
-  for (auto& [id, sv] : by_site) {
-    if (sv.counts.total() > 0) {
-      sv.mean_contaminated_pct /= static_cast<double>(sv.counts.total());
-    }
+  for (auto& sv : by_site) {
+    if (sv.counts.total() == 0) continue;  // site never hit by a fired fault
+    sv.mean_contaminated_pct /= static_cast<double>(sv.counts.total());
     out.push_back(std::move(sv));
   }
   std::sort(out.begin(), out.end(),
@@ -326,6 +462,7 @@ namespace {
 /// worker-side, keyed by trial index, so the on-disk output is identical at
 /// any jobs value.
 void trial_worker(const AppHarness& harness, const CampaignConfig& config,
+                  const TrialMetricHandles* metrics,
                   const std::vector<inject::InjectionPlan>& plans,
                   std::vector<TrialResult>& slots,
                   std::atomic<std::size_t>& next, std::size_t chunk) {
@@ -333,15 +470,18 @@ void trial_worker(const AppHarness& harness, const CampaignConfig& config,
   if (!config.trace_dir.empty() || config.metrics != nullptr) {
     recorder.emplace(config.trace_capacity);
   }
+  TrialOptions opts;
+  opts.capture_trace = config.capture_traces;
+  opts.warm_start = config.warm_start;
+  opts.metrics = metrics;
+  opts.recorder = recorder.has_value() ? &*recorder : nullptr;
   for (;;) {
     const std::size_t begin = next.fetch_add(chunk);
     if (begin >= plans.size()) return;
     const std::size_t end = std::min(begin + chunk, plans.size());
     for (std::size_t i = begin; i < end; ++i) {
       if (recorder.has_value()) recorder->clear();
-      slots[i] = harness.run_trial(plans[i], config.capture_traces,
-                                   recorder.has_value() ? &*recorder : nullptr,
-                                   config.metrics);
+      slots[i] = harness.run_trial(plans[i], opts);
       if (!config.trace_dir.empty()) {
         obs::ChromeTraceMeta meta;
         meta.app = harness.app_name();
@@ -390,13 +530,24 @@ CampaignResult run_campaign(const AppHarness& harness,
   // trial cost varies wildly (crashes terminate early), so workers pull
   // modest chunks off a shared counter instead of static striping.
   if (!config.trace_dir.empty()) obs::ensure_dir(config.trace_dir);
+  std::optional<TrialMetricHandles> handles;  // resolved once per campaign
+  if (config.metrics != nullptr) handles.emplace(*config.metrics);
+  const TrialMetricHandles* metrics =
+      handles.has_value() ? &*handles : nullptr;
+  if (config.warm_start && config.trace_dir.empty() &&
+      config.metrics == nullptr) {
+    // These campaigns run recorder-less, so their trials will warm-start:
+    // build the ladder up front instead of serializing the workers' first
+    // trials behind the call_once.
+    (void)harness.snapshot_ladder();
+  }
   std::vector<TrialResult> slots(config.trials);
   const std::size_t jobs = effective_jobs(config.jobs, config.trials);
   const std::size_t chunk =
       std::max<std::size_t>(1, config.trials / (jobs * 8));
   std::atomic<std::size_t> next{0};
   if (jobs <= 1) {
-    trial_worker(harness, config, plans, slots, next, chunk);
+    trial_worker(harness, config, metrics, plans, slots, next, chunk);
   } else {
     std::vector<std::exception_ptr> errors(jobs);
     std::vector<std::thread> pool;
@@ -404,7 +555,7 @@ CampaignResult run_campaign(const AppHarness& harness,
     for (std::size_t w = 0; w < jobs; ++w) {
       pool.emplace_back([&, w] {
         try {
-          trial_worker(harness, config, plans, slots, next, chunk);
+          trial_worker(harness, config, metrics, plans, slots, next, chunk);
         } catch (...) {
           errors[w] = std::current_exception();
           // Drain the counter so the surviving workers wind down quickly.

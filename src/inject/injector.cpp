@@ -86,6 +86,18 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
   return flipped;
 }
 
+void InjectorRuntime::fast_forward(const DynCounts& counts) {
+  for (std::uint32_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] == 0) continue;
+    PerRank& st = rank_state(r);
+    st.counter = counts[r];
+    while (st.next < st.pending.size() &&
+           st.pending[st.next].dyn_index < st.counter) {
+      ++st.next;
+    }
+  }
+}
+
 std::uint64_t InjectorRuntime::dynamic_points(std::uint32_t rank) const {
   auto it = ranks_.find(rank);
   return it == ranks_.end() ? 0 : it->second.counter;

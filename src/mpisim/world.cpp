@@ -511,7 +511,7 @@ void World::restore(const Checkpoint& ckpt) {
 std::uint64_t World::Checkpoint::approx_bytes() const {
   std::uint64_t bytes = 0;
   for (const auto& r : ranks) {
-    bytes += r.memory_words.size() * 8;
+    bytes += r.memory.words * 8;
     for (const auto& fr : r.frames) {
       bytes += fr.regs.size() * 8 + fr.taint.size();
     }

@@ -29,9 +29,12 @@ void RecoveryManager::take_checkpoint() {
 }
 
 void RecoveryManager::advance_scan_grid(std::uint64_t now) {
-  // Fixed grid anchored at 0 (matching simulate_rollback's detector), not at
-  // the scan that just ran — a sweep can jump several intervals at once.
-  while (next_scan_ <= now) next_scan_ += config_.detector_interval;
+  // Fixed grid anchored at 0 (matching simulate_rollback's detector and the
+  // harness's snapshot ladder), not at the scan that just ran — a sweep can
+  // jump several intervals at once.
+  if (next_scan_ <= now) {
+    next_scan_ = next_scan_point(now, config_.detector_interval);
+  }
 }
 
 bool RecoveryManager::should_rollback(bool crashed, std::uint64_t now) {

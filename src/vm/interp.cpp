@@ -76,7 +76,7 @@ Interp::Snapshot Interp::snapshot() const {
   s.outputs = outputs_;
   s.reported_iters = reported_iters_;
   s.abort_code = abort_code_;
-  s.memory_words = mem_.save_words();
+  s.memory = mem_.save();
   return s;
 }
 
@@ -96,7 +96,7 @@ void Interp::restore(const Snapshot& snap) {
   outputs_ = snap.outputs;
   reported_iters_ = snap.reported_iters;
   abort_code_ = snap.abort_code;
-  mem_.restore_words(snap.memory_words);
+  mem_.restore(snap.memory);
 }
 
 void Interp::do_trap(Trap t) {

@@ -3,9 +3,17 @@
 namespace fprop::vm {
 
 std::uint64_t AddressSpace::alloc_words(std::uint64_t n) {
-  if (n > max_words_ || words_.size() > max_words_ - n) return 0;
-  const std::uint64_t addr = addr_of(words_.size());
-  words_.resize(words_.size() + n, 0);
+  if (n > max_words_ || size_ > max_words_ - n) return 0;
+  const std::uint64_t addr = addr_of(size_);
+  size_ += n;
+  // Tail words of a partially filled last page are already zero: stores
+  // beyond the watermark are invalid, so they have never been written (and
+  // after a restore to a smaller image, copy-on-write kept the snapshot's
+  // zero tail intact).
+  const std::uint64_t pages_needed = (size_ + kPageWords - 1) >> kPageShift;
+  while (pages_.size() < pages_needed) {
+    pages_.push_back(std::make_shared<Page>());  // value-init: zeroed words
+  }
   return addr;
 }
 

@@ -54,6 +54,42 @@ TEST_P(GoldenCampaign, OutcomeDistributionIsFrozen) {
   EXPECT_EQ(r.counts.total(), 30u);
 }
 
+// Warm-started trials (the default; golden snapshot ladder, DESIGN.md §11)
+// must be trial-for-trial bit-identical to cold starts over the same frozen
+// 30-trial distributions.
+TEST_P(GoldenCampaign, WarmStartReproducesColdStartTrialForTrial) {
+  const GoldenRow& row = GetParam();
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(get_app(row.app), cfg);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 42;
+  cc.jobs = 1;
+  cc.warm_start = false;
+  const harness::CampaignResult cold = harness::run_campaign(h, cc);
+  cc.warm_start = true;
+  const harness::CampaignResult warm = harness::run_campaign(h, cc);
+  ASSERT_EQ(cold.trials.size(), warm.trials.size());
+  for (std::size_t i = 0; i < cold.trials.size(); ++i) {
+    const harness::TrialResult& x = cold.trials[i];
+    const harness::TrialResult& y = warm.trials[i];
+    EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+    EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+    EXPECT_EQ(x.injected, y.injected) << "trial " << i;
+    EXPECT_EQ(x.injection.site_id, y.injection.site_id) << "trial " << i;
+    EXPECT_EQ(x.injection.dyn_index, y.injection.dyn_index) << "trial " << i;
+    EXPECT_EQ(x.injection.cycle, y.injection.cycle) << "trial " << i;
+    EXPECT_EQ(x.injection.before, y.injection.before) << "trial " << i;
+    EXPECT_EQ(x.injection.after, y.injection.after) << "trial " << i;
+    EXPECT_EQ(x.total_cml_final, y.total_cml_final) << "trial " << i;
+    EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+    EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+    EXPECT_EQ(x.contaminated_ranks, y.contaminated_ranks) << "trial " << i;
+    EXPECT_EQ(x.reported_iters, y.reported_iters) << "trial " << i;
+    EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllApps, GoldenCampaign, ::testing::ValuesIn(kGolden),
                          [](const auto& pi) { return std::string(pi.param.app); });
 

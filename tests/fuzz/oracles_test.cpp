@@ -35,6 +35,15 @@ TEST(Oracles, CampaignTraceCapturePathAgreesToo) {
   EXPECT_TRUE(r.ok) << r.detail;
 }
 
+TEST(Oracles, WarmStartMatchesColdStart) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 5;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const OracleResult r = check_warm_vs_cold(generate_program(seed), cfg);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
 TEST(Oracles, CheckpointReplayIsExact) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     const OracleResult r = check_checkpoint_replay(generate_program(seed));

@@ -172,6 +172,65 @@ TEST(ParallelCampaign, TracingLeavesResultsBitIdentical) {
   EXPECT_EQ(reg.snapshot().counters.at("campaign.trials"), 24u);
 }
 
+TEST(ParallelCampaign, WarmStartIsBitIdenticalToColdAtAnyJobsCount) {
+  // The warm-start contract (DESIGN.md §11): trials resumed from golden
+  // snapshot rungs are trial-for-trial bit-identical to cold starts, with
+  // and without recovery, at any jobs value.
+  for (const bool recovery : {false, true}) {
+    SCOPED_TRACE(recovery ? "recovery" : "plain");
+    ExperimentConfig cfg;
+    cfg.nranks = 1;
+    cfg.overrides = {{"ITERS", "6"}};
+    if (recovery) {
+      cfg.recovery.enabled = true;
+      cfg.recovery.max_rollbacks = 2;
+      // Derive the scan grid from the golden run so mid-run checkpoints
+      // (and therefore recovery-aligned ladder rungs) actually exist.
+      cfg.recovery.detector_interval = 0;
+    }
+    AppHarness h(apps::get_app("matvec"), cfg);
+    if (recovery) {
+      EXPECT_FALSE(h.snapshot_ladder().empty());
+    }
+
+    CampaignConfig cold_cc = campaign_config(32, 1, /*capture=*/!recovery);
+    cold_cc.warm_start = false;
+    const CampaignResult cold = run_campaign(h, cold_cc);
+    EXPECT_EQ(cold.counts.total(), 32u);
+
+    for (std::size_t jobs : {1u, 8u}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      CampaignConfig warm_cc =
+          campaign_config(32, jobs, /*capture=*/!recovery);
+      warm_cc.warm_start = true;
+      const CampaignResult warm = run_campaign(h, warm_cc);
+      expect_identical(cold, warm);
+    }
+  }
+}
+
+TEST(ParallelCampaign, WarmStartActuallySkipsPrefixCycles) {
+  // Guard against the warm path silently degrading to cold: the ladder must
+  // exist, and at least one sampled trial must have a usable rung (i.e. the
+  // fault does not land before the first rung on every trial).
+  AppHarness h = make_harness("matvec", 1);
+  EXPECT_FALSE(h.snapshot_ladder().empty());
+  std::size_t usable = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    Xoshiro256 rng(derive_seed(1234, i));
+    const inject::InjectionPlan plan = inject::sample_faults(
+        h.golden().dyn_counts, h.golden().dyn_widths, 1, rng);
+    const std::uint64_t first_rung_count =
+        h.snapshot_ladder().front().dyn_counts[0];
+    for (const auto& [rank, faults] : plan.faults_by_rank) {
+      for (const auto& f : faults) {
+        usable += f.dyn_index >= first_rung_count;
+      }
+    }
+  }
+  EXPECT_GT(usable, 0u);
+}
+
 TEST(ParallelCampaign, MetricsFoldIdenticallyAtAnyJobsCount) {
   // Registry updates are commutative, so the folded snapshot is a pure
   // function of the trial set — jobs=1 and jobs=8 must agree exactly.

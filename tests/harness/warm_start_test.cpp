@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/inject/injector.h"
+#include "fprop/mpisim/world.h"
+
+// Snapshot-ladder property tests (DESIGN.md §11).
+//
+// The warm-start bit-identity contract rests on one mechanism property:
+// restoring any golden-ladder rung into a fresh World and running to
+// completion reproduces the uninterrupted golden run bit-for-bit. The
+// campaign-level warm-vs-cold tests (golden_test, parallel_campaign_test)
+// then only need the harness to pick a *usable* rung; equivalence of the
+// restored execution itself is pinned here, at every rung of every
+// registry app.
+
+namespace fprop::harness {
+namespace {
+
+constexpr const char* kApps[] = {"matvec", "lulesh", "amg",
+                                 "minife", "lammps", "mcb"};
+
+void expect_same_job(const mpisim::JobResult& a, const mpisim::JobResult& b) {
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.first_trap, b.first_trap);
+  EXPECT_EQ(a.first_trap_rank, b.first_trap_rank);
+  EXPECT_EQ(a.global_cycles, b.global_cycles);
+  EXPECT_EQ(a.max_rank_cycles, b.max_rank_cycles);
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    const mpisim::RankResult& x = a.ranks[r];
+    const mpisim::RankResult& y = b.ranks[r];
+    EXPECT_EQ(x.state, y.state) << "rank " << r;
+    EXPECT_EQ(x.trap, y.trap) << "rank " << r;
+    EXPECT_EQ(x.cycles, y.cycles) << "rank " << r;
+    EXPECT_EQ(x.outputs, y.outputs) << "rank " << r;
+    EXPECT_EQ(x.reported_iters, y.reported_iters) << "rank " << r;
+    EXPECT_EQ(x.allocated_words, y.allocated_words) << "rank " << r;
+    EXPECT_EQ(x.cml_final, y.cml_final) << "rank " << r;
+    EXPECT_EQ(x.cml_peak, y.cml_peak) << "rank " << r;
+    EXPECT_EQ(x.first_contaminated_at, y.first_contaminated_at)
+        << "rank " << r;
+  }
+}
+
+class WarmStartApps : public ::testing::TestWithParam<const char*> {};
+
+// Restoring at every rung of the ladder and running to completion must
+// reproduce the uninterrupted run — JobResult and global CML trace alike.
+TEST_P(WarmStartApps, EveryRungReplaysToTheSameJobResult) {
+  ExperimentConfig cfg;
+  const AppHarness h(apps::get_app(GetParam()), cfg);
+
+  const std::vector<SnapshotRung>& ladder = h.snapshot_ladder();
+  ASSERT_FALSE(ladder.empty());
+  EXPECT_LE(ladder.size(), cfg.snapshot_rungs);
+
+  const mpisim::WorldConfig wc = h.world_config(/*tracing=*/true);
+  mpisim::World ref_world(h.module(), wc);
+  inject::InjectorRuntime ref_probe;
+  ref_world.set_inject_hook(&ref_probe);
+  const mpisim::JobResult ref = ref_world.run();
+
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const SnapshotRung& rung = ladder[i];
+    if (i > 0) {
+      EXPECT_GT(rung.global_clock, ladder[i - 1].global_clock);
+      for (std::size_t r = 0; r < rung.dyn_counts.size(); ++r) {
+        EXPECT_GE(rung.dyn_counts[r], ladder[i - 1].dyn_counts[r]);
+      }
+    }
+    mpisim::World world(h.module(), wc);
+    inject::InjectorRuntime probe;
+    world.set_inject_hook(&probe);
+    world.restore(rung.state);
+    probe.fast_forward(rung.dyn_counts);
+    const mpisim::JobResult job = world.run();
+    SCOPED_TRACE("rung " + std::to_string(i) + " at clock " +
+                 std::to_string(rung.global_clock));
+    expect_same_job(ref, job);
+
+    ASSERT_EQ(ref_world.global_trace().size(), world.global_trace().size());
+    for (std::size_t s = 0; s < world.global_trace().size(); ++s) {
+      EXPECT_EQ(ref_world.global_trace()[s].cycle,
+                world.global_trace()[s].cycle);
+      EXPECT_EQ(ref_world.global_trace()[s].cml, world.global_trace()[s].cml);
+    }
+    // The resumed injector continues the golden count exactly.
+    EXPECT_EQ(probe.dynamic_counts(h.nranks()), h.golden().dyn_counts);
+  }
+}
+
+// With recovery enabled, rungs must sit on the detector scan grid (that is
+// what makes a warm RecoveryManager scan at the clocks a cold one would).
+TEST(WarmStartLadder, RecoveryRungsSitOnTheScanGrid) {
+  ExperimentConfig cfg;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_rollbacks = 2;
+  // 0 = derive the scan grid from the golden run (golden/16) — matvec's
+  // golden run is far shorter than the default absolute interval, which
+  // would leave the grid (and the ladder) empty.
+  cfg.recovery.detector_interval = 0;
+  const AppHarness h(apps::get_app("matvec"), cfg);
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(h.golden().global_cycles / 16, 1);
+  const std::vector<SnapshotRung>& ladder = h.snapshot_ladder();
+  ASSERT_FALSE(ladder.empty());
+  for (const SnapshotRung& rung : ladder) {
+    // Captured at the first sweep boundary at/after a grid point: the
+    // previous grid point must be inside the sweep that ended at the rung.
+    EXPECT_GE(rung.global_clock, interval);
+  }
+}
+
+// snapshot_rungs = 0 disables the ladder; warm-start requests degrade to
+// cold starts rather than failing.
+TEST(WarmStartLadder, ZeroRungsDisablesWarmStart) {
+  ExperimentConfig cfg;
+  cfg.snapshot_rungs = 0;
+  const AppHarness h(apps::get_app("matvec"), cfg);
+  EXPECT_TRUE(h.snapshot_ladder().empty());
+
+  CampaignConfig cc;
+  cc.trials = 8;
+  cc.seed = 7;
+  cc.jobs = 1;
+  cc.warm_start = true;
+  const CampaignResult warm = run_campaign(h, cc);
+  cc.warm_start = false;
+  const CampaignResult cold = run_campaign(h, cc);
+  ASSERT_EQ(warm.trials.size(), cold.trials.size());
+  for (std::size_t i = 0; i < warm.trials.size(); ++i) {
+    EXPECT_EQ(warm.trials[i].outcome, cold.trials[i].outcome) << i;
+    EXPECT_EQ(warm.trials[i].global_cycles, cold.trials[i].global_cycles) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WarmStartApps, ::testing::ValuesIn(kApps),
+                         [](const auto& pi) { return std::string(pi.param); });
+
+}  // namespace
+}  // namespace fprop::harness

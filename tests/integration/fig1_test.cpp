@@ -80,8 +80,11 @@ Fig1Run run_fig1(std::optional<std::uint64_t> fault_dyn_index) {
   r.cml_final = fpm.shadow().size();
   r.words = vm.memory().allocated_words();
   r.shadow = fpm.shadow();
-  const auto words = vm.memory().words();
-  r.memory.assign(words.begin(), words.end());
+  r.memory.resize(vm.memory().allocated_words());
+  for (std::uint64_t i = 0; i < r.memory.size(); ++i) {
+    EXPECT_TRUE(vm.memory().load(vm::AddressSpace::addr_of(i), r.memory[i]))
+        << "word " << i;
+  }
   return r;
 }
 

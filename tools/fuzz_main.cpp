@@ -38,6 +38,7 @@ struct Options {
   bool ckpt = true;
   bool shadow = true;
   bool parser = true;
+  bool warm_vs_cold = true;
   std::size_t trials = 6;
   std::size_t jobs = 2;
   std::uint32_t nranks = 4;
@@ -54,7 +55,8 @@ void usage(std::FILE* out) {
                "(default 100)\n"
                "  --time-budget=S  stop after S seconds (default 0 = off)\n"
                "  --oracles=LIST   comma list of "
-               "pristine,campaign,ckpt,shadow,parser (default all)\n"
+               "pristine,campaign,ckpt,shadow,parser,warm_vs_cold\n"
+               "                   (default all)\n"
                "  --trials=N       campaign-oracle trials per run (default 6)\n"
                "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
                "  --nranks=N       simulated MPI ranks (default 4)\n"
@@ -65,7 +67,8 @@ void usage(std::FILE* out) {
 }
 
 bool parse_oracles(const std::string& list, Options& opt) {
-  opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser = false;
+  opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser =
+      opt.warm_vs_cold = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -76,10 +79,12 @@ bool parse_oracles(const std::string& list, Options& opt) {
     else if (name == "ckpt") opt.ckpt = true;
     else if (name == "shadow") opt.shadow = true;
     else if (name == "parser") opt.parser = true;
+    else if (name == "warm_vs_cold") opt.warm_vs_cold = true;
     else if (!name.empty()) return false;
     start = comma + 1;
   }
-  return opt.pristine || opt.campaign || opt.ckpt || opt.shadow || opt.parser;
+  return opt.pristine || opt.campaign || opt.ckpt || opt.shadow ||
+         opt.parser || opt.warm_vs_cold;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -187,6 +192,9 @@ int main(int argc, char** argv) {
           return !fuzz::check_campaign_parallel(p, oc).ok;
         }
         if (r.oracle == "ckpt") return !fuzz::check_checkpoint_replay(p).ok;
+        if (r.oracle == "warm_vs_cold") {
+          return !fuzz::check_warm_vs_cold(p, oc).ok;
+        }
         return false;
       };
       fuzz::MinimizeStats st;
@@ -225,6 +233,9 @@ int main(int argc, char** argv) {
     }
     if (opt.ckpt) {
       report(fuzz::check_checkpoint_replay(prog), seed, prog.source, true);
+    }
+    if (opt.warm_vs_cold) {
+      report(fuzz::check_warm_vs_cold(prog, oc), seed, prog.source, true);
     }
     if (opt.shadow) {
       report(fuzz::check_shadow_model(seed), seed, std::string(), true);
