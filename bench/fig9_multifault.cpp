@@ -1,0 +1,114 @@
+// Fig. 9 (extension, DESIGN.md §12) — outcome matrix of multi-fault and
+// in-flight message-corruption campaigns. Two views:
+//
+//   (a) k-fault interference: outcome percentages at k ∈ {1, 2, 4} register
+//       faults per trial, plus the median min-pairwise fault distance of
+//       the trials where ≥2 faults fired (close pairs interfere; far pairs
+//       behave like independent single faults).
+//   (b) message-corruption breakdown: trials with in-flight header/payload
+//       strikes only — outcomes plus how often the hardened install path
+//       quarantined a corrupted piggyback header instead of letting it
+//       poison the receiver's shadow table.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/support/table.h"
+
+using namespace fprop;
+
+namespace {
+
+std::int64_t median_gap(const harness::CampaignResult& r) {
+  std::vector<std::int64_t> gaps;
+  for (const auto& t : r.trials) {
+    if (t.fault_pair_min_gap >= 0) gaps.push_back(t.fault_pair_min_gap);
+  }
+  if (gaps.empty()) return -1;
+  std::sort(gaps.begin(), gaps.end());
+  return gaps[gaps.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::size_t trials = args.get_u64("trials", 200);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::size_t jobs = args.get_u64("jobs", 0);  // 0 = all hw threads
+  const bool cold = args.has("cold-start");
+  const std::string only = args.get_str("app", "");
+
+  bench::print_header("Figure 9 (extension)",
+                      "multi-fault & message-corruption outcome matrix");
+  std::printf("trials per cell: %zu (--trials=N to change)\n\n", trials);
+
+  std::printf("(a) k-fault interference matrix\n");
+  TableWriter kmat({"App", "k", "CO%", "WO%", "PEX%", "Crash%", "ONA%",
+                    "median min-gap (cycles)"});
+  for (const auto& spec : apps::paper_apps()) {
+    if (!only.empty() && spec.name != only) continue;
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      harness::CampaignConfig cc;
+      cc.trials = trials;
+      cc.seed = seed;
+      cc.jobs = jobs;
+      cc.warm_start = !cold;
+      cc.faults_per_run = k;
+      const harness::CampaignResult r = run_campaign(h, cc);
+      const auto& c = r.counts;
+      const std::int64_t gap = median_gap(r);
+      kmat.add_row({spec.name, std::to_string(k),
+                    format_double(c.pct(c.correct_output()), 1),
+                    format_double(c.pct(c.wrong_output), 1),
+                    format_double(c.pct(c.pex), 1),
+                    format_double(c.pct(c.crashed), 1),
+                    format_double(c.pct(c.ona), 1),
+                    gap < 0 ? std::string("-") : std::to_string(gap)});
+    }
+  }
+  std::printf("%s", kmat.to_string().c_str());
+
+  std::printf("\n(b) in-flight message corruption (1 strike per trial, "
+              "no register faults)\n");
+  TableWriter mmat({"App", "CO%", "WO%", "PEX%", "Crash%", "strikes",
+                    "hdrs quarantined", "records dropped"});
+  for (const auto& spec : apps::paper_apps()) {
+    if (!only.empty() && spec.name != only) continue;
+    harness::ExperimentConfig cfg;
+    harness::AppHarness h(spec, cfg);
+    if (h.golden().total_sent_msgs == 0) continue;  // communication-free
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    cc.jobs = jobs;
+    cc.warm_start = !cold;
+    cc.faults_per_run = 0;
+    cc.msg_faults_per_run = 1;
+    const harness::CampaignResult r = run_campaign(h, cc);
+    const auto& c = r.counts;
+    mmat.add_row({spec.name,
+                  format_double(c.pct(c.correct_output()), 1),
+                  format_double(c.pct(c.wrong_output), 1),
+                  format_double(c.pct(c.pex), 1),
+                  format_double(c.pct(c.crashed), 1),
+                  std::to_string(r.total_msg_injected),
+                  std::to_string(r.total_headers_quarantined),
+                  std::to_string(r.total_header_records_quarantined)});
+  }
+  std::printf("%s", mmat.to_string().c_str());
+
+  std::printf("\nReading: close fault pairs (small min-gap) compound before\n"
+              "the first one is masked; header strikes either reduce to\n"
+              "payload-like contamination or are quarantined by the hardened\n"
+              "install path — never a crash of the FPM machinery itself.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Multi-fault / message-corruption campaign throughput (google-benchmark):
+// end-to-end trials/sec of run_campaign across the k-fault axis and the
+// in-flight corruption axis (DESIGN.md §12).
+//
+// The k=1, msg=0 rows measure the exact configuration of perf_campaign's
+// hot path: the scenario axes must be free when unused (no serialize cost
+// without a message hook, no extra sampling draws), so those rows gate
+// against BENCH_multifault.json in CI exactly like the campaign bench.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <thread>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+
+namespace {
+
+using namespace fprop;
+
+harness::AppHarness& matvec_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    cfg.nranks = 1;
+    cfg.overrides = {{"ITERS", "6"}};
+    return harness::AppHarness(apps::get_app("matvec"), cfg);
+  }();
+  return h;
+}
+
+harness::AppHarness& lulesh_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    cfg.nranks = 4;
+    return harness::AppHarness(apps::get_app("lulesh"), cfg);
+  }();
+  return h;
+}
+
+void run_multifault_bench(benchmark::State& state, harness::AppHarness& h,
+                          std::size_t trials) {
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.seed = 42;
+  cc.jobs = 1;
+  cc.faults_per_run = static_cast<std::size_t>(state.range(0));
+  cc.msg_faults_per_run = static_cast<std::size_t>(state.range(1));
+  cc.warm_start = true;
+  // Ladder capture is a one-time per-harness cost (measured separately in
+  // perf_snapshot_ladder); keep it out of the timed region.
+  (void)h.snapshot_ladder();
+  for (auto _ : state) {
+    const harness::CampaignResult r = harness::run_campaign(h, cc);
+    benchmark::DoNotOptimize(r.counts.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials));
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * trials),
+      benchmark::Counter::kIsRate);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+void BM_MultiFaultMatvec(benchmark::State& state) {
+  run_multifault_bench(state, matvec_harness(), 64);
+}
+
+void BM_MultiFaultLulesh(benchmark::State& state) {
+  run_multifault_bench(state, lulesh_harness(), 16);
+}
+
+}  // namespace
+
+// k = 1 (the historical single-fault campaign — the non-regression row),
+// 2 and 4; lulesh additionally with the in-flight corruption channel armed
+// (matvec at nranks=1 never sends, so msg rows would measure nothing).
+BENCHMARK(BM_MultiFaultMatvec)
+    ->ArgNames({"k", "msg"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})
+    ->UseRealTime();
+BENCHMARK(BM_MultiFaultLulesh)
+    ->ArgNames({"k", "msg"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})
+    ->Args({1, 1})->Args({4, 1})
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

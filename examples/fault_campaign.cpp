@@ -1,17 +1,23 @@
 // Statistical fault-injection campaign on one proxy application (paper §4):
-// runs N single-fault trials with uniformly sampled injection points and
-// prints both the black-box outcome breakdown (Fig. 6 row) and the
-// propagation-aware V/ONA split that only the FPM framework can measure.
+// runs N trials with uniformly sampled injection points and prints both the
+// black-box outcome breakdown (Fig. 6 row) and the propagation-aware V/ONA
+// split that only the FPM framework can measure.
 //
 //   $ ./fault_campaign [app] [trials] [--jobs=N] [--cold-start]
+//                      [--faults-per-trial=K] [--corrupt-headers[=M]]
 //                      [--trace-dir=D] [--metrics-out=F]
 //   $ ./fault_campaign lulesh 200 --jobs=8
+//   $ ./fault_campaign lulesh 200 --faults-per-trial=4 --corrupt-headers
 //   $ ./fault_campaign matvec 8 --trace-dir=out   # Chrome traces + CSV/JSON
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
 // --cold-start replays every trial from cycle 0 instead of resuming from
 // the golden snapshot ladder (the default; also bit-identical).
+// --faults-per-trial=K samples K register faults per trial (DESIGN.md §12
+// multi-fault scenarios; default 1, 0 = none).
+// --corrupt-headers[=M] adds M in-flight message faults per trial (bit
+// flips in the serialized FPM piggyback header or payload; default M=1).
 // --trace-dir=D writes per-trial Chrome trace-event JSON (load in
 // chrome://tracing) plus campaign.csv / campaign.json into D.
 // --metrics-out=F dumps the process-wide metrics registry as JSON to F.
@@ -27,23 +33,56 @@
 
 using namespace fprop;
 
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fault_campaign [app] [trials] [options]\n"
+               "  --jobs=N             worker threads (default: all)\n"
+               "  --cold-start         replay every trial from cycle 0\n"
+               "  --faults-per-trial=K register faults per trial (default 1)\n"
+               "  --corrupt-headers[=M] in-flight message faults per trial\n"
+               "                       (default M=1 when given, else 0)\n"
+               "  --trace-dir=D        Chrome traces + campaign.csv/json\n"
+               "  --metrics-out=F      metrics registry JSON\n"
+               "  --help               this text\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const char* app = "lulesh";
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
+  std::size_t faults_per_trial = 1;
+  std::size_t msg_faults = 0;
   bool cold = false;
   std::string trace_dir;
   std::string metrics_out;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--cold-start") == 0) {
       cold = true;
+    } else if (std::strncmp(argv[i], "--faults-per-trial=", 19) == 0) {
+      faults_per_trial = static_cast<std::size_t>(std::atoi(argv[i] + 19));
+    } else if (std::strcmp(argv[i], "--corrupt-headers") == 0) {
+      msg_faults = 1;
+    } else if (std::strncmp(argv[i], "--corrupt-headers=", 18) == 0) {
+      msg_faults = static_cast<std::size_t>(std::atoi(argv[i] + 18));
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "fault_campaign: unknown option '%s'\n", argv[i]);
+      usage(stderr);
+      return 2;
     } else if (positional == 0) {
       app = argv[i];
       ++positional;
@@ -55,12 +94,20 @@ int main(int argc, char** argv) {
 
   harness::ExperimentConfig config;
   harness::AppHarness h(apps::get_app(app), config);
-  std::printf("campaign: %s, %u ranks, %zu single-fault trials\n", app,
-              h.nranks(), trials);
+  std::printf("campaign: %s, %u ranks, %zu trials (%zu register fault%s",
+              app, h.nranks(), trials, faults_per_trial,
+              faults_per_trial == 1 ? "" : "s");
+  if (msg_faults > 0) {
+    std::printf(" + %zu message fault%s", msg_faults,
+                msg_faults == 1 ? "" : "s");
+  }
+  std::printf(" per trial)\n");
 
   harness::CampaignConfig cc;
   cc.trials = trials;
   cc.capture_traces = false;
+  cc.faults_per_run = faults_per_trial;
+  cc.msg_faults_per_run = msg_faults;
   cc.jobs = jobs;
   cc.warm_start = !cold;
   cc.trace_dir = trace_dir;
@@ -93,6 +140,15 @@ int main(int argc, char** argv) {
     std::printf("  => %.1f%% of the 'correct' runs carry corrupted state\n",
                 100.0 * static_cast<double>(c.ona) /
                     static_cast<double>(c.correct_output()));
+  }
+
+  if (msg_faults > 0) {
+    std::printf("\nmessage-corruption channel (DESIGN.md §12):\n");
+    std::printf("  in-flight faults fired: %zu\n", r.total_msg_injected);
+    std::printf("  headers quarantined:    %llu (%llu records)\n",
+                static_cast<unsigned long long>(r.total_headers_quarantined),
+                static_cast<unsigned long long>(
+                    r.total_header_records_quarantined));
   }
 
   double max_pct = 0.0;

@@ -1,17 +1,24 @@
 // Detector-driven checkpoint/restart campaign (paper §5's rollback use
-// case, closed-loop): the same single-fault trials as fault_campaign, but
+// case, closed-loop): the same sampled-fault trials as fault_campaign, but
 // with the recovery subsystem driving each job — a periodic shadow-table
 // detector, coordinated checkpoints at clean scans, and a rollback policy
 // deciding whether a detection is worth re-executing work for.
 //
 //   $ ./recovery_campaign [app] [trials] [--jobs=N] [--cold-start]
-//                         [--trace-dir=D] [--metrics-out=F]
+//                         [--faults-per-trial=K] [--corrupt-headers[=M]]
+//                         [--backoff=B] [--trace-dir=D] [--metrics-out=F]
 //   $ ./recovery_campaign matvec 200 --jobs=8
+//   $ ./recovery_campaign lulesh 100 --corrupt-headers --backoff=2
 //
 // --jobs=N runs trials on N worker threads (default: all hardware threads);
 // results are bit-identical at any jobs value.
 // --cold-start replays every trial from cycle 0 instead of resuming from
 // the golden snapshot ladder (the default; also bit-identical).
+// --faults-per-trial=K samples K register faults per trial (default 1).
+// --corrupt-headers[=M] adds M in-flight message faults per trial
+// (DESIGN.md §12; default M=1 when given, else 0).
+// --backoff=B widens the detector interval by B per rollback (retry with
+// backoff; default 1 = fixed grid).
 // --trace-dir=D writes per-trial Chrome traces + campaign.csv/json into one
 // subdirectory per policy row (D/baseline, D/always, ...).
 // --metrics-out=F dumps the metrics registry (all four campaigns) to F.
@@ -34,8 +41,29 @@ struct ObsOptions {
   std::string metrics_out; // empty = no metrics dump
 };
 
+struct FaultOptions {
+  std::size_t faults_per_trial = 1;
+  std::size_t msg_faults = 0;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: recovery_campaign [app] [trials] [options]\n"
+               "  --jobs=N             worker threads (default: all)\n"
+               "  --cold-start         replay every trial from cycle 0\n"
+               "  --faults-per-trial=K register faults per trial (default 1)\n"
+               "  --corrupt-headers[=M] in-flight message faults per trial\n"
+               "                       (default M=1 when given, else 0)\n"
+               "  --backoff=B          widen detector interval by B per\n"
+               "                       rollback (default 1 = fixed grid)\n"
+               "  --trace-dir=D        traces + CSV/JSON per policy row\n"
+               "  --metrics-out=F      metrics registry JSON\n"
+               "  --help               this text\n");
+}
+
 harness::CampaignResult campaign(const char* app, std::size_t trials,
                                  std::size_t jobs, bool cold,
+                                 const FaultOptions& faults,
                                  harness::ExperimentConfig config,
                                  const ObsOptions& obs_opts,
                                  const char* label) {
@@ -44,6 +72,8 @@ harness::CampaignResult campaign(const char* app, std::size_t trials,
   cc.trials = trials;
   cc.jobs = jobs;
   cc.warm_start = !cold;
+  cc.faults_per_run = faults.faults_per_trial;
+  cc.msg_faults_per_run = faults.msg_faults;
   if (!obs_opts.trace_dir.empty()) {
     cc.trace_dir = obs_opts.trace_dir + "/" + label;
   }
@@ -70,17 +100,36 @@ int main(int argc, char** argv) {
   std::size_t trials = 100;
   std::size_t jobs = 0;  // 0 = all hardware threads
   bool cold = false;
+  double backoff = 1.0;
+  FaultOptions faults;
   ObsOptions obs_opts;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--cold-start") == 0) {
       cold = true;
+    } else if (std::strncmp(argv[i], "--faults-per-trial=", 19) == 0) {
+      faults.faults_per_trial = static_cast<std::size_t>(std::atoi(argv[i] + 19));
+    } else if (std::strcmp(argv[i], "--corrupt-headers") == 0) {
+      faults.msg_faults = 1;
+    } else if (std::strncmp(argv[i], "--corrupt-headers=", 18) == 0) {
+      faults.msg_faults = static_cast<std::size_t>(std::atoi(argv[i] + 18));
+    } else if (std::strncmp(argv[i], "--backoff=", 10) == 0) {
+      backoff = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       obs_opts.trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       obs_opts.metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "recovery_campaign: unknown option '%s'\n",
+                   argv[i]);
+      usage(stderr);
+      return 2;
     } else if (positional == 0) {
       app = argv[i];
       ++positional;
@@ -91,26 +140,32 @@ int main(int argc, char** argv) {
   }
 
   harness::ExperimentConfig config;
-  std::printf("recovery campaign: %s, %zu single-fault trials per policy\n",
-              app, trials);
+  std::printf("recovery campaign: %s, %zu trial(s) per policy "
+              "(%zu register + %zu message fault(s) per trial)\n",
+              app, trials, faults.faults_per_trial, faults.msg_faults);
 
-  print_row("baseline", campaign(app, trials, jobs, cold, config, obs_opts, "baseline"));
+  print_row("baseline", campaign(app, trials, jobs, cold, faults, config,
+                                 obs_opts, "baseline"));
 
   config.recovery.enabled = true;
   config.recovery.detector_interval = 0;  // derive golden/16
+  config.recovery.rollback_backoff = backoff < 1.0 ? 1.0 : backoff;
 
   config.recovery.policy = model::RollbackPolicy::Always;
-  print_row("always", campaign(app, trials, jobs, cold, config, obs_opts, "always"));
+  print_row("always", campaign(app, trials, jobs, cold, faults, config,
+                               obs_opts, "always"));
 
   config.recovery.policy = model::RollbackPolicy::Never;
-  print_row("never", campaign(app, trials, jobs, cold, config, obs_opts, "never"));
+  print_row("never", campaign(app, trials, jobs, cold, faults, config,
+                              obs_opts, "never"));
 
   // FpsModel: tolerate contaminations whose Eq. 3 end-of-run prediction
   // stays below the safe threshold; roll back otherwise (and on crashes).
   config.recovery.policy = model::RollbackPolicy::FpsModel;
   config.recovery.fps = 1e-4;
   config.recovery.cml_threshold = 50.0;
-  print_row("fps-model", campaign(app, trials, jobs, cold, config, obs_opts, "fps-model"));
+  print_row("fps-model", campaign(app, trials, jobs, cold, faults, config,
+                                  obs_opts, "fps-model"));
 
   if (!obs_opts.metrics_out.empty()) {
     obs::write_file(obs_opts.metrics_out,

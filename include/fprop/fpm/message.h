@@ -8,6 +8,14 @@
 // the start of the buffer plus its pristine value; the receiver rebases the
 // displacements onto its own buffer address and installs the records into
 // its shadow table.
+//
+// The header also has a *wire* form (serialize_header / deserialize_header):
+// a count word followed by <displacement, pristine> pairs. The injection
+// runtime can flip bits of that serialized stream in flight (DESIGN.md §12),
+// so the receive side treats the wire form as untrusted: deserialization
+// clamps impossible counts, and install_header quarantines records whose
+// displacement falls outside the receive buffer instead of poisoning the
+// shadow table.
 
 #include <cstdint>
 #include <vector>
@@ -34,15 +42,42 @@ struct MessageHeader {
 MessageHeader build_header(const ShadowTable& sender, std::uint64_t buf_addr,
                            std::uint64_t count_words);
 
+/// Outcome of installing a (possibly corrupted) header.
+struct InstallResult {
+  std::uint64_t installed = 0;    ///< records accepted into the shadow table
+  std::uint64_t quarantined = 0;  ///< records rejected by bounds validation
+};
+
 /// Receiver side: the payload has been copied to `buf_addr` in the receiver's
 /// memory. Heals the whole destination range (the copy overwrote whatever
 /// contamination was there), then installs each record at
 /// buf_addr + displacement (Fig. 4, right).
-void install_header(ShadowTable& receiver, std::uint64_t buf_addr,
-                    std::uint64_t count_words, const MessageHeader& header);
+///
+/// Hardened against corrupted wire headers: a record whose displacement is
+/// not `< count_words` is *quarantined* — skipped, counted in the result —
+/// because installing it would write a shadow entry outside the receive
+/// buffer (and displacement*8 could overflow buf_addr into an arbitrary
+/// table address). Honest headers from build_header never quarantine: every
+/// displacement they carry is inside the scanned range by construction.
+InstallResult install_header(ShadowTable& receiver, std::uint64_t buf_addr,
+                             std::uint64_t count_words,
+                             const MessageHeader& header);
 
 /// Serialized wire size of the header in words (1 count word + 2 per record);
 /// used by benches that report instrumentation bandwidth overhead.
 std::uint64_t header_wire_words(const MessageHeader& header) noexcept;
+
+/// Wire form: words[0] = record count, then per record a
+/// <displacement_words, pristine_bits> pair. Exactly header_wire_words long.
+std::vector<std::uint64_t> serialize_header(const MessageHeader& header);
+
+/// Parses a wire stream that may have been corrupted in flight. The record
+/// count actually parsed is min(count word, pairs physically present), so a
+/// struck count word can never force an over-read or a huge allocation.
+/// Returns false (malformed) when the stream is empty or the count word
+/// disagrees with the physical length — the header is still usable, carrying
+/// whatever records could be recovered.
+bool deserialize_header(const std::vector<std::uint64_t>& words,
+                        MessageHeader& out);
 
 }  // namespace fprop::fpm

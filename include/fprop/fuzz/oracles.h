@@ -19,6 +19,14 @@
 //              injector fast-forward, DESIGN.md §11) == cold-started
 //              campaigns bit-for-bit, with and without recovery, and the
 //              warm_start knob never perturbs a metrics fold.
+//   multifault k-fault + in-flight message-corruption campaigns
+//              (DESIGN.md §12) == bit-identical serial vs jobs=N and warm
+//              vs cold, including the quarantine/interference aggregates.
+//   header     the FPM piggyback wire format under adversarial streams:
+//              deserialize_header never throws and never yields more
+//              records than are physically present; install_header confines
+//              every accepted record to the receive buffer and accounts
+//              installed + quarantined exactly; honest headers round-trip.
 //
 // Oracles never throw: any unexpected exception is itself a violation and is
 // reported through OracleResult.
@@ -44,6 +52,11 @@ struct OracleConfig {
   std::size_t campaign_jobs = 2;
   /// Campaign oracle: also exercise the trace-capture + slope-fit path.
   bool capture_traces = false;
+  /// Multifault oracle: register faults per trial and in-flight message
+  /// faults per trial (the latter degrades to 0 on communication-free
+  /// generated programs).
+  std::size_t multifault_k = 4;
+  std::size_t multifault_msg = 1;
 };
 
 /// Oracle "pristine": compiles `prog` twice — plain (no instrumentation,
@@ -85,5 +98,23 @@ OracleResult check_parser_robust(const std::string& source);
 /// decline warm starts; the knob must still change nothing).
 OracleResult check_warm_vs_cold(const GeneratedProgram& prog,
                                 const OracleConfig& config = {});
+
+/// Oracle "multifault": runs a k-fault campaign (config.multifault_k
+/// register faults plus config.multifault_msg in-flight message faults per
+/// trial, DESIGN.md §12) over `prog` and requires bit-identical results
+/// serial vs jobs=config.campaign_jobs AND cold vs warm-started —
+/// including msg_injected, quarantine counters and fault_pair_min_gap on
+/// every trial.
+OracleResult check_multifault(const GeneratedProgram& prog,
+                              const OracleConfig& config = {});
+
+/// Oracle "header": drives fpm::serialize_header / deserialize_header /
+/// install_header through `iters` seed-derived adversarial wire streams
+/// (honest, bit-struck, truncated, pure-garbage). Violations: any thrown
+/// exception, a parse yielding more records than physically present, an
+/// honest header failing to round-trip, install accounting that loses
+/// records, or an accepted record landing outside the receive buffer.
+OracleResult check_header_adversarial(std::uint64_t seed,
+                                      std::size_t iters = 512);
 
 }  // namespace fprop::fuzz

@@ -83,13 +83,28 @@ struct GoldenRun {
   /// campaigns on apps with i1 arith sites produce valid plans.
   inject::DynWidths dyn_widths;
   std::uint64_t total_dyn_points = 0;
+  /// Per-rank point-to-point sends of the fault-free run — the sampling
+  /// space for in-flight message faults (DESIGN.md §12). All-zero for
+  /// communication-free apps.
+  inject::MsgCounts msg_counts;
+  std::uint64_t total_sent_msgs = 0;
 };
 
 struct TrialResult {
   Outcome outcome = Outcome::Vanished;
   vm::Trap trap = vm::Trap::None;
-  bool injected = false;  ///< at least one planned flip actually fired
+  bool injected = false;  ///< at least one planned register flip fired
   inject::InjectionEvent injection;  ///< first injection event (if any)
+  /// In-flight message faults that actually fired (DESIGN.md §12).
+  std::size_t msg_injected = 0;
+  /// Messages whose piggyback header arrived anomalous, and records
+  /// quarantined by install_header bounds validation, job-final.
+  std::uint64_t headers_quarantined = 0;
+  std::uint64_t header_records_quarantined = 0;
+  /// Interference metric for k-fault plans: minimum |cycle distance| over
+  /// all pairs of fired faults (register flips and message strikes alike,
+  /// on rank-local clocks). -1 when fewer than two faults fired.
+  std::int64_t fault_pair_min_gap = -1;
   std::uint64_t total_cml_final = 0;
   std::uint64_t total_cml_peak = 0;
   double contaminated_pct = 0.0;  ///< peak CML / allocated words, in %
@@ -133,6 +148,8 @@ struct TrialMetricHandles {
   obs::Counter* trials = nullptr;
   obs::Counter* outcome[5] = {};  ///< indexed by static_cast<size_t>(Outcome)
   obs::Counter* flips = nullptr;
+  obs::Counter* msg_flips = nullptr;
+  obs::Counter* headers_quarantined = nullptr;
   obs::Counter* recovered = nullptr;
   obs::Counter* detections = nullptr;
   obs::Counter* obs_events = nullptr;
@@ -149,6 +166,9 @@ struct TrialMetricHandles {
   obs::Histogram* header_words = nullptr;
   obs::Histogram* ckpt_bytes = nullptr;
   obs::Histogram* detect_latency = nullptr;
+  /// Fault-pair min cycle distance per multi-fault trial (interference
+  /// signal: close pairs compose, distant pairs behave like two singles).
+  obs::Histogram* fault_gap = nullptr;
 };
 
 /// One rung of the golden snapshot ladder (DESIGN.md §11): a coordinated
@@ -274,9 +294,15 @@ struct CampaignConfig {
   /// Keep at most this many full traces (memory bound); slopes are still
   /// extracted from every trace.
   std::size_t max_kept_traces = 16;
-  /// Faults per run (1 = the paper's main campaign; >1 exercises the
-  /// LLFI++ multi-fault extension).
+  /// Register faults per run (1 = the paper's main campaign; >1 exercises
+  /// the LLFI++ multi-fault extension; 0 = none, for pure message-fault
+  /// campaigns).
   std::size_t faults_per_run = 1;
+  /// In-flight message faults per run (DESIGN.md §12): bit flips in the
+  /// serialized FPM piggyback header or the payload of sampled
+  /// point-to-point sends. 0 (the default) keeps the send path entirely
+  /// free of serialization cost. Ignored for communication-free apps.
+  std::size_t msg_faults_per_run = 0;
   /// Worker threads executing trials (0 = hardware_concurrency, 1 = run on
   /// the calling thread). Every trial is seed-derived and independent, so
   /// run_campaign pre-samples all injection plans, dispatches them to a
@@ -313,6 +339,11 @@ struct CampaignResult {
   std::size_t recovered_trials = 0;
   std::size_t total_rollbacks = 0;
   std::uint64_t total_wasted_cycles = 0;
+
+  // Message-corruption aggregates (zero unless msg_faults_per_run > 0).
+  std::size_t total_msg_injected = 0;
+  std::uint64_t total_headers_quarantined = 0;
+  std::uint64_t total_header_records_quarantined = 0;
 };
 
 /// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds

@@ -9,6 +9,12 @@
 // index uniformly from [0, count), which yields the uniform-in-time coverage
 // the paper verifies with a chi-squared test. LLFI++ extends LLFI with
 // multi-process plans: zero or more faults per MPI rank per run.
+//
+// Beyond register flips, a plan may also target *in-flight messages*
+// (DESIGN.md §12): the runtime doubles as a vm::MsgCorruptHook that flips
+// bits in the serialized FPM piggyback header or the payload of the
+// msg_index-th point-to-point message a rank sends — a transient error
+// striking the wire between fpm::build_header and fpm::install_header.
 
 #include <cstdint>
 #include <map>
@@ -27,21 +33,47 @@ struct FaultRecord {
   std::uint32_t bit = 0;
 };
 
+/// Which serialized span of an in-flight message a fault strikes.
+enum class MsgFaultTarget : std::uint8_t {
+  Header,   ///< FPM piggyback header words (count word / displacement /
+            ///< pristine value — fpm::serialize_header layout)
+  Payload,  ///< the message data words themselves
+};
+
+/// One planned in-flight message fault: on the `msg_index`-th point-to-point
+/// message the rank *sends* (counting from 0, sends and isends alike), flip
+/// `bit` of serialized word `word`. `word` is a raw 64-bit draw reduced
+/// modulo the live span's word count when the fault fires, so a plan is
+/// valid for any message size (and sampling needs no per-message lengths).
+struct MsgFaultRecord {
+  std::uint64_t msg_index = 0;
+  MsgFaultTarget target = MsgFaultTarget::Header;
+  std::uint64_t word = 0;
+  std::uint32_t bit = 0;
+};
+
 /// Faults to inject per rank in one run. Ranks not present receive no direct
 /// faults (they may still be contaminated through messages — the paper's
 /// "indirect faults").
 struct InjectionPlan {
   std::map<std::uint32_t, std::vector<FaultRecord>> faults_by_rank;
+  /// In-flight message faults per *sending* rank, sorted by msg_index.
+  std::map<std::uint32_t, std::vector<MsgFaultRecord>> msg_faults_by_rank;
 
-  /// Throws fprop::Error for `bit >= 64` — a flip outside any register.
-  /// Called by InjectorRuntime at construction; width-dependent validity
-  /// (e.g. bit 3 of an i1 site) is checked at injection time, where the
-  /// live value's width is known.
+  /// Throws fprop::Error for structurally invalid plans: a `bit >= 64` (a
+  /// flip outside any register/word), per-rank faults not sorted ascending
+  /// by dyn_index (msg_index for message faults), or duplicate
+  /// (rank, dyn_index, bit) / (rank, msg_index, target, word, bit) entries —
+  /// the same flip twice is a planning error that would double-count in
+  /// site_breakdown, not a stronger fault. Called by InjectorRuntime at
+  /// construction; width-dependent validity (e.g. bit 3 of an i1 site) is
+  /// checked at injection time, where the live value's width is known.
   void validate() const;
 
   static InjectionPlan single(std::uint32_t rank, std::uint64_t dyn_index,
                               std::uint32_t bit);
   std::size_t total_faults() const noexcept;
+  std::size_t total_msg_faults() const noexcept;
 };
 
 /// A fault that was actually injected during execution.
@@ -55,8 +87,22 @@ struct InjectionEvent {
   std::uint64_t after = 0;
 };
 
+/// An in-flight message fault that actually fired.
+struct MsgInjectionEvent {
+  std::uint32_t rank = 0;       ///< sender
+  std::uint64_t msg_index = 0;
+  MsgFaultTarget target = MsgFaultTarget::Header;
+  std::uint64_t word = 0;       ///< post-reduction serialized word index
+  std::uint32_t bit = 0;
+  std::uint64_t cycle = 0;      ///< sender's virtual time at the send
+};
+
 /// Per-rank dynamic injection-point counts measured by a profiling run.
 using DynCounts = std::vector<std::uint64_t>;  // index = rank
+
+/// Per-rank point-to-point sent-message counts measured by a profiling run
+/// (mpisim::World::sent_messages) — the message-fault analogue of DynCounts.
+using MsgCounts = std::vector<std::uint64_t>;  // index = sender rank
 
 /// Per-rank, per-dynamic-point live-value widths (bits) measured by a
 /// profiling run with width recording enabled: widths[rank][dyn_index].
@@ -65,7 +111,8 @@ using DynCounts = std::vector<std::uint64_t>;  // index = rank
 /// "all 64-bit" (the common case; see InjectorRuntime::record_widths).
 using DynWidths = std::vector<std::vector<std::uint8_t>>;
 
-class InjectorRuntime final : public vm::InjectHook {
+class InjectorRuntime final : public vm::InjectHook,
+                              public vm::MsgCorruptHook {
  public:
   /// Counting mode: no faults, just tallies dynamic points per rank.
   InjectorRuntime() = default;
@@ -74,8 +121,17 @@ class InjectorRuntime final : public vm::InjectHook {
   std::uint64_t on_fim_inj(vm::Interp& self, std::uint64_t value,
                            std::int64_t site_id, unsigned width) override;
 
+  /// vm::MsgCorruptHook: fired by the MPI simulator for every point-to-point
+  /// message at its send, after header serialization. Applies every planned
+  /// message fault for (sender, msg_index), reducing the raw word draw into
+  /// the live span's length.
+  void on_message(std::uint32_t sender, std::uint64_t msg_index,
+                  std::uint64_t cycle,
+                  std::vector<std::uint64_t>& header_words,
+                  std::vector<std::uint64_t>& payload) override;
+
   /// Attaches the per-trial event recorder (null detaches): every flip that
-  /// actually fires emits an Injection event.
+  /// actually fires emits an Injection (or MsgCorrupt) event.
   void set_recorder(obs::TrialRecorder* recorder) noexcept {
     recorder_ = recorder;
   }
@@ -94,6 +150,13 @@ class InjectorRuntime final : public vm::InjectHook {
   /// precisely so this never drops one.
   void fast_forward(const DynCounts& counts);
 
+  /// Message-fault half of warm start: skips pending message faults whose
+  /// msg_index lies inside the restored prefix of `counts[rank]` already-sent
+  /// messages. (The World's own sent-message counters are part of its
+  /// checkpoint, so restore repositions them automatically; this mirrors
+  /// that position into the pending-fault cursors.)
+  void fast_forward_msgs(const MsgCounts& counts);
+
   /// Dynamic fim_inj executions observed on `rank` so far.
   std::uint64_t dynamic_points(std::uint32_t rank) const;
   DynCounts dynamic_counts(std::uint32_t nranks) const;
@@ -103,18 +166,24 @@ class InjectorRuntime final : public vm::InjectHook {
   const std::vector<InjectionEvent>& events() const noexcept {
     return events_;
   }
+  const std::vector<MsgInjectionEvent>& msg_events() const noexcept {
+    return msg_events_;
+  }
 
  private:
   struct PerRank {
     std::uint64_t counter = 0;
     std::vector<FaultRecord> pending;  ///< sorted by dyn_index
     std::size_t next = 0;
+    std::vector<MsgFaultRecord> msg_pending;  ///< sorted by msg_index
+    std::size_t msg_next = 0;
     std::vector<std::uint8_t> widths;  ///< per dyn_index, when recording
   };
   PerRank& rank_state(std::uint32_t rank);
 
   std::map<std::uint32_t, PerRank> ranks_;
   std::vector<InjectionEvent> events_;
+  std::vector<MsgInjectionEvent> msg_events_;
   obs::TrialRecorder* recorder_ = nullptr;
   bool record_widths_ = false;
 };
@@ -156,7 +225,12 @@ class CycleProbe final : public vm::InjectHook {
 InjectionPlan sample_single_fault(const DynCounts& counts, Xoshiro256& rng);
 
 /// LLFI++ multi-fault extension: `nfaults` independent single-fault draws
-/// merged into one plan (several may land on the same rank).
+/// merged into one plan (several may land on the same rank). Draws that
+/// collide with an already-drawn (rank, dyn_index, bit) are redrawn —
+/// validate() rejects duplicate flips — so a k=1 draw consumes exactly the
+/// historical rng stream and existing campaigns stay bit-identical. When
+/// the fault space is nearly saturated a plan may carry fewer than
+/// `nfaults` faults (bounded redraws); per-rank records come out sorted.
 InjectionPlan sample_faults(const DynCounts& counts, std::size_t nfaults,
                             Xoshiro256& rng);
 
@@ -169,5 +243,16 @@ InjectionPlan sample_single_fault(const DynCounts& counts,
                                   const DynWidths& widths, Xoshiro256& rng);
 InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
                             std::size_t nfaults, Xoshiro256& rng);
+
+/// Message-fault sampling (DESIGN.md §12): appends `nfaults` in-flight
+/// message faults to `plan` — sender rank uniform among ranks that send at
+/// least one point-to-point message, msg_index uniform in [0, counts[rank]),
+/// target Header/Payload with equal probability, a raw word draw (reduced
+/// at fire time) and a bit in [0, 64). Duplicate draws are redrawn (bounded)
+/// and per-rank records sorted, mirroring sample_faults. Returns the number
+/// of faults actually added — 0 when no rank sends any message, so campaigns
+/// on communication-free apps degrade to pure register-fault plans.
+std::size_t sample_msg_faults(const MsgCounts& counts, std::size_t nfaults,
+                              Xoshiro256& rng, InjectionPlan& plan);
 
 }  // namespace fprop::inject

@@ -86,6 +86,10 @@ class World final : public vm::MpiHook {
     std::int64_t tag = 0;
     std::vector<std::uint64_t> payload;
     fpm::MessageHeader header;
+    /// The serialized header was corrupted in flight into a stream whose
+    /// count word disagrees with its physical layout (fpm::deserialize_header
+    /// returned false). The recoverable records are still in `header`.
+    bool header_malformed = false;
   };
 
   /// Outstanding non-blocking operation (handle = index + 1 on its rank).
@@ -128,6 +132,12 @@ class World final : public vm::MpiHook {
 
   /// Attaches the LLFI++ runtime to every rank (may be null to detach).
   void set_inject_hook(vm::InjectHook* hook);
+
+  /// Attaches the in-flight message corruption hook (DESIGN.md §12): called
+  /// for every point-to-point send with the serialized FPM header and the
+  /// payload, between build_header and delivery. Null (the default) keeps
+  /// the send path free of any serialize/deserialize cost.
+  void set_msg_hook(vm::MsgCorruptHook* hook) noexcept { msg_hook_ = hook; }
 
   /// Runs the job to completion (all done, or teardown on trap/deadlock).
   JobResult run();
@@ -180,6 +190,9 @@ class World final : public vm::MpiHook {
     std::vector<std::optional<std::uint64_t>> first_contaminated;
     std::vector<fpm::TraceSample> global_trace;
     std::uint64_t next_global_sample = 0;
+    std::vector<std::uint64_t> sent_msgs;
+    std::uint64_t headers_quarantined = 0;
+    std::uint64_t header_records_quarantined = 0;
 
     /// Rough serialized footprint (bytes) for the observability layer's
     /// Checkpoint events and checkpoint.bytes histogram. Dominated by the
@@ -196,6 +209,20 @@ class World final : public vm::MpiHook {
   vm::Interp& rank(std::uint32_t r);
   fpm::FpmRuntime* fpm(std::uint32_t r);
   std::uint64_t global_cycles() const noexcept { return global_clock_; }
+  /// Per-rank successful point-to-point sends (send + isend) so far — the
+  /// message-fault analogue of the injector's dynamic counts. Part of the
+  /// checkpoint, so a restore repositions the counters with the state.
+  const std::vector<std::uint64_t>& sent_messages() const noexcept {
+    return sent_msgs_;
+  }
+  /// Messages whose piggyback header arrived anomalous (malformed stream or
+  /// ≥1 record quarantined), and total records quarantined, job-wide.
+  std::uint64_t headers_quarantined() const noexcept {
+    return headers_quarantined_;
+  }
+  std::uint64_t header_records_quarantined() const noexcept {
+    return header_records_quarantined_;
+  }
   /// Job-wide CML(t): (global cycle, sum of all ranks' shadow-table sizes).
   const std::vector<fpm::TraceSample>& global_trace() const noexcept {
     return global_trace_;
@@ -234,6 +261,13 @@ class World final : public vm::MpiHook {
   bool exec_allreduce(Collective& coll, bool is_max);
   bool exec_bcast(Collective& coll);
 
+  /// Installs a received message's (untrusted) header into rank `r`'s shadow
+  /// table, accounting quarantined records and emitting HeaderQuarantined.
+  void install_message_header(std::uint32_t r, std::uint64_t buf,
+                              std::uint64_t count_words,
+                              const fpm::MessageHeader& header,
+                              bool malformed);
+
   bool read_payload(vm::Interp& src_rank, std::uint64_t buf,
                     std::int64_t count, std::vector<std::uint64_t>& out);
   bool write_payload(vm::Interp& dst_rank, std::uint64_t buf,
@@ -257,6 +291,10 @@ class World final : public vm::MpiHook {
   std::vector<std::optional<std::uint64_t>> first_contaminated_;
   std::vector<fpm::TraceSample> global_trace_;
   std::uint64_t next_global_sample_ = 0;
+  vm::MsgCorruptHook* msg_hook_ = nullptr;
+  std::vector<std::uint64_t> sent_msgs_;  ///< per-rank p2p send counters
+  std::uint64_t headers_quarantined_ = 0;
+  std::uint64_t header_records_quarantined_ = 0;
 };
 
 }  // namespace fprop::mpisim

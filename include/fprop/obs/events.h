@@ -46,6 +46,10 @@ enum class EventKind : std::uint8_t {
   Rollback,         ///< a=restored-to global clock, b=wasted cycles
   RankContaminated, ///< a=rank whose state first became contaminated
   TrialOutcome,     ///< a=harness::Outcome, b=vm::Trap, c=final CML
+  MsgCorrupt,       ///< in-flight flip: a=msg_index, b=serialized word,
+                    ///< c=(target<<8)|bit (target: 0=header, 1=payload)
+  HeaderQuarantined,///< a=records quarantined, b=malformed-stream flag,
+                    ///< c=records installed despite it
 };
 
 const char* event_kind_name(EventKind k) noexcept;

@@ -58,6 +58,13 @@ struct RecoveryConfig {
   /// Rollback retry budget: once spent, further detections tear the job
   /// down (Crashed) instead of looping forever.
   std::size_t max_rollbacks = 8;
+  /// Retry-with-backoff (DESIGN.md §12): each rollback multiplies the
+  /// effective detector interval by this factor (≥ 1), so a job that keeps
+  /// re-detecting — e.g. a corrupted piggyback channel quarantining on every
+  /// receive — progressively widens its scan grid (cheaper, later scans)
+  /// before the max_rollbacks budget finally tears it down cleanly. 1.0
+  /// (the default) disables widening and reproduces the fixed grid exactly.
+  double rollback_backoff = 1.0;
   /// Bounded snapshot retention: older clean checkpoints are dropped.
   std::size_t max_retained = 2;
   /// Per-trial event recorder (DESIGN.md §8): detector scans, checkpoints
@@ -82,6 +89,9 @@ struct RecoveryReport {
   /// -1 = nothing was ever detected. Detection latency relative to the
   /// first contamination is the headline §5 detector metric.
   std::int64_t first_detection_clock = -1;
+  /// Detector interval in effect at job end (== the configured interval
+  /// unless rollback_backoff widened it).
+  std::uint64_t final_detector_interval = 0;
 };
 
 /// Drives a World to completion with the periodic detector, coordinated
@@ -113,6 +123,9 @@ class RecoveryManager {
   std::deque<mpisim::World::Checkpoint> retained_;
   std::uint64_t last_ckpt_clock_ = 0;
   std::uint64_t next_scan_ = 0;
+  /// Effective detector interval; starts at config.detector_interval and is
+  /// widened by rollback_backoff on every rollback.
+  std::uint64_t interval_ = 0;
   /// A continue decision latches the detector off, mirroring the analytical
   /// simulator (one detection, one decision, residual charged at the end).
   bool detector_latched_ = false;

@@ -5,6 +5,7 @@
 // these, keeping the VM independent of both.
 
 #include <cstdint>
+#include <vector>
 
 namespace fprop::vm {
 
@@ -21,6 +22,25 @@ class InjectHook {
   virtual std::uint64_t on_fim_inj(Interp& self, std::uint64_t value,
                                    std::int64_t site_id,
                                    unsigned width) = 0;
+};
+
+/// Implemented by the injection runtime, invoked by the MPI simulator (both
+/// already depend on vm, which keeps the layering acyclic): called once per
+/// point-to-point message captured at its send, after the FPM piggyback
+/// header has been serialized into `header_words` (count word followed by
+/// <displacement, pristine> pairs — fpm::serialize_header layout). The hook
+/// may flip bits of `header_words` and `payload` in place, modelling a
+/// transient error striking the wire representation between build_header
+/// and install_header. `msg_index` counts the sender's point-to-point sends
+/// from 0 (part of the World's checkpoint, so restores reposition it);
+/// `cycle` is the sender's virtual time at the send.
+class MsgCorruptHook {
+ public:
+  virtual ~MsgCorruptHook() = default;
+  virtual void on_message(std::uint32_t sender, std::uint64_t msg_index,
+                          std::uint64_t cycle,
+                          std::vector<std::uint64_t>& header_words,
+                          std::vector<std::uint64_t>& payload) = 0;
 };
 
 /// Outcome of an MPI runtime call.

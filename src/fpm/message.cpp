@@ -1,5 +1,7 @@
 #include "fprop/fpm/message.h"
 
+#include <algorithm>
+
 namespace fprop::fpm {
 
 MessageHeader build_header(const ShadowTable& sender, std::uint64_t buf_addr,
@@ -14,19 +16,64 @@ MessageHeader build_header(const ShadowTable& sender, std::uint64_t buf_addr,
   return h;
 }
 
-void install_header(ShadowTable& receiver, std::uint64_t buf_addr,
-                    std::uint64_t count_words, const MessageHeader& header) {
+InstallResult install_header(ShadowTable& receiver, std::uint64_t buf_addr,
+                             std::uint64_t count_words,
+                             const MessageHeader& header) {
   // The incoming copy replaced the whole destination range, so any prior
   // contamination there is gone; contamination now comes only from the
   // sender's records.
   receiver.heal_range(buf_addr, buf_addr + count_words * 8);
+  InstallResult res;
   for (const auto& rec : header.records) {
+    // Untrusted displacement: installing past the receive buffer would
+    // poison an unrelated shadow entry (and displacement*8 can overflow
+    // buf_addr). Quarantine instead — the blast radius of a corrupted
+    // header stays confined to the buffer the receiver asked for.
+    if (rec.displacement_words >= count_words) {
+      ++res.quarantined;
+      continue;
+    }
     receiver.record(buf_addr + rec.displacement_words * 8, rec.pristine_bits);
+    ++res.installed;
   }
+  return res;
 }
 
 std::uint64_t header_wire_words(const MessageHeader& header) noexcept {
   return 1 + 2 * static_cast<std::uint64_t>(header.records.size());
+}
+
+std::vector<std::uint64_t> serialize_header(const MessageHeader& header) {
+  std::vector<std::uint64_t> words;
+  words.reserve(header_wire_words(header));
+  words.push_back(header.records.size());
+  for (const auto& rec : header.records) {
+    words.push_back(rec.displacement_words);
+    words.push_back(rec.pristine_bits);
+  }
+  return words;
+}
+
+bool deserialize_header(const std::vector<std::uint64_t>& words,
+                        MessageHeader& out) {
+  out.records.clear();
+  if (words.empty()) return false;  // a header always carries its count word
+  const std::uint64_t claimed = words[0];
+  const std::uint64_t physical =
+      (static_cast<std::uint64_t>(words.size()) - 1) / 2;
+  // A corrupted count word may claim billions of records; only the pairs
+  // physically on the wire can be parsed, so clamp — never allocate or read
+  // on the claim alone.
+  const std::uint64_t n = std::min(claimed, physical);
+  out.records.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.records.push_back({words[1 + 2 * i], words[2 + 2 * i]});
+  }
+  // Well-formed means the count word matches the physical layout exactly
+  // (count*2 + 1 words). Trailing garbage or an inflated/truncated count
+  // marks the stream malformed so the receiver can flag the channel.
+  return claimed == physical &&
+         words.size() == 1 + 2 * static_cast<std::size_t>(claimed);
 }
 
 }  // namespace fprop::fpm

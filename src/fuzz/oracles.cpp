@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fprop/fpm/message.h"
 #include "fprop/harness/harness.h"
 #include "fprop/inject/injector.h"
 #include "fprop/minic/compile.h"
@@ -118,6 +119,14 @@ std::string diff_trials(const harness::TrialResult& a,
       a.injection.after != b.injection.after) {
     d << p << "injection event differs; ";
   }
+  if (a.msg_injected != b.msg_injected) d << p << "msg_injected differs; ";
+  if (a.headers_quarantined != b.headers_quarantined ||
+      a.header_records_quarantined != b.header_records_quarantined) {
+    d << p << "quarantine counters differ; ";
+  }
+  if (a.fault_pair_min_gap != b.fault_pair_min_gap) {
+    d << p << "fault_pair_min_gap differs; ";
+  }
   if (a.total_cml_final != b.total_cml_final) d << p << "cml_final differs; ";
   if (a.total_cml_peak != b.total_cml_peak) d << p << "cml_peak differs; ";
   if (dbits(a.contaminated_pct) != dbits(b.contaminated_pct)) {
@@ -197,6 +206,12 @@ std::string diff_campaigns(const harness::CampaignResult& a,
       a.total_rollbacks != b.total_rollbacks ||
       a.total_wasted_cycles != b.total_wasted_cycles) {
     d << "recovery aggregates differ; ";
+  }
+  if (a.total_msg_injected != b.total_msg_injected ||
+      a.total_headers_quarantined != b.total_headers_quarantined ||
+      a.total_header_records_quarantined !=
+          b.total_header_records_quarantined) {
+    d << "message-corruption aggregates differ; ";
   }
   return d.str();
 }
@@ -616,6 +631,134 @@ OracleResult check_warm_vs_cold(const GeneratedProgram& prog,
     }
   } catch (const std::exception& e) {
     return fail("warm_vs_cold", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_multifault(const GeneratedProgram& prog,
+                              const OracleConfig& config) {
+  OracleResult res;
+  res.oracle = "multifault";
+  try {
+    apps::AppSpec spec;
+    spec.name = "fuzz_" + std::to_string(prog.seed);
+    spec.description = "generated fuzz program";
+    spec.source = prog.source;
+    spec.default_nranks = prog.nranks;
+
+    harness::ExperimentConfig ec;
+    ec.nranks = prog.nranks;
+    ec.snapshot_rungs = 6;
+    const harness::AppHarness h(spec, ec);
+
+    harness::CampaignConfig cc;
+    cc.trials = config.campaign_trials;
+    cc.seed = derive_seed(prog.seed, 0x4FA7ull);
+    cc.faults_per_run = config.multifault_k;
+    cc.msg_faults_per_run =
+        h.golden().total_sent_msgs > 0 ? config.multifault_msg : 0;
+
+    cc.jobs = 1;
+    cc.warm_start = false;
+    const harness::CampaignResult serial = harness::run_campaign(h, cc);
+    cc.jobs = config.campaign_jobs;
+    const harness::CampaignResult par = harness::run_campaign(h, cc);
+    std::string d = diff_campaigns(serial, par);
+    if (!d.empty()) {
+      return fail("multifault", "jobs=1 vs jobs=" +
+                                    std::to_string(config.campaign_jobs) +
+                                    ": " + d);
+    }
+
+    cc.jobs = 1;
+    cc.warm_start = true;
+    const harness::CampaignResult warm = harness::run_campaign(h, cc);
+    d = diff_campaigns(serial, warm);
+    if (!d.empty()) {
+      return fail("multifault", "cold vs warm: " + d);
+    }
+  } catch (const std::exception& e) {
+    return fail("multifault", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+OracleResult check_header_adversarial(std::uint64_t seed, std::size_t iters) {
+  OracleResult res;
+  res.oracle = "header";
+  try {
+    Xoshiro256 rng(derive_seed(seed, 0x6EADull));
+    for (std::size_t i = 0; i < iters; ++i) {
+      const std::uint64_t count_words = rng.next_below(16) + 1;
+      const std::uint64_t buf = (rng.next_below(1024) + 1) * 8;
+
+      // Start from an honest header over [buf, buf + 8*count_words).
+      fpm::MessageHeader honest;
+      const std::uint64_t n = rng.next_below(6);
+      for (std::uint64_t r = 0; r < n; ++r) {
+        honest.records.push_back({rng.next_below(count_words), rng.next()});
+      }
+      std::vector<std::uint64_t> wire = fpm::serialize_header(honest);
+
+      const std::uint64_t mode = rng.next_below(4);
+      if (mode == 1 && !wire.empty()) {
+        // Single-bit strike anywhere in the stream (what the in-flight
+        // injector actually produces).
+        wire[rng.next_below(wire.size())] ^= 1ull << rng.next_below(64);
+      } else if (mode == 2) {
+        // Truncate or extend.
+        wire.resize(rng.next_below(wire.size() + 3));
+      } else if (mode == 3) {
+        // Pure garbage stream.
+        wire.assign(rng.next_below(12), 0);
+        for (auto& w : wire) w = rng.next();
+      }
+
+      fpm::MessageHeader parsed;
+      const bool well_formed = fpm::deserialize_header(wire, parsed);
+      const std::size_t physical =
+          wire.empty() ? 0 : (wire.size() - 1) / 2;
+      if (parsed.records.size() > physical) {
+        return fail("header", "parse yielded " +
+                                  std::to_string(parsed.records.size()) +
+                                  " records from " +
+                                  std::to_string(physical) +
+                                  " physical pairs (iter " +
+                                  std::to_string(i) + ")");
+      }
+      if (mode == 0) {
+        // Untouched honest stream: must round-trip exactly.
+        if (!well_formed || parsed.records.size() != honest.records.size()) {
+          return fail("header", "honest header failed to round-trip (iter " +
+                                    std::to_string(i) + ")");
+        }
+      }
+
+      // Install into a table holding one far-away sentinel entry.
+      fpm::ShadowTable table;
+      const std::uint64_t sentinel_addr = buf + 8 * count_words + 0x10000;
+      table.record(sentinel_addr, 0xFEED);
+      const fpm::InstallResult ir =
+          fpm::install_header(table, buf, count_words, parsed);
+      if (ir.installed + ir.quarantined != parsed.records.size()) {
+        return fail("header", "install accounting lost records (iter " +
+                                  std::to_string(i) + ")");
+      }
+      for (const auto& [addr, pristine] : table.entries()) {
+        if (addr == sentinel_addr) continue;
+        if (addr < buf || addr >= buf + 8 * count_words) {
+          return fail("header",
+                      "installed record escaped the receive buffer (iter " +
+                          std::to_string(i) + ")");
+        }
+      }
+      if (table.pristine_or(sentinel_addr, 0) != 0xFEED) {
+        return fail("header", "sentinel entry clobbered (iter " +
+                                  std::to_string(i) + ")");
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("header", std::string("exception: ") + e.what());
   }
   return res;
 }

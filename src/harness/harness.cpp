@@ -29,6 +29,8 @@ TrialMetricHandles::TrialMetricHandles(obs::MetricsRegistry& reg)
     : registry(&reg),
       trials(&reg.counter("campaign.trials")),
       flips(&reg.counter("inject.flips")),
+      msg_flips(&reg.counter("inject.msg_flips")),
+      headers_quarantined(&reg.counter("fpm.headers_quarantined")),
       recovered(&reg.counter("recovery.recovered")),
       detections(&reg.counter("recovery.detections")),
       obs_events(&reg.counter("obs.events")),
@@ -48,7 +50,10 @@ TrialMetricHandles::TrialMetricHandles(obs::MetricsRegistry& reg)
           {1u << 10, 1u << 14, 1u << 18, 1u << 22, 1u << 26})),
       detect_latency(&reg.histogram(
           "detector.latency_steps",
-          {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24})) {
+          {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24})),
+      fault_gap(&reg.histogram(
+          "inject.fault_pair_min_gap",
+          {1u << 6, 1u << 10, 1u << 14, 1u << 18, 1u << 22})) {
   for (std::size_t i = 0; i < 5; ++i) {
     outcome[i] = &reg.counter(std::string("campaign.outcome.") +
                               outcome_name(static_cast<Outcome>(i)));
@@ -80,6 +85,8 @@ AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
   golden_.total_allocated_words = job.total_allocated_words();
   golden_.dyn_counts = probe.dynamic_counts(nranks_);
   for (auto c : golden_.dyn_counts) golden_.total_dyn_points += c;
+  golden_.msg_counts = world.sent_messages();
+  for (auto c : golden_.msg_counts) golden_.total_sent_msgs += c;
   // Keep the width table only when a sub-64-bit point exists; an empty table
   // routes plan sampling through the historical (all-64-bit) draws, keeping
   // registry-app campaigns bit-identical to earlier releases.
@@ -160,6 +167,11 @@ void fold_trial_metrics(const TrialMetricHandles& m, const TrialResult& t,
   m.trials->add(1);
   m.outcome[static_cast<std::size_t>(t.outcome)]->add(1);
   if (t.injected) m.flips->add(1);
+  m.msg_flips->add(t.msg_injected);
+  m.headers_quarantined->add(t.headers_quarantined);
+  if (t.fault_pair_min_gap >= 0) {
+    m.fault_gap->observe(static_cast<std::uint64_t>(t.fault_pair_min_gap));
+  }
   if (t.recovered) m.recovered->add(1);
   m.detections->add(t.detections);
 
@@ -297,6 +309,17 @@ const SnapshotRung* AppHarness::latest_usable_rung(
         if (f.dyn_index < done) return best;
       }
     }
+    // Message faults gate rungs the same way: the rung's checkpointed
+    // per-rank send counters say how many messages its prefix already
+    // delivered, and a fault inside that prefix could no longer fire.
+    for (const auto& [rank, faults] : plan.msg_faults_by_rank) {
+      const std::uint64_t done = rank < rung.state.sent_msgs.size()
+                                     ? rung.state.sent_msgs[rank]
+                                     : 0;
+      for (const inject::MsgFaultRecord& f : faults) {
+        if (f.msg_index < done) return best;
+      }
+    }
     best = &rung;
   }
   return best;
@@ -327,6 +350,11 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   wc.recorder = opts.recorder;
   mpisim::World world(module_, wc);
   world.set_inject_hook(&injector);
+  if (plan.total_msg_faults() > 0) {
+    // Only message-fault plans pay the header serialize/corrupt/deserialize
+    // round-trip; every other trial's send path is untouched.
+    world.set_msg_hook(&injector);
+  }
 
   // Warm start (DESIGN.md §11): the pre-injection prefix is bit-identical
   // to the golden run, so restoring its latest snapshot at or below the
@@ -337,6 +365,7 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     if (const SnapshotRung* rung = latest_usable_rung(plan)) {
       world.restore(rung->state);
       injector.fast_forward(rung->dyn_counts);
+      injector.fast_forward_msgs(rung->state.sent_msgs);
     }
   }
 
@@ -371,6 +400,27 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   t.trap = job.crashed ? job.first_trap : vm::Trap::None;
   t.injected = !injector.events().empty();
   if (t.injected) t.injection = injector.events().front();
+  t.msg_injected = injector.msg_events().size();
+  t.headers_quarantined = world.headers_quarantined();
+  t.header_records_quarantined = world.header_records_quarantined();
+  {
+    // Interference metric: min pairwise |cycle| distance over every fired
+    // fault. Cycles are rank-local clocks; for same-rank pairs this is the
+    // exact dynamic distance, for cross-rank pairs a comparable proxy
+    // (ranks advance in lockstep slices).
+    std::vector<std::uint64_t> cycles;
+    cycles.reserve(injector.events().size() + injector.msg_events().size());
+    for (const auto& e : injector.events()) cycles.push_back(e.cycle);
+    for (const auto& e : injector.msg_events()) cycles.push_back(e.cycle);
+    if (cycles.size() >= 2) {
+      std::sort(cycles.begin(), cycles.end());
+      std::uint64_t min_gap = UINT64_MAX;
+      for (std::size_t i = 1; i < cycles.size(); ++i) {
+        min_gap = std::min(min_gap, cycles[i] - cycles[i - 1]);
+      }
+      t.fault_pair_min_gap = static_cast<std::int64_t>(min_gap);
+    }
+  }
   t.total_cml_final = job.total_cml_final();
   t.total_cml_peak = job.total_cml_peak();
   const std::uint64_t words = job.total_allocated_words();
@@ -521,9 +571,18 @@ CampaignResult run_campaign(const AppHarness& harness,
   plans.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
     Xoshiro256 rng(derive_seed(config.seed, i));
-    plans.push_back(inject::sample_faults(harness.golden().dyn_counts,
-                                          harness.golden().dyn_widths,
-                                          config.faults_per_run, rng));
+    plans.push_back(
+        config.faults_per_run > 0
+            ? inject::sample_faults(harness.golden().dyn_counts,
+                                    harness.golden().dyn_widths,
+                                    config.faults_per_run, rng)
+            : inject::InjectionPlan{});
+    if (config.msg_faults_per_run > 0) {
+      // Drawn after the register faults, so a plain k-fault campaign's rng
+      // stream — and therefore its results — is unchanged bit-for-bit.
+      inject::sample_msg_faults(harness.golden().msg_counts,
+                                config.msg_faults_per_run, rng, plans.back());
+    }
   }
 
   // Phase 2 — execute trials on the worker pool. Chunked dynamic dispatch:
@@ -587,6 +646,9 @@ CampaignResult run_campaign(const AppHarness& harness,
     if (t.recovered) ++result.recovered_trials;
     result.total_rollbacks += t.rollbacks;
     result.total_wasted_cycles += t.wasted_cycles;
+    result.total_msg_injected += t.msg_injected;
+    result.total_headers_quarantined += t.headers_quarantined;
+    result.total_header_records_quarantined += t.header_records_quarantined;
     if (t.slope_usable && t.slope_a > 0.0) {
       result.slopes.push_back(t.slope_a);
     }

@@ -9,11 +9,56 @@ namespace fprop::inject {
 
 void InjectionPlan::validate() const {
   for (const auto& [rank, faults] : faults_by_rank) {
-    for (const FaultRecord& f : faults) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const FaultRecord& f = faults[i];
       if (f.bit >= 64) {
         throw Error("injection plan: bit " + std::to_string(f.bit) +
                     " on rank " + std::to_string(rank) +
                     " is outside any 64-bit register");
+      }
+      if (i == 0) continue;
+      const FaultRecord& prev = faults[i - 1];
+      if (f.dyn_index < prev.dyn_index) {
+        throw Error("injection plan: rank " + std::to_string(rank) +
+                    " faults not sorted by dyn_index (" +
+                    std::to_string(prev.dyn_index) + " before " +
+                    std::to_string(f.dyn_index) + ")");
+      }
+      if (f.dyn_index == prev.dyn_index && f.bit == prev.bit) {
+        throw Error("injection plan: duplicate fault on rank " +
+                    std::to_string(rank) + " (dyn_index " +
+                    std::to_string(f.dyn_index) + ", bit " +
+                    std::to_string(f.bit) + ")");
+      }
+      // Same dyn_index with a *different* bit is a legitimate multi-bit
+      // upset at one dynamic point; only the exact duplicate is rejected.
+      // Sortedness within an index: ascending bit keeps the dup check local.
+      if (f.dyn_index == prev.dyn_index && f.bit < prev.bit) {
+        throw Error("injection plan: rank " + std::to_string(rank) +
+                    " same-index faults not sorted by bit at dyn_index " +
+                    std::to_string(f.dyn_index));
+      }
+    }
+  }
+  for (const auto& [rank, faults] : msg_faults_by_rank) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const MsgFaultRecord& f = faults[i];
+      if (f.bit >= 64) {
+        throw Error("injection plan: message-fault bit " +
+                    std::to_string(f.bit) + " on rank " +
+                    std::to_string(rank) + " is outside any 64-bit word");
+      }
+      if (i == 0) continue;
+      const MsgFaultRecord& prev = faults[i - 1];
+      if (f.msg_index < prev.msg_index) {
+        throw Error("injection plan: rank " + std::to_string(rank) +
+                    " message faults not sorted by msg_index");
+      }
+      if (f.msg_index == prev.msg_index && f.target == prev.target &&
+          f.word == prev.word && f.bit == prev.bit) {
+        throw Error("injection plan: duplicate message fault on rank " +
+                    std::to_string(rank) + " (msg_index " +
+                    std::to_string(f.msg_index) + ")");
       }
     }
   }
@@ -34,16 +79,19 @@ std::size_t InjectionPlan::total_faults() const noexcept {
   return n;
 }
 
+std::size_t InjectionPlan::total_msg_faults() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [rank, v] : msg_faults_by_rank) n += v.size();
+  return n;
+}
+
 InjectorRuntime::InjectorRuntime(InjectionPlan plan) {
-  plan.validate();
+  plan.validate();  // guarantees per-rank sortedness — no re-sort needed
   for (auto& [rank, faults] : plan.faults_by_rank) {
-    PerRank st;
-    st.pending = std::move(faults);
-    std::sort(st.pending.begin(), st.pending.end(),
-              [](const FaultRecord& a, const FaultRecord& b) {
-                return a.dyn_index < b.dyn_index;
-              });
-    ranks_.emplace(rank, std::move(st));
+    rank_state(rank).pending = std::move(faults);
+  }
+  for (auto& [rank, faults] : plan.msg_faults_by_rank) {
+    rank_state(rank).msg_pending = std::move(faults);
   }
 }
 
@@ -60,30 +108,74 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
   if (record_widths_) {
     st.widths.push_back(static_cast<std::uint8_t>(width == 0 ? 64 : width));
   }
-  if (st.next >= st.pending.size() ||
-      st.pending[st.next].dyn_index != index) {
-    return value;
+  // Fire *every* pending fault at this dynamic point: a k-fault plan may put
+  // several flips on one execution (a multi-bit upset), and they compose.
+  std::uint64_t flipped = value;
+  while (st.next < st.pending.size() &&
+         st.pending[st.next].dyn_index == index) {
+    const FaultRecord& rec = st.pending[st.next++];
+    // Flips must land within the live value's type width (i1 registers have
+    // a single meaningful bit): a plan that targets bit 3 of a boolean is a
+    // planning error, not a simulated fault — silently wrapping it would
+    // inject a different experiment than the one recorded in the plan.
+    //
+    // The check only binds on the FIRST fault of the trial: plans are
+    // width-sampled against the golden profile, and once any fault (register
+    // or in-flight) has fired, control flow may have diverged so that this
+    // dyn_index now names a different, narrower instruction. That is the
+    // multi-fault experiment working as designed, so later flips reduce
+    // into the live width deterministically instead of aborting the trial.
+    const unsigned w = width == 0 ? 64 : width;
+    std::uint32_t bit = static_cast<std::uint32_t>(rec.bit);
+    if (bit >= w) {
+      if (events_.empty() && msg_events_.empty()) {
+        throw Error("injection plan: bit " + std::to_string(rec.bit) +
+                    " exceeds the " + std::to_string(w) +
+                    "-bit width of the value at site " +
+                    std::to_string(site_id) + " (rank " +
+                    std::to_string(self.rank()) + ", dynamic index " +
+                    std::to_string(index) + ")");
+      }
+      bit %= w;
+    }
+    const std::uint64_t before = flipped;
+    flipped ^= 1ull << bit;
+    events_.push_back({self.rank(), site_id, index, bit, self.cycles(),
+                       before, flipped});
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::Injection, self.rank(),
+                   self.cycles(), static_cast<std::uint64_t>(site_id),
+                   bit, before ^ flipped);
   }
-  const FaultRecord& rec = st.pending[st.next++];
-  // Flips must land within the live value's type width (i1 registers have a
-  // single meaningful bit): a plan that targets bit 3 of a boolean is a
-  // planning error, not a simulated fault — silently wrapping it would
-  // inject a different experiment than the one recorded in the plan.
-  const unsigned w = width == 0 ? 64 : width;
-  if (rec.bit >= w) {
-    throw Error("injection plan: bit " + std::to_string(rec.bit) +
-                " exceeds the " + std::to_string(w) +
-                "-bit width of the value at site " + std::to_string(site_id) +
-                " (rank " + std::to_string(self.rank()) + ", dynamic index " +
-                std::to_string(index) + ")");
-  }
-  const std::uint64_t flipped = value ^ (1ull << rec.bit);
-  events_.push_back({self.rank(), site_id, index, rec.bit, self.cycles(),
-                     value, flipped});
-  FPROP_OBS_EMIT(recorder_, obs::EventKind::Injection, self.rank(),
-                 self.cycles(), static_cast<std::uint64_t>(site_id), rec.bit,
-                 value ^ flipped);
   return flipped;
+}
+
+void InjectorRuntime::on_message(std::uint32_t sender, std::uint64_t msg_index,
+                                 std::uint64_t cycle,
+                                 std::vector<std::uint64_t>& header_words,
+                                 std::vector<std::uint64_t>& payload) {
+  auto it = ranks_.find(sender);
+  if (it == ranks_.end()) return;
+  PerRank& st = it->second;
+  // Message indices arrive strictly increasing per sender; a restored prefix
+  // (warm start) shows up as the first call carrying an index past earlier
+  // pending faults — skip them, they can no longer fire.
+  while (st.msg_next < st.msg_pending.size() &&
+         st.msg_pending[st.msg_next].msg_index < msg_index) {
+    ++st.msg_next;
+  }
+  while (st.msg_next < st.msg_pending.size() &&
+         st.msg_pending[st.msg_next].msg_index == msg_index) {
+    const MsgFaultRecord& rec = st.msg_pending[st.msg_next++];
+    auto& words =
+        rec.target == MsgFaultTarget::Header ? header_words : payload;
+    if (words.empty()) continue;  // zero-length span: nothing to strike
+    const std::uint64_t w = rec.word % words.size();
+    words[w] ^= 1ull << rec.bit;
+    msg_events_.push_back({sender, msg_index, rec.target, w, rec.bit, cycle});
+    FPROP_OBS_EMIT(recorder_, obs::EventKind::MsgCorrupt, sender, cycle,
+                   msg_index, w,
+                   (static_cast<std::uint64_t>(rec.target) << 8) | rec.bit);
+  }
 }
 
 void InjectorRuntime::fast_forward(const DynCounts& counts) {
@@ -94,6 +186,17 @@ void InjectorRuntime::fast_forward(const DynCounts& counts) {
     while (st.next < st.pending.size() &&
            st.pending[st.next].dyn_index < st.counter) {
       ++st.next;
+    }
+  }
+}
+
+void InjectorRuntime::fast_forward_msgs(const MsgCounts& counts) {
+  for (std::uint32_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] == 0) continue;
+    PerRank& st = rank_state(r);
+    while (st.msg_next < st.msg_pending.size() &&
+           st.msg_pending[st.msg_next].msg_index < counts[r]) {
+      ++st.msg_next;
     }
   }
 }
@@ -166,6 +269,34 @@ InjectionPlan sample_single_fault(const DynCounts& counts,
   return sample_faults(counts, widths, 1, rng);
 }
 
+namespace {
+
+/// Redraw budget per fault: collisions are astronomically rare for real
+/// fault spaces, so this only matters when the space is nearly saturated
+/// (e.g. a 1-point, 1-bit module asked for k=4) — then the plan simply
+/// carries fewer faults instead of looping forever.
+constexpr int kMaxRedraws = 64;
+
+void insert_sorted(std::vector<FaultRecord>& v, const FaultRecord& f) {
+  const auto pos = std::upper_bound(
+      v.begin(), v.end(), f, [](const FaultRecord& a, const FaultRecord& b) {
+        return a.dyn_index != b.dyn_index ? a.dyn_index < b.dyn_index
+                                          : a.bit < b.bit;
+      });
+  v.insert(pos, f);
+}
+
+void insert_sorted(std::vector<MsgFaultRecord>& v, const MsgFaultRecord& f) {
+  const auto pos = std::upper_bound(
+      v.begin(), v.end(), f,
+      [](const MsgFaultRecord& a, const MsgFaultRecord& b) {
+        return a.msg_index < b.msg_index;
+      });
+  v.insert(pos, f);
+}
+
+}  // namespace
+
 InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
                             std::size_t nfaults, Xoshiro256& rng) {
   std::vector<std::uint32_t> eligible;
@@ -176,20 +307,63 @@ InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
                   "no rank executed any injection point");
   InjectionPlan plan;
   for (std::size_t i = 0; i < nfaults; ++i) {
-    const std::uint32_t rank =
-        eligible[rng.next_below(eligible.size())];
-    const std::uint64_t idx = rng.next_below(counts[rank]);
-    auto bit = static_cast<std::uint32_t>(rng.next_below(64));
-    // Reduce into the target point's live width. Every IR width divides 64,
-    // so the reduction stays uniform; 64-bit points (and empty width tables)
-    // leave the draw untouched, preserving historical plans bit-for-bit.
-    if (rank < widths.size() && idx < widths[rank].size()) {
-      const std::uint32_t w = widths[rank][idx] == 0 ? 64 : widths[rank][idx];
-      bit %= w;
+    for (int attempt = 0; attempt < kMaxRedraws; ++attempt) {
+      const std::uint32_t rank =
+          eligible[rng.next_below(eligible.size())];
+      const std::uint64_t idx = rng.next_below(counts[rank]);
+      auto bit = static_cast<std::uint32_t>(rng.next_below(64));
+      // Reduce into the target point's live width. Every IR width divides
+      // 64, so the reduction stays uniform; 64-bit points (and empty width
+      // tables) leave the draw untouched, preserving historical plans
+      // bit-for-bit.
+      if (rank < widths.size() && idx < widths[rank].size()) {
+        const std::uint32_t w =
+            widths[rank][idx] == 0 ? 64 : widths[rank][idx];
+        bit %= w;
+      }
+      auto& faults = plan.faults_by_rank[rank];
+      const bool dup = std::any_of(
+          faults.begin(), faults.end(), [&](const FaultRecord& f) {
+            return f.dyn_index == idx && f.bit == bit;
+          });
+      if (dup) continue;  // redraw: validate() rejects duplicate flips
+      insert_sorted(faults, {idx, bit});
+      break;
     }
-    plan.faults_by_rank[rank].push_back({idx, bit});
   }
   return plan;
+}
+
+std::size_t sample_msg_faults(const MsgCounts& counts, std::size_t nfaults,
+                              Xoshiro256& rng, InjectionPlan& plan) {
+  std::vector<std::uint32_t> eligible;
+  for (std::uint32_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] > 0) eligible.push_back(r);
+  }
+  if (eligible.empty()) return 0;  // communication-free app: nothing to hit
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < nfaults; ++i) {
+    for (int attempt = 0; attempt < kMaxRedraws; ++attempt) {
+      MsgFaultRecord rec;
+      const std::uint32_t rank = eligible[rng.next_below(eligible.size())];
+      rec.msg_index = rng.next_below(counts[rank]);
+      rec.target = rng.next_below(2) == 0 ? MsgFaultTarget::Header
+                                          : MsgFaultTarget::Payload;
+      rec.word = rng.next();  // raw; reduced modulo the live span at fire
+      rec.bit = static_cast<std::uint32_t>(rng.next_below(64));
+      auto& faults = plan.msg_faults_by_rank[rank];
+      const bool dup = std::any_of(
+          faults.begin(), faults.end(), [&](const MsgFaultRecord& f) {
+            return f.msg_index == rec.msg_index && f.target == rec.target &&
+                   f.word == rec.word && f.bit == rec.bit;
+          });
+      if (dup) continue;
+      insert_sorted(faults, rec);
+      ++added;
+      break;
+    }
+  }
+  return added;
 }
 
 }  // namespace fprop::inject

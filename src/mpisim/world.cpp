@@ -36,6 +36,7 @@ World::World(const ir::Module& module, WorldConfig config)
   requests_.resize(config_.nranks);
   coll_epoch_.assign(config_.nranks, 0);
   first_contaminated_.assign(config_.nranks, std::nullopt);
+  sent_msgs_.assign(config_.nranks, 0);
 }
 
 World::~World() = default;
@@ -50,6 +51,27 @@ std::int64_t World::rank_count() const { return config_.nranks; }
 
 void World::set_inject_hook(vm::InjectHook* hook) {
   for (auto& r : ranks_) r->set_inject_hook(hook);
+}
+
+void World::install_message_header(std::uint32_t r, std::uint64_t buf,
+                                   std::uint64_t count_words,
+                                   const fpm::MessageHeader& header,
+                                   bool malformed) {
+  auto* f = fpms_[r].get();
+  if (f == nullptr) return;
+  const fpm::InstallResult res =
+      fpm::install_header(f->shadow(), buf, count_words, header);
+  if (res.quarantined > 0 || malformed) {
+    ++headers_quarantined_;
+    header_records_quarantined_ += res.quarantined;
+    FPROP_OBS_EMIT(config_.recorder, obs::EventKind::HeaderQuarantined, r,
+                   ranks_[r]->cycles(), res.quarantined, malformed ? 1 : 0,
+                   res.installed);
+  }
+  // The install heals the whole range then re-records the header's words,
+  // bypassing on_store — resync the receiver's CML track.
+  FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, r,
+                 ranks_[r]->cycles(), 0, f->shadow().size());
 }
 
 bool World::read_payload(vm::Interp& src_rank, std::uint64_t buf,
@@ -92,6 +114,16 @@ vm::MpiResult World::send_f(vm::Interp& self, std::int64_t dest,
     msg.header = fpm::build_header(f->shadow(), buf,
                                    static_cast<std::uint64_t>(count));
   }
+  const std::uint64_t msg_index = sent_msgs_[self.rank()]++;
+  if (msg_hook_ != nullptr) {
+    // In-flight corruption window: the wire image of the header (and the
+    // payload) between build_header and delivery. Only taken when a plan
+    // actually targets messages, so the common path never serializes.
+    std::vector<std::uint64_t> wire = fpm::serialize_header(msg.header);
+    msg_hook_->on_message(self.rank(), msg_index, self.cycles(), wire,
+                          msg.payload);
+    msg.header_malformed = !fpm::deserialize_header(wire, msg.header);
+  }
   FPROP_OBS_EMIT(config_.recorder, obs::EventKind::MsgSend, self.rank(),
                  self.cycles(), static_cast<std::uint64_t>(dest),
                  static_cast<std::uint64_t>(count),
@@ -116,13 +148,8 @@ vm::MpiResult World::recv_f(vm::Interp& self, std::int64_t src,
     return vm::MpiResult::Fault;  // truncation error
   }
   if (!write_payload(self, buf, it->payload)) return vm::MpiResult::Fault;
-  if (auto* f = fpms_[self.rank()].get()) {
-    fpm::install_header(f->shadow(), buf, it->payload.size(), it->header);
-    // The install heals the whole range then re-records the header's words,
-    // bypassing on_store — resync the receiver's CML track.
-    FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, self.rank(),
-                   self.cycles(), 0, f->shadow().size());
-  }
+  install_message_header(self.rank(), buf, it->payload.size(), it->header,
+                         it->header_malformed);
   FPROP_OBS_EMIT(config_.recorder, obs::EventKind::MsgRecv, self.rank(),
                  self.cycles(), static_cast<std::uint64_t>(it->src),
                  it->payload.size(), fpm::header_wire_words(it->header));
@@ -356,12 +383,8 @@ bool World::exec_bcast(Collective& coll) {
   for (std::uint32_t r = 0; r < config_.nranks; ++r) {
     if (static_cast<std::int64_t>(r) == root) continue;
     if (!write_payload(*ranks_[r], coll.args[r].a, payload)) return false;
-    if (auto* f = fpms_[r].get()) {
-      fpm::install_header(f->shadow(), coll.args[r].a, payload.size(),
-                          header);
-      FPROP_OBS_EMIT(config_.recorder, obs::EventKind::CmlSample, r,
-                     ranks_[r]->cycles(), 0, f->shadow().size());
-    }
+    install_message_header(r, coll.args[r].a, payload.size(), header,
+                           /*malformed=*/false);
   }
   return true;
 }
@@ -483,6 +506,9 @@ World::Checkpoint World::checkpoint() const {
   c.first_contaminated = first_contaminated_;
   c.global_trace = global_trace_;
   c.next_global_sample = next_global_sample_;
+  c.sent_msgs = sent_msgs_;
+  c.headers_quarantined = headers_quarantined_;
+  c.header_records_quarantined = header_records_quarantined_;
   return c;
 }
 
@@ -506,6 +532,9 @@ void World::restore(const Checkpoint& ckpt) {
   first_contaminated_ = ckpt.first_contaminated;
   global_trace_ = ckpt.global_trace;
   next_global_sample_ = ckpt.next_global_sample;
+  sent_msgs_ = ckpt.sent_msgs;
+  headers_quarantined_ = ckpt.headers_quarantined;
+  header_records_quarantined_ = ckpt.header_records_quarantined;
 }
 
 std::uint64_t World::Checkpoint::approx_bytes() const {

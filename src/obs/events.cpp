@@ -17,6 +17,8 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::Rollback: return "rollback";
     case EventKind::RankContaminated: return "rank_contaminated";
     case EventKind::TrialOutcome: return "trial_outcome";
+    case EventKind::MsgCorrupt: return "msg_corrupt";
+    case EventKind::HeaderQuarantined: return "header_quarantined";
   }
   return "?";
 }

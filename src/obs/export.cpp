@@ -162,6 +162,17 @@ std::string chrome_trace_json(const std::vector<Event>& events,
                ",\"trap\":" + std::to_string(e.b) +
                ",\"cml_final\":" + std::to_string(e.c);
         break;
+      case EventKind::MsgCorrupt:
+        args = "\"msg_index\":" + std::to_string(e.a) +
+               ",\"word\":" + std::to_string(e.b) + ",\"target\":\"" +
+               ((e.c >> 8) == 0 ? "header" : "payload") +
+               "\",\"bit\":" + std::to_string(e.c & 0xFF);
+        break;
+      case EventKind::HeaderQuarantined:
+        args = "\"quarantined\":" + std::to_string(e.a) +
+               ",\"malformed\":" + std::to_string(e.b) +
+               ",\"installed\":" + std::to_string(e.c);
+        break;
     }
     comma();
     append_chrome_event(out, event_kind_name(e.kind), "i", e.step, tid, args);

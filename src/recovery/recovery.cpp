@@ -13,6 +13,10 @@ RecoveryManager::RecoveryManager(mpisim::World& world, RecoveryConfig config)
                   "recovery detector interval must be positive");
   FPROP_CHECK_MSG(config_.max_retained > 0,
                   "recovery must retain at least one checkpoint");
+  FPROP_CHECK_MSG(config_.rollback_backoff >= 1.0,
+                  "rollback backoff must not shrink the detector interval");
+  interval_ = config_.detector_interval;
+  report_.final_detector_interval = interval_;
 }
 
 void RecoveryManager::take_checkpoint() {
@@ -33,7 +37,7 @@ void RecoveryManager::advance_scan_grid(std::uint64_t now) {
   // harness's snapshot ladder), not at the scan that just ran — a sweep can
   // jump several intervals at once.
   if (next_scan_ <= now) {
-    next_scan_ = next_scan_point(now, config_.detector_interval);
+    next_scan_ = next_scan_point(now, interval_);
   }
 }
 
@@ -68,6 +72,20 @@ bool RecoveryManager::try_rollback(std::uint64_t now) {
   world_->restore(ckpt);
   ++report_.rollbacks;
   last_ckpt_clock_ = ckpt.global_clock;
+  if (config_.rollback_backoff > 1.0) {
+    // Degradation ladder: each retry scans less often, so a persistently
+    // re-detecting job (e.g. a quarantine storm from a corrupted detector
+    // channel) spends progressively less time re-checking and re-failing
+    // before the budget tears it down. Clamped below the uint64 range so
+    // the grid arithmetic can never overflow.
+    const double widened =
+        static_cast<double>(interval_) * config_.rollback_backoff;
+    constexpr double kMaxInterval = 9.0e18;
+    interval_ = widened >= kMaxInterval
+                    ? static_cast<std::uint64_t>(kMaxInterval)
+                    : static_cast<std::uint64_t>(widened);
+    report_.final_detector_interval = interval_;
+  }
   next_scan_ = 0;
   advance_scan_grid(ckpt.global_clock);
   return true;

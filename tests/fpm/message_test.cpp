@@ -1,0 +1,128 @@
+// Wire-form round-trip and hardened-install tests for the FPM piggyback
+// header (DESIGN.md §12). The adversarial cases mirror exactly what the
+// in-flight corruption injector can produce: a struck count word, a
+// displacement pushed past the receive buffer, truncated/inflated streams.
+
+#include <gtest/gtest.h>
+
+#include "fprop/fpm/message.h"
+#include "fprop/support/rng.h"
+
+namespace fprop::fpm {
+namespace {
+
+MessageHeader random_header(Xoshiro256& rng, std::uint64_t count_words) {
+  MessageHeader h;
+  const std::uint64_t n = rng.next_below(8);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h.records.push_back({rng.next_below(count_words), rng.next()});
+  }
+  return h;
+}
+
+TEST(MessageWire, RoundTripPropertyOverRandomHeaders) {
+  Xoshiro256 rng(0x5eed);
+  for (int i = 0; i < 500; ++i) {
+    const MessageHeader h = random_header(rng, 64);
+    const std::vector<std::uint64_t> wire = serialize_header(h);
+    ASSERT_EQ(wire.size(), header_wire_words(h));
+    ASSERT_EQ(wire[0], h.records.size());
+    MessageHeader back;
+    EXPECT_TRUE(deserialize_header(wire, back));
+    ASSERT_EQ(back.records.size(), h.records.size());
+    for (std::size_t r = 0; r < h.records.size(); ++r) {
+      EXPECT_EQ(back.records[r].displacement_words,
+                h.records[r].displacement_words);
+      EXPECT_EQ(back.records[r].pristine_bits, h.records[r].pristine_bits);
+    }
+  }
+}
+
+TEST(MessageWire, EmptyStreamIsMalformed) {
+  MessageHeader h;
+  EXPECT_FALSE(deserialize_header({}, h));
+  EXPECT_TRUE(h.records.empty());
+}
+
+TEST(MessageWire, InflatedCountWordIsClampedToPhysicalRecords) {
+  // Count word claims 2^40 records but only one pair is on the wire: the
+  // parse must recover that one pair without allocating on the claim.
+  const std::vector<std::uint64_t> wire{1ull << 40, 5, 0xDEAD};
+  MessageHeader h;
+  EXPECT_FALSE(deserialize_header(wire, h));
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].displacement_words, 5u);
+  EXPECT_EQ(h.records[0].pristine_bits, 0xDEADu);
+}
+
+TEST(MessageWire, DeflatedCountWordDropsTrailingPairs) {
+  // Count word struck down to 0: the pairs on the wire are unreachable.
+  const std::vector<std::uint64_t> wire{0, 5, 0xDEAD};
+  MessageHeader h;
+  EXPECT_FALSE(deserialize_header(wire, h));
+  EXPECT_TRUE(h.records.empty());
+}
+
+TEST(MessageWire, AnyCorruptedStreamParsesWithoutCrashing) {
+  // Property sweep: serialize, flip one random bit of one random word,
+  // deserialize. Must never throw/crash, and every parsed record must have
+  // come from the physical pairs (count ≤ (len-1)/2).
+  Xoshiro256 rng(0xC0FFEE);
+  for (int i = 0; i < 2000; ++i) {
+    const MessageHeader h = random_header(rng, 32);
+    std::vector<std::uint64_t> wire = serialize_header(h);
+    const std::uint64_t w = rng.next_below(wire.size());
+    wire[w] ^= 1ull << rng.next_below(64);
+    MessageHeader back;
+    (void)deserialize_header(wire, back);
+    EXPECT_LE(back.records.size(), (wire.size() - 1) / 2);
+  }
+}
+
+TEST(InstallHardened, InRangeRecordsInstallOutOfRangeQuarantine) {
+  ShadowTable table;
+  MessageHeader h;
+  const std::uint64_t buf = 0x1000;
+  h.records.push_back({3, 42});     // in range (count_words = 8)
+  h.records.push_back({8, 43});     // first word past the buffer
+  h.records.push_back({1ull << 60, 44});  // displacement*8 would overflow
+  const InstallResult res = install_header(table, buf, 8, h);
+  EXPECT_EQ(res.installed, 1u);
+  EXPECT_EQ(res.quarantined, 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.pristine_or(buf + 3 * 8, 0), 42u);
+}
+
+TEST(InstallHardened, HonestHeadersNeverQuarantine) {
+  // build_header only emits displacements inside the scanned range, so the
+  // hardened install must be a behavioral no-op for uncorrupted traffic.
+  ShadowTable sender;
+  const std::uint64_t buf = 0x2000;
+  sender.record(buf + 2 * 8, 7);
+  sender.record(buf + 6 * 8, 9);
+  const MessageHeader h = build_header(sender, buf, 8);
+  ASSERT_EQ(h.records.size(), 2u);
+  ShadowTable receiver;
+  const InstallResult res = install_header(receiver, buf, 8, h);
+  EXPECT_EQ(res.installed, 2u);
+  EXPECT_EQ(res.quarantined, 0u);
+  EXPECT_EQ(receiver.size(), 2u);
+}
+
+TEST(InstallHardened, QuarantineNeverTouchesEntriesOutsideTheBuffer) {
+  // A pre-existing shadow entry far from the receive buffer must survive a
+  // maximally hostile header: the blast radius stays within the buffer.
+  ShadowTable table;
+  const std::uint64_t elsewhere = 0x9999000;
+  table.record(elsewhere, 1234);
+  MessageHeader h;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 64; ++i) {
+    h.records.push_back({rng.next(), rng.next()});  // arbitrary garbage
+  }
+  (void)install_header(table, 0x1000, 4, h);
+  EXPECT_EQ(table.pristine_or(elsewhere, 0), 1234u);
+}
+
+}  // namespace
+}  // namespace fprop::fpm

@@ -44,6 +44,23 @@ TEST(Oracles, WarmStartMatchesColdStart) {
   }
 }
 
+TEST(Oracles, MultiFaultCampaignsStayBitIdentical) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 5;
+  cfg.campaign_jobs = 3;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const OracleResult r = check_multifault(generate_program(seed), cfg);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Oracles, HeaderWireFormSurvivesAdversarialStreams) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const OracleResult r = check_header_adversarial(seed, 256);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
 TEST(Oracles, CheckpointReplayIsExact) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     const OracleResult r = check_checkpoint_replay(generate_program(seed));

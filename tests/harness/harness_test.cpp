@@ -206,6 +206,75 @@ TEST(SiteBreakdown, FoldsCampaignPerSite) {
   }
 }
 
+TEST(Campaign, MessageFaultCampaignClassifiesEveryTrial) {
+  // Pure message-corruption campaign (faults_per_run = 0): every trial is
+  // classified, the golden send counts give a nonempty sampling space, and
+  // the quarantine aggregates stay internally consistent.
+  ExperimentConfig cfg;
+  AppHarness h(apps::get_app("lulesh"), cfg);
+  ASSERT_GT(h.golden().total_sent_msgs, 0u);
+  CampaignConfig cc;
+  cc.trials = 16;
+  cc.seed = 13;
+  cc.faults_per_run = 0;
+  cc.msg_faults_per_run = 2;
+  const CampaignResult r = run_campaign(h, cc);
+  EXPECT_EQ(r.counts.total(), cc.trials);
+  EXPECT_GT(r.total_msg_injected, 0u);
+  // Only header strikes can quarantine, and a quarantined header implies at
+  // least one record quarantined (or a malformed stream with zero records).
+  EXPECT_GE(r.total_header_records_quarantined, 0u);
+  std::size_t msg_sum = 0;
+  std::uint64_t q_sum = 0;
+  for (const auto& t : r.trials) {
+    msg_sum += t.msg_injected;
+    q_sum += t.headers_quarantined;
+  }
+  EXPECT_EQ(msg_sum, r.total_msg_injected);
+  EXPECT_EQ(q_sum, r.total_headers_quarantined);
+}
+
+TEST(Campaign, MsgFaultsIgnoredOnCommunicationFreeApps) {
+  // matvec at nranks = 1 never sends: msg_faults_per_run must degrade to a
+  // no-op, not crash or skew the register-fault stream.
+  AppHarness h = matvec_harness();
+  ASSERT_EQ(h.golden().total_sent_msgs, 0u);
+  CampaignConfig cc;
+  cc.trials = 10;
+  cc.seed = 21;
+  const CampaignResult plain = run_campaign(h, cc);
+  cc.msg_faults_per_run = 3;
+  const CampaignResult with = run_campaign(h, cc);
+  EXPECT_EQ(with.total_msg_injected, 0u);
+  ASSERT_EQ(with.trials.size(), plain.trials.size());
+  for (std::size_t i = 0; i < with.trials.size(); ++i) {
+    EXPECT_EQ(with.trials[i].outcome, plain.trials[i].outcome) << i;
+    EXPECT_EQ(with.trials[i].global_cycles, plain.trials[i].global_cycles)
+        << i;
+  }
+}
+
+TEST(Campaign, InterferenceGapPopulatedForMultiFaultTrials) {
+  AppHarness h = matvec_harness();
+  CampaignConfig cc;
+  cc.trials = 20;
+  cc.seed = 5;
+  cc.faults_per_run = 4;
+  const CampaignResult r = run_campaign(h, cc);
+  bool any_gap = false;
+  for (const auto& t : r.trials) {
+    if (t.fault_pair_min_gap >= 0) any_gap = true;
+  }
+  EXPECT_TRUE(any_gap);  // 4 faults per trial: some trial fired >= 2
+  // Single-fault trials can never report a pair distance.
+  CampaignConfig one = cc;
+  one.faults_per_run = 1;
+  const CampaignResult r1 = run_campaign(h, one);
+  for (const auto& t : r1.trials) {
+    EXPECT_EQ(t.fault_pair_min_gap, -1);
+  }
+}
+
 TEST(Classifier, GoldenEquivalentJobIsCorrectOutput) {
   // Classification of a fault-free job result: everything matches golden.
   AppHarness h = matvec_harness();

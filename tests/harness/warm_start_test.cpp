@@ -141,6 +141,99 @@ TEST(WarmStartLadder, ZeroRungsDisablesWarmStart) {
   }
 }
 
+void expect_same_trial(const TrialResult& w, const TrialResult& c,
+                       std::size_t i) {
+  EXPECT_EQ(w.outcome, c.outcome) << "trial " << i;
+  EXPECT_EQ(w.trap, c.trap) << "trial " << i;
+  EXPECT_EQ(w.injected, c.injected) << "trial " << i;
+  EXPECT_EQ(w.msg_injected, c.msg_injected) << "trial " << i;
+  EXPECT_EQ(w.headers_quarantined, c.headers_quarantined) << "trial " << i;
+  EXPECT_EQ(w.header_records_quarantined, c.header_records_quarantined)
+      << "trial " << i;
+  EXPECT_EQ(w.fault_pair_min_gap, c.fault_pair_min_gap) << "trial " << i;
+  EXPECT_EQ(w.global_cycles, c.global_cycles) << "trial " << i;
+  EXPECT_EQ(w.total_cml_final, c.total_cml_final) << "trial " << i;
+  EXPECT_EQ(w.total_cml_peak, c.total_cml_peak) << "trial " << i;
+  EXPECT_EQ(w.contaminated_ranks, c.contaminated_ranks) << "trial " << i;
+}
+
+// Multi-fault campaigns (k = 4 register faults + 1 in-flight message fault
+// per trial) must stay bit-identical warm vs cold on every registry app:
+// rung selection keys on the EARLIEST fault of the whole plan — register
+// faults against rung.dyn_counts, message faults against the checkpointed
+// per-rank send counters — so no fault can land in the skipped prefix.
+TEST_P(WarmStartApps, MultiFaultCampaignWarmEqualsColdTrialForTrial) {
+  ExperimentConfig cfg;
+  const AppHarness h(apps::get_app(GetParam()), cfg);
+  CampaignConfig cc;
+  cc.trials = 24;
+  cc.seed = 0xA11CE;
+  cc.jobs = 1;
+  cc.faults_per_run = 4;
+  cc.msg_faults_per_run = h.golden().total_sent_msgs > 0 ? 1 : 0;
+  cc.warm_start = true;
+  const CampaignResult warm = run_campaign(h, cc);
+  cc.warm_start = false;
+  const CampaignResult cold = run_campaign(h, cc);
+  ASSERT_EQ(warm.trials.size(), cold.trials.size());
+  for (std::size_t i = 0; i < warm.trials.size(); ++i) {
+    expect_same_trial(warm.trials[i], cold.trials[i], i);
+  }
+  EXPECT_EQ(warm.total_msg_injected, cold.total_msg_injected);
+  EXPECT_EQ(warm.total_headers_quarantined, cold.total_headers_quarantined);
+}
+
+// A k = 2 plan whose earliest register fault sits at dynamic index 0 can
+// never use a rung (every rung has dyn_counts >= the first real injection
+// point), so the warm path must fire BOTH faults — proof that rung
+// selection keys on the earliest fault, not the last or the mean.
+TEST(WarmStartMultiFault, EarliestFaultGatesRungSelection) {
+  ExperimentConfig cfg;
+  const AppHarness h(apps::get_app("matvec"), cfg);
+  ASSERT_FALSE(h.snapshot_ladder().empty());
+
+  inject::InjectionPlan plan;
+  const std::uint64_t last = h.golden().dyn_counts[0] - 1;
+  plan.faults_by_rank[0] = {{0, 3}, {last, 7}};
+  plan.validate();
+
+  TrialOptions warm_opts;
+  warm_opts.warm_start = true;
+  const TrialResult warm = h.run_trial(plan, warm_opts);
+  TrialOptions cold_opts;
+  cold_opts.warm_start = false;
+  const TrialResult cold = h.run_trial(plan, cold_opts);
+  EXPECT_TRUE(warm.injected);
+  expect_same_trial(warm, cold, 0);
+}
+
+// A message fault at msg_index 0 gates rung usability exactly like an
+// early register fault: warm must fire it (msg_injected == 1) and match
+// cold bit-for-bit even when the register fault alone would allow a deep
+// rung.
+TEST(WarmStartMultiFault, EarlyMessageFaultGatesRungSelection) {
+  ExperimentConfig cfg;
+  const AppHarness h(apps::get_app("lulesh"), cfg);
+  ASSERT_GT(h.golden().total_sent_msgs, 0u);
+
+  std::uint32_t sender = 0;
+  while (h.golden().msg_counts[sender] == 0) ++sender;
+  inject::InjectionPlan plan;
+  plan.faults_by_rank[0] = {{h.golden().dyn_counts[0] - 1, 11}};
+  plan.msg_faults_by_rank[sender] = {
+      {0, inject::MsgFaultTarget::Header, 0, 5}};
+  plan.validate();
+
+  TrialOptions warm_opts;
+  warm_opts.warm_start = true;
+  const TrialResult warm = h.run_trial(plan, warm_opts);
+  TrialOptions cold_opts;
+  cold_opts.warm_start = false;
+  const TrialResult cold = h.run_trial(plan, cold_opts);
+  EXPECT_EQ(warm.msg_injected, 1u);
+  expect_same_trial(warm, cold, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllApps, WarmStartApps, ::testing::ValuesIn(kApps),
                          [](const auto& pi) { return std::string(pi.param); });
 

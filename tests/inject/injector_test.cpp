@@ -95,15 +95,54 @@ TEST(InjectorRuntime, MultipleFaultsInOneRun) {
   EXPECT_EQ(inj.events()[2].dyn_index, 15u);
 }
 
-TEST(InjectorRuntime, UnsortedPlanIsSorted) {
-  const ir::Module m = instrumented_counter_app(20);
+TEST(InjectionPlan, UnsortedPlanIsRejectedAtConstruction) {
   InjectionPlan plan;
   plan.faults_by_rank[0] = {{15, 3}, {3, 1}};  // descending on purpose
+  EXPECT_THROW(plan.validate(), Error);
+  EXPECT_THROW(InjectorRuntime{plan}, Error);
+}
+
+TEST(InjectionPlan, DuplicateFaultIsRejectedAtConstruction) {
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{3, 1}, {3, 1}};  // the same flip twice
+  EXPECT_THROW(plan.validate(), Error);
+}
+
+TEST(InjectionPlan, MultiBitStrikeAtOneIndexIsAccepted) {
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{3, 1}, {3, 5}};  // two bits, one dynamic point
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(InjectorRuntime, MultiBitStrikeComposesAtOneDynamicPoint) {
+  const ir::Module m = instrumented_counter_app(20);
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{5, 1}, {5, 52}};
   InjectorRuntime inj(plan);
   vm::Interp vm(m, 0, vm::InterpConfig{});
   vm.set_inject_hook(&inj);
   ASSERT_EQ(vm.run(1u << 24), vm::RunState::Done);
-  EXPECT_EQ(inj.events().size(), 2u);
+  ASSERT_EQ(inj.events().size(), 2u);
+  EXPECT_EQ(inj.events()[0].dyn_index, 5u);
+  EXPECT_EQ(inj.events()[1].dyn_index, 5u);
+  // The second flip composes on top of the first (before == after of #1).
+  EXPECT_EQ(inj.events()[1].before, inj.events()[0].after);
+  EXPECT_EQ(inj.events()[1].after,
+            inj.events()[0].before ^ (1ull << 1) ^ (1ull << 52));
+}
+
+TEST(InjectionPlan, UnsortedMsgFaultsAreRejected) {
+  InjectionPlan plan;
+  plan.msg_faults_by_rank[0] = {{7, MsgFaultTarget::Header, 0, 1},
+                                {2, MsgFaultTarget::Header, 0, 1}};
+  EXPECT_THROW(plan.validate(), Error);
+}
+
+TEST(InjectionPlan, DuplicateMsgFaultIsRejected) {
+  InjectionPlan plan;
+  plan.msg_faults_by_rank[0] = {{2, MsgFaultTarget::Payload, 9, 4},
+                                {2, MsgFaultTarget::Payload, 9, 4}};
+  EXPECT_THROW(plan.validate(), Error);
 }
 
 TEST(InjectionPlan, BitOutsideRegisterIsRejectedAtConstruction) {
@@ -209,6 +248,91 @@ TEST(Sampling, MultiFaultDrawsRequestedCount) {
   Xoshiro256 rng(3);
   const auto plan = sample_faults(counts, 5, rng);
   EXPECT_EQ(plan.total_faults(), 5u);
+  EXPECT_NO_THROW(plan.validate());  // sorted, duplicate-free by sampling
+}
+
+TEST(Sampling, SaturatedFaultSpaceYieldsFewerFaultsNotAHang) {
+  // One rank, one dynamic point, 64 bits: 64 possible faults. Asking for
+  // 100 must terminate with at most 64 (bounded redraws drop the rest).
+  DynCounts counts{1};
+  Xoshiro256 rng(17);
+  const auto plan = sample_faults(counts, 100, rng);
+  EXPECT_LE(plan.total_faults(), 64u);
+  EXPECT_GE(plan.total_faults(), 32u);  // redraw budget finds most of them
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(Sampling, SingleDrawStreamUnchangedByDedup) {
+  // k=1 cannot collide, so the dedup/redraw path must consume exactly the
+  // historical rng stream — the frozen campaign distributions depend on it.
+  DynCounts counts{100, 0, 50};
+  Xoshiro256 a(7), b(7);
+  const auto plan = sample_single_fault(counts, a);
+  const std::uint32_t rank_draw = static_cast<std::uint32_t>(
+      b.next_below(2));  // two eligible ranks
+  const std::uint32_t rank = rank_draw == 0 ? 0 : 2;
+  const std::uint64_t idx = b.next_below(counts[rank]);
+  const std::uint32_t bit = static_cast<std::uint32_t>(b.next_below(64));
+  ASSERT_EQ(plan.faults_by_rank.count(rank), 1u);
+  EXPECT_EQ(plan.faults_by_rank.at(rank)[0].dyn_index, idx);
+  EXPECT_EQ(plan.faults_by_rank.at(rank)[0].bit, bit);
+}
+
+TEST(Sampling, MsgFaultsRespectCountsAndValidate) {
+  MsgCounts counts{10, 0, 25};
+  Xoshiro256 rng(5);
+  InjectionPlan plan;
+  const std::size_t added = sample_msg_faults(counts, 8, rng, plan);
+  EXPECT_EQ(added, 8u);
+  EXPECT_EQ(plan.total_msg_faults(), 8u);
+  EXPECT_NO_THROW(plan.validate());
+  for (const auto& [rank, faults] : plan.msg_faults_by_rank) {
+    ASSERT_NE(rank, 1u);  // rank 1 sends nothing
+    for (const auto& f : faults) {
+      EXPECT_LT(f.msg_index, counts[rank]);
+      EXPECT_LT(f.bit, 64u);
+    }
+  }
+}
+
+TEST(Sampling, MsgFaultsOnCommunicationFreeAppAddNothing) {
+  MsgCounts counts{0, 0, 0};
+  Xoshiro256 rng(5);
+  InjectionPlan plan;
+  EXPECT_EQ(sample_msg_faults(counts, 4, rng, plan), 0u);
+  EXPECT_EQ(plan.total_msg_faults(), 0u);
+}
+
+TEST(InjectorRuntime, OnMessageFiresPlannedFaultAndReducesWord) {
+  InjectionPlan plan;
+  plan.msg_faults_by_rank[1] = {
+      {2, MsgFaultTarget::Header, /*word=*/103, /*bit=*/4}};
+  InjectorRuntime inj(plan);
+  std::vector<std::uint64_t> header{3, 0, 42};  // 3 words -> 103 % 3 == 1
+  std::vector<std::uint64_t> payload{7, 7};
+  inj.on_message(1, 0, 100, header, payload);  // wrong msg_index: no-op
+  EXPECT_TRUE(inj.msg_events().empty());
+  inj.on_message(1, 2, 300, header, payload);
+  ASSERT_EQ(inj.msg_events().size(), 1u);
+  EXPECT_EQ(header[1], 0u ^ (1ull << 4));
+  EXPECT_EQ(payload[0], 7u);  // payload untouched by a Header fault
+  EXPECT_EQ(inj.msg_events()[0].word, 1u);  // post-reduction index recorded
+  EXPECT_EQ(inj.msg_events()[0].cycle, 300u);
+}
+
+TEST(InjectorRuntime, FastForwardMsgsSkipsRestoredPrefix) {
+  InjectionPlan plan;
+  plan.msg_faults_by_rank[0] = {{1, MsgFaultTarget::Payload, 0, 2},
+                                {5, MsgFaultTarget::Payload, 0, 3}};
+  InjectorRuntime inj(plan);
+  inj.fast_forward_msgs({3});  // messages 0..2 already sent in the prefix
+  std::vector<std::uint64_t> header{0};
+  std::vector<std::uint64_t> payload{0};
+  inj.on_message(0, 1, 10, header, payload);  // skipped fault: must not fire
+  EXPECT_TRUE(inj.msg_events().empty());
+  inj.on_message(0, 5, 50, header, payload);
+  ASSERT_EQ(inj.msg_events().size(), 1u);
+  EXPECT_EQ(payload[0], 1ull << 3);
 }
 
 TEST(CycleProbe, RecordsCyclesOfRequestedPoints) {

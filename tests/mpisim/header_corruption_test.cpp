@@ -1,0 +1,211 @@
+// Directed adversarial-header suite (DESIGN.md §12): every way the in-flight
+// corruption channel can mangle an FPM piggyback header must degrade into a
+// quarantine — never a crash, a hang, or a shadow-table entry outside the
+// receive buffer. The hooks below write hostile wire images directly, which
+// is strictly more adversarial than the sampled single-bit flips the
+// injection runtime produces.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fprop/inject/injector.h"
+#include "fprop/minic/compile.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/vm/hooks.h"
+
+namespace fprop::mpisim {
+namespace {
+
+// Rank 0 sends one word (3.5) to rank 1, which outputs what it received.
+const char* kSendRecvSrc = R"(
+fn main() {
+  var rank: int = mpi_rank();
+  var sb: float* = alloc_float(1);
+  var rb: float* = alloc_float(1);
+  if (rank == 0) {
+    sb[0] = 3.5;
+    mpi_send_f(1, 7, sb, 1);
+  }
+  if (rank == 1) {
+    mpi_recv_f(0, 7, rb, 1);
+    output_f(rb[0]);
+  }
+}
+)";
+
+/// Replaces every outgoing header's wire image with a fixed hostile stream.
+class ReplaceHeaderHook final : public vm::MsgCorruptHook {
+ public:
+  explicit ReplaceHeaderHook(std::vector<std::uint64_t> wire)
+      : wire_(std::move(wire)) {}
+  void on_message(std::uint32_t /*sender*/, std::uint64_t /*msg_index*/,
+                  std::uint64_t /*cycle*/,
+                  std::vector<std::uint64_t>& header_words,
+                  std::vector<std::uint64_t>& /*payload*/) override {
+    header_words = wire_;
+    ++calls_;
+  }
+  int calls() const noexcept { return calls_; }
+
+ private:
+  std::vector<std::uint64_t> wire_;
+  int calls_ = 0;
+};
+
+struct HostileRun {
+  JobResult job;
+  std::uint64_t headers_quarantined = 0;
+  std::uint64_t records_quarantined = 0;
+  std::size_t receiver_cml = 0;
+  std::vector<obs::Event> events;
+};
+
+HostileRun run_with_hostile_header(std::vector<std::uint64_t> wire) {
+  ir::Module m = minic::compile(kSendRecvSrc);
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  obs::TrialRecorder recorder;
+  cfg.recorder = &recorder;
+  World world(m, cfg);
+  ReplaceHeaderHook hook(std::move(wire));
+  world.set_msg_hook(&hook);
+  HostileRun r;
+  r.job = world.run();
+  EXPECT_EQ(hook.calls(), 1);
+  r.headers_quarantined = world.headers_quarantined();
+  r.records_quarantined = world.header_records_quarantined();
+  r.receiver_cml = world.fpm(1)->shadow().size();
+  r.events = recorder.ordered();
+  return r;
+}
+
+bool has_quarantine_event(const std::vector<obs::Event>& events) {
+  for (const auto& e : events) {
+    if (e.kind == obs::EventKind::HeaderQuarantined) return true;
+  }
+  return false;
+}
+
+TEST(HeaderCorruption, OutOfRangeDisplacementIsQuarantined) {
+  // One record claiming displacement 1000 in a 1-word buffer.
+  const auto r = run_with_hostile_header({1, 1000, 0xBAD});
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.job.outputs(), std::vector<double>{3.5});  // payload intact
+  EXPECT_EQ(r.headers_quarantined, 1u);
+  EXPECT_EQ(r.records_quarantined, 1u);
+  EXPECT_EQ(r.receiver_cml, 0u);  // nothing poisoned the shadow table
+  EXPECT_TRUE(has_quarantine_event(r.events));
+}
+
+TEST(HeaderCorruption, OverflowingDisplacementIsQuarantined) {
+  // displacement * 8 wraps uint64 — must not alias back into the table.
+  const auto r = run_with_hostile_header({1, ~0ull, 0xBAD});
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.records_quarantined, 1u);
+  EXPECT_EQ(r.receiver_cml, 0u);
+}
+
+TEST(HeaderCorruption, InflatedCountWordCannotForceAllocationOrCrash) {
+  // Count word claims 2^50 records; only garbage follows.
+  const auto r = run_with_hostile_header({1ull << 50, 77, 0xF00D});
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.job.outputs(), std::vector<double>{3.5});
+  EXPECT_EQ(r.headers_quarantined, 1u);  // malformed stream flagged
+  EXPECT_TRUE(has_quarantine_event(r.events));
+}
+
+TEST(HeaderCorruption, TruncatedStreamIsMalformedButHarmless) {
+  const auto r = run_with_hostile_header({3, 0});  // count 3, half a record
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.job.outputs(), std::vector<double>{3.5});
+  EXPECT_EQ(r.headers_quarantined, 1u);
+  EXPECT_EQ(r.receiver_cml, 0u);
+}
+
+TEST(HeaderCorruption, EmptyWireStreamIsMalformedButHarmless) {
+  const auto r = run_with_hostile_header({});
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.job.outputs(), std::vector<double>{3.5});
+  EXPECT_EQ(r.headers_quarantined, 1u);
+}
+
+TEST(HeaderCorruption, InRangeForgedRecordStaysConfinedToBuffer) {
+  // A forged in-range record *is* accepted (it is indistinguishable from a
+  // real one) — the threat model only guarantees confinement to the buffer.
+  const auto r = run_with_hostile_header({1, 0, 0x1234});
+  EXPECT_FALSE(r.job.crashed);
+  EXPECT_EQ(r.headers_quarantined, 0u);  // well-formed, in range
+  EXPECT_EQ(r.receiver_cml, 1u);         // exactly the forged entry
+}
+
+TEST(HeaderCorruption, CleanRunHasNoQuarantinesAndNoHookCost) {
+  ir::Module m = minic::compile(kSendRecvSrc);
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  World world(m, cfg);  // no hook attached
+  const JobResult job = world.run();
+  EXPECT_FALSE(job.crashed);
+  EXPECT_EQ(job.outputs(), std::vector<double>{3.5});
+  EXPECT_EQ(world.headers_quarantined(), 0u);
+  EXPECT_EQ(world.sent_messages()[0], 1u);
+  EXPECT_EQ(world.sent_messages()[1], 0u);
+}
+
+TEST(HeaderCorruption, InjectorPayloadFaultChangesDeliveredValue) {
+  // End-to-end through the real injection runtime: flip bit 1 of payload
+  // word 0 of rank 0's message #0. 3.5 arrives with its LSB-side mantissa
+  // perturbed — deterministically, twice.
+  std::vector<double> outs[2];
+  for (int run = 0; run < 2; ++run) {
+    ir::Module m = minic::compile(kSendRecvSrc);
+    WorldConfig cfg;
+    cfg.nranks = 2;
+    World world(m, cfg);
+    inject::InjectionPlan plan;
+    plan.msg_faults_by_rank[0] = {
+        {0, inject::MsgFaultTarget::Payload, 0, 1}};
+    inject::InjectorRuntime injector(plan);
+    world.set_msg_hook(&injector);
+    const JobResult job = world.run();
+    EXPECT_FALSE(job.crashed);
+    ASSERT_EQ(injector.msg_events().size(), 1u);
+    EXPECT_EQ(injector.msg_events()[0].target,
+              inject::MsgFaultTarget::Payload);
+    outs[run] = job.outputs();
+    ASSERT_EQ(outs[run].size(), 1u);
+    EXPECT_NE(outs[run][0], 3.5);
+  }
+  EXPECT_EQ(outs[0], outs[1]);  // bit-identical replay
+}
+
+TEST(HeaderCorruption, SentCountersAndQuarantinesAreCheckpointed) {
+  ir::Module m = minic::compile(kSendRecvSrc);
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  World world(m, cfg);
+  ReplaceHeaderHook hook({1, 1000, 0xBAD});
+  world.set_msg_hook(&hook);
+  const World::Checkpoint before = world.checkpoint();
+  EXPECT_EQ(before.sent_msgs, (std::vector<std::uint64_t>{0, 0}));
+  const JobResult job = world.run();
+  ASSERT_FALSE(job.crashed);
+  ASSERT_EQ(world.headers_quarantined(), 1u);
+  const World::Checkpoint after = world.checkpoint();
+  EXPECT_EQ(after.sent_msgs, world.sent_messages());
+  EXPECT_EQ(after.headers_quarantined, 1u);
+  EXPECT_EQ(after.header_records_quarantined, 1u);
+  // Rolling back rewinds the counters with the rest of the state...
+  world.restore(before);
+  EXPECT_EQ(world.sent_messages()[0], 0u);
+  EXPECT_EQ(world.headers_quarantined(), 0u);
+  EXPECT_EQ(world.header_records_quarantined(), 0u);
+  // ...and restoring forward reinstates them.
+  world.restore(after);
+  EXPECT_EQ(world.sent_messages()[0], 1u);
+  EXPECT_EQ(world.headers_quarantined(), 1u);
+  EXPECT_EQ(world.header_records_quarantined(), 1u);
+}
+
+}  // namespace
+}  // namespace fprop::mpisim

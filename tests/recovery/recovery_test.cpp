@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
 #include "fprop/minic/compile.h"
@@ -36,6 +38,9 @@ TEST(RecoveryConfig, InvalidValuesAreRejected) {
   RecoveryConfig no_retention;
   no_retention.max_retained = 0;
   EXPECT_THROW(RecoveryManager(world, no_retention), Error);
+  RecoveryConfig shrinking_backoff;
+  shrinking_backoff.rollback_backoff = 0.5;  // < 1 would tighten the grid
+  EXPECT_THROW(RecoveryManager(world, shrinking_backoff), Error);
 }
 
 TEST(RecoveryManager, FaultFreeJobRunsUntouched) {
@@ -178,6 +183,91 @@ TEST(RecoveryTrial, ExhaustedBudgetDegradesToCrash) {
   EXPECT_TRUE(t.recovery_gave_up);
   EXPECT_EQ(t.rollbacks, 0u);
   EXPECT_GE(t.detections, 1u);
+}
+
+// Finds a contaminating, non-crashing single-fault plan (the detector needs
+// something to see, and a trap would short-circuit the scan path).
+std::uint64_t find_detectable_dyn(harness::AppHarness& plain,
+                                  std::uint64_t bit) {
+  for (std::uint64_t dyn = 0;; ++dyn) {
+    EXPECT_LT(dyn, plain.golden().total_dyn_points);
+    const harness::TrialResult base =
+        plain.run_trial(inject::InjectionPlan::single(0, dyn, bit));
+    if (base.injected && base.total_cml_final > 0 &&
+        base.outcome != harness::Outcome::Crashed) {
+      return dyn;
+    }
+  }
+}
+
+TEST(RecoveryBackoff, EachRollbackWidensTheEffectiveInterval) {
+  harness::AppHarness plain = matvec_harness();
+  const std::uint64_t dyn = find_detectable_dyn(plain, 3);
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(plain.golden().global_cycles / 16, 1);
+
+  mpisim::World world(plain.module(), plain.world_config(/*tracing=*/false));
+  inject::InjectorRuntime inj(inject::InjectionPlan::single(0, dyn, 3));
+  world.set_inject_hook(&inj);
+  RecoveryConfig rc;
+  rc.policy = model::RollbackPolicy::Always;
+  rc.detector_interval = interval;
+  rc.rollback_backoff = 3.0;
+  RecoveryManager mgr(world, rc);
+  const mpisim::JobResult job = mgr.run();
+  EXPECT_FALSE(job.crashed);
+  const RecoveryReport& rep = mgr.report();
+  ASSERT_GE(rep.rollbacks, 1u);
+  // final = interval * 3^rollbacks, tracked through the same cast chain.
+  std::uint64_t want = interval;
+  for (std::size_t i = 0; i < rep.rollbacks; ++i) {
+    want = static_cast<std::uint64_t>(static_cast<double>(want) * 3.0);
+  }
+  EXPECT_EQ(rep.final_detector_interval, want);
+  EXPECT_GE(rep.final_detector_interval, 3 * interval);
+}
+
+TEST(RecoveryBackoff, UnitBackoffKeepsTheFixedGrid) {
+  harness::AppHarness plain = matvec_harness();
+  const std::uint64_t dyn = find_detectable_dyn(plain, 3);
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(plain.golden().global_cycles / 16, 1);
+
+  mpisim::World world(plain.module(), plain.world_config(/*tracing=*/false));
+  inject::InjectorRuntime inj(inject::InjectionPlan::single(0, dyn, 3));
+  world.set_inject_hook(&inj);
+  RecoveryConfig rc;
+  rc.policy = model::RollbackPolicy::Always;
+  rc.detector_interval = interval;  // rollback_backoff defaults to 1.0
+  RecoveryManager mgr(world, rc);
+  (void)mgr.run();
+  const RecoveryReport& rep = mgr.report();
+  ASSERT_GE(rep.rollbacks, 1u);
+  EXPECT_EQ(rep.final_detector_interval, interval);
+}
+
+TEST(RecoveryBackoff, WidenedGridStillEndsEveryTrialClassified) {
+  // The acceptance property for the degradation ladder: with backoff
+  // enabled, a recovery campaign still classifies every trial — widening
+  // never turns into a hang or an unclassified escape.
+  RecoveryConfig rc = enabled(model::RollbackPolicy::Always);
+  rc.rollback_backoff = 2.0;
+  rc.max_rollbacks = 3;
+  harness::AppHarness h = matvec_harness(rc);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 11;
+  const harness::CampaignResult r = run_campaign(h, cc);
+  EXPECT_EQ(r.counts.total(), cc.trials);
+  ASSERT_EQ(r.trials.size(), cc.trials);
+  for (const harness::TrialResult& t : r.trials) {
+    // Budget exhaustion tears down mid-run (Crashed via Killed) or the job
+    // had already finished when the last detection fired — either way the
+    // trial is classified, never hung.
+    if (t.recovery_gave_up && t.outcome == harness::Outcome::Crashed) {
+      EXPECT_EQ(t.trap, vm::Trap::Killed);
+    }
+  }
 }
 
 TEST(RecoveryTrial, SingleRetainedCheckpointStillRecovers) {

@@ -39,6 +39,8 @@ struct Options {
   bool shadow = true;
   bool parser = true;
   bool warm_vs_cold = true;
+  bool multifault = true;
+  bool header = true;
   std::size_t trials = 6;
   std::size_t jobs = 2;
   std::uint32_t nranks = 4;
@@ -54,9 +56,10 @@ void usage(std::FILE* out) {
                "  --seeds=N        seeds to run; 0 = until time budget "
                "(default 100)\n"
                "  --time-budget=S  stop after S seconds (default 0 = off)\n"
-               "  --oracles=LIST   comma list of "
-               "pristine,campaign,ckpt,shadow,parser,warm_vs_cold\n"
-               "                   (default all)\n"
+               "  --oracles=LIST   comma list of pristine,campaign,ckpt,"
+               "shadow,parser,\n"
+               "                   warm_vs_cold,multifault,header "
+               "(default all)\n"
                "  --trials=N       campaign-oracle trials per run (default 6)\n"
                "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
                "  --nranks=N       simulated MPI ranks (default 4)\n"
@@ -68,7 +71,7 @@ void usage(std::FILE* out) {
 
 bool parse_oracles(const std::string& list, Options& opt) {
   opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser =
-      opt.warm_vs_cold = false;
+      opt.warm_vs_cold = opt.multifault = opt.header = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -80,11 +83,13 @@ bool parse_oracles(const std::string& list, Options& opt) {
     else if (name == "shadow") opt.shadow = true;
     else if (name == "parser") opt.parser = true;
     else if (name == "warm_vs_cold") opt.warm_vs_cold = true;
+    else if (name == "multifault") opt.multifault = true;
+    else if (name == "header") opt.header = true;
     else if (!name.empty()) return false;
     start = comma + 1;
   }
   return opt.pristine || opt.campaign || opt.ckpt || opt.shadow ||
-         opt.parser || opt.warm_vs_cold;
+         opt.parser || opt.warm_vs_cold || opt.multifault || opt.header;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -195,6 +200,9 @@ int main(int argc, char** argv) {
         if (r.oracle == "warm_vs_cold") {
           return !fuzz::check_warm_vs_cold(p, oc).ok;
         }
+        if (r.oracle == "multifault") {
+          return !fuzz::check_multifault(p, oc).ok;
+        }
         return false;
       };
       fuzz::MinimizeStats st;
@@ -236,6 +244,12 @@ int main(int argc, char** argv) {
     }
     if (opt.warm_vs_cold) {
       report(fuzz::check_warm_vs_cold(prog, oc), seed, prog.source, true);
+    }
+    if (opt.multifault) {
+      report(fuzz::check_multifault(prog, oc), seed, prog.source, true);
+    }
+    if (opt.header) {
+      report(fuzz::check_header_adversarial(seed), seed, std::string(), true);
     }
     if (opt.shadow) {
       report(fuzz::check_shadow_model(seed), seed, std::string(), true);
