@@ -1,0 +1,110 @@
+// Bytecode-tier microbenchmarks (google-benchmark, DESIGN.md §13):
+//
+//   BM_DispatchVsStep*/tier:{0,1}  full execution of an instrumented registry
+//       app on the reference interpreter (tier=0) vs the direct-threaded
+//       dispatch loop (tier=1). Matvec runs a bare single Interp — the pure
+//       per-instruction dispatch ratio, isolated from everything else.
+//       Lulesh runs a 4-rank World with the harness's scheduler quantum —
+//       the ratio campaigns can actually see once message passing, slice
+//       scheduling and burst re-entry are included.
+//   BM_BytecodeCompile  one-time MiniIR -> bytecode lowering cost. The
+//       amortization argument: AppHarness compiles once per campaign, so
+//       compile_time / trials is the per-trial overhead — sub-microsecond
+//       for any real campaign size.
+//
+// Baseline snapshot: bench/BENCH_bytecode.json (see run_benches.sh header
+// for the regeneration procedure); gated by fprop-benchdiff in CI.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fprop/apps/registry.h"
+#include "fprop/fpm/runtime.h"
+#include "fprop/minic/compile.h"
+#include "fprop/mpisim/world.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/bytecode.h"
+#include "fprop/vm/interp.h"
+
+namespace {
+
+using namespace fprop;
+
+/// Instrumented module for a registry app (compiled once per process).
+const ir::Module& app_module(const std::string& name) {
+  static std::map<std::string, ir::Module> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    ir::Module m = minic::compile(apps::instantiate(apps::get_app(name)));
+    (void)passes::instrument_module(m);
+    it = cache.emplace(name, std::move(m)).first;
+  }
+  return it->second;
+}
+
+void BM_DispatchVsStepMatvec(benchmark::State& state) {
+  const ir::Module& m = app_module("matvec");
+  const bool use_bytecode = state.range(0) != 0;
+  vm::BytecodeModule bc(m);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    fpm::FpmRuntime fpm(0);
+    vm::Interp interp(m, 0, vm::InterpConfig{});
+    interp.set_fpm(&fpm);
+    if (use_bytecode) interp.set_bytecode(&bc);
+    if (interp.run(1ull << 30) != vm::RunState::Done) {
+      state.SkipWithError("app did not finish");
+    }
+    cycles = interp.cycles();
+  }
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+  state.counters["Minstr/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * 1e-6 *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["fused_pairs"] = static_cast<double>(bc.fused_pairs());
+}
+BENCHMARK(BM_DispatchVsStepMatvec)->ArgNames({"tier"})->Arg(0)->Arg(1);
+
+void BM_DispatchVsStepLulesh(benchmark::State& state) {
+  const ir::Module& m = app_module("lulesh");
+  const bool use_bytecode = state.range(0) != 0;
+  vm::BytecodeModule bc(m);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    mpisim::WorldConfig wc;
+    wc.nranks = apps::get_app("lulesh").default_nranks;
+    wc.fpm_sample_period = 0;  // campaigns trace only on request
+    wc.slice = 256;            // the harness's scheduler quantum
+    if (use_bytecode) wc.bytecode = &bc;
+    mpisim::World world(m, wc);
+    const mpisim::JobResult job = world.run();
+    if (job.crashed) state.SkipWithError("job crashed");
+    cycles = job.global_cycles;
+  }
+  state.counters["vm_instructions"] = static_cast<double>(cycles);
+  state.counters["Minstr/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * 1e-6 *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["fused_pairs"] = static_cast<double>(bc.fused_pairs());
+}
+BENCHMARK(BM_DispatchVsStepLulesh)->ArgNames({"tier"})->Arg(0)->Arg(1);
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  const ir::Module& m = app_module("lulesh");
+  for (auto _ : state) {
+    vm::BytecodeModule bc(m);
+    benchmark::DoNotOptimize(bc.total_instrs());
+  }
+  state.counters["bc_instrs"] =
+      static_cast<double>(vm::BytecodeModule(m).total_instrs());
+}
+BENCHMARK(BM_BytecodeCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

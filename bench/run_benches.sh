@@ -18,6 +18,7 @@
 #   cp bench-baseline/BENCH_shadowtable.json bench/
 #   cp bench-baseline/BENCH_snapshot_ladder.json bench/
 #   cp bench-baseline/BENCH_multifault.json bench/
+#   cp bench-baseline/BENCH_bytecode.json bench/
 # Do this on a quiet machine only after an intentional perf change; the CI
 # bench-regression job compares fresh runs against these files with
 # fprop-benchdiff --threshold=0.30.
@@ -30,7 +31,7 @@
 set -euo pipefail
 
 BENCHES=(perf_overhead perf_shadowtable perf_vm perf_checkpoint perf_campaign
-         perf_multifault perf_snapshot_ladder)
+         perf_multifault perf_snapshot_ladder perf_bytecode)
 
 build_dir="build"
 out_dir=""
@@ -63,6 +64,11 @@ fi
 
 mkdir -p "${out_dir}"
 
+# Run every benchmark even if one fails (a filter that matches nothing makes
+# google-benchmark exit non-zero), but never swallow a failure: remember the
+# first bad exit code, name every failing binary, and propagate the code.
+first_rc=0
+failed=()
 for name in "${BENCHES[@]}"; do
   bin="${build_dir}/bench/${name}"
   if [[ ! -x "${bin}" ]]; then
@@ -71,8 +77,18 @@ for name in "${BENCHES[@]}"; do
   fi
   out="${out_dir}/BENCH_${name#perf_}.json"
   echo "== ${name} -> ${out}"
+  rc=0
   "${bin}" --benchmark_format=json --benchmark_out="${out}" \
-           --benchmark_out_format=json "${extra_args[@]}"
+           --benchmark_out_format=json "${extra_args[@]}" || rc=$?
+  if [[ ${rc} -ne 0 ]]; then
+    echo "error: ${bin} exited with status ${rc}" >&2
+    failed+=("${name}")
+    if [[ ${first_rc} == 0 ]]; then first_rc=${rc}; fi
+  fi
 done
 
+if [[ ${first_rc} -ne 0 ]]; then
+  echo "error: ${#failed[@]} benchmark(s) failed: ${failed[*]}" >&2
+  exit "${first_rc}"
+fi
 echo "done: results in ${out_dir}"

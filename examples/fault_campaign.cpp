@@ -4,6 +4,7 @@
 // split that only the FPM framework can measure.
 //
 //   $ ./fault_campaign [app] [trials] [--jobs=N] [--cold-start]
+//                      [--exec-tier=interp|bytecode]
 //                      [--faults-per-trial=K] [--corrupt-headers[=M]]
 //                      [--trace-dir=D] [--metrics-out=F]
 //   $ ./fault_campaign lulesh 200 --jobs=8
@@ -14,6 +15,10 @@
 // results are bit-identical at any jobs value.
 // --cold-start replays every trial from cycle 0 instead of resuming from
 // the golden snapshot ladder (the default; also bit-identical).
+// --exec-tier selects the per-trial execution tier (DESIGN.md §13):
+// bytecode (the default) runs the compiled direct-threaded dispatch loop,
+// interp forces the reference interpreter everywhere. Results are
+// bit-identical either way; the flag exists for A/B timing runs.
 // --faults-per-trial=K samples K register faults per trial (DESIGN.md §12
 // multi-fault scenarios; default 1, 0 = none).
 // --corrupt-headers[=M] adds M in-flight message faults per trial (bit
@@ -40,6 +45,7 @@ void usage(std::FILE* out) {
                "usage: fault_campaign [app] [trials] [options]\n"
                "  --jobs=N             worker threads (default: all)\n"
                "  --cold-start         replay every trial from cycle 0\n"
+               "  --exec-tier=T        interp | bytecode (default bytecode)\n"
                "  --faults-per-trial=K register faults per trial (default 1)\n"
                "  --corrupt-headers[=M] in-flight message faults per trial\n"
                "                       (default M=1 when given, else 0)\n"
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
   std::size_t faults_per_trial = 1;
   std::size_t msg_faults = 0;
   bool cold = false;
+  vm::ExecTier tier = vm::ExecTier::Bytecode;
   std::string trace_dir;
   std::string metrics_out;
   int positional = 0;
@@ -69,6 +76,17 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--cold-start") == 0) {
       cold = true;
+    } else if (std::strncmp(argv[i], "--exec-tier=", 12) == 0) {
+      const char* t = argv[i] + 12;
+      if (std::strcmp(t, "interp") == 0) {
+        tier = vm::ExecTier::Interp;
+      } else if (std::strcmp(t, "bytecode") == 0) {
+        tier = vm::ExecTier::Bytecode;
+      } else {
+        std::fprintf(stderr, "fault_campaign: bad --exec-tier '%s'\n", t);
+        usage(stderr);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--faults-per-trial=", 19) == 0) {
       faults_per_trial = static_cast<std::size_t>(std::atoi(argv[i] + 19));
     } else if (std::strcmp(argv[i], "--corrupt-headers") == 0) {
@@ -110,6 +128,7 @@ int main(int argc, char** argv) {
   cc.msg_faults_per_run = msg_faults;
   cc.jobs = jobs;
   cc.warm_start = !cold;
+  cc.exec_tier = tier;
   cc.trace_dir = trace_dir;
   if (!metrics_out.empty()) cc.metrics = &obs::MetricsRegistry::global();
   const harness::CampaignResult r = run_campaign(h, cc);

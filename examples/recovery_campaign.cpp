@@ -5,6 +5,7 @@
 // deciding whether a detection is worth re-executing work for.
 //
 //   $ ./recovery_campaign [app] [trials] [--jobs=N] [--cold-start]
+//                         [--exec-tier=interp|bytecode]
 //                         [--faults-per-trial=K] [--corrupt-headers[=M]]
 //                         [--backoff=B] [--trace-dir=D] [--metrics-out=F]
 //   $ ./recovery_campaign matvec 200 --jobs=8
@@ -46,11 +47,16 @@ struct FaultOptions {
   std::size_t msg_faults = 0;
 };
 
+// Execution tier for every trial (DESIGN.md §13); bit-identical either way,
+// exposed for A/B timing runs like fault_campaign's flag.
+vm::ExecTier g_tier = vm::ExecTier::Bytecode;
+
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: recovery_campaign [app] [trials] [options]\n"
                "  --jobs=N             worker threads (default: all)\n"
                "  --cold-start         replay every trial from cycle 0\n"
+               "  --exec-tier=T        interp | bytecode (default bytecode)\n"
                "  --faults-per-trial=K register faults per trial (default 1)\n"
                "  --corrupt-headers[=M] in-flight message faults per trial\n"
                "                       (default M=1 when given, else 0)\n"
@@ -72,6 +78,7 @@ harness::CampaignResult campaign(const char* app, std::size_t trials,
   cc.trials = trials;
   cc.jobs = jobs;
   cc.warm_start = !cold;
+  cc.exec_tier = g_tier;
   cc.faults_per_run = faults.faults_per_trial;
   cc.msg_faults_per_run = faults.msg_faults;
   if (!obs_opts.trace_dir.empty()) {
@@ -113,6 +120,17 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--cold-start") == 0) {
       cold = true;
+    } else if (std::strncmp(argv[i], "--exec-tier=", 12) == 0) {
+      const char* t = argv[i] + 12;
+      if (std::strcmp(t, "interp") == 0) {
+        g_tier = vm::ExecTier::Interp;
+      } else if (std::strcmp(t, "bytecode") == 0) {
+        g_tier = vm::ExecTier::Bytecode;
+      } else {
+        std::fprintf(stderr, "recovery_campaign: bad --exec-tier '%s'\n", t);
+        usage(stderr);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--faults-per-trial=", 19) == 0) {
       faults.faults_per_trial = static_cast<std::size_t>(std::atoi(argv[i] + 19));
     } else if (std::strcmp(argv[i], "--corrupt-headers") == 0) {

@@ -91,6 +91,14 @@ class FpmRuntime {
     if (sample_period_ != 0) trace_.push_back({cycle, shadow_.size()});
   }
 
+  /// True when tick() has any observable effect. The dispatch loop hoists
+  /// this check out of its per-instruction path: when false, skipping tick()
+  /// entirely is semantics-preserving (both conditions are run-constant —
+  /// the recorder is attached at World construction, the period at ours).
+  bool needs_tick() const noexcept {
+    return recorder_ != nullptr || sample_period_ != 0;
+  }
+
   std::uint64_t sample_period() const noexcept { return sample_period_; }
 
   /// Complete bookkeeping state (shadow table incl. its peak, stats, trace,

@@ -27,6 +27,12 @@
 //              records than are physically present; install_header confines
 //              every accepted record to the receive buffer and accounts
 //              installed + quarantined exactly; honest headers round-trip.
+//   bytecode_vs_interp  the compiled execution tier (DESIGN.md §13) is
+//              bit-identical to the reference interpreter: uninjected jobs
+//              match field-for-field including cycle counts and CML
+//              bookkeeping, and injected campaigns (single- and multi-
+//              fault, cold- and warm-started) produce identical
+//              CampaignResults under both tiers.
 //
 // Oracles never throw: any unexpected exception is itself a violation and is
 // reported through OracleResult.
@@ -107,6 +113,16 @@ OracleResult check_warm_vs_cold(const GeneratedProgram& prog,
 /// every trial.
 OracleResult check_multifault(const GeneratedProgram& prog,
                               const OracleConfig& config = {});
+
+/// Oracle "bytecode_vs_interp": compiles `prog` instrumented and requires
+/// the bytecode tier to be bit-identical to the reference interpreter:
+/// (a) an uninjected World run with the compiled tier equals the interp run
+/// field-for-field (cycles, outputs, CML bookkeeping); (b) an AppHarness
+/// campaign (single-fault, then config.multifault_k faults per trial) run
+/// with CampaignConfig::exec_tier = Bytecode equals the Interp-tier
+/// campaign field-for-field, both cold- and warm-started.
+OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
+                                      const OracleConfig& config = {});
 
 /// Oracle "header": drives fpm::serialize_header / deserialize_header /
 /// install_header through `iters` seed-derived adversarial wire streams

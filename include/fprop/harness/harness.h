@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include "fprop/apps/registry.h"
 #include "fprop/fpm/runtime.h"
+#include "fprop/vm/bytecode.h"
 #include "fprop/inject/injector.h"
 #include "fprop/mpisim/world.h"
 #include "fprop/obs/events.h"
@@ -196,6 +198,13 @@ struct TrialOptions {
   obs::TrialRecorder* recorder = nullptr;
   /// Pre-resolved metric handles (null = no metrics fold).
   const TrialMetricHandles* metrics = nullptr;
+  /// Execution tier (DESIGN.md §13). Bytecode (the default) runs the
+  /// dispatch loop wherever no hook needs per-instruction visibility and
+  /// produces bit-identical TrialResults; ranks with an attached recorder or
+  /// taint runtime, and the instruction at a planned fault's dyn-index,
+  /// always go through the reference interpreter. Interp forces the
+  /// reference tier everywhere (A/B runs, differential oracles).
+  vm::ExecTier exec_tier = vm::ExecTier::Bytecode;
 };
 
 class AppHarness {
@@ -245,6 +254,11 @@ class AppHarness {
   /// detector scan grid (clean-scan checkpoint boundaries of a cold run).
   const std::vector<SnapshotRung>& snapshot_ladder() const;
 
+  /// Compiled bytecode for the instrumented module (DESIGN.md §13), built
+  /// lazily on first bytecode-tier trial (thread-safe) and shared read-only
+  /// across campaign workers.
+  const vm::BytecodeModule& bytecode() const;
+
   /// Trial World configuration (exposed for the midpoint-equivalence test
   /// and the ladder bench; `tracing` toggles the CML sample periods only).
   mpisim::WorldConfig world_config(bool tracing) const;
@@ -266,6 +280,8 @@ class AppHarness {
   GoldenRun golden_;
   mutable std::once_flag ladder_once_;
   mutable std::vector<SnapshotRung> ladder_;
+  mutable std::once_flag bytecode_once_;
+  mutable std::unique_ptr<vm::BytecodeModule> bytecode_;
 };
 
 /// Outcome counters for a campaign (Fig. 6 row).
@@ -315,6 +331,10 @@ struct CampaignConfig {
   /// that attach a recorder (trace_dir set or metrics != nullptr) always
   /// cold-start: the skipped prefix's event stream cannot be replayed.
   bool warm_start = true;
+  /// Execution tier for every trial (TrialOptions::exec_tier). The examples
+  /// and benches expose `--exec-tier={interp,bytecode}`; the tier-equivalence
+  /// fuzz oracle diffs the two.
+  vm::ExecTier exec_tier = vm::ExecTier::Bytecode;
 
   // --- observability (DESIGN.md §8) ----------------------------------------
   /// When non-empty: per-trial Chrome trace JSON (trial_NNNNNN.json) plus

@@ -121,6 +121,14 @@ class InjectorRuntime final : public vm::InjectHook,
   std::uint64_t on_fim_inj(vm::Interp& self, std::uint64_t value,
                            std::int64_t site_id, unsigned width) override;
 
+  /// Fast-tier contract (vm/hooks.h): exposes the rank's dyn-counter for
+  /// direct increment and the next pending fault's dyn_index as the stop
+  /// bound, so the bytecode tier runs through fault-free fim_inj spans at
+  /// native speed and escapes to step() exactly at planned strikes. Returns
+  /// the null (reference-tier) state while width recording is enabled —
+  /// profiling runs must observe every site.
+  vm::FastInjectState fim_fast_state(std::uint32_t rank) override;
+
   /// vm::MsgCorruptHook: fired by the MPI simulator for every point-to-point
   /// message at its send, after header serialization. Applies every planned
   /// message fault for (sender, msg_index), reducing the raw word draw into

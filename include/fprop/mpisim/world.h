@@ -41,6 +41,11 @@ struct WorldConfig {
   /// Per-trial event recorder (DESIGN.md §8); wired into every rank's
   /// interpreter and FPM runtime. Null (the default) disables tracing.
   obs::TrialRecorder* recorder = nullptr;
+  /// Compiled execution tier (DESIGN.md §13), shared read-only across ranks
+  /// (and across Worlds — campaign workers pass the same module). Must be
+  /// compiled from the module the World runs and outlive it; null keeps
+  /// every rank on the reference interpreter.
+  const vm::BytecodeModule* bytecode = nullptr;
 };
 
 /// Wildcards accepted by recv (matching MPI_ANY_SOURCE / MPI_ANY_TAG).

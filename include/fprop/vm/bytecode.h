@@ -1,0 +1,257 @@
+#pragma once
+
+// Compiled execution tier for MiniVM (DESIGN.md §13).
+//
+// Each MiniIR function is lowered once into a flat, linearized bytecode
+// stream: operands are resolved to frame register slots, branch targets to
+// instruction offsets within the stream, and hot adjacent pairs are fused
+// into superinstructions. The stream is executed by a direct-threaded
+// dispatch loop (src/vm/dispatch.cpp — computed goto on GCC/Clang, a switch
+// fallback elsewhere) that maintains exactly the interpreter's virtual
+// clock, dyn-counter and trap semantics; Interp::step() stays the
+// bit-exactness reference and the mandatory fallback whenever a hook needs
+// per-instruction visibility (TrialRecorder, taint mode, width-recording
+// profiling, CycleProbe) and for the instruction window around planned
+// fault dyn-indexes.
+//
+// Fusion families (chosen from the instruction adjacency the passes
+// produce — see DESIGN.md §13 for the profile):
+//   *Dup        same-opcode (primary, shadow) pair — the dominant pair in
+//               dual-chain instrumented streams
+//   *Br         compare feeding a conditional branch
+//   *St         pure binary op feeding a store (plain streams)
+//   LoadFetch   Load + FpmFetch (the dual-chain load expansion)
+//   Load2       two adjacent loads (plain streams: x = a[i] + b[i])
+//   PtrAddLoad  address computation feeding its load (index+load)
+//   FimInj2     two adjacent injection sites (both operands instrumented)
+//
+// A second, bytecode-level merge pass then combines adjacent *fused* pairs
+// into the 3- and 4-IR-instruction groups that dominate dual-chain loops
+// (see bcop_arity / DESIGN.md §13 for the dynamic profile that picked them):
+//   *DupBr       compare pair + conditional branch (loop back-edges)
+//   MovDupJmp    move pair + unconditional jump (latch blocks)
+//   PtrAddLF     address pair + its dual-chain load (PtrAddDup + LoadFetch)
+//   ConstIDupInj constant pair + injection site on the result
+//   LFInj2       dual-chain load + both operand injection sites
+//   IntrDup      (primary, shadow) intrinsic pair
+//   Inj*Dup      injection site + the fused pair consuming it
+//   Inj2*Dup     both injection sites + the fused pair consuming them
+//
+// Fusion never crosses a basic-block boundary and never involves an
+// instruction that can transfer control out of the stream (Call/Ret/MPI).
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/ir/ir.h"
+
+namespace fprop::vm {
+
+/// Per-trial execution tier selection (harness::TrialOptions /
+/// harness::CampaignConfig). Bytecode is bit-identical to Interp by
+/// construction; Interp remains the reference.
+enum class ExecTier : std::uint8_t { Interp, Bytecode };
+
+// X-macro op lists shared by the BcOp enum (here) and the dispatch loop's
+// handler/label tables (src/vm/dispatch.cpp). Each entry carries the
+// evaluation expression over operand values A and B (both std::uint64_t);
+// the enum expansion ignores it, the dispatch loop expands it verbatim.
+// Keeping one list guarantees enum order and label-table order agree.
+#define FPROP_BC_ARITH2(X)                                                   \
+  X(AddI, A + B)                                                             \
+  X(SubI, A - B)                                                             \
+  X(MulI, A* B)                                                              \
+  X(AndI, A& B)                                                              \
+  X(OrI, A | B)                                                              \
+  X(XorI, A ^ B)                                                             \
+  X(ShlI, A << (B & 63))                                                     \
+  X(ShrI, A >> (B & 63))                                                     \
+  X(PtrAdd, A + B * 8)                                                       \
+  X(AddF, ::fprop::vm::bits_of(::fprop::vm::double_of(A) +                   \
+                               ::fprop::vm::double_of(B)))                   \
+  X(SubF, ::fprop::vm::bits_of(::fprop::vm::double_of(A) -                   \
+                               ::fprop::vm::double_of(B)))                   \
+  X(MulF, ::fprop::vm::bits_of(::fprop::vm::double_of(A) *                   \
+                               ::fprop::vm::double_of(B)))                   \
+  X(DivF, ::fprop::vm::bits_of(::fprop::vm::double_of(A) /                   \
+                               ::fprop::vm::double_of(B)))
+
+#define FPROP_BC_CMP2(X)                                                     \
+  X(EqI, A == B ? 1u : 0u)                                                   \
+  X(NeI, A != B ? 1u : 0u)                                                   \
+  X(LtI, static_cast<std::int64_t>(A) < static_cast<std::int64_t>(B) ? 1u   \
+                                                                     : 0u)  \
+  X(LeI, static_cast<std::int64_t>(A) <= static_cast<std::int64_t>(B) ? 1u  \
+                                                                      : 0u) \
+  X(GtI, static_cast<std::int64_t>(A) > static_cast<std::int64_t>(B) ? 1u   \
+                                                                     : 0u)  \
+  X(GeI, static_cast<std::int64_t>(A) >= static_cast<std::int64_t>(B) ? 1u  \
+                                                                      : 0u) \
+  X(EqF, ::fprop::vm::double_of(A) == ::fprop::vm::double_of(B) ? 1u : 0u)   \
+  X(NeF, ::fprop::vm::double_of(A) != ::fprop::vm::double_of(B) ? 1u : 0u)   \
+  X(LtF, ::fprop::vm::double_of(A) < ::fprop::vm::double_of(B) ? 1u : 0u)    \
+  X(LeF, ::fprop::vm::double_of(A) <= ::fprop::vm::double_of(B) ? 1u : 0u)   \
+  X(GtF, ::fprop::vm::double_of(A) > ::fprop::vm::double_of(B) ? 1u : 0u)    \
+  X(GeF, ::fprop::vm::double_of(A) >= ::fprop::vm::double_of(B) ? 1u : 0u)   \
+  X(EqP, A == B ? 1u : 0u)                                                   \
+  X(NeP, A != B ? 1u : 0u)
+
+#define FPROP_BC_BIN2(X) FPROP_BC_ARITH2(X) FPROP_BC_CMP2(X)
+
+// Unary pure ops; the expression uses operand value A only.
+#define FPROP_BC_UN1(X)                                                      \
+  X(Mov, A)                                                                  \
+  X(NegI, 0 - A)                                                             \
+  X(NotI, ~A)                                                                \
+  X(NegF, ::fprop::vm::bits_of(-::fprop::vm::double_of(A)))                  \
+  X(I2F, ::fprop::vm::bits_of(                                               \
+             static_cast<double>(static_cast<std::int64_t>(A))))
+
+#define FPROP_BC_E(n, e) n,
+#define FPROP_BC_E_DUP(n, e) n##Dup,
+#define FPROP_BC_E_ST(n, e) n##St,
+#define FPROP_BC_E_BR(n, e) n##Br,
+#define FPROP_BC_E_DUPBR(n, e) n##DupBr,
+#define FPROP_BC_E_INJDUP(n, e) Inj##n##Dup,
+#define FPROP_BC_E_INJ2DUP(n, e) Inj2##n##Dup,
+
+enum class BcOp : std::uint8_t {
+  // Base ops (one IR instruction each).
+  FPROP_BC_BIN2(FPROP_BC_E)       // binary pure ops, names match ir::Opcode
+  FPROP_BC_UN1(FPROP_BC_E)        // unary pure ops
+  F2I,                            // saturating trunc (helper, not an expr)
+  ConstI,                         // also ConstF (f64 payload pre-bitcast)
+  DivI, RemI,                     // trap on zero divisor
+  Load, Store, FpmFetch, FpmStore, FimInj,
+  Jmp, Br,                        // t1/t2 are bytecode offsets
+  IntrPure,                       // sub = IntrinsicId (Sqrt..IMax)
+  Rand01, ClockRd, OutputF, OutputI, ReportIters, Alloc, MpiRank, MpiSize,
+  Escape,                         // Call/Ret/MPI/abort: one Interp::step()
+  // Fused superinstructions (two IR instructions each).
+  FPROP_BC_BIN2(FPROP_BC_E_DUP)   // (primary, shadow) same-opcode pairs
+  FPROP_BC_UN1(FPROP_BC_E_DUP)
+  F2IDup,
+  ConstIDup,
+  FPROP_BC_BIN2(FPROP_BC_E_ST)    // binary op + Store of any value reg
+  FPROP_BC_CMP2(FPROP_BC_E_BR)    // compare + Br on any condition reg
+  LoadFetch, Load2, PtrAddLoad, FimInj2,
+  // Merged superinstructions (three or four IR instructions each); produced
+  // by the bytecode-level peephole pass over already-fused pairs.
+  FPROP_BC_CMP2(FPROP_BC_E_DUPBR)  // compare pair + Br (cond reg in p32a)
+  MovDupJmp,                       // MovDup + Jmp
+  PtrAddLF,                        // PtrAddDup + LoadFetch (dsts in p32a/b)
+  ConstIDupInj,                    // ConstIDup + FimInj (inj regs in c, d)
+  LFInj2,                          // LoadFetch + FimInj2 (inj regs in p16)
+  IntrDup,                         // IntrPure pair (tail id in sub2)
+  FPROP_BC_BIN2(FPROP_BC_E_INJDUP)   // FimInj + pair (inj regs in p32a/b)
+  FPROP_BC_BIN2(FPROP_BC_E_INJ2DUP)  // FimInj2 + pair (inj regs in p16)
+  Count,
+};
+
+#undef FPROP_BC_E
+#undef FPROP_BC_E_DUP
+#undef FPROP_BC_E_ST
+#undef FPROP_BC_E_BR
+#undef FPROP_BC_E_DUPBR
+#undef FPROP_BC_E_INJDUP
+#undef FPROP_BC_E_INJ2DUP
+
+inline constexpr unsigned kBcOpCount = static_cast<unsigned>(BcOp::Count);
+
+/// Largest IR-instruction span of any single bytecode instruction (the
+/// 4-IR merged groups). The dispatch loop only enters a bytecode burst with
+/// at least this much fuel so a group never straddles a budget boundary.
+inline constexpr std::uint64_t kBcMaxFuse = 4;
+
+const char* bcop_name(BcOp op) noexcept;
+/// True for the multi-IR-instruction superinstructions.
+bool bcop_is_fused(BcOp op) noexcept;
+/// IR instructions covered by one bytecode instruction (1, 2, 3 or 4).
+unsigned bcop_arity(BcOp op) noexcept;
+
+/// One bytecode instruction. Fused pairs pack both IR instructions: (a, b,
+/// dst, imm) belong to the head, (c, d, dst2, imm2) to the tail; IR
+/// positions within a group are consecutive from (src_block, src_ip). The
+/// merged 3/4-IR groups additionally pack register numbers into `imm` —
+/// either two 32-bit fields (p32a/p32b) or four 16-bit fields (p16); the
+/// 16-bit packings are only emitted when every packed register is < 2^16.
+struct BcInstr {
+  BcOp op = BcOp::Escape;
+  std::uint8_t sub = 0;       ///< IntrPure/IntrDup: head ir::IntrinsicId
+  std::uint8_t sub2 = 0;      ///< IntrDup: tail ir::IntrinsicId
+  ir::Reg dst = ir::kNoReg;
+  ir::Reg dst2 = ir::kNoReg;
+  ir::Reg a = ir::kNoReg;
+  ir::Reg b = ir::kNoReg;
+  ir::Reg c = ir::kNoReg;
+  ir::Reg d = ir::kNoReg;
+  std::int64_t imm = 0;       ///< ConstI payload (ConstF pre-bitcast)
+  std::int64_t imm2 = 0;      ///< ConstIDup: tail payload
+  std::uint32_t t1 = 0;       ///< Jmp/Br/*Br taken target (bytecode offset)
+  std::uint32_t t2 = 0;       ///< Br/*Br fall-through target
+  ir::BlockId src_block = 0;  ///< IR position of the (head) instruction,
+  std::uint32_t src_ip = 0;   ///< for frame sync on loop exit and traps
+
+  /// Packed register accessors over `imm` (merged groups only).
+  ir::Reg p32a() const noexcept {
+    return static_cast<ir::Reg>(static_cast<std::uint64_t>(imm));
+  }
+  ir::Reg p32b() const noexcept {
+    return static_cast<ir::Reg>(static_cast<std::uint64_t>(imm) >> 32);
+  }
+  ir::Reg p16(unsigned k) const noexcept {
+    return static_cast<ir::Reg>(
+        (static_cast<std::uint64_t>(imm) >> (16 * k)) & 0xffffu);
+  }
+  static std::int64_t pack32(ir::Reg lo, ir::Reg hi) noexcept {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) |
+                                     (static_cast<std::uint64_t>(hi) << 32));
+  }
+  static std::int64_t pack16(ir::Reg r0, ir::Reg r1, ir::Reg r2,
+                             ir::Reg r3) noexcept {
+    return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(r0) | (static_cast<std::uint64_t>(r1) << 16) |
+        (static_cast<std::uint64_t>(r2) << 32) |
+        (static_cast<std::uint64_t>(r3) << 48));
+  }
+};
+
+/// One function's linearized stream plus the IR-position maps the dispatch
+/// loop needs to enter and leave it at arbitrary instruction boundaries.
+struct BcFunction {
+  std::vector<BcInstr> code;
+  /// Bytecode offset of each block's first instruction.
+  std::vector<std::uint32_t> block_start;
+  /// ir2bc[block][ip] = bytecode offset of the instruction covering that IR
+  /// position, or -1 when the position is a *tail* inside a fused group
+  /// (entry there — possible after a slice stop, snapshot restore or strike
+  /// mid-group — executes one reference step() and re-enters at the next
+  /// head).
+  std::vector<std::vector<std::int32_t>> ir2bc;
+  std::size_t fused = 0;   ///< fused pairs emitted by pass 1 (stats/tests)
+  std::size_t merged = 0;  ///< 3/4-IR groups emitted by the merge pass
+};
+
+/// Whole-module compilation result. Compiled once per instrumented module
+/// (AppHarness caches it); read-only and shared across campaign worker
+/// threads afterwards.
+class BytecodeModule {
+ public:
+  explicit BytecodeModule(const ir::Module& module);
+
+  const ir::Module* module() const noexcept { return module_; }
+  const BcFunction& func(ir::FuncId id) const { return funcs_.at(id); }
+  std::size_t num_funcs() const noexcept { return funcs_.size(); }
+  /// Total fused pairs across all functions.
+  std::size_t fused_pairs() const noexcept;
+  /// Total merged 3/4-IR groups across all functions.
+  std::size_t merged_groups() const noexcept;
+  /// Total bytecode instructions across all functions.
+  std::size_t total_instrs() const noexcept;
+
+ private:
+  const ir::Module* module_;
+  std::vector<BcFunction> funcs_;  ///< indexed by ir::FuncId
+};
+
+}  // namespace fprop::vm

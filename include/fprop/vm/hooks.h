@@ -11,6 +11,20 @@ namespace fprop::vm {
 
 class Interp;
 
+/// Contract that lets the bytecode tier run through `fim_inj` sites at native
+/// speed (see bytecode.h). When `counter` is non-null, the fast tier
+/// increments it directly at every fim_inj site instead of calling
+/// on_fim_inj — but escapes back to the reference interpreter *before*
+/// executing any site whose dyn-index (`*counter` at that site) has reached
+/// `stop_before`, so the planned strike itself always goes through
+/// on_fim_inj with full per-instruction visibility. A null `counter` means
+/// the hook needs to observe every site (width profiling, cycle probes) and
+/// the rank must stay on the reference tier.
+struct FastInjectState {
+  std::uint64_t* counter = nullptr;
+  std::uint64_t stop_before = ~0ull;
+};
+
 /// Implemented by the LLFI++ injection runtime: called for every executed
 /// `fim_inj` instrumentation instruction with the live operand value; returns
 /// the (possibly bit-flipped) value to substitute. `width` is the live
@@ -22,6 +36,13 @@ class InjectHook {
   virtual std::uint64_t on_fim_inj(Interp& self, std::uint64_t value,
                                    std::int64_t site_id,
                                    unsigned width) = 0;
+  /// Fast-tier contract for `rank` (re-queried after every escape, so the
+  /// stop index may advance as planned faults fire). The default keeps
+  /// unknown hooks on the reference tier.
+  virtual FastInjectState fim_fast_state(std::uint32_t rank) {
+    (void)rank;
+    return {};
+  }
 };
 
 /// Implemented by the injection runtime, invoked by the MPI simulator (both

@@ -25,6 +25,9 @@
 
 namespace fprop::vm {
 
+class BytecodeModule;
+struct BcFunction;
+
 enum class Trap : std::uint8_t {
   None,
   BadAccess,      ///< invalid or unaligned memory address
@@ -90,6 +93,12 @@ class Interp {
     taint_ = taint;
     if (taint_ != nullptr) ensure_taint_frames();
   }
+  /// Attaches the compiled execution tier (null detaches). `bc` must be
+  /// compiled from the module this interpreter runs and must outlive it.
+  /// run() then uses the direct-threaded dispatch loop whenever no attached
+  /// hook needs per-instruction visibility (see run_bytecode); results are
+  /// bit-identical either way.
+  void set_bytecode(const BytecodeModule* bc);
 
   /// Executes up to `max_steps` instructions; returns the resulting state.
   /// Resumable: call again after Blocked (or to continue a Ready rank).
@@ -147,6 +156,18 @@ class Interp {
   bool exec_intrinsic(const ir::Instr& in);
   /// Local (single-rank) semantics for MPI intrinsics when no hook is set.
   bool exec_mpi_local(const ir::Instr& in);
+  /// Fast-tier outer loop: alternates bytecode bursts (exec_bc) with single
+  /// reference steps at positions the stream cannot cover (fused-pair tails
+  /// after a restore, Call/Ret/MPI escapes, planned fault strikes, the last
+  /// budgeted instruction). Only entered when eligible — see run().
+  RunState run_bytecode(std::uint64_t max_steps);
+  /// One bytecode burst inside the current frame, executing at most `fuel`
+  /// IR instructions (callers guarantee fuel >= 2 so a fused pair never
+  /// splits). Returns the number executed; on return the frame ip/block are
+  /// synced to the next unexecuted instruction (or the trapping one).
+  std::uint64_t exec_bc(const BcFunction& bf, std::uint32_t pc,
+                        std::uint64_t fuel, std::uint64_t* inj_counter,
+                        std::uint64_t inj_stop);
   void finish_instr();  ///< cycle accounting + fpm tick + budget check
   /// Sizes every live frame's taint array (lazy taint-mode enable, hoisted
   /// out of the per-instruction path).
@@ -175,6 +196,7 @@ class Interp {
   std::int64_t reported_iters_ = -1;
   std::int64_t abort_code_ = 0;
 
+  const BytecodeModule* bytecode_ = nullptr;
   InjectHook* inject_ = nullptr;
   MpiHook* mpi_ = nullptr;
   fpm::FpmRuntime* fpm_ = nullptr;

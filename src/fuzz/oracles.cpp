@@ -683,6 +683,76 @@ OracleResult check_multifault(const GeneratedProgram& prog,
   return res;
 }
 
+OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
+                                      const OracleConfig& config) {
+  OracleResult res;
+  res.oracle = "bytecode_vs_interp";
+  try {
+    // Leg 1: uninjected instrumented job, interp vs compiled tier, compared
+    // bitwise down to per-rank cycle counts and CML bookkeeping.
+    ir::Module inst = minic::compile(prog.source);
+    (void)passes::instrument_module(inst);
+    mpisim::World ref(inst, oracle_world_config(prog, /*enable_fpm=*/true));
+    const mpisim::JobResult rj = ref.run();
+
+    const vm::BytecodeModule bc(inst);
+    mpisim::WorldConfig wc = oracle_world_config(prog, /*enable_fpm=*/true);
+    wc.bytecode = &bc;
+    mpisim::World fast(inst, wc);
+    const mpisim::JobResult fj = fast.run();
+    std::string d = diff_jobs(rj, fj);
+    if (!d.empty()) {
+      return fail("bytecode_vs_interp", "uninjected job: " + d);
+    }
+
+    // Leg 2: injected campaigns under both tiers — single-fault with traces
+    // (slope fits fold per-cycle CML samples, so any clock skew shows), then
+    // multifault; each compared cold- and warm-started.
+    apps::AppSpec spec;
+    spec.name = "fuzz_" + std::to_string(prog.seed);
+    spec.description = "generated fuzz program";
+    spec.source = prog.source;
+    spec.default_nranks = prog.nranks;
+
+    harness::ExperimentConfig ec;
+    ec.nranks = prog.nranks;
+    ec.snapshot_rungs = 6;
+    const harness::AppHarness h(spec, ec);
+
+    for (const bool multifault : {false, true}) {
+      harness::CampaignConfig cc;
+      cc.trials = config.campaign_trials;
+      cc.seed = derive_seed(prog.seed, multifault ? 0xB17E2ull : 0xB17E1ull);
+      cc.jobs = 1;
+      if (multifault) {
+        cc.faults_per_run = config.multifault_k;
+        cc.msg_faults_per_run =
+            h.golden().total_sent_msgs > 0 ? config.multifault_msg : 0;
+      } else {
+        cc.capture_traces = true;
+        cc.max_kept_traces = 4;
+      }
+      const char* leg = multifault ? "multifault" : "single-fault";
+      for (const bool warm : {false, true}) {
+        cc.warm_start = warm;
+        cc.exec_tier = vm::ExecTier::Interp;
+        const harness::CampaignResult slow = harness::run_campaign(h, cc);
+        cc.exec_tier = vm::ExecTier::Bytecode;
+        const harness::CampaignResult quick = harness::run_campaign(h, cc);
+        d = diff_campaigns(slow, quick);
+        if (!d.empty()) {
+          return fail("bytecode_vs_interp",
+                      std::string(leg) + (warm ? " warm" : " cold") +
+                          " campaign, interp vs bytecode: " + d);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("bytecode_vs_interp", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
 OracleResult check_header_adversarial(std::uint64_t seed, std::size_t iters) {
   OracleResult res;
   res.oracle = "header";

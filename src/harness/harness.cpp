@@ -294,6 +294,13 @@ const std::vector<SnapshotRung>& AppHarness::snapshot_ladder() const {
   return ladder_;
 }
 
+const vm::BytecodeModule& AppHarness::bytecode() const {
+  std::call_once(bytecode_once_, [this] {
+    bytecode_ = std::make_unique<vm::BytecodeModule>(module_);
+  });
+  return *bytecode_;
+}
+
 const SnapshotRung* AppHarness::latest_usable_rung(
     const inject::InjectionPlan& plan) const {
   // A rung is usable when no planned fault's dynamic execution lies in the
@@ -348,6 +355,10 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   injector.set_recorder(opts.recorder);
   mpisim::WorldConfig wc = world_config(opts.capture_trace);
   wc.recorder = opts.recorder;
+  // Compiled tier (DESIGN.md §13): per-rank eligibility (recorder attached,
+  // fault strike windows) is decided inside vm::Interp::run — attaching the
+  // bytecode never changes a TrialResult bit.
+  if (opts.exec_tier == vm::ExecTier::Bytecode) wc.bytecode = &bytecode();
   mpisim::World world(module_, wc);
   world.set_inject_hook(&injector);
   if (plan.total_msg_faults() > 0) {
@@ -525,6 +536,7 @@ void trial_worker(const AppHarness& harness, const CampaignConfig& config,
   opts.warm_start = config.warm_start;
   opts.metrics = metrics;
   opts.recorder = recorder.has_value() ? &*recorder : nullptr;
+  opts.exec_tier = config.exec_tier;
   for (;;) {
     const std::size_t begin = next.fetch_add(chunk);
     if (begin >= plans.size()) return;
@@ -599,6 +611,11 @@ CampaignResult run_campaign(const AppHarness& harness,
     // build the ladder up front instead of serializing the workers' first
     // trials behind the call_once.
     (void)harness.snapshot_ladder();
+  }
+  if (config.exec_tier == vm::ExecTier::Bytecode) {
+    // Same reasoning for the one-time module compile (it is cheap — a linear
+    // pass over the IR — but there is no point serializing workers on it).
+    (void)harness.bytecode();
   }
   std::vector<TrialResult> slots(config.trials);
   const std::size_t jobs = effective_jobs(config.jobs, config.trials);

@@ -149,6 +149,18 @@ std::uint64_t InjectorRuntime::on_fim_inj(vm::Interp& self,
   return flipped;
 }
 
+vm::FastInjectState InjectorRuntime::fim_fast_state(std::uint32_t rank) {
+  // Profiling runs record a width byte per dynamic point inside on_fim_inj;
+  // the fast tier must not skip those calls.
+  if (record_widths_) return {};
+  PerRank& st = rank_state(rank);  // std::map: node-stable pointer
+  vm::FastInjectState s;
+  s.counter = &st.counter;
+  s.stop_before = st.next < st.pending.size() ? st.pending[st.next].dyn_index
+                                              : ~0ull;
+  return s;
+}
+
 void InjectorRuntime::on_message(std::uint32_t sender, std::uint64_t msg_index,
                                  std::uint64_t cycle,
                                  std::vector<std::uint64_t>& header_words,

@@ -30,6 +30,7 @@ World::World(const ir::Module& module, WorldConfig config)
     interp->set_mpi_hook(this);
     interp->set_fpm(fpms_.back().get());
     interp->set_recorder(config_.recorder);
+    interp->set_bytecode(config_.bytecode);
     ranks_.push_back(std::move(interp));
   }
   mailboxes_.resize(config_.nranks);

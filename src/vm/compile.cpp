@@ -1,0 +1,601 @@
+// MiniIR -> bytecode lowering (DESIGN.md §13).
+//
+// Linearizes each function block by block, greedily fuses adjacent pairs
+// within a block, then runs a peephole merge pass that combines adjacent
+// fused groups into 3/4-IR superinstructions, and finally resolves branch
+// targets to bytecode offsets. Fusion is a pure encoding choice: every
+// fused handler in dispatch.cpp executes its constituent IR instructions
+// strictly in program order (each one reads registers *after* the previous
+// one's write), so any register overlap within a group keeps interpreter
+// semantics.
+
+#include <bit>
+
+#include "fprop/support/error.h"
+#include "fprop/vm/bytecode.h"
+
+namespace fprop::vm {
+
+namespace {
+
+#define FPROP_BC_NAME(n, e) \
+  case BcOp::n:             \
+    return #n;
+#define FPROP_BC_NAME_DUP(n, e) \
+  case BcOp::n##Dup:            \
+    return #n "Dup";
+#define FPROP_BC_NAME_ST(n, e) \
+  case BcOp::n##St:            \
+    return #n "St";
+#define FPROP_BC_NAME_BR(n, e) \
+  case BcOp::n##Br:            \
+    return #n "Br";
+#define FPROP_BC_NAME_DUPBR(n, e) \
+  case BcOp::n##DupBr:            \
+    return #n "DupBr";
+#define FPROP_BC_NAME_INJDUP(n, e) \
+  case BcOp::Inj##n##Dup:          \
+    return "Inj" #n "Dup";
+#define FPROP_BC_NAME_INJ2DUP(n, e) \
+  case BcOp::Inj2##n##Dup:          \
+    return "Inj2" #n "Dup";
+
+const char* bcop_name_impl(BcOp op) noexcept {
+  switch (op) {
+    FPROP_BC_BIN2(FPROP_BC_NAME)
+    FPROP_BC_UN1(FPROP_BC_NAME)
+    FPROP_BC_BIN2(FPROP_BC_NAME_DUP)
+    FPROP_BC_UN1(FPROP_BC_NAME_DUP)
+    FPROP_BC_CMP2(FPROP_BC_NAME_BR)
+    FPROP_BC_BIN2(FPROP_BC_NAME_ST)
+    FPROP_BC_CMP2(FPROP_BC_NAME_DUPBR)
+    FPROP_BC_BIN2(FPROP_BC_NAME_INJDUP)
+    FPROP_BC_BIN2(FPROP_BC_NAME_INJ2DUP)
+    case BcOp::F2I: return "F2I";
+    case BcOp::ConstI: return "ConstI";
+    case BcOp::DivI: return "DivI";
+    case BcOp::RemI: return "RemI";
+    case BcOp::Load: return "Load";
+    case BcOp::Store: return "Store";
+    case BcOp::FpmFetch: return "FpmFetch";
+    case BcOp::FpmStore: return "FpmStore";
+    case BcOp::FimInj: return "FimInj";
+    case BcOp::Jmp: return "Jmp";
+    case BcOp::Br: return "Br";
+    case BcOp::IntrPure: return "IntrPure";
+    case BcOp::Rand01: return "Rand01";
+    case BcOp::ClockRd: return "ClockRd";
+    case BcOp::OutputF: return "OutputF";
+    case BcOp::OutputI: return "OutputI";
+    case BcOp::ReportIters: return "ReportIters";
+    case BcOp::Alloc: return "Alloc";
+    case BcOp::MpiRank: return "MpiRank";
+    case BcOp::MpiSize: return "MpiSize";
+    case BcOp::Escape: return "Escape";
+    case BcOp::F2IDup: return "F2IDup";
+    case BcOp::ConstIDup: return "ConstIDup";
+    case BcOp::LoadFetch: return "LoadFetch";
+    case BcOp::Load2: return "Load2";
+    case BcOp::PtrAddLoad: return "PtrAddLoad";
+    case BcOp::FimInj2: return "FimInj2";
+    case BcOp::MovDupJmp: return "MovDupJmp";
+    case BcOp::PtrAddLF: return "PtrAddLF";
+    case BcOp::ConstIDupInj: return "ConstIDupInj";
+    case BcOp::LFInj2: return "LFInj2";
+    case BcOp::IntrDup: return "IntrDup";
+    case BcOp::Count: break;
+  }
+  return "?";
+}
+
+#undef FPROP_BC_NAME
+#undef FPROP_BC_NAME_DUP
+#undef FPROP_BC_NAME_ST
+#undef FPROP_BC_NAME_BR
+#undef FPROP_BC_NAME_DUPBR
+#undef FPROP_BC_NAME_INJDUP
+#undef FPROP_BC_NAME_INJ2DUP
+
+// ir::Opcode classification for fusion. Names in the BIN2/UN1 lists match
+// ir::Opcode spellings, so membership tests are macro-generated.
+#define FPROP_BC_IRCASE(n, e) case ir::Opcode::n:
+
+bool is_bin2(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_BIN2(FPROP_BC_IRCASE)
+    return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cmp2(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_CMP2(FPROP_BC_IRCASE)
+    return true;
+    default:
+      return false;
+  }
+}
+
+bool is_un1(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_UN1(FPROP_BC_IRCASE)
+    case ir::Opcode::F2I:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_const(ir::Opcode op) noexcept {
+  return op == ir::Opcode::ConstI || op == ir::Opcode::ConstF;
+}
+
+#define FPROP_BC_MAP(n, e) \
+  case ir::Opcode::n:      \
+    return BcOp::n;
+#define FPROP_BC_MAP_DUP(n, e) \
+  case ir::Opcode::n:          \
+    return BcOp::n##Dup;
+#define FPROP_BC_MAP_ST(n, e) \
+  case ir::Opcode::n:         \
+    return BcOp::n##St;
+#define FPROP_BC_MAP_BR(n, e) \
+  case ir::Opcode::n:         \
+    return BcOp::n##Br;
+
+BcOp pure_base(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_BIN2(FPROP_BC_MAP)
+    FPROP_BC_UN1(FPROP_BC_MAP)
+    case ir::Opcode::F2I: return BcOp::F2I;
+    default: return BcOp::Count;
+  }
+}
+
+BcOp pure_dup(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_BIN2(FPROP_BC_MAP_DUP)
+    FPROP_BC_UN1(FPROP_BC_MAP_DUP)
+    case ir::Opcode::F2I: return BcOp::F2IDup;
+    default: return BcOp::Count;
+  }
+}
+
+BcOp bin2_st(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_BIN2(FPROP_BC_MAP_ST)
+    default: return BcOp::Count;
+  }
+}
+
+BcOp cmp_br(ir::Opcode op) noexcept {
+  switch (op) {
+    FPROP_BC_CMP2(FPROP_BC_MAP_BR)
+    default: return BcOp::Count;
+  }
+}
+
+#undef FPROP_BC_IRCASE
+#undef FPROP_BC_MAP
+#undef FPROP_BC_MAP_DUP
+#undef FPROP_BC_MAP_ST
+#undef FPROP_BC_MAP_BR
+
+std::int64_t const_payload(const ir::Instr& in) noexcept {
+  return in.op == ir::Opcode::ConstF
+             ? std::bit_cast<std::int64_t>(in.fimm)
+             : in.imm;
+}
+
+/// Lowers one IR instruction to a single (non-fused) bytecode instruction.
+BcInstr lower_single(const ir::Instr& in) {
+  BcInstr bc;
+  bc.dst = in.dst;
+  bc.a = in.a();
+  bc.b = in.b();
+  bc.c = in.c();
+  bc.d = in.d();
+  switch (in.op) {
+    case ir::Opcode::ConstI:
+    case ir::Opcode::ConstF:
+      bc.op = BcOp::ConstI;
+      bc.imm = const_payload(in);
+      return bc;
+    case ir::Opcode::DivI: bc.op = BcOp::DivI; return bc;
+    case ir::Opcode::RemI: bc.op = BcOp::RemI; return bc;
+    case ir::Opcode::Load: bc.op = BcOp::Load; return bc;
+    case ir::Opcode::Store: bc.op = BcOp::Store; return bc;
+    case ir::Opcode::FpmFetch: bc.op = BcOp::FpmFetch; return bc;
+    case ir::Opcode::FpmStore: bc.op = BcOp::FpmStore; return bc;
+    case ir::Opcode::FimInj: bc.op = BcOp::FimInj; return bc;
+    case ir::Opcode::Jmp:
+      bc.op = BcOp::Jmp;
+      bc.t1 = in.t1;  // IR block id; patched to a bytecode offset later
+      return bc;
+    case ir::Opcode::Br:
+      bc.op = BcOp::Br;
+      bc.t1 = in.t1;
+      bc.t2 = in.t2;
+      return bc;
+    case ir::Opcode::Intrinsic:
+      switch (in.intr) {
+        case ir::IntrinsicId::Sqrt:
+        case ir::IntrinsicId::Fabs:
+        case ir::IntrinsicId::Exp:
+        case ir::IntrinsicId::Log:
+        case ir::IntrinsicId::Sin:
+        case ir::IntrinsicId::Cos:
+        case ir::IntrinsicId::Pow:
+        case ir::IntrinsicId::Floor:
+        case ir::IntrinsicId::FMin:
+        case ir::IntrinsicId::FMax:
+        case ir::IntrinsicId::IMin:
+        case ir::IntrinsicId::IMax:
+          bc.op = BcOp::IntrPure;
+          bc.sub = static_cast<std::uint8_t>(in.intr);
+          bc.a = in.args.empty() ? ir::kNoReg : in.args[0];
+          bc.b = in.args.size() > 1 ? in.args[1] : ir::kNoReg;
+          return bc;
+        case ir::IntrinsicId::Alloc:
+          bc.op = BcOp::Alloc;
+          bc.a = in.args.at(0);
+          return bc;
+        case ir::IntrinsicId::OutputF:
+          bc.op = BcOp::OutputF;
+          bc.a = in.args.at(0);
+          return bc;
+        case ir::IntrinsicId::OutputI:
+          bc.op = BcOp::OutputI;
+          bc.a = in.args.at(0);
+          return bc;
+        case ir::IntrinsicId::ReportIters:
+          bc.op = BcOp::ReportIters;
+          bc.a = in.args.at(0);
+          return bc;
+        case ir::IntrinsicId::Rand01: bc.op = BcOp::Rand01; return bc;
+        case ir::IntrinsicId::Clock: bc.op = BcOp::ClockRd; return bc;
+        case ir::IntrinsicId::MpiRank: bc.op = BcOp::MpiRank; return bc;
+        case ir::IntrinsicId::MpiSize: bc.op = BcOp::MpiSize; return bc;
+        default:
+          bc.op = BcOp::Escape;  // MPI ops, MpiAbort: reference step()
+          return bc;
+      }
+    case ir::Opcode::Call:
+    case ir::Opcode::Ret:
+      bc.op = BcOp::Escape;
+      return bc;
+    default: {
+      const BcOp base = pure_base(in.op);
+      FPROP_CHECK_MSG(base != BcOp::Count, "unlowerable opcode");
+      bc.op = base;
+      return bc;
+    }
+  }
+}
+
+/// Attempts to fuse adjacent (x, y); returns true and fills `bc` on
+/// success. Both instructions must be pure-data or the specific memory/
+/// branch shapes below — never Call/Ret/MPI (they leave the stream), never
+/// across a block boundary (the caller only offers same-block pairs).
+bool try_fuse(const ir::Instr& x, const ir::Instr& y, BcInstr& bc) {
+  // (primary, shadow) duplicate pairs from the dual-chain pass — also any
+  // plain same-opcode adjacency. The handler executes head then tail, so
+  // a tail operand naming the head's dst reads the fresh value.
+  if (is_const(x.op) && is_const(y.op)) {
+    bc.op = BcOp::ConstIDup;
+    bc.dst = x.dst;
+    bc.imm = const_payload(x);
+    bc.dst2 = y.dst;
+    bc.imm2 = const_payload(y);
+    return true;
+  }
+  if (x.op == y.op && is_bin2(x.op)) {
+    bc.op = pure_dup(x.op);
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.b = x.b();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    bc.d = y.b();
+    return true;
+  }
+  if (x.op == y.op && is_un1(x.op)) {
+    bc.op = pure_dup(x.op);
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    return true;
+  }
+  // compare + conditional branch (the branch may test any register, not
+  // necessarily the compare's dst — dual-chain code branches on the
+  // primary compare across an interleaved shadow compare).
+  if (is_cmp2(x.op) && y.op == ir::Opcode::Br) {
+    bc.op = cmp_br(x.op);
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.b = x.b();
+    bc.c = y.a();
+    bc.t1 = y.t1;
+    bc.t2 = y.t2;
+    return true;
+  }
+  if (x.op == ir::Opcode::Load && y.op == ir::Opcode::FpmFetch) {
+    bc.op = BcOp::LoadFetch;
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    return true;
+  }
+  if (x.op == ir::Opcode::Load && y.op == ir::Opcode::Load) {
+    bc.op = BcOp::Load2;
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    return true;
+  }
+  if (x.op == ir::Opcode::PtrAdd && y.op == ir::Opcode::Load) {
+    bc.op = BcOp::PtrAddLoad;
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.b = x.b();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    return true;
+  }
+  // pure binary op feeding a store: value = y.a, address = y.b (either may
+  // be the op's dst — read after the head's write).
+  if (is_bin2(x.op) && y.op == ir::Opcode::Store) {
+    bc.op = bin2_st(x.op);
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.b = x.b();
+    bc.c = y.b();
+    bc.d = y.a();
+    return true;
+  }
+  if (x.op == ir::Opcode::FimInj && y.op == ir::Opcode::FimInj) {
+    bc.op = BcOp::FimInj2;
+    bc.dst = x.dst;
+    bc.a = x.a();
+    bc.dst2 = y.dst;
+    bc.c = y.a();
+    return true;
+  }
+  return false;
+}
+
+constexpr BcOp bcop_add(BcOp base, unsigned off) noexcept {
+  return static_cast<BcOp>(static_cast<unsigned>(base) + off);
+}
+
+bool is_bin2_dup(BcOp op) noexcept {
+  return op >= BcOp::AddIDup && op <= BcOp::NePDup;
+}
+
+bool is_cmp2_dup(BcOp op) noexcept {
+  return op >= BcOp::EqIDup && op <= BcOp::NePDup;
+}
+
+/// Attempts to merge two adjacent bytecode instructions (already fused by
+/// pass 1, known IR-contiguous within one block) into a 3/4-IR group;
+/// returns true and fills `z` on success. The patterns are the dominant
+/// bigrams in the dynamic profile of the instrumented registry apps
+/// (DESIGN.md §13): loop back-edges (compare pair + branch, move pair +
+/// jump), the dual-chain load expansion glued to its address pair, and
+/// injection sites glued to the constant/load/arithmetic groups feeding or
+/// consuming them. Register numbers that do not fit the fixed fields are
+/// packed into `imm` (unused by every mergeable head/tail combination);
+/// 16-bit packings bail out for functions with >= 2^16 registers.
+bool try_merge(const BcInstr& x, const BcInstr& y, BcInstr& z) {
+  constexpr ir::Reg kP16Lim = 1u << 16;
+  if (is_cmp2_dup(x.op) && y.op == BcOp::Br) {
+    z = x;
+    z.op = bcop_add(BcOp::EqIDupBr, static_cast<unsigned>(x.op) -
+                                        static_cast<unsigned>(BcOp::EqIDup));
+    z.imm = BcInstr::pack32(y.a, 0);
+    z.t1 = y.t1;
+    z.t2 = y.t2;
+    return true;
+  }
+  if (x.op == BcOp::MovDup && y.op == BcOp::Jmp) {
+    z = x;
+    z.op = BcOp::MovDupJmp;
+    z.t1 = y.t1;
+    return true;
+  }
+  if (x.op == BcOp::PtrAddDup && y.op == BcOp::LoadFetch && y.a == x.dst &&
+      y.c == x.dst2) {
+    z = x;
+    z.op = BcOp::PtrAddLF;
+    z.imm = BcInstr::pack32(y.dst, y.dst2);
+    return true;
+  }
+  if (x.op == BcOp::ConstIDup && y.op == BcOp::FimInj) {
+    z = x;
+    z.op = BcOp::ConstIDupInj;
+    z.c = y.a;
+    z.d = y.dst;
+    return true;
+  }
+  if (x.op == BcOp::LoadFetch && y.op == BcOp::FimInj2 && y.a < kP16Lim &&
+      y.dst < kP16Lim && y.c < kP16Lim && y.dst2 < kP16Lim) {
+    z = x;
+    z.op = BcOp::LFInj2;
+    z.imm = BcInstr::pack16(y.a, y.dst, y.c, y.dst2);
+    return true;
+  }
+  if (x.op == BcOp::IntrPure && y.op == BcOp::IntrPure) {
+    z = x;
+    z.op = BcOp::IntrDup;
+    z.sub2 = y.sub;
+    z.c = y.a;
+    z.d = y.b;
+    z.dst2 = y.dst;
+    return true;
+  }
+  if (x.op == BcOp::FimInj && is_bin2_dup(y.op)) {
+    z = y;
+    z.op = bcop_add(BcOp::InjAddIDup, static_cast<unsigned>(y.op) -
+                                          static_cast<unsigned>(BcOp::AddIDup));
+    z.imm = BcInstr::pack32(x.a, x.dst);
+    return true;
+  }
+  if (x.op == BcOp::FimInj2 && is_bin2_dup(y.op) && x.a < kP16Lim &&
+      x.dst < kP16Lim && x.c < kP16Lim && x.dst2 < kP16Lim) {
+    z = y;
+    z.op = bcop_add(BcOp::Inj2AddIDup, static_cast<unsigned>(y.op) -
+                                           static_cast<unsigned>(BcOp::AddIDup));
+    z.imm = BcInstr::pack16(x.a, x.dst, x.c, x.dst2);
+    return true;
+  }
+  return false;
+}
+
+BcFunction compile_function(const ir::Function& f) {
+  BcFunction bf;
+  bf.block_start.resize(f.blocks.size(), 0);
+  bf.ir2bc.resize(f.blocks.size());
+
+  for (ir::BlockId b = 0; b < f.blocks.size(); ++b) {
+    const std::vector<ir::Instr>& code = f.blocks[b].code;
+    bf.block_start[b] = static_cast<std::uint32_t>(bf.code.size());
+    bf.ir2bc[b].assign(code.size(), -1);
+    std::size_t ip = 0;
+    while (ip < code.size()) {
+      bf.ir2bc[b][ip] = static_cast<std::int32_t>(bf.code.size());
+      BcInstr bc;
+      if (ip + 1 < code.size() && try_fuse(code[ip], code[ip + 1], bc)) {
+        ++bf.fused;
+        bc.src_block = b;
+        bc.src_ip = static_cast<std::uint32_t>(ip);
+        ip += 2;
+      } else {
+        bc = lower_single(code[ip]);
+        bc.src_block = b;
+        bc.src_ip = static_cast<std::uint32_t>(ip);
+        ip += 1;
+      }
+      bf.code.push_back(bc);
+    }
+  }
+
+  // Merge pass: one greedy peephole sweep combining adjacent fused groups
+  // within a block into 3/4-IR superinstructions. Adjacent entries with the
+  // same src_block are IR-contiguous by construction (pass 1 emits each
+  // block as one contiguous run), and IR branches only target block starts,
+  // so control flow can never land on a merged tail. Runs before branch
+  // patching — Br/Jmp targets are still IR block ids here, and merged
+  // groups carry them over verbatim.
+  std::vector<BcInstr> squeezed;
+  squeezed.reserve(bf.code.size());
+  for (std::size_t i = 0; i < bf.code.size(); ++i) {
+    BcInstr z;
+    if (i + 1 < bf.code.size() &&
+        bf.code[i].src_block == bf.code[i + 1].src_block &&
+        try_merge(bf.code[i], bf.code[i + 1], z)) {
+      ++bf.merged;
+      z.src_block = bf.code[i].src_block;
+      z.src_ip = bf.code[i].src_ip;
+      squeezed.push_back(z);
+      ++i;  // consume both
+    } else {
+      squeezed.push_back(bf.code[i]);
+    }
+  }
+  if (bf.merged != 0) {
+    bf.code = std::move(squeezed);
+    // Rebuild the position maps: only group heads map to offsets; every
+    // in-group tail position stays -1 (reference-step entry).
+    for (ir::BlockId b = 0; b < f.blocks.size(); ++b)
+      bf.ir2bc[b].assign(f.blocks[b].code.size(), -1);
+    std::vector<std::int64_t> first(f.blocks.size(), -1);
+    for (std::size_t i = bf.code.size(); i-- > 0;) {
+      const BcInstr& bc = bf.code[i];
+      bf.ir2bc[bc.src_block][bc.src_ip] = static_cast<std::int32_t>(i);
+      first[bc.src_block] = static_cast<std::int64_t>(i);
+    }
+    // block_start: first instruction of the block, or (for blocks that
+    // lowered to nothing) the next block's start — matching pass 1's
+    // convention.
+    std::uint32_t next = static_cast<std::uint32_t>(bf.code.size());
+    for (ir::BlockId b = static_cast<ir::BlockId>(f.blocks.size()); b-- > 0;) {
+      bf.block_start[b] =
+          first[b] >= 0 ? static_cast<std::uint32_t>(first[b]) : next;
+      next = bf.block_start[b];
+    }
+  }
+
+  // Final pass: resolve branch targets (currently IR block ids) to the
+  // bytecode offsets of the target blocks' first instructions. Jmp and
+  // MovDupJmp use t1; Br and the compare+branch families use both.
+  for (BcInstr& bc : bf.code) {
+    if (bc.op == BcOp::Jmp || bc.op == BcOp::MovDupJmp) {
+      bc.t1 = bf.block_start.at(bc.t1);
+    } else if (bc.op == BcOp::Br ||
+               (bc.op >= BcOp::EqIBr && bc.op <= BcOp::NePBr) ||
+               (bc.op >= BcOp::EqIDupBr && bc.op <= BcOp::NePDupBr)) {
+      bc.t1 = bf.block_start.at(bc.t1);
+      bc.t2 = bf.block_start.at(bc.t2);
+    }
+  }
+  return bf;
+}
+
+}  // namespace
+
+const char* bcop_name(BcOp op) noexcept { return bcop_name_impl(op); }
+
+bool bcop_is_fused(BcOp op) noexcept {
+  return static_cast<unsigned>(op) > static_cast<unsigned>(BcOp::Escape) &&
+         op != BcOp::Count;
+}
+
+unsigned bcop_arity(BcOp op) noexcept {
+  if (!bcop_is_fused(op)) return 1;
+  if (op < BcOp::EqIDupBr) return 2;  // pass-1 pairs
+  switch (op) {
+    case BcOp::IntrDup:
+      return 2;
+    case BcOp::PtrAddLF:
+    case BcOp::LFInj2:
+      return 4;
+    default:
+      // DupBr family, MovDupJmp, ConstIDupInj and the Inj*Dup family span
+      // three IR instructions; the Inj2*Dup family spans four.
+      return op >= BcOp::Inj2AddIDup ? 4 : 3;
+  }
+}
+
+BytecodeModule::BytecodeModule(const ir::Module& module) : module_(&module) {
+  funcs_.reserve(module.funcs.size());
+  for (std::size_t i = 0; i < module.funcs.size(); ++i) {
+    FPROP_CHECK_MSG(module.funcs[i].id == static_cast<ir::FuncId>(i),
+                    "function ids must be dense");
+    funcs_.push_back(compile_function(module.funcs[i]));
+  }
+}
+
+std::size_t BytecodeModule::fused_pairs() const noexcept {
+  std::size_t n = 0;
+  for (const BcFunction& f : funcs_) n += f.fused;
+  return n;
+}
+
+std::size_t BytecodeModule::merged_groups() const noexcept {
+  std::size_t n = 0;
+  for (const BcFunction& f : funcs_) n += f.merged;
+  return n;
+}
+
+std::size_t BytecodeModule::total_instrs() const noexcept {
+  std::size_t n = 0;
+  for (const BcFunction& f : funcs_) n += f.code.size();
+  return n;
+}
+
+}  // namespace fprop::vm

@@ -1,0 +1,794 @@
+// Direct-threaded dispatch loop for the compiled execution tier
+// (DESIGN.md §13). Executes the bytecode stream produced by compile.cpp with
+// bit-identical semantics to Interp::step():
+//
+//  * Virtual clock and FPM sampling: every executed IR instruction — each
+//    half of a fused pair separately — increments cycles_ and ticks the FPM
+//    runtime, exactly like finish_instr(). Fuel is capped at the remaining
+//    cycle budget so the burst stops on the budgeted boundary and the caller
+//    raises CycleBudget exactly where the reference tier would.
+//  * Traps: the faulting instruction does not count a cycle and the frame is
+//    left positioned AT it (head) or at the fused tail (src_ip + 1),
+//    mirroring step()'s early return before finish_instr().
+//  * Dyn-counter: fim_inj sites increment the injector's counter in place
+//    (FastInjectState contract, hooks.h) and the loop escapes *before* any
+//    site whose dyn-index reached the planned strike, so the strike itself
+//    is always interpreted by step() with full hook visibility.
+//
+// On GCC/Clang the loop uses computed goto (labels-as-values) with the label
+// table generated from the same X-macro lists as the BcOp enum, so table
+// order and enum order cannot drift; elsewhere it degrades to a switch.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fprop/support/error.h"
+#include "fprop/vm/bytecode.h"
+#include "fprop/vm/interp.h"
+#include "exec_util.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FPROP_BC_THREADED 1
+#else
+#define FPROP_BC_THREADED 0
+#endif
+
+namespace fprop::vm {
+
+
+using detail::as_bits;
+using detail::as_i64;
+using detail::f2i_trunc;
+using detail::fmax_det;
+using detail::fmin_det;
+
+namespace {
+
+/// Pure-math intrinsic evaluation shared by the IntrPure and IntrDup
+/// handlers. Reads operand registers lazily per case — one-arg intrinsics
+/// carry kNoReg in `b`, which must never be dereferenced. Returns false for
+/// ids compile.cpp never emits as IntrPure (defensive: the handler escapes
+/// to the reference interpreter).
+inline bool intr_pure_eval(std::uint8_t id, const std::uint64_t* R, ir::Reg a,
+                           ir::Reg b, std::uint64_t& out) noexcept {
+  using ir::IntrinsicId;
+  switch (static_cast<IntrinsicId>(id)) {
+    case IntrinsicId::Sqrt: out = bits_of(std::sqrt(double_of(R[a]))); return true;
+    case IntrinsicId::Fabs: out = bits_of(std::fabs(double_of(R[a]))); return true;
+    case IntrinsicId::Exp: out = bits_of(std::exp(double_of(R[a]))); return true;
+    case IntrinsicId::Log: out = bits_of(std::log(double_of(R[a]))); return true;
+    case IntrinsicId::Sin: out = bits_of(std::sin(double_of(R[a]))); return true;
+    case IntrinsicId::Cos: out = bits_of(std::cos(double_of(R[a]))); return true;
+    case IntrinsicId::Pow:
+      out = bits_of(std::pow(double_of(R[a]), double_of(R[b])));
+      return true;
+    case IntrinsicId::Floor:
+      out = bits_of(std::floor(double_of(R[a])));
+      return true;
+    case IntrinsicId::FMin:
+      out = bits_of(fmin_det(double_of(R[a]), double_of(R[b])));
+      return true;
+    case IntrinsicId::FMax:
+      out = bits_of(fmax_det(double_of(R[a]), double_of(R[b])));
+      return true;
+    case IntrinsicId::IMin:
+      out = as_bits(std::min(as_i64(R[a]), as_i64(R[b])));
+      return true;
+    case IntrinsicId::IMax:
+      out = as_bits(std::max(as_i64(R[a]), as_i64(R[b])));
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Interp::set_bytecode(const BytecodeModule* bc) {
+  FPROP_CHECK_MSG(bc == nullptr || bc->module() == module_,
+                  "bytecode was compiled from a different module");
+  bytecode_ = bc;
+}
+
+RunState Interp::run_bytecode(std::uint64_t max_steps) {
+  std::uint64_t remaining = max_steps;
+  // The fast-inject contract is queried once up front and refreshed only
+  // after a reference step() — the only place a planned strike (which
+  // advances the stop index) or a hook-state change can happen. The counter
+  // pointer itself is stable for the life of the trial (hooks.h).
+  std::uint64_t* inj_counter = nullptr;
+  std::uint64_t inj_stop = ~0ull;
+  bool fast_ok = true;
+  if (inject_ != nullptr) {
+    const FastInjectState st = inject_->fim_fast_state(rank_);
+    inj_counter = st.counter;
+    inj_stop = st.stop_before;
+    fast_ok = st.counter != nullptr;
+  }
+  while (remaining > 0) {
+    bool stepped = false;
+    if (!fast_ok) {
+      // Hook withdrew the fast contract mid-run: reference tier.
+      if (!step()) break;
+      --remaining;
+      stepped = true;
+    } else {
+      const Frame& fr = frames_.back();
+      const BcFunction& bf = bytecode_->func(fr.func->id);
+      const std::int32_t pc = bf.ir2bc[fr.block][fr.ip];
+      const std::uint64_t budget_left = config_.cycle_budget - cycles_;
+      const std::uint64_t fuel = std::min(remaining, budget_left);
+      if (pc < 0 || fuel < kBcMaxFuse) {
+        // Superinstruction tail (slice stop or snapshot restore landed
+        // mid-group) or too little fuel to guarantee a whole group: one
+        // reference step.
+        if (!step()) break;
+        --remaining;
+        stepped = true;
+      } else {
+        const std::uint64_t executed =
+            exec_bc(bf, static_cast<std::uint32_t>(pc), fuel, inj_counter,
+                    inj_stop);
+        remaining -= executed;
+        if (state_ != RunState::Ready) break;
+        if (cycles_ >= config_.cycle_budget) {
+          // Same boundary finish_instr() enforces.
+          do_trap(Trap::CycleBudget);
+          break;
+        }
+        if (executed == 0) {
+          // The stream cannot cover this position (Call/Ret/MPI escape, or a
+          // fim_inj site at the planned strike index): interpret exactly one
+          // instruction, then resume fast.
+          if (!step()) break;
+          --remaining;
+          stepped = true;
+        }
+      }
+    }
+    if (stepped && inject_ != nullptr) {
+      const FastInjectState st = inject_->fim_fast_state(rank_);
+      inj_counter = st.counter;
+      inj_stop = st.stop_before;
+      fast_ok = st.counter != nullptr;
+    }
+  }
+  return state_;
+}
+
+// Cycle accounting for one executed IR sub-instruction — finish_instr()
+// minus the budget check, which the fuel cap plus run_bytecode() perform on
+// the identical boundary. All per-instruction state lives in registers: the
+// executed count is derived from the fuel spent (fuel0 - fuel), the virtual
+// clock from cyc0 + that, and the dyn-counter from the local cnt — the
+// members are written back once per burst (FPROP_SYNC), not per
+// instruction, which would otherwise force a reload around every R[] store
+// the compiler must assume aliases them. tick() is hoisted behind
+// needs_tick(): when it cannot observe anything, it is not called at all.
+#define FPROP_CYCLES() (cyc0 + (fuel0 - fuel))
+#define FPROP_STEP1()                                       \
+  do {                                                      \
+    --fuel;                                                 \
+    if (tick_fpm != nullptr) tick_fpm->tick(FPROP_CYCLES()); \
+  } while (0)
+
+// Burst exit: publish the registerized counters back to the members.
+#define FPROP_SYNC()                                        \
+  do {                                                      \
+    cycles_ = FPROP_CYCLES();                               \
+    if (inj_counter != nullptr) *inj_counter = cnt;         \
+  } while (0)
+
+// Trap at the head / fused tail of the current bytecode instruction: sync
+// the frame to the faulting IR position (no cycle counted), mirroring
+// step()'s early return.
+#define FPROP_TRAP_AT(ipval, t)                               \
+  do {                                                        \
+    fr.block = I->src_block;                                  \
+    fr.ip = (ipval);                                          \
+    fr.code = fr.func->blocks[fr.block].code.data();          \
+    FPROP_SYNC();                                             \
+    do_trap(t);                                               \
+    return fuel0 - fuel;                                      \
+  } while (0)
+#define FPROP_TRAP_HEAD(t) FPROP_TRAP_AT(I->src_ip, t)
+#define FPROP_TRAP_TAIL(t) FPROP_TRAP_AT(I->src_ip + 1, t)
+
+// Park mid-group on a planned fim_inj strike: position the frame on the
+// striking IR instruction (ir2bc maps in-group tails to -1, so
+// run_bytecode() interprets exactly that fim_inj with full hook visibility,
+// then resumes fast). The instructions before it in the group have already
+// executed and counted their cycles.
+#define FPROP_PARK_AT(ipofs)                          \
+  do {                                                \
+    fr.block = I->src_block;                          \
+    fr.ip = I->src_ip + (ipofs);                      \
+    fr.code = fr.func->blocks[fr.block].code.data();  \
+    FPROP_SYNC();                                     \
+    return fuel0 - fuel;                              \
+  } while (0)
+
+std::uint64_t Interp::exec_bc(const BcFunction& bf, std::uint32_t pc,
+                              std::uint64_t fuel, std::uint64_t* inj_counter,
+                              std::uint64_t inj_stop) {
+  Frame& fr = frames_.back();
+  std::uint64_t* const R = fr.regs.data();
+  fpm::FpmRuntime* const fpm = fpm_;
+  fpm::FpmRuntime* const tick_fpm =
+      (fpm != nullptr && fpm->needs_tick()) ? fpm : nullptr;
+  const BcInstr* const code = bf.code.data();
+  const BcInstr* I = code + pc;
+  const std::uint64_t cyc0 = cycles_;
+  const std::uint64_t fuel0 = fuel;
+  // Local dyn-counter; cnt never reaches inj_stop (~0) when no injector is
+  // attached, so the FimInj strike checks need no null guard.
+  std::uint64_t cnt = inj_counter != nullptr ? *inj_counter : 0;
+
+#if FPROP_BC_THREADED
+#define FPROP_LBL(n, e) &&L_##n,
+#define FPROP_LBL_DUP(n, e) &&L_##n##Dup,
+#define FPROP_LBL_ST(n, e) &&L_##n##St,
+#define FPROP_LBL_BR(n, e) &&L_##n##Br,
+#define FPROP_LBL_DUPBR(n, e) &&L_##n##DupBr,
+#define FPROP_LBL_INJDUP(n, e) &&L_Inj##n##Dup,
+#define FPROP_LBL_INJ2DUP(n, e) &&L_Inj2##n##Dup,
+  // Must list one label per BcOp in exact enum order (bytecode.h).
+  static const void* const kL[] = {
+      FPROP_BC_BIN2(FPROP_LBL) FPROP_BC_UN1(FPROP_LBL)
+      &&L_F2I, &&L_ConstI, &&L_DivI, &&L_RemI, &&L_Load, &&L_Store,
+      &&L_FpmFetch, &&L_FpmStore, &&L_FimInj, &&L_Jmp, &&L_Br, &&L_IntrPure,
+      &&L_Rand01, &&L_ClockRd, &&L_OutputF, &&L_OutputI, &&L_ReportIters,
+      &&L_Alloc, &&L_MpiRank, &&L_MpiSize, &&L_Escape,
+      FPROP_BC_BIN2(FPROP_LBL_DUP) FPROP_BC_UN1(FPROP_LBL_DUP)
+      &&L_F2IDup, &&L_ConstIDup,
+      FPROP_BC_BIN2(FPROP_LBL_ST) FPROP_BC_CMP2(FPROP_LBL_BR)
+      &&L_LoadFetch, &&L_Load2, &&L_PtrAddLoad, &&L_FimInj2,
+      FPROP_BC_CMP2(FPROP_LBL_DUPBR)
+      &&L_MovDupJmp, &&L_PtrAddLF, &&L_ConstIDupInj, &&L_LFInj2, &&L_IntrDup,
+      FPROP_BC_BIN2(FPROP_LBL_INJDUP) FPROP_BC_BIN2(FPROP_LBL_INJ2DUP)
+  };
+  static_assert(sizeof(kL) / sizeof(kL[0]) == kBcOpCount,
+                "label table out of sync with BcOp");
+#undef FPROP_LBL
+#undef FPROP_LBL_DUP
+#undef FPROP_LBL_ST
+#undef FPROP_LBL_BR
+#undef FPROP_LBL_DUPBR
+#undef FPROP_LBL_INJDUP
+#undef FPROP_LBL_INJ2DUP
+#define FPROP_CASE(n) L_##n:
+#define FPROP_DISPATCH()                             \
+  do {                                               \
+    if (fuel < kBcMaxFuse) goto sync_out;            \
+    goto* kL[static_cast<unsigned>(I->op)];          \
+  } while (0)
+  FPROP_DISPATCH();
+#else
+#define FPROP_CASE(n) case BcOp::n:
+#define FPROP_DISPATCH() goto dispatch_top
+dispatch_top:
+  if (fuel < kBcMaxFuse) goto sync_out;
+  switch (I->op) {
+#endif
+
+// --- single (one IR instruction) handlers --------------------------------
+
+#define FPROP_H_BIN2(n, e)             \
+  FPROP_CASE(n) {                      \
+    const std::uint64_t A = R[I->a];   \
+    const std::uint64_t B = R[I->b];   \
+    R[I->dst] = (e);                   \
+    FPROP_STEP1();                     \
+    ++I;                               \
+    FPROP_DISPATCH();                  \
+  }
+#define FPROP_H_UN1(n, e)              \
+  FPROP_CASE(n) {                      \
+    const std::uint64_t A = R[I->a];   \
+    R[I->dst] = (e);                   \
+    FPROP_STEP1();                     \
+    ++I;                               \
+    FPROP_DISPATCH();                  \
+  }
+  FPROP_BC_BIN2(FPROP_H_BIN2)
+  FPROP_BC_UN1(FPROP_H_UN1)
+#undef FPROP_H_BIN2
+#undef FPROP_H_UN1
+
+  FPROP_CASE(F2I) {
+    R[I->dst] = as_bits(f2i_trunc(double_of(R[I->a])));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(ConstI) {
+    R[I->dst] = as_bits(I->imm);
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(DivI) {
+    const std::int64_t a = as_i64(R[I->a]);
+    const std::int64_t b = as_i64(R[I->b]);
+    if (b == 0) FPROP_TRAP_HEAD(Trap::DivByZero);
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+      R[I->dst] = as_bits(a);  // wraps on hardware
+    } else {
+      R[I->dst] = as_bits(a / b);
+    }
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(RemI) {
+    const std::int64_t a = as_i64(R[I->a]);
+    const std::int64_t b = as_i64(R[I->b]);
+    if (b == 0) FPROP_TRAP_HEAD(Trap::DivByZero);
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+      R[I->dst] = 0;
+    } else {
+      R[I->dst] = as_bits(a % b);
+    }
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Load) {
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->a], v)) FPROP_TRAP_HEAD(Trap::BadAccess);
+    R[I->dst] = v;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Store) {
+    if (!mem_.store(R[I->b], R[I->a])) FPROP_TRAP_HEAD(Trap::BadAccess);
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(FpmFetch) {
+    // Pristine-chain load: never faults the primary execution (interp.cpp).
+    const std::uint64_t addr_p = R[I->a];
+    std::uint64_t actual = 0;
+    (void)mem_.load(addr_p, actual);
+    R[I->dst] = fpm != nullptr ? fpm->fetch(addr_p, actual) : actual;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(FpmStore) {
+    const std::uint64_t val = R[I->a];
+    const std::uint64_t val_p = R[I->b];
+    const std::uint64_t addr = R[I->c];
+    const std::uint64_t addr_p = R[I->d];
+    std::uint64_t old = 0;
+    if (!mem_.load(addr, old)) FPROP_TRAP_HEAD(Trap::BadAccess);
+    const std::uint64_t old_pristine =
+        fpm != nullptr ? fpm->shadow().pristine_or(addr, old) : old;
+    mem_.store(addr, val);
+    if (fpm != nullptr) {
+      std::uint64_t mem_at_p = 0;
+      bool have_p = true;
+      if (addr != addr_p) have_p = mem_.load(addr_p, mem_at_p);
+      fpm->on_store(val, val_p, addr, addr_p, old_pristine, mem_at_p, have_p);
+    }
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(FimInj) {
+    if (cnt >= inj_stop) goto sync_out;  // planned strike: one step()
+    ++cnt;
+    R[I->dst] = R[I->a];
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Jmp) {
+    I = code + I->t1;
+    FPROP_STEP1();
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Br) {
+    I = code + (R[I->a] != 0 ? I->t1 : I->t2);
+    FPROP_STEP1();
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(IntrPure) {
+    std::uint64_t v = 0;
+    if (!intr_pure_eval(I->sub, R, I->a, I->b, v)) goto sync_out;
+    R[I->dst] = v;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Rand01) {
+    R[I->dst] = bits_of(rng_.next_double());
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(ClockRd) {
+    // Reads the clock *before* this instruction's own cycle, like step().
+    R[I->dst] = as_bits(static_cast<std::int64_t>(FPROP_CYCLES()));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(OutputF) {
+    outputs_.push_back(double_of(R[I->a]));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(OutputI) {
+    outputs_.push_back(static_cast<double>(as_i64(R[I->a])));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(ReportIters) {
+    reported_iters_ = as_i64(R[I->a]);
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Alloc) {
+    const std::int64_t n = as_i64(R[I->a]);
+    if (n < 0) FPROP_TRAP_HEAD(Trap::BadAlloc);
+    const std::uint64_t addr = mem_.alloc_words(static_cast<std::uint64_t>(n));
+    if (addr == 0) FPROP_TRAP_HEAD(Trap::BadAlloc);
+    R[I->dst] = addr;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(MpiRank) {
+    R[I->dst] = as_bits(static_cast<std::int64_t>(rank_));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(MpiSize) {
+    R[I->dst] = as_bits(mpi_ != nullptr ? mpi_->rank_count()
+                                        : std::int64_t{1});
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Escape) {
+    goto sync_out;  // Call/Ret/MPI/abort: one reference step()
+  }
+
+// --- fused (two IR instructions) handlers --------------------------------
+// Head executes, counts its cycle, then the tail — strictly in program
+// order, so tail operands naming the head's dst read the fresh value.
+
+#define FPROP_H_DUP2(n, e)               \
+  FPROP_CASE(n##Dup) {                   \
+    {                                    \
+      const std::uint64_t A = R[I->a];   \
+      const std::uint64_t B = R[I->b];   \
+      R[I->dst] = (e);                   \
+    }                                    \
+    FPROP_STEP1();                       \
+    {                                    \
+      const std::uint64_t A = R[I->c];   \
+      const std::uint64_t B = R[I->d];   \
+      R[I->dst2] = (e);                  \
+    }                                    \
+    FPROP_STEP1();                       \
+    ++I;                                 \
+    FPROP_DISPATCH();                    \
+  }
+#define FPROP_H_DUP1(n, e)               \
+  FPROP_CASE(n##Dup) {                   \
+    {                                    \
+      const std::uint64_t A = R[I->a];   \
+      R[I->dst] = (e);                   \
+    }                                    \
+    FPROP_STEP1();                       \
+    {                                    \
+      const std::uint64_t A = R[I->c];   \
+      R[I->dst2] = (e);                  \
+    }                                    \
+    FPROP_STEP1();                       \
+    ++I;                                 \
+    FPROP_DISPATCH();                    \
+  }
+#define FPROP_H_ST2(n, e)                                  \
+  FPROP_CASE(n##St) {                                      \
+    {                                                      \
+      const std::uint64_t A = R[I->a];                     \
+      const std::uint64_t B = R[I->b];                     \
+      R[I->dst] = (e);                                     \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    if (!mem_.store(R[I->c], R[I->d])) {                   \
+      FPROP_TRAP_TAIL(Trap::BadAccess);                    \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    ++I;                                                   \
+    FPROP_DISPATCH();                                      \
+  }
+#define FPROP_H_CMPBR(n, e)                                \
+  FPROP_CASE(n##Br) {                                      \
+    {                                                      \
+      const std::uint64_t A = R[I->a];                     \
+      const std::uint64_t B = R[I->b];                     \
+      R[I->dst] = (e);                                     \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const BcInstr* nx =                                  \
+          code + (R[I->c] != 0 ? I->t1 : I->t2);           \
+      FPROP_STEP1();                                       \
+      I = nx;                                              \
+    }                                                      \
+    FPROP_DISPATCH();                                      \
+  }
+  FPROP_BC_BIN2(FPROP_H_DUP2)
+  FPROP_BC_UN1(FPROP_H_DUP1)
+  FPROP_BC_BIN2(FPROP_H_ST2)
+  FPROP_BC_CMP2(FPROP_H_CMPBR)
+#undef FPROP_H_DUP2
+#undef FPROP_H_DUP1
+#undef FPROP_H_ST2
+#undef FPROP_H_CMPBR
+
+  FPROP_CASE(F2IDup) {
+    R[I->dst] = as_bits(f2i_trunc(double_of(R[I->a])));
+    FPROP_STEP1();
+    R[I->dst2] = as_bits(f2i_trunc(double_of(R[I->c])));
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(ConstIDup) {
+    R[I->dst] = as_bits(I->imm);
+    FPROP_STEP1();
+    R[I->dst2] = as_bits(I->imm2);
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(LoadFetch) {
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->a], v)) FPROP_TRAP_HEAD(Trap::BadAccess);
+    R[I->dst] = v;
+    FPROP_STEP1();
+    const std::uint64_t addr_p = R[I->c];
+    std::uint64_t actual = 0;
+    (void)mem_.load(addr_p, actual);
+    R[I->dst2] = fpm != nullptr ? fpm->fetch(addr_p, actual) : actual;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(Load2) {
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->a], v)) FPROP_TRAP_HEAD(Trap::BadAccess);
+    R[I->dst] = v;
+    FPROP_STEP1();
+    if (!mem_.load(R[I->c], v)) FPROP_TRAP_TAIL(Trap::BadAccess);
+    R[I->dst2] = v;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(PtrAddLoad) {
+    R[I->dst] = R[I->a] + R[I->b] * 8;
+    FPROP_STEP1();
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->c], v)) FPROP_TRAP_TAIL(Trap::BadAccess);
+    R[I->dst2] = v;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(FimInj2) {
+    if (cnt >= inj_stop) goto sync_out;  // strike at the head
+    ++cnt;
+    R[I->dst] = R[I->a];
+    FPROP_STEP1();
+    if (cnt >= inj_stop) FPROP_PARK_AT(1);  // strike at the tail
+    ++cnt;
+    R[I->dst2] = R[I->c];
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+
+// --- merged (three / four IR instructions) handlers ----------------------
+// Produced by compile.cpp's peephole merge pass over already-fused pairs;
+// same rule as above: sub-instructions execute strictly in IR order, each
+// counting its own cycle, and fim_inj strikes park the frame exactly on the
+// striking site.
+
+#define FPROP_H_DUPBR(n, e)                                \
+  FPROP_CASE(n##DupBr) {                                   \
+    {                                                      \
+      const std::uint64_t A = R[I->a];                     \
+      const std::uint64_t B = R[I->b];                     \
+      R[I->dst] = (e);                                     \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const std::uint64_t A = R[I->c];                     \
+      const std::uint64_t B = R[I->d];                     \
+      R[I->dst2] = (e);                                    \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const BcInstr* nx =                                  \
+          code + (R[I->p32a()] != 0 ? I->t1 : I->t2);      \
+      FPROP_STEP1();                                       \
+      I = nx;                                              \
+    }                                                      \
+    FPROP_DISPATCH();                                      \
+  }
+#define FPROP_H_INJDUP(n, e)                               \
+  FPROP_CASE(Inj##n##Dup) {                                \
+    if (cnt >= inj_stop) goto sync_out;                    \
+    ++cnt;                                                 \
+    R[I->p32b()] = R[I->p32a()];                           \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const std::uint64_t A = R[I->a];                     \
+      const std::uint64_t B = R[I->b];                     \
+      R[I->dst] = (e);                                     \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const std::uint64_t A = R[I->c];                     \
+      const std::uint64_t B = R[I->d];                     \
+      R[I->dst2] = (e);                                    \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    ++I;                                                   \
+    FPROP_DISPATCH();                                      \
+  }
+#define FPROP_H_INJ2DUP(n, e)                              \
+  FPROP_CASE(Inj2##n##Dup) {                               \
+    if (cnt >= inj_stop) goto sync_out;                    \
+    ++cnt;                                                 \
+    R[I->p16(1)] = R[I->p16(0)];                           \
+    FPROP_STEP1();                                         \
+    if (cnt >= inj_stop) FPROP_PARK_AT(1);                 \
+    ++cnt;                                                 \
+    R[I->p16(3)] = R[I->p16(2)];                           \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const std::uint64_t A = R[I->a];                     \
+      const std::uint64_t B = R[I->b];                     \
+      R[I->dst] = (e);                                     \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    {                                                      \
+      const std::uint64_t A = R[I->c];                     \
+      const std::uint64_t B = R[I->d];                     \
+      R[I->dst2] = (e);                                    \
+    }                                                      \
+    FPROP_STEP1();                                         \
+    ++I;                                                   \
+    FPROP_DISPATCH();                                      \
+  }
+  FPROP_BC_CMP2(FPROP_H_DUPBR)
+  FPROP_BC_BIN2(FPROP_H_INJDUP)
+  FPROP_BC_BIN2(FPROP_H_INJ2DUP)
+#undef FPROP_H_DUPBR
+#undef FPROP_H_INJDUP
+#undef FPROP_H_INJ2DUP
+
+  FPROP_CASE(MovDupJmp) {
+    R[I->dst] = R[I->a];
+    FPROP_STEP1();
+    R[I->dst2] = R[I->c];
+    FPROP_STEP1();
+    {
+      const BcInstr* nx = code + I->t1;
+      FPROP_STEP1();
+      I = nx;
+    }
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(PtrAddLF) {
+    R[I->dst] = R[I->a] + R[I->b] * 8;
+    FPROP_STEP1();
+    R[I->dst2] = R[I->c] + R[I->d] * 8;
+    FPROP_STEP1();
+    // Operands re-read from R at their IR position: the loads' addresses
+    // are the pair's dsts by the merge precondition, but a load dst may
+    // alias them, so no hoisting across the writes.
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->dst], v)) {
+      FPROP_TRAP_AT(I->src_ip + 2, Trap::BadAccess);
+    }
+    R[I->p32a()] = v;
+    FPROP_STEP1();
+    {
+      const std::uint64_t addr_p = R[I->dst2];
+      std::uint64_t actual = 0;
+      (void)mem_.load(addr_p, actual);
+      R[I->p32b()] = fpm != nullptr ? fpm->fetch(addr_p, actual) : actual;
+    }
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(ConstIDupInj) {
+    R[I->dst] = as_bits(I->imm);
+    FPROP_STEP1();
+    R[I->dst2] = as_bits(I->imm2);
+    FPROP_STEP1();
+    if (cnt >= inj_stop) FPROP_PARK_AT(2);
+    ++cnt;
+    R[I->d] = R[I->c];
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(LFInj2) {
+    std::uint64_t v = 0;
+    if (!mem_.load(R[I->a], v)) FPROP_TRAP_HEAD(Trap::BadAccess);
+    R[I->dst] = v;
+    FPROP_STEP1();
+    {
+      const std::uint64_t addr_p = R[I->c];
+      std::uint64_t actual = 0;
+      (void)mem_.load(addr_p, actual);
+      R[I->dst2] = fpm != nullptr ? fpm->fetch(addr_p, actual) : actual;
+    }
+    FPROP_STEP1();
+    if (cnt >= inj_stop) FPROP_PARK_AT(2);
+    ++cnt;
+    R[I->p16(1)] = R[I->p16(0)];
+    FPROP_STEP1();
+    if (cnt >= inj_stop) FPROP_PARK_AT(3);
+    ++cnt;
+    R[I->p16(3)] = R[I->p16(2)];
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+  FPROP_CASE(IntrDup) {
+    std::uint64_t v = 0;
+    if (!intr_pure_eval(I->sub, R, I->a, I->b, v)) goto sync_out;
+    R[I->dst] = v;
+    FPROP_STEP1();
+    if (!intr_pure_eval(I->sub2, R, I->c, I->d, v)) FPROP_PARK_AT(1);
+    R[I->dst2] = v;
+    FPROP_STEP1();
+    ++I;
+    FPROP_DISPATCH();
+  }
+
+#if !FPROP_BC_THREADED
+    case BcOp::Count:
+      goto sync_out;  // unreachable: compile.cpp never emits Count
+  }
+#endif
+
+sync_out:
+  // Park the frame on the next unexecuted IR instruction (I points at it —
+  // its head for fused ops; an Escape/strike site parks on itself).
+  fr.block = I->src_block;
+  fr.ip = I->src_ip;
+  fr.code = fr.func->blocks[fr.block].code.data();
+  FPROP_SYNC();
+  return fuel0 - fuel;
+}
+
+#undef FPROP_CASE
+#undef FPROP_DISPATCH
+#undef FPROP_CYCLES
+#undef FPROP_STEP1
+#undef FPROP_SYNC
+#undef FPROP_TRAP_AT
+#undef FPROP_TRAP_HEAD
+#undef FPROP_TRAP_TAIL
+#undef FPROP_PARK_AT
+
+}  // namespace fprop::vm

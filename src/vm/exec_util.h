@@ -1,0 +1,55 @@
+#pragma once
+
+// Value-conversion helpers shared by the reference interpreter (interp.cpp)
+// and the bytecode dispatch loop (dispatch.cpp). Both tiers must agree on
+// these bit-for-bit — keep one definition.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace fprop::vm::detail {
+
+inline std::int64_t as_i64(std::uint64_t bits) noexcept {
+  return static_cast<std::int64_t>(bits);
+}
+inline std::uint64_t as_bits(std::int64_t v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+
+// Truncating f64 -> i64 with x86 cvttsd2si semantics: NaN and out-of-range
+// inputs yield INT64_MIN instead of trapping (hardware does not fault here,
+// and neither should the simulated fault propagate into a VM error).
+inline std::int64_t f2i_trunc(double v) noexcept {
+  if (std::isnan(v)) return std::numeric_limits<std::int64_t>::min();
+  if (v >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
+  if (v <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(v);
+}
+
+// fmin/fmax with every case pinned down, including the ones C leaves
+// unspecified. std::fmin/std::fmax may return either zero for (+0, -0) —
+// and GCC treats them as commutative builtins, so two call sites compiled
+// from identical source can canonicalize the operands differently and
+// disagree bit-for-bit on signed-zero results. The reference interpreter
+// and the bytecode dispatch loop live in separate TUs and must agree
+// exactly, so the VM defines its own total semantics: explicit branches the
+// compiler cannot reorder, NaN falls through to the other operand (as
+// fmin/fmax), and equal-comparing operands resolve by sign — fmin prefers
+// -0, fmax prefers +0.
+inline double fmin_det(double x, double y) noexcept {
+  if (std::isnan(x)) return y;
+  if (std::isnan(y)) return x;
+  if (x < y) return x;
+  if (y < x) return y;
+  return std::signbit(x) ? x : y;
+}
+inline double fmax_det(double x, double y) noexcept {
+  if (std::isnan(x)) return y;
+  if (std::isnan(y)) return x;
+  if (x > y) return x;
+  if (y > x) return y;
+  return std::signbit(x) ? y : x;
+}
+
+}  // namespace fprop::vm::detail

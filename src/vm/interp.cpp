@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "fprop/fpm/message.h"
+#include "exec_util.h"
 
 namespace fprop::vm {
 
@@ -28,26 +29,9 @@ const char* trap_name(Trap t) noexcept {
   return "?";
 }
 
-namespace {
-
-std::int64_t as_i64(std::uint64_t bits) noexcept {
-  return static_cast<std::int64_t>(bits);
-}
-std::uint64_t as_bits(std::int64_t v) noexcept {
-  return static_cast<std::uint64_t>(v);
-}
-
-// Truncating f64 -> i64 with x86 cvttsd2si semantics: NaN and out-of-range
-// inputs yield INT64_MIN instead of trapping (hardware does not fault here,
-// and neither should the simulated fault propagate into a VM error).
-std::int64_t f2i_trunc(double v) noexcept {
-  if (std::isnan(v)) return std::numeric_limits<std::int64_t>::min();
-  if (v >= 9.2233720368547758e18) return std::numeric_limits<std::int64_t>::max();
-  if (v <= -9.2233720368547758e18) return std::numeric_limits<std::int64_t>::min();
-  return static_cast<std::int64_t>(v);
-}
-
-}  // namespace
+using detail::as_bits;
+using detail::as_i64;
+using detail::f2i_trunc;
 
 Interp::Interp(const ir::Module& module, std::uint32_t rank,
                InterpConfig config)
@@ -123,6 +107,15 @@ void Interp::finish_instr() {
 RunState Interp::run(std::uint64_t max_steps) {
   if (state_ == RunState::Done || state_ == RunState::Trapped) return state_;
   state_ = RunState::Ready;
+  // Fast tier: only when no attached hook needs per-instruction visibility.
+  // Taint mode and the trial recorder observe every instruction; an inject
+  // hook is compatible only when it grants the FastInjectState contract
+  // (hooks.h) — the strike window itself still goes through step().
+  if (bytecode_ != nullptr && taint_ == nullptr && recorder_ == nullptr &&
+      (inject_ == nullptr ||
+       inject_->fim_fast_state(rank_).counter != nullptr)) {
+    return run_bytecode(max_steps);
+  }
   for (std::uint64_t i = 0; i < max_steps; ++i) {
     if (!step()) break;
   }
@@ -495,8 +488,8 @@ bool Interp::exec_intrinsic(const ir::Instr& in) {
     case IntrinsicId::Cos: set_f(std::cos(farg(0))); return true;
     case IntrinsicId::Pow: set_f(std::pow(farg(0), farg(1))); return true;
     case IntrinsicId::Floor: set_f(std::floor(farg(0))); return true;
-    case IntrinsicId::FMin: set_f(std::fmin(farg(0), farg(1))); return true;
-    case IntrinsicId::FMax: set_f(std::fmax(farg(0), farg(1))); return true;
+    case IntrinsicId::FMin: set_f(detail::fmin_det(farg(0), farg(1))); return true;
+    case IntrinsicId::FMax: set_f(detail::fmax_det(farg(0), farg(1))); return true;
     case IntrinsicId::IMin: set_i(std::min(iarg(0), iarg(1))); return true;
     case IntrinsicId::IMax: set_i(std::max(iarg(0), iarg(1))); return true;
 

@@ -90,6 +90,46 @@ TEST_P(GoldenCampaign, WarmStartReproducesColdStartTrialForTrial) {
   }
 }
 
+// The compiled execution tier (DESIGN.md §13) must be bit-identical to the
+// reference interpreter: the same frozen 30-trial campaigns, run once per
+// tier, compare field-by-field. (OutcomeDistributionIsFrozen above already
+// runs the default Bytecode tier against the frozen table; this leg pins the
+// stronger per-trial contract the tier-equivalence fuzz oracle relies on.)
+TEST_P(GoldenCampaign, BytecodeTierReproducesInterpTierTrialForTrial) {
+  const GoldenRow& row = GetParam();
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(get_app(row.app), cfg);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 42;
+  cc.jobs = 1;
+  cc.exec_tier = vm::ExecTier::Interp;
+  const harness::CampaignResult ref = harness::run_campaign(h, cc);
+  cc.exec_tier = vm::ExecTier::Bytecode;
+  const harness::CampaignResult fast = harness::run_campaign(h, cc);
+  ASSERT_EQ(ref.trials.size(), fast.trials.size());
+  for (std::size_t i = 0; i < ref.trials.size(); ++i) {
+    const harness::TrialResult& x = ref.trials[i];
+    const harness::TrialResult& y = fast.trials[i];
+    EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+    EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+    EXPECT_EQ(x.injected, y.injected) << "trial " << i;
+    EXPECT_EQ(x.injection.site_id, y.injection.site_id) << "trial " << i;
+    EXPECT_EQ(x.injection.dyn_index, y.injection.dyn_index) << "trial " << i;
+    EXPECT_EQ(x.injection.cycle, y.injection.cycle) << "trial " << i;
+    EXPECT_EQ(x.injection.before, y.injection.before) << "trial " << i;
+    EXPECT_EQ(x.injection.after, y.injection.after) << "trial " << i;
+    EXPECT_EQ(x.total_cml_final, y.total_cml_final) << "trial " << i;
+    EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+    EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+    EXPECT_EQ(x.contaminated_ranks, y.contaminated_ranks) << "trial " << i;
+    EXPECT_EQ(x.reported_iters, y.reported_iters) << "trial " << i;
+    EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+  }
+  EXPECT_EQ(ref.counts.total(), fast.counts.total());
+  EXPECT_EQ(ref.max_contaminated_pct, fast.max_contaminated_pct);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllApps, GoldenCampaign, ::testing::ValuesIn(kGolden),
                          [](const auto& pi) { return std::string(pi.param.app); });
 

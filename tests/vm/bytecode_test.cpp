@@ -1,0 +1,390 @@
+// Compiled execution tier (DESIGN.md §13): bytecode lowering edge cases and
+// bit-exact equivalence against the reference interpreter. The heavier
+// statistical equivalence lives in the bytecode_vs_interp fuzz oracle and the
+// golden campaign tests; this file pins the compiler's structural invariants
+// and the dispatch loop's semantics on hand-built corner cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fprop/ir/builder.h"
+#include "fprop/ir/verifier.h"
+#include "fprop/minic/compile.h"
+#include "fprop/passes/passes.h"
+#include "fprop/vm/bytecode.h"
+#include "fprop/vm/interp.h"
+
+namespace fprop::vm {
+namespace {
+
+using ir::Opcode;
+using ir::Reg;
+
+struct TierResult {
+  RunState state = RunState::Ready;
+  Trap trap = Trap::None;
+  std::uint64_t cycles = 0;
+  std::vector<std::uint64_t> output_bits;
+};
+
+TierResult run_tier(const ir::Module& m, const BytecodeModule* bc,
+                    std::uint64_t budget = 1ull << 30) {
+  Interp interp(m, 0, InterpConfig{});
+  if (bc != nullptr) interp.set_bytecode(bc);
+  TierResult r;
+  r.state = interp.run(budget);
+  r.trap = interp.trap();
+  r.cycles = interp.cycles();
+  for (double v : interp.outputs()) r.output_bits.push_back(bits_of(v));
+  return r;
+}
+
+// Runs the module on both tiers and asserts bit-exact agreement on state,
+// trap, virtual clock and every emitted output.
+TierResult expect_tiers_agree(const ir::Module& m) {
+  const BytecodeModule bc(m);
+  const TierResult ref = run_tier(m, nullptr);
+  const TierResult fast = run_tier(m, &bc);
+  EXPECT_EQ(ref.state, fast.state);
+  EXPECT_EQ(ref.trap, fast.trap);
+  EXPECT_EQ(ref.cycles, fast.cycles);
+  EXPECT_EQ(ref.output_bits, fast.output_bits);
+  return fast;
+}
+
+TierResult expect_tiers_agree_src(const std::string& src) {
+  ir::Module m = minic::compile(src);
+  return expect_tiers_agree(m);
+}
+
+// Total IR instructions a compiled function covers must equal the function's
+// instruction count: every IR position is executed by exactly one bytecode
+// instruction (or an Escape), regardless of how fusion grouped them.
+void expect_full_coverage(const ir::Module& m, const BytecodeModule& bc) {
+  for (std::size_t fi = 0; fi < m.funcs.size(); ++fi) {
+    const ir::Function& f = m.funcs[fi];
+    const BcFunction& bf = bc.func(static_cast<ir::FuncId>(fi));
+    std::size_t ir_count = 0;
+    for (const ir::BasicBlock& blk : f.blocks) ir_count += blk.code.size();
+    std::size_t covered = 0;
+    for (const BcInstr& in : bf.code) covered += bcop_arity(in.op);
+    EXPECT_EQ(covered, ir_count) << "function " << f.name;
+    ASSERT_EQ(bf.ir2bc.size(), f.blocks.size());
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+      ASSERT_EQ(bf.ir2bc[b].size(), f.blocks[b].code.size());
+      // Every block's first instruction is a group head: entry at a block
+      // boundary must never need the mid-group escape path.
+      if (!bf.ir2bc[b].empty()) {
+        EXPECT_GE(bf.ir2bc[b][0], 0) << "block " << b << " head not mapped";
+        EXPECT_EQ(static_cast<std::uint32_t>(bf.ir2bc[b][0]),
+                  bf.block_start[b]);
+      }
+    }
+  }
+}
+
+// --- Compilation edge cases ------------------------------------------------
+
+TEST(BytecodeCompile, EmptyBlocksAndJumpChains) {
+  // main: entry jumps through two terminator-only blocks before the body.
+  ir::Module m;
+  ir::Function& f = m.add_function("main", ir::Type::Void);
+  m.entry = f.id;
+  ir::Builder b(f);
+  const ir::BlockId hop1 = b.new_block();
+  const ir::BlockId hop2 = b.new_block();
+  const ir::BlockId body = b.new_block();
+  b.jmp(hop1);
+  b.set_insert_point(hop1);
+  b.jmp(hop2);
+  b.set_insert_point(hop2);
+  b.jmp(body);
+  b.set_insert_point(body);
+  const Reg v = b.const_i(41);
+  const Reg one = b.const_i(1);
+  const Reg sum = b.binop(Opcode::AddI, v, one);
+  b.intrinsic(ir::IntrinsicId::OutputI, {sum});
+  b.ret();
+  ir::verify(m);
+
+  const BytecodeModule bc(m);
+  expect_full_coverage(m, bc);
+  const TierResult r = expect_tiers_agree(m);
+  ASSERT_EQ(r.output_bits.size(), 1u);
+  EXPECT_EQ(r.output_bits[0], bits_of(42.0));
+}
+
+TEST(BytecodeCompile, FallthroughOnlyBranches) {
+  // Both br targets reach the same continuation; one arm is an empty
+  // fallthrough block. The compiler must keep both bytecode branch targets
+  // valid and the clock identical whichever arm runs.
+  const char* src = R"(
+    fn main() {
+      var i: int = 0;
+      var acc: int = 0;
+      while (i < 8) {
+        if (i % 2 == 0) {
+        } else {
+          acc = acc + i;
+        }
+        i = i + 1;
+      }
+      output_i(acc);
+    }
+  )";
+  const TierResult r = expect_tiers_agree_src(src);
+  ASSERT_EQ(r.output_bits.size(), 1u);
+  EXPECT_EQ(r.output_bits[0], bits_of(16.0));  // 1+3+5+7
+}
+
+TEST(BytecodeCompile, MaxOperandInstructionFpmStore) {
+  // FpmStore carries the IR maximum of four register operands (value,
+  // pristine value, address, pristine address). Instrument a store-heavy
+  // program and check full coverage plus tier agreement end to end.
+  ir::Module m = minic::compile(R"(
+    fn main() {
+      var a: float* = alloc_float(16);
+      var i: int = 0;
+      while (i < 16) {
+        a[i] = float(i) * 1.5 + 0.25;
+        i = i + 1;
+      }
+      var s: float = 0.0;
+      i = 0;
+      while (i < 16) {
+        s = s + a[i];
+        i = i + 1;
+      }
+      output_f(s);
+    }
+  )");
+  passes::instrument_module(m);
+  bool has_fpm_store = false;
+  for (const ir::Function& f : m.funcs)
+    for (const ir::BasicBlock& blk : f.blocks)
+      for (const ir::Instr& in : blk.code)
+        if (in.op == Opcode::FpmStore) {
+          has_fpm_store = true;
+          EXPECT_EQ(in.nops, 4u);
+        }
+  ASSERT_TRUE(has_fpm_store);
+
+  const BytecodeModule bc(m);
+  expect_full_coverage(m, bc);
+  expect_tiers_agree(m);
+}
+
+TEST(BytecodeCompile, NoFusionAcrossBlockBoundaries) {
+  // Two adjacent loads in one block fuse (Load2); the same two loads split
+  // across a jump must not — fusion never crosses a basic-block boundary.
+  auto build = [](bool split) {
+    ir::Module m;
+    ir::Function& f = m.add_function("main", ir::Type::Void);
+    m.entry = f.id;
+    ir::Builder b(f);
+    const Reg base = b.intrinsic(ir::IntrinsicId::Alloc, {b.const_i(2)});
+    b.store(b.const_f(1.25), base);
+    const Reg idx1 = b.const_i(1);
+    const Reg slot1 = b.ptr_add(base, idx1);
+    b.store(b.const_f(2.5), slot1);
+    Reg x;
+    Reg y;
+    if (split) {
+      const ir::BlockId second = b.new_block();
+      x = b.load(ir::Type::F64, base);
+      b.jmp(second);
+      b.set_insert_point(second);
+      y = b.load(ir::Type::F64, slot1);
+    } else {
+      x = b.load(ir::Type::F64, base);
+      y = b.load(ir::Type::F64, slot1);
+    }
+    const Reg sum = b.binop(Opcode::AddF, x, y);
+    b.intrinsic(ir::IntrinsicId::OutputF, {sum});
+    b.ret();
+    ir::verify(m);
+    return m;
+  };
+
+  const ir::Module fused_m = build(/*split=*/false);
+  const ir::Module split_m = build(/*split=*/true);
+  const BytecodeModule fused_bc(fused_m);
+  const BytecodeModule split_bc(split_m);
+  expect_full_coverage(fused_m, fused_bc);
+  expect_full_coverage(split_m, split_bc);
+
+  auto count_op = [](const BcFunction& bf, BcOp op) {
+    std::size_t n = 0;
+    for (const BcInstr& in : bf.code) n += in.op == op ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count_op(fused_bc.func(fused_m.entry), BcOp::Load2), 1u);
+  EXPECT_EQ(count_op(split_bc.func(split_m.entry), BcOp::Load2), 0u);
+
+  const TierResult a = expect_tiers_agree(fused_m);
+  const TierResult b2 = expect_tiers_agree(split_m);
+  ASSERT_EQ(a.output_bits.size(), 1u);
+  EXPECT_EQ(a.output_bits[0], bits_of(3.75));
+  EXPECT_EQ(b2.output_bits[0], bits_of(3.75));
+}
+
+TEST(BytecodeCompile, InstrumentedModuleFusesPairs) {
+  // Dual-chain instrumentation produces the (primary, shadow) adjacency the
+  // fusion pass targets; a real instrumented kernel must fuse something.
+  ir::Module m = minic::compile(R"(
+    fn main() {
+      var a: float* = alloc_float(32);
+      var i: int = 0;
+      while (i < 32) {
+        a[i] = sin(float(i) * 0.1) + 1.0;
+        i = i + 1;
+      }
+      var s: float = 0.0;
+      i = 0;
+      while (i < 32) {
+        s = s + a[i] * 0.5;
+        i = i + 1;
+      }
+      output_f(s);
+    }
+  )");
+  passes::instrument_module(m);
+  const BytecodeModule bc(m);
+  EXPECT_GT(bc.fused_pairs(), 0u);
+  expect_full_coverage(m, bc);
+  expect_tiers_agree(m);
+}
+
+// --- Execution semantics ---------------------------------------------------
+
+TEST(BytecodeExec, CallRetEscapeEquivalence) {
+  const char* src = R"(
+    fn fib(n: int) -> int {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() {
+      output_i(fib(15));
+    }
+  )";
+  const TierResult r = expect_tiers_agree_src(src);
+  ASSERT_EQ(r.output_bits.size(), 1u);
+  EXPECT_EQ(r.output_bits[0], bits_of(610.0));
+}
+
+TEST(BytecodeExec, TrapMidProgramEquivalence) {
+  // The trap must fire at the same virtual cycle on both tiers even when the
+  // trapping instruction sits inside a fused group.
+  const char* src = R"(
+    fn main() {
+      var i: int = 0;
+      var acc: int = 1;
+      while (i < 100) {
+        acc = acc * 3 % (7 - i);
+        i = i + 1;
+      }
+      output_i(acc);
+    }
+  )";
+  ir::Module m = minic::compile(src);
+  const BytecodeModule bc(m);
+  const TierResult ref = run_tier(m, nullptr);
+  const TierResult fast = run_tier(m, &bc);
+  EXPECT_EQ(ref.state, RunState::Trapped);
+  EXPECT_EQ(fast.state, RunState::Trapped);
+  EXPECT_EQ(ref.trap, fast.trap);
+  EXPECT_EQ(ref.cycles, fast.cycles);
+}
+
+TEST(BytecodeExec, SignedZeroFminFmaxTierAgreement) {
+  // Regression (fuzz seed 3327): glibc fmin/fmax leave the zero sign
+  // unspecified for (+0, -0) and GCC canonicalizes the commutative builtin's
+  // operands differently per TU, so the tiers disagreed bit-for-bit on
+  // signed-zero results. The VM pins its own semantics (exec_util.h):
+  // fmax prefers +0, fmin prefers -0, on both tiers.
+  const char* src = R"(
+    fn main() {
+      var nz: float = -1.7 * 0.0;
+      var pz: float = 0.0;
+      output_f(fmax(nz, pz));
+      output_f(fmax(pz, nz));
+      output_f(fmin(nz, pz));
+      output_f(fmin(pz, nz));
+    }
+  )";
+  const TierResult r = expect_tiers_agree_src(src);
+  ASSERT_EQ(r.output_bits.size(), 4u);
+  EXPECT_EQ(r.output_bits[0], bits_of(0.0));   // fmax -> +0 both orders
+  EXPECT_EQ(r.output_bits[1], bits_of(0.0));
+  EXPECT_EQ(r.output_bits[2], bits_of(-0.0));  // fmin -> -0 both orders
+  EXPECT_EQ(r.output_bits[3], bits_of(-0.0));
+}
+
+TEST(BytecodeExec, StepBudgetBoundariesMidGroup) {
+  // Slicing the run into single-step budgets forces entry and exit at every
+  // IR position, including tails inside fused groups (the reference-step
+  // escape path). Clock and outputs must match an unsliced bytecode run.
+  ir::Module m = minic::compile(R"(
+    fn main() {
+      var a: float* = alloc_float(8);
+      var i: int = 0;
+      while (i < 8) {
+        a[i] = float(i) * 0.5;
+        i = i + 1;
+      }
+      var s: float = 0.0;
+      i = 0;
+      while (i < 8) {
+        s = s + a[i];
+        i = i + 1;
+      }
+      output_f(s);
+    }
+  )");
+  passes::instrument_module(m);
+  const BytecodeModule bc(m);
+
+  const TierResult whole = run_tier(m, &bc);
+  ASSERT_EQ(whole.state, RunState::Done);
+
+  for (std::uint64_t budget : {std::uint64_t{1}, std::uint64_t{3},
+                               kBcMaxFuse, std::uint64_t{7}}) {
+    Interp sliced(m, 0, InterpConfig{});
+    sliced.set_bytecode(&bc);
+    RunState rs = RunState::Ready;
+    std::uint64_t guard = 0;
+    do {
+      rs = sliced.run(budget);
+      ASSERT_LT(++guard, 1u << 20);
+    } while (rs == RunState::Ready);
+    EXPECT_EQ(rs, whole.state) << "budget " << budget;
+    EXPECT_EQ(sliced.cycles(), whole.cycles) << "budget " << budget;
+    std::vector<std::uint64_t> out_bits;
+    for (double v : sliced.outputs()) out_bits.push_back(bits_of(v));
+    EXPECT_EQ(out_bits, whole.output_bits) << "budget " << budget;
+  }
+}
+
+TEST(BytecodeExec, MixedIntrinsicsEquivalence) {
+  const char* src = R"(
+    fn main() {
+      var x: float = 0.3;
+      var i: int = 0;
+      while (i < 50) {
+        x = sqrt(fabs(sin(x) + cos(x * 0.7))) + exp(-x) * 0.01;
+        x = fmin(fmax(x, -10.0), 10.0) + pow(1.001, float(i));
+        i = i + imax(1, imin(i, 2));
+      }
+      output_f(x);
+      output_f(floor(x * 3.0));
+      output_f(log(fabs(x) + 1.0));
+    }
+  )";
+  expect_tiers_agree_src(src);
+}
+
+}  // namespace
+}  // namespace fprop::vm

@@ -41,6 +41,7 @@ struct Options {
   bool warm_vs_cold = true;
   bool multifault = true;
   bool header = true;
+  bool bytecode_vs_interp = true;
   std::size_t trials = 6;
   std::size_t jobs = 2;
   std::uint32_t nranks = 4;
@@ -58,8 +59,9 @@ void usage(std::FILE* out) {
                "  --time-budget=S  stop after S seconds (default 0 = off)\n"
                "  --oracles=LIST   comma list of pristine,campaign,ckpt,"
                "shadow,parser,\n"
-               "                   warm_vs_cold,multifault,header "
-               "(default all)\n"
+               "                   warm_vs_cold,multifault,header,"
+               "bytecode_vs_interp\n"
+               "                   (default all)\n"
                "  --trials=N       campaign-oracle trials per run (default 6)\n"
                "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
                "  --nranks=N       simulated MPI ranks (default 4)\n"
@@ -71,7 +73,8 @@ void usage(std::FILE* out) {
 
 bool parse_oracles(const std::string& list, Options& opt) {
   opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser =
-      opt.warm_vs_cold = opt.multifault = opt.header = false;
+      opt.warm_vs_cold = opt.multifault = opt.header =
+          opt.bytecode_vs_interp = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -85,11 +88,13 @@ bool parse_oracles(const std::string& list, Options& opt) {
     else if (name == "warm_vs_cold") opt.warm_vs_cold = true;
     else if (name == "multifault") opt.multifault = true;
     else if (name == "header") opt.header = true;
+    else if (name == "bytecode_vs_interp") opt.bytecode_vs_interp = true;
     else if (!name.empty()) return false;
     start = comma + 1;
   }
   return opt.pristine || opt.campaign || opt.ckpt || opt.shadow ||
-         opt.parser || opt.warm_vs_cold || opt.multifault || opt.header;
+         opt.parser || opt.warm_vs_cold || opt.multifault || opt.header ||
+         opt.bytecode_vs_interp;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -203,6 +208,9 @@ int main(int argc, char** argv) {
         if (r.oracle == "multifault") {
           return !fuzz::check_multifault(p, oc).ok;
         }
+        if (r.oracle == "bytecode_vs_interp") {
+          return !fuzz::check_bytecode_vs_interp(p, oc).ok;
+        }
         return false;
       };
       fuzz::MinimizeStats st;
@@ -247,6 +255,10 @@ int main(int argc, char** argv) {
     }
     if (opt.multifault) {
       report(fuzz::check_multifault(prog, oc), seed, prog.source, true);
+    }
+    if (opt.bytecode_vs_interp) {
+      report(fuzz::check_bytecode_vs_interp(prog, oc), seed, prog.source,
+             true);
     }
     if (opt.header) {
       report(fuzz::check_header_adversarial(seed), seed, std::string(), true);
