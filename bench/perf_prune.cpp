@@ -1,0 +1,109 @@
+// Early-outcome pruning + plan-equivalence dedup throughput (DESIGN.md §14,
+// google-benchmark): end-to-end trials/sec of run_campaign over a shared
+// AppHarness, across the two trial-economy axes:
+//
+//   prune  0 vs 1 — unpruned trials run every sweep to completion; pruned
+//          trials stop at the first golden-ladder rung where the full live
+//          state has reconverged to the fault-free run and synthesize the
+//          remainder. Bit-identical results either way (prune_test), so the
+//          only thing that may change is wall-clock.
+//   dedup  0 vs 1 — duplicate canonical plans execute once and copy the
+//          representative's result. At campaign scale the duplicate rate is
+//          app/seed dependent; matvec's modest dynamic-point count at 64
+//          trials gives a realistic non-zero rate.
+//
+// The headline number the CI gate watches is matvec jobs=1 with both
+// economies on vs both off — the tentpole speedup claim.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/harness/prune.h"
+
+namespace {
+
+using namespace fprop;
+
+harness::AppHarness& matvec_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    // The registry default (ITERS=3) reproduces the paper's Fig. 1 example;
+    // at that size a whole trial is a few hundred instructions and fixed
+    // per-trial costs dominate. Pruning targets campaign-scale runs where
+    // execution time dominates, so bench the same kernel at HPC-like length.
+    cfg.overrides = {{"ITERS", "1200"}};
+    // A denser ladder narrows both the warm-start offset (rung before the
+    // fault) and the pruned suffix (rung after reconvergence). Capture cost
+    // is one-time per harness, amortized across the campaign, and measured
+    // separately in perf_snapshot_ladder.
+    cfg.snapshot_rungs = 96;
+    return harness::AppHarness(apps::get_app("matvec"), cfg);
+  }();
+  return h;
+}
+
+harness::AppHarness& mcb_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    return harness::AppHarness(apps::get_app("mcb"), cfg);
+  }();
+  return h;
+}
+
+void run_prune_bench(benchmark::State& state, harness::AppHarness& h,
+                     std::size_t trials) {
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.seed = 42;
+  cc.jobs = 1;
+  cc.prune = state.range(0) != 0;
+  cc.dedup = state.range(1) != 0;
+  // Ladder capture and golden page hashing are one-time per-harness costs
+  // (the former measured in perf_snapshot_ladder); keep both out of the
+  // timed region so the numbers report steady-state trial throughput.
+  (void)h.snapshot_ladder();
+  if (cc.prune) (void)h.prune_prints();
+  std::size_t pruned = 0;
+  std::size_t deduped = 0;
+  for (auto _ : state) {
+    const harness::CampaignResult r = harness::run_campaign(h, cc);
+    benchmark::DoNotOptimize(r.counts.total());
+    pruned = r.pruned_trials;
+    deduped = r.deduped_trials;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials));
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * trials),
+      benchmark::Counter::kIsRate);
+  // How much of the campaign the economies actually absorbed (not a rate).
+  state.counters["pruned"] = static_cast<double>(pruned);
+  state.counters["deduped"] = static_cast<double>(deduped);
+}
+
+void BM_PruneMatvec(benchmark::State& state) {
+  run_prune_bench(state, matvec_harness(), 64);
+}
+
+void BM_PruneMcb(benchmark::State& state) {
+  run_prune_bench(state, mcb_harness(), 16);
+}
+
+}  // namespace
+
+// (prune, dedup): both off = the historical engine; each alone; both on =
+// the campaign default.
+BENCHMARK(BM_PruneMatvec)
+    ->ArgNames({"prune", "dedup"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->UseRealTime();
+BENCHMARK(BM_PruneMcb)
+    ->ArgNames({"prune", "dedup"})
+    ->Args({0, 0})->Args({1, 1})
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 #   cp bench-baseline/BENCH_snapshot_ladder.json bench/
 #   cp bench-baseline/BENCH_multifault.json bench/
 #   cp bench-baseline/BENCH_bytecode.json bench/
+#   cp bench-baseline/BENCH_prune.json bench/
 # Do this on a quiet machine only after an intentional perf change; the CI
 # bench-regression job compares fresh runs against these files with
 # fprop-benchdiff --threshold=0.30.
@@ -31,7 +32,7 @@
 set -euo pipefail
 
 BENCHES=(perf_overhead perf_shadowtable perf_vm perf_checkpoint perf_campaign
-         perf_multifault perf_snapshot_ladder perf_bytecode)
+         perf_multifault perf_snapshot_ladder perf_bytecode perf_prune)
 
 build_dir="build"
 out_dir=""

@@ -6,6 +6,7 @@
 //   $ ./fault_campaign [app] [trials] [--jobs=N] [--cold-start]
 //                      [--exec-tier=interp|bytecode]
 //                      [--faults-per-trial=K] [--corrupt-headers[=M]]
+//                      [--no-prune] [--no-dedup]
 //                      [--trace-dir=D] [--metrics-out=F]
 //   $ ./fault_campaign lulesh 200 --jobs=8
 //   $ ./fault_campaign lulesh 200 --faults-per-trial=4 --corrupt-headers
@@ -23,6 +24,10 @@
 // multi-fault scenarios; default 1, 0 = none).
 // --corrupt-headers[=M] adds M in-flight message faults per trial (bit
 // flips in the serialized FPM piggyback header or payload; default M=1).
+// --no-prune disables early-outcome pruning (DESIGN.md §14): every trial
+// then runs every sweep to completion. --no-dedup disables plan-equivalence
+// dedup, so duplicate canonical plans re-execute. Both are on by default and
+// bit-identical to the disabled paths; the flags exist for A/B timing runs.
 // --trace-dir=D writes per-trial Chrome trace-event JSON (load in
 // chrome://tracing) plus campaign.csv / campaign.json into D.
 // --metrics-out=F dumps the process-wide metrics registry as JSON to F.
@@ -49,6 +54,8 @@ void usage(std::FILE* out) {
                "  --faults-per-trial=K register faults per trial (default 1)\n"
                "  --corrupt-headers[=M] in-flight message faults per trial\n"
                "                       (default M=1 when given, else 0)\n"
+               "  --no-prune           run every trial to completion\n"
+               "  --no-dedup           re-execute duplicate canonical plans\n"
                "  --trace-dir=D        Chrome traces + campaign.csv/json\n"
                "  --metrics-out=F      metrics registry JSON\n"
                "  --help               this text\n");
@@ -63,6 +70,8 @@ int main(int argc, char** argv) {
   std::size_t faults_per_trial = 1;
   std::size_t msg_faults = 0;
   bool cold = false;
+  bool prune = true;
+  bool dedup = true;
   vm::ExecTier tier = vm::ExecTier::Bytecode;
   std::string trace_dir;
   std::string metrics_out;
@@ -93,6 +102,10 @@ int main(int argc, char** argv) {
       msg_faults = 1;
     } else if (std::strncmp(argv[i], "--corrupt-headers=", 18) == 0) {
       msg_faults = static_cast<std::size_t>(std::atoi(argv[i] + 18));
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      prune = false;
+    } else if (std::strcmp(argv[i], "--no-dedup") == 0) {
+      dedup = false;
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {
       trace_dir = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -129,10 +142,18 @@ int main(int argc, char** argv) {
   cc.jobs = jobs;
   cc.warm_start = !cold;
   cc.exec_tier = tier;
+  cc.prune = prune;
+  cc.dedup = dedup;
   cc.trace_dir = trace_dir;
   if (!metrics_out.empty()) cc.metrics = &obs::MetricsRegistry::global();
   const harness::CampaignResult r = run_campaign(h, cc);
   const auto& c = r.counts;
+
+  if (prune || dedup) {
+    std::printf("trial economy: %zu pruned at a golden rung, %zu deduped "
+                "onto an earlier plan\n",
+                r.pruned_trials, r.deduped_trials);
+  }
 
   if (!metrics_out.empty()) {
     obs::write_file(metrics_out,

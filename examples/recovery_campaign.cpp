@@ -7,6 +7,7 @@
 //   $ ./recovery_campaign [app] [trials] [--jobs=N] [--cold-start]
 //                         [--exec-tier=interp|bytecode]
 //                         [--faults-per-trial=K] [--corrupt-headers[=M]]
+//                         [--no-prune] [--no-dedup]
 //                         [--backoff=B] [--trace-dir=D] [--metrics-out=F]
 //   $ ./recovery_campaign matvec 200 --jobs=8
 //   $ ./recovery_campaign lulesh 100 --corrupt-headers --backoff=2
@@ -20,6 +21,10 @@
 // (DESIGN.md §12; default M=1 when given, else 0).
 // --backoff=B widens the detector interval by B per rollback (retry with
 // backoff; default 1 = fixed grid).
+// --no-prune / --no-dedup disable early-outcome pruning and plan-equivalence
+// dedup (DESIGN.md §14; both on by default, bit-identical either way). Under
+// recovery the probe only fires at clean detector scans, so the pruned
+// fraction is typically smaller than in fault_campaign.
 // --trace-dir=D writes per-trial Chrome traces + campaign.csv/json into one
 // subdirectory per policy row (D/baseline, D/always, ...).
 // --metrics-out=F dumps the metrics registry (all four campaigns) to F.
@@ -47,6 +52,10 @@ struct FaultOptions {
   std::size_t msg_faults = 0;
 };
 
+// Trial-economy switches (DESIGN.md §14), shared by all four policy rows.
+bool g_prune = true;
+bool g_dedup = true;
+
 // Execution tier for every trial (DESIGN.md §13); bit-identical either way,
 // exposed for A/B timing runs like fault_campaign's flag.
 vm::ExecTier g_tier = vm::ExecTier::Bytecode;
@@ -62,6 +71,8 @@ void usage(std::FILE* out) {
                "                       (default M=1 when given, else 0)\n"
                "  --backoff=B          widen detector interval by B per\n"
                "                       rollback (default 1 = fixed grid)\n"
+               "  --no-prune           run every trial to completion\n"
+               "  --no-dedup           re-execute duplicate canonical plans\n"
                "  --trace-dir=D        traces + CSV/JSON per policy row\n"
                "  --metrics-out=F      metrics registry JSON\n"
                "  --help               this text\n");
@@ -81,6 +92,8 @@ harness::CampaignResult campaign(const char* app, std::size_t trials,
   cc.exec_tier = g_tier;
   cc.faults_per_run = faults.faults_per_trial;
   cc.msg_faults_per_run = faults.msg_faults;
+  cc.prune = g_prune;
+  cc.dedup = g_dedup;
   if (!obs_opts.trace_dir.empty()) {
     cc.trace_dir = obs_opts.trace_dir + "/" + label;
   }
@@ -93,11 +106,16 @@ harness::CampaignResult campaign(const char* app, std::size_t trials,
 void print_row(const char* label, const harness::CampaignResult& r) {
   const auto& c = r.counts;
   std::printf("  %-10s CO %5.1f%%  WO %5.1f%%  PEX %5.1f%%  C %5.1f%%"
-              "  | recovered %3zu  rollbacks %3zu  wasted %8llu cycles\n",
+              "  | recovered %3zu  rollbacks %3zu  wasted %8llu cycles",
               label, c.pct(c.correct_output()), c.pct(c.wrong_output),
               c.pct(c.pex), c.pct(c.crashed), r.recovered_trials,
               r.total_rollbacks,
               static_cast<unsigned long long>(r.total_wasted_cycles));
+  if (r.pruned_trials > 0 || r.deduped_trials > 0) {
+    std::printf("  | pruned %zu  deduped %zu", r.pruned_trials,
+                r.deduped_trials);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -137,6 +155,10 @@ int main(int argc, char** argv) {
       faults.msg_faults = 1;
     } else if (std::strncmp(argv[i], "--corrupt-headers=", 18) == 0) {
       faults.msg_faults = static_cast<std::size_t>(std::atoi(argv[i] + 18));
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      g_prune = false;
+    } else if (std::strcmp(argv[i], "--no-dedup") == 0) {
+      g_dedup = false;
     } else if (std::strncmp(argv[i], "--backoff=", 10) == 0) {
       backoff = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0) {

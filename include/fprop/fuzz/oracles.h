@@ -33,6 +33,12 @@
 //              bookkeeping, and injected campaigns (single- and multi-
 //              fault, cold- and warm-started) produce identical
 //              CampaignResults under both tiers.
+//   prune      early-outcome pruning + plan-equivalence dedup (DESIGN.md
+//              §14) == the unpruned, undeduped campaign bit-for-bit —
+//              plain, under recovery, and with k-fault + message-fault
+//              plans — plus the economy invariants (pruned trials classify
+//              V/ONA with empty shadow tables; dedup_count partitions the
+//              trial count).
 //
 // Oracles never throw: any unexpected exception is itself a violation and is
 // reported through OracleResult.
@@ -123,6 +129,17 @@ OracleResult check_multifault(const GeneratedProgram& prog,
 /// campaign field-for-field, both cold- and warm-started.
 OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
                                       const OracleConfig& config = {});
+
+/// Oracle "prune": builds an AppHarness over `prog` (plain, with recovery
+/// enabled, and with config.multifault_k faults + config.multifault_msg
+/// message faults per trial) and compares run_campaign with
+/// prune=dedup=false vs prune=dedup=true field-for-field — the §14
+/// soundness contract. Also enforces the economy invariants on the pruned
+/// leg: every pruned trial is Vanished/ONA with total_cml_final == 0 and
+/// Trap::None, dedup_count sums to the trial count, and the number of
+/// zero-count slots equals CampaignResult::deduped_trials.
+OracleResult check_prune(const GeneratedProgram& prog,
+                         const OracleConfig& config = {});
 
 /// Oracle "header": drives fpm::serialize_header / deserialize_header /
 /// install_header through `iters` seed-derived adversarial wire streams

@@ -32,6 +32,10 @@
 
 namespace fprop::harness {
 
+namespace prune {
+struct GoldenPrints;
+}  // namespace prune
+
 enum class Outcome : std::uint8_t {
   Vanished,
   OutputNotAffected,
@@ -136,6 +140,19 @@ struct TrialResult {
   bool recovery_gave_up = false;      ///< retry budget exhausted
   /// Global clock of the first detection (-1 = none / recovery disabled).
   std::int64_t first_detection_clock = -1;
+
+  // --- trial economy (DESIGN.md §14). Purely provenance: these say how the
+  // --- result was OBTAINED, never what it is, so equivalence tests and the
+  // --- fuzz differential oracles exclude them from comparison. ------------
+  /// Cut short by the golden-reconvergence probe; every other field is
+  /// still exactly what the full run would have produced.
+  bool pruned = false;
+  /// Rung clock at which the prune fired (0 when !pruned).
+  std::uint64_t prune_clock = 0;
+  /// Plan-equivalence dedup multiplicity: a representative trial counts
+  /// itself plus every duplicate mapped onto it (>= 1); a duplicate slot
+  /// carries 0. Sum over a campaign == the trial count.
+  std::uint64_t dedup_count = 1;
 };
 
 /// Per-campaign cache of every counter/histogram handle the per-trial
@@ -171,6 +188,8 @@ struct TrialMetricHandles {
   /// Fault-pair min cycle distance per multi-fault trial (interference
   /// signal: close pairs compose, distant pairs behave like two singles).
   obs::Histogram* fault_gap = nullptr;
+  /// Trials cut short by the golden-reconvergence probe ("campaign.pruned").
+  obs::Counter* pruned = nullptr;
 };
 
 /// One rung of the golden snapshot ladder (DESIGN.md §11): a coordinated
@@ -205,11 +224,21 @@ struct TrialOptions {
   /// always go through the reference interpreter. Interp forces the
   /// reference tier everywhere (A/B runs, differential oracles).
   vm::ExecTier exec_tier = vm::ExecTier::Bytecode;
+  /// Early-outcome pruning (DESIGN.md §14): once every planned fault has
+  /// fired, probe each golden-ladder rung boundary (and, with recovery, each
+  /// clean detector scan) for full-state reconvergence to the golden run; on
+  /// a match, stop and synthesize the remaining TrialResult fields from the
+  /// golden run — bit-identical to the unpruned result by construction.
+  /// Requires the ladder (snapshot_rungs > 0); trace-capturing trials run
+  /// unpruned (their CML(t) trace must cover the whole job).
+  bool prune = false;
 };
 
 class AppHarness {
  public:
   AppHarness(const apps::AppSpec& spec, ExperimentConfig config);
+  /// Out of line: members hold unique_ptrs to types incomplete here.
+  ~AppHarness();
 
   const GoldenRun& golden() const noexcept { return golden_; }
   const ExperimentConfig& config() const noexcept { return config_; }
@@ -259,6 +288,11 @@ class AppHarness {
   /// across campaign workers.
   const vm::BytecodeModule& bytecode() const;
 
+  /// Per-rung page hashes of the golden ladder (DESIGN.md §14), built
+  /// lazily on first pruned trial (thread-safe) and shared read-only across
+  /// campaign workers. Empty rung list when the ladder is disabled.
+  const prune::GoldenPrints& prune_prints() const;
+
   /// Trial World configuration (exposed for the midpoint-equivalence test
   /// and the ladder bench; `tracing` toggles the CML sample periods only).
   mpisim::WorldConfig world_config(bool tracing) const;
@@ -282,6 +316,8 @@ class AppHarness {
   mutable std::vector<SnapshotRung> ladder_;
   mutable std::once_flag bytecode_once_;
   mutable std::unique_ptr<vm::BytecodeModule> bytecode_;
+  mutable std::once_flag prints_once_;
+  mutable std::unique_ptr<prune::GoldenPrints> prints_;
 };
 
 /// Outcome counters for a campaign (Fig. 6 row).
@@ -335,6 +371,21 @@ struct CampaignConfig {
   /// and benches expose `--exec-tier={interp,bytecode}`; the tier-equivalence
   /// fuzz oracle diffs the two.
   vm::ExecTier exec_tier = vm::ExecTier::Bytecode;
+  /// Early-outcome pruning (DESIGN.md §14) — trials that provably
+  /// reconverge to the golden run stop early and synthesize the rest;
+  /// CampaignResults are bit-identical either way (modulo the provenance
+  /// fields pruned/prune_clock). The examples and benches expose
+  /// `--no-prune`. Trials that attach a recorder (trace_dir set or metrics
+  /// != nullptr) always run unpruned: their event stream is the reference
+  /// the observability tests compare against.
+  bool prune = true;
+  /// Plan-equivalence dedup (DESIGN.md §14): trials whose canonicalized
+  /// injection plans are identical are executed once; duplicates copy the
+  /// representative's result (trials are pure functions of their plans) and
+  /// the representative's dedup_count carries the multiplicity. Aggregate
+  /// counts are unchanged. Disabled alongside tracing/metrics for the same
+  /// reason as prune. The examples and benches expose `--no-dedup`.
+  bool dedup = true;
 
   // --- observability (DESIGN.md §8) ----------------------------------------
   /// When non-empty: per-trial Chrome trace JSON (trial_NNNNNN.json) plus
@@ -364,6 +415,12 @@ struct CampaignResult {
   std::size_t total_msg_injected = 0;
   std::uint64_t total_headers_quarantined = 0;
   std::uint64_t total_header_records_quarantined = 0;
+
+  // Trial-economy aggregates (DESIGN.md §14): how many trials were cut
+  // short by the reconvergence probe, and how many were never executed
+  // because their plan duplicated an earlier one. Observational only.
+  std::size_t pruned_trials = 0;
+  std::size_t deduped_trials = 0;
 };
 
 /// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds

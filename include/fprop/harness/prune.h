@@ -1,0 +1,77 @@
+#pragma once
+
+// Early-outcome pruning (DESIGN.md §14): the golden snapshot ladder
+// (DESIGN.md §11) run in reverse. Warm starts use the ladder to *skip the
+// fault-free prefix* of a trial; pruning uses the same rungs to *cut the
+// fault-free suffix*. At every sweep boundary whose global clock equals a
+// rung's, a cheap probe asks: has this trial's complete live state
+// reconverged to the golden run's? Deterministic execution makes the answer
+// decisive — equal live state at equal clock implies a bit-identical future
+// — so a converged trial can stop immediately and synthesize the rest of
+// its TrialResult from the golden run, with the probe's full-state equality
+// (mpisim::World::state_converged) guaranteeing the synthesized result is
+// the one the unpruned run would have produced.
+//
+// The probe is cheap by the same copy-on-write argument that makes the
+// ladder affordable: a page whose shared_ptr still equals the golden rung's
+// is bit-identical by construction and costs one pointer compare; only
+// pages the trial actually dirtied are hashed against the rung's
+// precomputed hashes (GoldenPrints, built once per harness and shared
+// read-only across campaign workers) and memcmp-confirmed on a hash match.
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/harness/harness.h"
+
+namespace fprop::harness::prune {
+
+/// Per-rung, per-rank page hashes of the golden ladder's memory images —
+/// the read-only half of the probe, computed once per AppHarness
+/// (AppHarness::prune_prints) and shared across workers.
+struct GoldenPrints {
+  struct Rung {
+    std::uint64_t global_clock = 0;
+    /// page_hashes[rank] == AddressSpace::image_page_hashes of the rung's
+    /// checkpointed memory image for that rank.
+    std::vector<std::vector<std::uint64_t>> page_hashes;
+  };
+  /// Index-aligned with the snapshot ladder, ascending by global_clock.
+  std::vector<Rung> rungs;
+};
+
+/// Hashes every rung's memory images. O(golden memory x rungs) — paid once.
+GoldenPrints build_prints(const std::vector<SnapshotRung>& ladder);
+
+/// One trial's reconvergence probe. Bound to the trial's injector and World;
+/// call converged() between sweeps (the World's quiescent boundaries).
+class PruneProbe {
+ public:
+  /// `ladder` and `prints` must be index-aligned (prints = build_prints of
+  /// that ladder) and outlive the probe, as must `injector` and `world`.
+  PruneProbe(const std::vector<SnapshotRung>& ladder,
+             const GoldenPrints& prints,
+             const inject::InjectorRuntime& injector,
+             const mpisim::World& world) noexcept
+      : ladder_(&ladder), prints_(&prints), injector_(&injector),
+        world_(&world) {}
+
+  /// True iff the trial has provably reconverged to the golden run: the
+  /// current global clock exactly matches a rung's (searched anew each call
+  /// — recovery rollbacks rewind the clock, so no monotone cursor), every
+  /// planned fault has fired (a pending fault is invisible future
+  /// divergence), and the full live state equals the rung's checkpoint.
+  bool converged() const;
+
+  /// Rung clock of the last converged() == true (for PrunedVanished events).
+  std::uint64_t matched_clock() const noexcept { return matched_clock_; }
+
+ private:
+  const std::vector<SnapshotRung>* ladder_;
+  const GoldenPrints* prints_;
+  const inject::InjectorRuntime* injector_;
+  const mpisim::World* world_;
+  mutable std::uint64_t matched_clock_ = 0;
+};
+
+}  // namespace fprop::harness::prune

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "fprop/obs/events.h"
@@ -165,6 +166,12 @@ class InjectorRuntime final : public vm::InjectHook,
   /// that position into the pending-fault cursors.)
   void fast_forward_msgs(const MsgCounts& counts);
 
+  /// Planned faults (register and message) that have not fired yet, across
+  /// all ranks. The harness's golden-reconvergence probe (DESIGN.md §14)
+  /// requires this to be zero before it may prune: a pending fault is future
+  /// divergence that no state fingerprint can see.
+  std::size_t pending_faults() const noexcept;
+
   /// Dynamic fim_inj executions observed on `rank` so far.
   std::uint64_t dynamic_points(std::uint32_t rank) const;
   DynCounts dynamic_counts(std::uint32_t nranks) const;
@@ -262,5 +269,29 @@ InjectionPlan sample_faults(const DynCounts& counts, const DynWidths& widths,
 /// on communication-free apps degrade to pure register-fault plans.
 std::size_t sample_msg_faults(const MsgCounts& counts, std::size_t nfaults,
                               Xoshiro256& rng, InjectionPlan& plan);
+
+/// Width-canonical form of `plan` against the golden width profile: each
+/// register fault's bit is reduced into its target point's recorded width
+/// (the runtime's own fire-time reduction, assuming execution follows the
+/// golden profile up to the fault — exact for width-sampled plans, whose
+/// bits are already in-width, and for any plan whose strikes precede control
+/// divergence). Empty per-rank entries are dropped and per-rank records
+/// re-sorted to validate() order, so RNG-stream-equivalent plans — different
+/// raw draws naming the same flips — canonicalize identically. If reduction
+/// would collide two records on a rank into the same (dyn_index, bit) — a
+/// duplicate validate() rejects — that rank reverts to its raw records.
+/// Message faults pass through untouched (their word reduction depends on
+/// live span lengths, unknown statically). Plans whose FIRST fired fault is
+/// out of width are out of scope: the runtime throws for those instead of
+/// reducing, so their canonical form does not model a run. The result always
+/// passes validate().
+InjectionPlan canonical_plan(const InjectionPlan& plan,
+                             const DynWidths& widths);
+
+/// Stable serialization of canonical_plan(plan, widths). Trials are pure
+/// functions of their plan (DESIGN.md §10), so equal keys imply bit-identical
+/// trial results — the campaign dedup merges trials on this key instead of
+/// re-running them.
+std::string dedup_key(const InjectionPlan& plan, const DynWidths& widths);
 
 }  // namespace fprop::inject

@@ -210,6 +210,24 @@ class World final : public vm::MpiHook {
   /// references this module's functions).
   void restore(const Checkpoint& ckpt);
 
+  /// Golden-reconvergence test (DESIGN.md §14): true iff the job's complete
+  /// live state at the current quiescent sweep boundary equals `golden` — a
+  /// checkpoint of the fault-free run over the SAME module at the same
+  /// global clock. Live state = every rank's execution snapshot (incl. the
+  /// full memory content, compared through `golden_page_hashes[rank]` ==
+  /// AddressSpace::image_page_hashes(golden.ranks[rank].memory)), empty
+  /// shadow tables on BOTH sides, mailbox contents, request tables,
+  /// collective epochs and the abort flag. Deterministic execution makes the
+  /// guarantee exact: equal live state at equal clock implies a bit-identical
+  /// future. Observational fields (traces, stats, contamination timestamps,
+  /// quarantine and send counters) are deliberately NOT compared — they
+  /// cannot steer execution, and the caller synthesizes results from the
+  /// trial-side values.
+  bool state_converged(
+      const Checkpoint& golden,
+      const std::vector<std::vector<std::uint64_t>>& golden_page_hashes)
+      const;
+
   std::uint32_t nranks() const noexcept;
   vm::Interp& rank(std::uint32_t r);
   fpm::FpmRuntime* fpm(std::uint32_t r);
@@ -219,6 +237,13 @@ class World final : public vm::MpiHook {
   /// checkpoint, so a restore repositions the counters with the state.
   const std::vector<std::uint64_t>& sent_messages() const noexcept {
     return sent_msgs_;
+  }
+  /// Per-rank first-contamination clocks (nullopt = never); the source of
+  /// JobResult::first_contaminated_at, exposed so pruned trials can
+  /// synthesize contaminated_ranks without a collect().
+  const std::vector<std::optional<std::uint64_t>>& first_contaminated()
+      const noexcept {
+    return first_contaminated_;
   }
   /// Messages whose piggyback header arrived anomalous (malformed stream or
   /// ≥1 record quarantined), and total records quarantined, job-wide.

@@ -50,6 +50,9 @@ enum class EventKind : std::uint8_t {
                     ///< c=(target<<8)|bit (target: 0=header, 1=payload)
   HeaderQuarantined,///< a=records quarantined, b=malformed-stream flag,
                     ///< c=records installed despite it
+  PrunedVanished,   ///< trial reconverged to the golden run and was cut
+                    ///< short (DESIGN.md §14): a=matched rung clock,
+                    ///< b=shadow-peak sum at the cut, c=faults fired
 };
 
 const char* event_kind_name(EventKind k) noexcept;

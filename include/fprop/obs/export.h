@@ -88,6 +88,11 @@ struct CampaignSummary {
   std::uint64_t recovered_trials = 0;
   std::uint64_t total_rollbacks = 0;
   std::uint64_t total_wasted_cycles = 0;
+  /// Trial economy (DESIGN.md §14): trials cut at a golden rung and trials
+  /// whose canonical plan matched an earlier one. Provenance only — the
+  /// outcome counts above already include both kinds.
+  std::uint64_t pruned_trials = 0;
+  std::uint64_t deduped_trials = 0;
 };
 
 std::string campaign_csv(const std::vector<CampaignRow>& rows);

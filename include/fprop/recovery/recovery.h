@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
 #include "fprop/model/rollback_sim.h"
 #include "fprop/mpisim/world.h"
@@ -70,6 +71,12 @@ struct RecoveryConfig {
   /// Per-trial event recorder (DESIGN.md §8): detector scans, checkpoints
   /// and rollbacks are emitted as job-scoped events. Null disables.
   obs::TrialRecorder* recorder = nullptr;
+  /// Early-stop probe (DESIGN.md §14), polled at every CLEAN detector scan —
+  /// the exact points where the harness's golden-reconvergence fingerprints
+  /// exist. Returning true ends run() immediately with early_stopped set;
+  /// the caller proved the remaining execution is bit-identical to the
+  /// golden run and synthesizes the rest. Null (the default) disables.
+  std::function<bool()> early_stop;
 };
 
 /// What the recovery subsystem did during one job.
@@ -92,6 +99,9 @@ struct RecoveryReport {
   /// Detector interval in effect at job end (== the configured interval
   /// unless rollback_backoff widened it).
   std::uint64_t final_detector_interval = 0;
+  /// run() returned via the early_stop probe: the job was proven
+  /// reconverged to the golden run at a clean scan and not executed further.
+  bool early_stopped = false;
 };
 
 /// Drives a World to completion with the periodic detector, coordinated

@@ -145,6 +145,17 @@ class Interp {
   Snapshot snapshot() const;
   void restore(const Snapshot& snap);
 
+  /// True iff this rank's complete live state equals `snap`: run state,
+  /// trap, cycle count, RNG stream, outputs (bitwise), reported iterations,
+  /// abort code, the full call stack (function/block/ip/return registers/
+  /// register files) and the memory content. `page_hashes` must be
+  /// AddressSpace::image_page_hashes(snap.memory); memory is compared via
+  /// AddressSpace::matches, so pages still CoW-shared with the snapshot cost
+  /// nothing. The harness's golden-reconvergence probe (DESIGN.md §14) uses
+  /// this to prove a trial's future is bit-identical to the golden run's.
+  bool equals_snapshot(const Snapshot& snap,
+                       const std::vector<std::uint64_t>& page_hashes) const;
+
  private:
   /// Executes one instruction. Returns false when the rank stopped running
   /// (blocked, finished, or trapped).

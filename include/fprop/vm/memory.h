@@ -95,6 +95,34 @@ class AddressSpace {
     return kBase + word_index * 8;
   }
 
+  /// Live page table (shared_ptr refcounts ARE the copy-on-write divergence
+  /// signal: a page whose pointer equals a snapshot's is bit-identical to it
+  /// by construction). Exposed for the harness's golden-reconvergence probe
+  /// (DESIGN.md §14) and its tests.
+  const std::vector<std::shared_ptr<Page>>& pages() const noexcept {
+    return pages_;
+  }
+
+  /// 64-bit content hash of one page (FNV-1a over the words, finalized with
+  /// an avalanche mix). Used as a cheap *filter* by matches(): a mismatch
+  /// proves divergence; a match is confirmed word-for-word.
+  static std::uint64_t page_hash(const Page& page) noexcept;
+
+  /// Per-page content hashes of a checkpointed image, index-aligned with
+  /// `image.pages`. Computed once per golden rung and shared read-only
+  /// across campaign workers.
+  static std::vector<std::uint64_t> image_page_hashes(const Image& image);
+
+  /// True iff the live content equals `golden` exactly (same allocation
+  /// watermark, same words). Pages still shared with the golden image are
+  /// equal by pointer identity and cost nothing; diverged pages are rejected
+  /// by hash mismatch against `golden_hashes` (== image_page_hashes(golden))
+  /// and confirmed word-for-word on a hash match — so a page rewritten back
+  /// to its golden bytes re-reports convergence, and a hash collision can
+  /// never produce a false positive.
+  bool matches(const Image& golden,
+               const std::vector<std::uint64_t>& golden_hashes) const;
+
  private:
   Page& writable_page(std::uint64_t p) {
     std::shared_ptr<Page>& sp = pages_[p];

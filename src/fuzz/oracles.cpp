@@ -683,6 +683,99 @@ OracleResult check_multifault(const GeneratedProgram& prog,
   return res;
 }
 
+OracleResult check_prune(const GeneratedProgram& prog,
+                         const OracleConfig& config) {
+  OracleResult res;
+  res.oracle = "prune";
+  try {
+    apps::AppSpec spec;
+    spec.name = "fuzz_" + std::to_string(prog.seed);
+    spec.description = "generated fuzz program";
+    spec.source = prog.source;
+    spec.default_nranks = prog.nranks;
+
+    // Legs: 0 = plain single-fault, 1 = recovery-driven trials (probe at
+    // clean detector scans), 2 = k-fault + in-flight message faults (the
+    // probe must wait out every pending strike).
+    for (const int leg : {0, 1, 2}) {
+      const char* leg_name =
+          leg == 0 ? "plain leg" : leg == 1 ? "recovery leg" : "multifault leg";
+      harness::ExperimentConfig ec;
+      ec.nranks = prog.nranks;
+      ec.snapshot_rungs = 6;
+      if (leg == 1) {
+        ec.recovery.enabled = true;
+        ec.recovery.max_rollbacks = 2;
+        ec.recovery.detector_interval = 0;  // golden-derived scan grid
+      }
+      const harness::AppHarness h(spec, ec);
+
+      harness::CampaignConfig cc;
+      cc.trials = config.campaign_trials;
+      cc.seed = derive_seed(prog.seed, 0x906Bull + static_cast<unsigned>(leg));
+      if (leg == 2) {
+        cc.faults_per_run = config.multifault_k;
+        cc.msg_faults_per_run =
+            h.golden().total_sent_msgs > 0 ? config.multifault_msg : 0;
+      }
+      cc.jobs = 1;
+      cc.prune = false;
+      cc.dedup = false;
+      const harness::CampaignResult base = harness::run_campaign(h, cc);
+      cc.prune = true;
+      cc.dedup = true;
+      cc.jobs = config.campaign_jobs;
+      const harness::CampaignResult pruned = harness::run_campaign(h, cc);
+      const std::string d = diff_campaigns(base, pruned);
+      if (!d.empty()) {
+        return fail("prune",
+                    std::string(leg_name) + ", unpruned vs pruned+dedup: " + d);
+      }
+
+      std::uint64_t dedup_sum = 0;
+      std::size_t dedup_zero = 0;
+      for (std::size_t i = 0; i < pruned.trials.size(); ++i) {
+        const harness::TrialResult& t = pruned.trials[i];
+        dedup_sum += t.dedup_count;
+        if (t.dedup_count == 0) ++dedup_zero;
+        const std::string at = std::string(leg_name) + ", pruned trial " +
+                               std::to_string(i) + ": ";
+        if (t.pruned) {
+          if (t.outcome != harness::Outcome::Vanished &&
+              t.outcome != harness::Outcome::OutputNotAffected) {
+            return fail("prune", at + "classified " +
+                                     harness::outcome_name(t.outcome) +
+                                     " — reconvergence implies V/ONA");
+          }
+          if (t.total_cml_final != 0) {
+            return fail("prune",
+                        at + "pruned with live shadow entries (cml_final " +
+                            std::to_string(t.total_cml_final) + ")");
+          }
+          if (t.trap != vm::Trap::None) {
+            return fail("prune", at + "pruned trial carries a trap");
+          }
+        }
+      }
+      if (dedup_sum != cc.trials) {
+        return fail("prune", std::string(leg_name) + ": dedup_count sums to " +
+                                 std::to_string(dedup_sum) + ", expected " +
+                                 std::to_string(cc.trials));
+      }
+      if (dedup_zero != pruned.deduped_trials) {
+        return fail("prune",
+                    std::string(leg_name) +
+                        ": zero-multiplicity slots != deduped_trials (" +
+                        std::to_string(dedup_zero) + " vs " +
+                        std::to_string(pruned.deduped_trials) + ")");
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("prune", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
 OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
                                       const OracleConfig& config) {
   OracleResult res;

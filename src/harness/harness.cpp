@@ -7,7 +7,9 @@
 #include <map>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
+#include "fprop/harness/prune.h"
 #include "fprop/model/propagation_model.h"
 #include "fprop/obs/export.h"
 #include "fprop/support/error.h"
@@ -53,7 +55,8 @@ TrialMetricHandles::TrialMetricHandles(obs::MetricsRegistry& reg)
           {1u << 8, 1u << 12, 1u << 16, 1u << 20, 1u << 24})),
       fault_gap(&reg.histogram(
           "inject.fault_pair_min_gap",
-          {1u << 6, 1u << 10, 1u << 14, 1u << 18, 1u << 22})) {
+          {1u << 6, 1u << 10, 1u << 14, 1u << 18, 1u << 22})),
+      pruned(&reg.counter("campaign.pruned")) {
   for (std::size_t i = 0; i < 5; ++i) {
     outcome[i] = &reg.counter(std::string("campaign.outcome.") +
                               outcome_name(static_cast<Outcome>(i)));
@@ -105,6 +108,8 @@ AppHarness::AppHarness(const apps::AppSpec& spec, ExperimentConfig config)
   FPROP_CHECK_MSG(golden_.total_dyn_points > 0,
                   "no injection points executed in '" + name_ + "'");
 }
+
+AppHarness::~AppHarness() = default;
 
 mpisim::WorldConfig AppHarness::world_config(bool tracing) const {
   mpisim::WorldConfig wc;
@@ -173,6 +178,7 @@ void fold_trial_metrics(const TrialMetricHandles& m, const TrialResult& t,
     m.fault_gap->observe(static_cast<std::uint64_t>(t.fault_pair_min_gap));
   }
   if (t.recovered) m.recovered->add(1);
+  if (t.pruned) m.pruned->add(1);
   m.detections->add(t.detections);
 
   for (std::uint32_t r = 0; r < world.nranks(); ++r) {
@@ -301,6 +307,14 @@ const vm::BytecodeModule& AppHarness::bytecode() const {
   return *bytecode_;
 }
 
+const prune::GoldenPrints& AppHarness::prune_prints() const {
+  std::call_once(prints_once_, [this] {
+    prints_ = std::make_unique<prune::GoldenPrints>(
+        prune::build_prints(snapshot_ladder()));
+  });
+  return *prints_;
+}
+
 const SnapshotRung* AppHarness::latest_usable_rung(
     const inject::InjectionPlan& plan) const {
   // A rung is usable when no planned fault's dynamic execution lies in the
@@ -383,8 +397,19 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
   const bool capture_trace = opts.capture_trace;
   obs::TrialRecorder* const recorder = opts.recorder;
 
+  // Early-outcome pruning (DESIGN.md §14): only meaningful with a ladder to
+  // probe against, and never under trace capture — a pruned trial has no
+  // CML(t) suffix to report.
+  const bool prune_active =
+      opts.prune && !capture_trace && config_.snapshot_rungs > 0;
+  std::optional<prune::PruneProbe> probe;
+  if (prune_active) {
+    probe.emplace(snapshot_ladder(), prune_prints(), injector, world);
+  }
+
   TrialResult t;
   mpisim::JobResult job;
+  bool pruned = false;
   std::uint64_t rolled_away_peak = 0;  ///< CML peak erased by restores
   if (config_.recovery.enabled) {
     recovery::RecoveryConfig rc = config_.recovery;
@@ -394,9 +419,16 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     }
     if (rc.expected_cycles == 0) rc.expected_cycles = golden_.global_cycles;
     rc.recorder = recorder;
+    if (probe.has_value()) {
+      // Recovery trials probe at clean detector scans — the only quiescent
+      // points RecoveryManager exposes, and (by the ladder construction in
+      // recovery mode) exactly where the golden rungs sit.
+      rc.early_stop = [&probe] { return probe->converged(); };
+    }
     recovery::RecoveryManager manager(world, rc);
     job = manager.run();
     const recovery::RecoveryReport& rep = manager.report();
+    pruned = rep.early_stopped;
     t.rollbacks = rep.rollbacks;
     t.detections = rep.detections;
     t.wasted_cycles = rep.wasted_cycles;
@@ -404,11 +436,31 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     t.recovery_gave_up = rep.gave_up;
     t.first_detection_clock = rep.first_detection_clock;
     rolled_away_peak = rep.peak_cml_seen;
+  } else if (probe.has_value()) {
+    // World::run() with the reconvergence probe between sweeps.
+    for (;;) {
+      const mpisim::World::StepStatus s = world.sweep();
+      if (s == mpisim::World::StepStatus::Running) {
+        if (probe->converged()) {
+          pruned = true;
+          break;
+        }
+        continue;
+      }
+      if (s == mpisim::World::StepStatus::Trapped) {
+        world.kill_job(world.trapped_rank(), vm::Trap::Killed);
+      } else if (s == mpisim::World::StepStatus::Deadlocked) {
+        world.declare_deadlock();
+      }
+      break;
+    }
+    if (!pruned) job = world.collect();
   } else {
     job = world.run();
   }
 
-  t.trap = job.crashed ? job.first_trap : vm::Trap::None;
+  t.trap = pruned ? vm::Trap::None : (job.crashed ? job.first_trap
+                                                  : vm::Trap::None);
   t.injected = !injector.events().empty();
   if (t.injected) t.injection = injector.events().front();
   t.msg_injected = injector.msg_events().size();
@@ -432,19 +484,54 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
       t.fault_pair_min_gap = static_cast<std::int64_t>(min_gap);
     }
   }
-  t.total_cml_final = job.total_cml_final();
-  t.total_cml_peak = job.total_cml_peak();
-  const std::uint64_t words = job.total_allocated_words();
+  std::uint64_t words = 0;
+  if (pruned) {
+    // Synthesis (DESIGN.md §14): the probe proved the remaining execution is
+    // bit-identical to the golden run's, so every job-final quantity is
+    // either already final on the trial side (shadow peaks, contamination
+    // stamps, quarantine counters — the clean golden suffix cannot move
+    // them) or equals the golden run's own final value (clock, iterations,
+    // allocation). classify() on that future: no crash, exact golden
+    // outputs, golden-equal cycles/iterations — so the outcome reduces to
+    // the memory_was_touched bit.
+    t.total_cml_final = 0;  // converged means empty shadow tables
+    std::uint64_t shadow_peak = 0;
+    for (std::uint32_t r = 0; r < world.nranks(); ++r) {
+      if (const auto* f = world.fpm(r)) shadow_peak += f->shadow().peak();
+    }
+    t.total_cml_peak = shadow_peak;
+    words = golden_.total_allocated_words;
+    std::size_t contaminated = 0;
+    for (const auto& fc : world.first_contaminated()) {
+      if (fc.has_value()) ++contaminated;
+    }
+    t.contaminated_ranks = contaminated;
+    t.reported_iters = golden_.reported_iters;
+    t.global_cycles = golden_.global_cycles;
+    t.outcome = std::max(t.total_cml_peak, rolled_away_peak) > 0
+                    ? Outcome::OutputNotAffected
+                    : Outcome::Vanished;
+    t.pruned = true;
+    t.prune_clock = probe->matched_clock();
+    FPROP_OBS_EMIT(recorder, obs::EventKind::PrunedVanished, obs::kJobScope,
+                   t.prune_clock, t.prune_clock, shadow_peak,
+                   injector.events().size() + injector.msg_events().size());
+  } else {
+    t.total_cml_final = job.total_cml_final();
+    t.total_cml_peak = job.total_cml_peak();
+    words = job.total_allocated_words();
+    t.contaminated_ranks = job.contaminated_ranks();
+    t.reported_iters = job.reported_iters();
+    t.global_cycles = job.global_cycles;
+    // A restore rewinds the shadow tables, so fold in the peak the detector
+    // observed before rollback: a recovered trial still "touched memory".
+    t.outcome =
+        classify(job, std::max(t.total_cml_peak, rolled_away_peak) > 0);
+  }
   t.contaminated_pct =
       words == 0 ? 0.0
                  : 100.0 * static_cast<double>(t.total_cml_peak) /
                        static_cast<double>(words);
-  t.contaminated_ranks = job.contaminated_ranks();
-  t.reported_iters = job.reported_iters();
-  t.global_cycles = job.global_cycles;
-  // A restore rewinds the shadow tables, so fold in the peak the detector
-  // observed before rollback: a recovered trial still "touched memory".
-  t.outcome = classify(job, std::max(t.total_cml_peak, rolled_away_peak) > 0);
   t.recovered = t.rollbacks > 0 && t.outcome != Outcome::Crashed &&
                 t.outcome != Outcome::WrongOutput;
   if (capture_trace) {
@@ -463,7 +550,7 @@ TrialResult AppHarness::run_trial(const inject::InjectionPlan& plan,
     }
   }
   FPROP_OBS_EMIT(recorder, obs::EventKind::TrialOutcome, obs::kJobScope,
-                 job.global_cycles, static_cast<std::uint64_t>(t.outcome),
+                 t.global_cycles, static_cast<std::uint64_t>(t.outcome),
                  static_cast<std::uint64_t>(t.trap), t.total_cml_final);
   if (opts.metrics != nullptr) {
     fold_trial_metrics(*opts.metrics, t, recorder, world);
@@ -525,6 +612,7 @@ namespace {
 void trial_worker(const AppHarness& harness, const CampaignConfig& config,
                   const TrialMetricHandles* metrics,
                   const std::vector<inject::InjectionPlan>& plans,
+                  const std::vector<std::size_t>& rep,
                   std::vector<TrialResult>& slots,
                   std::atomic<std::size_t>& next, std::size_t chunk) {
   std::optional<obs::TrialRecorder> recorder;
@@ -537,11 +625,16 @@ void trial_worker(const AppHarness& harness, const CampaignConfig& config,
   opts.metrics = metrics;
   opts.recorder = recorder.has_value() ? &*recorder : nullptr;
   opts.exec_tier = config.exec_tier;
+  // Recorder-attached campaigns run every trial unpruned: the per-trial
+  // event stream and metrics fold are the reference the observability layer
+  // compares against, and a pruned trial's stream is truncated by design.
+  opts.prune = config.prune && !recorder.has_value();
   for (;;) {
     const std::size_t begin = next.fetch_add(chunk);
     if (begin >= plans.size()) return;
     const std::size_t end = std::min(begin + chunk, plans.size());
     for (std::size_t i = begin; i < end; ++i) {
+      if (rep[i] != i) continue;  // duplicate plan: copies its rep at merge
       if (recorder.has_value()) recorder->clear();
       slots[i] = harness.run_trial(plans[i], opts);
       if (!config.trace_dir.empty()) {
@@ -597,6 +690,27 @@ CampaignResult run_campaign(const AppHarness& harness,
     }
   }
 
+  // Phase 1.5 — plan-equivalence dedup (DESIGN.md §14). Trials are pure
+  // functions of their plans, so trials whose canonical plans are identical
+  // produce identical results: run the first, copy it into the rest at merge
+  // time. Skipped whenever per-trial artifacts must exist (trace files,
+  // event-stream metrics, kept CML traces) — a copied result cannot fabricate
+  // those.
+  std::vector<std::size_t> rep(config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i) rep[i] = i;
+  if (config.dedup && !config.capture_traces && config.trace_dir.empty() &&
+      config.metrics == nullptr) {
+    std::unordered_map<std::string, std::size_t> first_by_key;
+    first_by_key.reserve(config.trials);
+    for (std::size_t i = 0; i < config.trials; ++i) {
+      rep[i] = first_by_key
+                   .emplace(inject::dedup_key(plans[i],
+                                              harness.golden().dyn_widths),
+                            i)
+                   .first->second;
+    }
+  }
+
   // Phase 2 — execute trials on the worker pool. Chunked dynamic dispatch:
   // trial cost varies wildly (crashes terminate early), so workers pull
   // modest chunks off a shared counter instead of static striping.
@@ -623,7 +737,7 @@ CampaignResult run_campaign(const AppHarness& harness,
       std::max<std::size_t>(1, config.trials / (jobs * 8));
   std::atomic<std::size_t> next{0};
   if (jobs <= 1) {
-    trial_worker(harness, config, metrics, plans, slots, next, chunk);
+    trial_worker(harness, config, metrics, plans, rep, slots, next, chunk);
   } else {
     std::vector<std::exception_ptr> errors(jobs);
     std::vector<std::thread> pool;
@@ -631,7 +745,8 @@ CampaignResult run_campaign(const AppHarness& harness,
     for (std::size_t w = 0; w < jobs; ++w) {
       pool.emplace_back([&, w] {
         try {
-          trial_worker(harness, config, metrics, plans, slots, next, chunk);
+          trial_worker(harness, config, metrics, plans, rep, slots, next,
+                       chunk);
         } catch (...) {
           errors[w] = std::current_exception();
           // Drain the counter so the surviving workers wind down quickly.
@@ -645,6 +760,17 @@ CampaignResult run_campaign(const AppHarness& harness,
     }
   }
 
+  // Phase 2.5 — fill duplicate slots from their representatives. Done after
+  // the pool joined so every representative is final; dedup_count settles to
+  // the multiplicity on representatives and 0 on copies (summing to the
+  // trial count), keeping every aggregate below identical to a no-dedup run.
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    if (rep[i] == i) continue;
+    slots[i] = slots[rep[i]];
+    slots[i].dedup_count = 0;
+    ++slots[rep[i]].dedup_count;
+  }
+
   // Phase 3 — merge in trial-index order. This loop is the serial campaign
   // loop minus execution, so counts, slopes, kept traces and recovery
   // aggregates come out bit-identical to a jobs=1 run.
@@ -652,6 +778,11 @@ CampaignResult run_campaign(const AppHarness& harness,
   result.trials.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
     TrialResult& t = slots[i];
+    if (t.dedup_count == 0) {
+      ++result.deduped_trials;
+    } else if (t.pruned) {
+      ++result.pruned_trials;
+    }
     switch (t.outcome) {
       case Outcome::Vanished: ++result.counts.vanished; break;
       case Outcome::OutputNotAffected: ++result.counts.ona; break;
@@ -738,6 +869,8 @@ void export_campaign(const AppHarness& harness, const CampaignConfig& config,
   summary.recovered_trials = result.recovered_trials;
   summary.total_rollbacks = result.total_rollbacks;
   summary.total_wasted_cycles = result.total_wasted_cycles;
+  summary.pruned_trials = result.pruned_trials;
+  summary.deduped_trials = result.deduped_trials;
 
   obs::write_file(dir + "/campaign.csv", obs::campaign_csv(rows));
   obs::write_file(dir + "/campaign.json", obs::campaign_summary_json(summary));

@@ -1,0 +1,47 @@
+#include "fprop/harness/prune.h"
+
+#include <algorithm>
+
+#include "fprop/vm/memory.h"
+
+namespace fprop::harness::prune {
+
+GoldenPrints build_prints(const std::vector<SnapshotRung>& ladder) {
+  GoldenPrints prints;
+  prints.rungs.reserve(ladder.size());
+  for (const SnapshotRung& rung : ladder) {
+    GoldenPrints::Rung r;
+    r.global_clock = rung.global_clock;
+    r.page_hashes.reserve(rung.state.ranks.size());
+    for (const auto& snap : rung.state.ranks) {
+      r.page_hashes.push_back(vm::AddressSpace::image_page_hashes(snap.memory));
+    }
+    prints.rungs.push_back(std::move(r));
+  }
+  return prints;
+}
+
+bool PruneProbe::converged() const {
+  // Cheapest rejection first: clock must sit exactly on a rung (the rungs
+  // were captured at golden sweep boundaries, so a trial whose instruction
+  // count diverged from golden's — even with equivalent state — never
+  // matches and simply runs unpruned).
+  const std::uint64_t now = world_->global_cycles();
+  const auto it = std::lower_bound(
+      ladder_->begin(), ladder_->end(), now,
+      [](const SnapshotRung& r, std::uint64_t clock) {
+        return r.global_clock < clock;
+      });
+  if (it == ladder_->end() || it->global_clock != now) return false;
+  // A planned fault that has not fired yet is future divergence no state
+  // fingerprint can see: never prune under one.
+  if (injector_->pending_faults() > 0) return false;
+  const std::size_t idx = static_cast<std::size_t>(it - ladder_->begin());
+  if (!world_->state_converged(it->state, prints_->rungs[idx].page_hashes)) {
+    return false;
+  }
+  matched_clock_ = now;
+  return true;
+}
+
+}  // namespace fprop::harness::prune

@@ -1,6 +1,7 @@
 #include "fprop/inject/injector.h"
 
 #include <algorithm>
+#include <string>
 
 #include "fprop/support/error.h"
 #include "fprop/vm/interp.h"
@@ -213,6 +214,15 @@ void InjectorRuntime::fast_forward_msgs(const MsgCounts& counts) {
   }
 }
 
+std::size_t InjectorRuntime::pending_faults() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [rank, st] : ranks_) {
+    n += st.pending.size() - st.next;
+    n += st.msg_pending.size() - st.msg_next;
+  }
+  return n;
+}
+
 std::uint64_t InjectorRuntime::dynamic_points(std::uint32_t rank) const {
   auto it = ranks_.find(rank);
   return it == ranks_.end() ? 0 : it->second.counter;
@@ -376,6 +386,75 @@ std::size_t sample_msg_faults(const MsgCounts& counts, std::size_t nfaults,
     }
   }
   return added;
+}
+
+InjectionPlan canonical_plan(const InjectionPlan& plan,
+                             const DynWidths& widths) {
+  plan.validate();
+  InjectionPlan out;
+  for (const auto& [rank, faults] : plan.faults_by_rank) {
+    if (faults.empty()) continue;  // absent and empty ranks behave alike
+    std::vector<FaultRecord> reduced = faults;
+    for (FaultRecord& f : reduced) {
+      if (rank < widths.size() && f.dyn_index < widths[rank].size()) {
+        const std::uint32_t w =
+            widths[rank][f.dyn_index] == 0 ? 64 : widths[rank][f.dyn_index];
+        f.bit %= w;
+      }
+    }
+    std::sort(reduced.begin(), reduced.end(),
+              [](const FaultRecord& a, const FaultRecord& b) {
+                return a.dyn_index != b.dyn_index ? a.dyn_index < b.dyn_index
+                                                  : a.bit < b.bit;
+              });
+    // Reduction may fold two raw records into the same flip — a duplicate
+    // that validate() rejects (and that would fire differently: the runtime
+    // XORs both, cancelling them). Such ranks keep their raw records.
+    const bool collided =
+        std::adjacent_find(reduced.begin(), reduced.end(),
+                           [](const FaultRecord& a, const FaultRecord& b) {
+                             return a.dyn_index == b.dyn_index &&
+                                    a.bit == b.bit;
+                           }) != reduced.end();
+    out.faults_by_rank[rank] = collided ? faults : std::move(reduced);
+  }
+  for (const auto& [rank, faults] : plan.msg_faults_by_rank) {
+    if (faults.empty()) continue;
+    out.msg_faults_by_rank[rank] = faults;
+  }
+  return out;
+}
+
+std::string dedup_key(const InjectionPlan& plan, const DynWidths& widths) {
+  const InjectionPlan canon = canonical_plan(plan, widths);
+  std::string key;
+  for (const auto& [rank, faults] : canon.faults_by_rank) {
+    key += 'r';
+    key += std::to_string(rank);
+    for (const FaultRecord& f : faults) {
+      key += ':';
+      key += std::to_string(f.dyn_index);
+      key += '.';
+      key += std::to_string(f.bit);
+    }
+    key += ';';
+  }
+  for (const auto& [rank, faults] : canon.msg_faults_by_rank) {
+    key += 'm';
+    key += std::to_string(rank);
+    for (const MsgFaultRecord& f : faults) {
+      key += ':';
+      key += std::to_string(f.msg_index);
+      key += '.';
+      key += std::to_string(static_cast<unsigned>(f.target));
+      key += '.';
+      key += std::to_string(f.word);
+      key += '.';
+      key += std::to_string(f.bit);
+    }
+    key += ';';
+  }
+  return key;
 }
 
 }  // namespace fprop::inject

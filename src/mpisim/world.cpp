@@ -538,6 +538,104 @@ void World::restore(const Checkpoint& ckpt) {
   header_records_quarantined_ = ckpt.header_records_quarantined;
 }
 
+bool World::state_converged(
+    const Checkpoint& golden,
+    const std::vector<std::vector<std::uint64_t>>& golden_page_hashes) const {
+  // Clock first: the probe only makes sense against the golden rung captured
+  // at exactly this sweep boundary (equal clock => equal scheduling future).
+  if (global_clock_ != golden.global_clock ||
+      golden.ranks.size() != config_.nranks ||
+      golden_page_hashes.size() != config_.nranks) {
+    return false;
+  }
+  if (aborted_ != golden.aborted ||
+      (aborted_ && abort_rank_ != golden.abort_rank)) {
+    return false;
+  }
+  const auto same_message = [](const Message& a, const Message& b) {
+    if (a.src != b.src || a.tag != b.tag || a.payload != b.payload ||
+        a.header_malformed != b.header_malformed ||
+        a.header.records.size() != b.header.records.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.header.records.size(); ++i) {
+      if (a.header.records[i].displacement_words !=
+              b.header.records[i].displacement_words ||
+          a.header.records[i].pristine_bits !=
+              b.header.records[i].pristine_bits) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto same_request = [](const Request& a, const Request& b) {
+    return a.is_recv == b.is_recv && a.done == b.done && a.src == b.src &&
+           a.tag == b.tag && a.buf == b.buf && a.count == b.count;
+  };
+  const auto same_collective = [](const Collective& a, const Collective& b) {
+    if (a.kind != b.kind || a.arrived != b.arrived || a.left != b.left ||
+        a.arrived_count != b.arrived_count || a.left_count != b.left_count ||
+        a.executed != b.executed || a.failed != b.failed ||
+        a.args.size() != b.args.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+      if (a.args[i].a != b.args[i].a || a.args[i].b != b.args[i].b ||
+          a.args[i].count != b.args[i].count ||
+          a.args[i].root != b.args[i].root) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Shadow tables must be empty on BOTH sides: the golden run never records
+  // contamination, and a trial with live shadow entries has live corruption
+  // (or pending pristine bookkeeping) that the golden future would not heal.
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    if (fpms_[r] != nullptr && !fpms_[r]->shadow().empty()) return false;
+    if (golden.fpms[r].has_value() && !golden.fpms[r]->shadow.empty()) {
+      return false;
+    }
+  }
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    if (!ranks_[r]->equals_snapshot(golden.ranks[r], golden_page_hashes[r])) {
+      return false;
+    }
+  }
+  // Transport state: in-flight messages, posted requests, collective epochs.
+  for (std::uint32_t r = 0; r < config_.nranks; ++r) {
+    const auto& box = mailboxes_[r];
+    const auto& gbox = golden.mailboxes[r];
+    if (box.size() != gbox.size()) return false;
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      if (!same_message(box[i], gbox[i])) return false;
+    }
+    const auto& reqs = requests_[r];
+    const auto& greqs = golden.requests[r];
+    if (reqs.size() != greqs.size()) return false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!same_request(reqs[i], greqs[i])) return false;
+    }
+  }
+  if (coll_epoch_ != golden.coll_epoch ||
+      coll_base_epoch_ != golden.coll_base_epoch ||
+      pending_colls_.size() != golden.pending_colls.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pending_colls_.size(); ++i) {
+    if (!same_collective(pending_colls_[i], golden.pending_colls[i])) {
+      return false;
+    }
+  }
+  // Everything the comparison skips is observational: global_trace_ /
+  // next_global_sample_ (reporting only), first_contaminated_ and the
+  // quarantine/send counters (monotone statistics that the identical future
+  // can only leave unchanged — the golden suffix sends the same messages and
+  // contaminates nothing). The caller reads the trial-side values when
+  // synthesizing the result, so nothing is lost by not comparing them.
+  return true;
+}
+
 std::uint64_t World::Checkpoint::approx_bytes() const {
   std::uint64_t bytes = 0;
   for (const auto& r : ranks) {

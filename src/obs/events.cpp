@@ -19,6 +19,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::TrialOutcome: return "trial_outcome";
     case EventKind::MsgCorrupt: return "msg_corrupt";
     case EventKind::HeaderQuarantined: return "header_quarantined";
+    case EventKind::PrunedVanished: return "pruned_vanished";
   }
   return "?";
 }

@@ -173,6 +173,11 @@ std::string chrome_trace_json(const std::vector<Event>& events,
                ",\"malformed\":" + std::to_string(e.b) +
                ",\"installed\":" + std::to_string(e.c);
         break;
+      case EventKind::PrunedVanished:
+        args = "\"rung_clock\":" + std::to_string(e.a) +
+               ",\"shadow_peak\":" + std::to_string(e.b) +
+               ",\"faults_fired\":" + std::to_string(e.c);
+        break;
     }
     comma();
     append_chrome_event(out, event_kind_name(e.kind), "i", e.step, tid, args);
@@ -264,7 +269,11 @@ std::string campaign_summary_json(const CampaignSummary& s) {
          std::to_string(s.recovered_trials) +
          ", \"total_rollbacks\": " + std::to_string(s.total_rollbacks) +
          ", \"total_wasted_cycles\": " +
-         std::to_string(s.total_wasted_cycles) + "}\n}\n";
+         std::to_string(s.total_wasted_cycles) + "},\n";
+  out += "  \"trial_economy\": {\"pruned_trials\": " +
+         std::to_string(s.pruned_trials) +
+         ", \"deduped_trials\": " + std::to_string(s.deduped_trials) +
+         "}\n}\n";
   return out;
 }
 

@@ -130,6 +130,14 @@ mpisim::JobResult RecoveryManager::run() {
                    obs::kJobScope, now, cml, report_.scans);
     report_.peak_cml_seen = std::max(report_.peak_cml_seen, cml);
     if (cml == 0) {
+      // Clean scan: the canonical early-stop point — the job sits at a
+      // quiescent boundary with an empty shadow table, exactly where golden
+      // reconvergence fingerprints are defined. Probe before paying for the
+      // checkpoint; a converged job needs neither it nor any further sweeps.
+      if (config_.early_stop && config_.early_stop()) {
+        report_.early_stopped = true;
+        break;
+      }
       take_checkpoint();
       advance_scan_grid(now);
       continue;

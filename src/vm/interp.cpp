@@ -83,6 +83,35 @@ void Interp::restore(const Snapshot& snap) {
   mem_.restore(snap.memory);
 }
 
+bool Interp::equals_snapshot(const Snapshot& snap,
+                             const std::vector<std::uint64_t>& page_hashes)
+    const {
+  if (state_ != snap.state || trap_ != snap.trap || cycles_ != snap.cycles ||
+      reported_iters_ != snap.reported_iters ||
+      abort_code_ != snap.abort_code || rng_.state() != snap.rng) {
+    return false;
+  }
+  // Outputs compare bitwise (NaN-safe): a masked fault must not have leaked
+  // into anything already emitted.
+  if (outputs_.size() != snap.outputs.size()) return false;
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (bits_of(outputs_[i]) != bits_of(snap.outputs[i])) return false;
+  }
+  if (frames_.size() != snap.frames.size()) return false;
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& a = frames_[i];
+    const Frame& b = snap.frames[i];
+    // `code` is a cache re-derived from (func, block); `taint` is empty in
+    // both (harness trials never run taint mode) and compared for rigor.
+    if (a.func != b.func || a.block != b.block || a.ip != b.ip ||
+        a.ret_dst != b.ret_dst || a.ret_dst2 != b.ret_dst2 ||
+        a.regs != b.regs || a.taint != b.taint) {
+      return false;
+    }
+  }
+  return mem_.matches(snap.memory, page_hashes);
+}
+
 void Interp::do_trap(Trap t) {
   trap_ = t;
   state_ = RunState::Trapped;

@@ -1,6 +1,52 @@
 #include "fprop/vm/memory.h"
 
+#include <cstring>
+
 namespace fprop::vm {
+
+std::uint64_t AddressSpace::page_hash(const Page& page) noexcept {
+  // FNV-1a over 64-bit words, then a SplitMix-style finalizer so single-bit
+  // page differences avalanche across the whole hash.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint64_t w : page.w) {
+    h ^= w;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::vector<std::uint64_t> AddressSpace::image_page_hashes(const Image& image) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(image.pages.size());
+  for (const auto& p : image.pages) hashes.push_back(page_hash(*p));
+  return hashes;
+}
+
+bool AddressSpace::matches(const Image& golden,
+                           const std::vector<std::uint64_t>& golden_hashes)
+    const {
+  if (size_ != golden.words || pages_.size() != golden.pages.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i] == golden.pages[i]) continue;  // still CoW-shared: identical
+    if (i >= golden_hashes.size() ||
+        page_hash(*pages_[i]) != golden_hashes[i]) {
+      return false;
+    }
+    // Hash matched on a diverged page: confirm exactly (collision guard).
+    if (std::memcmp(pages_[i]->w.data(), golden.pages[i]->w.data(),
+                    sizeof(pages_[i]->w)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
 
 std::uint64_t AddressSpace::alloc_words(std::uint64_t n) {
   if (n > max_words_ || size_ > max_words_ - n) return 0;

@@ -130,6 +130,52 @@ TEST_P(GoldenCampaign, BytecodeTierReproducesInterpTierTrialForTrial) {
   EXPECT_EQ(ref.max_contaminated_pct, fast.max_contaminated_pct);
 }
 
+// Early-outcome pruning + plan dedup (DESIGN.md §14) must reproduce the
+// frozen 30-trial distributions trial-for-trial: the default config (prune
+// and dedup on) against an explicit opt-out baseline. The provenance fields
+// (pruned / prune_clock / dedup_count) are excluded by design — everything
+// observable must be bit-identical.
+TEST_P(GoldenCampaign, PruneAndDedupReproduceTrialForTrial) {
+  const GoldenRow& row = GetParam();
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(get_app(row.app), cfg);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 42;
+  cc.jobs = 1;
+  cc.prune = false;
+  cc.dedup = false;
+  const harness::CampaignResult base = harness::run_campaign(h, cc);
+  cc.prune = true;
+  cc.dedup = true;
+  const harness::CampaignResult pruned = harness::run_campaign(h, cc);
+  ASSERT_EQ(base.trials.size(), pruned.trials.size());
+  for (std::size_t i = 0; i < base.trials.size(); ++i) {
+    const harness::TrialResult& x = base.trials[i];
+    const harness::TrialResult& y = pruned.trials[i];
+    EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+    EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+    EXPECT_EQ(x.injected, y.injected) << "trial " << i;
+    EXPECT_EQ(x.injection.site_id, y.injection.site_id) << "trial " << i;
+    EXPECT_EQ(x.injection.dyn_index, y.injection.dyn_index) << "trial " << i;
+    EXPECT_EQ(x.injection.cycle, y.injection.cycle) << "trial " << i;
+    EXPECT_EQ(x.injection.before, y.injection.before) << "trial " << i;
+    EXPECT_EQ(x.injection.after, y.injection.after) << "trial " << i;
+    EXPECT_EQ(x.total_cml_final, y.total_cml_final) << "trial " << i;
+    EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+    EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+    EXPECT_EQ(x.contaminated_ranks, y.contaminated_ranks) << "trial " << i;
+    EXPECT_EQ(x.reported_iters, y.reported_iters) << "trial " << i;
+    EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+  }
+  // And the frozen table still holds with the economies active.
+  EXPECT_EQ(pruned.counts.vanished, row.vanished);
+  EXPECT_EQ(pruned.counts.ona, row.ona);
+  EXPECT_EQ(pruned.counts.wrong_output, row.wrong_output);
+  EXPECT_EQ(pruned.counts.pex, row.pex);
+  EXPECT_EQ(pruned.counts.crashed, row.crashed);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllApps, GoldenCampaign, ::testing::ValuesIn(kGolden),
                          [](const auto& pi) { return std::string(pi.param.app); });
 

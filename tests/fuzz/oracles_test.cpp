@@ -54,6 +54,16 @@ TEST(Oracles, MultiFaultCampaignsStayBitIdentical) {
   }
 }
 
+TEST(Oracles, PrunedCampaignsMatchUnprunedBitForBit) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 5;
+  cfg.campaign_jobs = 3;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const OracleResult r = check_prune(generate_program(seed), cfg);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
 TEST(Oracles, HeaderWireFormSurvivesAdversarialStreams) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     const OracleResult r = check_header_adversarial(seed, 256);

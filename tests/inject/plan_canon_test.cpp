@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/inject/injector.h"
+#include "fprop/support/error.h"
+
+// canonical_plan / dedup_key (DESIGN.md §14): the campaign dedup merges
+// trials whose plans name the same flips after the runtime's fire-time bit
+// reduction. The canonical form must (a) model that reduction exactly,
+// (b) normalize ordering the way validate() demands, and (c) never merge two
+// plans the runtime would treat differently.
+
+namespace fprop::inject {
+namespace {
+
+/// widths[rank][dyn_index] profile helper.
+DynWidths widths_for(std::vector<std::vector<std::uint8_t>> w) { return w; }
+
+void expect_same_records(const std::vector<FaultRecord>& a,
+                         const std::vector<FaultRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dyn_index, b[i].dyn_index) << "record " << i;
+    EXPECT_EQ(a[i].bit, b[i].bit) << "record " << i;
+  }
+}
+
+TEST(PlanCanon, EmptyWidthsIsIdentityOnValidPlans) {
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{3, 5}, {9, 63}};
+  plan.faults_by_rank[2] = {{0, 0}};
+  plan.msg_faults_by_rank[1] = {{4, MsgFaultTarget::Payload, 123, 7}};
+  const InjectionPlan canon = canonical_plan(plan, DynWidths{});
+  ASSERT_EQ(canon.faults_by_rank.size(), 2u);
+  expect_same_records(canon.faults_by_rank.at(0), plan.faults_by_rank.at(0));
+  expect_same_records(canon.faults_by_rank.at(2), plan.faults_by_rank.at(2));
+  EXPECT_EQ(canon.msg_faults_by_rank.size(), 1u);
+  EXPECT_EQ(dedup_key(plan, DynWidths{}), dedup_key(canon, DynWidths{}));
+}
+
+TEST(PlanCanon, ReducesBitsByRecordedWidth) {
+  // dyn 0 is an i8 point: bit 10 fires as bit 10 % 8 == 2.
+  const DynWidths widths = widths_for({{8, 64}});
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{0, 10}, {1, 10}};
+  const InjectionPlan canon = canonical_plan(plan, widths);
+  ASSERT_EQ(canon.faults_by_rank.at(0).size(), 2u);
+  EXPECT_EQ(canon.faults_by_rank.at(0)[0].bit, 2u);   // reduced into i8
+  EXPECT_EQ(canon.faults_by_rank.at(0)[1].bit, 10u);  // 64-bit: unchanged
+  EXPECT_NO_THROW(canon.validate());
+}
+
+TEST(PlanCanon, WidthZeroMeansSixtyFour) {
+  // A dyn_index beyond the recorded profile (or a 0 entry) is 64-bit.
+  const DynWidths widths = widths_for({{0}});
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{0, 63}, {7, 63}};
+  const InjectionPlan canon = canonical_plan(plan, widths);
+  EXPECT_EQ(canon.faults_by_rank.at(0)[0].bit, 63u);
+  EXPECT_EQ(canon.faults_by_rank.at(0)[1].bit, 63u);
+}
+
+TEST(PlanCanon, RngStreamEquivalentPlansShareOneKey) {
+  // Two different raw draws on an i4 point that name the same physical flip:
+  // bit 37 % 4 == bit 9 % 4 == 1. These arise from width-oblivious sampling
+  // feeding width-aware fire-time reduction; dedup must merge them.
+  const DynWidths widths = widths_for({{4}});
+  InjectionPlan a;
+  a.faults_by_rank[0] = {{0, 37}};
+  InjectionPlan b;
+  b.faults_by_rank[0] = {{0, 9}};
+  EXPECT_EQ(dedup_key(a, widths), dedup_key(b, widths));
+  // ...and a genuinely different flip does not merge.
+  InjectionPlan c;
+  c.faults_by_rank[0] = {{0, 38}};  // 38 % 4 == 2
+  EXPECT_NE(dedup_key(a, widths), dedup_key(c, widths));
+}
+
+TEST(PlanCanon, ReductionCollisionRevertsTheRankToRawRecords) {
+  // bits 5 and 13 both reduce to 5 on an i8 point — the canonical form would
+  // carry a duplicate (dyn 0, bit 5), which validate() rejects as a planning
+  // error. The rank must keep its raw records (and thus a distinct key)
+  // rather than fabricate an invalid or lossy merge.
+  const DynWidths widths = widths_for({{8}, {8}});
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{0, 5}, {0, 13}};
+  const InjectionPlan canon = canonical_plan(plan, widths);
+  expect_same_records(canon.faults_by_rank.at(0), plan.faults_by_rank.at(0));
+  EXPECT_NO_THROW(canon.validate());
+  // The collision is per-rank: an unaffected rank still canonicalizes.
+  InjectionPlan two = plan;
+  two.faults_by_rank[1] = {{0, 13}};
+  const InjectionPlan canon2 = canonical_plan(two, widths);
+  expect_same_records(canon2.faults_by_rank.at(0), plan.faults_by_rank.at(0));
+  EXPECT_EQ(canon2.faults_by_rank.at(1)[0].bit, 5u);
+}
+
+TEST(PlanCanon, DropsEmptyRankEntriesAndResorts) {
+  const DynWidths widths = widths_for({{8, 8}});
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{0, 2}, {1, 1}};
+  plan.faults_by_rank[3] = {};  // an empty entry is not a semantic fault
+  const InjectionPlan canon = canonical_plan(plan, widths);
+  EXPECT_EQ(canon.faults_by_rank.count(3), 0u);
+  // Same flips spelled with out-of-width raw bits; reduction makes the
+  // records equal, so sorting must restore validate() order before keying.
+  InjectionPlan raw;
+  raw.faults_by_rank[0] = {{0, 10}, {1, 9}};  // 10%8=2, 9%8=1
+  EXPECT_EQ(dedup_key(plan, widths), dedup_key(raw, widths));
+  EXPECT_NO_THROW(canonical_plan(raw, widths).validate());
+}
+
+TEST(PlanCanon, MsgFaultsPassThroughButDistinguishKeys) {
+  // Message-fault word draws reduce against live span lengths at fire time,
+  // which no static profile knows — so they are keyed raw, never merged.
+  InjectionPlan a;
+  a.faults_by_rank[0] = {{5, 1}};
+  InjectionPlan b = a;
+  b.msg_faults_by_rank[0] = {{2, MsgFaultTarget::Header, 0, 3}};
+  InjectionPlan c = a;
+  c.msg_faults_by_rank[0] = {{2, MsgFaultTarget::Payload, 0, 3}};
+  const DynWidths none;
+  EXPECT_NE(dedup_key(a, none), dedup_key(b, none));
+  EXPECT_NE(dedup_key(b, none), dedup_key(c, none));
+  const InjectionPlan canon = canonical_plan(b, none);
+  ASSERT_EQ(canon.msg_faults_by_rank.at(0).size(), 1u);
+  EXPECT_EQ(canon.msg_faults_by_rank.at(0)[0].word, 0u);
+  EXPECT_EQ(canon.msg_faults_by_rank.at(0)[0].bit, 3u);
+}
+
+TEST(PlanCanon, RanksAreKeyedDistinctly) {
+  // The same (dyn, bit) on different ranks must never collapse to one key.
+  InjectionPlan a;
+  a.faults_by_rank[0] = {{7, 3}};
+  InjectionPlan b;
+  b.faults_by_rank[1] = {{7, 3}};
+  EXPECT_NE(dedup_key(a, DynWidths{}), dedup_key(b, DynWidths{}));
+}
+
+TEST(PlanCanon, InvalidPlansAreRejected) {
+  InjectionPlan plan;
+  plan.faults_by_rank[0] = {{0, 64}};  // bit out of any register
+  EXPECT_THROW(canonical_plan(plan, DynWidths{}), Error);
+  EXPECT_THROW(dedup_key(plan, DynWidths{}), Error);
+}
+
+}  // namespace
+}  // namespace fprop::inject

@@ -95,6 +95,8 @@ TEST(CampaignSummaryJson, GoldenBytesAndValid) {
   s.fps_mean = 0.5;
   s.fps_stddev = 0.25;
   s.fps_n = 3;
+  s.pruned_trials = 4;
+  s.deduped_trials = 1;
 
   const std::string text = campaign_summary_json(s);
   const std::string expected =
@@ -105,7 +107,8 @@ TEST(CampaignSummaryJson, GoldenBytesAndValid) {
       "  \"outcomes\": {\"V\": 3, \"ONA\": 2, \"WO\": 1, \"PEX\": 0, \"C\": 2},\n"
       "  \"fps\": {\"mean\": 0.5, \"stddev\": 0.25, \"n\": 3},\n"
       "  \"recovery\": {\"recovered_trials\": 0, \"total_rollbacks\": 0, "
-      "\"total_wasted_cycles\": 0}\n}\n";
+      "\"total_wasted_cycles\": 0},\n"
+      "  \"trial_economy\": {\"pruned_trials\": 4, \"deduped_trials\": 1}\n}\n";
   EXPECT_EQ(text, expected);
 
   const json::ParseResult r = json::parse(text);

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fprop/support/rng.h"
+#include "fprop/vm/memory.h"
+
+// Property tests for the copy-on-write convergence check behind the
+// harness's golden-reconvergence probe (DESIGN.md §14): matches() must agree
+// with a word-for-word comparison against the golden image — pointer
+// identity and page hashes are accelerations, never the verdict.
+
+namespace fprop::vm {
+namespace {
+
+/// Reference oracle: literal word-for-word equality against the image.
+bool full_equal(const AddressSpace& mem, const AddressSpace::Image& golden) {
+  if (mem.allocated_words() != golden.words) return false;
+  for (std::uint64_t i = 0; i < golden.words; ++i) {
+    std::uint64_t live = 0;
+    if (!mem.load(AddressSpace::addr_of(i), live)) return false;
+    const auto& page = golden.pages[i >> AddressSpace::kPageShift];
+    if (live != page->w[i & (AddressSpace::kPageWords - 1)]) return false;
+  }
+  return true;
+}
+
+TEST(PageHash, EmptySpaceMatchesItsOwnImage) {
+  AddressSpace mem;
+  const AddressSpace::Image golden = mem.save();
+  const std::vector<std::uint64_t> hashes =
+      AddressSpace::image_page_hashes(golden);
+  EXPECT_TRUE(mem.matches(golden, hashes));
+}
+
+TEST(PageHash, AllocationWatermarkIsPartOfTheState) {
+  AddressSpace mem;
+  ASSERT_NE(mem.alloc_words(8), 0u);
+  const AddressSpace::Image golden = mem.save();
+  const std::vector<std::uint64_t> hashes =
+      AddressSpace::image_page_hashes(golden);
+  ASSERT_TRUE(mem.matches(golden, hashes));
+  // Growing the heap diverges even though every golden word is untouched
+  // (the new allocation may sit in the same page as existing words).
+  ASSERT_NE(mem.alloc_words(1), 0u);
+  EXPECT_FALSE(mem.matches(golden, hashes));
+}
+
+TEST(PageHash, HashChangesWhenAnyWordChanges) {
+  AddressSpace::Page page{};
+  const std::uint64_t h0 = AddressSpace::page_hash(page);
+  for (const std::uint64_t idx :
+       {std::uint64_t{0}, AddressSpace::kPageWords / 2,
+        AddressSpace::kPageWords - 1}) {
+    AddressSpace::Page p = page;
+    p.w[idx] = 1;
+    EXPECT_NE(AddressSpace::page_hash(p), h0) << "word " << idx;
+  }
+}
+
+// The core property: after a random walk of stores (some into golden pages,
+// some rewriting the golden bytes back), matches() == full word-for-word
+// equality. Exercises pointer-identical pages, diverged pages (hash filter)
+// and pages rewritten back to golden content (hash match + memcmp confirm).
+TEST(PageHash, MatchesAgreesWithFullComparisonUnderRandomStores) {
+  Xoshiro256 rng(0xfeedbeefu);
+  for (int round = 0; round < 40; ++round) {
+    AddressSpace mem(1ull << 18);
+    // 2.5 pages so stores straddle page boundaries.
+    const std::uint64_t nwords = AddressSpace::kPageWords * 5 / 2;
+    ASSERT_NE(mem.alloc_words(nwords), 0u);
+    for (std::uint64_t i = 0; i < nwords; i += 97) {
+      ASSERT_TRUE(mem.store(AddressSpace::addr_of(i), rng.next()));
+    }
+    const AddressSpace::Image golden = mem.save();
+    const std::vector<std::uint64_t> hashes =
+        AddressSpace::image_page_hashes(golden);
+    ASSERT_TRUE(mem.matches(golden, hashes));
+
+    for (int step = 0; step < 64; ++step) {
+      const std::uint64_t i = rng.next() % nwords;
+      const std::uint64_t addr = AddressSpace::addr_of(i);
+      if (rng.next() % 3 == 0) {
+        // Rewrite the golden value back — must re-report convergence once
+        // every other diverged word has been restored too.
+        const auto& page = golden.pages[i >> AddressSpace::kPageShift];
+        ASSERT_TRUE(
+            mem.store(addr, page->w[i & (AddressSpace::kPageWords - 1)]));
+      } else {
+        ASSERT_TRUE(mem.store(addr, rng.next()));
+      }
+      EXPECT_EQ(mem.matches(golden, hashes), full_equal(mem, golden))
+          << "round " << round << " step " << step;
+    }
+  }
+}
+
+TEST(PageHash, RewritingEveryDivergedWordReconverges) {
+  Xoshiro256 rng(0x12345u);
+  AddressSpace mem(1ull << 18);
+  const std::uint64_t nwords = AddressSpace::kPageWords + 17;
+  ASSERT_NE(mem.alloc_words(nwords), 0u);
+  const AddressSpace::Image golden = mem.save();
+  const std::vector<std::uint64_t> hashes =
+      AddressSpace::image_page_hashes(golden);
+
+  // Diverge a handful of words across both pages, remembering the originals.
+  std::vector<std::uint64_t> touched;
+  for (int k = 0; k < 10; ++k) {
+    const std::uint64_t i = rng.next() % nwords;
+    touched.push_back(i);
+    ASSERT_TRUE(mem.store(AddressSpace::addr_of(i), rng.next() | 1));
+  }
+  EXPECT_FALSE(mem.matches(golden, hashes));
+
+  // Restore them (golden words are all zero here); the pages are now clones
+  // with golden content — pointer identity fails, hash + memcmp must pass.
+  for (const std::uint64_t i : touched) {
+    ASSERT_TRUE(mem.store(AddressSpace::addr_of(i), 0));
+  }
+  EXPECT_TRUE(mem.matches(golden, hashes));
+  EXPECT_TRUE(full_equal(mem, golden));
+}
+
+TEST(PageHash, RestoreSharesPagesAndMatchesByPointerIdentity) {
+  AddressSpace mem(1ull << 18);
+  ASSERT_NE(mem.alloc_words(AddressSpace::kPageWords * 2), 0u);
+  ASSERT_TRUE(mem.store(AddressSpace::addr_of(3), 42));
+  const AddressSpace::Image golden = mem.save();
+  const std::vector<std::uint64_t> hashes =
+      AddressSpace::image_page_hashes(golden);
+
+  ASSERT_TRUE(mem.store(AddressSpace::addr_of(3), 7));
+  EXPECT_FALSE(mem.matches(golden, hashes));
+  mem.restore(golden);
+  EXPECT_TRUE(mem.matches(golden, hashes));
+  // restore() re-shares the image's pages, so the comparison is pure
+  // pointer identity again.
+  EXPECT_EQ(mem.pages()[0], golden.pages[0]);
+}
+
+}  // namespace
+}  // namespace fprop::vm

@@ -42,6 +42,7 @@ struct Options {
   bool multifault = true;
   bool header = true;
   bool bytecode_vs_interp = true;
+  bool prune = true;
   std::size_t trials = 6;
   std::size_t jobs = 2;
   std::uint32_t nranks = 4;
@@ -60,7 +61,7 @@ void usage(std::FILE* out) {
                "  --oracles=LIST   comma list of pristine,campaign,ckpt,"
                "shadow,parser,\n"
                "                   warm_vs_cold,multifault,header,"
-               "bytecode_vs_interp\n"
+               "bytecode_vs_interp,prune\n"
                "                   (default all)\n"
                "  --trials=N       campaign-oracle trials per run (default 6)\n"
                "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
@@ -74,7 +75,7 @@ void usage(std::FILE* out) {
 bool parse_oracles(const std::string& list, Options& opt) {
   opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser =
       opt.warm_vs_cold = opt.multifault = opt.header =
-          opt.bytecode_vs_interp = false;
+          opt.bytecode_vs_interp = opt.prune = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -89,12 +90,13 @@ bool parse_oracles(const std::string& list, Options& opt) {
     else if (name == "multifault") opt.multifault = true;
     else if (name == "header") opt.header = true;
     else if (name == "bytecode_vs_interp") opt.bytecode_vs_interp = true;
+    else if (name == "prune") opt.prune = true;
     else if (!name.empty()) return false;
     start = comma + 1;
   }
   return opt.pristine || opt.campaign || opt.ckpt || opt.shadow ||
          opt.parser || opt.warm_vs_cold || opt.multifault || opt.header ||
-         opt.bytecode_vs_interp;
+         opt.bytecode_vs_interp || opt.prune;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -211,6 +213,7 @@ int main(int argc, char** argv) {
         if (r.oracle == "bytecode_vs_interp") {
           return !fuzz::check_bytecode_vs_interp(p, oc).ok;
         }
+        if (r.oracle == "prune") return !fuzz::check_prune(p, oc).ok;
         return false;
       };
       fuzz::MinimizeStats st;
@@ -259,6 +262,9 @@ int main(int argc, char** argv) {
     if (opt.bytecode_vs_interp) {
       report(fuzz::check_bytecode_vs_interp(prog, oc), seed, prog.source,
              true);
+    }
+    if (opt.prune) {
+      report(fuzz::check_prune(prog, oc), seed, prog.source, true);
     }
     if (opt.header) {
       report(fuzz::check_header_adversarial(seed), seed, std::string(), true);
