@@ -1,0 +1,105 @@
+// Distributed campaign throughput (DESIGN.md §15, google-benchmark):
+// end-to-end trials/sec of the sharded engine over real fprop-shard worker
+// processes vs the in-process engine.
+//
+//   shards=0  run_campaign at jobs=1 in this process — the exact
+//             perf_campaign matvec configuration (nranks=1, ITERS=6,
+//             64 trials), the baseline the tentpole >=3x claim is measured
+//             against.
+//   shards=N  coordinator in this process + N posix_spawn'd fprop-shard
+//             workers on socketpairs (--stdio --quiet), each at jobs=1 so
+//             the axis under test is process fan-out, not thread count.
+//
+// Spawn + Setup handshake happen outside the timed region — each worker
+// recompiles the app and replays the golden run once per process, a cost a
+// real campaign amortizes over its whole length (Coordinator::run is
+// callable repeatedly on live connections). The timed region is range
+// assignment, execution, wire transfer and the index-ordered merge.
+// distributed_campaign_test proves the result is bit-identical to the
+// in-process engine, so the shard count may only change wall-clock.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/shard/coord.h"
+#include "fprop/shard/spawn.h"
+
+#ifndef FPROP_SHARD_BIN
+#define FPROP_SHARD_BIN ""
+#endif
+
+namespace {
+
+using namespace fprop;
+
+harness::AppHarness& matvec_harness() {
+  static harness::AppHarness h = [] {
+    harness::ExperimentConfig cfg;
+    cfg.nranks = 1;
+    cfg.overrides = {{"ITERS", "6"}};
+    return harness::AppHarness(apps::get_app("matvec"), cfg);
+  }();
+  return h;
+}
+
+void BM_ShardMatvec(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  harness::AppHarness& h = matvec_harness();
+
+  harness::CampaignConfig cc;
+  cc.trials = 64;
+  cc.seed = 42;
+  cc.jobs = 1;
+
+  if (shards == 0) {
+    for (auto _ : state) {
+      const harness::CampaignResult r = harness::run_campaign(h, cc);
+      benchmark::DoNotOptimize(r.counts.total());
+    }
+  } else {
+    if (FPROP_SHARD_BIN[0] == '\0') {
+      state.SkipWithError(
+          "fprop-shard not built (configure with -DFPROP_BUILD_TOOLS=ON)");
+      return;
+    }
+    std::vector<shard::SpawnedShard> procs =
+        shard::spawn_local_shards(FPROP_SHARD_BIN, shards, {"--quiet"});
+    std::vector<shard::Conn> conns;
+    conns.reserve(procs.size());
+    for (shard::SpawnedShard& p : procs) conns.push_back(std::move(p.conn));
+    {
+      shard::Coordinator coord(h, cc, std::move(conns));
+      for (auto _ : state) {
+        const harness::CampaignResult r = coord.run();
+        benchmark::DoNotOptimize(r.counts.total());
+      }
+    }  // ~Coordinator sends Shutdown to every worker
+    for (const shard::SpawnedShard& p : procs) (void)shard::wait_shard(p.pid);
+  }
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cc.trials));
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cc.trials),
+      benchmark::Counter::kIsRate);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+// shards=0 is the in-process jobs=1 baseline; 1 shard isolates the wire +
+// merge overhead (same parallelism, one process hop); 2 and 4 are the
+// fan-out the tentpole claim gates on.
+BENCHMARK(BM_ShardMatvec)
+    ->ArgNames({"shards"})
+    ->Args({0})->Args({1})->Args({2})->Args({4})
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -20,6 +20,7 @@
 #   cp bench-baseline/BENCH_multifault.json bench/
 #   cp bench-baseline/BENCH_bytecode.json bench/
 #   cp bench-baseline/BENCH_prune.json bench/
+#   cp bench-baseline/BENCH_shard.json bench/
 # Do this on a quiet machine only after an intentional perf change; the CI
 # bench-regression job compares fresh runs against these files with
 # fprop-benchdiff --threshold=0.30.
@@ -32,7 +33,8 @@
 set -euo pipefail
 
 BENCHES=(perf_overhead perf_shadowtable perf_vm perf_checkpoint perf_campaign
-         perf_multifault perf_snapshot_ladder perf_bytecode perf_prune)
+         perf_multifault perf_snapshot_ladder perf_bytecode perf_prune
+         perf_shard)
 
 build_dir="build"
 out_dir=""

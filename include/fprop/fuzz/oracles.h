@@ -39,6 +39,13 @@
 //              plans — plus the economy invariants (pruned trials classify
 //              V/ONA with empty shadow tables; dedup_count partitions the
 //              trial count).
+//   shard      the sharded campaign engine (DESIGN.md §15): randomized
+//              RangeResult/JobSpec frames round-trip byte-exactly through
+//              the wire codec; truncated and bit-struck frames always
+//              surface as typed ProtocolErrors, never a silent misparse;
+//              and a coordinator + in-process serve() shards reproduce the
+//              in-process run_campaign bit-for-bit over a generated
+//              program, provenance fields included.
 //
 // Oracles never throw: any unexpected exception is itself a violation and is
 // reported through OracleResult.
@@ -140,6 +147,19 @@ OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
 /// zero-count slots equals CampaignResult::deduped_trials.
 OracleResult check_prune(const GeneratedProgram& prog,
                          const OracleConfig& config = {});
+
+/// Oracle "shard": the distributed campaign engine (DESIGN.md §15).
+/// (a) a seed-derived randomized RangeResult (every TrialResult field
+/// populated, optionals both ways, metrics snapshot attached) and a
+/// randomized JobSpec must round-trip the wire codec byte-exactly with a
+/// stable digest; (b) `iters` adversarial strikes — truncation at random
+/// boundaries, single-bit flips over the whole frame — must each surface as
+/// a typed ProtocolError, never an accepted misparse; (c) a coordinator
+/// plus two in-process serve() shards over `prog` must reproduce
+/// run_campaign bit-for-bit, trial-economy provenance included.
+OracleResult check_shard_protocol(const GeneratedProgram& prog,
+                                  const OracleConfig& config = {},
+                                  std::size_t iters = 256);
 
 /// Oracle "header": drives fpm::serialize_header / deserialize_header /
 /// install_header through `iters` seed-derived adversarial wire streams

@@ -423,12 +423,52 @@ struct CampaignResult {
   std::size_t deduped_trials = 0;
 };
 
+/// Phases 1 + 1.5 of a campaign, precomputed: every injection plan (plan i
+/// is a pure function of derive_seed(config.seed, i)) plus the
+/// plan-equivalence representative map (DESIGN.md §14). Deterministic for a
+/// fixed (harness, config) pair, which is what lets distributed shards
+/// (DESIGN.md §15) recompute it locally instead of shipping plans over the
+/// wire: coordinator and every shard agree on plan i and rep[i] byte-for-byte.
+struct CampaignPlan {
+  std::vector<inject::InjectionPlan> plans;
+  /// rep[i] == i for representative trials; otherwise the earlier trial
+  /// index whose canonical plan is identical (slot i copies it at merge).
+  /// Identity when dedup is off or per-trial artifacts are required.
+  std::vector<std::size_t> rep;
+};
+
+/// Samples every plan and computes the dedup representative map.
+CampaignPlan plan_campaign(const AppHarness& harness,
+                           const CampaignConfig& config);
+
+/// Phase 2: executes the representative trials of `plan` with index in
+/// [first, last) on `config.jobs` worker threads, writing slot i of `slots`
+/// (which must be sized to plan.plans.size()). Slots outside the range and
+/// duplicate slots are left untouched. Trial i's result depends only on
+/// plan i, so any partition of [0, trials) into ranges — across calls,
+/// threads, or processes — yields the same slots.
+void run_campaign_range(const AppHarness& harness,
+                        const CampaignConfig& config,
+                        const CampaignPlan& plan, std::size_t first,
+                        std::size_t last, std::vector<TrialResult>& slots);
+
+/// Phases 2.5 + 3: fills duplicate slots from their representatives and
+/// folds `slots` into a CampaignResult strictly in trial-index order (and
+/// exports summaries when config.trace_dir is set). This is the only fold —
+/// the in-process engine and the shard coordinator both end here, which is
+/// what makes the distributed result bit-identical by construction.
+CampaignResult merge_campaign(const AppHarness& harness,
+                              const CampaignConfig& config,
+                              const CampaignPlan& plan,
+                              std::vector<TrialResult> slots);
+
 /// Runs `config.trials` single-(or multi-)fault trials with per-trial seeds
 /// derived from `config.seed`, on `config.jobs` worker threads. Determinism
 /// is preserved at any thread count: plans are pre-sampled from
 /// derive_seed(seed, i), every trial is a pure function of its plan, and the
 /// per-trial results (including slopes and kept traces) are folded into the
-/// CampaignResult strictly in trial-index order.
+/// CampaignResult strictly in trial-index order. Equivalent to
+/// plan_campaign + run_campaign_range(0, trials) + merge_campaign.
 CampaignResult run_campaign(const AppHarness& harness,
                             const CampaignConfig& config);
 

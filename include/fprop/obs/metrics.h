@@ -58,6 +58,16 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  /// Bulk merge primitives for MetricsRegistry::absorb — commutative atomic
+  /// adds, same determinism contract as observe().
+  void add_bucket(std::size_t i, std::uint64_t n) noexcept {
+    counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_totals(std::uint64_t count, std::uint64_t sum) noexcept {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::uint64_t> bounds_;  ///< ascending upper bounds
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds+overflow
@@ -93,6 +103,13 @@ class MetricsRegistry {
                        std::vector<std::uint64_t> bounds);
 
   MetricsSnapshot snapshot() const;
+  /// Adds a snapshot into this registry: counters and per-bucket histogram
+  /// counts sum, histograms are created with the snapshot's bounds on first
+  /// sight (existing bounds must agree — checked). Addition is commutative
+  /// and associative, so folding per-range shard snapshots (DESIGN.md §15)
+  /// in any arrival order yields the same registry as executing every trial
+  /// locally — the distributed engine's metrics-identity argument.
+  void absorb(const MetricsSnapshot& snap);
   /// Drops every metric (tests / per-campaign isolation).
   void reset();
 

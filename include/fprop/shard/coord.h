@@ -1,0 +1,74 @@
+#pragma once
+
+// Campaign coordinator (DESIGN.md §15): owns the plan-index job queue,
+// fans ranges out to connected shards, journals each merged range, and
+// folds the slots through the same merge_campaign the in-process engine
+// uses — which is what makes the distributed CampaignResult bit-identical
+// to run_campaign at any shard count.
+
+#include <csignal>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fprop/harness/harness.h"
+#include "fprop/shard/protocol.h"
+
+namespace fprop::shard {
+
+struct DistConfig {
+  /// Persistent journal of merged ranges. Empty disables resume: a crash
+  /// restarts the campaign from scratch.
+  std::string journal_path;
+  /// Trials per Assign (0 = auto: ~4 ranges per shard). A pre-existing
+  /// journal's persisted range size always wins, so a resumed campaign
+  /// re-derives the identical partition even after the shard count changed.
+  std::size_t range_size = 0;
+  /// SIGINT flag: stops assigning new ranges; already-merged ranges stay
+  /// journaled, so rerunning with the same journal resumes.
+  const volatile std::sig_atomic_t* stop = nullptr;
+  /// Progress sink (stderr in the tool, null = silent).
+  std::function<void(const std::string&)> log;
+};
+
+class Coordinator {
+ public:
+  /// Performs the Setup/SetupAck handshake on every connection. Shards that
+  /// fail the handshake (protocol mismatch, digest mismatch, golden-run
+  /// cross-check failure) are dropped with a log line; throws fprop::Error
+  /// if none survive. Samples the campaign plan locally — the same
+  /// plan_campaign every shard computes from the JobSpec.
+  Coordinator(const harness::AppHarness& harness,
+              const harness::CampaignConfig& config, std::vector<Conn> shards,
+              DistConfig dist = {});
+  /// Sends Shutdown to every still-connected shard (best effort).
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Runs the campaign to completion and merges. Callable repeatedly on the
+  /// same connections (each call re-executes the full campaign — the bench
+  /// loop). Throws fprop::Error if every shard dies (or the stop flag is
+  /// raised) with ranges unfinished; with a journal configured, the merged
+  /// prefix is on disk and a rerun resumes from it.
+  harness::CampaignResult run();
+
+ private:
+  const harness::AppHarness& harness_;
+  harness::CampaignConfig config_;
+  DistConfig dist_;
+  std::uint64_t digest_ = 0;
+  harness::CampaignPlan plan_;
+  std::vector<Conn> shards_;
+};
+
+/// One-shot convenience: handshake, run, merge.
+harness::CampaignResult run_distributed_campaign(
+    const harness::AppHarness& harness, const harness::CampaignConfig& config,
+    std::vector<Conn> shards, DistConfig dist = {});
+
+}  // namespace fprop::shard

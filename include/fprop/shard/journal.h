@@ -1,0 +1,66 @@
+#pragma once
+
+// Resumable range journal (DESIGN.md §15).
+//
+// An append-only file of wire-protocol frames: one JournalHeader frame
+// identifying the campaign (job digest, trials, seed, range size), then one
+// Result frame per acknowledged range, each the exact bytes that crossed
+// (or would cross) the wire. Every append is flushed and fsync'd before the
+// range is considered acknowledged, so after a crash — SIGKILL included —
+// the file is a valid prefix plus at most one incomplete tail record, which
+// open() detects and truncates away.
+//
+// The coordinator journals each range as it is merged: a restarted campaign
+// replays the journal, refills the merged slots (and re-absorbs the metrics
+// snapshots), and only assigns the ranges still missing. A shard may keep
+// its own journal of completed ranges; a re-assigned range it already
+// executed is answered from the journal instead of re-run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fprop/shard/protocol.h"
+
+namespace fprop::shard {
+
+class RangeJournal {
+ public:
+  struct Header {
+    std::uint64_t digest = 0;  ///< job_digest of the campaign
+    std::uint64_t trials = 0;
+    std::uint64_t seed = 0;
+    /// Assignment granularity. Persisted so a resumed campaign re-derives
+    /// the identical range partition even if the shard count (and thus the
+    /// auto-sized range) changed across the restart.
+    std::uint64_t range_size = 0;
+  };
+
+  /// Opens (creating if missing) the journal at `path`. A pre-existing
+  /// journal must carry the same digest/trials/seed — a mismatch throws
+  /// fprop::Error (resuming someone else's campaign would merge garbage);
+  /// its range_size overrides the caller's. An incomplete or corrupted tail
+  /// is truncated to the last whole record.
+  RangeJournal(std::string path, const Header& header);
+  ~RangeJournal();
+
+  RangeJournal(const RangeJournal&) = delete;
+  RangeJournal& operator=(const RangeJournal&) = delete;
+
+  const Header& header() const noexcept { return header_; }
+  /// Ranges recovered from a pre-existing journal, file order.
+  const std::vector<RangeResult>& recovered() const noexcept {
+    return recovered_;
+  }
+
+  /// Appends one acknowledged range and fsyncs before returning.
+  void append(const RangeResult& rr);
+
+ private:
+  std::string path_;
+  Header header_;
+  std::vector<RangeResult> recovered_;
+  int fd_ = -1;
+};
+
+}  // namespace fprop::shard

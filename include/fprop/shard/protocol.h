@@ -1,0 +1,276 @@
+#pragma once
+
+// Wire protocol for the sharded campaign engine (DESIGN.md §15).
+//
+// A coordinator and its worker shards speak length-prefixed binary frames
+// over any reliable byte stream (pipes, socketpairs, Unix-domain sockets).
+// The protocol is dependency-free: fixed-width little-endian integers,
+// doubles as IEEE-754 bit patterns, strings and vectors length-prefixed —
+// the same byte-framing discipline as the FPM piggyback header (§6) and the
+// `ocall_mpi_send_bytes` idiom the design borrows from.
+//
+// Hardening contract (mirrors the PR 6 header-quarantine rules): every
+// claimed length is clamped to the bytes physically present, every header
+// field is validated, and the payload is covered by an FNV-1a checksum, so
+// a truncated, oversized, malformed, or bit-flipped frame surfaces as a
+// typed ProtocolError — never a crash, hang, or silent misparse.
+//
+// Plans never cross the wire. A shard receives the (app, ExperimentConfig,
+// CampaignConfig) triple, rebuilds the harness, and recomputes
+// plan_campaign locally — plans are pure functions of derive_seed(seed, i)
+// and the golden run, so coordinator and shards agree byte-for-byte, and a
+// Setup frame stays O(config) no matter how many trials the campaign has.
+
+#include <csignal>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fprop/harness/harness.h"
+#include "fprop/obs/metrics.h"
+#include "fprop/support/error.h"
+
+namespace fprop::shard {
+
+// ---------------------------------------------------------------------------
+// Typed wire faults
+
+enum class WireFault : std::uint8_t {
+  BadMagic,           ///< frame does not start with kMagic
+  BadVersion,         ///< protocol version mismatch
+  BadType,            ///< unknown frame type byte
+  Oversized,          ///< claimed payload exceeds kMaxFramePayload
+  Truncated,          ///< claimed length exceeds the bytes physically present
+  ChecksumMismatch,   ///< payload bytes do not match the header checksum
+  Malformed,          ///< payload structure invalid (bad tag, overrun, range)
+};
+
+const char* wire_fault_name(WireFault f) noexcept;
+
+/// Every protocol violation surfaces as this one typed error; the
+/// coordinator and shard loops catch it at the connection boundary and
+/// retire the peer instead of crashing.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(WireFault fault, const std::string& what)
+      : Error(std::string("wire protocol: ") + wire_fault_name(fault) + ": " +
+              what),
+        fault_(fault) {}
+
+  WireFault fault() const noexcept { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+
+inline constexpr std::uint32_t kMagic = 0x46534831u;  // "FSH1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// magic u32 | version u8 | type u8 | reserved u16 (0) | payload_len u64 |
+/// payload FNV-1a u64.
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+/// Hard payload cap. A Result frame carries at most one range of
+/// TrialResults (~300 bytes each uncompressed), so real frames sit far
+/// below this; anything larger is a corrupted length field.
+inline constexpr std::uint64_t kMaxFramePayload = 256ull << 20;
+
+enum class FrameType : std::uint8_t {
+  Setup = 1,     ///< coordinator -> shard: JobSpec
+  SetupAck = 2,  ///< shard -> coordinator: digest echo + golden facts
+  Assign = 3,    ///< coordinator -> shard: plan-index range [first, last)
+  Result = 4,    ///< shard -> coordinator: RangeResult
+  Shutdown = 5,  ///< coordinator -> shard: campaign complete, exit
+  Bye = 6,       ///< shard -> coordinator: clean departure (SIGINT/SIGTERM)
+  Error = 7,     ///< either way: fatal condition, utf-8 message payload
+  /// Leading record of a journal file (journal.h); never sent on a live
+  /// link — Conn::recv rejects it as BadType.
+  JournalHeader = 8,
+};
+
+const char* frame_type_name(FrameType t) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 64-bit over a byte span (the frame checksum and config digest).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
+
+/// Header + payload, ready to write to a stream.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decodes one complete frame from a buffer. The claimed payload length is
+/// clamped to `size`: if fewer bytes are physically present the frame is
+/// Truncated, never read past. `consumed` (optional) receives the total
+/// encoded size on success. Throws ProtocolError on any violation.
+Frame decode_frame(const std::uint8_t* data, std::size_t size,
+                   std::size_t* consumed = nullptr);
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+
+/// Appends fixed-width little-endian primitives to a byte buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern, byte-exact round trip
+  void str(const std::string& s);                  ///< u64 length + bytes
+  void bytes(const std::uint8_t* p, std::size_t n);
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked reader over a payload. Any read past the end throws
+/// ProtocolError(Malformed) — claimed element counts inside a payload are
+/// thereby clamped to the bytes actually present.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  /// Element-count guard: a length prefix claiming more than the remaining
+  /// bytes / `min_elem_bytes` is Malformed before any allocation happens.
+  std::uint64_t count(std::size_t min_elem_bytes);
+  bool done() const noexcept { return off_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - off_; }
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Job setup
+
+/// Everything a shard needs to rebuild the campaign locally: the app name
+/// plus the full experiment + campaign configuration. The runtime-only
+/// CampaignConfig members (metrics pointer, trace capacity) travel as
+/// flags/values; shards re-materialize them.
+struct JobSpec {
+  std::string app;
+  harness::ExperimentConfig experiment;
+  harness::CampaignConfig campaign;  ///< .metrics is never serialized
+  /// Coordinator attached a MetricsRegistry: each shard folds ranges into a
+  /// fresh local registry and ships the snapshot back in the Result frame.
+  bool metrics_enabled = false;
+};
+
+void write_job_spec(WireWriter& w, const JobSpec& spec);
+JobSpec read_job_spec(WireReader& r);
+
+/// FNV-1a digest of the serialized JobSpec — the campaign identity the
+/// SetupAck echo and the journal header are validated against.
+std::uint64_t job_digest(const JobSpec& spec);
+
+struct SetupAck {
+  std::uint64_t digest = 0;       ///< job_digest echo
+  std::uint32_t protocol = 0;     ///< shard's kProtocolVersion
+  std::uint64_t total_dyn_points = 0;  ///< golden-run cross-check
+  std::uint64_t golden_cycles = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Results
+
+/// One executed plan-index range. `results` holds (index, TrialResult) for
+/// every representative trial in [first, last), ascending; duplicate slots
+/// are reconstructed at merge. `metrics` is the shard's registry snapshot
+/// for exactly this range (empty unless the job has metrics enabled) — the
+/// fold is commutative, so the coordinator absorbs snapshots in arrival
+/// order and still matches the in-process registry bit-for-bit.
+struct RangeResult {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::vector<std::pair<std::uint64_t, harness::TrialResult>> results;
+  obs::MetricsSnapshot metrics;
+};
+
+void write_trial_result(WireWriter& w, const harness::TrialResult& t);
+harness::TrialResult read_trial_result(WireReader& r);
+
+void write_metrics_snapshot(WireWriter& w, const obs::MetricsSnapshot& s);
+obs::MetricsSnapshot read_metrics_snapshot(WireReader& r);
+
+void write_range_result(WireWriter& w, const RangeResult& rr);
+RangeResult read_range_result(WireReader& r);
+
+// Whole-frame helpers (payload codecs + FrameType tagging).
+Frame make_setup_frame(const JobSpec& spec);
+Frame make_setup_ack_frame(const SetupAck& ack);
+Frame make_assign_frame(std::uint64_t first, std::uint64_t last);
+Frame make_result_frame(const RangeResult& rr);
+Frame make_error_frame(const std::string& message);
+JobSpec parse_setup(const Frame& f);
+SetupAck parse_setup_ack(const Frame& f);
+std::pair<std::uint64_t, std::uint64_t> parse_assign(const Frame& f);
+RangeResult parse_result(const Frame& f);
+std::string parse_error(const Frame& f);
+
+// ---------------------------------------------------------------------------
+// Framed connection
+
+/// Blocking, EINTR-safe framed I/O over a pair of file descriptors (equal
+/// for a socket, distinct for a pipe pair). Owns and closes the
+/// descriptors. Move-only.
+class Conn {
+ public:
+  Conn() = default;
+  Conn(int fd_in, int fd_out);
+  /// Socket-style: one bidirectional descriptor.
+  explicit Conn(int fd) : Conn(fd, fd) {}
+  Conn(Conn&& other) noexcept;
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn();
+
+  bool valid() const noexcept { return in_ >= 0; }
+
+  /// Writes one frame. Throws fprop::Error on a broken/short write.
+  void send(const Frame& frame);
+
+  /// Reads one frame. Returns nullopt on clean EOF at a frame boundary;
+  /// throws ProtocolError for EOF mid-frame (Truncated), any header
+  /// violation, or a JournalHeader frame on a live link (BadType).
+  /// `interrupt` (optional, e.g. a SIGINT flag) is polled whenever a signal
+  /// breaks the blocking read: when raised, recv abandons the wait and
+  /// returns nullopt — the caller distinguishes interrupt from EOF by
+  /// checking the flag.
+  std::optional<Frame> recv(const volatile std::sig_atomic_t* interrupt =
+                                nullptr);
+
+  void close() noexcept;
+
+ private:
+  int in_ = -1;
+  int out_ = -1;
+};
+
+/// A connected pair of in-process endpoints (socketpair) — the transport
+/// the distributed tests and the spawn helper build on.
+std::pair<Conn, Conn> make_conn_pair();
+
+}  // namespace fprop::shard

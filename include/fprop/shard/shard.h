@@ -1,0 +1,54 @@
+#pragma once
+
+// Worker-shard serve loop (DESIGN.md §15): receives one Setup, rebuilds the
+// harness and campaign plan locally, then executes Assign'd plan-index
+// ranges until Shutdown, EOF, or an interrupt.
+
+#include <csignal>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "fprop/apps/registry.h"
+#include "fprop/shard/protocol.h"
+
+namespace fprop::shard {
+
+struct ServeOptions {
+  /// Override the JobSpec's per-shard worker-thread count (0 = as sent).
+  std::size_t jobs_override = 0;
+  /// Shard-local journal of completed ranges: a re-assigned range already
+  /// journaled is answered without re-execution (crash/reconnect economy).
+  std::string journal_path;
+  /// Chaos hook for tests/CI: after this many Result frames, drop the
+  /// connection without a Bye — indistinguishable from SIGKILL to the
+  /// coordinator. 0 disables.
+  std::size_t max_ranges = 0;
+  /// SIGINT/SIGTERM flag: polled between ranges and while blocked on recv
+  /// (via EINTR). When raised the shard finishes its current range, lets
+  /// the journal fsync, sends Bye, and returns — the coordinator requeues
+  /// anything unacknowledged.
+  const volatile std::sig_atomic_t* stop = nullptr;
+  /// App resolver override for embedding serve() over programs that are not
+  /// in the static registry (e.g. the fuzz oracle's generated apps). The
+  /// returned AppSpec must outlive the serve() call. Null = apps::get_app.
+  std::function<const apps::AppSpec&(const std::string&)> resolve_app;
+  /// Progress sink (stderr in the tool, null = silent).
+  std::function<void(const std::string&)> log;
+};
+
+struct ServeStats {
+  std::size_t ranges_executed = 0;
+  std::size_t ranges_replayed = 0;  ///< answered from the local journal
+  std::size_t trials_executed = 0;
+  bool interrupted = false;  ///< the stop flag ended the session
+};
+
+/// Serves one coordinator session on `conn`. Protocol violations from the
+/// peer surface as an Error frame (best effort) and a clean return — a
+/// malformed coordinator can never crash or wedge a shard. fprop::Error
+/// from harness construction (unknown app, bad config) is reported the same
+/// way.
+ServeStats serve(Conn& conn, const ServeOptions& opts = {});
+
+}  // namespace fprop::shard

@@ -1,0 +1,42 @@
+#pragma once
+
+// Local shard processes: socketpair + posix_spawn, the transport behind
+// `fprop-coord --shards=N` and the shard bench.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "fprop/shard/protocol.h"
+
+namespace fprop::shard {
+
+struct SpawnedShard {
+  pid_t pid = -1;
+  Conn conn;  ///< coordinator end of the socketpair
+};
+
+/// Spawns `count` copies of the shard binary, each with its end of a fresh
+/// socketpair dup2'd onto stdin/stdout and `--stdio` prepended to
+/// `extra_args`. Throws fprop::Error if any spawn fails (already-spawned
+/// shards are reaped).
+std::vector<SpawnedShard> spawn_local_shards(
+    const std::string& shard_bin, std::size_t count,
+    const std::vector<std::string>& extra_args = {});
+
+/// waitpid wrapper: blocks until the shard exits, returns its exit code
+/// (or -signal for a signal death, -256 on waitpid failure).
+int wait_shard(pid_t pid);
+
+// --- Unix-domain sockets: the two-terminal / two-machine-via-ssh mode ----
+
+/// Binds and listens at `path` (replacing a stale socket file), accepts
+/// `count` shard connections, unlinks the socket file, and returns the
+/// connections in accept order.
+std::vector<Conn> uds_accept(const std::string& path, std::size_t count);
+
+/// Connects a shard to the coordinator listening at `path`.
+Conn uds_connect(const std::string& path);
+
+}  // namespace fprop::shard

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -14,6 +16,8 @@
 #include "fprop/obs/metrics.h"
 #include "fprop/mpisim/world.h"
 #include "fprop/passes/passes.h"
+#include "fprop/shard/coord.h"
+#include "fprop/shard/shard.h"
 #include "fprop/support/error.h"
 #include "fprop/support/rng.h"
 #include "fprop/vm/interp.h"
@@ -842,6 +846,250 @@ OracleResult check_bytecode_vs_interp(const GeneratedProgram& prog,
     }
   } catch (const std::exception& e) {
     return fail("bytecode_vs_interp", std::string("exception: ") + e.what());
+  }
+  return res;
+}
+
+namespace {
+
+/// Seed-derived TrialResult with every field populated (optionals both
+/// ways), so the round-trip leg covers the full wire schema, not just the
+/// fields real campaigns happen to set.
+harness::TrialResult random_trial(Xoshiro256& rng) {
+  harness::TrialResult t;
+  t.outcome = static_cast<harness::Outcome>(rng.next_below(5));
+  t.trap = static_cast<vm::Trap>(rng.next_below(10));
+  t.injected = rng.next_below(2) != 0;
+  t.injection.rank = static_cast<std::uint32_t>(rng.next_below(8));
+  t.injection.site_id = static_cast<std::int64_t>(rng.next()) >> 16;
+  t.injection.dyn_index = rng.next();
+  t.injection.bit = static_cast<std::uint32_t>(rng.next_below(64));
+  t.injection.cycle = rng.next();
+  t.injection.before = rng.next();
+  t.injection.after = rng.next();
+  t.msg_injected = rng.next_below(4);
+  t.headers_quarantined = rng.next_below(16);
+  t.header_records_quarantined = rng.next_below(64);
+  t.fault_pair_min_gap = static_cast<std::int64_t>(rng.next()) >> 8;
+  t.total_cml_final = rng.next();
+  t.total_cml_peak = rng.next();
+  t.contaminated_pct = static_cast<double>(rng.next_below(10'000)) / 100.0;
+  t.contaminated_ranks = rng.next_below(8);
+  t.reported_iters = static_cast<std::int64_t>(rng.next_below(1000)) - 1;
+  t.global_cycles = rng.next();
+  const std::uint64_t nsamples = rng.next_below(5);
+  for (std::uint64_t s = 0; s < nsamples; ++s) {
+    t.trace.push_back({rng.next(), rng.next()});
+  }
+  const std::uint64_t nranks = rng.next_below(5);
+  for (std::uint64_t r = 0; r < nranks; ++r) {
+    if (rng.next_below(2) != 0) {
+      t.rank_first_contaminated.push_back(rng.next());
+    } else {
+      t.rank_first_contaminated.push_back(std::nullopt);
+    }
+  }
+  t.slope_a = static_cast<double>(static_cast<std::int64_t>(rng.next()) >> 20);
+  t.slope_b = static_cast<double>(rng.next_below(1000)) * 1e-9;
+  t.slope_usable = rng.next_below(2) != 0;
+  t.recovered = rng.next_below(2) != 0;
+  t.rollbacks = rng.next_below(4);
+  t.detections = rng.next_below(8);
+  t.wasted_cycles = rng.next();
+  t.residual_cml = rng.next_below(100);
+  t.recovery_gave_up = rng.next_below(2) != 0;
+  t.first_detection_clock = static_cast<std::int64_t>(rng.next()) >> 8;
+  t.pruned = rng.next_below(2) != 0;
+  t.prune_clock = rng.next();
+  t.dedup_count = rng.next_below(6);
+  return t;
+}
+
+shard::RangeResult random_range_result(Xoshiro256& rng) {
+  shard::RangeResult rr;
+  rr.first = rng.next_below(1u << 20);
+  const std::uint64_t span = rng.next_below(16) + 1;
+  rr.last = rr.first + span;
+  std::uint64_t idx = rr.first;
+  while (idx < rr.last) {
+    if (rng.next_below(2) != 0) rr.results.emplace_back(idx, random_trial(rng));
+    idx += rng.next_below(3) + 1;
+  }
+  const std::uint64_t ncounters = rng.next_below(4);
+  for (std::uint64_t i = 0; i < ncounters; ++i) {
+    rr.metrics.counters["c" + std::to_string(i)] = rng.next();
+  }
+  if (rng.next_below(2) != 0) {
+    obs::HistogramSnapshot hs;
+    const std::uint64_t nbounds = rng.next_below(4) + 1;
+    std::uint64_t b = 1;
+    for (std::uint64_t i = 0; i < nbounds; ++i) {
+      hs.bounds.push_back(b);
+      b *= 4;
+    }
+    for (std::uint64_t i = 0; i <= nbounds; ++i) {
+      hs.counts.push_back(rng.next_below(100));
+    }
+    hs.count = rng.next_below(1000);
+    hs.sum = rng.next();
+    rr.metrics.histograms["h"] = hs;
+  }
+  return rr;
+}
+
+}  // namespace
+
+OracleResult check_shard_protocol(const GeneratedProgram& prog,
+                                  const OracleConfig& config,
+                                  std::size_t iters) {
+  OracleResult res;
+  res.oracle = "shard";
+  try {
+    Xoshiro256 rng(derive_seed(prog.seed, 0x54A2Dull));
+
+    // Leg A: randomized Result frames round-trip byte-exactly.
+    for (std::size_t i = 0; i < iters; ++i) {
+      const shard::RangeResult rr = random_range_result(rng);
+      const std::vector<std::uint8_t> wire =
+          shard::encode_frame(shard::make_result_frame(rr));
+      std::size_t consumed = 0;
+      const shard::RangeResult back = shard::parse_result(
+          shard::decode_frame(wire.data(), wire.size(), &consumed));
+      if (consumed != wire.size()) {
+        return fail("shard", "decode consumed " + std::to_string(consumed) +
+                                 " of " + std::to_string(wire.size()) +
+                                 " bytes (iter " + std::to_string(i) + ")");
+      }
+      const std::vector<std::uint8_t> rewire =
+          shard::encode_frame(shard::make_result_frame(back));
+      if (rewire != wire) {
+        return fail("shard", "Result frame did not round-trip byte-exactly "
+                             "(iter " + std::to_string(i) + ")");
+      }
+
+      // Leg B: a strike on the same frame must be rejected, never misparsed.
+      std::vector<std::uint8_t> struck = wire;
+      const std::uint64_t mode = rng.next_below(2);
+      std::string what;
+      if (mode == 0) {
+        const std::size_t cut = rng.next_below(struck.size());
+        struck.resize(cut);
+        what = "truncation to " + std::to_string(cut) + " bytes";
+      } else {
+        const std::uint64_t bit = rng.next_below(struck.size() * 8);
+        struck[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        what = "bit flip at " + std::to_string(bit);
+      }
+      try {
+        (void)shard::parse_result(
+            shard::decode_frame(struck.data(), struck.size()));
+        return fail("shard", what + " went undetected (iter " +
+                                 std::to_string(i) + ")");
+      } catch (const shard::ProtocolError&) {
+        // Typed rejection: the contract.
+      }
+    }
+
+    // Leg C: JobSpec round-trip + digest stability (the campaign identity
+    // the handshake and both journals validate against).
+    {
+      shard::JobSpec spec;
+      spec.app = "fuzz_" + std::to_string(prog.seed);
+      spec.experiment.nranks = prog.nranks;
+      spec.experiment.overrides = {{"A", std::to_string(rng.next())}};
+      spec.experiment.rng_seed = rng.next();
+      spec.campaign.trials = config.campaign_trials;
+      spec.campaign.seed = rng.next();
+      spec.campaign.faults_per_run = config.multifault_k;
+      spec.campaign.msg_faults_per_run = config.multifault_msg;
+      spec.metrics_enabled = rng.next_below(2) != 0;
+      const shard::Frame f = shard::make_setup_frame(spec);
+      const std::vector<std::uint8_t> wire = shard::encode_frame(f);
+      const shard::JobSpec back =
+          shard::parse_setup(shard::decode_frame(wire.data(), wire.size()));
+      if (shard::job_digest(back) != shard::job_digest(spec)) {
+        return fail("shard", "JobSpec digest not stable across the wire");
+      }
+      const std::vector<std::uint8_t> rewire =
+          shard::encode_frame(shard::make_setup_frame(back));
+      if (rewire != wire) {
+        return fail("shard", "JobSpec did not round-trip byte-exactly");
+      }
+    }
+
+    // Leg D: coordinator + 2 in-process serve() shards over the generated
+    // program == in-process run_campaign, bit for bit.
+    {
+      apps::AppSpec spec;
+      spec.name = "fuzz_" + std::to_string(prog.seed);
+      spec.description = "generated fuzz program";
+      spec.source = prog.source;
+      spec.default_nranks = prog.nranks;
+
+      harness::ExperimentConfig ec;
+      ec.nranks = prog.nranks;
+      const harness::AppHarness h(spec, ec);
+
+      harness::CampaignConfig cc;
+      cc.trials = config.campaign_trials;
+      cc.seed = derive_seed(prog.seed, 0x54A2Dull);
+      cc.capture_traces = config.capture_traces;
+      cc.max_kept_traces = 4;
+      cc.jobs = 1;
+      const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+      std::deque<shard::Conn> shard_ends;
+      std::vector<shard::Conn> coord_ends;
+      for (int i = 0; i < 2; ++i) {
+        auto [coord_end, shard_end] = shard::make_conn_pair();
+        coord_ends.push_back(std::move(coord_end));
+        shard_ends.push_back(std::move(shard_end));
+      }
+      // Generated apps are not in the static registry; resolve the name the
+      // coordinator sends back to the local AppSpec.
+      shard::ServeOptions so;
+      so.resolve_app = [&spec](const std::string&) -> const apps::AppSpec& {
+        return spec;
+      };
+      std::vector<std::thread> threads;
+      for (int i = 0; i < 2; ++i) {
+        threads.emplace_back([&shard_ends, &so, i] {
+          try {
+            shard::serve(shard_ends[static_cast<std::size_t>(i)], so);
+          } catch (...) {
+          }
+        });
+      }
+      harness::CampaignResult dist;
+      std::exception_ptr err;
+      try {
+        dist = shard::run_distributed_campaign(h, cc, std::move(coord_ends));
+      } catch (...) {
+        err = std::current_exception();
+      }
+      for (std::thread& t : threads) t.join();
+      if (err) std::rethrow_exception(err);
+
+      const std::string d = diff_campaigns(local, dist);
+      if (!d.empty()) {
+        return fail("shard", "distributed vs in-process: " + d);
+      }
+      for (std::size_t i = 0; i < local.trials.size(); ++i) {
+        if (local.trials[i].pruned != dist.trials[i].pruned ||
+            local.trials[i].prune_clock != dist.trials[i].prune_clock ||
+            local.trials[i].dedup_count != dist.trials[i].dedup_count) {
+          return fail("shard", "trial-economy provenance differs at trial " +
+                                   std::to_string(i));
+        }
+      }
+      if (local.pruned_trials != dist.pruned_trials ||
+          local.deduped_trials != dist.deduped_trials) {
+        return fail("shard", "trial-economy aggregates differ");
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail("shard", std::string("exception: ") + e.what());
   }
   return res;
 }

@@ -602,19 +602,20 @@ std::vector<SiteVulnerability> site_breakdown(const AppHarness& harness,
 
 namespace {
 
-/// Executes trials [first(chunks)..] pulled from a shared chunk counter.
-/// Trial i writes only slot i, so workers never contend on results; the
-/// trace-retention cutoff depends only on the trial index, so what each
-/// worker keeps is independent of scheduling. Each worker owns one event
-/// recorder reused (cleared) across its trials; trace files are written
-/// worker-side, keyed by trial index, so the on-disk output is identical at
-/// any jobs value.
+/// Executes trials pulled in chunks from a shared counter, up to `bound`
+/// (exclusive — the end of the range being executed). Trial i writes only
+/// slot i, so workers never contend on results; the trace-retention cutoff
+/// depends only on the trial index, so what each worker keeps is independent
+/// of scheduling. Each worker owns one event recorder reused (cleared)
+/// across its trials; trace files are written worker-side, keyed by trial
+/// index, so the on-disk output is identical at any jobs value.
 void trial_worker(const AppHarness& harness, const CampaignConfig& config,
                   const TrialMetricHandles* metrics,
                   const std::vector<inject::InjectionPlan>& plans,
                   const std::vector<std::size_t>& rep,
                   std::vector<TrialResult>& slots,
-                  std::atomic<std::size_t>& next, std::size_t chunk) {
+                  std::atomic<std::size_t>& next, std::size_t bound,
+                  std::size_t chunk) {
   std::optional<obs::TrialRecorder> recorder;
   if (!config.trace_dir.empty() || config.metrics != nullptr) {
     recorder.emplace(config.trace_capacity);
@@ -631,8 +632,8 @@ void trial_worker(const AppHarness& harness, const CampaignConfig& config,
   opts.prune = config.prune && !recorder.has_value();
   for (;;) {
     const std::size_t begin = next.fetch_add(chunk);
-    if (begin >= plans.size()) return;
-    const std::size_t end = std::min(begin + chunk, plans.size());
+    if (begin >= bound) return;
+    const std::size_t end = std::min(begin + chunk, bound);
     for (std::size_t i = begin; i < end; ++i) {
       if (rep[i] != i) continue;  // duplicate plan: copies its rep at merge
       if (recorder.has_value()) recorder->clear();
@@ -667,16 +668,18 @@ std::size_t effective_jobs(std::size_t requested, std::size_t trials) {
 
 }  // namespace
 
-CampaignResult run_campaign(const AppHarness& harness,
-                            const CampaignConfig& config) {
+CampaignPlan plan_campaign(const AppHarness& harness,
+                           const CampaignConfig& config) {
   // Phase 1 — pre-sample every injection plan up front. Plan i depends only
   // on derive_seed(config.seed, i), never on execution order, so the sampled
-  // campaign is identical at any jobs value.
-  std::vector<inject::InjectionPlan> plans;
-  plans.reserve(config.trials);
+  // campaign is identical at any jobs value — and at any process count: a
+  // distributed shard recomputes this byte-for-byte instead of receiving
+  // plans over the wire.
+  CampaignPlan cp;
+  cp.plans.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
     Xoshiro256 rng(derive_seed(config.seed, i));
-    plans.push_back(
+    cp.plans.push_back(
         config.faults_per_run > 0
             ? inject::sample_faults(harness.golden().dyn_counts,
                                     harness.golden().dyn_widths,
@@ -686,7 +689,8 @@ CampaignResult run_campaign(const AppHarness& harness,
       // Drawn after the register faults, so a plain k-fault campaign's rng
       // stream — and therefore its results — is unchanged bit-for-bit.
       inject::sample_msg_faults(harness.golden().msg_counts,
-                                config.msg_faults_per_run, rng, plans.back());
+                                config.msg_faults_per_run, rng,
+                                cp.plans.back());
     }
   }
 
@@ -696,26 +700,35 @@ CampaignResult run_campaign(const AppHarness& harness,
   // time. Skipped whenever per-trial artifacts must exist (trace files,
   // event-stream metrics, kept CML traces) — a copied result cannot fabricate
   // those.
-  std::vector<std::size_t> rep(config.trials);
-  for (std::size_t i = 0; i < config.trials; ++i) rep[i] = i;
+  cp.rep.resize(config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i) cp.rep[i] = i;
   if (config.dedup && !config.capture_traces && config.trace_dir.empty() &&
       config.metrics == nullptr) {
     std::unordered_map<std::string, std::size_t> first_by_key;
     first_by_key.reserve(config.trials);
     for (std::size_t i = 0; i < config.trials; ++i) {
-      rep[i] = first_by_key
-                   .emplace(inject::dedup_key(plans[i],
-                                              harness.golden().dyn_widths),
-                            i)
-                   .first->second;
+      cp.rep[i] = first_by_key
+                      .emplace(inject::dedup_key(cp.plans[i],
+                                                 harness.golden().dyn_widths),
+                               i)
+                      .first->second;
     }
   }
+  return cp;
+}
 
+void run_campaign_range(const AppHarness& harness,
+                        const CampaignConfig& config,
+                        const CampaignPlan& plan, std::size_t first,
+                        std::size_t last, std::vector<TrialResult>& slots) {
   // Phase 2 — execute trials on the worker pool. Chunked dynamic dispatch:
   // trial cost varies wildly (crashes terminate early), so workers pull
   // modest chunks off a shared counter instead of static striping.
+  FPROP_CHECK(slots.size() == plan.plans.size() &&
+              plan.rep.size() == plan.plans.size());
+  FPROP_CHECK(first <= last && last <= plan.plans.size());
   if (!config.trace_dir.empty()) obs::ensure_dir(config.trace_dir);
-  std::optional<TrialMetricHandles> handles;  // resolved once per campaign
+  std::optional<TrialMetricHandles> handles;  // resolved once per range
   if (config.metrics != nullptr) handles.emplace(*config.metrics);
   const TrialMetricHandles* metrics =
       handles.has_value() ? &*handles : nullptr;
@@ -731,13 +744,13 @@ CampaignResult run_campaign(const AppHarness& harness,
     // pass over the IR — but there is no point serializing workers on it).
     (void)harness.bytecode();
   }
-  std::vector<TrialResult> slots(config.trials);
-  const std::size_t jobs = effective_jobs(config.jobs, config.trials);
-  const std::size_t chunk =
-      std::max<std::size_t>(1, config.trials / (jobs * 8));
-  std::atomic<std::size_t> next{0};
+  const std::size_t span = last - first;
+  const std::size_t jobs = effective_jobs(config.jobs, span);
+  const std::size_t chunk = std::max<std::size_t>(1, span / (jobs * 8));
+  std::atomic<std::size_t> next{first};
   if (jobs <= 1) {
-    trial_worker(harness, config, metrics, plans, rep, slots, next, chunk);
+    trial_worker(harness, config, metrics, plan.plans, plan.rep, slots, next,
+                 last, chunk);
   } else {
     std::vector<std::exception_ptr> errors(jobs);
     std::vector<std::thread> pool;
@@ -745,12 +758,12 @@ CampaignResult run_campaign(const AppHarness& harness,
     for (std::size_t w = 0; w < jobs; ++w) {
       pool.emplace_back([&, w] {
         try {
-          trial_worker(harness, config, metrics, plans, rep, slots, next,
-                       chunk);
+          trial_worker(harness, config, metrics, plan.plans, plan.rep, slots,
+                       next, last, chunk);
         } catch (...) {
           errors[w] = std::current_exception();
           // Drain the counter so the surviving workers wind down quickly.
-          next.store(plans.size());
+          next.store(last);
         }
       });
     }
@@ -759,21 +772,29 @@ CampaignResult run_campaign(const AppHarness& harness,
       if (e) std::rethrow_exception(e);
     }
   }
+}
 
+CampaignResult merge_campaign(const AppHarness& harness,
+                              const CampaignConfig& config,
+                              const CampaignPlan& plan,
+                              std::vector<TrialResult> slots) {
   // Phase 2.5 — fill duplicate slots from their representatives. Done after
-  // the pool joined so every representative is final; dedup_count settles to
-  // the multiplicity on representatives and 0 on copies (summing to the
-  // trial count), keeping every aggregate below identical to a no-dedup run.
+  // every representative is final; dedup_count settles to the multiplicity
+  // on representatives and 0 on copies (summing to the trial count), keeping
+  // every aggregate below identical to a no-dedup run.
+  FPROP_CHECK(slots.size() == config.trials &&
+              plan.rep.size() == config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
-    if (rep[i] == i) continue;
-    slots[i] = slots[rep[i]];
+    if (plan.rep[i] == i) continue;
+    slots[i] = slots[plan.rep[i]];
     slots[i].dedup_count = 0;
-    ++slots[rep[i]].dedup_count;
+    ++slots[plan.rep[i]].dedup_count;
   }
 
   // Phase 3 — merge in trial-index order. This loop is the serial campaign
   // loop minus execution, so counts, slopes, kept traces and recovery
-  // aggregates come out bit-identical to a jobs=1 run.
+  // aggregates come out bit-identical to a jobs=1 run — and to a sharded
+  // run, which funnels its wire-delivered slots through this very fold.
   CampaignResult result;
   result.trials.reserve(config.trials);
   for (std::size_t i = 0; i < config.trials; ++i) {
@@ -806,6 +827,14 @@ CampaignResult run_campaign(const AppHarness& harness,
     export_campaign(harness, config, result, config.trace_dir);
   }
   return result;
+}
+
+CampaignResult run_campaign(const AppHarness& harness,
+                            const CampaignConfig& config) {
+  const CampaignPlan plan = plan_campaign(harness, config);
+  std::vector<TrialResult> slots(config.trials);
+  run_campaign_range(harness, config, plan, 0, config.trials, slots);
+  return merge_campaign(harness, config, plan, std::move(slots));
 }
 
 void export_campaign(const AppHarness& harness, const CampaignConfig& config,

@@ -61,6 +61,22 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+void MetricsRegistry::absorb(const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    counter(name).add(value);
+  }
+  for (const auto& [name, hs] : snap.histograms) {
+    FPROP_CHECK_MSG(hs.counts.size() == hs.bounds.size() + 1,
+                    "histogram snapshot '" + name + "' bucket count does not "
+                    "match its bounds");
+    Histogram& h = histogram(name, hs.bounds);
+    for (std::size_t i = 0; i < hs.counts.size(); ++i) {
+      h.add_bucket(i, hs.counts[i]);
+    }
+    h.add_totals(hs.count, hs.sum);
+  }
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();

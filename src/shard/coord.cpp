@@ -1,0 +1,261 @@
+#include "fprop/shard/coord.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "fprop/shard/journal.h"
+
+namespace fprop::shard {
+
+namespace {
+
+void say(const DistConfig& dist, const std::string& msg) {
+  if (dist.log) dist.log(msg);
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const harness::AppHarness& harness,
+                         const harness::CampaignConfig& config,
+                         std::vector<Conn> shards, DistConfig dist)
+    : harness_(harness), config_(config), dist_(std::move(dist)) {
+  FPROP_CHECK_MSG(!shards.empty(), "coordinator needs at least one shard");
+
+  JobSpec spec;
+  spec.app = harness_.app_name();
+  spec.experiment = harness_.config();
+  spec.campaign = config_;
+  spec.campaign.metrics = nullptr;  // never serialized; belt and braces
+  spec.metrics_enabled = config_.metrics != nullptr;
+  digest_ = job_digest(spec);
+
+  const Frame setup = make_setup_frame(spec);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Conn& conn = shards[i];
+    try {
+      conn.send(setup);
+      std::optional<Frame> reply = conn.recv(dist_.stop);
+      if (!reply.has_value()) {
+        throw Error("shard hung up during setup");
+      }
+      if (reply->type == FrameType::Error) {
+        throw Error("shard rejected setup: " + parse_error(*reply));
+      }
+      const SetupAck ack = parse_setup_ack(*reply);
+      if (ack.protocol != kProtocolVersion) {
+        throw Error("shard speaks protocol v" + std::to_string(ack.protocol) +
+                    ", coordinator v" + std::to_string(kProtocolVersion));
+      }
+      if (ack.digest != digest_) {
+        throw Error("shard echoed a different job digest");
+      }
+      // Golden-run cross-check: a shard built from different sources (or
+      // resolving a different app) would execute valid-looking but wrong
+      // trials; its golden facts cannot match.
+      if (ack.total_dyn_points != harness_.golden().total_dyn_points ||
+          ack.golden_cycles != harness_.golden().global_cycles) {
+        throw Error("shard's golden run disagrees with the coordinator's "
+                    "(mismatched build or app registry)");
+      }
+      shards_.push_back(std::move(conn));
+    } catch (const Error& e) {
+      say(dist_, "shard " + std::to_string(i) +
+                     " failed the handshake: " + e.what());
+    }
+  }
+  if (shards_.empty()) {
+    throw Error("no shard survived the setup handshake");
+  }
+  plan_ = harness::plan_campaign(harness_, config_);
+}
+
+Coordinator::~Coordinator() {
+  for (Conn& conn : shards_) {
+    if (!conn.valid()) continue;
+    try {
+      conn.send(Frame{FrameType::Shutdown, {}});
+    } catch (...) {
+    }
+  }
+}
+
+harness::CampaignResult Coordinator::run() {
+  const std::size_t trials = config_.trials;
+  std::size_t range_size =
+      dist_.range_size != 0
+          ? dist_.range_size
+          : std::max<std::size_t>(1, trials / (shards_.size() * 4));
+
+  std::vector<harness::TrialResult> slots(trials);
+  std::set<std::uint64_t> done;  // by range-first
+
+  std::optional<RangeJournal> journal;
+  if (!dist_.journal_path.empty()) {
+    RangeJournal::Header h;
+    h.digest = digest_;
+    h.trials = trials;
+    h.seed = config_.seed;
+    h.range_size = range_size;
+    journal.emplace(dist_.journal_path, h);
+    // A pre-existing journal dictates the partition it was written under.
+    if (journal->header().range_size != 0) {
+      range_size = static_cast<std::size_t>(journal->header().range_size);
+    }
+    for (const RangeResult& rr : journal->recovered()) {
+      if (rr.last > trials) continue;  // cannot happen with a digest match
+      for (const auto& [index, t] : rr.results) {
+        const auto idx = static_cast<std::size_t>(index);
+        if (idx >= trials || plan_.rep[idx] != idx) continue;
+        slots[idx] = t;
+      }
+      if (config_.metrics != nullptr) config_.metrics->absorb(rr.metrics);
+      done.insert(rr.first);
+    }
+    if (!done.empty()) {
+      say(dist_, "journal: resuming past " + std::to_string(done.size()) +
+                     " merged range(s)");
+    }
+  }
+
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> queue;
+  for (std::size_t first = 0; first < trials; first += range_size) {
+    const std::size_t last = std::min(trials, first + range_size);
+    if (done.count(first) != 0) continue;
+    queue.emplace_back(first, last);
+  }
+
+  std::mutex mu;  // guards queue, slots, journal, metrics, the log sink
+  std::condition_variable cv;
+  std::size_t live = shards_.size();
+  std::size_t inflight = 0;  // assigned ranges not yet merged or requeued
+
+  auto serve_shard = [&](Conn& conn) {
+    while (true) {
+      std::pair<std::uint64_t, std::uint64_t> range;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        // An empty queue is not the end while ranges are in flight: a dying
+        // shard requeues its range, and someone must be around to take it.
+        cv.wait(lock, [&] {
+          return !queue.empty() || inflight == 0 ||
+                 (dist_.stop != nullptr && *dist_.stop != 0);
+        });
+        if (queue.empty() || (dist_.stop != nullptr && *dist_.stop != 0)) {
+          return;
+        }
+        range = queue.front();
+        queue.pop_front();
+        ++inflight;
+      }
+      bool merged = false;
+      try {
+        conn.send(make_assign_frame(range.first, range.second));
+        std::optional<Frame> reply = conn.recv(dist_.stop);
+        if (!reply.has_value()) {
+          throw Error(dist_.stop != nullptr && *dist_.stop != 0
+                          ? "interrupted"
+                          : "shard hung up mid-range");
+        }
+        if (reply->type == FrameType::Bye) {
+          throw Error("shard said goodbye");
+        }
+        if (reply->type == FrameType::Error) {
+          throw Error("shard reported: " + parse_error(*reply));
+        }
+        RangeResult rr = parse_result(*reply);
+        if (rr.first != range.first || rr.last != range.second) {
+          throw ProtocolError(WireFault::Malformed,
+                              "result range does not match the assignment");
+        }
+        // read_range_result proved indices in-range and ascending; they
+        // must also be exactly this range's representatives.
+        std::size_t expected = 0;
+        for (std::uint64_t i = rr.first; i < rr.last; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          if (plan_.rep[idx] == idx) ++expected;
+        }
+        if (rr.results.size() != expected) {
+          throw ProtocolError(WireFault::Malformed,
+                              "result carries " +
+                                  std::to_string(rr.results.size()) +
+                                  " trials, expected " +
+                                  std::to_string(expected));
+        }
+        for (const auto& [index, t] : rr.results) {
+          if (plan_.rep[static_cast<std::size_t>(index)] !=
+              static_cast<std::size_t>(index)) {
+            throw ProtocolError(WireFault::Malformed,
+                                "result covers duplicate trial " +
+                                    std::to_string(index));
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& [index, t] : rr.results) {
+            slots[static_cast<std::size_t>(index)] = std::move(t);
+          }
+          if (config_.metrics != nullptr) {
+            config_.metrics->absorb(rr.metrics);
+          }
+          if (journal.has_value()) journal->append(rr);
+          merged = true;
+          --inflight;
+        }
+        cv.notify_all();
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!merged) {
+            queue.push_front(range);
+            --inflight;
+          }
+          --live;
+          conn.close();
+          say(dist_, std::string("shard retired: ") + e.what() + " (" +
+                         std::to_string(live) + " left, " +
+                         std::to_string(queue.size()) + " range(s) queued)");
+        }
+        cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(shards_.size());
+  for (Conn& conn : shards_) {
+    if (!conn.valid()) continue;
+    pool.emplace_back(serve_shard, std::ref(conn));
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (dist_.stop != nullptr && *dist_.stop != 0) {
+    throw Error(journal.has_value()
+                    ? "campaign interrupted — rerun with the same --journal "
+                      "to resume from the merged prefix"
+                    : "campaign interrupted (no journal; a rerun restarts)");
+  }
+  if (!queue.empty()) {
+    throw Error("every shard disconnected with " +
+                std::to_string(queue.size()) +
+                " range(s) unfinished" +
+                (journal.has_value()
+                     ? " — rerun with the same --journal to resume"
+                     : ""));
+  }
+  return harness::merge_campaign(harness_, config_, plan_, std::move(slots));
+}
+
+harness::CampaignResult run_distributed_campaign(
+    const harness::AppHarness& harness, const harness::CampaignConfig& config,
+    std::vector<Conn> shards, DistConfig dist) {
+  Coordinator coord(harness, config, std::move(shards), std::move(dist));
+  return coord.run();
+}
+
+}  // namespace fprop::shard

@@ -1,0 +1,180 @@
+#include "fprop/shard/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fprop::shard {
+
+namespace {
+
+Frame make_journal_header_frame(const RangeJournal::Header& h) {
+  Frame f;
+  f.type = FrameType::JournalHeader;
+  WireWriter w(f.payload);
+  w.u64(h.digest);
+  w.u64(h.trials);
+  w.u64(h.seed);
+  w.u64(h.range_size);
+  return f;
+}
+
+RangeJournal::Header parse_journal_header(const Frame& f) {
+  if (f.type != FrameType::JournalHeader) {
+    throw ProtocolError(WireFault::Malformed,
+                        std::string("journal starts with a ") +
+                            frame_type_name(f.type) + " frame");
+  }
+  WireReader r(f.payload.data(), f.payload.size());
+  RangeJournal::Header h;
+  h.digest = r.u64();
+  h.trials = r.u64();
+  h.seed = r.u64();
+  h.range_size = r.u64();
+  if (!r.done()) {
+    throw ProtocolError(WireFault::Malformed,
+                        "journal header has trailing bytes");
+  }
+  return h;
+}
+
+void write_all(int fd, const std::uint8_t* p, std::size_t n,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw Error("journal " + path + ": write failed: " +
+                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+RangeJournal::RangeJournal(std::string path, const Header& header)
+    : path_(std::move(path)), header_(header) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw Error("journal " + path_ + ": open failed: " + std::strerror(errno));
+  }
+
+  // Read the whole file and parse the frame sequence. The first record that
+  // fails to decode marks the valid prefix: a crash mid-append leaves
+  // exactly one incomplete tail record, which is truncated away. (A record
+  // corrupted *behind* a later valid one cannot happen with append-only
+  // writes; the checksum still catches it, and everything from the damage
+  // on is dropped.)
+  std::vector<std::uint8_t> bytes;
+  {
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+      throw Error("journal " + path_ + ": stat failed: " +
+                  std::strerror(errno));
+    }
+    bytes.resize(static_cast<std::size_t>(st.st_size));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::read(fd_, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error("journal " + path_ + ": read failed: " +
+                    std::strerror(errno));
+      }
+      if (n == 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    bytes.resize(off);
+  }
+
+  std::size_t valid_prefix = 0;
+  if (bytes.empty()) {
+    // Fresh journal: stamp the campaign identity first.
+    const std::vector<std::uint8_t> buf =
+        encode_frame(make_journal_header_frame(header_));
+    write_all(fd_, buf.data(), buf.size(), path_);
+    ::fsync(fd_);
+    return;
+  }
+
+  try {
+    std::size_t off = 0;
+    std::size_t consumed = 0;
+    const Frame head = decode_frame(bytes.data(), bytes.size(), &consumed);
+    const Header existing = parse_journal_header(head);
+    if (existing.digest != header_.digest ||
+        existing.trials != header_.trials || existing.seed != header_.seed) {
+      throw Error("journal " + path_ +
+                  " belongs to a different campaign (digest/trials/seed "
+                  "mismatch) — refusing to resume from it");
+    }
+    header_ = existing;  // adopt the persisted range_size
+    off = consumed;
+    while (off < bytes.size()) {
+      const Frame f =
+          decode_frame(bytes.data() + off, bytes.size() - off, &consumed);
+      if (f.type != FrameType::Result) {
+        throw ProtocolError(WireFault::Malformed,
+                            std::string("journal record is a ") +
+                                frame_type_name(f.type) + " frame");
+      }
+      recovered_.push_back(parse_result(f));
+      off += consumed;
+      valid_prefix = off;
+    }
+    valid_prefix = off;
+  } catch (const ProtocolError&) {
+    // Incomplete/corrupted tail: keep the valid prefix, drop the rest. The
+    // dropped range was never acknowledged, so it will simply be re-run.
+    if (recovered_.empty()) {
+      // Even the header is unreadable — the file is not a journal of this
+      // (or any) campaign; refuse rather than silently overwrite.
+      bool header_ok = false;
+      try {
+        const Frame head = decode_frame(bytes.data(), bytes.size(), nullptr);
+        parse_journal_header(head);
+        header_ok = true;
+      } catch (const ProtocolError&) {
+      }
+      if (!header_ok) {
+        throw Error("journal " + path_ +
+                    ": unrecognizable header — not a campaign journal; "
+                    "remove it to start fresh");
+      }
+      // Header parsed but the digest check above may not have run if the
+      // failure was later; recompute the prefix as just the header.
+      std::size_t consumed = 0;
+      decode_frame(bytes.data(), bytes.size(), &consumed);
+      valid_prefix = consumed;
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(valid_prefix)) != 0) {
+      throw Error("journal " + path_ + ": truncate failed: " +
+                  std::strerror(errno));
+    }
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    throw Error("journal " + path_ + ": seek failed: " +
+                std::strerror(errno));
+  }
+}
+
+RangeJournal::~RangeJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RangeJournal::append(const RangeResult& rr) {
+  FPROP_CHECK_MSG(fd_ >= 0, "append to a closed journal");
+  const std::vector<std::uint8_t> buf = encode_frame(make_result_frame(rr));
+  write_all(fd_, buf.data(), buf.size(), path_);
+  if (::fsync(fd_) != 0) {
+    throw Error("journal " + path_ + ": fsync failed: " +
+                std::strerror(errno));
+  }
+}
+
+}  // namespace fprop::shard

@@ -1,0 +1,804 @@
+#include "fprop/shard/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fprop::shard {
+
+namespace {
+
+[[noreturn]] void fail(WireFault fault, const std::string& what) {
+  throw ProtocolError(fault, what);
+}
+
+bool read_bool(WireReader& r, const char* field) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) fail(WireFault::Malformed, std::string(field) + " not a bool");
+  return v != 0;
+}
+
+template <typename E>
+E read_enum(WireReader& r, std::uint8_t max, const char* field) {
+  const std::uint8_t v = r.u8();
+  if (v > max) {
+    fail(WireFault::Malformed,
+         std::string(field) + " out of range: " + std::to_string(v));
+  }
+  return static_cast<E>(v);
+}
+
+}  // namespace
+
+const char* wire_fault_name(WireFault f) noexcept {
+  switch (f) {
+    case WireFault::BadMagic: return "bad-magic";
+    case WireFault::BadVersion: return "bad-version";
+    case WireFault::BadType: return "bad-type";
+    case WireFault::Oversized: return "oversized";
+    case WireFault::Truncated: return "truncated";
+    case WireFault::ChecksumMismatch: return "checksum-mismatch";
+    case WireFault::Malformed: return "malformed";
+  }
+  return "unknown";
+}
+
+const char* frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Setup: return "Setup";
+    case FrameType::SetupAck: return "SetupAck";
+    case FrameType::Assign: return "Assign";
+    case FrameType::Result: return "Result";
+    case FrameType::Shutdown: return "Shutdown";
+    case FrameType::Bye: return "Bye";
+    case FrameType::Error: return "Error";
+    case FrameType::JournalHeader: return "JournalHeader";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader
+
+void WireWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u64(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void WireWriter::bytes(const std::uint8_t* p, std::size_t n) {
+  out_.insert(out_.end(), p, p + n);
+}
+
+const std::uint8_t* WireReader::need(std::size_t n) {
+  if (n > size_ - off_) {
+    fail(WireFault::Malformed, "payload overrun: need " + std::to_string(n) +
+                                   " bytes, " + std::to_string(size_ - off_) +
+                                   " remain");
+  }
+  const std::uint8_t* p = data_ + off_;
+  off_ += n;
+  return p;
+}
+
+std::uint8_t WireReader::u8() { return *need(1); }
+
+std::uint16_t WireReader::u16() {
+  const std::uint8_t* p = need(2);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t WireReader::u32() {
+  const std::uint8_t* p = need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint8_t* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::int64_t WireReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t WireReader::count(std::size_t min_elem_bytes) {
+  const std::uint64_t n = u64();
+  if (min_elem_bytes == 0) min_elem_bytes = 1;
+  if (n > remaining() / min_elem_bytes) {
+    fail(WireFault::Malformed,
+         "claimed element count " + std::to_string(n) +
+             " exceeds the bytes physically present");
+  }
+  return n;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t n = count(1);
+  const std::uint8_t* p = need(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  WireWriter w(out);
+  w.u32(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u16(0);  // reserved
+  w.u64(frame.payload.size());
+  w.u64(fnv1a64(frame.payload.data(), frame.payload.size()));
+  w.bytes(frame.payload.data(), frame.payload.size());
+  return out;
+}
+
+namespace {
+
+struct FrameHeader {
+  FrameType type;
+  std::uint64_t payload_len;
+  std::uint64_t checksum;
+};
+
+/// Validates every header field except payload presence (context-specific).
+FrameHeader parse_frame_header(const std::uint8_t* data) {
+  WireReader r(data, kFrameHeaderBytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    fail(WireFault::BadMagic, "got 0x" + std::to_string(magic));
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    fail(WireFault::BadVersion, "got " + std::to_string(version) +
+                                    ", speak " +
+                                    std::to_string(kProtocolVersion));
+  }
+  const std::uint8_t type = r.u8();
+  if (type < static_cast<std::uint8_t>(FrameType::Setup) ||
+      type > static_cast<std::uint8_t>(FrameType::JournalHeader)) {
+    fail(WireFault::BadType, "frame type " + std::to_string(type));
+  }
+  const std::uint16_t reserved = r.u16();
+  if (reserved != 0) {
+    fail(WireFault::Malformed, "reserved header bits set");
+  }
+  FrameHeader h{static_cast<FrameType>(type), r.u64(), r.u64()};
+  if (h.payload_len > kMaxFramePayload) {
+    fail(WireFault::Oversized, "claimed payload of " +
+                                   std::to_string(h.payload_len) + " bytes");
+  }
+  return h;
+}
+
+}  // namespace
+
+Frame decode_frame(const std::uint8_t* data, std::size_t size,
+                   std::size_t* consumed) {
+  if (size < kFrameHeaderBytes) {
+    fail(WireFault::Truncated, "only " + std::to_string(size) +
+                                   " bytes, header needs " +
+                                   std::to_string(kFrameHeaderBytes));
+  }
+  const FrameHeader h = parse_frame_header(data);
+  // Clamp the claimed length to the bytes physically present.
+  if (h.payload_len > size - kFrameHeaderBytes) {
+    fail(WireFault::Truncated,
+         "claimed payload of " + std::to_string(h.payload_len) + " bytes, " +
+             std::to_string(size - kFrameHeaderBytes) + " present");
+  }
+  Frame f;
+  f.type = h.type;
+  f.payload.assign(data + kFrameHeaderBytes,
+                   data + kFrameHeaderBytes + h.payload_len);
+  if (fnv1a64(f.payload.data(), f.payload.size()) != h.checksum) {
+    fail(WireFault::ChecksumMismatch,
+         frame_type_name(f.type) + std::string(" frame payload corrupted"));
+  }
+  if (consumed != nullptr) {
+    *consumed = kFrameHeaderBytes + static_cast<std::size_t>(h.payload_len);
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// JobSpec
+
+void write_job_spec(WireWriter& w, const JobSpec& spec) {
+  w.str(spec.app);
+
+  const harness::ExperimentConfig& e = spec.experiment;
+  w.u32(e.nranks);
+  w.u64(e.overrides.size());
+  for (const auto& [k, v] : e.overrides) {
+    w.str(k);
+    w.str(v);
+  }
+  w.u8(e.targets.arith);
+  w.u8(e.targets.compares);
+  w.u8(e.targets.addresses);
+  w.u8(e.targets.load_address);
+  w.u8(e.targets.store_operands);
+  w.u64(e.rank_sample_period);
+  w.u64(e.global_sample_period);
+  w.u64(e.slice);
+  w.u64(e.rng_seed);
+  w.f64(e.budget_factor);
+  w.u64(e.snapshot_rungs);
+  w.f64(e.classifier.tolerance);
+  w.f64(e.classifier.time_factor);
+  const recovery::RecoveryConfig& rc = e.recovery;
+  w.u8(rc.enabled);
+  w.u8(static_cast<std::uint8_t>(rc.policy));
+  w.u64(rc.detector_interval);
+  w.f64(rc.fps);
+  w.f64(rc.cml_threshold);
+  w.u64(rc.expected_cycles);
+  w.u64(rc.max_rollbacks);
+  w.f64(rc.rollback_backoff);
+  w.u64(rc.max_retained);
+
+  const harness::CampaignConfig& c = spec.campaign;
+  w.u64(c.trials);
+  w.u64(c.seed);
+  w.u8(c.capture_traces);
+  w.u64(c.max_kept_traces);
+  w.u64(c.faults_per_run);
+  w.u64(c.msg_faults_per_run);
+  w.u64(c.jobs);
+  w.u8(c.warm_start);
+  w.u8(static_cast<std::uint8_t>(c.exec_tier));
+  w.u8(c.prune);
+  w.u8(c.dedup);
+  w.str(c.trace_dir);
+  w.u64(c.trace_capacity);
+  w.u8(spec.metrics_enabled);
+}
+
+JobSpec read_job_spec(WireReader& r) {
+  JobSpec spec;
+  spec.app = r.str();
+
+  harness::ExperimentConfig& e = spec.experiment;
+  e.nranks = r.u32();
+  const std::uint64_t noverrides = r.count(16);
+  for (std::uint64_t i = 0; i < noverrides; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    e.overrides.emplace(std::move(k), std::move(v));
+  }
+  e.targets.arith = read_bool(r, "targets.arith");
+  e.targets.compares = read_bool(r, "targets.compares");
+  e.targets.addresses = read_bool(r, "targets.addresses");
+  e.targets.load_address = read_bool(r, "targets.load_address");
+  e.targets.store_operands = read_bool(r, "targets.store_operands");
+  e.rank_sample_period = r.u64();
+  e.global_sample_period = r.u64();
+  e.slice = r.u64();
+  e.rng_seed = r.u64();
+  e.budget_factor = r.f64();
+  e.snapshot_rungs = static_cast<std::size_t>(r.u64());
+  e.classifier.tolerance = r.f64();
+  e.classifier.time_factor = r.f64();
+  recovery::RecoveryConfig& rc = e.recovery;
+  rc.enabled = read_bool(r, "recovery.enabled");
+  rc.policy = read_enum<model::RollbackPolicy>(r, 2, "recovery.policy");
+  rc.detector_interval = r.u64();
+  rc.fps = r.f64();
+  rc.cml_threshold = r.f64();
+  rc.expected_cycles = r.u64();
+  rc.max_rollbacks = static_cast<std::size_t>(r.u64());
+  rc.rollback_backoff = r.f64();
+  rc.max_retained = static_cast<std::size_t>(r.u64());
+
+  harness::CampaignConfig& c = spec.campaign;
+  c.trials = static_cast<std::size_t>(r.u64());
+  c.seed = r.u64();
+  c.capture_traces = read_bool(r, "capture_traces");
+  c.max_kept_traces = static_cast<std::size_t>(r.u64());
+  c.faults_per_run = static_cast<std::size_t>(r.u64());
+  c.msg_faults_per_run = static_cast<std::size_t>(r.u64());
+  c.jobs = static_cast<std::size_t>(r.u64());
+  c.warm_start = read_bool(r, "warm_start");
+  c.exec_tier = read_enum<vm::ExecTier>(r, 1, "exec_tier");
+  c.prune = read_bool(r, "prune");
+  c.dedup = read_bool(r, "dedup");
+  c.trace_dir = r.str();
+  c.trace_capacity = static_cast<std::size_t>(r.u64());
+  spec.metrics_enabled = read_bool(r, "metrics_enabled");
+  return spec;
+}
+
+std::uint64_t job_digest(const JobSpec& spec) {
+  std::vector<std::uint8_t> buf;
+  WireWriter w(buf);
+  write_job_spec(w, spec);
+  return fnv1a64(buf.data(), buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// TrialResult
+
+void write_trial_result(WireWriter& w, const harness::TrialResult& t) {
+  w.u8(static_cast<std::uint8_t>(t.outcome));
+  w.u8(static_cast<std::uint8_t>(t.trap));
+  w.u8(t.injected);
+  w.u32(t.injection.rank);
+  w.i64(t.injection.site_id);
+  w.u64(t.injection.dyn_index);
+  w.u32(t.injection.bit);
+  w.u64(t.injection.cycle);
+  w.u64(t.injection.before);
+  w.u64(t.injection.after);
+  w.u64(t.msg_injected);
+  w.u64(t.headers_quarantined);
+  w.u64(t.header_records_quarantined);
+  w.i64(t.fault_pair_min_gap);
+  w.u64(t.total_cml_final);
+  w.u64(t.total_cml_peak);
+  w.f64(t.contaminated_pct);
+  w.u64(t.contaminated_ranks);
+  w.i64(t.reported_iters);
+  w.u64(t.global_cycles);
+  w.u64(t.trace.size());
+  for (const fpm::TraceSample& s : t.trace) {
+    w.u64(s.cycle);
+    w.u64(s.cml);
+  }
+  w.u64(t.rank_first_contaminated.size());
+  for (const std::optional<std::uint64_t>& v : t.rank_first_contaminated) {
+    w.u8(v.has_value());
+    w.u64(v.value_or(0));
+  }
+  w.f64(t.slope_a);
+  w.f64(t.slope_b);
+  w.u8(t.slope_usable);
+  w.u8(t.recovered);
+  w.u64(t.rollbacks);
+  w.u64(t.detections);
+  w.u64(t.wasted_cycles);
+  w.u64(t.residual_cml);
+  w.u8(t.recovery_gave_up);
+  w.i64(t.first_detection_clock);
+  w.u8(t.pruned);
+  w.u64(t.prune_clock);
+  w.u64(t.dedup_count);
+}
+
+harness::TrialResult read_trial_result(WireReader& r) {
+  harness::TrialResult t;
+  t.outcome = read_enum<harness::Outcome>(r, 4, "outcome");
+  t.trap = read_enum<vm::Trap>(r, 9, "trap");
+  t.injected = read_bool(r, "injected");
+  t.injection.rank = r.u32();
+  t.injection.site_id = r.i64();
+  t.injection.dyn_index = r.u64();
+  t.injection.bit = r.u32();
+  t.injection.cycle = r.u64();
+  t.injection.before = r.u64();
+  t.injection.after = r.u64();
+  t.msg_injected = static_cast<std::size_t>(r.u64());
+  t.headers_quarantined = r.u64();
+  t.header_records_quarantined = r.u64();
+  t.fault_pair_min_gap = r.i64();
+  t.total_cml_final = r.u64();
+  t.total_cml_peak = r.u64();
+  t.contaminated_pct = r.f64();
+  t.contaminated_ranks = static_cast<std::size_t>(r.u64());
+  t.reported_iters = r.i64();
+  t.global_cycles = r.u64();
+  const std::uint64_t ntrace = r.count(16);
+  t.trace.reserve(static_cast<std::size_t>(ntrace));
+  for (std::uint64_t i = 0; i < ntrace; ++i) {
+    fpm::TraceSample s;
+    s.cycle = r.u64();
+    s.cml = r.u64();
+    t.trace.push_back(s);
+  }
+  const std::uint64_t nranks = r.count(9);
+  t.rank_first_contaminated.reserve(static_cast<std::size_t>(nranks));
+  for (std::uint64_t i = 0; i < nranks; ++i) {
+    const bool has = read_bool(r, "rank_first_contaminated.has");
+    const std::uint64_t v = r.u64();
+    t.rank_first_contaminated.push_back(
+        has ? std::optional<std::uint64_t>(v) : std::nullopt);
+  }
+  t.slope_a = r.f64();
+  t.slope_b = r.f64();
+  t.slope_usable = read_bool(r, "slope_usable");
+  t.recovered = read_bool(r, "recovered");
+  t.rollbacks = static_cast<std::size_t>(r.u64());
+  t.detections = static_cast<std::size_t>(r.u64());
+  t.wasted_cycles = r.u64();
+  t.residual_cml = r.u64();
+  t.recovery_gave_up = read_bool(r, "recovery_gave_up");
+  t.first_detection_clock = r.i64();
+  t.pruned = read_bool(r, "pruned");
+  t.prune_clock = r.u64();
+  t.dedup_count = r.u64();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+void write_metrics_snapshot(WireWriter& w, const obs::MetricsSnapshot& s) {
+  w.u64(s.counters.size());
+  for (const auto& [name, value] : s.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(s.histograms.size());
+  for (const auto& [name, h] : s.histograms) {
+    w.str(name);
+    w.u64(h.bounds.size());
+    for (std::uint64_t b : h.bounds) w.u64(b);
+    w.u64(h.counts.size());
+    for (std::uint64_t c : h.counts) w.u64(c);
+    w.u64(h.count);
+    w.u64(h.sum);
+  }
+}
+
+obs::MetricsSnapshot read_metrics_snapshot(WireReader& r) {
+  obs::MetricsSnapshot s;
+  const std::uint64_t ncounters = r.count(16);
+  for (std::uint64_t i = 0; i < ncounters; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    s.counters.emplace(std::move(name), value);
+  }
+  const std::uint64_t nhist = r.count(40);
+  for (std::uint64_t i = 0; i < nhist; ++i) {
+    std::string name = r.str();
+    obs::HistogramSnapshot h;
+    const std::uint64_t nbounds = r.count(8);
+    h.bounds.reserve(static_cast<std::size_t>(nbounds));
+    for (std::uint64_t j = 0; j < nbounds; ++j) h.bounds.push_back(r.u64());
+    const std::uint64_t ncounts = r.count(8);
+    if (ncounts != nbounds + 1) {
+      fail(WireFault::Malformed,
+           "histogram '" + name + "' has " + std::to_string(ncounts) +
+               " buckets for " + std::to_string(nbounds) + " bounds");
+    }
+    h.counts.reserve(static_cast<std::size_t>(ncounts));
+    for (std::uint64_t j = 0; j < ncounts; ++j) h.counts.push_back(r.u64());
+    h.count = r.u64();
+    h.sum = r.u64();
+    s.histograms.emplace(std::move(name), std::move(h));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RangeResult
+
+void write_range_result(WireWriter& w, const RangeResult& rr) {
+  w.u64(rr.first);
+  w.u64(rr.last);
+  w.u64(rr.results.size());
+  for (const auto& [index, t] : rr.results) {
+    w.u64(index);
+    write_trial_result(w, t);
+  }
+  write_metrics_snapshot(w, rr.metrics);
+}
+
+RangeResult read_range_result(WireReader& r) {
+  RangeResult rr;
+  rr.first = r.u64();
+  rr.last = r.u64();
+  if (rr.first > rr.last) {
+    fail(WireFault::Malformed, "range [" + std::to_string(rr.first) + ", " +
+                                   std::to_string(rr.last) + ") inverted");
+  }
+  const std::uint64_t n = r.count(8);
+  if (n > rr.last - rr.first) {
+    fail(WireFault::Malformed,
+         "range result carries more trials than its span");
+  }
+  rr.results.reserve(static_cast<std::size_t>(n));
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t index = r.u64();
+    if (index < rr.first || index >= rr.last || (i > 0 && index <= prev)) {
+      fail(WireFault::Malformed,
+           "trial index " + std::to_string(index) +
+               " outside/unsorted in range [" + std::to_string(rr.first) +
+               ", " + std::to_string(rr.last) + ")");
+    }
+    prev = index;
+    rr.results.emplace_back(index, read_trial_result(r));
+  }
+  rr.metrics = read_metrics_snapshot(r);
+  return rr;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-frame helpers
+
+namespace {
+
+Frame make_frame(FrameType type) {
+  Frame f;
+  f.type = type;
+  return f;
+}
+
+WireReader payload_reader(const Frame& f, FrameType expect) {
+  if (f.type != expect) {
+    fail(WireFault::Malformed, std::string("expected ") +
+                                   frame_type_name(expect) + " frame, got " +
+                                   frame_type_name(f.type));
+  }
+  return WireReader(f.payload.data(), f.payload.size());
+}
+
+/// A payload with trailing bytes was not produced by this codec.
+void expect_done(const WireReader& r, FrameType type) {
+  if (!r.done()) {
+    fail(WireFault::Malformed, std::string(frame_type_name(type)) +
+                                   " payload has trailing bytes");
+  }
+}
+
+}  // namespace
+
+Frame make_setup_frame(const JobSpec& spec) {
+  Frame f = make_frame(FrameType::Setup);
+  WireWriter w(f.payload);
+  write_job_spec(w, spec);
+  return f;
+}
+
+Frame make_setup_ack_frame(const SetupAck& ack) {
+  Frame f = make_frame(FrameType::SetupAck);
+  WireWriter w(f.payload);
+  w.u64(ack.digest);
+  w.u32(ack.protocol);
+  w.u64(ack.total_dyn_points);
+  w.u64(ack.golden_cycles);
+  return f;
+}
+
+Frame make_assign_frame(std::uint64_t first, std::uint64_t last) {
+  Frame f = make_frame(FrameType::Assign);
+  WireWriter w(f.payload);
+  w.u64(first);
+  w.u64(last);
+  return f;
+}
+
+Frame make_result_frame(const RangeResult& rr) {
+  Frame f = make_frame(FrameType::Result);
+  WireWriter w(f.payload);
+  write_range_result(w, rr);
+  return f;
+}
+
+Frame make_error_frame(const std::string& message) {
+  Frame f = make_frame(FrameType::Error);
+  WireWriter w(f.payload);
+  w.str(message);
+  return f;
+}
+
+JobSpec parse_setup(const Frame& f) {
+  WireReader r = payload_reader(f, FrameType::Setup);
+  JobSpec spec = read_job_spec(r);
+  expect_done(r, f.type);
+  return spec;
+}
+
+SetupAck parse_setup_ack(const Frame& f) {
+  WireReader r = payload_reader(f, FrameType::SetupAck);
+  SetupAck ack;
+  ack.digest = r.u64();
+  ack.protocol = r.u32();
+  ack.total_dyn_points = r.u64();
+  ack.golden_cycles = r.u64();
+  expect_done(r, f.type);
+  return ack;
+}
+
+std::pair<std::uint64_t, std::uint64_t> parse_assign(const Frame& f) {
+  WireReader r = payload_reader(f, FrameType::Assign);
+  const std::uint64_t first = r.u64();
+  const std::uint64_t last = r.u64();
+  expect_done(r, f.type);
+  if (first > last) {
+    fail(WireFault::Malformed, "assigned range inverted");
+  }
+  return {first, last};
+}
+
+RangeResult parse_result(const Frame& f) {
+  WireReader r = payload_reader(f, FrameType::Result);
+  RangeResult rr = read_range_result(r);
+  expect_done(r, f.type);
+  return rr;
+}
+
+std::string parse_error(const Frame& f) {
+  WireReader r = payload_reader(f, FrameType::Error);
+  std::string msg = r.str();
+  expect_done(r, f.type);
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Conn
+
+Conn::Conn(int fd_in, int fd_out) : in_(fd_in), out_(fd_out) {}
+
+Conn::Conn(Conn&& other) noexcept : in_(other.in_), out_(other.out_) {
+  other.in_ = -1;
+  other.out_ = -1;
+}
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    in_ = other.in_;
+    out_ = other.out_;
+    other.in_ = -1;
+    other.out_ = -1;
+  }
+  return *this;
+}
+
+Conn::~Conn() { close(); }
+
+void Conn::close() noexcept {
+  if (in_ >= 0) ::close(in_);
+  if (out_ >= 0 && out_ != in_) ::close(out_);
+  in_ = -1;
+  out_ = -1;
+}
+
+namespace {
+
+/// write() that never raises SIGPIPE on sockets: a peer dying mid-campaign
+/// must surface as an error the coordinator can requeue around, not a
+/// process-killing signal.
+ssize_t write_some(int fd, const std::uint8_t* p, std::size_t n) {
+  ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+  if (w < 0 && errno == ENOTSOCK) w = ::write(fd, p, n);
+  return w;
+}
+
+}  // namespace
+
+void Conn::send(const Frame& frame) {
+  FPROP_CHECK_MSG(valid(), "send on a closed connection");
+  const std::vector<std::uint8_t> buf = encode_frame(frame);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t w = write_some(out_, buf.data() + off, buf.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      close();
+      throw Error(std::string("shard connection write failed: ") +
+                  std::strerror(err));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+std::optional<Frame> Conn::recv(const volatile std::sig_atomic_t* interrupt) {
+  FPROP_CHECK_MSG(valid(), "recv on a closed connection");
+  std::uint8_t header[kFrameHeaderBytes];
+  std::size_t off = 0;
+  while (off < kFrameHeaderBytes) {
+    const ssize_t n = ::read(in_, header + off, kFrameHeaderBytes - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (interrupt != nullptr && *interrupt != 0) return std::nullopt;
+        continue;
+      }
+      const int err = errno;
+      close();
+      throw Error(std::string("shard connection read failed: ") +
+                  std::strerror(err));
+    }
+    if (n == 0) {
+      if (off == 0) return std::nullopt;  // clean EOF at a frame boundary
+      fail(WireFault::Truncated, "EOF after " + std::to_string(off) +
+                                     " header bytes");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  const FrameHeader h = parse_frame_header(header);
+  if (h.type == FrameType::JournalHeader) {
+    fail(WireFault::BadType, "JournalHeader frame on a live link");
+  }
+  Frame f;
+  f.type = h.type;
+  f.payload.resize(static_cast<std::size_t>(h.payload_len));
+  off = 0;
+  while (off < f.payload.size()) {
+    const ssize_t n = ::read(in_, f.payload.data() + off,
+                             f.payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (interrupt != nullptr && *interrupt != 0) return std::nullopt;
+        continue;
+      }
+      const int err = errno;
+      close();
+      throw Error(std::string("shard connection read failed: ") +
+                  std::strerror(err));
+    }
+    if (n == 0) {
+      fail(WireFault::Truncated,
+           std::string(frame_type_name(f.type)) + " frame: EOF " +
+               std::to_string(off) + "/" + std::to_string(f.payload.size()) +
+               " payload bytes in");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fnv1a64(f.payload.data(), f.payload.size()) != h.checksum) {
+    fail(WireFault::ChecksumMismatch,
+         frame_type_name(f.type) + std::string(" frame payload corrupted"));
+  }
+  return f;
+}
+
+std::pair<Conn, Conn> make_conn_pair() {
+  int fds[2];
+  FPROP_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds)
+                      == 0,
+                  "socketpair failed");
+  return {Conn(fds[0]), Conn(fds[1])};
+}
+
+}  // namespace fprop::shard

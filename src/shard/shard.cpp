@@ -1,0 +1,172 @@
+#include "fprop/shard/shard.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/obs/metrics.h"
+#include "fprop/shard/journal.h"
+
+namespace fprop::shard {
+
+namespace {
+
+void say(const ServeOptions& opts, const std::string& msg) {
+  if (opts.log) opts.log(msg);
+}
+
+bool stopping(const ServeOptions& opts) {
+  return opts.stop != nullptr && *opts.stop != 0;
+}
+
+}  // namespace
+
+ServeStats serve(Conn& conn, const ServeOptions& opts) {
+  ServeStats stats;
+  try {
+    // --- Setup: rebuild the campaign locally -----------------------------
+    std::optional<Frame> setup = conn.recv(opts.stop);
+    if (!setup.has_value()) {
+      stats.interrupted = stopping(opts);
+      return stats;
+    }
+    const JobSpec spec = parse_setup(*setup);
+    const std::uint64_t digest = job_digest(spec);
+
+    harness::CampaignConfig config = spec.campaign;
+    obs::MetricsRegistry registry;
+    // Mirror the coordinator's config exactly: a non-null metrics pointer
+    // changes plan_campaign (dedup off) and trial behavior (cold start,
+    // recorder attached), so the shard must run under the same condition
+    // for its slots to be bit-identical to the in-process engine's.
+    config.metrics = spec.metrics_enabled ? &registry : nullptr;
+    if (opts.jobs_override != 0) config.jobs = opts.jobs_override;
+
+    say(opts, "setup: app=" + spec.app + " trials=" +
+                  std::to_string(config.trials) + " jobs=" +
+                  std::to_string(config.jobs));
+    const apps::AppSpec& app = opts.resolve_app
+                                   ? opts.resolve_app(spec.app)
+                                   : apps::get_app(spec.app);  // throws if unknown
+    const harness::AppHarness harness(app, spec.experiment);
+    const harness::CampaignPlan plan = harness::plan_campaign(harness, config);
+
+    SetupAck ack;
+    ack.digest = digest;
+    ack.protocol = kProtocolVersion;
+    ack.total_dyn_points = harness.golden().total_dyn_points;
+    ack.golden_cycles = harness.golden().global_cycles;
+    conn.send(make_setup_ack_frame(ack));
+
+    // --- Optional replay journal of completed ranges ---------------------
+    std::optional<RangeJournal> journal;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, const RangeResult*>
+        done;
+    if (!opts.journal_path.empty()) {
+      RangeJournal::Header h;
+      h.digest = digest;
+      h.trials = config.trials;
+      h.seed = config.seed;
+      journal.emplace(opts.journal_path, h);
+      for (const RangeResult& rr : journal->recovered()) {
+        done.emplace(std::make_pair(rr.first, rr.last), &rr);
+      }
+      if (!done.empty()) {
+        say(opts, "journal: " + std::to_string(done.size()) +
+                      " completed range(s) on file");
+      }
+    }
+
+    // --- Serve Assigns until Shutdown / EOF / interrupt ------------------
+    std::vector<harness::TrialResult> slots(config.trials);
+    std::deque<RangeResult> session_done;  // stable addresses for `done`
+    while (true) {
+      if (stopping(opts)) {
+        conn.send(Frame{FrameType::Bye, {}});
+        stats.interrupted = true;
+        return stats;
+      }
+      std::optional<Frame> f = conn.recv(opts.stop);
+      if (!f.has_value()) {
+        if (stopping(opts)) {
+          conn.send(Frame{FrameType::Bye, {}});
+          stats.interrupted = true;
+        }
+        return stats;  // coordinator hung up
+      }
+      if (f->type == FrameType::Shutdown) return stats;
+      if (f->type != FrameType::Assign) {
+        conn.send(make_error_frame(
+            std::string("unexpected ") + frame_type_name(f->type) +
+            " frame while serving"));
+        return stats;
+      }
+      const auto [first, last] = parse_assign(*f);
+      if (last > config.trials) {
+        conn.send(make_error_frame("assigned range [" +
+                                   std::to_string(first) + ", " +
+                                   std::to_string(last) +
+                                   ") exceeds the campaign"));
+        return stats;
+      }
+
+      if (const auto it = done.find({first, last}); it != done.end()) {
+        conn.send(make_result_frame(*it->second));
+        ++stats.ranges_replayed;
+        continue;
+      }
+
+      registry.reset();  // per-range snapshot: deltas only
+      harness::run_campaign_range(harness, config, plan,
+                                  static_cast<std::size_t>(first),
+                                  static_cast<std::size_t>(last), slots);
+      RangeResult rr;
+      rr.first = first;
+      rr.last = last;
+      for (std::uint64_t i = first; i < last; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (plan.rep[idx] != idx) continue;  // duplicate: merge rebuilds it
+        rr.results.emplace_back(i, slots[idx]);
+      }
+      if (spec.metrics_enabled) rr.metrics = registry.snapshot();
+      stats.trials_executed += rr.results.size();
+      ++stats.ranges_executed;
+      if (journal.has_value()) {
+        journal->append(rr);  // fsync'd before the coordinator sees it
+        session_done.push_back(rr);
+        done[{first, last}] = &session_done.back();
+      }
+      if (opts.max_ranges != 0 &&
+          stats.ranges_executed + stats.ranges_replayed >= opts.max_ranges) {
+        say(opts, "chaos: dropping the connection after " +
+                      std::to_string(opts.max_ranges) + " range(s)");
+        conn.close();  // no Bye — looks exactly like SIGKILL upstream
+        return stats;
+      }
+      conn.send(make_result_frame(rr));
+      say(opts, "range [" + std::to_string(first) + ", " +
+                    std::to_string(last) + ") done (" +
+                    std::to_string(rr.results.size()) + " trials)");
+    }
+  } catch (const ProtocolError& e) {
+    say(opts, std::string("protocol error: ") + e.what());
+    try {
+      conn.send(make_error_frame(e.what()));
+    } catch (...) {
+    }
+    return stats;
+  } catch (const Error& e) {
+    say(opts, std::string("error: ") + e.what());
+    try {
+      conn.send(make_error_frame(e.what()));
+    } catch (...) {
+    }
+    return stats;
+  }
+}
+
+}  // namespace fprop::shard

@@ -1,0 +1,143 @@
+#include "fprop/shard/spawn.h"
+
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+extern char** environ;
+
+namespace fprop::shard {
+
+std::vector<SpawnedShard> spawn_local_shards(
+    const std::string& shard_bin, std::size_t count,
+    const std::vector<std::string>& extra_args) {
+  std::vector<SpawnedShard> shards;
+  shards.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      // CLOEXEC everywhere: without it, later children would inherit dups
+      // of earlier shards' sockets and EOF-based teardown would never fire.
+      // The dup2 file actions clear CLOEXEC on the child's stdin/stdout.
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+        throw Error(std::string("socketpair failed: ") +
+                    std::strerror(errno));
+      }
+      Conn parent_end(fds[0]);  // owns fds[0] from here on
+
+      posix_spawn_file_actions_t actions;
+      posix_spawn_file_actions_init(&actions);
+      // The child talks the protocol on stdin/stdout; its stderr stays on
+      // ours for shard log lines.
+      posix_spawn_file_actions_adddup2(&actions, fds[1], STDIN_FILENO);
+      posix_spawn_file_actions_adddup2(&actions, fds[1], STDOUT_FILENO);
+      posix_spawn_file_actions_addclose(&actions, fds[1]);
+      posix_spawn_file_actions_addclose(&actions, fds[0]);
+
+      std::vector<std::string> args;
+      args.push_back(shard_bin);
+      args.push_back("--stdio");
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+
+      pid_t pid = -1;
+      const int rc = ::posix_spawnp(&pid, shard_bin.c_str(), &actions,
+                                    nullptr, argv.data(), environ);
+      posix_spawn_file_actions_destroy(&actions);
+      ::close(fds[1]);  // child's end; the child holds its own copy now
+      if (rc != 0) {
+        throw Error("failed to spawn '" + shard_bin +
+                    "': " + std::strerror(rc));
+      }
+      shards.push_back(SpawnedShard{pid, std::move(parent_end)});
+    }
+  } catch (...) {
+    // Reap whatever already started: closing our socket ends their serve
+    // loop on EOF.
+    for (SpawnedShard& s : shards) {
+      s.conn.close();
+      if (s.pid > 0) ::waitpid(s.pid, nullptr, 0);
+    }
+    throw;
+  }
+  return shards;
+}
+
+std::vector<Conn> uds_accept(const std::string& path, std::size_t count) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listener < 0) {
+    throw Error(std::string("socket failed: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // stale file from a crashed coordinator
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, static_cast<int>(count)) != 0) {
+    const int err = errno;
+    ::close(listener);
+    throw Error("cannot listen at " + path + ": " + std::strerror(err));
+  }
+  std::vector<Conn> conns;
+  conns.reserve(count);
+  while (conns.size() < count) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(listener);
+      ::unlink(path.c_str());
+      throw Error(std::string("accept failed: ") + std::strerror(err));
+    }
+    conns.emplace_back(fd);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return conns;
+}
+
+Conn uds_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw Error(std::string("socket failed: ") + std::strerror(errno));
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + path + ": " + std::strerror(err));
+  }
+  return Conn(fd);
+}
+
+int wait_shard(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -256;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -256;
+}
+
+}  // namespace fprop::shard

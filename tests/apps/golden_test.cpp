@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "fprop/apps/registry.h"
 #include "fprop/harness/harness.h"
+#include "fprop/shard/coord.h"
+#include "fprop/shard/shard.h"
 
 // Per-app golden campaign tests: a fixed-seed 30-trial campaign over every
 // registry app must reproduce its outcome distribution exactly. Campaigns
@@ -174,6 +179,62 @@ TEST_P(GoldenCampaign, PruneAndDedupReproduceTrialForTrial) {
   EXPECT_EQ(pruned.counts.wrong_output, row.wrong_output);
   EXPECT_EQ(pruned.counts.pex, row.pex);
   EXPECT_EQ(pruned.counts.crashed, row.crashed);
+}
+
+// The sharded campaign engine (DESIGN.md §15) must reproduce the frozen
+// 30-trial distributions too: a coordinator plus two in-process serve()
+// shards — the same code path as fprop-coord + fprop-shard, minus
+// fork/exec — lands on the identical outcome row, trial for trial.
+TEST_P(GoldenCampaign, DistributedShardsReproduceFrozenTable) {
+  const GoldenRow& row = GetParam();
+  harness::ExperimentConfig cfg;
+  harness::AppHarness h(get_app(row.app), cfg);
+  harness::CampaignConfig cc;
+  cc.trials = 30;
+  cc.seed = 42;
+  cc.jobs = 1;
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+  std::deque<shard::Conn> shard_ends;
+  std::vector<shard::Conn> coord_ends;
+  for (int i = 0; i < 2; ++i) {
+    auto [coord_end, shard_end] = shard::make_conn_pair();
+    coord_ends.push_back(std::move(coord_end));
+    shard_ends.push_back(std::move(shard_end));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&shard_ends, i] {
+      try {
+        shard::serve(shard_ends[static_cast<std::size_t>(i)]);
+      } catch (...) {
+      }
+    });
+  }
+  const harness::CampaignResult dist =
+      shard::run_distributed_campaign(h, cc, std::move(coord_ends));
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(dist.counts.vanished, row.vanished);
+  EXPECT_EQ(dist.counts.ona, row.ona);
+  EXPECT_EQ(dist.counts.wrong_output, row.wrong_output);
+  EXPECT_EQ(dist.counts.pex, row.pex);
+  EXPECT_EQ(dist.counts.crashed, row.crashed);
+  ASSERT_EQ(local.trials.size(), dist.trials.size());
+  for (std::size_t i = 0; i < local.trials.size(); ++i) {
+    const harness::TrialResult& x = local.trials[i];
+    const harness::TrialResult& y = dist.trials[i];
+    EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+    EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+    EXPECT_EQ(x.injection.site_id, y.injection.site_id) << "trial " << i;
+    EXPECT_EQ(x.injection.dyn_index, y.injection.dyn_index) << "trial " << i;
+    EXPECT_EQ(x.injection.before, y.injection.before) << "trial " << i;
+    EXPECT_EQ(x.injection.after, y.injection.after) << "trial " << i;
+    EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+    EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+    EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+    EXPECT_EQ(x.dedup_count, y.dedup_count) << "trial " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, GoldenCampaign, ::testing::ValuesIn(kGolden),

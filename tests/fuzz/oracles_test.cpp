@@ -64,6 +64,15 @@ TEST(Oracles, PrunedCampaignsMatchUnprunedBitForBit) {
   }
 }
 
+TEST(Oracles, ShardProtocolSurvivesStrikesAndMatchesInProcess) {
+  OracleConfig cfg;
+  cfg.campaign_trials = 5;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const OracleResult r = check_shard_protocol(generate_program(seed), cfg, 64);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
 TEST(Oracles, HeaderWireFormSurvivesAdversarialStreams) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     const OracleResult r = check_header_adversarial(seed, 256);

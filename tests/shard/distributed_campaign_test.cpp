@@ -1,0 +1,355 @@
+// The sharded campaign engine's contract (DESIGN.md §15): a coordinator
+// plus N worker shards produce a CampaignResult bit-identical to in-process
+// run_campaign — every outcome counter, every per-trial field including the
+// trial-economy provenance (pruned / prune_clock / dedup_count), every
+// slope, every kept trace, and the metrics fold. Shards here are in-process
+// serve() threads on socketpairs: the same code path as fprop-shard, minus
+// fork/exec. And the engine must survive violence: a shard dropping its
+// link mid-campaign (SIGKILL-equivalent) or a coordinator restart from its
+// journal must still land on the identical result.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/obs/metrics.h"
+#include "fprop/shard/coord.h"
+#include "fprop/shard/shard.h"
+
+namespace fprop::shard {
+namespace {
+
+harness::AppHarness make_harness(const std::string& app, std::uint32_t nranks,
+                                 bool recovery = false) {
+  harness::ExperimentConfig cfg;
+  cfg.nranks = nranks;
+  if (app == "matvec") cfg.overrides = {{"ITERS", "6"}};
+  if (recovery) {
+    cfg.recovery.enabled = true;
+    cfg.recovery.max_rollbacks = 2;
+  }
+  return harness::AppHarness(apps::get_app(app), cfg);
+}
+
+harness::CampaignConfig campaign_config(std::size_t trials) {
+  harness::CampaignConfig cc;
+  cc.trials = trials;
+  cc.seed = 1234;
+  cc.max_kept_traces = 4;
+  cc.jobs = 1;
+  return cc;
+}
+
+/// Runs `config` through a coordinator plus one serve() thread per entry of
+/// `shard_opts`. Joins every thread before returning or rethrowing, so a
+/// test can assert on post-mortem ServeStats even when the coordinator
+/// throws (all-shards-dead resume scenarios).
+harness::CampaignResult run_dist(const harness::AppHarness& h,
+                                 const harness::CampaignConfig& config,
+                                 std::vector<ServeOptions> shard_opts,
+                                 DistConfig dist = {},
+                                 std::vector<ServeStats>* stats_out = nullptr) {
+  const std::size_t n = shard_opts.size();
+  std::deque<Conn> shard_ends;  // stable addresses for the serve threads
+  std::vector<Conn> coord_ends;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [coord_end, shard_end] = make_conn_pair();
+    coord_ends.push_back(std::move(coord_end));
+    shard_ends.push_back(std::move(shard_end));
+  }
+  std::vector<ServeStats> stats(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        stats[i] = serve(shard_ends[i], shard_opts[i]);
+      } catch (...) {
+        // serve() only throws for local I/O failures; never hang the test.
+      }
+    });
+  }
+  harness::CampaignResult result;
+  std::exception_ptr err;
+  try {
+    result = run_distributed_campaign(h, config, std::move(coord_ends), dist);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  for (std::thread& t : threads) t.join();
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  if (err) std::rethrow_exception(err);
+  return result;
+}
+
+void expect_trial_identical(const harness::TrialResult& x,
+                            const harness::TrialResult& y, std::size_t i) {
+  EXPECT_EQ(x.outcome, y.outcome) << "trial " << i;
+  EXPECT_EQ(x.trap, y.trap) << "trial " << i;
+  EXPECT_EQ(x.injected, y.injected) << "trial " << i;
+  EXPECT_EQ(x.injection.rank, y.injection.rank) << "trial " << i;
+  EXPECT_EQ(x.injection.site_id, y.injection.site_id) << "trial " << i;
+  EXPECT_EQ(x.injection.dyn_index, y.injection.dyn_index) << "trial " << i;
+  EXPECT_EQ(x.injection.bit, y.injection.bit) << "trial " << i;
+  EXPECT_EQ(x.injection.cycle, y.injection.cycle) << "trial " << i;
+  EXPECT_EQ(x.injection.before, y.injection.before) << "trial " << i;
+  EXPECT_EQ(x.injection.after, y.injection.after) << "trial " << i;
+  EXPECT_EQ(x.msg_injected, y.msg_injected) << "trial " << i;
+  EXPECT_EQ(x.headers_quarantined, y.headers_quarantined) << "trial " << i;
+  EXPECT_EQ(x.header_records_quarantined, y.header_records_quarantined)
+      << "trial " << i;
+  EXPECT_EQ(x.fault_pair_min_gap, y.fault_pair_min_gap) << "trial " << i;
+  EXPECT_EQ(x.total_cml_final, y.total_cml_final) << "trial " << i;
+  EXPECT_EQ(x.total_cml_peak, y.total_cml_peak) << "trial " << i;
+  EXPECT_EQ(x.contaminated_pct, y.contaminated_pct) << "trial " << i;
+  EXPECT_EQ(x.contaminated_ranks, y.contaminated_ranks) << "trial " << i;
+  EXPECT_EQ(x.reported_iters, y.reported_iters) << "trial " << i;
+  EXPECT_EQ(x.global_cycles, y.global_cycles) << "trial " << i;
+  ASSERT_EQ(x.trace.size(), y.trace.size()) << "trial " << i;
+  for (std::size_t s = 0; s < x.trace.size(); ++s) {
+    EXPECT_EQ(x.trace[s].cycle, y.trace[s].cycle)
+        << "trial " << i << " sample " << s;
+    EXPECT_EQ(x.trace[s].cml, y.trace[s].cml)
+        << "trial " << i << " sample " << s;
+  }
+  EXPECT_EQ(x.rank_first_contaminated, y.rank_first_contaminated)
+      << "trial " << i;
+  EXPECT_EQ(x.slope_a, y.slope_a) << "trial " << i;
+  EXPECT_EQ(x.slope_b, y.slope_b) << "trial " << i;
+  EXPECT_EQ(x.slope_usable, y.slope_usable) << "trial " << i;
+  EXPECT_EQ(x.recovered, y.recovered) << "trial " << i;
+  EXPECT_EQ(x.rollbacks, y.rollbacks) << "trial " << i;
+  EXPECT_EQ(x.detections, y.detections) << "trial " << i;
+  EXPECT_EQ(x.wasted_cycles, y.wasted_cycles) << "trial " << i;
+  EXPECT_EQ(x.residual_cml, y.residual_cml) << "trial " << i;
+  EXPECT_EQ(x.recovery_gave_up, y.recovery_gave_up) << "trial " << i;
+  EXPECT_EQ(x.first_detection_clock, y.first_detection_clock) << "trial " << i;
+  // Trial-economy provenance too: the shard mirrors the coordinator's
+  // config, so even how a result was obtained matches the in-process run.
+  EXPECT_EQ(x.pruned, y.pruned) << "trial " << i;
+  EXPECT_EQ(x.prune_clock, y.prune_clock) << "trial " << i;
+  EXPECT_EQ(x.dedup_count, y.dedup_count) << "trial " << i;
+}
+
+void expect_identical(const harness::CampaignResult& a,
+                      const harness::CampaignResult& b) {
+  EXPECT_EQ(a.counts.vanished, b.counts.vanished);
+  EXPECT_EQ(a.counts.ona, b.counts.ona);
+  EXPECT_EQ(a.counts.wrong_output, b.counts.wrong_output);
+  EXPECT_EQ(a.counts.pex, b.counts.pex);
+  EXPECT_EQ(a.counts.crashed, b.counts.crashed);
+
+  EXPECT_EQ(a.recovered_trials, b.recovered_trials);
+  EXPECT_EQ(a.total_rollbacks, b.total_rollbacks);
+  EXPECT_EQ(a.total_wasted_cycles, b.total_wasted_cycles);
+
+  EXPECT_EQ(a.total_msg_injected, b.total_msg_injected);
+  EXPECT_EQ(a.total_headers_quarantined, b.total_headers_quarantined);
+  EXPECT_EQ(a.total_header_records_quarantined,
+            b.total_header_records_quarantined);
+
+  EXPECT_EQ(a.pruned_trials, b.pruned_trials);
+  EXPECT_EQ(a.deduped_trials, b.deduped_trials);
+
+  ASSERT_EQ(a.slopes.size(), b.slopes.size());
+  for (std::size_t i = 0; i < a.slopes.size(); ++i) {
+    EXPECT_EQ(a.slopes[i], b.slopes[i]) << "slope " << i;
+  }
+  ASSERT_EQ(a.max_contaminated_pct.size(), b.max_contaminated_pct.size());
+  for (std::size_t i = 0; i < a.max_contaminated_pct.size(); ++i) {
+    EXPECT_EQ(a.max_contaminated_pct[i], b.max_contaminated_pct[i])
+        << "max_contaminated_pct " << i;
+  }
+
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    expect_trial_identical(a.trials[i], b.trials[i], i);
+  }
+}
+
+// --- shard-count sweep ------------------------------------------------------
+
+TEST(DistributedCampaign, MatchesInProcessAtEveryShardCount) {
+  harness::AppHarness h = make_harness("matvec", 1);
+  const harness::CampaignConfig cc = campaign_config(32);
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+  EXPECT_EQ(local.counts.total(), 32u);
+
+  for (std::size_t nshards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(nshards));
+    const harness::CampaignResult dist =
+        run_dist(h, cc, std::vector<ServeOptions>(nshards));
+    expect_identical(local, dist);
+  }
+}
+
+TEST(DistributedCampaign, CapturedTracesAndSlopesMatch) {
+  harness::AppHarness h = make_harness("matvec", 1);
+  harness::CampaignConfig cc = campaign_config(24);
+  cc.capture_traces = true;
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+  std::size_t kept = 0;
+  for (const harness::TrialResult& t : local.trials) kept += !t.trace.empty();
+  EXPECT_GT(kept, 0u);
+
+  const harness::CampaignResult dist =
+      run_dist(h, cc, std::vector<ServeOptions>(2));
+  expect_identical(local, dist);
+}
+
+TEST(DistributedCampaign, RecoveryCampaignMatches) {
+  harness::AppHarness h = make_harness("matvec", 1, /*recovery=*/true);
+  const harness::CampaignConfig cc = campaign_config(24);
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+  const harness::CampaignResult dist =
+      run_dist(h, cc, std::vector<ServeOptions>(2));
+  expect_identical(local, dist);
+}
+
+TEST(DistributedCampaign, MultiFaultMessageCorruptionCampaignMatches) {
+  // k=4 register faults + 2 in-flight message faults per trial on a real
+  // communicating app: the scenario classes of PR 8 survive distribution.
+  harness::AppHarness h = make_harness("lulesh", 4);
+  harness::CampaignConfig cc = campaign_config(12);
+  cc.faults_per_run = 4;
+  cc.msg_faults_per_run = 2;
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+  EXPECT_GT(local.total_msg_injected, 0u);
+  const harness::CampaignResult dist =
+      run_dist(h, cc, std::vector<ServeOptions>(2));
+  expect_identical(local, dist);
+}
+
+TEST(DistributedCampaign, TrialEconomyTogglesMatch) {
+  harness::AppHarness h = make_harness("matvec", 1);
+  for (const bool economy : {true, false}) {
+    SCOPED_TRACE(economy ? "prune+dedup" : "neither");
+    harness::CampaignConfig cc = campaign_config(32);
+    cc.prune = economy;
+    cc.dedup = economy;
+    const harness::CampaignResult local = harness::run_campaign(h, cc);
+    const harness::CampaignResult dist =
+        run_dist(h, cc, std::vector<ServeOptions>(2));
+    expect_identical(local, dist);
+  }
+}
+
+TEST(DistributedCampaign, MetricsFoldMatchesInProcessRegistry) {
+  // Each shard folds its ranges into a local registry and ships snapshots;
+  // the coordinator absorbs them. Absorption is commutative, so the merged
+  // registry must equal the in-process one exactly.
+  harness::AppHarness h = make_harness("matvec", 1);
+
+  obs::MetricsRegistry local_reg;
+  harness::CampaignConfig cc = campaign_config(24);
+  cc.metrics = &local_reg;
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+  obs::MetricsRegistry dist_reg;
+  cc.metrics = &dist_reg;
+  const harness::CampaignResult dist =
+      run_dist(h, cc, std::vector<ServeOptions>(2));
+
+  expect_identical(local, dist);
+  EXPECT_EQ(local_reg.snapshot(), dist_reg.snapshot());
+  EXPECT_GT(local_reg.snapshot().counters.count("campaign.trials"), 0u);
+}
+
+// --- violence ---------------------------------------------------------------
+
+TEST(DistributedCampaign, KilledShardIsRequeuedWithoutIdentityLoss) {
+  // Shard 0 drops its link after one Result frame — indistinguishable from
+  // SIGKILL. The coordinator must requeue its in-flight range onto shard 1
+  // and still finish bit-identical.
+  harness::AppHarness h = make_harness("matvec", 1);
+  const harness::CampaignConfig cc = campaign_config(32);
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+  std::vector<ServeOptions> opts(2);
+  opts[0].max_ranges = 1;
+  DistConfig dist;
+  dist.range_size = 4;  // 8 ranges: plenty left when shard 0 dies
+  std::vector<ServeStats> stats;
+  const harness::CampaignResult r = run_dist(h, cc, opts, dist, &stats);
+  expect_identical(local, r);
+  // Shard 0 executed one range but dropped the link before delivering it,
+  // so shard 1 ends up executing (and delivering) all 8.
+  EXPECT_EQ(stats[0].ranges_executed, 1u);
+  EXPECT_EQ(stats[1].ranges_executed, 8u);
+}
+
+TEST(DistributedCampaign, CoordinatorJournalResumesToIdenticalResult) {
+  harness::AppHarness h = make_harness("matvec", 1);
+  const harness::CampaignConfig cc = campaign_config(32);
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+  const std::string journal =
+      ::testing::TempDir() + "fprop_dist_resume_test.fjr";
+  std::remove(journal.c_str());
+  DistConfig dist;
+  dist.journal_path = journal;
+  dist.range_size = 4;
+
+  // Round 1: every shard delivers one range, then dies mid-second-range
+  // (the chaos hook drops the link before the Nth Result is sent). The
+  // coordinator merges and journals the two delivered ranges, then throws
+  // with work remaining.
+  {
+    std::vector<ServeOptions> opts(2);
+    opts[0].max_ranges = 2;
+    opts[1].max_ranges = 2;
+    std::vector<ServeStats> stats;
+    EXPECT_THROW(run_dist(h, cc, opts, dist, &stats), Error);
+    EXPECT_EQ(stats[0].ranges_executed + stats[1].ranges_executed, 4u);
+  }
+
+  // Round 2: fresh shards, same journal — resumes past the merged prefix
+  // and completes bit-identical to the uninterrupted in-process run.
+  std::vector<ServeStats> stats;
+  const harness::CampaignResult resumed =
+      run_dist(h, cc, std::vector<ServeOptions>(2), dist, &stats);
+  expect_identical(local, resumed);
+  EXPECT_LE(stats[0].trials_executed + stats[1].trials_executed,
+            32u - 2 * 4);  // at least the journaled ranges were not re-run
+  std::remove(journal.c_str());
+}
+
+TEST(DistributedCampaign, ShardJournalReplaysCompletedRanges) {
+  // A shard keeping its own journal answers re-assigned ranges without
+  // re-executing them: a full second campaign over the same spec runs zero
+  // trials and still produces the identical result.
+  harness::AppHarness h = make_harness("matvec", 1);
+  const harness::CampaignConfig cc = campaign_config(24);
+  const harness::CampaignResult local = harness::run_campaign(h, cc);
+
+  const std::string journal =
+      ::testing::TempDir() + "fprop_shard_journal_test.fjr";
+  std::remove(journal.c_str());
+  std::vector<ServeOptions> opts(1);
+  opts[0].journal_path = journal;
+
+  std::vector<ServeStats> first_stats;
+  const harness::CampaignResult first =
+      run_dist(h, cc, opts, {}, &first_stats);
+  expect_identical(local, first);
+  EXPECT_EQ(first_stats[0].ranges_replayed, 0u);
+  EXPECT_EQ(first_stats[0].trials_executed, 24u);
+
+  std::vector<ServeStats> second_stats;
+  const harness::CampaignResult second =
+      run_dist(h, cc, opts, {}, &second_stats);
+  expect_identical(local, second);
+  EXPECT_GT(second_stats[0].ranges_replayed, 0u);
+  EXPECT_EQ(second_stats[0].trials_executed, 0u);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace fprop::shard

@@ -1,0 +1,563 @@
+// Adversarial tests for the shard wire protocol (DESIGN.md §15): round
+// trips for every frame type, then directed attacks — truncation at every
+// boundary, single-bit flips over whole frames, oversized and malformed
+// claims — all of which must surface as typed ProtocolErrors, never a
+// crash, hang, or silent misparse. Mirrors the PR 6 header-quarantine
+// discipline at the process boundary.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fprop/shard/journal.h"
+#include "fprop/shard/protocol.h"
+
+namespace fprop::shard {
+namespace {
+
+JobSpec sample_spec() {
+  JobSpec spec;
+  spec.app = "matvec";
+  spec.experiment.nranks = 4;
+  spec.experiment.overrides = {{"ITERS", "6"}, {"N", "32"}};
+  spec.experiment.targets.compares = true;
+  spec.experiment.rng_seed = 0x1234;
+  spec.experiment.budget_factor = 6.5;
+  spec.experiment.snapshot_rungs = 7;
+  spec.experiment.recovery.enabled = true;
+  spec.experiment.recovery.policy = model::RollbackPolicy::FpsModel;
+  spec.experiment.recovery.fps = 0.37;
+  spec.campaign.trials = 300;
+  spec.campaign.seed = 99;
+  spec.campaign.capture_traces = true;
+  spec.campaign.max_kept_traces = 3;
+  spec.campaign.faults_per_run = 4;
+  spec.campaign.msg_faults_per_run = 2;
+  spec.campaign.jobs = 8;
+  spec.campaign.warm_start = false;
+  spec.campaign.exec_tier = vm::ExecTier::Interp;
+  spec.campaign.prune = false;
+  spec.campaign.dedup = false;
+  spec.campaign.trace_dir = "/tmp/out";
+  spec.metrics_enabled = true;
+  return spec;
+}
+
+harness::TrialResult sample_trial() {
+  harness::TrialResult t;
+  t.outcome = harness::Outcome::WrongOutput;
+  t.trap = vm::Trap::BadAccess;
+  t.injected = true;
+  t.injection = {3, -7, 123456, 17, 999, 0xdeadbeef, 0xfeedface};
+  t.msg_injected = 2;
+  t.headers_quarantined = 1;
+  t.header_records_quarantined = 4;
+  t.fault_pair_min_gap = 4242;
+  t.total_cml_final = 77;
+  t.total_cml_peak = 150;
+  t.contaminated_pct = 12.75;
+  t.contaminated_ranks = 2;
+  t.reported_iters = 6;
+  t.global_cycles = 1234567;
+  t.trace = {{100, 1}, {200, 5}, {300, 4}};
+  t.rank_first_contaminated = {std::nullopt, 512, std::nullopt, 768};
+  t.slope_a = -0.25;
+  t.slope_b = 3.5e-7;
+  t.slope_usable = true;
+  t.recovered = true;
+  t.rollbacks = 1;
+  t.detections = 2;
+  t.wasted_cycles = 5000;
+  t.residual_cml = 3;
+  t.recovery_gave_up = false;
+  t.first_detection_clock = 444;
+  t.pruned = true;
+  t.prune_clock = 2048;
+  t.dedup_count = 5;
+  return t;
+}
+
+void expect_trial_eq(const harness::TrialResult& a,
+                     const harness::TrialResult& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.trap, b.trap);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.injection.rank, b.injection.rank);
+  EXPECT_EQ(a.injection.site_id, b.injection.site_id);
+  EXPECT_EQ(a.injection.dyn_index, b.injection.dyn_index);
+  EXPECT_EQ(a.injection.bit, b.injection.bit);
+  EXPECT_EQ(a.injection.cycle, b.injection.cycle);
+  EXPECT_EQ(a.injection.before, b.injection.before);
+  EXPECT_EQ(a.injection.after, b.injection.after);
+  EXPECT_EQ(a.msg_injected, b.msg_injected);
+  EXPECT_EQ(a.headers_quarantined, b.headers_quarantined);
+  EXPECT_EQ(a.header_records_quarantined, b.header_records_quarantined);
+  EXPECT_EQ(a.fault_pair_min_gap, b.fault_pair_min_gap);
+  EXPECT_EQ(a.total_cml_final, b.total_cml_final);
+  EXPECT_EQ(a.total_cml_peak, b.total_cml_peak);
+  EXPECT_EQ(a.contaminated_pct, b.contaminated_pct);
+  EXPECT_EQ(a.contaminated_ranks, b.contaminated_ranks);
+  EXPECT_EQ(a.reported_iters, b.reported_iters);
+  EXPECT_EQ(a.global_cycles, b.global_cycles);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].cycle, b.trace[i].cycle);
+    EXPECT_EQ(a.trace[i].cml, b.trace[i].cml);
+  }
+  EXPECT_EQ(a.rank_first_contaminated, b.rank_first_contaminated);
+  EXPECT_EQ(a.slope_a, b.slope_a);
+  EXPECT_EQ(a.slope_b, b.slope_b);
+  EXPECT_EQ(a.slope_usable, b.slope_usable);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.wasted_cycles, b.wasted_cycles);
+  EXPECT_EQ(a.residual_cml, b.residual_cml);
+  EXPECT_EQ(a.recovery_gave_up, b.recovery_gave_up);
+  EXPECT_EQ(a.first_detection_clock, b.first_detection_clock);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.prune_clock, b.prune_clock);
+  EXPECT_EQ(a.dedup_count, b.dedup_count);
+}
+
+RangeResult sample_range() {
+  RangeResult rr;
+  rr.first = 10;
+  rr.last = 20;
+  rr.results.emplace_back(11, sample_trial());
+  harness::TrialResult second = sample_trial();
+  second.outcome = harness::Outcome::Crashed;
+  second.trace.clear();
+  rr.results.emplace_back(15, second);
+  rr.metrics.counters = {{"campaign.trials", 10}, {"inject.flips", 9}};
+  obs::HistogramSnapshot hs;
+  hs.bounds = {1, 4, 16};
+  hs.counts = {2, 3, 4, 1};
+  hs.count = 10;
+  hs.sum = 77;
+  rr.metrics.histograms = {{"shadow.probe_len", hs}};
+  return rr;
+}
+
+// --- round trips -----------------------------------------------------------
+
+TEST(Protocol, JobSpecRoundTripsAndDigestIsStable) {
+  const JobSpec spec = sample_spec();
+  const Frame f = make_setup_frame(spec);
+  std::size_t consumed = 0;
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  const Frame back = decode_frame(bytes.data(), bytes.size(), &consumed);
+  EXPECT_EQ(consumed, bytes.size());
+  const JobSpec out = parse_setup(back);
+
+  EXPECT_EQ(out.app, spec.app);
+  EXPECT_EQ(out.experiment.nranks, spec.experiment.nranks);
+  EXPECT_EQ(out.experiment.overrides, spec.experiment.overrides);
+  EXPECT_EQ(out.experiment.targets.compares, true);
+  EXPECT_EQ(out.experiment.budget_factor, spec.experiment.budget_factor);
+  EXPECT_EQ(out.experiment.recovery.policy, model::RollbackPolicy::FpsModel);
+  EXPECT_EQ(out.experiment.recovery.fps, spec.experiment.recovery.fps);
+  EXPECT_EQ(out.campaign.trials, spec.campaign.trials);
+  EXPECT_EQ(out.campaign.max_kept_traces, spec.campaign.max_kept_traces);
+  EXPECT_EQ(out.campaign.exec_tier, vm::ExecTier::Interp);
+  EXPECT_EQ(out.campaign.trace_dir, spec.campaign.trace_dir);
+  EXPECT_EQ(out.metrics_enabled, true);
+  EXPECT_EQ(out.campaign.metrics, nullptr);  // never crosses the wire
+
+  EXPECT_EQ(job_digest(out), job_digest(spec));
+}
+
+TEST(Protocol, RangeResultRoundTripsEveryTrialField) {
+  const RangeResult rr = sample_range();
+  const std::vector<std::uint8_t> bytes = encode_frame(make_result_frame(rr));
+  const RangeResult out =
+      parse_result(decode_frame(bytes.data(), bytes.size()));
+  EXPECT_EQ(out.first, rr.first);
+  EXPECT_EQ(out.last, rr.last);
+  ASSERT_EQ(out.results.size(), rr.results.size());
+  for (std::size_t i = 0; i < rr.results.size(); ++i) {
+    EXPECT_EQ(out.results[i].first, rr.results[i].first);
+    expect_trial_eq(out.results[i].second, rr.results[i].second);
+  }
+  EXPECT_EQ(out.metrics, rr.metrics);
+}
+
+TEST(Protocol, ControlFramesRoundTrip) {
+  {
+    SetupAck ack{0xabcdef, kProtocolVersion, 4242, 99999};
+    const auto bytes = encode_frame(make_setup_ack_frame(ack));
+    const SetupAck out =
+        parse_setup_ack(decode_frame(bytes.data(), bytes.size()));
+    EXPECT_EQ(out.digest, ack.digest);
+    EXPECT_EQ(out.protocol, ack.protocol);
+    EXPECT_EQ(out.total_dyn_points, ack.total_dyn_points);
+    EXPECT_EQ(out.golden_cycles, ack.golden_cycles);
+  }
+  {
+    const auto bytes = encode_frame(make_assign_frame(128, 256));
+    const auto [first, last] =
+        parse_assign(decode_frame(bytes.data(), bytes.size()));
+    EXPECT_EQ(first, 128u);
+    EXPECT_EQ(last, 256u);
+  }
+  {
+    const auto bytes = encode_frame(make_error_frame("boom"));
+    EXPECT_EQ(parse_error(decode_frame(bytes.data(), bytes.size())), "boom");
+  }
+  for (const FrameType t : {FrameType::Shutdown, FrameType::Bye}) {
+    const auto bytes = encode_frame(Frame{t, {}});
+    EXPECT_EQ(decode_frame(bytes.data(), bytes.size()).type, t);
+  }
+}
+
+// --- truncation ------------------------------------------------------------
+
+TEST(Protocol, EveryTruncationIsDetected) {
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(make_result_frame(sample_range()));
+  // Any prefix strictly shorter than the frame must throw Truncated: the
+  // claimed payload length is clamped to the bytes physically present.
+  for (std::size_t len : {std::size_t{0}, std::size_t{5},
+                          kFrameHeaderBytes - 1, kFrameHeaderBytes,
+                          bytes.size() / 2, bytes.size() - 1}) {
+    try {
+      decode_frame(bytes.data(), len);
+      FAIL() << "prefix of " << len << " bytes decoded";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::Truncated) << "prefix " << len;
+    }
+  }
+}
+
+// --- bit flips -------------------------------------------------------------
+
+TEST(Protocol, EverySingleBitFlipIsRejected) {
+  // The satellite-1 hardening goal verbatim: flip each bit of an encoded
+  // Result frame; decode+parse must throw a typed ProtocolError every time
+  // (header fields are validated individually, the payload is covered by
+  // the FNV-1a checksum, and a type flip to another valid frame type fails
+  // the parse_result expectation).
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(make_result_frame(sample_range()));
+  std::size_t rejected = 0;
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      parse_result(decode_frame(mutated.data(), mutated.size()));
+    } catch (const ProtocolError&) {
+      ++rejected;
+      continue;
+    }
+    FAIL() << "bit flip at " << bit << " went undetected";
+  }
+  EXPECT_EQ(rejected, bytes.size() * 8);
+}
+
+// --- oversized / malformed claims ------------------------------------------
+
+TEST(Protocol, OversizedClaimIsRejectedWithoutAllocation) {
+  Frame f;
+  f.type = FrameType::Assign;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  // Rewrite payload_len (offset 8) to a ludicrous claim.
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 8; ++i) {
+    bytes[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  try {
+    decode_frame(bytes.data(), bytes.size());
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::Oversized);
+  }
+}
+
+TEST(Protocol, HeaderFieldViolationsAreTyped) {
+  const std::vector<std::uint8_t> good = encode_frame(make_assign_frame(0, 4));
+  {
+    auto bad = good;
+    bad[0] ^= 0xff;  // magic
+    try {
+      decode_frame(bad.data(), bad.size());
+      FAIL();
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::BadMagic);
+    }
+  }
+  {
+    auto bad = good;
+    bad[4] = 42;  // version
+    try {
+      decode_frame(bad.data(), bad.size());
+      FAIL();
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::BadVersion);
+    }
+  }
+  {
+    auto bad = good;
+    bad[5] = 200;  // type
+    try {
+      decode_frame(bad.data(), bad.size());
+      FAIL();
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::BadType);
+    }
+  }
+  {
+    auto bad = good;
+    bad[6] = 1;  // reserved
+    try {
+      decode_frame(bad.data(), bad.size());
+      FAIL();
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::Malformed);
+    }
+  }
+}
+
+TEST(Protocol, MalformedPayloadsAreRejected) {
+  // Structurally invalid payloads behind a *valid* checksum: the codec's
+  // own validation has to catch these, not the framing.
+  const auto reject = [](const Frame& f, const char* what) {
+    const auto bytes = encode_frame(f);
+    try {
+      const Frame back = decode_frame(bytes.data(), bytes.size());
+      switch (back.type) {
+        case FrameType::Setup: parse_setup(back); break;
+        case FrameType::Assign: parse_assign(back); break;
+        case FrameType::Result: parse_result(back); break;
+        default: break;
+      }
+      FAIL() << what << " was accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::Malformed) << what;
+    }
+  };
+
+  {  // inverted range
+    Frame f{FrameType::Assign, {}};
+    WireWriter w(f.payload);
+    w.u64(9);
+    w.u64(3);
+    reject(f, "inverted assign");
+  }
+  {  // trailing bytes after a valid assign
+    Frame f = make_assign_frame(0, 4);
+    f.payload.push_back(0);
+    reject(f, "trailing bytes");
+  }
+  {  // element count exceeding the physical payload
+    Frame f{FrameType::Result, {}};
+    WireWriter w(f.payload);
+    w.u64(0);
+    w.u64(1u << 20);
+    w.u64(1u << 19);  // claims 2^19 trial results, payload ends here
+    reject(f, "phantom element count");
+  }
+  {  // trial index outside its range
+    RangeResult rr = sample_range();
+    rr.results[0].first = 99;  // outside [10, 20)
+    Frame f{FrameType::Result, {}};
+    WireWriter w(f.payload);
+    write_range_result(w, rr);
+    reject(f, "out-of-range trial index");
+  }
+  {  // more results than the span
+    RangeResult rr;
+    rr.first = 0;
+    rr.last = 1;
+    rr.results.emplace_back(0, sample_trial());
+    Frame f{FrameType::Result, {}};
+    WireWriter w(f.payload);
+    // Hand-write a lying count of 2.
+    w.u64(rr.first);
+    w.u64(rr.last);
+    w.u64(2);
+    w.u64(0);
+    write_trial_result(w, sample_trial());
+    w.u64(0);
+    write_trial_result(w, sample_trial());
+    write_metrics_snapshot(w, rr.metrics);
+    reject(f, "result overfills its span");
+  }
+  {  // enum out of range inside a trial
+    Frame f{FrameType::Result, {}};
+    WireWriter w(f.payload);
+    w.u64(0);
+    w.u64(4);
+    w.u64(1);
+    w.u64(0);
+    w.u8(99);  // outcome
+    reject(f, "bad outcome enum");
+  }
+  {  // histogram bucket/bound mismatch
+    RangeResult rr;
+    rr.first = 0;
+    rr.last = 1;
+    obs::HistogramSnapshot hs;
+    hs.bounds = {1, 2};
+    hs.counts = {1, 1};  // must be bounds+1
+    rr.metrics.histograms = {{"h", hs}};
+    Frame f{FrameType::Result, {}};
+    WireWriter w(f.payload);
+    write_range_result(w, rr);
+    reject(f, "histogram bucket mismatch");
+  }
+}
+
+// --- framed connections ----------------------------------------------------
+
+TEST(Protocol, ConnRoundTripsFramesAndSignalsCleanEof) {
+  auto [a, b] = make_conn_pair();
+  const RangeResult rr = sample_range();
+  a.send(make_result_frame(rr));
+  a.send(Frame{FrameType::Shutdown, {}});
+  std::optional<Frame> f1 = b.recv();
+  ASSERT_TRUE(f1.has_value());
+  const RangeResult out = parse_result(*f1);
+  EXPECT_EQ(out.results.size(), rr.results.size());
+  std::optional<Frame> f2 = b.recv();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, FrameType::Shutdown);
+  a.close();
+  EXPECT_FALSE(b.recv().has_value());  // clean EOF, not an error
+}
+
+TEST(Protocol, ConnTreatsEofMidFrameAsTruncated) {
+  // A peer that dies between the header and the payload must surface as a
+  // Truncated error, not a hang or a short misparse. Raw socketpair so we
+  // can hang up after a partial write.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Conn reader(fds[0]);
+  const std::vector<std::uint8_t> bytes =
+      encode_frame(make_result_frame(sample_range()));
+  for (std::size_t cut : {std::size_t{10}, kFrameHeaderBytes,
+                          bytes.size() - 1}) {
+    int pair2[2] = {fds[0], fds[1]};
+    if (cut != 10) {  // fresh pair for each leg after the first
+      ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair2), 0);
+      reader = Conn(pair2[0]);
+    }
+    ASSERT_EQ(::write(pair2[1], bytes.data(), cut),
+              static_cast<ssize_t>(cut));
+    ::close(pair2[1]);
+    try {
+      reader.recv();
+      FAIL() << "EOF after " << cut << " bytes was not flagged";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.fault(), WireFault::Truncated) << "cut " << cut;
+    }
+  }
+}
+
+TEST(Protocol, ConnRejectsJournalHeaderOnLiveLink) {
+  // JournalHeader is file-format-only; a peer sending it is broken.
+  auto [a, b] = make_conn_pair();
+  a.send(Frame{FrameType::JournalHeader, {}});
+  try {
+    b.recv();
+    FAIL();
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.fault(), WireFault::BadType);
+  }
+}
+
+// --- journal ---------------------------------------------------------------
+
+class JournalTest : public ::testing::Test {
+ protected:
+  std::string path_;
+  RangeJournal::Header header_{0x1234, 100, 42, 10};
+
+  // Per-test file name: ctest -j runs each case as its own process, so a
+  // shared path would let SetUp delete a sibling's live journal.
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "fprop_journal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".fjr";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(JournalTest, AppendsAndRecovers) {
+  {
+    RangeJournal j(path_, header_);
+    EXPECT_TRUE(j.recovered().empty());
+    j.append(sample_range());
+    RangeResult second = sample_range();
+    second.first = 20;
+    second.last = 30;
+    second.results.clear();
+    second.results.emplace_back(25, sample_trial());
+    j.append(second);
+  }
+  RangeJournal j(path_, header_);
+  ASSERT_EQ(j.recovered().size(), 2u);
+  EXPECT_EQ(j.recovered()[0].first, 10u);
+  EXPECT_EQ(j.recovered()[1].first, 20u);
+  expect_trial_eq(j.recovered()[0].results[0].second, sample_trial());
+  EXPECT_EQ(j.header().range_size, 10u);
+}
+
+TEST_F(JournalTest, TruncatedTailIsDroppedNotFatal) {
+  {
+    RangeJournal j(path_, header_);
+    j.append(sample_range());
+    j.append(sample_range());
+  }
+  // Chop bytes off the tail — a crash mid-append.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path_.c_str(), size - 37), 0);
+  }
+  RangeJournal j(path_, header_);
+  EXPECT_EQ(j.recovered().size(), 1u);  // the whole record survived
+  // And the journal keeps working after the repair.
+  j.append(sample_range());
+  RangeJournal k(path_, header_);
+  EXPECT_EQ(k.recovered().size(), 2u);
+}
+
+TEST_F(JournalTest, DifferentCampaignIsRefused) {
+  { RangeJournal j(path_, header_); }
+  RangeJournal::Header other = header_;
+  other.digest ^= 1;
+  EXPECT_THROW(RangeJournal(path_, other), Error);
+  other = header_;
+  other.trials = 7;
+  EXPECT_THROW(RangeJournal(path_, other), Error);
+}
+
+TEST_F(JournalTest, PersistedRangeSizeWins) {
+  { RangeJournal j(path_, header_); }
+  RangeJournal::Header resized = header_;
+  resized.range_size = 999;  // changed shard count would re-derive this
+  RangeJournal j(path_, resized);
+  EXPECT_EQ(j.header().range_size, 10u);
+}
+
+TEST_F(JournalTest, GarbageFileIsRefused) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a journal", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(RangeJournal(path_, header_), Error);
+}
+
+}  // namespace
+}  // namespace fprop::shard

@@ -1,0 +1,239 @@
+// fprop-coord: campaign coordinator (DESIGN.md §15).
+//
+// Fans a fault-injection campaign out to worker shards over the length-
+// prefixed wire protocol, journals every merged plan-index range, and folds
+// the results through the same merge the in-process engine uses — the
+// CampaignResult is bit-identical to `run_campaign` at any shard count.
+//
+//   # 4 local shard processes, resumable journal:
+//   $ fprop-coord matvec 5000 --shards=4 --jobs=2 --journal=campaign.fjr
+//
+//   # two-terminal mode: listen for externally launched shards
+//   $ fprop-coord lulesh 5000 --listen=/tmp/fprop.sock --await=2
+//   (elsewhere)  $ fprop-shard --connect=/tmp/fprop.sock
+//
+// SIGINT stops assignment after the in-flight ranges; rerunning with the
+// same --journal resumes from the merged prefix, and the final result is
+// bit-identical to an uninterrupted run.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fprop/apps/registry.h"
+#include "fprop/harness/harness.h"
+#include "fprop/obs/export.h"
+#include "fprop/shard/coord.h"
+#include "fprop/shard/spawn.h"
+
+using namespace fprop;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fprop-coord [app] [trials] [options]\n"
+               "  --shards=N           spawn N local fprop-shard processes\n"
+               "  --shard-bin=PATH     shard binary for --shards (default:\n"
+               "                       fprop-shard next to this binary)\n"
+               "  --listen=PATH        accept shards on a unix socket\n"
+               "  --await=N            shards to accept on --listen "
+               "(default 1)\n"
+               "  --journal=FILE       resumable journal of merged ranges\n"
+               "  --range-size=N       trials per assignment (default auto)\n"
+               "  --jobs=N             worker threads per shard (default 1)\n"
+               "  --seed=S             campaign seed (default 42)\n"
+               "  --faults-per-trial=K register faults per trial (default 1)\n"
+               "  --corrupt-headers[=M] in-flight message faults per trial\n"
+               "  --cold-start         no golden-ladder warm starts\n"
+               "  --exec-tier=T        interp | bytecode (default bytecode)\n"
+               "  --no-prune           run every trial to completion\n"
+               "  --no-dedup           re-execute duplicate canonical plans\n"
+               "  --metrics-out=F      merged metrics registry JSON\n"
+               "  --help               this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* app = "matvec";
+  std::size_t trials = 300;
+  std::size_t nshards = 0;
+  std::size_t await = 1;
+  std::size_t jobs = 1;
+  std::size_t range_size = 0;
+  std::uint64_t seed = 42;
+  std::size_t faults_per_trial = 1;
+  std::size_t msg_faults = 0;
+  bool cold = false;
+  bool prune = true;
+  bool dedup = true;
+  vm::ExecTier tier = vm::ExecTier::Bytecode;
+  std::string shard_bin;
+  std::string listen_path;
+  std::string journal;
+  std::string metrics_out;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      nshards = static_cast<std::size_t>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--shard-bin=", 12) == 0) {
+      shard_bin = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      listen_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--await=", 8) == 0) {
+      await = static_cast<std::size_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      journal = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--range-size=", 13) == 0) {
+      range_size = static_cast<std::size_t>(std::atoi(argv[i] + 13));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--faults-per-trial=", 19) == 0) {
+      faults_per_trial = static_cast<std::size_t>(std::atoi(argv[i] + 19));
+    } else if (std::strcmp(argv[i], "--corrupt-headers") == 0) {
+      msg_faults = 1;
+    } else if (std::strncmp(argv[i], "--corrupt-headers=", 18) == 0) {
+      msg_faults = static_cast<std::size_t>(std::atoi(argv[i] + 18));
+    } else if (std::strcmp(argv[i], "--cold-start") == 0) {
+      cold = true;
+    } else if (std::strncmp(argv[i], "--exec-tier=", 12) == 0) {
+      const char* t = argv[i] + 12;
+      if (std::strcmp(t, "interp") == 0) {
+        tier = vm::ExecTier::Interp;
+      } else if (std::strcmp(t, "bytecode") == 0) {
+        tier = vm::ExecTier::Bytecode;
+      } else {
+        std::fprintf(stderr, "fprop-coord: bad --exec-tier '%s'\n", t);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      prune = false;
+    } else if (std::strcmp(argv[i], "--no-dedup") == 0) {
+      dedup = false;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "fprop-coord: unknown option '%s'\n", argv[i]);
+      usage(stderr);
+      return 2;
+    } else if (positional == 0) {
+      app = argv[i];
+      ++positional;
+    } else {
+      trials = static_cast<std::size_t>(std::atoi(argv[i]));
+      ++positional;
+    }
+  }
+  if ((nshards == 0) == listen_path.empty()) {
+    std::fprintf(stderr,
+                 "fprop-coord: pick exactly one of --shards=N or "
+                 "--listen=PATH\n");
+    usage(stderr);
+    return 2;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;  // no SA_RESTART: blocked reads must wake
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    harness::ExperimentConfig config;
+    harness::AppHarness h(apps::get_app(app), config);
+
+    harness::CampaignConfig cc;
+    cc.trials = trials;
+    cc.seed = seed;
+    cc.faults_per_run = faults_per_trial;
+    cc.msg_faults_per_run = msg_faults;
+    cc.jobs = jobs;
+    cc.warm_start = !cold;
+    cc.exec_tier = tier;
+    cc.prune = prune;
+    cc.dedup = dedup;
+    obs::MetricsRegistry registry;
+    if (!metrics_out.empty()) cc.metrics = &registry;
+
+    std::vector<shard::Conn> conns;
+    std::vector<shard::SpawnedShard> spawned;
+    if (nshards > 0) {
+      if (shard_bin.empty()) {
+        // Default: fprop-shard next to this binary.
+        std::string self = argv[0];
+        const std::size_t slash = self.rfind('/');
+        shard_bin = (slash == std::string::npos ? std::string()
+                                                : self.substr(0, slash + 1)) +
+                    "fprop-shard";
+      }
+      std::fprintf(stderr, "fprop-coord: spawning %zu x %s\n", nshards,
+                   shard_bin.c_str());
+      spawned = shard::spawn_local_shards(shard_bin, nshards);
+      for (shard::SpawnedShard& s : spawned) {
+        conns.push_back(std::move(s.conn));
+      }
+    } else {
+      std::fprintf(stderr, "fprop-coord: waiting for %zu shard(s) at %s\n",
+                   await, listen_path.c_str());
+      conns = shard::uds_accept(listen_path, await);
+    }
+
+    shard::DistConfig dist;
+    dist.journal_path = journal;
+    dist.range_size = range_size;
+    dist.stop = &g_stop;
+    dist.log = [](const std::string& msg) {
+      std::fprintf(stderr, "fprop-coord: %s\n", msg.c_str());
+    };
+
+    std::printf("campaign: %s, %u ranks, %zu trials across %s shards "
+                "(jobs=%zu each)\n",
+                app, h.nranks(), trials,
+                nshards > 0 ? std::to_string(nshards).c_str()
+                            : std::to_string(await).c_str(),
+                jobs);
+    const harness::CampaignResult r =
+        shard::run_distributed_campaign(h, cc, std::move(conns), dist);
+
+    for (shard::SpawnedShard& s : spawned) {
+      shard::wait_shard(s.pid);
+    }
+
+    const auto& c = r.counts;
+    std::printf("\noutcomes over %zu trials:\n", c.total());
+    std::printf("  vanished        (V): %5.1f%%\n", c.pct(c.vanished));
+    std::printf("  output-unaffected (ONA): %.1f%%\n", c.pct(c.ona));
+    std::printf("  wrong output   (WO): %5.1f%%\n", c.pct(c.wrong_output));
+    std::printf("  prolonged     (PEX): %5.1f%%\n", c.pct(c.pex));
+    std::printf("  crashed         (C): %5.1f%%\n", c.pct(c.crashed));
+    if (prune || dedup) {
+      std::printf("trial economy: %zu pruned, %zu deduped\n",
+                  r.pruned_trials, r.deduped_trials);
+    }
+    if (!metrics_out.empty()) {
+      obs::write_file(metrics_out, obs::metrics_json(registry.snapshot()));
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!journal.empty()) {
+      std::printf("journal: %s holds every merged range\n", journal.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fprop-coord: %s\n", e.what());
+    return g_stop != 0 ? 130 : 1;
+  }
+}

@@ -43,6 +43,7 @@ struct Options {
   bool header = true;
   bool bytecode_vs_interp = true;
   bool prune = true;
+  bool shard = true;
   std::size_t trials = 6;
   std::size_t jobs = 2;
   std::uint32_t nranks = 4;
@@ -61,8 +62,8 @@ void usage(std::FILE* out) {
                "  --oracles=LIST   comma list of pristine,campaign,ckpt,"
                "shadow,parser,\n"
                "                   warm_vs_cold,multifault,header,"
-               "bytecode_vs_interp,prune\n"
-               "                   (default all)\n"
+               "bytecode_vs_interp,prune,\n"
+               "                   shard (default all)\n"
                "  --trials=N       campaign-oracle trials per run (default 6)\n"
                "  --jobs=N         campaign-oracle parallel jobs (default 2)\n"
                "  --nranks=N       simulated MPI ranks (default 4)\n"
@@ -75,7 +76,7 @@ void usage(std::FILE* out) {
 bool parse_oracles(const std::string& list, Options& opt) {
   opt.pristine = opt.campaign = opt.ckpt = opt.shadow = opt.parser =
       opt.warm_vs_cold = opt.multifault = opt.header =
-          opt.bytecode_vs_interp = opt.prune = false;
+          opt.bytecode_vs_interp = opt.prune = opt.shard = false;
   std::size_t start = 0;
   while (start <= list.size()) {
     std::size_t comma = list.find(',', start);
@@ -91,12 +92,13 @@ bool parse_oracles(const std::string& list, Options& opt) {
     else if (name == "header") opt.header = true;
     else if (name == "bytecode_vs_interp") opt.bytecode_vs_interp = true;
     else if (name == "prune") opt.prune = true;
+    else if (name == "shard") opt.shard = true;
     else if (!name.empty()) return false;
     start = comma + 1;
   }
   return opt.pristine || opt.campaign || opt.ckpt || opt.shadow ||
          opt.parser || opt.warm_vs_cold || opt.multifault || opt.header ||
-         opt.bytecode_vs_interp || opt.prune;
+         opt.bytecode_vs_interp || opt.prune || opt.shard;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -214,6 +216,9 @@ int main(int argc, char** argv) {
           return !fuzz::check_bytecode_vs_interp(p, oc).ok;
         }
         if (r.oracle == "prune") return !fuzz::check_prune(p, oc).ok;
+        if (r.oracle == "shard") {
+          return !fuzz::check_shard_protocol(p, oc).ok;
+        }
         return false;
       };
       fuzz::MinimizeStats st;
@@ -265,6 +270,9 @@ int main(int argc, char** argv) {
     }
     if (opt.prune) {
       report(fuzz::check_prune(prog, oc), seed, prog.source, true);
+    }
+    if (opt.shard) {
+      report(fuzz::check_shard_protocol(prog, oc), seed, prog.source, true);
     }
     if (opt.header) {
       report(fuzz::check_header_adversarial(seed), seed, std::string(), true);

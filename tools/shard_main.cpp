@@ -1,0 +1,116 @@
+// fprop-shard: campaign worker shard (DESIGN.md §15).
+//
+// Connects to an fprop-coord coordinator, rebuilds the campaign locally
+// from the Setup frame (plans never cross the wire — they are recomputed
+// from derive_seed, bit-identical to the coordinator's), then executes
+// assigned plan-index ranges until Shutdown.
+//
+//   $ fprop-shard --connect=/tmp/fprop.sock --jobs=8
+//   $ fprop-shard --stdio          # protocol on stdin/stdout (spawned mode)
+//
+// SIGINT/SIGTERM finish the current range, fsync the journal (every
+// completed range is already on disk before it is sent), send Bye, and
+// exit 0 — the coordinator requeues anything unacknowledged.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fprop/shard/shard.h"
+#include "fprop/shard/spawn.h"
+
+using namespace fprop;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: fprop-shard (--connect=PATH | --stdio) [options]\n"
+               "  --connect=PATH   coordinator's unix socket\n"
+               "  --stdio          speak the protocol on stdin/stdout\n"
+               "  --jobs=N         override the coordinator's per-shard "
+               "worker count\n"
+               "  --journal=FILE   journal completed ranges; re-assigned\n"
+               "                   ranges are answered without re-running\n"
+               "  --max-ranges=N   drop the link after N ranges (crash\n"
+               "                   injection for resume tests)\n"
+               "  --quiet          no progress lines on stderr\n"
+               "  --help           this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_path;
+  bool stdio = false;
+  bool quiet = false;
+  shard::ServeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opts.jobs_override = static_cast<std::size_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      opts.journal_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--max-ranges=", 13) == 0) {
+      opts.max_ranges = static_cast<std::size_t>(std::atoi(argv[i] + 13));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "fprop-shard: unknown option '%s'\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (stdio == !connect_path.empty()) {
+    std::fprintf(stderr,
+                 "fprop-shard: pick exactly one of --connect=PATH or "
+                 "--stdio\n");
+    usage(stderr);
+    return 2;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;  // no SA_RESTART: blocked reads must wake
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  opts.stop = &g_stop;
+  if (!quiet) {
+    opts.log = [](const std::string& msg) {
+      std::fprintf(stderr, "fprop-shard: %s\n", msg.c_str());
+    };
+  }
+
+  try {
+    shard::Conn conn =
+        stdio ? shard::Conn(STDIN_FILENO, STDOUT_FILENO)
+              : shard::uds_connect(connect_path);
+    const shard::ServeStats stats = shard::serve(conn, opts);
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "fprop-shard: done (%zu range(s) executed, %zu replayed, "
+                   "%zu trial(s))%s\n",
+                   stats.ranges_executed, stats.ranges_replayed,
+                   stats.trials_executed,
+                   stats.interrupted ? " [interrupted]" : "");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fprop-shard: %s\n", e.what());
+    return 1;
+  }
+}
